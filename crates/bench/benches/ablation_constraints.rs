@@ -1,0 +1,73 @@
+//! ABLATION — what the careful write order costs.
+//!
+//! §6.4's generalized operations make the cache manager enforce
+//! write-order constraints; §6.3's physiological operations don't need
+//! any. This bench isolates that overhead on *identical* single-page
+//! workloads (where the constraint machinery is pure overhead for the
+//! generalized method: zero constraints registered), and then on
+//! cross-page workloads with growing cross-read fractions (real
+//! constraint pressure: flush checks scan the live constraint list,
+//! flush_all retries around blocked pages).
+//!
+//! Expectation: zero-constraint overhead is negligible; cost grows
+//! mildly with the cross-read fraction; checkpoint flush-all still
+//! terminates (write-graph acyclicity) at every setting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redo_methods::generalized::Generalized;
+use redo_methods::physiological::Physiological;
+use redo_methods::RecoveryMethod;
+use redo_sim::db::{Db, Geometry};
+use redo_workload::pages::{PageOp, PageWorkloadSpec};
+
+fn run_to_checkpoint<M: RecoveryMethod>(method: &M, ops: &[PageOp]) -> u64 {
+    let mut db: Db<M::Payload> = Db::new(Geometry { slots_per_page: 8 });
+    let mut rng = StdRng::seed_from_u64(5);
+    for op in ops {
+        method.execute(&mut db, op).expect("execute");
+        db.chaos_flush(&mut rng, 0.6, 0.25);
+    }
+    method.checkpoint(&mut db).expect("checkpoint");
+    db.disk.page_writes()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_constraints");
+    let n = 300usize;
+
+    // Identical single-page workload under both methods: isolates the
+    // constraint machinery's fixed overhead (zero constraints).
+    let single = PageWorkloadSpec { n_ops: n, n_pages: 8, ..Default::default() }.generate(31);
+    group.bench_function("physiological_single_page", |b| {
+        b.iter(|| run_to_checkpoint(&Physiological, &single))
+    });
+    group.bench_function("generalized_single_page_no_constraints", |b| {
+        b.iter(|| run_to_checkpoint(&Generalized, &single))
+    });
+
+    // Growing cross-read fractions: real constraint pressure.
+    for pct in [10u32, 40, 80] {
+        let ops = PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 8,
+            cross_page_fraction: f64::from(pct) / 100.0,
+            blind_fraction: 0.1,
+            ..Default::default()
+        }
+        .generate(31);
+        // Shape check: it completes, and reports flush volume.
+        let writes = run_to_checkpoint(&Generalized, &ops);
+        println!("ablation_constraints shape-check: cross={pct}% -> {writes} page writes");
+        group.bench_with_input(
+            BenchmarkId::new("generalized_cross_page", pct),
+            &ops,
+            |b, ops| b.iter(|| run_to_checkpoint(&Generalized, ops)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

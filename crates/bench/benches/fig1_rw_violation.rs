@@ -1,0 +1,130 @@
+//! FIG1 — Scenario 1 at scale: read-write edges are important.
+//!
+//! The figure's claim: updating the state against a read-write conflict
+//! edge makes the state unrecoverable. The scaled experiment measures
+//! the *detector* — the recovery-invariant check — on chain workloads
+//! where an operation was installed out of order (violating its rw
+//! edges), versus conforming prefix installs. The invariant check is
+//! what a recovery auditor runs continuously, so its verdicts and cost
+//! are the measurable surface of the figure.
+//!
+//! Paper-shape expectation: violating states are *always* rejected,
+//! conforming states always accepted, with detection cost roughly
+//! linear in history length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::graph::NodeSet;
+use redo_theory::installation::InstallationGraph;
+use redo_theory::invariant::recovery_invariant_holds;
+use redo_theory::log::Log;
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+use redo_workload::{Shape, WorkloadSpec};
+
+struct Setup {
+    cg: ConflictGraph,
+    ig: InstallationGraph,
+    sg: StateGraph,
+    log: Log,
+    conforming_state: State,
+    conforming_redo: NodeSet,
+    violating_state: State,
+    violating_redo: NodeSet,
+}
+
+fn setup(n: usize) -> Setup {
+    let h = WorkloadSpec {
+        n_ops: n,
+        n_vars: (n / 2).max(2) as u32,
+        shape: Shape::Chain,
+        blind_fraction: 0.0,
+        max_reads: 1,
+        max_writes: 1,
+        ..Default::default()
+    }
+    .generate(1);
+    let cg = ConflictGraph::generate(&h);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(&h, &cg, &State::zeroed());
+    let log = Log::from_history(&h);
+    // Conforming: first half installed (a conflict prefix).
+    let installed = NodeSet::from_indices(n, 0..n / 2);
+    let conforming_state = sg.state_determined_by(&installed);
+    let conforming_redo = installed.complement();
+    // Violating: install only a *late* chain operation without its
+    // read-write predecessors — Scenario 1 writ large.
+    let bad = NodeSet::from_indices(n, [n - 1]);
+    let violating_state = sg.state_determined_by(&bad);
+    let violating_redo = bad.complement();
+    Setup {
+        cg,
+        ig,
+        sg,
+        log,
+        conforming_state,
+        conforming_redo,
+        violating_state,
+        violating_redo,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_rw_violation");
+    for n in [16usize, 64, 256, 1024] {
+        let s = setup(n);
+        // Shape check: the verdicts the figure predicts.
+        assert!(recovery_invariant_holds(
+            &s.cg,
+            &s.ig,
+            &s.sg,
+            &s.log,
+            &s.conforming_redo,
+            &s.conforming_state
+        ));
+        assert!(!recovery_invariant_holds(
+            &s.cg,
+            &s.ig,
+            &s.sg,
+            &s.log,
+            &s.violating_redo,
+            &s.violating_state
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("invariant_accepts_conforming", n),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    recovery_invariant_holds(
+                        &s.cg,
+                        &s.ig,
+                        &s.sg,
+                        &s.log,
+                        &s.conforming_redo,
+                        &s.conforming_state,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("invariant_rejects_violation", n),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    recovery_invariant_holds(
+                        &s.cg,
+                        &s.ig,
+                        &s.sg,
+                        &s.log,
+                        &s.violating_redo,
+                        &s.violating_state,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! FIG2 — Scenario 2 at scale: write-read edges are unimportant.
+//!
+//! The figure's claim: the state-update order may violate write-read
+//! conflict edges, so the installation graph (conflict graph minus
+//! pure-wr edges) admits strictly more legal install orders. The scaled
+//! experiment measures (a) how many conflict edges write-read-heavy
+//! workloads shed, and (b) the cost of deriving the installation graph —
+//! plus a shape check that the prefix count strictly grows whenever any
+//! edge is shed.
+//!
+//! Paper-shape expectation: wr-heavy workloads shed a large fraction of
+//! their edges; the prefix count of the installation graph is ≥ the
+//! conflict graph's, strictly greater when any pure-wr edge existed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::history::History;
+use redo_theory::installation::InstallationGraph;
+use redo_workload::{Shape, WorkloadSpec};
+
+fn workload(n: usize, shape: Shape, blind: f64) -> History {
+    WorkloadSpec {
+        n_ops: n,
+        n_vars: 16,
+        shape,
+        blind_fraction: blind,
+        max_reads: 2,
+        max_writes: 1,
+        ..Default::default()
+    }
+    .generate(2)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_wr_flexibility");
+
+    // Shape check + report: edge shedding per workload family.
+    for (name, shape, blind) in [
+        ("wr_heavy", Shape::WriteReadHeavy, 0.9),
+        ("random", Shape::Random, 0.3),
+        ("blind", Shape::Blind, 1.0),
+    ] {
+        let h = workload(512, shape, blind);
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let shed = ig.removed_edges().len();
+        let total = cg.dag().edge_count();
+        println!(
+            "fig2 shape-check [{name}]: {shed}/{total} conflict edges are pure write-read and shed"
+        );
+        if name == "wr_heavy" {
+            assert!(shed * 4 > total, "wr-heavy should shed a large fraction: {shed}/{total}");
+        }
+        if name == "blind" {
+            assert_eq!(shed, 0, "blind workloads have no write-read edges at all");
+        }
+    }
+    // Prefix-count growth on a small instance (counting is exponential).
+    let h = workload(14, Shape::WriteReadHeavy, 0.9);
+    let cg = ConflictGraph::generate(&h);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let pc = cg.dag().count_prefixes(2_000_000).expect("small");
+    let pi = ig.count_prefixes(2_000_000).expect("small");
+    println!("fig2 shape-check: conflict prefixes {pc} <= installation prefixes {pi}");
+    assert!(pi >= pc);
+
+    for n in [128usize, 512, 2048] {
+        let h = workload(n, Shape::WriteReadHeavy, 0.9);
+        let cg = ConflictGraph::generate(&h);
+        group.bench_with_input(BenchmarkId::new("derive_installation_graph", n), &cg, |b, cg| {
+            b.iter(|| InstallationGraph::from_conflict(cg))
+        });
+        group.bench_with_input(BenchmarkId::new("generate_conflict_graph", n), &h, |b, h| {
+            b.iter(|| ConflictGraph::generate(h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

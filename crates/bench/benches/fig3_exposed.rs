@@ -1,0 +1,83 @@
+//! FIG3 — Scenario 3 at scale: only exposed variables matter.
+//!
+//! The figure's claim: a variable whose next uninstalled access is a
+//! blind write is *unexposed* — its stable value is irrelevant to
+//! recovery. The scaled experiment sweeps the blind-write fraction and
+//! measures (a) the fraction of variables left unexposed at a mid-run
+//! install point (more blind writes ⇒ more unexposed ⇒ fewer values the
+//! cache must write atomically) and (b) the cost of the exposure
+//! computation itself, fast path vs literal graph definition.
+//!
+//! Paper-shape expectation: unexposed count grows with the blind
+//! fraction; the accessor-chain fast path beats the graph-minimality
+//! path by orders of magnitude at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::exposed::{exposed_vars, is_exposed_by_graph, unexposed_vars};
+use redo_theory::graph::NodeSet;
+use redo_workload::{Shape, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_exposed");
+
+    // Shape check: blind fraction drives unexposure. The mixed shape
+    // makes the first-uninstalled-accessor coin explicit: RMW accessors
+    // expose, blind accessors hide.
+    let mut last = 0usize;
+    for blind in [0.0, 0.5, 1.0] {
+        let h = WorkloadSpec {
+            n_ops: 400,
+            n_vars: 64,
+            blind_fraction: blind,
+            shape: Shape::MixedRmwBlind,
+            max_reads: 1,
+            max_writes: 1,
+            ..Default::default()
+        }
+        .generate(3);
+        let cg = ConflictGraph::generate(&h);
+        let installed = NodeSet::from_indices(h.len(), 0..h.len() / 2);
+        let unexposed = unexposed_vars(&cg, &installed).len();
+        println!("fig3 shape-check: blind={blind:.1} -> {unexposed} unexposed variables");
+        assert!(unexposed >= last, "unexposure should not shrink as blindness grows");
+        last = unexposed;
+    }
+
+    for n in [256usize, 1024, 4096] {
+        let h = WorkloadSpec {
+            n_ops: n,
+            n_vars: (n / 8).max(4) as u32,
+            blind_fraction: 0.5,
+            shape: Shape::Random,
+            ..Default::default()
+        }
+        .generate(4);
+        let cg = ConflictGraph::generate(&h);
+        let installed = NodeSet::from_indices(n, 0..n / 2);
+        group.bench_with_input(
+            BenchmarkId::new("exposed_vars_fast_path", n),
+            &(&cg, &installed),
+            |b, (cg, installed)| b.iter(|| exposed_vars(cg, installed)),
+        );
+        // The literal definition is far slower; bench it on the small
+        // size only so the comparison exists without dominating runtime.
+        if n == 256 {
+            group.bench_with_input(
+                BenchmarkId::new("exposed_vars_graph_definition", n),
+                &(&cg, &installed),
+                |b, (cg, installed)| {
+                    b.iter(|| {
+                        cg.vars()
+                            .filter(|&x| is_exposed_by_graph(cg, installed, x))
+                            .count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

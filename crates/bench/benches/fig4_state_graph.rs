@@ -1,0 +1,54 @@
+//! FIG4 — conflict state graphs and the states their prefixes determine.
+//!
+//! The figure shows the conflict state graph of O, P, Q and the system
+//! states determined by its prefixes. The scaled experiment measures
+//! state-graph construction and prefix-state queries as history length
+//! grows, for the figure's read-modify-write shape.
+//!
+//! Paper-shape expectation: construction is linear-ish in history
+//! length; a prefix-state query costs O(written variables), independent
+//! of which prefix is asked about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_theory::graph::NodeSet;
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+use redo_workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_state_graph");
+    for n in [256usize, 1024, 4096] {
+        let h = WorkloadSpec::physiological(n, (n / 8).max(4) as u32).generate(5);
+        group.bench_with_input(BenchmarkId::new("construct", n), &h, |b, h| {
+            b.iter(|| StateGraph::conflict_state_graph(h, &State::zeroed()))
+        });
+        let sg = StateGraph::conflict_state_graph(&h, &State::zeroed());
+        let prefixes: Vec<NodeSet> = (0..8)
+            .map(|i| NodeSet::from_indices(n, 0..(n * i / 8)))
+            .collect();
+        // Shape check (Lemma 2 for the benchmark instance): each prefix
+        // state matches direct re-execution.
+        let states = h.states(&State::zeroed());
+        for (i, p) in prefixes.iter().enumerate() {
+            assert_eq!(sg.state_determined_by(p), states[n * i / 8]);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("prefix_state_query", n),
+            &(&sg, &prefixes),
+            |b, (sg, prefixes)| {
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % prefixes.len();
+                    sg.state_determined_by(&prefixes[i])
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("final_state", n), &sg, |b, sg| {
+            b.iter(|| sg.final_state())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! FIG5 — the installation graph's extra freedom, quantified.
+//!
+//! The figure shows the installation state graph for O, P, Q with the
+//! dropped write-read edge admitting one additional recoverable state.
+//! The scaled experiment counts prefixes (legal installed sets) of the
+//! conflict graph vs the installation graph across workload shapes, and
+//! measures explainability testing — `explains` — which is the check a
+//! cache manager's install decision logically answers.
+//!
+//! Paper-shape expectation: the installation graph's prefix count is
+//! ≥ the conflict graph's, with the gap widest for write-read-heavy
+//! workloads and zero for blind workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::explain::explains;
+use redo_theory::graph::NodeSet;
+use redo_theory::installation::InstallationGraph;
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+use redo_workload::{Shape, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_installation");
+
+    // Shape check: prefix-count ratios per family on small instances.
+    for (name, shape, blind) in [
+        ("wr_heavy", Shape::WriteReadHeavy, 0.8),
+        ("random", Shape::Random, 0.3),
+        ("blind", Shape::Blind, 1.0),
+    ] {
+        let h = WorkloadSpec {
+            n_ops: 12,
+            n_vars: 6,
+            shape,
+            blind_fraction: blind,
+            max_reads: 1,
+            max_writes: 1,
+            ..Default::default()
+        }
+        .generate(6);
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let pc = cg.dag().count_prefixes(5_000_000).expect("small");
+        let pi = ig.count_prefixes(5_000_000).expect("small");
+        println!("fig5 shape-check [{name}]: conflict prefixes {pc}, installation prefixes {pi}");
+        assert!(pi >= pc);
+        if name == "blind" {
+            assert_eq!(pi, pc, "blind workloads shed no edges");
+        }
+    }
+
+    for n in [256usize, 1024, 4096] {
+        let h = WorkloadSpec {
+            n_ops: n,
+            n_vars: (n / 8).max(4) as u32,
+            shape: Shape::WriteReadHeavy,
+            blind_fraction: 0.8,
+            max_reads: 2,
+            max_writes: 1,
+            ..Default::default()
+        }
+        .generate(7);
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &State::zeroed());
+        let prefix = NodeSet::from_indices(n, 0..n / 2);
+        let state = sg.state_determined_by(&prefix);
+        assert!(explains(&cg, &sg, &prefix, &state));
+        group.bench_with_input(
+            BenchmarkId::new("is_prefix", n),
+            &(&ig, &prefix),
+            |b, (ig, prefix)| b.iter(|| ig.is_prefix(prefix)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explains", n),
+            &(&cg, &sg, &prefix, &state),
+            |b, (cg, sg, prefix, state)| b.iter(|| explains(cg, sg, prefix, state)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

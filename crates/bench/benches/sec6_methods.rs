@@ -1,0 +1,133 @@
+//! SEC6 — the four recovery methods under the crash harness.
+//!
+//! §6 claims each method maintains the recovery invariant while paying a
+//! different mix of costs: logical freezes the disk between checkpoints,
+//! physical logs values and replays everything, physiological and
+//! generalized pay LSN tests but skip installed work. The experiment
+//! measures end-to-end harness runs (execute + chaos flush + checkpoint
+//! + crash + recover) and reports the replay/skip mix per method.
+//!
+//! Paper-shape expectation: physical never skips; the LSN methods skip
+//! roughly in proportion to page-flush aggressiveness; all four recover
+//! every crash exactly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redo_methods::generalized::Generalized;
+use redo_methods::harness::{run, HarnessConfig};
+use redo_methods::logical::Logical;
+use redo_methods::physical::Physical;
+use redo_methods::physiological::Physiological;
+use redo_methods::RecoveryMethod;
+use redo_workload::pages::{PageOp, PageWorkloadSpec};
+
+fn cfg(audit: bool) -> HarnessConfig {
+    HarnessConfig {
+        checkpoint_every: Some(25),
+        crash_every: Some(40),
+        chaos: Some((0.8, 0.4)),
+        seed: 11,
+        audit,
+        slots_per_page: 8,
+        pool_capacity: None,
+    }
+}
+
+fn workload_for(name: &str, n: usize) -> Vec<PageOp> {
+    match name {
+        "physical" => PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 8,
+            blind_fraction: 1.0,
+            ..Default::default()
+        }
+        .generate(11),
+        "physiological" => {
+            PageWorkloadSpec { n_ops: n, n_pages: 8, ..Default::default() }.generate(11)
+        }
+        "generalized-multi" => PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 8,
+            cross_page_fraction: 0.3,
+            multi_page_fraction: 0.3,
+            blind_fraction: 0.1,
+            ..Default::default()
+        }
+        .generate(11),
+        _ => PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 8,
+            cross_page_fraction: 0.4,
+            blind_fraction: 0.1,
+            ..Default::default()
+        }
+        .generate(11),
+    }
+}
+
+/// Wrapper so the multi-page workload gets its own bench id without a
+/// second method type.
+#[derive(Clone, Copy, Debug, Default)]
+struct GeneralizedMulti;
+
+impl RecoveryMethod for GeneralizedMulti {
+    type Payload = <Generalized as RecoveryMethod>::Payload;
+    fn name(&self) -> &'static str {
+        "generalized-multi"
+    }
+    fn execute(
+        &self,
+        db: &mut redo_sim::db::Db<Self::Payload>,
+        op: &PageOp,
+    ) -> redo_sim::SimResult<redo_theory::log::Lsn> {
+        Generalized.execute(db, op)
+    }
+    fn checkpoint(&self, db: &mut redo_sim::db::Db<Self::Payload>) -> redo_sim::SimResult<()> {
+        Generalized.checkpoint(db)
+    }
+    fn recover(
+        &self,
+        db: &mut redo_sim::db::Db<Self::Payload>,
+    ) -> redo_sim::SimResult<crate_stats::RecoveryStats> {
+        Generalized.recover(db)
+    }
+}
+
+use redo_methods as crate_stats;
+
+fn bench_method<M: RecoveryMethod>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, method: &M, n: usize) {
+    let ops = workload_for(method.name(), n);
+    // Shape check + report once per (method, n).
+    let report = run(method, &ops, &cfg(false)).expect("harness clean");
+    println!(
+        "sec6 shape-check [{} n={n}]: replayed {}, skipped {}, crashes {}",
+        method.name(),
+        report.total_replayed,
+        report.total_skipped,
+        report.crashes
+    );
+    group.bench_with_input(BenchmarkId::new(method.name(), n), &ops, |b, ops| {
+        b.iter(|| run(method, ops, &cfg(false)).expect("harness clean"))
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec6_methods");
+    for n in [200usize, 800] {
+        bench_method(&mut group, &Logical, n);
+        bench_method(&mut group, &Physical, n);
+        bench_method(&mut group, &Physiological, n);
+        bench_method(&mut group, &Generalized, n);
+        bench_method(&mut group, &GeneralizedMulti, n);
+    }
+    // The audited variant (theory projection at every crash) at the
+    // small size only: quantifies the cost of continuous conformance
+    // checking.
+    let ops = workload_for("physiological", 200);
+    group.bench_function("physiological_with_invariant_audit/200", |b| {
+        b.iter(|| run(&Physiological, &ops, &cfg(true)).expect("harness clean"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

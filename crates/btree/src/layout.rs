@@ -1,0 +1,437 @@
+//! On-page layout of B+tree nodes.
+//!
+//! A node occupies one [`Page`] of `spp` 64-bit slots:
+//!
+//! ```text
+//! slot 0            header: [63] is_leaf, [62] initialized,
+//!                           [32..48) n_keys, [0..32) right sibling + 1
+//! slots 1 ..= K     keys (sorted)
+//! slots K+1 ..      leaf:   values (parallel to keys)
+//!                   internal: child page ids (n_keys + 1 of them)
+//! ```
+//!
+//! with `K = (spp − 2) / 2` keys maximum, which leaves room for `K + 1`
+//! children in internal nodes. The accessors here are pure functions on
+//! [`Page`]s; the tree logs *operations* and applies them through these
+//! helpers, so normal execution and redo replay share one code path.
+
+use redo_sim::page::Page;
+use redo_workload::pages::{PageId, SlotId};
+
+const LEAF_BIT: u64 = 1 << 63;
+const INIT_BIT: u64 = 1 << 62;
+
+/// Maximum keys per node for a page of `spp` slots.
+///
+/// # Panics
+///
+/// Panics if the page is too small to hold a node (needs ≥ 6 slots).
+#[must_use]
+pub fn max_keys(spp: u16) -> usize {
+    assert!(spp >= 6, "pages need at least 6 slots for a B+tree node");
+    ((spp as usize) - 2) / 2
+}
+
+fn header(page: &Page) -> u64 {
+    page.get(SlotId(0))
+}
+
+/// Has the page been formatted as a node?
+#[must_use]
+pub fn is_initialized(page: &Page) -> bool {
+    header(page) & INIT_BIT != 0
+}
+
+/// Is the node a leaf?
+#[must_use]
+pub fn is_leaf(page: &Page) -> bool {
+    header(page) & LEAF_BIT != 0
+}
+
+/// Number of keys in the node.
+#[must_use]
+pub fn n_keys(page: &Page) -> usize {
+    ((header(page) >> 32) & 0xffff) as usize
+}
+
+/// The right sibling of a leaf, if any.
+#[must_use]
+pub fn right_sibling(page: &Page) -> Option<PageId> {
+    let raw = header(page) & 0xffff_ffff;
+    (raw != 0).then(|| PageId((raw - 1) as u32))
+}
+
+fn set_header(page: &mut Page, leaf: bool, n: usize, right: Option<PageId>) {
+    let mut h = INIT_BIT;
+    if leaf {
+        h |= LEAF_BIT;
+    }
+    h |= ((n as u64) & 0xffff) << 32;
+    h |= right.map_or(0, |p| u64::from(p.0) + 1);
+    page.set(SlotId(0), h);
+}
+
+/// Sets the key count, preserving the other header fields.
+pub fn set_n_keys(page: &mut Page, n: usize) {
+    set_header(page, is_leaf(page), n, right_sibling(page));
+}
+
+/// Sets the right sibling, preserving the other header fields.
+pub fn set_right_sibling(page: &mut Page, right: Option<PageId>) {
+    set_header(page, is_leaf(page), n_keys(page), right);
+}
+
+/// Formats the page as an empty node.
+pub fn format(page: &mut Page, leaf: bool) {
+    for s in 0..page.slot_count() {
+        page.set(SlotId(s), 0);
+    }
+    set_header(page, leaf, 0, None);
+}
+
+/// The `i`-th key.
+#[must_use]
+pub fn key(page: &Page, i: usize) -> u64 {
+    page.get(SlotId(1 + i as u16))
+}
+
+/// Sets the `i`-th key.
+pub fn set_key(page: &mut Page, i: usize, k: u64) {
+    page.set(SlotId(1 + i as u16), k);
+}
+
+fn value_base(spp: u16) -> usize {
+    1 + max_keys(spp)
+}
+
+/// The `i`-th value (leaf) — parallel to the `i`-th key.
+#[must_use]
+pub fn value(page: &Page, spp: u16, i: usize) -> u64 {
+    page.get(SlotId((value_base(spp) + i) as u16))
+}
+
+/// Sets the `i`-th value.
+pub fn set_value(page: &mut Page, spp: u16, i: usize, v: u64) {
+    page.set(SlotId((value_base(spp) + i) as u16), v);
+}
+
+/// The `i`-th child page id (internal) — there are `n_keys + 1`.
+#[must_use]
+pub fn child(page: &Page, spp: u16, i: usize) -> PageId {
+    PageId(page.get(SlotId((value_base(spp) + i) as u16)) as u32)
+}
+
+/// Sets the `i`-th child page id.
+pub fn set_child(page: &mut Page, spp: u16, i: usize, c: PageId) {
+    page.set(SlotId((value_base(spp) + i) as u16), u64::from(c.0));
+}
+
+/// Binary search among the node's keys: `Ok(i)` exact, `Err(i)`
+/// insertion point.
+pub fn search(page: &Page, k: u64) -> Result<usize, usize> {
+    let n = n_keys(page);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match key(page, mid).cmp(&k) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Which child to descend into for key `k`: the child at the insertion
+/// point (keys ≤ separator go left; separators are the first keys of
+/// their right subtrees).
+#[must_use]
+pub fn descend_index(page: &Page, k: u64) -> usize {
+    match search(page, k) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Inserts `(k, v)` into a leaf at the right position, overwriting an
+/// existing key's value. Returns `false` (no growth) on overwrite.
+pub fn leaf_insert(page: &mut Page, spp: u16, k: u64, v: u64) -> bool {
+    match search(page, k) {
+        Ok(i) => {
+            set_value(page, spp, i, v);
+            false
+        }
+        Err(i) => {
+            let n = n_keys(page);
+            debug_assert!(n < max_keys(spp), "caller must split full leaves first");
+            let mut j = n;
+            while j > i {
+                set_key(page, j, key(page, j - 1));
+                set_value(page, spp, j, value(page, spp, j - 1));
+                j -= 1;
+            }
+            set_key(page, i, k);
+            set_value(page, spp, i, v);
+            set_n_keys(page, n + 1);
+            true
+        }
+    }
+}
+
+/// Removes `k` from a leaf, returning whether it was present.
+pub fn leaf_remove(page: &mut Page, spp: u16, k: u64) -> bool {
+    match search(page, k) {
+        Err(_) => false,
+        Ok(i) => {
+            let n = n_keys(page);
+            for j in i..n - 1 {
+                set_key(page, j, key(page, j + 1));
+                set_value(page, spp, j, value(page, spp, j + 1));
+            }
+            set_key(page, n - 1, 0);
+            set_value(page, spp, n - 1, 0);
+            set_n_keys(page, n - 1);
+            true
+        }
+    }
+}
+
+/// Inserts a separator and right child into an internal node (after its
+/// left sibling child, which must already be present).
+pub fn internal_insert(page: &mut Page, spp: u16, k: u64, right_child: PageId) {
+    let i = match search(page, k) {
+        Ok(i) => i,
+        Err(i) => i,
+    };
+    let n = n_keys(page);
+    debug_assert!(n < max_keys(spp), "caller must split full internal nodes first");
+    let mut j = n;
+    while j > i {
+        set_key(page, j, key(page, j - 1));
+        j -= 1;
+    }
+    // Children shift one further (n+1 children).
+    let mut j = n + 1;
+    while j > i + 1 {
+        let c = child(page, spp, j - 1);
+        set_child(page, spp, j, c);
+        j -= 1;
+    }
+    set_key(page, i, k);
+    set_child(page, spp, i + 1, right_child);
+    set_n_keys(page, n + 1);
+}
+
+/// How a full node splits: the index entries move from, and the
+/// separator key published to the parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// Entries `mid..` move to the new right node (for internal nodes
+    /// the key at `mid` itself moves *up*, not right).
+    pub mid: usize,
+    /// The separator inserted into the parent.
+    pub separator: u64,
+}
+
+/// Computes the deterministic split plan for a full node.
+#[must_use]
+pub fn split_plan(page: &Page) -> SplitPlan {
+    let n = n_keys(page);
+    let mid = n / 2;
+    SplitPlan { mid, separator: key(page, mid) }
+}
+
+/// Applies the "copy high half into `dst`" half of a split (the new
+/// page's initialization). Works for leaves and internal nodes; `dst`
+/// must be freshly formatted by the caller.
+pub fn split_copy_high(src: &Page, dst: &mut Page, spp: u16) {
+    let plan = split_plan(src);
+    let n = n_keys(src);
+    let leaf = is_leaf(src);
+    format(dst, leaf);
+    if leaf {
+        for (j, i) in (plan.mid..n).enumerate() {
+            set_key(dst, j, key(src, i));
+            set_value(dst, spp, j, value(src, spp, i));
+        }
+        set_n_keys(dst, n - plan.mid);
+        set_right_sibling(dst, right_sibling(src));
+    } else {
+        // Keys after mid move right; the mid key moves up.
+        for (j, i) in (plan.mid + 1..n).enumerate() {
+            set_key(dst, j, key(src, i));
+        }
+        for (j, i) in (plan.mid + 1..=n).enumerate() {
+            let c = child(src, spp, i);
+            set_child(dst, spp, j, c);
+        }
+        set_n_keys(dst, n - plan.mid - 1);
+    }
+}
+
+/// Applies the "truncate to the low half" half of a split to the old
+/// page, linking it to the new right sibling.
+pub fn split_truncate(page: &mut Page, spp: u16, new_right: PageId) {
+    let plan = split_plan(page);
+    let n = n_keys(page);
+    let leaf = is_leaf(page);
+    if leaf {
+        for i in plan.mid..n {
+            set_key(page, i, 0);
+            set_value(page, spp, i, 0);
+        }
+        set_n_keys(page, plan.mid);
+        set_right_sibling(page, Some(new_right));
+    } else {
+        for i in plan.mid..n {
+            set_key(page, i, 0);
+        }
+        for i in plan.mid + 1..=n {
+            set_child(page, spp, i, PageId(0));
+        }
+        set_n_keys(page, plan.mid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPP: u16 = 16; // max_keys = 7
+
+    fn leaf_with(keys: &[u64]) -> Page {
+        let mut p = Page::new(SPP);
+        format(&mut p, true);
+        for &k in keys {
+            leaf_insert(&mut p, SPP, k, k * 10);
+        }
+        p
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut p = Page::new(SPP);
+        format(&mut p, true);
+        assert!(is_initialized(&p));
+        assert!(is_leaf(&p));
+        assert_eq!(n_keys(&p), 0);
+        assert_eq!(right_sibling(&p), None);
+        set_right_sibling(&mut p, Some(PageId(0)));
+        assert_eq!(right_sibling(&p), Some(PageId(0)));
+        set_n_keys(&mut p, 3);
+        assert_eq!(n_keys(&p), 3);
+        assert_eq!(right_sibling(&p), Some(PageId(0)));
+        assert!(is_leaf(&p));
+    }
+
+    #[test]
+    fn fresh_page_is_uninitialized() {
+        let p = Page::new(SPP);
+        assert!(!is_initialized(&p));
+    }
+
+    #[test]
+    fn leaf_insert_keeps_sorted_order() {
+        let p = leaf_with(&[5, 1, 3, 2, 4]);
+        assert_eq!(n_keys(&p), 5);
+        for i in 0..5 {
+            assert_eq!(key(&p, i), (i + 1) as u64);
+            assert_eq!(value(&p, SPP, i), (i + 1) as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn leaf_insert_overwrites_duplicates() {
+        let mut p = leaf_with(&[1, 2]);
+        assert!(!leaf_insert(&mut p, SPP, 2, 999));
+        assert_eq!(n_keys(&p), 2);
+        assert_eq!(value(&p, SPP, 1), 999);
+    }
+
+    #[test]
+    fn leaf_remove_shifts_entries() {
+        let mut p = leaf_with(&[1, 2, 3]);
+        assert!(leaf_remove(&mut p, SPP, 2));
+        assert!(!leaf_remove(&mut p, SPP, 2));
+        assert_eq!(n_keys(&p), 2);
+        assert_eq!(key(&p, 0), 1);
+        assert_eq!(key(&p, 1), 3);
+        assert_eq!(value(&p, SPP, 1), 30);
+    }
+
+    #[test]
+    fn search_and_descend() {
+        let p = leaf_with(&[10, 20, 30]);
+        assert_eq!(search(&p, 20), Ok(1));
+        assert_eq!(search(&p, 15), Err(1));
+        assert_eq!(search(&p, 5), Err(0));
+        assert_eq!(search(&p, 35), Err(3));
+        // Descend: equal keys go right of the separator.
+        assert_eq!(descend_index(&p, 20), 2);
+        assert_eq!(descend_index(&p, 15), 1);
+    }
+
+    #[test]
+    fn internal_insert_places_children() {
+        let mut p = Page::new(SPP);
+        format(&mut p, false);
+        set_child(&mut p, SPP, 0, PageId(100));
+        internal_insert(&mut p, SPP, 50, PageId(101));
+        internal_insert(&mut p, SPP, 30, PageId(102));
+        internal_insert(&mut p, SPP, 70, PageId(103));
+        assert_eq!(n_keys(&p), 3);
+        assert_eq!(key(&p, 0), 30);
+        assert_eq!(key(&p, 1), 50);
+        assert_eq!(key(&p, 2), 70);
+        assert_eq!(child(&p, SPP, 0), PageId(100));
+        assert_eq!(child(&p, SPP, 1), PageId(102));
+        assert_eq!(child(&p, SPP, 2), PageId(101));
+        assert_eq!(child(&p, SPP, 3), PageId(103));
+    }
+
+    #[test]
+    fn leaf_split_halves() {
+        let src0 = leaf_with(&[1, 2, 3, 4, 5, 6, 7]);
+        let mut src = src0.clone();
+        let mut dst = Page::new(SPP);
+        let plan = split_plan(&src);
+        assert_eq!(plan, SplitPlan { mid: 3, separator: 4 });
+        split_copy_high(&src, &mut dst, SPP);
+        split_truncate(&mut src, SPP, PageId(9));
+        assert_eq!(n_keys(&src), 3);
+        assert_eq!(n_keys(&dst), 4);
+        assert_eq!(key(&dst, 0), 4);
+        assert_eq!(value(&dst, SPP, 0), 40);
+        assert_eq!(right_sibling(&src), Some(PageId(9)));
+        assert_eq!(right_sibling(&dst), None);
+    }
+
+    #[test]
+    fn internal_split_pushes_mid_up() {
+        let mut p = Page::new(SPP);
+        format(&mut p, false);
+        set_child(&mut p, SPP, 0, PageId(200));
+        for (i, k) in [10u64, 20, 30, 40, 50].iter().enumerate() {
+            internal_insert(&mut p, SPP, *k, PageId(201 + i as u32));
+        }
+        let plan = split_plan(&p);
+        assert_eq!(plan.separator, 30);
+        let mut right = Page::new(SPP);
+        split_copy_high(&p, &mut right, SPP);
+        split_truncate(&mut p, SPP, PageId(99));
+        // Left keeps 10, 20; right gets 40, 50; 30 moves up.
+        assert_eq!(n_keys(&p), 2);
+        assert_eq!(n_keys(&right), 2);
+        assert_eq!(key(&right, 0), 40);
+        assert_eq!(child(&right, SPP, 0), PageId(203)); // child right of 30
+        assert_eq!(child(&right, SPP, 2), PageId(205));
+    }
+
+    #[test]
+    fn max_keys_geometry() {
+        assert_eq!(max_keys(16), 7);
+        assert_eq!(max_keys(64), 31);
+        assert_eq!(max_keys(6), 2);
+    }
+}

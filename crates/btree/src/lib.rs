@@ -1,0 +1,41 @@
+//! # redo-btree
+//!
+//! A crash-recoverable paged B+tree over the `redo-sim` substrate,
+//! reproducing §6.4's headline application: logging a node split as a
+//! *generalized* operation — "read the old full page `x`, write a new
+//! page `y` with half its contents" — instead of physically logging the
+//! moved half.
+//!
+//! Two [`SplitStrategy`]s are provided:
+//!
+//! * [`SplitStrategy::Physiological`] — the conventional approach: the
+//!   new page's initial contents are written into the log as a physical
+//!   page image (every physiological record touches exactly one page, so
+//!   the moved keys *must* travel through the log);
+//! * [`SplitStrategy::Generalized`] — §6.4: a
+//!   [`BtPayload::SplitCopyHigh`] record reads the old page and writes
+//!   the new one; the only thing logged is the pair of page ids. The
+//!   cache manager must then flush the new page before any later
+//!   overwrite of the old page (Figure 8's write-graph edge), which the
+//!   tree registers as a buffer-pool
+//!   [constraint](redo_sim::cache::Constraint).
+//!
+//! Recovery is LSN-based for both strategies: each page is tagged with
+//! the LSN of its last update; a record replays iff its target page's
+//! LSN is older.
+//!
+//! The tree is a textbook B+tree (values at leaves, separator keys
+//! duplicated upward, preemptive splitting on descent, right-sibling
+//! links for range scans). Deletion removes keys from leaves without
+//! rebalancing — the standard simplification for recovery studies, since
+//! structure-modification logging is what §6.4 is about.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layout;
+pub mod payload;
+pub mod tree;
+
+pub use payload::BtPayload;
+pub use tree::{BTree, SplitStrategy};

@@ -1,0 +1,290 @@
+//! Log records of the recoverable B+tree.
+//!
+//! Each record names the single page it *writes* (the LSN-test target)
+//! and carries just enough to re-execute the logical action
+//! deterministically. The two split styles differ in exactly one record:
+//!
+//! * physiological: [`BtPayload::PageImage`] carries the new node's full
+//!   contents (the moved half travels through the log);
+//! * generalized: [`BtPayload::SplitCopyHigh`] carries two page ids (the
+//!   moved half is *read from the old page* at replay time).
+
+use redo_sim::wal::{codec, LogPayload};
+use redo_sim::{SimError, SimResult};
+use redo_workload::pages::PageId;
+
+/// A B+tree log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BtPayload {
+    /// Format `page` as an empty leaf (blind).
+    InitLeaf {
+        /// The page to format.
+        page: PageId,
+    },
+    /// Format `page` as a one-separator internal root (blind) — the
+    /// upper half of a root split.
+    InitRoot {
+        /// The new root page.
+        page: PageId,
+        /// The separator between the two children.
+        separator: u64,
+        /// Left child (the old root).
+        left: PageId,
+        /// Right child (the new sibling).
+        right: PageId,
+    },
+    /// Insert `(key, value)` into leaf `page` (reads and writes `page`).
+    Insert {
+        /// Target leaf.
+        page: PageId,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Remove `key` from leaf `page`.
+    Remove {
+        /// Target leaf.
+        page: PageId,
+        /// Key.
+        key: u64,
+    },
+    /// Insert a separator and right child into internal node `page`.
+    InsertInternal {
+        /// Target internal node.
+        page: PageId,
+        /// Separator key.
+        separator: u64,
+        /// The child to the separator's right.
+        right_child: PageId,
+    },
+    /// Blind-write a full page image (the physiological split's way of
+    /// initializing the new node).
+    PageImage {
+        /// Target page.
+        page: PageId,
+        /// The complete slot contents.
+        slots: Vec<u64>,
+    },
+    /// §6.4's generalized split record: read page `from`, write page
+    /// `to` with the upper half of `from`'s entries.
+    SplitCopyHigh {
+        /// The overfull page being split (read only).
+        from: PageId,
+        /// The freshly allocated page (written).
+        to: PageId,
+    },
+    /// Remove the moved half from the old page and link its new right
+    /// sibling (reads and writes `page`).
+    SplitTruncate {
+        /// The page being truncated.
+        page: PageId,
+        /// Its new right sibling (leaf links; ignored for internal
+        /// nodes).
+        new_right: PageId,
+    },
+    /// Blind-write the meta page: current root and next free page.
+    MetaSet {
+        /// Root page id.
+        root: PageId,
+        /// Next unallocated page id.
+        next_free: u32,
+    },
+    /// Checkpoint marker.
+    Checkpoint,
+}
+
+impl BtPayload {
+    /// The page this record writes — the redo test's target.
+    /// `None` for checkpoint markers.
+    #[must_use]
+    pub fn target(&self) -> Option<PageId> {
+        match self {
+            BtPayload::InitLeaf { page }
+            | BtPayload::InitRoot { page, .. }
+            | BtPayload::Insert { page, .. }
+            | BtPayload::Remove { page, .. }
+            | BtPayload::InsertInternal { page, .. }
+            | BtPayload::PageImage { page, .. }
+            | BtPayload::SplitTruncate { page, .. } => Some(*page),
+            BtPayload::SplitCopyHigh { to, .. } => Some(*to),
+            BtPayload::MetaSet { .. } => Some(PageId(0)),
+            BtPayload::Checkpoint => None,
+        }
+    }
+}
+
+impl LogPayload for BtPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            BtPayload::InitLeaf { page } => {
+                codec::put_u8(buf, 0);
+                codec::put_u32(buf, page.0);
+            }
+            BtPayload::InitRoot { page, separator, left, right } => {
+                codec::put_u8(buf, 1);
+                codec::put_u32(buf, page.0);
+                codec::put_u64(buf, *separator);
+                codec::put_u32(buf, left.0);
+                codec::put_u32(buf, right.0);
+            }
+            BtPayload::Insert { page, key, value } => {
+                codec::put_u8(buf, 2);
+                codec::put_u32(buf, page.0);
+                codec::put_u64(buf, *key);
+                codec::put_u64(buf, *value);
+            }
+            BtPayload::Remove { page, key } => {
+                codec::put_u8(buf, 3);
+                codec::put_u32(buf, page.0);
+                codec::put_u64(buf, *key);
+            }
+            BtPayload::InsertInternal { page, separator, right_child } => {
+                codec::put_u8(buf, 4);
+                codec::put_u32(buf, page.0);
+                codec::put_u64(buf, *separator);
+                codec::put_u32(buf, right_child.0);
+            }
+            BtPayload::PageImage { page, slots } => {
+                codec::put_u8(buf, 5);
+                codec::put_u32(buf, page.0);
+                codec::put_u16(buf, slots.len() as u16);
+                for &s in slots {
+                    codec::put_u64(buf, s);
+                }
+            }
+            BtPayload::SplitCopyHigh { from, to } => {
+                codec::put_u8(buf, 6);
+                codec::put_u32(buf, from.0);
+                codec::put_u32(buf, to.0);
+            }
+            BtPayload::SplitTruncate { page, new_right } => {
+                codec::put_u8(buf, 7);
+                codec::put_u32(buf, page.0);
+                codec::put_u32(buf, new_right.0);
+            }
+            BtPayload::MetaSet { root, next_free } => {
+                codec::put_u8(buf, 8);
+                codec::put_u32(buf, root.0);
+                codec::put_u32(buf, *next_free);
+            }
+            BtPayload::Checkpoint => codec::put_u8(buf, 9),
+        }
+    }
+
+    fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
+        Ok(match codec::get_u8(input, pos)? {
+            0 => BtPayload::InitLeaf { page: PageId(codec::get_u32(input, pos)?) },
+            1 => BtPayload::InitRoot {
+                page: PageId(codec::get_u32(input, pos)?),
+                separator: codec::get_u64(input, pos)?,
+                left: PageId(codec::get_u32(input, pos)?),
+                right: PageId(codec::get_u32(input, pos)?),
+            },
+            2 => BtPayload::Insert {
+                page: PageId(codec::get_u32(input, pos)?),
+                key: codec::get_u64(input, pos)?,
+                value: codec::get_u64(input, pos)?,
+            },
+            3 => BtPayload::Remove {
+                page: PageId(codec::get_u32(input, pos)?),
+                key: codec::get_u64(input, pos)?,
+            },
+            4 => BtPayload::InsertInternal {
+                page: PageId(codec::get_u32(input, pos)?),
+                separator: codec::get_u64(input, pos)?,
+                right_child: PageId(codec::get_u32(input, pos)?),
+            },
+            5 => {
+                let page = PageId(codec::get_u32(input, pos)?);
+                let n = codec::get_u16(input, pos)? as usize;
+                let mut slots = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    slots.push(codec::get_u64(input, pos)?);
+                }
+                BtPayload::PageImage { page, slots }
+            }
+            6 => BtPayload::SplitCopyHigh {
+                from: PageId(codec::get_u32(input, pos)?),
+                to: PageId(codec::get_u32(input, pos)?),
+            },
+            7 => BtPayload::SplitTruncate {
+                page: PageId(codec::get_u32(input, pos)?),
+                new_right: PageId(codec::get_u32(input, pos)?),
+            },
+            8 => BtPayload::MetaSet {
+                root: PageId(codec::get_u32(input, pos)?),
+                next_free: codec::get_u32(input, pos)?,
+            },
+            9 => BtPayload::Checkpoint,
+            _ => return Err(SimError::Corrupt(*pos - 1)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<BtPayload> {
+        vec![
+            BtPayload::InitLeaf { page: PageId(1) },
+            BtPayload::InitRoot {
+                page: PageId(2),
+                separator: 50,
+                left: PageId(1),
+                right: PageId(3),
+            },
+            BtPayload::Insert { page: PageId(1), key: 42, value: 420 },
+            BtPayload::Remove { page: PageId(1), key: 42 },
+            BtPayload::InsertInternal { page: PageId(2), separator: 9, right_child: PageId(4) },
+            BtPayload::PageImage { page: PageId(3), slots: vec![1, 2, 3] },
+            BtPayload::SplitCopyHigh { from: PageId(1), to: PageId(3) },
+            BtPayload::SplitTruncate { page: PageId(1), new_right: PageId(3) },
+            BtPayload::MetaSet { root: PageId(2), next_free: 5 },
+            BtPayload::Checkpoint,
+        ]
+    }
+
+    #[test]
+    fn codec_roundtrip_every_variant() {
+        for p in all_variants() {
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let mut pos = 0;
+            assert_eq!(BtPayload::decode(&buf, &mut pos).unwrap(), p);
+            assert_eq!(pos, buf.len(), "{p:?} decoded short");
+        }
+    }
+
+    #[test]
+    fn targets() {
+        assert_eq!(BtPayload::InitLeaf { page: PageId(7) }.target(), Some(PageId(7)));
+        assert_eq!(
+            BtPayload::SplitCopyHigh { from: PageId(1), to: PageId(3) }.target(),
+            Some(PageId(3)),
+            "the split-copy record writes the NEW page"
+        );
+        assert_eq!(
+            BtPayload::MetaSet { root: PageId(2), next_free: 4 }.target(),
+            Some(PageId(0))
+        );
+        assert_eq!(BtPayload::Checkpoint.target(), None);
+    }
+
+    #[test]
+    fn bad_tag_is_corrupt() {
+        let buf = [42u8];
+        let mut pos = 0;
+        assert!(matches!(BtPayload::decode(&buf, &mut pos), Err(SimError::Corrupt(0))));
+    }
+
+    #[test]
+    fn generalized_split_record_is_tiny() {
+        let mut gen_buf = Vec::new();
+        BtPayload::SplitCopyHigh { from: PageId(1), to: PageId(2) }.encode(&mut gen_buf);
+        let mut img_buf = Vec::new();
+        BtPayload::PageImage { page: PageId(2), slots: vec![0; 64] }.encode(&mut img_buf);
+        assert!(gen_buf.len() * 10 < img_buf.len(), "{} vs {}", gen_buf.len(), img_buf.len());
+    }
+}

@@ -1,0 +1,165 @@
+//! §7's "beyond the theory" cases, found automatically.
+//!
+//! The paper closes with: *"There have been interesting examples in
+//! which operations can be replayed even when they are not applicable
+//! and write different values during recovery. The key is that these
+//! writes are to the unexposed portion of the state, and hence the
+//! values written are irrelevant."*
+//!
+//! This module searches small histories for exactly those witnesses: a
+//! crash state `S` and a replay subset `U` such that
+//!
+//! * replaying `U` in conflict order from `S` reaches the final state
+//!   (recovery *succeeds*), yet
+//! * some replayed operation was **not applicable** — it read values
+//!   different from the original execution and therefore wrote
+//!   different values, which were later blotted out by blind writes.
+//!
+//! Finding such witnesses on ordinary workloads confirms the paper's
+//! closing remark constructively; their *absence* under the strict
+//! replay discipline confirms that the main theory never relies on
+//! them.
+
+use redo_theory::graph::NodeSet;
+use redo_theory::history::History;
+use redo_theory::replay::{is_applicable, replay_blind};
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+
+use crate::cuts::for_each_cut_state;
+
+/// A constructive witness for §7's remark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BeyondWitness {
+    /// The crash state recovery started from.
+    pub state: State,
+    /// The subset replayed (in conflict order).
+    pub replayed: Vec<usize>,
+    /// The replayed operations that were *not* applicable when their
+    /// turn came, yet recovery still succeeded.
+    pub inapplicable: Vec<usize>,
+}
+
+/// Searches every (cut state × replay subset) pair of a small history
+/// for beyond-the-theory successes. Returns all witnesses found (empty
+/// when the history offers none), visiting at most `state_limit` states.
+#[must_use]
+pub fn find_beyond_witnesses(
+    history: &History,
+    state_limit: usize,
+) -> Vec<BeyondWitness> {
+    let n = history.len();
+    assert!(n <= 12, "exponential search; history too large ({n} ops)");
+    let s0 = State::zeroed();
+    let sg = StateGraph::conflict_state_graph(history, &s0);
+    let final_state = sg.final_state();
+    let mut witnesses = Vec::new();
+    for_each_cut_state(history, &s0, true, state_limit, |state| {
+        for mask in 0..(1u64 << n) {
+            let subset = NodeSet::from_indices(n, (0..n).filter(|i| mask >> i & 1 == 1));
+            // Blind replay (real recoveries do not check applicability):
+            // track which replayed ops were inapplicable.
+            let mut cur = state.clone();
+            let mut inapplicable = Vec::new();
+            for op in history.iter() {
+                if subset.contains(op.id().index()) {
+                    if !is_applicable(&sg, op, &cur) {
+                        inapplicable.push(op.id().index());
+                    }
+                    op.apply(&mut cur);
+                }
+            }
+            if cur == final_state && !inapplicable.is_empty() {
+                debug_assert_eq!(replay_blind(history, &subset, state), final_state);
+                witnesses.push(BeyondWitness {
+                    state: state.clone(),
+                    replayed: subset.iter().collect(),
+                    inapplicable,
+                });
+            }
+        }
+    });
+    witnesses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_theory::expr::Expr;
+    use redo_theory::op::{OpId, Operation};
+    use redo_theory::state::Var;
+
+    /// The canonical shape: K reads x and writes y; L blindly overwrites
+    /// y. From a state with a corrupted x, replaying K writes a wrong y
+    /// — which L then blots out. Recovery succeeds although K was
+    /// inapplicable.
+    fn canonical() -> History {
+        let x = Var(0);
+        let y = Var(1);
+        let k = Operation::builder(OpId(0))
+            .assign(y, Expr::read(x).add(Expr::constant(1)))
+            .build()
+            .unwrap();
+        let l = Operation::builder(OpId(1)).assign(y, Expr::constant(7)).build().unwrap();
+        // A final blind writer of x restores x itself.
+        let m = Operation::builder(OpId(2)).assign(x, Expr::constant(3)).build().unwrap();
+        History::new(vec![k, l, m]).unwrap()
+    }
+
+    #[test]
+    fn canonical_history_has_witnesses() {
+        let ws = find_beyond_witnesses(&canonical(), 10_000);
+        assert!(!ws.is_empty(), "§7's remark should be constructively confirmed");
+        // Every witness's inapplicable op must be K (the only reader).
+        for w in &ws {
+            assert!(w.inapplicable.iter().all(|&i| i == 0), "{w:?}");
+            assert!(w.replayed.contains(&0));
+        }
+    }
+
+    #[test]
+    fn witness_really_is_beyond_strict_theory() {
+        // Strict replay (applicability-checked) REJECTS the witness's
+        // replay: the theory's replay discipline never exploits it.
+        let h = canonical();
+        let sg = StateGraph::conflict_state_graph(&h, &State::zeroed());
+        let ws = find_beyond_witnesses(&h, 10_000);
+        let w = &ws[0];
+        let installed = NodeSet::from_indices(
+            h.len(),
+            (0..h.len()).filter(|i| !w.replayed.contains(i)),
+        );
+        assert!(redo_theory::replay::replay_uninstalled(&h, &sg, &installed, &w.state).is_err());
+    }
+
+    #[test]
+    fn blind_histories_have_no_inapplicable_replays() {
+        // Blind operations are always applicable, so no witness exists.
+        use redo_workload::WorkloadSpec;
+        for seed in 0..3 {
+            let h = WorkloadSpec::physical(5, 3).generate(seed);
+            assert!(find_beyond_witnesses(&h, 10_000).is_empty());
+        }
+    }
+
+    #[test]
+    fn witnesses_exist_on_random_workloads_with_blind_tails() {
+        // Random workloads with a healthy blind-write fraction regularly
+        // produce §7 situations.
+        use redo_workload::WorkloadSpec;
+        let mut found = 0usize;
+        for seed in 0..10 {
+            let h = WorkloadSpec {
+                n_ops: 5,
+                n_vars: 3,
+                blind_fraction: 0.6,
+                max_reads: 1,
+                max_writes: 1,
+                ..Default::default()
+            }
+            .generate(seed);
+            found += usize::from(!find_beyond_witnesses(&h, 20_000).is_empty());
+        }
+        assert!(found > 0, "expected at least one seed to exhibit §7 behaviour");
+    }
+}

@@ -1,0 +1,331 @@
+//! Exhaustive validation of the paper's main results on small histories.
+//!
+//! For a given history the checker decides recoverability *by brute
+//! force* — trying every replay subset against every candidate crash
+//! state — and confirms that the paper's characterization (explainability
+//! by an installation-graph prefix) matches exactly, in both directions.
+
+use std::fmt;
+
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::explain::{explains, find_explaining_prefix};
+use redo_theory::exposed::is_exposed;
+use redo_theory::graph::NodeSet;
+use redo_theory::history::History;
+use redo_theory::installation::InstallationGraph;
+use redo_theory::log::Log;
+use redo_theory::recovery::{analyze_noop, recover_checked};
+use redo_theory::replay::replay_uninstalled;
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+
+use crate::cuts::{for_each_cut_state, GARBAGE};
+
+/// What the exhaustive check verified.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Installation-graph prefixes checked under Theorem 3.
+    pub prefixes_checked: usize,
+    /// Candidate crash states enumerated.
+    pub states_checked: usize,
+    /// States found explainable (and hence recoverable).
+    pub explainable: usize,
+    /// States found unexplainable (and hence unrecoverable by any
+    /// subset).
+    pub unexplainable: usize,
+    /// (state, subset) pairs whose strict replay succeeded; each was
+    /// validated against the converse theorem.
+    pub successful_replays: usize,
+    /// Corollary 4 recovery-procedure runs executed.
+    pub recovery_runs: usize,
+}
+
+/// A violation of one of the paper's results — finding one of these
+/// would falsify the reproduction (or reveal a checker bug).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Counterexample {
+    /// Theorem 3 failed: an explained state did not replay to the final
+    /// state.
+    Theorem3 {
+        /// The explaining prefix.
+        prefix: Vec<usize>,
+        /// Rendered reason.
+        detail: String,
+    },
+    /// The converse failed: a state with a successful strict replay
+    /// that no installation-graph prefix explains.
+    Converse {
+        /// The replayed subset that succeeded.
+        replayed: Vec<usize>,
+    },
+    /// An explainable state had no successful replay at all.
+    ExplainableButUnrecoverable {
+        /// The explaining prefix.
+        prefix: Vec<usize>,
+    },
+    /// Corollary 4 failed: the recovery procedure violated its invariant
+    /// or ended in the wrong state.
+    Corollary4 {
+        /// Rendered reason.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Counterexample::Theorem3 { prefix, detail } => {
+                write!(f, "Theorem 3 violated for prefix {prefix:?}: {detail}")
+            }
+            Counterexample::Converse { replayed } => write!(
+                f,
+                "converse violated: replaying {replayed:?} succeeded from a state no installation prefix explains"
+            ),
+            Counterexample::ExplainableButUnrecoverable { prefix } => write!(
+                f,
+                "state explained by {prefix:?} has no successful replay"
+            ),
+            Counterexample::Corollary4 { detail } => {
+                write!(f, "Corollary 4 violated: {detail}")
+            }
+        }
+    }
+}
+
+fn set_to_vec(s: &NodeSet) -> Vec<usize> {
+    s.iter().collect()
+}
+
+/// Exhaustively checks Theorem 3, its converse, and Corollary 4 on
+/// `history` from the all-zero initial state.
+///
+/// Caps: at most `prefix_limit` installation prefixes and `state_limit`
+/// cut states are enumerated (pass generous limits for ≤ 6-operation
+/// histories).
+///
+/// # Errors
+///
+/// The first [`Counterexample`] found.
+pub fn check_history(
+    history: &History,
+    prefix_limit: usize,
+    state_limit: usize,
+) -> Result<CheckReport, Counterexample> {
+    let n = history.len();
+    assert!(n <= 16, "exhaustive checking is exponential; history too large ({n} ops)");
+    let s0 = State::zeroed();
+    let cg = ConflictGraph::generate(history);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(history, &cg, &s0);
+    let log = Log::from_history(history);
+    let final_state = sg.final_state();
+    let mut report = CheckReport::default();
+
+    // --- Theorem 3 over every installation prefix, with and without
+    // garbage planted in unexposed variables. ---
+    let mut t3_failure: Option<Counterexample> = None;
+    ig.dag().for_each_prefix(prefix_limit, |prefix| {
+        if t3_failure.is_some() {
+            return;
+        }
+        report.prefixes_checked += 1;
+        let mut state = sg.state_determined_by(prefix);
+        for garbage in [false, true] {
+            if garbage {
+                for x in cg.vars().collect::<Vec<_>>() {
+                    if !is_exposed(&cg, prefix, x) {
+                        state.set(x, GARBAGE);
+                    }
+                }
+            }
+            if !explains(&cg, &sg, prefix, &state) {
+                t3_failure = Some(Counterexample::Theorem3 {
+                    prefix: set_to_vec(prefix),
+                    detail: "prefix fails to explain its own determined state".into(),
+                });
+                return;
+            }
+            match replay_uninstalled(history, &sg, prefix, &state) {
+                Ok(s) if s == final_state => {}
+                Ok(_) => {
+                    t3_failure = Some(Counterexample::Theorem3 {
+                        prefix: set_to_vec(prefix),
+                        detail: "replay terminated in a non-final state".into(),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    t3_failure = Some(Counterexample::Theorem3 {
+                        prefix: set_to_vec(prefix),
+                        detail: format!("replay not applicable: {e}"),
+                    });
+                    return;
+                }
+            }
+            // Corollary 4: drive the abstract recovery procedure with
+            // the redo test "replay iff outside the prefix" and verify
+            // the invariant at every iteration.
+            let prefix_owned = prefix.clone();
+            match recover_checked(
+                history,
+                &cg,
+                &ig,
+                &sg,
+                &state,
+                &log,
+                &NodeSet::new(n),
+                analyze_noop,
+                move |op, _, _, _| !prefix_owned.contains(op.id().index()),
+            ) {
+                Ok(out) if out.state == final_state => report.recovery_runs += 1,
+                Ok(_) => {
+                    t3_failure = Some(Counterexample::Corollary4 {
+                        detail: "procedure ended in a non-final state".into(),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    t3_failure = Some(Counterexample::Corollary4 { detail: e.to_string() });
+                    return;
+                }
+            }
+        }
+    });
+    if let Some(c) = t3_failure {
+        return Err(c);
+    }
+
+    // --- Converse over every cut state and every replay subset. ---
+    let mut conv_failure: Option<Counterexample> = None;
+    for_each_cut_state(history, &s0, true, state_limit, |state| {
+        if conv_failure.is_some() {
+            return;
+        }
+        report.states_checked += 1;
+        let explaining = find_explaining_prefix(&cg, &ig, &sg, state, prefix_limit);
+        let mut any_success = false;
+        for mask in 0..(1u64 << n) {
+            let replayed = NodeSet::from_indices(n, (0..n).filter(|i| mask >> i & 1 == 1));
+            let installed = replayed.complement();
+            let ok = matches!(
+                replay_uninstalled(history, &sg, &installed, state),
+                Ok(ref s) if *s == final_state
+            );
+            if ok {
+                any_success = true;
+                report.successful_replays += 1;
+                // Second main result, state-level form: a strictly
+                // recoverable state must be explainable by SOME
+                // installation prefix. (The per-subset form — that the
+                // bypassed set itself is an explaining prefix — is
+                // deliberately NOT asserted: this checker found it
+                // false. Replaying a mid-chain blind writer's
+                // neighbours can succeed because a later blind write
+                // overwrites the skipped value; the bypassed set is
+                // then not downward-closed. This is exactly why the
+                // paper's earlier VLDB'95 formulation also removed
+                // certain write-write edges, and why §1.3 can call the
+                // two definitions equivalent: the *explainable states*
+                // coincide even though the prefix families differ.)
+                if explaining.is_none() {
+                    conv_failure =
+                        Some(Counterexample::Converse { replayed: set_to_vec(&replayed) });
+                    return;
+                }
+            }
+        }
+        match (&explaining, any_success) {
+            (Some(p), false) => {
+                conv_failure = Some(Counterexample::ExplainableButUnrecoverable {
+                    prefix: set_to_vec(p),
+                });
+            }
+            (Some(_), true) => report.explainable += 1,
+            (None, _) => report.unexplainable += 1,
+            // Note: (None, true) cannot be flagged as a failure here —
+            // it is caught above, since a successful replay forces the
+            // complement to be an explaining prefix, contradicting
+            // `explaining == None`.
+        }
+    });
+    if let Some(c) = conv_failure {
+        return Err(c);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_theory::history::examples::{efg, figure4, hj, scenario1, scenario2, scenario3};
+    use redo_workload::{Shape, WorkloadSpec};
+
+    #[test]
+    fn paper_examples_check_clean() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+            let report = check_history(&h, 10_000, 10_000).unwrap_or_else(|c| {
+                panic!("counterexample on {h:?}: {c}");
+            });
+            assert!(report.prefixes_checked > 0);
+            assert!(report.states_checked > 0);
+        }
+    }
+
+    #[test]
+    fn scenario1_has_unexplainable_states() {
+        let report = check_history(&scenario1(), 10_000, 10_000).unwrap();
+        assert!(report.unexplainable > 0, "{report:?}");
+    }
+
+    #[test]
+    fn random_small_workloads_check_clean() {
+        for seed in 0..8 {
+            let h = WorkloadSpec {
+                n_ops: 5,
+                n_vars: 3,
+                max_reads: 2,
+                max_writes: 2,
+                blind_fraction: 0.4,
+                skew: 0.0,
+                shape: Shape::Random,
+            }
+            .generate(seed);
+            check_history(&h, 100_000, 100_000).unwrap_or_else(|c| {
+                panic!("counterexample on seed {seed}: {c}\nhistory: {h:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn write_read_heavy_workloads_check_clean() {
+        for seed in 0..6 {
+            let h = WorkloadSpec {
+                n_ops: 5,
+                n_vars: 3,
+                max_reads: 1,
+                max_writes: 1,
+                blind_fraction: 0.5,
+                skew: 0.0,
+                shape: Shape::WriteReadHeavy,
+            }
+            .generate(seed);
+            check_history(&h, 100_000, 100_000)
+                .unwrap_or_else(|c| panic!("seed {seed}: {c}\nhistory: {h:?}"));
+        }
+    }
+
+    #[test]
+    fn blind_workloads_every_cut_is_recoverable() {
+        // Physical regime: every per-variable cut is explainable (the
+        // pending blind writes make stale variables unexposed).
+        for seed in 0..4 {
+            let h = WorkloadSpec::physical(5, 3).generate(seed);
+            let report = check_history(&h, 100_000, 100_000).unwrap();
+            // GARBAGE states may still be unexplainable when a variable
+            // is never rewritten; but all non-garbage cuts must be
+            // explainable. Cheap proxy: at least one state per cut is
+            // explainable and Theorem 3 held throughout.
+            assert!(report.explainable > 0);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Random legal write-graph walks (Corollary 5 fuzzing).
+//!
+//! Starting from the installation state graph, apply random *legal*
+//! write-graph operations — install, add edge, collapse, remove write —
+//! and assert after every successful step that the installed operations
+//! still form an installation-graph prefix explaining the installed
+//! state. Illegal attempts must be rejected by the write graph's own
+//! precondition checks (never by corrupting state), which the walk also
+//! verifies by checking Corollary 5 even after rejected attempts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::history::History;
+use redo_theory::installation::InstallationGraph;
+use redo_theory::state::{State, Var};
+use redo_theory::state_graph::StateGraph;
+use redo_theory::write_graph::{WgNodeId, WriteGraph};
+
+/// Outcome of one walk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalkReport {
+    /// Steps attempted.
+    pub attempted: usize,
+    /// Steps that passed the write graph's preconditions.
+    pub applied: usize,
+    /// Installs performed.
+    pub installs: usize,
+    /// Collapses performed.
+    pub collapses: usize,
+    /// Edges added.
+    pub edges: usize,
+    /// Writes removed.
+    pub removals: usize,
+}
+
+/// Runs a `steps`-step random walk on the history's write graph,
+/// panicking with a description if Corollary 5 is ever violated.
+#[must_use]
+pub fn walk(history: &History, seed: u64, steps: usize) -> WalkReport {
+    let s0 = State::zeroed();
+    let cg = ConflictGraph::generate(history);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(history, &cg, &s0);
+    let mut wg = WriteGraph::from_installation_graph(history, &cg, &ig, &sg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = WalkReport::default();
+    let all_vars: Vec<Var> = cg.vars().collect();
+
+    for _ in 0..steps {
+        report.attempted += 1;
+        let live: Vec<WgNodeId> = wg.live_nodes().collect();
+        if live.is_empty() {
+            break;
+        }
+        let pick = |rng: &mut StdRng, v: &Vec<WgNodeId>| v[rng.gen_range(0..v.len())];
+        let applied = match rng.gen_range(0..4u8) {
+            0 => {
+                // Install a random minimal uninstalled node, if any.
+                let mins = wg.minimal_uninstalled();
+                if mins.is_empty() {
+                    false
+                } else {
+                    let n = mins[rng.gen_range(0..mins.len())];
+                    let ok = wg.install(n).is_ok();
+                    if ok {
+                        report.installs += 1;
+                    }
+                    ok
+                }
+            }
+            1 => {
+                let (u, v) = (pick(&mut rng, &live), pick(&mut rng, &live));
+                let ok = u != v && wg.add_edge(u, v).is_ok();
+                if ok {
+                    report.edges += 1;
+                }
+                ok
+            }
+            2 => {
+                let (u, v) = (pick(&mut rng, &live), pick(&mut rng, &live));
+                let ok = u != v && wg.collapse(&[u, v]).is_ok();
+                if ok {
+                    report.collapses += 1;
+                }
+                ok
+            }
+            _ => {
+                if all_vars.is_empty() {
+                    false
+                } else {
+                    let n = pick(&mut rng, &live);
+                    let x = all_vars[rng.gen_range(0..all_vars.len())];
+                    let ok = wg.remove_write(n, x).is_ok();
+                    if ok {
+                        report.removals += 1;
+                    }
+                    ok
+                }
+            }
+        };
+        if applied {
+            report.applied += 1;
+        }
+        // Corollary 5 must hold whether the step applied or was
+        // rejected (rejections must leave the graph untouched).
+        assert!(
+            wg.installed_is_prefix(),
+            "installed set stopped being a write-graph prefix (seed {seed})"
+        );
+        assert!(
+            wg.check_corollary5(&ig),
+            "Corollary 5 violated after step {} (seed {seed}):\n{wg:?}",
+            report.attempted
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_theory::history::examples::{efg, figure4, hj, scenario2, scenario3};
+    use redo_workload::WorkloadSpec;
+
+    #[test]
+    fn walks_on_paper_examples() {
+        for h in [scenario2(), scenario3(), figure4(), efg(), hj()] {
+            for seed in 0..10 {
+                let report = walk(&h, seed, 60);
+                assert!(report.applied > 0, "no step applied on {h:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn walks_on_random_workloads() {
+        for seed in 0..10 {
+            let h = WorkloadSpec {
+                n_ops: 8,
+                n_vars: 4,
+                blind_fraction: 0.5,
+                ..WorkloadSpec::default()
+            }
+            .generate(seed);
+            let report = walk(&h, seed, 120);
+            assert!(report.installs > 0, "seed {seed}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn walks_exercise_every_operation_kind() {
+        let mut totals = WalkReport::default();
+        for seed in 0..40 {
+            let h = WorkloadSpec {
+                n_ops: 8,
+                n_vars: 3,
+                blind_fraction: 0.6,
+                ..WorkloadSpec::default()
+            }
+            .generate(seed);
+            let r = walk(&h, seed, 120);
+            totals.installs += r.installs;
+            totals.collapses += r.collapses;
+            totals.edges += r.edges;
+            totals.removals += r.removals;
+        }
+        assert!(totals.installs > 0);
+        assert!(totals.collapses > 0);
+        assert!(totals.edges > 0);
+        assert!(totals.removals > 0, "remove-write never applied: {totals:?}");
+    }
+}

@@ -1,0 +1,132 @@
+use std::fmt;
+
+use crate::op::OpId;
+use crate::state::Var;
+
+/// Errors produced while constructing or manipulating the paper's objects.
+///
+/// Every precondition the paper states (acyclicity, prefix-closure,
+/// installed-predecessor requirements, the *remove a write* side
+/// condition, ...) is enforced and reported through this type rather than
+/// by panicking, so the checker can probe illegal transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An operation assigned the same variable twice.
+    DuplicateWrite(Var),
+    /// An operation had an empty body; the paper's operations write at
+    /// least one variable.
+    EmptyWriteSet(OpId),
+    /// History operations must carry ids equal to their position.
+    MisnumberedHistory {
+        /// Position in the sequence.
+        position: usize,
+        /// The id the operation actually carried.
+        found: OpId,
+    },
+    /// A graph operation would have created a cycle.
+    WouldCreateCycle,
+    /// A self-edge was requested.
+    SelfEdge(usize),
+    /// A node index was out of range.
+    NoSuchNode(usize),
+    /// An operation id was not present in the history/log.
+    NoSuchOp(OpId),
+    /// `install` was applied to a write-graph node with an uninstalled
+    /// predecessor.
+    PredecessorNotInstalled {
+        /// The node being installed.
+        node: usize,
+        /// The offending predecessor.
+        predecessor: usize,
+    },
+    /// `install` was applied to an already-installed node.
+    AlreadyInstalled(usize),
+    /// *Add an edge* targeted an installed node, which the paper forbids.
+    EdgeToInstalledNode(usize),
+    /// *Collapse nodes* was given an empty set.
+    EmptyCollapse,
+    /// A collapse or edge addition mixed nodes that no longer exist
+    /// (already collapsed away).
+    StaleNode(usize),
+    /// *Remove a write* violated its side condition: some uninstalled
+    /// operation still needs to read the value.
+    WriteStillNeeded {
+        /// The variable whose write was to be removed.
+        var: Var,
+        /// An operation that still needs the value.
+        reader: OpId,
+    },
+    /// The node does not write the requested variable.
+    NoSuchWrite(Var),
+    /// A replayed operation was not applicable in the current state
+    /// (its read set does not match what it read in the original
+    /// execution), so redo recovery has diverged.
+    NotApplicable {
+        /// The inapplicable operation.
+        op: OpId,
+        /// The first mismatching read variable.
+        var: Var,
+    },
+    /// The log's order contradicts the conflict graph.
+    LogOrderViolation {
+        /// Earlier operation in the conflict graph...
+        before: OpId,
+        /// ...that appears after this one in the log.
+        after: OpId,
+    },
+    /// A checkpoint mentioned an operation that is not in the log.
+    CheckpointNotInLog(OpId),
+    /// The recovery invariant was violated; carries a human-readable
+    /// description from [`crate::invariant`].
+    InvariantViolated(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateWrite(v) => write!(f, "operation assigns variable {v:?} twice"),
+            Error::EmptyWriteSet(id) => write!(f, "operation {id:?} has an empty write set"),
+            Error::MisnumberedHistory { position, found } => write!(
+                f,
+                "operation at position {position} carries id {found:?}; history ids must equal positions"
+            ),
+            Error::WouldCreateCycle => write!(f, "graph operation would create a cycle"),
+            Error::SelfEdge(n) => write!(f, "self edge on node {n}"),
+            Error::NoSuchNode(n) => write!(f, "no such node {n}"),
+            Error::NoSuchOp(id) => write!(f, "no such operation {id:?}"),
+            Error::PredecessorNotInstalled { node, predecessor } => write!(
+                f,
+                "cannot install node {node}: predecessor {predecessor} is not installed"
+            ),
+            Error::AlreadyInstalled(n) => write!(f, "node {n} is already installed"),
+            Error::EdgeToInstalledNode(n) => {
+                write!(f, "cannot add an edge into installed node {n}")
+            }
+            Error::EmptyCollapse => write!(f, "collapse requires at least one node"),
+            Error::StaleNode(n) => write!(f, "node {n} has been collapsed away"),
+            Error::WriteStillNeeded { var, reader } => write!(
+                f,
+                "write to {var:?} cannot be removed: uninstalled operation {reader:?} reads it"
+            ),
+            Error::NoSuchWrite(v) => write!(f, "node does not write variable {v:?}"),
+            Error::NotApplicable { op, var } => write!(
+                f,
+                "operation {op:?} is not applicable: read of {var:?} differs from the original execution"
+            ),
+            Error::LogOrderViolation { before, after } => write!(
+                f,
+                "log order violates the conflict graph: {before:?} must precede {after:?}"
+            ),
+            Error::CheckpointNotInLog(id) => {
+                write!(f, "checkpoint mentions operation {id:?} absent from the log")
+            }
+            Error::InvariantViolated(msg) => write!(f, "recovery invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

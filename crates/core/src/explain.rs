@@ -1,0 +1,233 @@
+//! Explainable states (§3.2).
+//!
+//! A prefix σ of the installation graph *explains* a state `S` if every
+//! variable exposed by σ has the same value in `S` and in the state
+//! determined by σ. Unexposed variables may hold anything — their values
+//! will be blindly overwritten before any replayed operation reads them.
+//! Explainable states are exactly the potentially recoverable ones
+//! (Theorem 3 and its converse).
+
+use std::collections::BTreeSet;
+
+use crate::conflict::ConflictGraph;
+use crate::exposed::is_exposed;
+use crate::graph::NodeSet;
+use crate::installation::InstallationGraph;
+use crate::state::{State, Var};
+use crate::state_graph::StateGraph;
+
+/// Does the prefix `sigma` explain `state`?
+///
+/// Checks that `state` and the state determined by `sigma` agree on
+/// every exposed variable — including variables no operation accesses,
+/// which are always exposed and must therefore retain their initial
+/// values.
+#[must_use]
+pub fn explains(cg: &ConflictGraph, sg: &StateGraph, sigma: &NodeSet, state: &State) -> bool {
+    first_unexplained_var(cg, sg, sigma, state).is_none()
+}
+
+/// Like [`explains`], but reports the first exposed variable on which the
+/// two states disagree (useful for diagnostics and invariant errors).
+#[must_use]
+pub fn first_unexplained_var(
+    cg: &ConflictGraph,
+    sg: &StateGraph,
+    sigma: &NodeSet,
+    state: &State,
+) -> Option<Var> {
+    let determined = sg.state_determined_by(sigma);
+    if state.default_value() != determined.default_value() {
+        // With differing defaults some unaccessed variable disagrees;
+        // report a synthetic witness outside every support.
+        let max = state
+            .support()
+            .chain(determined.support())
+            .map(|(x, _)| x.0)
+            .chain(cg.vars().map(|x| x.0))
+            .max()
+            .map_or(0, |m| m + 1);
+        return Some(Var(max));
+    }
+    let mut candidates: BTreeSet<Var> = cg.vars().collect();
+    candidates.extend(state.support().map(|(x, _)| x));
+    candidates.extend(determined.support().map(|(x, _)| x));
+    candidates
+        .into_iter()
+        .find(|&x| is_exposed(cg, sigma, x) && state.get(x) != determined.get(x))
+}
+
+/// Searches the installation graph's prefixes for one that explains
+/// `state`, visiting at most `limit` prefixes. Returns the first found
+/// (enumeration order favors smaller prefixes).
+///
+/// Real systems never perform this search — they engineer the redo test
+/// so the complement of the redo set *is* an explaining prefix (§4.5) —
+/// but the checker uses it to decide explainability exhaustively.
+#[must_use]
+pub fn find_explaining_prefix(
+    cg: &ConflictGraph,
+    ig: &InstallationGraph,
+    sg: &StateGraph,
+    state: &State,
+    limit: usize,
+) -> Option<NodeSet> {
+    let mut found: Option<NodeSet> = None;
+    ig.dag().for_each_prefix(limit, |p| {
+        if found.is_none() && explains(cg, sg, p, state) {
+            found = Some(p.clone());
+        }
+    });
+    found
+}
+
+/// Collects *every* installation-graph prefix explaining `state`, up to
+/// `limit` enumerated prefixes. The checker uses the multiplicity: a
+/// state may be explainable by several prefixes (Figure 5's extra state).
+#[must_use]
+pub fn all_explaining_prefixes(
+    cg: &ConflictGraph,
+    ig: &InstallationGraph,
+    sg: &StateGraph,
+    state: &State,
+    limit: usize,
+) -> Vec<NodeSet> {
+    let mut out = Vec::new();
+    ig.dag().for_each_prefix(limit, |p| {
+        if explains(cg, sg, p, state) {
+            out.push(p.clone());
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::examples::{figure4, hj, scenario1, scenario2, scenario3};
+    use crate::history::History;
+    use crate::state::Value;
+
+    struct Ctx {
+        h: History,
+        cg: ConflictGraph,
+        ig: InstallationGraph,
+        sg: StateGraph,
+    }
+
+    fn ctx(h: History) -> Ctx {
+        let s0 = State::zeroed();
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &s0);
+        Ctx { h, cg, ig, sg }
+    }
+
+    #[test]
+    fn every_prefix_explains_its_determined_state() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4(), hj()] {
+            let c = ctx(h);
+            c.ig.dag()
+                .for_each_prefix(1_000, |p| {
+                    let s = c.sg.state_determined_by(p);
+                    assert!(explains(&c.cg, &c.sg, p, &s), "prefix {p:?}");
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn scenario1_bad_state_not_explainable() {
+        // B installed, A not: y=2, x=0. No installation prefix explains
+        // this state (that's why Scenario 1 is unrecoverable).
+        let c = ctx(scenario1());
+        let bad = State::from_pairs([(Var(1), Value(2))]);
+        assert!(find_explaining_prefix(&c.cg, &c.ig, &c.sg, &bad, 10_000).is_none());
+    }
+
+    #[test]
+    fn scenario2_a_only_state_is_explainable() {
+        // A installed (x=3), B not (y=0). {A} explains the state — and
+        // so does {} (both x and y are unexposed by {}: A blindly writes
+        // x and B blindly writes y), so the state admits multiple
+        // explanations.
+        let c = ctx(scenario2());
+        let state = State::from_pairs([(Var(0), Value(3))]);
+        let all = all_explaining_prefixes(&c.cg, &c.ig, &c.sg, &state, 10_000);
+        assert!(all.contains(&NodeSet::from_indices(2, [1])), "{{A}} must explain");
+        assert!(all.contains(&NodeSet::new(2)), "{{}} also explains: all vars unexposed");
+    }
+
+    #[test]
+    fn scenario3_partial_install_of_c_is_explainable() {
+        // Only C's change to y reaches the state: x=0 (stale!), y=1.
+        // Prefix {C} explains it because x is unexposed by {C}.
+        let c = ctx(scenario3());
+        let state = State::from_pairs([(Var(1), Value(1))]);
+        let p = find_explaining_prefix(&c.cg, &c.ig, &c.sg, &state, 10_000).unwrap();
+        assert_eq!(p, NodeSet::from_indices(2, [0]));
+    }
+
+    #[test]
+    fn unexposed_variables_may_hold_garbage() {
+        // Same as above but x holds an arbitrary value.
+        let c = ctx(scenario3());
+        let state = State::from_pairs([(Var(0), Value(0xdead_beef)), (Var(1), Value(1))]);
+        assert!(explains(&c.cg, &c.sg, &NodeSet::from_indices(2, [0]), &state));
+    }
+
+    #[test]
+    fn exposed_variables_must_match() {
+        let c = ctx(scenario3());
+        // y is exposed by {C}; a wrong y is unexplained.
+        let state = State::from_pairs([(Var(1), Value(42))]);
+        let sigma = NodeSet::from_indices(2, [0]);
+        assert!(!explains(&c.cg, &c.sg, &sigma, &state));
+        assert_eq!(first_unexplained_var(&c.cg, &c.sg, &sigma, &state), Some(Var(1)));
+    }
+
+    #[test]
+    fn untouched_variables_must_keep_initial_values() {
+        let c = ctx(scenario1());
+        let mut state = c.sg.state_determined_by(&NodeSet::new(2));
+        state.set(Var(50), Value(9)); // never accessed, hence exposed
+        assert!(!explains(&c.cg, &c.sg, &NodeSet::new(2), &state));
+        assert_eq!(
+            first_unexplained_var(&c.cg, &c.sg, &NodeSet::new(2), &state),
+            Some(Var(50))
+        );
+    }
+
+    #[test]
+    fn final_state_explained_by_full_prefix() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4(), hj()] {
+            let c = ctx(h);
+            let full = NodeSet::full(c.h.len());
+            assert!(explains(&c.cg, &c.sg, &full, &c.sg.final_state()));
+        }
+    }
+
+    #[test]
+    fn figure5_extra_state_counts() {
+        // Figure 4/5: the conflict graph admits 4 prefix states, the
+        // installation graph 5. Each determined state should be
+        // explainable; the {P}-state is the extra one.
+        let c = ctx(figure4());
+        let mut explainable = 0;
+        c.ig.dag()
+            .for_each_prefix(1000, |p| {
+                let s = c.sg.state_determined_by(p);
+                explainable +=
+                    usize::from(!all_explaining_prefixes(&c.cg, &c.ig, &c.sg, &s, 1000).is_empty());
+            })
+            .unwrap();
+        assert_eq!(explainable, 5);
+    }
+
+    #[test]
+    fn default_mismatch_is_unexplained() {
+        let c = ctx(scenario1());
+        let state = State::with_default(Value(3));
+        assert!(!explains(&c.cg, &c.sg, &NodeSet::new(2), &state));
+    }
+}

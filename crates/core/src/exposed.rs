@@ -1,0 +1,208 @@
+//! Exposed variables (§2.3).
+//!
+//! Given a conflict graph and a set `I` of installed operations (with
+//! complement `U` of uninstalled operations), a variable `x` is *exposed*
+//! by `I` if
+//!
+//! * no operation in `U` accesses `x` (its current value is final), or
+//! * some operation in `U` accesses `x` and a minimal such operation
+//!   *reads* `x` (its current value will be observed during recovery);
+//!
+//! and *unexposed* otherwise — i.e. when the minimal uninstalled accessor
+//! writes `x` without reading it, so the current value will be
+//! overwritten before anyone looks.
+//!
+//! Two implementations are provided. [`is_exposed_by_graph`] follows the
+//! definition literally, computing minimality among uninstalled accessors
+//! via reachability. [`is_exposed`] is an O(accessor-chain) fast path
+//! exploiting the structure of sequence-generated conflict graphs: all
+//! conflict edges point forward in generation order, so the
+//! generation-earliest uninstalled accessor is always minimal, and when
+//! several accessors are minimal they are all readers (two accessors of
+//! which at least one writes are always ordered). A property test in the
+//! crate's test suite asserts the two agree on random histories.
+
+use crate::conflict::ConflictGraph;
+use crate::graph::NodeSet;
+use crate::state::Var;
+
+/// Fast-path exposure test: is `x` exposed by the installed set?
+#[must_use]
+pub fn is_exposed(cg: &ConflictGraph, installed: &NodeSet, x: Var) -> bool {
+    match cg.accessors_of(x).iter().find(|a| !installed.contains(a.op.index())) {
+        None => true,
+        Some(first_uninstalled) => first_uninstalled.reads,
+    }
+}
+
+/// Literal-definition exposure test, via minimality in the conflict DAG.
+#[must_use]
+pub fn is_exposed_by_graph(cg: &ConflictGraph, installed: &NodeSet, x: Var) -> bool {
+    let uninstalled_accessors: NodeSet = NodeSet::from_indices(
+        cg.len(),
+        cg.accessors_of(x)
+            .iter()
+            .filter(|a| !installed.contains(a.op.index()))
+            .map(|a| a.op.index()),
+    );
+    if uninstalled_accessors.is_empty() {
+        return true;
+    }
+    let minimal = cg.dag().minimal_in(&uninstalled_accessors);
+    // All minimal accessors agree on reading vs blind-writing (any
+    // reader and any writer of x are ordered), so inspecting one
+    // suffices; we inspect all for robustness.
+    minimal.iter().any(|&m| {
+        cg.accessors_of(x)
+            .iter()
+            .any(|a| a.op.index() == m && a.reads)
+    })
+}
+
+/// All variables exposed by `installed`, in ascending order.
+#[must_use]
+pub fn exposed_vars(cg: &ConflictGraph, installed: &NodeSet) -> Vec<Var> {
+    cg.vars().filter(|&x| is_exposed(cg, installed, x)).collect()
+}
+
+/// All variables left *unexposed* by `installed`.
+#[must_use]
+pub fn unexposed_vars(cg: &ConflictGraph, installed: &NodeSet) -> Vec<Var> {
+    cg.vars().filter(|&x| !is_exposed(cg, installed, x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::examples::{figure4, hj, scenario1, scenario2, scenario3};
+    use crate::history::History;
+
+    fn installed(n: usize, ids: impl IntoIterator<Item = usize>) -> NodeSet {
+        NodeSet::from_indices(n, ids)
+    }
+
+    #[test]
+    fn everything_exposed_when_all_installed() {
+        let h = figure4();
+        let cg = ConflictGraph::generate(&h);
+        let all = NodeSet::full(h.len());
+        assert!(is_exposed(&cg, &all, Var(0)));
+        assert!(is_exposed(&cg, &all, Var(1)));
+    }
+
+    #[test]
+    fn untouched_variable_is_exposed() {
+        let h = scenario1();
+        let cg = ConflictGraph::generate(&h);
+        let none = installed(2, []);
+        assert!(is_exposed(&cg, &none, Var(99)));
+    }
+
+    #[test]
+    fn scenario3_y_exposed_x_unexposed_after_c() {
+        // C installed? No: install NOTHING. U = {C, D}. Minimal accessor
+        // of x is C, which reads x -> exposed. Minimal accessor of y is
+        // C, which reads y -> exposed.
+        let h = scenario3();
+        let cg = ConflictGraph::generate(&h);
+        let none = installed(2, []);
+        assert!(is_exposed(&cg, &none, Var(0)));
+        assert!(is_exposed(&cg, &none, Var(1)));
+        // Install C: U = {D}. D reads y -> y exposed. D writes x without
+        // reading it -> x unexposed. This is the paper's Scenario 3: C's
+        // change to x need never reach the stable state.
+        let c_only = installed(2, [0]);
+        assert!(!is_exposed(&cg, &c_only, Var(0)));
+        assert!(is_exposed(&cg, &c_only, Var(1)));
+    }
+
+    #[test]
+    fn hj_blind_write_hides_y() {
+        // H writes x and y; J blindly writes y. With I = {H}, U = {J}:
+        // y's minimal uninstalled accessor J writes blindly -> unexposed.
+        let h = hj();
+        let cg = ConflictGraph::generate(&h);
+        let h_only = installed(2, [0]);
+        assert!(!is_exposed(&cg, &h_only, Var(1)));
+        assert!(is_exposed(&cg, &h_only, Var(0)));
+        assert_eq!(unexposed_vars(&cg, &h_only), vec![Var(1)]);
+    }
+
+    #[test]
+    fn scenario1_y_unexposed_before_b() {
+        // I = {A}, U = {B}: B blindly writes y -> y unexposed; x is not
+        // accessed by U -> exposed.
+        let h = scenario1();
+        let cg = ConflictGraph::generate(&h);
+        let a_only = installed(2, [0]);
+        assert!(is_exposed(&cg, &a_only, Var(0)));
+        assert!(!is_exposed(&cg, &a_only, Var(1)));
+    }
+
+    #[test]
+    fn scenario2_y_exposed_before_a() {
+        // I = {B}, U = {A}: A reads y -> y exposed; A blind-writes x? A
+        // writes x without reading x -> x unexposed.
+        let h = scenario2();
+        let cg = ConflictGraph::generate(&h);
+        let b_only = installed(2, [0]);
+        assert!(is_exposed(&cg, &b_only, Var(1)));
+        assert!(!is_exposed(&cg, &b_only, Var(0)));
+    }
+
+    #[test]
+    fn graph_and_fast_paths_agree_on_examples() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4(), hj()] {
+            let cg = ConflictGraph::generate(&h);
+            let n = h.len();
+            // All subsets of ops (not only prefixes: the definition is
+            // stated for arbitrary sets I).
+            for mask in 0..(1usize << n) {
+                let set = NodeSet::from_indices(n, (0..n).filter(|i| mask >> i & 1 == 1));
+                for x in cg.vars().collect::<Vec<_>>() {
+                    assert_eq!(
+                        is_exposed(&cg, &set, x),
+                        is_exposed_by_graph(&cg, &set, x),
+                        "history {h:?}, installed {set:?}, var {x:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotonicity_once_unexposed_under_growing_graph() {
+        // §2.3: if the conflict graph grows (more ops appended) and the
+        // installed set does not, an unexposed variable stays unexposed.
+        use crate::expr::Expr;
+        use crate::op::{OpId, Operation};
+        let blind = |i: u32, x: Var| {
+            Operation::builder(OpId(i)).assign(x, Expr::constant(u64::from(i))).build().unwrap()
+        };
+        let reader = |i: u32, x: Var, y: Var| {
+            Operation::builder(OpId(i)).assign(y, Expr::read(x)).build().unwrap()
+        };
+        // Grow: [blind(x)], then append a reader of x.
+        let h1 = History::new(vec![blind(0, Var(0))]).unwrap();
+        let h2 = History::new(vec![blind(0, Var(0)), reader(1, Var(0), Var(1))]).unwrap();
+        let i = installed(2, []);
+        let i1 = installed(1, []);
+        let cg1 = ConflictGraph::generate(&h1);
+        let cg2 = ConflictGraph::generate(&h2);
+        // x unexposed in the small graph (blind write pending)...
+        assert!(!is_exposed(&cg1, &i1, Var(0)));
+        // ...and still unexposed after the graph grows: the minimal
+        // uninstalled accessor is still the blind writer.
+        assert!(!is_exposed(&cg2, &i, Var(0)));
+    }
+
+    #[test]
+    fn exposure_flips_as_installed_set_grows() {
+        // §2.3: growing I can flip a variable back and forth.
+        let h = scenario3();
+        let cg = ConflictGraph::generate(&h);
+        assert!(is_exposed(&cg, &installed(2, []), Var(0))); // exposed
+        assert!(!is_exposed(&cg, &installed(2, [0]), Var(0))); // unexposed
+        assert!(is_exposed(&cg, &installed(2, [0, 1]), Var(0))); // exposed again
+    }
+}

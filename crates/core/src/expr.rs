@@ -1,0 +1,236 @@
+//! Deterministic expression bodies for operations.
+//!
+//! The paper models an operation as "a function with a fixed set of input
+//! variables and a fixed set of output variables" (§2.1). To make that
+//! function *data* — so histories can be generated, replayed, logged and
+//! compared structurally — each written variable's new value is given by
+//! an [`Expr`] over the operation's read variables and constants.
+//! Evaluation is total (wrapping arithmetic) and deterministic: the same
+//! read values always produce the same written value, which is exactly
+//! the property redo replay relies on.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::state::{Value, Var};
+
+/// An arithmetic expression over read variables and constants.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// The pre-state value of a variable; contributes that variable to
+    /// the enclosing operation's read set.
+    Read(Var),
+    /// Wrapping sum of both operands.
+    Add(Box<Expr>, Box<Expr>),
+    /// Wrapping difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Wrapping product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Bitwise exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+    /// An order-sensitive hash combination of the operands. Workload
+    /// generators use `Mix` so that distinct (operation, input) pairs
+    /// yield distinct outputs with overwhelming probability, making state
+    /// comparisons in the checker sharp.
+    Mix(Vec<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul are builder combinators, not std::ops
+impl Expr {
+    /// A constant expression.
+    #[must_use]
+    pub fn constant(v: u64) -> Expr {
+        Expr::Const(Value(v))
+    }
+
+    /// Reads a variable.
+    #[must_use]
+    pub fn read(x: Var) -> Expr {
+        Expr::Read(x)
+    }
+
+    /// `self + rhs` (wrapping).
+    #[must_use]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs` (wrapping).
+    #[must_use]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs` (wrapping).
+    #[must_use]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ^ rhs`.
+    #[must_use]
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::Xor(Box::new(self), Box::new(rhs))
+    }
+
+    /// An order-sensitive hash mix of `parts`.
+    #[must_use]
+    pub fn mix(parts: Vec<Expr>) -> Expr {
+        Expr::Mix(parts)
+    }
+
+    /// Evaluates the expression against a read function (usually a
+    /// pre-state lookup).
+    pub fn eval(&self, read: &mut impl FnMut(Var) -> Value) -> Value {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Read(x) => read(*x),
+            Expr::Add(a, b) => a.eval(read).wrapping_add(b.eval(read)),
+            Expr::Sub(a, b) => a.eval(read).wrapping_sub(b.eval(read)),
+            Expr::Mul(a, b) => a.eval(read).wrapping_mul(b.eval(read)),
+            Expr::Xor(a, b) => a.eval(read).xor(b.eval(read)),
+            Expr::Mix(parts) => {
+                let mut acc = Value(0x51ed_270b);
+                for p in parts {
+                    acc = acc.xor(p.eval(read)).mix();
+                }
+                acc
+            }
+        }
+    }
+
+    /// Accumulates every variable the expression reads into `out`.
+    pub fn collect_reads(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Read(x) => {
+                out.insert(*x);
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Xor(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Mix(parts) => {
+                for p in parts {
+                    p.collect_reads(out);
+                }
+            }
+        }
+    }
+
+    /// `true` iff the expression reads no variable at all, i.e. the
+    /// assignment it feeds is a *blind write*. Blind writes are what make
+    /// variables unexposed (§2.3) and what physical logging (§6.2)
+    /// consists of exclusively.
+    #[must_use]
+    pub fn is_blind(&self) -> bool {
+        let mut reads = BTreeSet::new();
+        self.collect_reads(&mut reads);
+        reads.is_empty()
+    }
+
+    /// Number of AST nodes; used by workload generators to bound body
+    /// sizes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Read(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Xor(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Expr::Mix(parts) => 1 + parts.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v:?}"),
+            Expr::Read(x) => write!(f, "{x:?}"),
+            Expr::Add(a, b) => write!(f, "({a:?} + {b:?})"),
+            Expr::Sub(a, b) => write!(f, "({a:?} - {b:?})"),
+            Expr::Mul(a, b) => write!(f, "({a:?} * {b:?})"),
+            Expr::Xor(a, b) => write!(f, "({a:?} ^ {b:?})"),
+            Expr::Mix(parts) => {
+                write!(f, "mix(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_zeroed(e: &Expr) -> Value {
+        e.eval(&mut |_| Value(0))
+    }
+
+    #[test]
+    fn constant_evaluates_to_itself() {
+        assert_eq!(eval_zeroed(&Expr::constant(7)), Value(7));
+    }
+
+    #[test]
+    fn read_pulls_from_environment() {
+        let e = Expr::read(Var(3));
+        let v = e.eval(&mut |x| Value(u64::from(x.0) * 10));
+        assert_eq!(v, Value(30));
+    }
+
+    #[test]
+    fn arithmetic_matches_value_ops() {
+        let a = Expr::constant(10);
+        let b = Expr::constant(3);
+        assert_eq!(eval_zeroed(&a.clone().add(b.clone())), Value(13));
+        assert_eq!(eval_zeroed(&a.clone().sub(b.clone())), Value(7));
+        assert_eq!(eval_zeroed(&a.clone().mul(b.clone())), Value(30));
+        assert_eq!(eval_zeroed(&a.xor(b)), Value(9));
+    }
+
+    #[test]
+    fn collect_reads_finds_all_leaves() {
+        let e = Expr::read(Var(1)).add(Expr::read(Var(2)).mul(Expr::read(Var(1))));
+        let mut reads = BTreeSet::new();
+        e.collect_reads(&mut reads);
+        assert_eq!(reads, BTreeSet::from([Var(1), Var(2)]));
+    }
+
+    #[test]
+    fn blindness() {
+        assert!(Expr::constant(5).is_blind());
+        assert!(Expr::constant(5).add(Expr::constant(6)).is_blind());
+        assert!(!Expr::read(Var(0)).is_blind());
+        assert!(!Expr::mix(vec![Expr::constant(1), Expr::read(Var(9))]).is_blind());
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        let ab = Expr::mix(vec![Expr::constant(1), Expr::constant(2)]);
+        let ba = Expr::mix(vec![Expr::constant(2), Expr::constant(1)]);
+        assert_ne!(eval_zeroed(&ab), eval_zeroed(&ba));
+    }
+
+    #[test]
+    fn mix_differs_from_parts() {
+        let one = Expr::mix(vec![Expr::constant(1)]);
+        assert_ne!(eval_zeroed(&one), Value(1));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::read(Var(0)).add(Expr::constant(1));
+        assert_eq!(e.size(), 3);
+        assert_eq!(Expr::mix(vec![Expr::constant(0); 4]).size(), 5);
+    }
+}

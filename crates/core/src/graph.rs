@@ -1,0 +1,676 @@
+//! A small directed-acyclic-graph library tailored to the paper's needs.
+//!
+//! The conflict, installation, state, and write graphs all share this
+//! representation: dense node indices, edges carrying a set of conflict
+//! kinds, and the *prefix* machinery of §2.1 ("a subgraph induced by a set
+//! of nodes such that if a node is in the prefix, then all of its
+//! predecessors are"). `petgraph` is not in the approved offline crate
+//! set, and the operations we need (prefix tests, downset enumeration,
+//! per-variable minimality) are domain-specific anyway.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// The kind(s) of conflict an edge represents, as a bit set.
+///
+/// An edge in a conflict graph may simultaneously be a write-write, a
+/// write-read, and a read-write conflict (e.g. two increments of the same
+/// variable), so kinds are flags rather than an enum.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EdgeKinds(u8);
+
+impl EdgeKinds {
+    /// No conflict recorded (used for structural edges such as the write
+    /// graph's *add an edge* operation).
+    pub const NONE: EdgeKinds = EdgeKinds(0);
+    /// Write-write conflict: `O` writes `x`, `P` writes `x`, `O` is `P`'s
+    /// preceding write.
+    pub const WW: EdgeKinds = EdgeKinds(1);
+    /// Write-read conflict: `O` writes `x`, `P` reads `x`, `O` is `P`'s
+    /// preceding write.
+    pub const WR: EdgeKinds = EdgeKinds(2);
+    /// Read-write conflict: `O` reads `x`, `P` writes `x`, `P` is `O`'s
+    /// following write.
+    pub const RW: EdgeKinds = EdgeKinds(4);
+
+    /// Union of both kind sets.
+    #[must_use]
+    pub fn union(self, other: EdgeKinds) -> EdgeKinds {
+        EdgeKinds(self.0 | other.0)
+    }
+
+    /// Does this kind set contain all kinds in `other`?
+    #[must_use]
+    pub fn contains(self, other: EdgeKinds) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Does this kind set intersect `other`?
+    #[must_use]
+    pub fn intersects(self, other: EdgeKinds) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Is the edge *solely* a write-read conflict? These are exactly the
+    /// edges the installation graph removes (§3.1).
+    #[must_use]
+    pub fn is_pure_write_read(self) -> bool {
+        self == EdgeKinds::WR
+    }
+
+    /// Is the kind set empty?
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for EdgeKinds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.contains(EdgeKinds::WW) {
+            parts.push("ww");
+        }
+        if self.contains(EdgeKinds::WR) {
+            parts.push("wr");
+        }
+        if self.contains(EdgeKinds::RW) {
+            parts.push("rw");
+        }
+        if parts.is_empty() {
+            parts.push("∅");
+        }
+        write!(f, "{}", parts.join("|"))
+    }
+}
+
+/// A set of node indices, backed by a bit vector.
+///
+/// Used for installed sets, prefixes, reachability frontiers, and downset
+/// enumeration. All operations are O(words).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// The empty set over a universe of `len` nodes.
+    #[must_use]
+    pub fn new(len: usize) -> NodeSet {
+        NodeSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// The full set over a universe of `len` nodes.
+    #[must_use]
+    pub fn full(len: usize) -> NodeSet {
+        let mut s = NodeSet::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from explicit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> NodeSet {
+        let mut s = NodeSet::new(len);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The universe size.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts node `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "node {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] >> b & 1;
+        self.words[w] |= 1 << b;
+        was == 0
+    }
+
+    /// Removes node `i`; returns whether it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] >> b & 1;
+        self.words[w] &= !(1 << b);
+        was == 1
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Is `self` a subset of `other`?
+    #[must_use]
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place set difference (`self -= other`).
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The complement within the universe.
+    #[must_use]
+    pub fn complement(&self) -> NodeSet {
+        let mut out = NodeSet::new(self.len);
+        for (o, &w) in out.words.iter_mut().zip(&self.words) {
+            *o = !w;
+        }
+        // Mask off bits beyond the universe.
+        if !self.len.is_multiple_of(64) {
+            if let Some(last) = out.words.last_mut() {
+                *last &= (1u64 << (self.len % 64)) - 1;
+            }
+        }
+        out
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for NodeSet {
+    /// Collects indices into a set whose universe is `max + 1`. Mostly
+    /// for tests; prefer [`NodeSet::from_indices`] with an explicit
+    /// universe.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> NodeSet {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let len = indices.iter().copied().max().map_or(0, |m| m + 1);
+        NodeSet::from_indices(len, indices)
+    }
+}
+
+/// A directed acyclic graph over dense node indices `0..n`, with
+/// [`EdgeKinds`]-labeled edges.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dag {
+    succ: Vec<BTreeMap<usize, EdgeKinds>>,
+    pred: Vec<BTreeMap<usize, EdgeKinds>>,
+}
+
+impl Dag {
+    /// An edgeless graph with `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Dag {
+        Dag { succ: vec![BTreeMap::new(); n], pred: vec![BTreeMap::new(); n] }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Is the graph empty (no nodes)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Total number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Adds (or widens) the edge `u → v`, merging kinds with any existing
+    /// edge.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SelfEdge`] or [`Error::NoSuchNode`]. Acyclicity is *not*
+    /// checked here (conflict-graph construction guarantees it; the write
+    /// graph checks explicitly via [`Dag::reaches`]).
+    pub fn add_edge(&mut self, u: usize, v: usize, kinds: EdgeKinds) -> Result<()> {
+        if u == v {
+            return Err(Error::SelfEdge(u));
+        }
+        let n = self.len();
+        if u >= n {
+            return Err(Error::NoSuchNode(u));
+        }
+        if v >= n {
+            return Err(Error::NoSuchNode(v));
+        }
+        let e = self.succ[u].entry(v).or_insert(EdgeKinds::NONE);
+        *e = e.union(kinds);
+        let e = self.pred[v].entry(u).or_insert(EdgeKinds::NONE);
+        *e = e.union(kinds);
+        Ok(())
+    }
+
+    /// The kinds on edge `u → v`, or `None` if absent.
+    #[must_use]
+    pub fn edge(&self, u: usize, v: usize) -> Option<EdgeKinds> {
+        self.succ.get(u).and_then(|m| m.get(&v)).copied()
+    }
+
+    /// Direct successors of `u` with edge kinds.
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = (usize, EdgeKinds)> + '_ {
+        self.succ[u].iter().map(|(&v, &k)| (v, k))
+    }
+
+    /// Direct predecessors of `u` with edge kinds.
+    pub fn predecessors(&self, u: usize) -> impl Iterator<Item = (usize, EdgeKinds)> + '_ {
+        self.pred[u].iter().map(|(&v, &k)| (v, k))
+    }
+
+    /// All edges `(u, v, kinds)` in ascending order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, EdgeKinds)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, m)| m.iter().map(move |(&v, &k)| (u, v, k)))
+    }
+
+    /// Is there a path (length ≥ 1) from `u` to `v`?
+    #[must_use]
+    pub fn reaches(&self, u: usize, v: usize) -> bool {
+        if u == v {
+            return false;
+        }
+        let mut seen = NodeSet::new(self.len());
+        let mut stack = vec![u];
+        while let Some(x) = stack.pop() {
+            for (y, _) in self.successors(x) {
+                if y == v {
+                    return true;
+                }
+                if seen.insert(y) {
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// The set of all (transitive) predecessors of the nodes in `seed`
+    /// (excluding `seed` itself unless reachable from another seed).
+    #[must_use]
+    pub fn ancestors_of(&self, seed: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::new(self.len());
+        let mut stack: Vec<usize> = seed.iter().collect();
+        while let Some(x) = stack.pop() {
+            for (p, _) in self.predecessors(x) {
+                if out.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `set` a prefix: closed under predecessors?
+    #[must_use]
+    pub fn is_prefix(&self, set: &NodeSet) -> bool {
+        set.iter().all(|n| self.predecessors(n).all(|(p, _)| set.contains(p)))
+    }
+
+    /// The smallest prefix containing `seed` (its downward closure).
+    #[must_use]
+    pub fn prefix_closure(&self, seed: &NodeSet) -> NodeSet {
+        let mut out = seed.clone();
+        out.union_with(&self.ancestors_of(seed));
+        out
+    }
+
+    /// A topological order of all nodes; ties broken by ascending index,
+    /// so for graphs generated from a history this returns the original
+    /// invocation order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WouldCreateCycle`] if the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<usize>> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        // Min-heap behaviour via sorted ready list: we pop the smallest
+        // ready index to make the order deterministic.
+        let mut ready: std::collections::BTreeSet<usize> =
+            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(&v) = ready.iter().next() {
+            ready.remove(&v);
+            out.push(v);
+            for (w, _) in self.successors(v) {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    ready.insert(w);
+                }
+            }
+        }
+        if out.len() == n {
+            Ok(out)
+        } else {
+            Err(Error::WouldCreateCycle)
+        }
+    }
+
+    /// The minimal elements of `set`: members with no predecessor *in
+    /// `set`* via any path through the whole graph.
+    ///
+    /// Minimality is with respect to the partial order the DAG induces,
+    /// not mere edge-adjacency: a member can be preceded by another
+    /// member via a path through non-members.
+    #[must_use]
+    pub fn minimal_in(&self, set: &NodeSet) -> Vec<usize> {
+        set.iter()
+            .filter(|&n| {
+                // BFS backwards from n; if we meet a member, n is not minimal.
+                let mut seen = NodeSet::new(self.len());
+                let mut stack = vec![n];
+                while let Some(x) = stack.pop() {
+                    for (p, _) in self.predecessors(x) {
+                        if set.contains(p) {
+                            return false;
+                        }
+                        if seen.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// Enumerates every prefix (downset) of the graph, invoking `f` on
+    /// each, up to `limit` prefixes. Returns the number enumerated, or
+    /// `None` if the limit was hit. Exponential in general — intended for
+    /// the checker's small histories.
+    pub fn for_each_prefix(&self, limit: usize, mut f: impl FnMut(&NodeSet)) -> Option<usize> {
+        // Depth-first over nodes in topological order: at each node,
+        // either exclude it (and then exclude everything after that
+        // depends on it) or include it if all predecessors are included.
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => return Some(0),
+        };
+        let mut count = 0usize;
+        let mut cur = NodeSet::new(self.len());
+        // Recursive enumeration without recursion: state machine over
+        // positions with an explicit decision stack.
+        fn rec(
+            dag: &Dag,
+            order: &[usize],
+            pos: usize,
+            cur: &mut NodeSet,
+            count: &mut usize,
+            limit: usize,
+            f: &mut impl FnMut(&NodeSet),
+        ) -> bool {
+            if *count >= limit {
+                return false;
+            }
+            if pos == order.len() {
+                *count += 1;
+                f(cur);
+                return true;
+            }
+            let n = order[pos];
+            // Option 1: exclude n.
+            if !rec(dag, order, pos + 1, cur, count, limit, f) {
+                return false;
+            }
+            // Option 2: include n if all predecessors are in.
+            if dag.predecessors(n).all(|(p, _)| cur.contains(p)) {
+                cur.insert(n);
+                let ok = rec(dag, order, pos + 1, cur, count, limit, f);
+                cur.remove(n);
+                if !ok {
+                    return false;
+                }
+            }
+            true
+        }
+        if rec(self, &order, 0, &mut cur, &mut count, limit, &mut f) {
+            Some(count)
+        } else {
+            None
+        }
+    }
+
+    /// Counts prefixes up to `limit`; `None` means "at least `limit`".
+    #[must_use]
+    pub fn count_prefixes(&self, limit: usize) -> Option<usize> {
+        self.for_each_prefix(limit, |_| {})
+    }
+}
+
+impl fmt::Debug for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dag({} nodes)", self.len())?;
+        for (u, v, k) in self.edges() {
+            writeln!(f, "  {u} -[{k:?}]-> {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1, EdgeKinds::WW).unwrap();
+        g.add_edge(0, 2, EdgeKinds::WR).unwrap();
+        g.add_edge(1, 3, EdgeKinds::RW).unwrap();
+        g.add_edge(2, 3, EdgeKinds::WW).unwrap();
+        g
+    }
+
+    #[test]
+    fn edge_kind_sets() {
+        let k = EdgeKinds::WW.union(EdgeKinds::RW);
+        assert!(k.contains(EdgeKinds::WW));
+        assert!(k.intersects(EdgeKinds::RW));
+        assert!(!k.contains(EdgeKinds::WR));
+        assert!(!k.is_pure_write_read());
+        assert!(EdgeKinds::WR.is_pure_write_read());
+    }
+
+    #[test]
+    fn nodeset_basics() {
+        let mut s = NodeSet::new(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(99));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn nodeset_complement_masks_tail() {
+        let s = NodeSet::from_indices(70, [0, 69]);
+        let c = s.complement();
+        assert_eq!(c.count(), 68);
+        assert!(!c.contains(0));
+        assert!(!c.contains(69));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn nodeset_subset_and_ops() {
+        let a = NodeSet::from_indices(10, [1, 2]);
+        let b = NodeSet::from_indices(10, [1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, b);
+        let mut d = b.clone();
+        d.difference_with(&a);
+        assert_eq!(d, NodeSet::from_indices(10, [3]));
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let mut g = Dag::new(2);
+        assert_eq!(g.add_edge(1, 1, EdgeKinds::WW), Err(Error::SelfEdge(1)));
+    }
+
+    #[test]
+    fn edge_kinds_merge() {
+        let mut g = Dag::new(2);
+        g.add_edge(0, 1, EdgeKinds::WW).unwrap();
+        g.add_edge(0, 1, EdgeKinds::RW).unwrap();
+        assert_eq!(g.edge(0, 1), Some(EdgeKinds::WW.union(EdgeKinds::RW)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(g.reaches(0, 3));
+        assert!(!g.reaches(3, 0));
+        assert!(!g.reaches(1, 2));
+        assert!(!g.reaches(0, 0)); // paths have length >= 1
+    }
+
+    #[test]
+    fn prefix_tests() {
+        let g = diamond();
+        assert!(g.is_prefix(&NodeSet::from_indices(4, [])));
+        assert!(g.is_prefix(&NodeSet::from_indices(4, [0])));
+        assert!(g.is_prefix(&NodeSet::from_indices(4, [0, 1])));
+        assert!(g.is_prefix(&NodeSet::from_indices(4, [0, 1, 2, 3])));
+        assert!(!g.is_prefix(&NodeSet::from_indices(4, [1])));
+        assert!(!g.is_prefix(&NodeSet::from_indices(4, [0, 3])));
+    }
+
+    #[test]
+    fn prefix_closure_adds_ancestors() {
+        let g = diamond();
+        let c = g.prefix_closure(&NodeSet::from_indices(4, [3]));
+        assert_eq!(c, NodeSet::from_indices(4, [0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn topo_order_deterministic() {
+        let g = diamond();
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn topo_order_detects_cycle() {
+        let mut g = Dag::new(2);
+        g.add_edge(0, 1, EdgeKinds::WW).unwrap();
+        g.add_edge(1, 0, EdgeKinds::WW).unwrap();
+        assert_eq!(g.topo_order(), Err(Error::WouldCreateCycle));
+    }
+
+    #[test]
+    fn minimal_in_uses_paths_not_edges() {
+        // 0 -> 1 -> 2; set {0, 2}: 2 is preceded by 0 via the path
+        // through the non-member 1, so only 0 is minimal.
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1, EdgeKinds::WW).unwrap();
+        g.add_edge(1, 2, EdgeKinds::WW).unwrap();
+        let set = NodeSet::from_indices(3, [0, 2]);
+        assert_eq!(g.minimal_in(&set), vec![0]);
+    }
+
+    #[test]
+    fn minimal_in_incomparable_members() {
+        let g = diamond();
+        let set = NodeSet::from_indices(4, [1, 2]);
+        assert_eq!(g.minimal_in(&set), vec![1, 2]);
+    }
+
+    #[test]
+    fn prefix_enumeration_diamond() {
+        // Prefixes of the diamond: {}, {0}, {0,1}, {0,2}, {0,1,2},
+        // {0,1,2,3} — six downsets.
+        let g = diamond();
+        assert_eq!(g.count_prefixes(1000), Some(6));
+    }
+
+    #[test]
+    fn prefix_enumeration_respects_limit() {
+        let g = Dag::new(20); // edgeless: 2^20 downsets
+        assert_eq!(g.count_prefixes(100), None);
+    }
+
+    #[test]
+    fn prefix_enumeration_antichain_free_graph() {
+        // A chain of 5 has exactly 6 prefixes.
+        let mut g = Dag::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1, EdgeKinds::WW).unwrap();
+        }
+        assert_eq!(g.count_prefixes(1000), Some(6));
+    }
+
+    #[test]
+    fn enumerated_prefixes_are_prefixes() {
+        let g = diamond();
+        g.for_each_prefix(1000, |p| assert!(g.is_prefix(p)));
+    }
+
+    #[test]
+    fn ancestors_of_seed() {
+        let g = diamond();
+        let a = g.ancestors_of(&NodeSet::from_indices(4, [3]));
+        assert_eq!(a, NodeSet::from_indices(4, [0, 1, 2]));
+    }
+}

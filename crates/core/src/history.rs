@@ -1,0 +1,327 @@
+//! Operation sequences and the state sequences they generate (§2.1).
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::op::{OpId, Operation};
+use crate::state::{State, Value, Var};
+
+/// An operation sequence `O₁ O₂ … Oₖ` in invocation order.
+///
+/// Operations are numbered by position: `history.op(OpId(i))` is the
+/// operation invoked `i`-th (0-based). This makes `OpId` double as the
+/// node index in every graph generated from the history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct History {
+    ops: Vec<Operation>,
+}
+
+impl History {
+    /// Wraps a sequence whose operations are already numbered by
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MisnumberedHistory`] if ids do not equal positions.
+    pub fn new(ops: Vec<Operation>) -> Result<History> {
+        for (i, op) in ops.iter().enumerate() {
+            if op.id().index() != i {
+                return Err(Error::MisnumberedHistory { position: i, found: op.id() });
+            }
+        }
+        Ok(History { ops })
+    }
+
+    /// Builds a history from operations in invocation order, renumbering
+    /// them by position.
+    #[must_use]
+    pub fn renumbering(ops: Vec<Operation>) -> History {
+        let ops = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| op.with_id(OpId(i as u32)))
+            .collect();
+        History { ops }
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the history empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range; use [`History::get`] for the
+    /// fallible variant.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// The operation with the given id, if present.
+    #[must_use]
+    pub fn get(&self, id: OpId) -> Option<&Operation> {
+        self.ops.get(id.index())
+    }
+
+    /// Operations in invocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter()
+    }
+
+    /// All operation ids in invocation order.
+    pub fn ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// The state sequence `S₀ S₁ … Sₖ` generated from `s0`: `states()[i]`
+    /// is the state after the first `i` operations.
+    #[must_use]
+    pub fn states(&self, s0: &State) -> Vec<State> {
+        let mut out = Vec::with_capacity(self.len() + 1);
+        out.push(s0.clone());
+        let mut cur = s0.clone();
+        for op in &self.ops {
+            op.apply(&mut cur);
+            out.push(cur.clone());
+        }
+        out
+    }
+
+    /// The final state `Sₖ` of the sequence from `s0` — the state redo
+    /// recovery must reconstruct.
+    #[must_use]
+    pub fn final_state(&self, s0: &State) -> State {
+        let mut cur = s0.clone();
+        for op in &self.ops {
+            op.apply(&mut cur);
+        }
+        cur
+    }
+
+    /// Every variable accessed by any operation, with the ids of its
+    /// accessors in invocation order.
+    #[must_use]
+    pub fn var_accessors(&self) -> BTreeMap<Var, Vec<OpId>> {
+        let mut out: BTreeMap<Var, Vec<OpId>> = BTreeMap::new();
+        for op in &self.ops {
+            for x in op.accesses() {
+                out.entry(x).or_default().push(op.id());
+            }
+        }
+        out
+    }
+
+    /// Every variable written by any operation.
+    #[must_use]
+    pub fn written_vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = self.ops.iter().flat_map(|op| op.writes().iter().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The value variable `x` holds after the first `i` operations
+    /// (`i == 0` means `s0`). Convenience for tests and the checker.
+    #[must_use]
+    pub fn value_after(&self, s0: &State, i: usize, x: Var) -> Value {
+        let mut cur = s0.clone();
+        for op in self.ops.iter().take(i) {
+            op.apply(&mut cur);
+        }
+        cur.get(x)
+    }
+}
+
+impl std::ops::Index<OpId> for History {
+    type Output = Operation;
+    fn index(&self, id: OpId) -> &Operation {
+        self.op(id)
+    }
+}
+
+/// The paper's running examples as ready-made histories.
+pub mod examples {
+    use super::History;
+    use crate::expr::Expr;
+    use crate::op::examples::{op_a, op_b, op_c, op_d};
+    use crate::op::{OpId, Operation};
+    use crate::state::Var;
+
+    /// Scenario 1 (Figure 1): `A: x ← y+1` then `B: y ← 2`.
+    #[must_use]
+    pub fn scenario1() -> History {
+        History::new(vec![op_a(OpId(0)), op_b(OpId(1))]).expect("well-formed")
+    }
+
+    /// Scenario 2 (Figure 2): `B: y ← 2` then `A: x ← y+1`.
+    #[must_use]
+    pub fn scenario2() -> History {
+        History::new(vec![op_b(OpId(0)), op_a(OpId(1))]).expect("well-formed")
+    }
+
+    /// Scenario 3 (Figure 3): `C: ⟨x ← x+1; y ← y+1⟩` then `D: x ← y+1`.
+    #[must_use]
+    pub fn scenario3() -> History {
+        History::new(vec![op_c(OpId(0)), op_d(OpId(1))]).expect("well-formed")
+    }
+
+    /// The §2.4 / Figure 4 example: `O` (reads x, writes x), `P` (reads
+    /// x, writes y), `Q` (reads x, writes x). With `x` initially 0 the
+    /// paper's figure shows the successive states; we realize `O` and `Q`
+    /// as increments and `P` as a copy so those states are
+    /// distinguishable.
+    #[must_use]
+    pub fn figure4() -> History {
+        let x = Var(0);
+        let y = Var(1);
+        let o = Operation::builder(OpId(0))
+            .assign(x, Expr::read(x).add(Expr::constant(1)))
+            .build()
+            .expect("well-formed");
+        let p = Operation::builder(OpId(1))
+            .assign(y, Expr::read(x).add(Expr::constant(10)))
+            .build()
+            .expect("well-formed");
+        let q = Operation::builder(OpId(2))
+            .assign(x, Expr::read(x).add(Expr::constant(1)))
+            .build()
+            .expect("well-formed");
+        History::new(vec![o, p, q]).expect("well-formed")
+    }
+
+    /// §5's E, F, G example: `E: x ← y+1`, `F: y ← x+1`, `G: x ← x+1`.
+    /// E and F are entangled (installing either alone is unrecoverable);
+    /// the write graph must collapse them.
+    #[must_use]
+    pub fn efg() -> History {
+        let x = Var(0);
+        let y = Var(1);
+        let e = Operation::builder(OpId(0))
+            .assign(x, Expr::read(y).add(Expr::constant(1)))
+            .build()
+            .expect("well-formed");
+        let f = Operation::builder(OpId(1))
+            .assign(y, Expr::read(x).add(Expr::constant(1)))
+            .build()
+            .expect("well-formed");
+        let g = Operation::builder(OpId(2))
+            .assign(x, Expr::read(x).add(Expr::constant(1)))
+            .build()
+            .expect("well-formed");
+        History::new(vec![e, f, g]).expect("well-formed")
+    }
+
+    /// §5's H, J example: `H: ⟨x ← x+1; y ← y+1⟩`, `J: y ← 0`. J's blind
+    /// write makes `y` unexposed after H, so installing H only requires
+    /// updating `x`.
+    #[must_use]
+    pub fn hj() -> History {
+        let x = Var(0);
+        let y = Var(1);
+        let h = Operation::builder(OpId(0))
+            .assign(x, Expr::read(x).add(Expr::constant(1)))
+            .assign(y, Expr::read(y).add(Expr::constant(1)))
+            .build()
+            .expect("well-formed");
+        let j = Operation::builder(OpId(1)).assign(y, Expr::constant(0)).build().expect("well-formed");
+        History::new(vec![h, j]).expect("well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::*;
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn misnumbered_history_rejected() {
+        let op = Operation::builder(OpId(5)).assign(Var(0), Expr::constant(1)).build().unwrap();
+        let err = History::new(vec![op]).unwrap_err();
+        assert!(matches!(err, Error::MisnumberedHistory { position: 0, .. }));
+    }
+
+    #[test]
+    fn renumbering_fixes_ids() {
+        let op = Operation::builder(OpId(5)).assign(Var(0), Expr::constant(1)).build().unwrap();
+        let h = History::renumbering(vec![op.clone(), op]);
+        assert_eq!(h.op(OpId(0)).id(), OpId(0));
+        assert_eq!(h.op(OpId(1)).id(), OpId(1));
+    }
+
+    #[test]
+    fn state_sequence_of_scenario1() {
+        let h = scenario1();
+        let states = h.states(&State::zeroed());
+        assert_eq!(states.len(), 3);
+        assert_eq!(states[0].get(Var(0)), Value(0));
+        assert_eq!(states[1].get(Var(0)), Value(1)); // after A
+        assert_eq!(states[2].get(Var(1)), Value(2)); // after B
+    }
+
+    #[test]
+    fn final_state_matches_last_of_sequence() {
+        let h = figure4();
+        let s0 = State::zeroed();
+        assert_eq!(h.final_state(&s0), h.states(&s0).pop().unwrap());
+    }
+
+    #[test]
+    fn figure4_final_state() {
+        // O: x=1; P: y=11; Q: x=2.
+        let h = figure4();
+        let f = h.final_state(&State::zeroed());
+        assert_eq!(f.get(Var(0)), Value(2));
+        assert_eq!(f.get(Var(1)), Value(11));
+    }
+
+    #[test]
+    fn var_accessors_in_order() {
+        let h = figure4();
+        let acc = h.var_accessors();
+        assert_eq!(acc[&Var(0)], vec![OpId(0), OpId(1), OpId(2)]);
+        assert_eq!(acc[&Var(1)], vec![OpId(1)]);
+    }
+
+    #[test]
+    fn written_vars_deduped() {
+        let h = figure4();
+        assert_eq!(h.written_vars(), vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn value_after_prefixes() {
+        let h = scenario2();
+        let s0 = State::zeroed();
+        assert_eq!(h.value_after(&s0, 0, Var(1)), Value(0));
+        assert_eq!(h.value_after(&s0, 1, Var(1)), Value(2));
+        assert_eq!(h.value_after(&s0, 2, Var(0)), Value(3));
+    }
+
+    #[test]
+    fn efg_entanglement_semantics() {
+        // E: x=1, F: y=2, G: x=2 from zero.
+        let h = efg();
+        let f = h.final_state(&State::zeroed());
+        assert_eq!(f.get(Var(0)), Value(2));
+        assert_eq!(f.get(Var(1)), Value(2));
+    }
+
+    #[test]
+    fn hj_semantics() {
+        let h = hj();
+        let f = h.final_state(&State::zeroed());
+        assert_eq!(f.get(Var(0)), Value(1));
+        assert_eq!(f.get(Var(1)), Value(0));
+    }
+}

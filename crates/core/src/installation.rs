@@ -1,0 +1,165 @@
+//! The installation graph (§3.1).
+//!
+//! The installation graph is the conflict graph with the edges that
+//! result *solely* from write-read conflicts removed. Its prefixes are
+//! exactly the sets of operations that may appear installed in a
+//! potentially recoverable state: a state update process that installs
+//! operations in installation-graph order keeps the state explainable,
+//! and hence recoverable (Theorem 3).
+//!
+//! The paper's earlier formulation (VLDB 1995) also removed certain
+//! write-write edges via an elaborate construction; §1.3 notes that the
+//! two definitions are equivalent for explainability, so this simpler
+//! weakening is the one implemented here.
+
+use crate::conflict::ConflictGraph;
+use crate::graph::{Dag, NodeSet};
+use crate::op::OpId;
+
+/// The installation graph derived from a conflict graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InstallationGraph {
+    dag: Dag,
+    removed_edges: Vec<(OpId, OpId)>,
+}
+
+impl InstallationGraph {
+    /// Derives the installation graph: keep an edge iff its kinds
+    /// include a write-write or read-write conflict.
+    #[must_use]
+    pub fn from_conflict(cg: &ConflictGraph) -> InstallationGraph {
+        let mut dag = Dag::new(cg.len());
+        let mut removed = Vec::new();
+        for (u, v, kinds) in cg.dag().edges() {
+            if kinds.is_pure_write_read() {
+                removed.push((OpId(u as u32), OpId(v as u32)));
+            } else {
+                dag.add_edge(u, v, kinds).expect("edges of a DAG remain valid");
+            }
+        }
+        InstallationGraph { dag, removed_edges: removed }
+    }
+
+    /// The underlying DAG.
+    #[must_use]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// Is the graph empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dag.is_empty()
+    }
+
+    /// The conflict-graph edges the derivation dropped (the dotted edges
+    /// of Figure 5).
+    #[must_use]
+    pub fn removed_edges(&self) -> &[(OpId, OpId)] {
+        &self.removed_edges
+    }
+
+    /// Is `set` a prefix of the installation graph?
+    #[must_use]
+    pub fn is_prefix(&self, set: &NodeSet) -> bool {
+        self.dag.is_prefix(set)
+    }
+
+    /// Counts the prefixes of the installation graph, up to `limit`.
+    /// Comparing this with the conflict graph's count quantifies the
+    /// extra installation freedom the weakening buys (Figure 5's point).
+    #[must_use]
+    pub fn count_prefixes(&self, limit: usize) -> Option<usize> {
+        self.dag.count_prefixes(limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKinds;
+    use crate::history::examples::{efg, figure4, hj, scenario1, scenario2, scenario3};
+
+    #[test]
+    fn figure5_drops_only_the_wr_edge() {
+        // Conflict graph of Figure 4: O-wr->P, O-ww|rw->Q, P-rw->Q.
+        // Installation graph keeps O->Q and P->Q, drops O->P.
+        let cg = ConflictGraph::generate(&figure4());
+        let ig = InstallationGraph::from_conflict(&cg);
+        assert_eq!(ig.dag().edge(0, 1), None);
+        assert!(ig.dag().edge(0, 2).is_some());
+        assert!(ig.dag().edge(1, 2).is_some());
+        assert_eq!(ig.removed_edges(), &[(OpId(0), OpId(1))]);
+    }
+
+    #[test]
+    fn scenario1_keeps_rw_edge() {
+        let cg = ConflictGraph::generate(&scenario1());
+        let ig = InstallationGraph::from_conflict(&cg);
+        assert_eq!(ig.dag().edge(0, 1), Some(EdgeKinds::RW));
+        // {B} alone is not an installation prefix.
+        assert!(!ig.is_prefix(&NodeSet::from_indices(2, [1])));
+    }
+
+    #[test]
+    fn scenario2_drops_wr_edge() {
+        let cg = ConflictGraph::generate(&scenario2());
+        let ig = InstallationGraph::from_conflict(&cg);
+        assert_eq!(ig.dag().edge(0, 1), None);
+        // {A} (node 1) becomes a legal prefix, the paper's point.
+        assert!(ig.is_prefix(&NodeSet::from_indices(2, [1])));
+        assert!(!cg.dag().is_prefix(&NodeSet::from_indices(2, [1])));
+    }
+
+    #[test]
+    fn conflict_prefixes_are_installation_prefixes() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+            let cg = ConflictGraph::generate(&h);
+            let ig = InstallationGraph::from_conflict(&cg);
+            cg.dag()
+                .for_each_prefix(10_000, |p| {
+                    assert!(ig.is_prefix(p), "conflict prefix {p:?} not an installation prefix");
+                })
+                .expect("small");
+        }
+    }
+
+    #[test]
+    fn installation_graph_admits_at_least_as_many_prefixes() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+            let cg = ConflictGraph::generate(&h);
+            let ig = InstallationGraph::from_conflict(&cg);
+            let nc = cg.dag().count_prefixes(10_000).unwrap();
+            let ni = ig.count_prefixes(10_000).unwrap();
+            assert!(ni >= nc, "{ni} < {nc}");
+        }
+    }
+
+    #[test]
+    fn figure5_prefix_counts() {
+        // Conflict graph O->P->Q chain plus O->Q: prefixes {}, {O},
+        // {O,P}, {O,P,Q} = 4. Installation graph drops O->P: P becomes
+        // independent of O, adding {P} and {O? no} ... prefixes:
+        // {}, {O}, {P}, {O,P}, {O,P,Q} = 5 (the extra dashed state of
+        // Figure 5).
+        let cg = ConflictGraph::generate(&figure4());
+        let ig = InstallationGraph::from_conflict(&cg);
+        assert_eq!(cg.dag().count_prefixes(100), Some(4));
+        assert_eq!(ig.count_prefixes(100), Some(5));
+    }
+
+    #[test]
+    fn efg_keeps_everything_ordered() {
+        // E->F is rw|wr (kept), F->G rw (kept), E->G ww|wr (kept).
+        let cg = ConflictGraph::generate(&efg());
+        let ig = InstallationGraph::from_conflict(&cg);
+        assert_eq!(ig.dag().edge_count(), 3);
+        assert!(ig.removed_edges().is_empty());
+    }
+}

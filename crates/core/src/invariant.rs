@@ -1,0 +1,203 @@
+//! The Recovery Invariant (§4.5).
+//!
+//! > **Recovery Invariant.** The set `operations(log) − redo_set` induces
+//! > a prefix of the installation graph that explains the state.
+//!
+//! This invariant is the contract between state update and recovery: as
+//! long as every change to the state is accompanied by a matching change
+//! to the set of operations the redo test will choose to replay, the
+//! abstract recovery procedure terminates in the state determined by the
+//! conflict graph (Corollary 4). Every concrete method in `redo-methods`
+//! is audited against this module.
+
+use crate::conflict::ConflictGraph;
+use crate::explain::first_unexplained_var;
+use crate::graph::NodeSet;
+use crate::installation::InstallationGraph;
+use crate::log::Log;
+use crate::op::OpId;
+use crate::state::{State, Value, Var};
+use crate::state_graph::StateGraph;
+
+/// Why the recovery invariant failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InvariantViolation {
+    /// The installed set is not a prefix of the installation graph:
+    /// `op` is installed but its predecessor `missing_pred` is not.
+    NotAPrefix {
+        /// An installed operation...
+        op: OpId,
+        /// ...with this uninstalled installation-graph predecessor.
+        missing_pred: OpId,
+    },
+    /// The installed prefix does not explain the state: the exposed
+    /// variable `var` holds `actual` but the prefix determines
+    /// `expected`.
+    Unexplained {
+        /// The offending exposed variable.
+        var: Var,
+        /// The value the prefix determines.
+        expected: Value,
+        /// The value the state actually holds.
+        actual: Value,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::NotAPrefix { op, missing_pred } => write!(
+                f,
+                "installed set is not an installation-graph prefix: {op:?} installed, predecessor {missing_pred:?} is not"
+            ),
+            InvariantViolation::Unexplained { var, expected, actual } => write!(
+                f,
+                "installed prefix does not explain the state: exposed {var:?} holds {actual:?}, expected {expected:?}"
+            ),
+        }
+    }
+}
+
+/// Checks the recovery invariant for a given redo set.
+///
+/// `redo_set` is the set of operations the redo test would choose to
+/// replay *right now*; `operations(log) − redo_set` is the implied
+/// installed set.
+///
+/// # Errors
+///
+/// The first [`InvariantViolation`] found, if any.
+pub fn recovery_invariant(
+    cg: &ConflictGraph,
+    ig: &InstallationGraph,
+    sg: &StateGraph,
+    log: &Log,
+    redo_set: &NodeSet,
+    state: &State,
+) -> Result<(), InvariantViolation> {
+    let mut installed = log.operations(cg.len());
+    installed.difference_with(redo_set);
+    // Prefix check with a precise witness.
+    for op in installed.iter() {
+        for (p, _) in ig.dag().predecessors(op) {
+            if !installed.contains(p) {
+                return Err(InvariantViolation::NotAPrefix {
+                    op: OpId(op as u32),
+                    missing_pred: OpId(p as u32),
+                });
+            }
+        }
+    }
+    if let Some(var) = first_unexplained_var(cg, sg, &installed, state) {
+        let expected = sg.state_determined_by(&installed).get(var);
+        return Err(InvariantViolation::Unexplained { var, expected, actual: state.get(var) });
+    }
+    Ok(())
+}
+
+/// Boolean form of [`recovery_invariant`].
+#[must_use]
+pub fn recovery_invariant_holds(
+    cg: &ConflictGraph,
+    ig: &InstallationGraph,
+    sg: &StateGraph,
+    log: &Log,
+    redo_set: &NodeSet,
+    state: &State,
+) -> bool {
+    recovery_invariant(cg, ig, sg, log, redo_set, state).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::examples::{figure4, scenario1, scenario2, scenario3};
+    use crate::history::History;
+
+    struct Ctx {
+        h: History,
+        cg: ConflictGraph,
+        ig: InstallationGraph,
+        sg: StateGraph,
+        log: Log,
+    }
+
+    fn ctx(h: History) -> Ctx {
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &State::zeroed());
+        let log = Log::from_history(&h);
+        Ctx { h, cg, ig, sg, log }
+    }
+
+    #[test]
+    fn redo_everything_from_s0_satisfies_invariant() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4()] {
+            let c = ctx(h);
+            let redo_all = NodeSet::full(c.h.len());
+            recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &redo_all, &State::zeroed()).unwrap();
+        }
+    }
+
+    #[test]
+    fn redo_nothing_from_final_state_satisfies_invariant() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4()] {
+            let c = ctx(h);
+            let none = NodeSet::new(c.h.len());
+            let final_state = c.sg.final_state();
+            recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &none, &final_state).unwrap();
+        }
+    }
+
+    #[test]
+    fn scenario1_installed_b_violates_prefix() {
+        // redo_set = {A}: installed = {B}, but B's installation-graph
+        // predecessor A (read-write edge) is uninstalled.
+        let c = ctx(scenario1());
+        let redo = NodeSet::from_indices(2, [0]);
+        let state = State::from_pairs([(Var(1), Value(2))]);
+        let err = recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &redo, &state).unwrap_err();
+        assert_eq!(err, InvariantViolation::NotAPrefix { op: OpId(1), missing_pred: OpId(0) });
+    }
+
+    #[test]
+    fn scenario2_installed_a_satisfies_invariant() {
+        // redo_set = {B}: installed = {A}, a legal installation prefix
+        // explaining the state x=3.
+        let c = ctx(scenario2());
+        let redo = NodeSet::from_indices(2, [0]);
+        let state = State::from_pairs([(Var(0), Value(3))]);
+        recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &redo, &state).unwrap();
+    }
+
+    #[test]
+    fn wrong_exposed_value_reported() {
+        let c = ctx(scenario2());
+        let redo = NodeSet::from_indices(2, [0]);
+        // Installed {A} determines x=3; state holds x=9.
+        let state = State::from_pairs([(Var(0), Value(9))]);
+        let err = recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &redo, &state).unwrap_err();
+        assert_eq!(
+            err,
+            InvariantViolation::Unexplained { var: Var(0), expected: Value(3), actual: Value(9) }
+        );
+    }
+
+    #[test]
+    fn unexposed_garbage_is_tolerated() {
+        // Scenario 3, redo {D}: installed {C}; x unexposed, may hold
+        // anything; y exposed, must be 1.
+        let c = ctx(scenario3());
+        let redo = NodeSet::from_indices(2, [1]);
+        let state = State::from_pairs([(Var(0), Value(0xbad)), (Var(1), Value(1))]);
+        recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &redo, &state).unwrap();
+    }
+
+    #[test]
+    fn invariant_violation_displays() {
+        let v = InvariantViolation::NotAPrefix { op: OpId(1), missing_pred: OpId(0) };
+        assert!(v.to_string().contains("op1"));
+        let v = InvariantViolation::Unexplained { var: Var(2), expected: Value(1), actual: Value(3) };
+        assert!(v.to_string().contains("v2"));
+    }
+}

@@ -1,0 +1,204 @@
+//! The log (§4.1).
+//!
+//! The paper defines a log over a conflict graph as any DAG whose nodes
+//! are labeled with the graph's operations and whose order is consistent
+//! with the conflict order. Practical logs are linear sequences of
+//! records in invocation order — and by Lemma 1 a linear log is just one
+//! total ordering of the conflict graph, so we represent logs linearly
+//! and validate conflict-consistency explicitly. Records carry log
+//! sequence numbers (LSNs), which §6.3's physiological method uses as
+//! page tags.
+
+use crate::conflict::ConflictGraph;
+use crate::error::{Error, Result};
+use crate::graph::NodeSet;
+use crate::history::History;
+use crate::op::OpId;
+
+/// A log sequence number. LSNs increase monotonically with each record;
+/// `Lsn(0)` is reserved as "before any record" (the LSN of a freshly
+/// allocated page).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN, smaller than that of every record.
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// The next LSN.
+    #[must_use]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+/// One log record: an operation invocation at a log position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LogRecord {
+    /// The record's log sequence number.
+    pub lsn: Lsn,
+    /// The logged operation.
+    pub op: OpId,
+}
+
+/// A linear redo log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Log {
+    records: Vec<LogRecord>,
+}
+
+impl Log {
+    /// Logs a history in invocation order, assigning LSNs `1..=n`.
+    #[must_use]
+    pub fn from_history(history: &History) -> Log {
+        Log {
+            records: history
+                .ids()
+                .enumerate()
+                .map(|(i, op)| LogRecord { lsn: Lsn(i as u64 + 1), op })
+                .collect(),
+        }
+    }
+
+    /// Logs the history's operations in an explicit order (useful for
+    /// exercising Lemma 1: any conflict-consistent order is as good as
+    /// the invocation order).
+    #[must_use]
+    pub fn from_order(order: &[OpId]) -> Log {
+        Log {
+            records: order
+                .iter()
+                .enumerate()
+                .map(|(i, &op)| LogRecord { lsn: Lsn(i as u64 + 1), op })
+                .collect(),
+        }
+    }
+
+    /// The records in log order.
+    #[must_use]
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the log empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// `operations(log)`: the set of logged operations, as a node set
+    /// over a universe of `universe` operations.
+    #[must_use]
+    pub fn operations(&self, universe: usize) -> NodeSet {
+        NodeSet::from_indices(universe, self.records.iter().map(|r| r.op.index()))
+    }
+
+    /// The LSN of an operation's record, if logged.
+    #[must_use]
+    pub fn lsn_of(&self, op: OpId) -> Option<Lsn> {
+        self.records.iter().find(|r| r.op == op).map(|r| r.lsn)
+    }
+
+    /// The highest LSN in the log (`Lsn::ZERO` when empty).
+    #[must_use]
+    pub fn last_lsn(&self) -> Lsn {
+        self.records.last().map_or(Lsn::ZERO, |r| r.lsn)
+    }
+
+    /// Validates the two §4.1 requirements against a conflict graph:
+    /// the logged operations are exactly the graph's, and the log order
+    /// is consistent with the conflict order.
+    pub fn validate_against(&self, cg: &ConflictGraph) -> Result<()> {
+        let n = cg.len();
+        let mut pos = vec![usize::MAX; n];
+        for (i, r) in self.records.iter().enumerate() {
+            if r.op.index() >= n || pos[r.op.index()] != usize::MAX {
+                return Err(Error::NoSuchOp(r.op));
+            }
+            pos[r.op.index()] = i;
+        }
+        if self.records.len() != n {
+            // Some operation of the graph is missing from the log.
+            let missing = (0..n).find(|&i| pos[i] == usize::MAX).unwrap_or(0);
+            return Err(Error::NoSuchOp(OpId(missing as u32)));
+        }
+        for (u, v, _) in cg.dag().edges() {
+            if pos[u] > pos[v] {
+                return Err(Error::LogOrderViolation {
+                    before: OpId(u as u32),
+                    after: OpId(v as u32),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::examples::{figure4, scenario2};
+
+    #[test]
+    fn from_history_assigns_monotone_lsns() {
+        let log = Log::from_history(&figure4());
+        let lsns: Vec<u64> = log.records().iter().map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, vec![1, 2, 3]);
+        assert_eq!(log.last_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn operations_set() {
+        let log = Log::from_history(&figure4());
+        assert_eq!(log.operations(3), NodeSet::full(3));
+    }
+
+    #[test]
+    fn lsn_lookup() {
+        let log = Log::from_history(&figure4());
+        assert_eq!(log.lsn_of(OpId(1)), Some(Lsn(2)));
+        assert_eq!(log.lsn_of(OpId(9)), None);
+    }
+
+    #[test]
+    fn invocation_order_log_validates() {
+        let h = figure4();
+        let cg = ConflictGraph::generate(&h);
+        Log::from_history(&h).validate_against(&cg).unwrap();
+    }
+
+    #[test]
+    fn conflict_consistent_permutation_validates() {
+        // Scenario 2's graph has only the WR edge B -> A; the order
+        // [B, A] is forced, but for an edgeless pair any order works.
+        let h = scenario2();
+        let cg = ConflictGraph::generate(&h);
+        Log::from_order(&[OpId(0), OpId(1)]).validate_against(&cg).unwrap();
+        let err = Log::from_order(&[OpId(1), OpId(0)]).validate_against(&cg).unwrap_err();
+        assert_eq!(err, Error::LogOrderViolation { before: OpId(0), after: OpId(1) });
+    }
+
+    #[test]
+    fn missing_and_duplicate_ops_rejected() {
+        let h = figure4();
+        let cg = ConflictGraph::generate(&h);
+        assert!(Log::from_order(&[OpId(0), OpId(1)]).validate_against(&cg).is_err());
+        assert!(Log::from_order(&[OpId(0), OpId(0), OpId(2)])
+            .validate_against(&cg)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_log_edge_cases() {
+        let log = Log::from_order(&[]);
+        assert!(log.is_empty());
+        assert_eq!(log.last_lsn(), Lsn::ZERO);
+        assert_eq!(log.operations(0).count(), 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Operations: atomic read-then-write functions (§2.1).
+//!
+//! "Each operation atomically reads a set of variables and then writes a
+//! set of variables." An [`Operation`] therefore evaluates *all* of its
+//! assignment expressions against the pre-state before writing any
+//! target, so `⟨x ← x+1; y ← y+1⟩` and multi-variable bodies behave
+//! exactly as the paper's Scenario 3 requires.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::state::{State, Value, Var};
+
+/// Identifier of an operation within a [`History`](crate::history::History).
+///
+/// Histories number operations by invocation position, so `OpId` doubles
+/// as a node index in the conflict, installation, and state graphs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The id as a graph node index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// One assignment `target ← expr` inside an operation body.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// The written variable.
+    pub target: Var,
+    /// The expression producing the new value, evaluated on the
+    /// pre-state.
+    pub expr: Expr,
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} <- {:?}", self.target, self.expr)
+    }
+}
+
+/// A logged operation: a deterministic function from its read set to its
+/// write set.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Operation {
+    id: OpId,
+    reads: BTreeSet<Var>,
+    writes: BTreeSet<Var>,
+    body: Vec<Assignment>,
+}
+
+impl Operation {
+    /// Starts building an operation with the given id.
+    #[must_use]
+    pub fn builder(id: OpId) -> OperationBuilder {
+        OperationBuilder { id, body: Vec::new(), extra_reads: BTreeSet::new() }
+    }
+
+    /// The operation's identifier.
+    #[must_use]
+    pub fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// Returns a copy of this operation carrying a different id. Used by
+    /// histories that renumber operations and by workload generators.
+    #[must_use]
+    pub fn with_id(&self, id: OpId) -> Operation {
+        Operation { id, ..self.clone() }
+    }
+
+    /// The read set (input variables).
+    #[must_use]
+    pub fn reads(&self) -> &BTreeSet<Var> {
+        &self.reads
+    }
+
+    /// The write set (output variables).
+    #[must_use]
+    pub fn writes(&self) -> &BTreeSet<Var> {
+        &self.writes
+    }
+
+    /// All variables the operation accesses (reads ∪ writes).
+    pub fn accesses(&self) -> impl Iterator<Item = Var> + '_ {
+        self.reads.union(&self.writes).copied()
+    }
+
+    /// Does the operation access (read or write) `x`?
+    #[must_use]
+    pub fn accesses_var(&self, x: Var) -> bool {
+        self.reads.contains(&x) || self.writes.contains(&x)
+    }
+
+    /// The assignments making up the body.
+    #[must_use]
+    pub fn body(&self) -> &[Assignment] {
+        &self.body
+    }
+
+    /// Is the write to `x` blind, i.e. is `x` written without being read
+    /// by this operation? (Blind writes are what render variables
+    /// unexposed, §2.3.)
+    #[must_use]
+    pub fn writes_blindly(&self, x: Var) -> bool {
+        self.writes.contains(&x) && !self.reads.contains(&x)
+    }
+
+    /// Computes the values the operation would write given the pre-state,
+    /// without mutating anything.
+    #[must_use]
+    pub fn outputs(&self, pre: &State) -> BTreeMap<Var, Value> {
+        self.body
+            .iter()
+            .map(|a| (a.target, a.expr.eval(&mut |x| pre.get(x))))
+            .collect()
+    }
+
+    /// Applies the operation to `state`: reads atomically, then writes.
+    pub fn apply(&self, state: &mut State) {
+        let outs = self.outputs(state);
+        for (x, v) in outs {
+            state.set(x, v);
+        }
+    }
+
+    /// The values the operation reads from `state`.
+    #[must_use]
+    pub fn read_values(&self, state: &State) -> BTreeMap<Var, Value> {
+        self.reads.iter().map(|&x| (x, state.get(x))).collect()
+    }
+}
+
+impl fmt::Debug for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: ⟨", self.id)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Builder for [`Operation`].
+pub struct OperationBuilder {
+    id: OpId,
+    body: Vec<Assignment>,
+    extra_reads: BTreeSet<Var>,
+}
+
+impl OperationBuilder {
+    /// Adds an assignment `target ← expr`.
+    #[must_use]
+    pub fn assign(mut self, target: Var, expr: Expr) -> Self {
+        self.body.push(Assignment { target, expr });
+        self
+    }
+
+    /// Declares an additional read variable that does not appear in any
+    /// expression (an observed-but-unused input). It still creates
+    /// conflicts, exactly like a read whose value happens not to affect
+    /// the output.
+    #[must_use]
+    pub fn declare_read(mut self, x: Var) -> Self {
+        self.extra_reads.insert(x);
+        self
+    }
+
+    /// Finalizes the operation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DuplicateWrite`] if two assignments share a target, and
+    /// [`Error::EmptyWriteSet`] if the body is empty — the paper's
+    /// operations write at least one variable.
+    pub fn build(self) -> Result<Operation> {
+        if self.body.is_empty() {
+            return Err(Error::EmptyWriteSet(self.id));
+        }
+        let mut writes = BTreeSet::new();
+        let mut reads = self.extra_reads;
+        for a in &self.body {
+            if !writes.insert(a.target) {
+                return Err(Error::DuplicateWrite(a.target));
+            }
+            a.expr.collect_reads(&mut reads);
+        }
+        Ok(Operation { id: self.id, reads, writes, body: self.body })
+    }
+}
+
+/// Convenience constructors for the paper's example operations.
+pub mod examples {
+    use super::{Expr, OpId, Operation, Var};
+
+    /// `A: x ← y + 1` (Scenarios 1 and 2). `x = Var(0)`, `y = Var(1)`.
+    #[must_use]
+    pub fn op_a(id: OpId) -> Operation {
+        Operation::builder(id)
+            .assign(Var(0), Expr::read(Var(1)).add(Expr::constant(1)))
+            .build()
+            .expect("valid operation")
+    }
+
+    /// `B: y ← 2` (Scenarios 1 and 2).
+    #[must_use]
+    pub fn op_b(id: OpId) -> Operation {
+        Operation::builder(id).assign(Var(1), Expr::constant(2)).build().expect("valid operation")
+    }
+
+    /// `C: ⟨x ← x+1; y ← y+1⟩` (Scenario 3).
+    #[must_use]
+    pub fn op_c(id: OpId) -> Operation {
+        Operation::builder(id)
+            .assign(Var(0), Expr::read(Var(0)).add(Expr::constant(1)))
+            .assign(Var(1), Expr::read(Var(1)).add(Expr::constant(1)))
+            .build()
+            .expect("valid operation")
+    }
+
+    /// `D: x ← y + 1` (Scenario 3).
+    #[must_use]
+    pub fn op_d(id: OpId) -> Operation {
+        op_a(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::*;
+    use super::*;
+
+    #[test]
+    fn builder_computes_read_and_write_sets() {
+        let op = Operation::builder(OpId(0))
+            .assign(Var(0), Expr::read(Var(1)).add(Expr::read(Var(2))))
+            .assign(Var(3), Expr::constant(9))
+            .build()
+            .unwrap();
+        assert_eq!(op.reads(), &BTreeSet::from([Var(1), Var(2)]));
+        assert_eq!(op.writes(), &BTreeSet::from([Var(0), Var(3)]));
+    }
+
+    #[test]
+    fn duplicate_write_rejected() {
+        let err = Operation::builder(OpId(0))
+            .assign(Var(0), Expr::constant(1))
+            .assign(Var(0), Expr::constant(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::DuplicateWrite(Var(0)));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let err = Operation::builder(OpId(3)).build().unwrap_err();
+        assert_eq!(err, Error::EmptyWriteSet(OpId(3)));
+    }
+
+    #[test]
+    fn declared_reads_join_read_set() {
+        let op = Operation::builder(OpId(0))
+            .assign(Var(0), Expr::constant(1))
+            .declare_read(Var(7))
+            .build()
+            .unwrap();
+        assert!(op.reads().contains(&Var(7)));
+        assert!(!op.writes_blindly(Var(0)) || !op.reads().contains(&Var(0)));
+    }
+
+    #[test]
+    fn apply_reads_atomically_before_writing() {
+        // C: ⟨x ← x+1; y ← y+1⟩ on x=5, y=10.
+        let mut s = State::from_pairs([(Var(0), Value(5)), (Var(1), Value(10))]);
+        op_c(OpId(0)).apply(&mut s);
+        assert_eq!(s.get(Var(0)), Value(6));
+        assert_eq!(s.get(Var(1)), Value(11));
+    }
+
+    #[test]
+    fn swap_demonstrates_atomic_read_then_write() {
+        // ⟨x ← y; y ← x⟩ must swap, not duplicate.
+        let op = Operation::builder(OpId(0))
+            .assign(Var(0), Expr::read(Var(1)))
+            .assign(Var(1), Expr::read(Var(0)))
+            .build()
+            .unwrap();
+        let mut s = State::from_pairs([(Var(0), Value(1)), (Var(1), Value(2))]);
+        op.apply(&mut s);
+        assert_eq!(s.get(Var(0)), Value(2));
+        assert_eq!(s.get(Var(1)), Value(1));
+    }
+
+    #[test]
+    fn blind_write_detection() {
+        let b = op_b(OpId(0)); // y ← 2
+        assert!(b.writes_blindly(Var(1)));
+        let c = op_c(OpId(1)); // x ← x+1 reads x
+        assert!(!c.writes_blindly(Var(0)));
+    }
+
+    #[test]
+    fn scenario1_semantics() {
+        // A then B from S0 = 0: x = 1, y = 2.
+        let mut s = State::zeroed();
+        op_a(OpId(0)).apply(&mut s);
+        op_b(OpId(1)).apply(&mut s);
+        assert_eq!(s.get(Var(0)), Value(1));
+        assert_eq!(s.get(Var(1)), Value(2));
+    }
+
+    #[test]
+    fn scenario2_semantics() {
+        // B then A from S0 = 0: y = 2, x = 3.
+        let mut s = State::zeroed();
+        op_b(OpId(0)).apply(&mut s);
+        op_a(OpId(1)).apply(&mut s);
+        assert_eq!(s.get(Var(0)), Value(3));
+        assert_eq!(s.get(Var(1)), Value(2));
+    }
+
+    #[test]
+    fn outputs_does_not_mutate() {
+        let s = State::zeroed();
+        let outs = op_b(OpId(0)).outputs(&s);
+        assert_eq!(outs.get(&Var(1)), Some(&Value(2)));
+        assert_eq!(s.get(Var(1)), Value(0));
+    }
+
+    #[test]
+    fn read_values_snapshot() {
+        let s = State::from_pairs([(Var(1), Value(42))]);
+        let rv = op_a(OpId(0)).read_values(&s);
+        assert_eq!(rv.get(&Var(1)), Some(&Value(42)));
+        assert_eq!(rv.len(), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! The abstract redo recovery procedure (§4, Figure 6).
+//!
+//! ```text
+//! procedure recover(state, log, checkpoint)
+//!     unrecovered = operations(log) - checkpoint
+//!     analysis = null
+//!     while unrecovered is not empty
+//!         O = minimal operation in unrecovered
+//!         analysis = analyze(state, log, unrecovered, analysis)
+//!         state = if redo(O, state, log, analysis) then O(state) else state
+//!         unrecovered = unrecovered - {O}
+//!     end while
+//! ```
+//!
+//! The procedure is parametric in the *redo test* and the *analysis
+//! function*; §4.3 permits both to be arbitrary. Running [`recover`]
+//! yields a [`RecoveryOutcome`] recording the redo set, and
+//! [`recover_checked`] additionally verifies the Recovery Corollary's
+//! inductive invariant after every iteration — that the operations that
+//! will never be redone form an installation-graph prefix explaining the
+//! current state — pinpointing the exact iteration at which a buggy
+//! method breaks the contract.
+
+use crate::conflict::ConflictGraph;
+use crate::error::{Error, Result};
+use crate::graph::NodeSet;
+use crate::history::History;
+use crate::installation::InstallationGraph;
+use crate::invariant::recovery_invariant;
+use crate::log::Log;
+use crate::op::{OpId, Operation};
+use crate::state::State;
+use crate::state_graph::StateGraph;
+
+/// What a recovery run did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The rebuilt state at end of log.
+    pub state: State,
+    /// The operations the redo test chose to replay (`redo_set`), as a
+    /// node set over the history.
+    pub redo_set: NodeSet,
+    /// The operations examined and bypassed.
+    pub skipped: NodeSet,
+    /// Operations never examined because the checkpoint excluded them.
+    pub checkpointed: NodeSet,
+    /// Number of loop iterations (= log records examined).
+    pub iterations: usize,
+}
+
+impl RecoveryOutcome {
+    /// The installed set this run implies: `operations(log) − redo_set`.
+    #[must_use]
+    pub fn installed(&self, log: &Log, universe: usize) -> NodeSet {
+        let mut installed = log.operations(universe);
+        installed.difference_with(&self.redo_set);
+        installed
+    }
+}
+
+/// Runs the Figure 6 procedure.
+///
+/// * `analyze` is called once per iteration with the current state, the
+///   log, the set of still-unrecovered operations, and the previous
+///   analysis (`None` on the first iteration). A conventional
+///   run-once-at-start analysis simply returns its input when `Some`.
+/// * `redo` is the redo test; `true` replays the operation against the
+///   state.
+///
+/// Operations are examined in log order, which the paper requires to be
+/// consistent with the conflict order — the "minimal operation in
+/// unrecovered" of Figure 6.
+pub fn recover<A>(
+    history: &History,
+    state: &State,
+    log: &Log,
+    checkpoint: &NodeSet,
+    mut analyze: impl FnMut(&State, &Log, &NodeSet, Option<A>) -> A,
+    mut redo: impl FnMut(&Operation, &State, &Log, &A) -> bool,
+) -> RecoveryOutcome {
+    let n = history.len();
+    let mut unrecovered = log.operations(n);
+    unrecovered.difference_with(checkpoint);
+    let mut checkpointed = log.operations(n);
+    checkpointed.difference_with(&unrecovered);
+
+    let mut cur = state.clone();
+    let mut redo_set = NodeSet::new(n);
+    let mut skipped = NodeSet::new(n);
+    let mut analysis: Option<A> = None;
+    let mut iterations = 0usize;
+
+    for record in log.records() {
+        if !unrecovered.contains(record.op.index()) {
+            continue;
+        }
+        iterations += 1;
+        let a = analyze(&cur, log, &unrecovered, analysis.take());
+        let op = history.op(record.op);
+        if redo(op, &cur, log, &a) {
+            op.apply(&mut cur);
+            redo_set.insert(record.op.index());
+        } else {
+            skipped.insert(record.op.index());
+        }
+        analysis = Some(a);
+        unrecovered.remove(record.op.index());
+    }
+
+    RecoveryOutcome { state: cur, redo_set, skipped, checkpointed, iterations }
+}
+
+/// Runs [`recover`] and verifies the Recovery Corollary's inductive
+/// invariant after every iteration: letting `redo_future(ℓ)` be the
+/// operations replayed *after* iteration ℓ, the set
+/// `operations(log) − redo_future(ℓ)` must be an installation-graph
+/// prefix explaining the state at the end of iteration ℓ.
+///
+/// # Errors
+///
+/// [`Error::InvariantViolated`] naming the iteration and violation if the
+/// invariant breaks, in which case recovery is not guaranteed to rebuild
+/// the final state (and usually doesn't).
+#[allow(clippy::too_many_arguments)] // mirrors Figure 6's recover() plus the audit context
+pub fn recover_checked<A>(
+    history: &History,
+    cg: &ConflictGraph,
+    ig: &InstallationGraph,
+    sg: &StateGraph,
+    state: &State,
+    log: &Log,
+    checkpoint: &NodeSet,
+    mut analyze: impl FnMut(&State, &Log, &NodeSet, Option<A>) -> A,
+    mut redo: impl FnMut(&Operation, &State, &Log, &A) -> bool,
+) -> Result<RecoveryOutcome> {
+    // First pass: run the procedure, recording each examined operation,
+    // its decision, and the state after the iteration.
+    let mut decisions: Vec<(OpId, bool)> = Vec::new();
+    let mut snapshots: Vec<State> = vec![state.clone()];
+    let outcome = recover(
+        history,
+        state,
+        log,
+        checkpoint,
+        |s, l, u, prev| analyze(s, l, u, prev),
+        |op, s, l, a| {
+            let d = redo(op, s, l, a);
+            decisions.push((op.id(), d));
+            let mut after = s.clone();
+            if d {
+                op.apply(&mut after);
+            }
+            snapshots.push(after);
+            d
+        },
+    );
+    // Second pass: check the invariant at every step. redo_future(ℓ) is
+    // the suffix of replayed decisions.
+    let n = history.len();
+    for step in 0..=decisions.len() {
+        let mut redo_future = NodeSet::new(n);
+        for &(op, d) in &decisions[step..] {
+            if d {
+                redo_future.insert(op.index());
+            }
+        }
+        if let Err(v) =
+            recovery_invariant(cg, ig, sg, log, &redo_future, &snapshots[step])
+        {
+            return Err(Error::InvariantViolated(format!(
+                "at iteration {step} of {}: {v}",
+                decisions.len()
+            )));
+        }
+    }
+    Ok(outcome)
+}
+
+/// The trivial analysis function: returns the previous analysis, or `()`
+/// the first time — the "single analysis phase at the start" shape of
+/// §4.3 degenerated to no analysis at all.
+pub fn analyze_noop(_: &State, _: &Log, _: &NodeSet, _: Option<()>) {}
+
+/// The redo test used by logical and physical recovery (§6.1–6.2):
+/// replay every unrecovered operation.
+pub fn redo_always(_: &Operation, _: &State, _: &Log, _: &()) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::examples::{figure4, scenario1, scenario2, scenario3};
+    use crate::history::History;
+    use crate::log::Lsn;
+    use crate::state::{Value, Var};
+    use std::collections::BTreeMap;
+
+    struct Ctx {
+        h: History,
+        cg: ConflictGraph,
+        ig: InstallationGraph,
+        sg: StateGraph,
+        log: Log,
+    }
+
+    fn ctx(h: History) -> Ctx {
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &State::zeroed());
+        let log = Log::from_history(&h);
+        Ctx { h, cg, ig, sg, log }
+    }
+
+    #[test]
+    fn redo_all_from_initial_state_recovers() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4()] {
+            let c = ctx(h);
+            let out = recover(
+                &c.h,
+                &State::zeroed(),
+                &c.log,
+                &NodeSet::new(c.h.len()),
+                analyze_noop,
+                redo_always,
+            );
+            assert_eq!(out.state, c.sg.final_state());
+            assert_eq!(out.redo_set.count(), c.h.len());
+            assert_eq!(out.iterations, c.h.len());
+        }
+    }
+
+    #[test]
+    fn checkpoint_excludes_installed_prefix() {
+        // Figure 4: checkpoint {O}; start from the state O determines.
+        let c = ctx(figure4());
+        let ckpt = NodeSet::from_indices(3, [0]);
+        let start = c.sg.state_determined_by(&ckpt);
+        let out = recover(&c.h, &start, &c.log, &ckpt, analyze_noop, redo_always);
+        assert_eq!(out.state, c.sg.final_state());
+        assert_eq!(out.iterations, 2);
+        assert_eq!(out.checkpointed, ckpt);
+    }
+
+    #[test]
+    fn recovery_corollary_checked_run_passes() {
+        for h in [scenario2(), scenario3(), figure4()] {
+            let c = ctx(h);
+            let out = recover_checked(
+                &c.h,
+                &c.cg,
+                &c.ig,
+                &c.sg,
+                &State::zeroed(),
+                &c.log,
+                &NodeSet::new(c.h.len()),
+                analyze_noop,
+                redo_always,
+            )
+            .unwrap();
+            assert_eq!(out.state, c.sg.final_state());
+        }
+    }
+
+    #[test]
+    fn broken_redo_test_caught_by_checked_run() {
+        // Scenario 1 from the bad state (B installed, A not) with a redo
+        // test that skips B and replays A: the invariant is violated and
+        // reported, and the rebuilt state is wrong.
+        let c = ctx(scenario1());
+        let bad = State::from_pairs([(Var(1), Value(2))]);
+        let err = recover_checked(
+            &c.h,
+            &c.cg,
+            &c.ig,
+            &c.sg,
+            &bad,
+            &c.log,
+            &NodeSet::new(2),
+            analyze_noop,
+            |op, _, _, _| op.id() == OpId(0), // replay A only
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvariantViolated(_)), "{err}");
+    }
+
+    #[test]
+    fn lsn_style_redo_test_skips_installed_ops() {
+        // Tag each variable with the LSN of the last installed write;
+        // replay iff some written variable is stale. Start from the
+        // state with O and P installed (Figure 4).
+        let c = ctx(figure4());
+        let installed = NodeSet::from_indices(3, [0, 1]);
+        let start = c.sg.state_determined_by(&installed);
+        let mut tags: BTreeMap<Var, Lsn> = BTreeMap::new();
+        tags.insert(Var(0), c.log.lsn_of(OpId(0)).unwrap());
+        tags.insert(Var(1), c.log.lsn_of(OpId(1)).unwrap());
+        let out = recover(
+            &c.h,
+            &start,
+            &c.log,
+            &NodeSet::new(3),
+            analyze_noop,
+            |op, _, log, ()| {
+                let lsn = log.lsn_of(op.id()).unwrap();
+                let stale = op
+                    .writes()
+                    .iter()
+                    .any(|x| tags.get(x).copied().unwrap_or(Lsn::ZERO) < lsn);
+                if stale {
+                    for &x in op.writes() {
+                        tags.insert(x, lsn);
+                    }
+                }
+                stale
+            },
+        );
+        assert_eq!(out.state, c.sg.final_state());
+        assert_eq!(out.redo_set, NodeSet::from_indices(3, [2])); // only Q replayed
+        assert_eq!(out.skipped, NodeSet::from_indices(3, [0, 1]));
+    }
+
+    #[test]
+    fn analysis_runs_every_iteration_and_threads_state() {
+        let c = ctx(figure4());
+        let mut calls = 0;
+        let out = recover(
+            &c.h,
+            &State::zeroed(),
+            &c.log,
+            &NodeSet::new(3),
+            |_, _, _, prev: Option<u32>| {
+                calls += 1;
+                prev.unwrap_or(0) + 1
+            },
+            |_, _, _, &a| a >= 1,
+        );
+        assert_eq!(calls, 3);
+        assert_eq!(out.state, c.sg.final_state());
+    }
+
+    #[test]
+    fn empty_log_recovers_immediately() {
+        let h = History::new(vec![]).unwrap();
+        let log = Log::from_order(&[]);
+        let out = recover(&h, &State::zeroed(), &log, &NodeSet::new(0), analyze_noop, redo_always);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.state, State::zeroed());
+    }
+
+    #[test]
+    fn installed_accessor() {
+        let c = ctx(figure4());
+        let out = recover(
+            &c.h,
+            &State::zeroed(),
+            &c.log,
+            &NodeSet::new(3),
+            analyze_noop,
+            redo_always,
+        );
+        assert!(out.installed(&c.log, 3).is_empty());
+    }
+}

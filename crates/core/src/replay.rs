@@ -1,0 +1,299 @@
+//! Replaying operations and the Potential Recoverability Theorem (§3.3–3.4).
+//!
+//! An operation is *applicable* to a state if its read set holds the same
+//! values it read in the original execution (equivalently, in the state
+//! determined by its conflict-graph predecessors), so replaying it writes
+//! the same values it originally wrote. Theorem 3: a state explained by
+//! an installation-graph prefix σ is *potentially recoverable* — replaying
+//! the operations outside σ in any conflict-graph-consistent order
+//! reaches the final state, with every operation applicable when its turn
+//! comes.
+
+use crate::conflict::ConflictGraph;
+use crate::error::{Error, Result};
+use crate::graph::NodeSet;
+use crate::history::History;
+use crate::op::{OpId, Operation};
+use crate::state::State;
+use crate::state_graph::StateGraph;
+
+/// Is `op` applicable to `state`: does every variable in its read set
+/// hold the value the operation read in the original execution?
+#[must_use]
+pub fn is_applicable(sg: &StateGraph, op: &Operation, state: &State) -> bool {
+    sg.read_values_of(op.id())
+        .iter()
+        .all(|(&x, &v)| state.get(x) == v)
+}
+
+/// As [`is_applicable`], reporting the first mismatching read.
+pub fn check_applicable(sg: &StateGraph, op: &Operation, state: &State) -> Result<()> {
+    for (&x, &v) in sg.read_values_of(op.id()) {
+        if state.get(x) != v {
+            return Err(Error::NotApplicable { op: op.id(), var: x });
+        }
+    }
+    Ok(())
+}
+
+/// Replays the operations *outside* `installed` against `state`, in
+/// invocation order (a linear extension of the conflict graph), verifying
+/// applicability before each step as Theorem 3's proof does.
+///
+/// # Errors
+///
+/// [`Error::NotApplicable`] if some replayed operation would read a value
+/// differing from the original execution — the signature of an
+/// unexplainable starting state.
+pub fn replay_uninstalled(
+    history: &History,
+    sg: &StateGraph,
+    installed: &NodeSet,
+    state: &State,
+) -> Result<State> {
+    let mut cur = state.clone();
+    for op in history.iter() {
+        if !installed.contains(op.id().index()) {
+            check_applicable(sg, op, &cur)?;
+            op.apply(&mut cur);
+        }
+    }
+    Ok(cur)
+}
+
+/// Replays a subset of operations in invocation order *without*
+/// applicability checks: each operation simply recomputes its writes from
+/// whatever the current state holds. This is what an (incorrect) recovery
+/// would actually do; the checker uses it to demonstrate divergence.
+#[must_use]
+pub fn replay_blind(history: &History, subset: &NodeSet, state: &State) -> State {
+    let mut cur = state.clone();
+    for op in history.iter() {
+        if subset.contains(op.id().index()) {
+            op.apply(&mut cur);
+        }
+    }
+    cur
+}
+
+/// Theorem 3's conclusion, decided operationally: starting from `state`
+/// with `installed` considered installed, does replaying the remaining
+/// operations in conflict order reproduce the final state (with every
+/// step applicable)?
+#[must_use]
+pub fn potentially_recoverable(
+    history: &History,
+    _cg: &ConflictGraph,
+    sg: &StateGraph,
+    installed: &NodeSet,
+    state: &State,
+) -> bool {
+    match replay_uninstalled(history, sg, installed, state) {
+        Ok(s) => s == sg.final_state(),
+        Err(_) => false,
+    }
+}
+
+/// The paper's *definition* of potential recoverability quantifies over
+/// *some* subset replayed in conflict-graph order: searches all `2^n`
+/// subsets (blind replay, invocation order) for one whose replay yields
+/// the final state. Exponential — checker-sized histories only.
+#[must_use]
+pub fn exists_recovery_subset(
+    history: &History,
+    sg: &StateGraph,
+    state: &State,
+) -> Option<NodeSet> {
+    let n = history.len();
+    assert!(n <= 20, "exists_recovery_subset is exponential; got {n} operations");
+    let target = sg.final_state();
+    for mask in 0..(1u64 << n) {
+        let subset = NodeSet::from_indices(n, (0..n).filter(|i| mask >> i & 1 == 1));
+        if replay_blind(history, &subset, state) == target {
+            return Some(subset);
+        }
+    }
+    None
+}
+
+/// Replays uninstalled operations along an explicit order, verifying both
+/// that the order is a linear extension of the conflict graph restricted
+/// to the uninstalled set and that each step is applicable. Exercises the
+/// "any order consistent with the conflict graph" half of Theorem 3.
+pub fn replay_uninstalled_in_order(
+    history: &History,
+    cg: &ConflictGraph,
+    sg: &StateGraph,
+    installed: &NodeSet,
+    order: &[OpId],
+    state: &State,
+) -> Result<State> {
+    // Order must cover exactly the uninstalled set.
+    let mut seen = NodeSet::new(history.len());
+    for &id in order {
+        if history.get(id).is_none() || installed.contains(id.index()) || !seen.insert(id.index())
+        {
+            return Err(Error::NoSuchOp(id));
+        }
+    }
+    let expected = installed.complement();
+    if seen != expected {
+        return Err(Error::NoSuchOp(OpId(0)));
+    }
+    // Every conflict edge between two uninstalled ops must go forward.
+    let mut pos = vec![usize::MAX; history.len()];
+    for (i, id) in order.iter().enumerate() {
+        pos[id.index()] = i;
+    }
+    for (u, v, _) in cg.dag().edges() {
+        if pos[u] != usize::MAX && pos[v] != usize::MAX && pos[u] > pos[v] {
+            return Err(Error::LogOrderViolation { before: OpId(u as u32), after: OpId(v as u32) });
+        }
+    }
+    let mut cur = state.clone();
+    for &id in order {
+        let op = history.op(id);
+        check_applicable(sg, op, &cur)?;
+        op.apply(&mut cur);
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::explains;
+    use crate::history::examples::{efg, figure4, hj, scenario1, scenario2, scenario3};
+    use crate::installation::InstallationGraph;
+    use crate::state::{Value, Var};
+
+    fn setup(h: &History) -> (ConflictGraph, InstallationGraph, StateGraph) {
+        let cg = ConflictGraph::generate(h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(h, &cg, &State::zeroed());
+        (cg, ig, sg)
+    }
+
+    #[test]
+    fn theorem3_on_all_examples() {
+        // Every state determined by an installation prefix is potentially
+        // recoverable via strict replay.
+        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+            let (cg, ig, sg) = setup(&h);
+            ig.dag()
+                .for_each_prefix(1_000, |p| {
+                    let s = sg.state_determined_by(p);
+                    assert!(
+                        potentially_recoverable(&h, &cg, &sg, p, &s),
+                        "history {h:?} prefix {p:?}"
+                    );
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn theorem3_with_unexposed_garbage() {
+        // Explainable states with garbage in unexposed variables are
+        // still recoverable.
+        let h = scenario3();
+        let (cg, _ig, sg) = setup(&h);
+        let installed = NodeSet::from_indices(2, [0]);
+        let state = State::from_pairs([(Var(0), Value(123_456)), (Var(1), Value(1))]);
+        assert!(explains(&cg, &sg, &installed, &state));
+        assert!(potentially_recoverable(&h, &cg, &sg, &installed, &state));
+    }
+
+    #[test]
+    fn scenario1_out_of_order_install_is_unrecoverable() {
+        // The paper's opening example: B's update installed, A's not.
+        // No subset of {A, B} replays to the final state.
+        let h = scenario1();
+        let (_cg, _ig, sg) = setup(&h);
+        let bad = State::from_pairs([(Var(1), Value(2))]); // y=2, x=0
+        assert!(exists_recovery_subset(&h, &sg, &bad).is_none());
+    }
+
+    #[test]
+    fn scenario2_recovered_by_replaying_b() {
+        let h = scenario2();
+        let (cg, _ig, sg) = setup(&h);
+        let state = State::from_pairs([(Var(0), Value(3))]); // A installed
+        let installed = NodeSet::from_indices(2, [1]);
+        assert!(potentially_recoverable(&h, &cg, &sg, &installed, &state));
+        // And the minimal recovery subset is exactly {B}.
+        let subset = exists_recovery_subset(&h, &sg, &state).unwrap();
+        assert_eq!(subset, NodeSet::from_indices(2, [0]));
+    }
+
+    #[test]
+    fn minimal_uninstalled_op_is_applicable() {
+        // §3.3's example: after prefix {P} (installation graph of Fig 5),
+        // the minimal uninstalled op O sees x=0 exactly as in the
+        // original execution.
+        let h = figure4();
+        let (_cg, _ig, sg) = setup(&h);
+        let p_only = NodeSet::from_indices(3, [1]);
+        let state = sg.state_determined_by(&p_only);
+        assert!(is_applicable(&sg, h.op(OpId(0)), &state));
+    }
+
+    #[test]
+    fn inapplicable_replay_detected() {
+        let h = scenario1();
+        let (_cg, _ig, sg) = setup(&h);
+        // y already 2 but A uninstalled: A would read y=2, not the 0 it
+        // originally read.
+        let bad = State::from_pairs([(Var(1), Value(2))]);
+        let err = replay_uninstalled(&h, &sg, &NodeSet::new(2), &bad).unwrap_err();
+        assert_eq!(err, Error::NotApplicable { op: OpId(0), var: Var(1) });
+    }
+
+    #[test]
+    fn replay_in_explicit_orders() {
+        // hj: H -> J ordered. Replaying uninstalled {H, J} in order
+        // [J, H] must be rejected (violates conflict order), [H, J]
+        // accepted.
+        let h = hj();
+        let (cg, _ig, sg) = setup(&h);
+        let none = NodeSet::new(2);
+        let s0 = State::zeroed();
+        let ok = replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(0), OpId(1)], &s0);
+        assert_eq!(ok.unwrap(), sg.final_state());
+        let err = replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(1), OpId(0)], &s0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn replay_order_must_cover_uninstalled_exactly() {
+        let h = hj();
+        let (cg, _ig, sg) = setup(&h);
+        let none = NodeSet::new(2);
+        let s0 = State::zeroed();
+        assert!(replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(0)], &s0).is_err());
+        assert!(
+            replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(0), OpId(0)], &s0).is_err()
+        );
+    }
+
+    #[test]
+    fn blind_replay_diverges_on_bad_state() {
+        // Replaying everything blindly from the Scenario 1 bad state
+        // computes x = y+1 = 3 ≠ 1: recovery silently produces a state
+        // that never existed.
+        let h = scenario1();
+        let (_cg, _ig, sg) = setup(&h);
+        let bad = State::from_pairs([(Var(1), Value(2))]);
+        let s = replay_blind(&h, &NodeSet::full(2), &bad);
+        assert_eq!(s.get(Var(0)), Value(3));
+        assert_ne!(s, sg.final_state());
+    }
+
+    #[test]
+    fn exists_recovery_subset_finds_empty_for_final_state() {
+        let h = figure4();
+        let (_cg, _ig, sg) = setup(&h);
+        let subset = exists_recovery_subset(&h, &sg, &sg.final_state()).unwrap();
+        assert!(subset.is_empty());
+    }
+}

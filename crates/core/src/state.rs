@@ -1,0 +1,229 @@
+//! Variables, values, and states (§2.1).
+//!
+//! The paper fixes a set of *variables* and a set of *values*; a *state*
+//! is a function mapping each variable to a value. We use dense `u32`
+//! variable identifiers and 64-bit values. Unmapped variables read as the
+//! state's *default* value, so a [`State`] is a total function with a
+//! finite support, exactly as the paper requires while staying cheap to
+//! clone and compare.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable identifier.
+///
+/// The theory is indifferent to what a variable is; the storage substrate
+/// (`redo-sim`) maps page slots onto `Var`s, and the B-tree maps whole
+/// pages onto them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A value a variable may assume.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub u64);
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Value {
+    /// Wrapping addition; operation bodies use wrapping arithmetic so
+    /// replay can never trap.
+    #[must_use]
+    pub fn wrapping_add(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping subtraction.
+    #[must_use]
+    pub fn wrapping_sub(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_sub(rhs.0))
+    }
+
+    /// Wrapping multiplication.
+    #[must_use]
+    pub fn wrapping_mul(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_mul(rhs.0))
+    }
+
+    /// Bitwise exclusive or.
+    #[must_use]
+    pub fn xor(self, rhs: Value) -> Value {
+        Value(self.0 ^ rhs.0)
+    }
+
+    /// A cheap, deterministic one-value hash mix (splitmix64 finalizer).
+    /// Used to build operation bodies whose outputs are extremely unlikely
+    /// to collide by accident, which sharpens the checker's state
+    /// comparisons.
+    #[must_use]
+    pub fn mix(self) -> Value {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Value(z ^ (z >> 31))
+    }
+}
+
+/// A total mapping from variables to values with finite support.
+///
+/// Two states compare equal iff they agree on *every* variable, i.e. both
+/// their supports (normalized to drop default-valued entries) and their
+/// defaults agree.
+#[derive(Clone, PartialEq, Eq)]
+pub struct State {
+    map: BTreeMap<Var, Value>,
+    default: Value,
+}
+
+impl State {
+    /// The state mapping every variable to zero — the customary `S0` of
+    /// the paper's examples.
+    #[must_use]
+    pub fn zeroed() -> State {
+        State { map: BTreeMap::new(), default: Value(0) }
+    }
+
+    /// A state mapping every variable to `default`.
+    #[must_use]
+    pub fn with_default(default: Value) -> State {
+        State { map: BTreeMap::new(), default }
+    }
+
+    /// Builds a state from explicit pairs (remaining variables take the
+    /// default value zero).
+    #[must_use]
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Value)>) -> State {
+        let mut s = State::zeroed();
+        for (x, v) in pairs {
+            s.set(x, v);
+        }
+        s
+    }
+
+    /// The value of variable `x`.
+    #[must_use]
+    pub fn get(&self, x: Var) -> Value {
+        self.map.get(&x).copied().unwrap_or(self.default)
+    }
+
+    /// Updates variable `x`. Setting a variable to the default value
+    /// removes it from the support, keeping equality semantic.
+    pub fn set(&mut self, x: Var, v: Value) {
+        if v == self.default {
+            self.map.remove(&x);
+        } else {
+            self.map.insert(x, v);
+        }
+    }
+
+    /// The state's default value for unmapped variables.
+    #[must_use]
+    pub fn default_value(&self) -> Value {
+        self.default
+    }
+
+    /// Iterates over the finite support (variables holding non-default
+    /// values), in ascending variable order.
+    pub fn support(&self) -> impl Iterator<Item = (Var, Value)> + '_ {
+        self.map.iter().map(|(&x, &v)| (x, v))
+    }
+
+    /// Number of variables holding non-default values.
+    #[must_use]
+    pub fn support_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Do `self` and `other` agree on every variable in `vars`?
+    #[must_use]
+    pub fn agrees_on<'a>(&self, other: &State, vars: impl IntoIterator<Item = &'a Var>) -> bool {
+        vars.into_iter().all(|&x| self.get(x) == other.get(x))
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "State{{default: {:?}", self.default)?;
+        for (x, v) in &self.map {
+            write!(f, ", {x:?}={v:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_variables_read_default() {
+        let s = State::zeroed();
+        assert_eq!(s.get(Var(42)), Value(0));
+        let s = State::with_default(Value(7));
+        assert_eq!(s.get(Var(42)), Value(7));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = State::zeroed();
+        s.set(Var(1), Value(10));
+        s.set(Var(2), Value(20));
+        assert_eq!(s.get(Var(1)), Value(10));
+        assert_eq!(s.get(Var(2)), Value(20));
+        assert_eq!(s.get(Var(3)), Value(0));
+    }
+
+    #[test]
+    fn setting_default_value_normalizes_support() {
+        let mut a = State::zeroed();
+        a.set(Var(1), Value(10));
+        a.set(Var(1), Value(0));
+        let b = State::zeroed();
+        assert_eq!(a, b);
+        assert_eq!(a.support_len(), 0);
+    }
+
+    #[test]
+    fn equality_is_total_function_equality() {
+        let mut a = State::zeroed();
+        let mut b = State::zeroed();
+        a.set(Var(1), Value(5));
+        assert_ne!(a, b);
+        b.set(Var(1), Value(5));
+        assert_eq!(a, b);
+        // Different defaults differ even with empty support.
+        assert_ne!(State::zeroed(), State::with_default(Value(1)));
+    }
+
+    #[test]
+    fn agrees_on_subsets() {
+        let a = State::from_pairs([(Var(0), Value(1)), (Var(1), Value(2))]);
+        let b = State::from_pairs([(Var(0), Value(1)), (Var(1), Value(99))]);
+        assert!(a.agrees_on(&b, &[Var(0)]));
+        assert!(!a.agrees_on(&b, &[Var(0), Var(1)]));
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(Value(1).mix(), Value(1).mix());
+        assert_ne!(Value(1).mix(), Value(2).mix());
+        assert_ne!(Value(0).mix(), Value(0));
+    }
+
+    #[test]
+    fn wrapping_ops_do_not_trap() {
+        let max = Value(u64::MAX);
+        assert_eq!(max.wrapping_add(Value(1)), Value(0));
+        assert_eq!(Value(0).wrapping_sub(Value(1)), max);
+        let _ = max.wrapping_mul(max);
+    }
+}

@@ -1,0 +1,157 @@
+//! Graphviz (DOT) rendering of the paper's graphs.
+//!
+//! Figures 4, 5, 7 and 8 of the paper are drawings of conflict,
+//! installation, and write graphs. These helpers emit the same drawings
+//! for *any* history: pipe the output through `dot -Tsvg` to regenerate
+//! the figures, or to inspect a workload the checker complained about.
+//!
+//! Conventions:
+//! * conflict edges are labeled with their kinds (`ww`, `wr`, `rw`);
+//! * in the installation rendering, dropped pure write-read edges are
+//!   drawn dotted (exactly the paper's Figure 5);
+//! * write-graph nodes show their operation sets and surviving writes,
+//!   with installed nodes shaded.
+
+use std::fmt::Write as _;
+
+use crate::conflict::ConflictGraph;
+use crate::history::History;
+use crate::installation::InstallationGraph;
+use crate::write_graph::WriteGraph;
+
+fn op_label(history: &History, idx: usize) -> String {
+    let op = history.op(crate::op::OpId(idx as u32));
+    format!("{op:?}").replace('"', "'")
+}
+
+/// Renders a conflict graph in DOT.
+#[must_use]
+pub fn conflict_dot(history: &History, cg: &ConflictGraph) -> String {
+    let mut out = String::from("digraph conflict {\n  rankdir=LR;\n  node [shape=box];\n");
+    for i in 0..cg.len() {
+        let _ = writeln!(out, "  n{i} [label=\"{}\"];", op_label(history, i));
+    }
+    for (u, v, kinds) in cg.dag().edges() {
+        let _ = writeln!(out, "  n{u} -> n{v} [label=\"{kinds:?}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an installation graph in DOT, with the removed write-read
+/// edges dotted (Figure 5's convention).
+#[must_use]
+pub fn installation_dot(history: &History, ig: &InstallationGraph) -> String {
+    let mut out = String::from("digraph installation {\n  rankdir=LR;\n  node [shape=box];\n");
+    for i in 0..ig.len() {
+        let _ = writeln!(out, "  n{i} [label=\"{}\"];", op_label(history, i));
+    }
+    for (u, v, kinds) in ig.dag().edges() {
+        let _ = writeln!(out, "  n{u} -> n{v} [label=\"{kinds:?}\"];");
+    }
+    for (u, v) in ig.removed_edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style=dotted, label=\"wr (removed)\"];",
+            u.index(),
+            v.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a write graph in DOT: operation sets and surviving writes per
+/// node, installed nodes shaded (Figures 7 and 8).
+#[must_use]
+pub fn write_graph_dot(wg: &WriteGraph) -> String {
+    let mut out =
+        String::from("digraph write_graph {\n  rankdir=LR;\n  node [shape=record];\n");
+    for n in wg.live_nodes() {
+        let ops: Vec<String> = wg
+            .ops_of(n)
+            .expect("live node")
+            .map(|o| format!("{o:?}"))
+            .collect();
+        let writes: Vec<String> = wg
+            .writes_of(n)
+            .expect("live node")
+            .into_iter()
+            .map(|(x, v)| format!("{x:?}={v:?}"))
+            .collect();
+        let installed = wg.is_installed(n).expect("live node");
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{{{} | {}}}\"{}];",
+            n.0,
+            ops.join(", "),
+            if writes.is_empty() { "(no writes)".to_string() } else { writes.join(", ") },
+            if installed { ", style=filled, fillcolor=lightgray" } else { "" }
+        );
+    }
+    for n in wg.live_nodes() {
+        for m in wg.successors_of(n).expect("live node") {
+            let _ = writeln!(out, "  n{} -> n{};", n.0, m.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::examples::figure4;
+    use crate::state::State;
+    use crate::state_graph::StateGraph;
+    use crate::write_graph::WgNodeId;
+
+    fn setup() -> (History, ConflictGraph, InstallationGraph, StateGraph) {
+        let h = figure4();
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &State::zeroed());
+        (h, cg, ig, sg)
+    }
+
+    #[test]
+    fn conflict_dot_mentions_every_edge() {
+        let (h, cg, _, _) = setup();
+        let dot = conflict_dot(&h, &cg);
+        assert!(dot.starts_with("digraph conflict {"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("rw"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn installation_dot_dots_the_removed_edge() {
+        let (h, cg, ig, _) = setup();
+        let dot = installation_dot(&h, &ig);
+        assert!(dot.contains("style=dotted"));
+        assert!(dot.contains("wr (removed)"));
+        let _ = cg;
+    }
+
+    #[test]
+    fn write_graph_dot_shades_installed_nodes() {
+        let (h, cg, ig, sg) = setup();
+        let mut wg = WriteGraph::from_installation_graph(&h, &cg, &ig, &sg);
+        wg.install(WgNodeId(1)).unwrap();
+        let dot = write_graph_dot(&wg);
+        assert!(dot.contains("fillcolor=lightgray"));
+        assert!(dot.matches("->").count() >= 2);
+    }
+
+    #[test]
+    fn figure7_rendering_shows_the_collapsed_node() {
+        let (h, cg, ig, sg) = setup();
+        let mut wg = WriteGraph::from_installation_graph(&h, &cg, &ig, &sg);
+        let merged = wg.collapse(&[WgNodeId(0), WgNodeId(2)]).unwrap();
+        let dot = write_graph_dot(&wg);
+        assert!(dot.contains(&format!("n{}", merged.0)));
+        assert!(dot.contains("op0, op2"));
+    }
+}

@@ -1,0 +1,863 @@
+//! Write graphs (§5).
+//!
+//! Real systems do not install operations one at a time: a page flushed
+//! from the cache carries the accumulated changes of many operations. The
+//! *write graph* models this. It is a state graph, derived from the
+//! installation state graph, whose nodes carry an `installed` flag, and
+//! which evolves by four operations:
+//!
+//! * **Install a node** — mark a node installed; every predecessor must
+//!   already be installed.
+//! * **Add an edge** — constrain the install order further; the target
+//!   must be uninstalled and the graph must stay acyclic.
+//! * **Collapse nodes** — replace a set of nodes by one node (how caches
+//!   keep a single copy of a page, and how flushing merges a cache node
+//!   into the stable-state node); the result must stay acyclic, merged
+//!   writes keep the later writer's value, and the merged node is
+//!   installed iff any member was.
+//! * **Remove a write** — drop a variable-value pair from a node,
+//!   exploiting unexposed variables to shrink atomic write sets; legal
+//!   only when no uninstalled operation can ever observe the missing
+//!   value.
+//!
+//! Respecting these rules keeps the state determined by the installed
+//! prefix explainable, hence potentially recoverable (Corollary 5).
+//!
+//! ## The *remove a write* side condition, operationally
+//!
+//! The paper states: remove `⟨x, v⟩` from `writes(n)` only if for every
+//! node `m` reading `x`, either `m` is installed, or `m` is ordered
+//! before `n` and a node following `n` writes `x` without reading it.
+//! We implement the operation-level reading of this rule:
+//!
+//! 1. some live node strictly following `n` must *blindly* write `x`
+//!    (its earliest access to `x` is a write that does not read `x`), so
+//!    `x` is unexposed once `n` installs and the final value of `x` still
+//!    arrives later; and
+//! 2. every operation reading `x` outside `ops(n)` must sit in an
+//!    installed node or in a node ordered before `n` (so it is installed
+//!    before `n` and never replayed once the missing value matters).
+//!
+//! Reads *inside* `ops(n)` are exempt: they are installed atomically with
+//! `n`, and while `n` is uninstalled, replay recomputes them from an
+//! explainable state. This matches both of the paper's §5 examples,
+//! including the parenthetical about *Add an edge* creating the required
+//! `m`-before-`n` ordering.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::conflict::ConflictGraph;
+use crate::error::{Error, Result};
+use crate::graph::NodeSet;
+use crate::history::History;
+use crate::installation::InstallationGraph;
+use crate::op::OpId;
+use crate::state::{State, Value, Var};
+use crate::state_graph::StateGraph;
+
+/// Identifier of a write-graph node. Collapsing allocates fresh ids;
+/// collapsed-away ids become stale and are rejected by subsequent
+/// operations.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WgNodeId(pub usize);
+
+impl fmt::Debug for WgNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct WgNode {
+    ops: BTreeSet<OpId>,
+    /// Winning write per variable: value and the operation that produced
+    /// it (the producer orders merged writes and drives the blind-write
+    /// test).
+    writes: BTreeMap<Var, (Value, OpId)>,
+    installed: bool,
+}
+
+/// A write graph derived from an installation state graph.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WriteGraph {
+    nodes: Vec<Option<WgNode>>,
+    succ: Vec<BTreeSet<usize>>,
+    pred: Vec<BTreeSet<usize>>,
+    /// Current node holding each operation.
+    op_node: Vec<usize>,
+    cg: ConflictGraph,
+    sg: StateGraph,
+}
+
+impl WriteGraph {
+    /// The simplest write graph: one node per installation-graph node,
+    /// labeled with the variable-value pairs its operation wrote, all
+    /// uninstalled.
+    #[must_use]
+    pub fn from_installation_graph(
+        history: &History,
+        cg: &ConflictGraph,
+        ig: &InstallationGraph,
+        sg: &StateGraph,
+    ) -> WriteGraph {
+        let n = history.len();
+        let mut nodes = Vec::with_capacity(n);
+        for op in history.iter() {
+            let writes = sg
+                .writes_of(op.id())
+                .iter()
+                .map(|(&x, &v)| (x, (v, op.id())))
+                .collect();
+            nodes.push(Some(WgNode {
+                ops: BTreeSet::from([op.id()]),
+                writes,
+                installed: false,
+            }));
+        }
+        let mut succ = vec![BTreeSet::new(); n];
+        let mut pred = vec![BTreeSet::new(); n];
+        for (u, v, _) in ig.dag().edges() {
+            succ[u].insert(v);
+            pred[v].insert(u);
+        }
+        WriteGraph {
+            nodes,
+            succ,
+            pred,
+            op_node: (0..n).collect(),
+            cg: cg.clone(),
+            sg: sg.clone(),
+        }
+    }
+
+    fn live(&self, n: WgNodeId) -> Result<&WgNode> {
+        self.nodes
+            .get(n.0)
+            .and_then(Option::as_ref)
+            .ok_or(Error::StaleNode(n.0))
+    }
+
+    /// Live node ids.
+    pub fn live_nodes(&self) -> impl Iterator<Item = WgNodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_some())
+            .map(|(i, _)| WgNodeId(i))
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// The node currently holding operation `op`.
+    #[must_use]
+    pub fn node_of_op(&self, op: OpId) -> WgNodeId {
+        WgNodeId(self.op_node[op.index()])
+    }
+
+    /// The operations of a node.
+    pub fn ops_of(&self, n: WgNodeId) -> Result<impl Iterator<Item = OpId> + '_> {
+        Ok(self.live(n)?.ops.iter().copied())
+    }
+
+    /// The winning writes of a node, as `(var, value)` pairs.
+    pub fn writes_of(&self, n: WgNodeId) -> Result<Vec<(Var, Value)>> {
+        Ok(self.live(n)?.writes.iter().map(|(&x, &(v, _))| (x, v)).collect())
+    }
+
+    /// Is the node installed?
+    pub fn is_installed(&self, n: WgNodeId) -> Result<bool> {
+        Ok(self.live(n)?.installed)
+    }
+
+    /// Direct successors of a live node.
+    pub fn successors_of(&self, n: WgNodeId) -> Result<Vec<WgNodeId>> {
+        self.live(n)?;
+        Ok(self.succ[n.0].iter().map(|&i| WgNodeId(i)).collect())
+    }
+
+    /// Direct predecessors of a live node.
+    pub fn predecessors_of(&self, n: WgNodeId) -> Result<Vec<WgNodeId>> {
+        self.live(n)?;
+        Ok(self.pred[n.0].iter().map(|&i| WgNodeId(i)).collect())
+    }
+
+    /// Is there a path (length ≥ 1) from `a` to `b` among live nodes?
+    #[must_use]
+    pub fn reaches(&self, a: WgNodeId, b: WgNodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![a.0];
+        while let Some(x) = stack.pop() {
+            for &y in &self.succ[x] {
+                if y == b.0 {
+                    return true;
+                }
+                if !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// **Install a node**: set its `installed` flag; every predecessor
+    /// must already be installed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::StaleNode`], [`Error::AlreadyInstalled`], or
+    /// [`Error::PredecessorNotInstalled`].
+    pub fn install(&mut self, n: WgNodeId) -> Result<()> {
+        let node = self.live(n)?;
+        if node.installed {
+            return Err(Error::AlreadyInstalled(n.0));
+        }
+        for &p in &self.pred[n.0] {
+            let pn = self.nodes[p].as_ref().expect("edges only join live nodes");
+            if !pn.installed {
+                return Err(Error::PredecessorNotInstalled { node: n.0, predecessor: p });
+            }
+        }
+        self.nodes[n.0].as_mut().expect("checked live").installed = true;
+        Ok(())
+    }
+
+    /// **Add an edge** `u → v`: the target must be uninstalled and the
+    /// graph must remain acyclic.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::StaleNode`], [`Error::SelfEdge`],
+    /// [`Error::EdgeToInstalledNode`], or [`Error::WouldCreateCycle`].
+    pub fn add_edge(&mut self, u: WgNodeId, v: WgNodeId) -> Result<()> {
+        self.live(u)?;
+        let vn = self.live(v)?;
+        if u == v {
+            return Err(Error::SelfEdge(u.0));
+        }
+        if vn.installed {
+            return Err(Error::EdgeToInstalledNode(v.0));
+        }
+        if self.reaches(v, u) {
+            return Err(Error::WouldCreateCycle);
+        }
+        self.succ[u.0].insert(v.0);
+        self.pred[v.0].insert(u.0);
+        Ok(())
+    }
+
+    /// **Collapse nodes**: replace `members` with a single fresh node.
+    ///
+    /// Merged writes keep, per variable, the value from the member
+    /// ordered last in the old graph (ties broken by the producing
+    /// operation's position in the per-variable writer chain, which is
+    /// the old installation-state-graph order). The new node is installed
+    /// iff any member was; edges are rewired to the new node. The
+    /// resulting graph must be acyclic and the installed nodes must still
+    /// form a prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyCollapse`], [`Error::StaleNode`],
+    /// [`Error::WouldCreateCycle`], or
+    /// [`Error::PredecessorNotInstalled`] when the merge would break the
+    /// installed-prefix property.
+    pub fn collapse(&mut self, members: &[WgNodeId]) -> Result<WgNodeId> {
+        if members.is_empty() {
+            return Err(Error::EmptyCollapse);
+        }
+        let mut set = BTreeSet::new();
+        for &m in members {
+            self.live(m)?;
+            set.insert(m.0);
+        }
+        // Validate BEFORE mutating (no scratch copy needed).
+        //
+        // Acyclicity of the quotient: contracting `set` creates a cycle
+        // exactly when some path connects two members while passing
+        // through a non-member — BFS forward from the set through
+        // non-members only; reaching a member again is the witness.
+        {
+            let mut seen = vec![false; self.nodes.len()];
+            let mut stack: Vec<usize> = Vec::new();
+            for &m in &set {
+                for &s in &self.succ[m] {
+                    if !set.contains(&s) && !seen[s] {
+                        seen[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            while let Some(x) = stack.pop() {
+                for &y in &self.succ[x] {
+                    if set.contains(&y) {
+                        return Err(Error::WouldCreateCycle);
+                    }
+                    if !seen[y] {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        // Installed-prefix property of the merge: the new node is
+        // installed iff any member is. If installed, every external
+        // predecessor must be installed; if not, no external successor
+        // may be installed.
+        let merged_installed = set
+            .iter()
+            .any(|&m| self.nodes[m].as_ref().expect("checked live").installed);
+        for &m in &set {
+            if merged_installed {
+                for &p in &self.pred[m] {
+                    if !set.contains(&p)
+                        && !self.nodes[p].as_ref().expect("live").installed
+                    {
+                        return Err(Error::PredecessorNotInstalled {
+                            node: m,
+                            predecessor: p,
+                        });
+                    }
+                }
+            } else {
+                for &q in &self.succ[m] {
+                    if !set.contains(&q) && self.nodes[q].as_ref().expect("live").installed
+                    {
+                        return Err(Error::PredecessorNotInstalled { node: q, predecessor: m });
+                    }
+                }
+            }
+        }
+        // Merge labels.
+        let new_id = self.nodes.len();
+        let mut ops = BTreeSet::new();
+        let mut writes: BTreeMap<Var, (Value, OpId)> = BTreeMap::new();
+        for &m in &set {
+            let node = self.nodes[m].as_ref().expect("checked live");
+            ops.extend(node.ops.iter().copied());
+            for (&x, &(v, producer)) in &node.writes {
+                match writes.get(&x) {
+                    None => {
+                        writes.insert(x, (v, producer));
+                    }
+                    Some(&(_, incumbent)) => {
+                        // Later writer wins. Writers of a common variable
+                        // are totally ordered in the original state
+                        // graph; its writer chain gives the order.
+                        let chain = self.sg.writers_of(x);
+                        let pos = |op: OpId| {
+                            chain.iter().position(|&w| w == op.index()).unwrap_or(usize::MAX)
+                        };
+                        if pos(producer) > pos(incumbent) {
+                            writes.insert(x, (v, producer));
+                        }
+                    }
+                }
+            }
+        }
+        self.nodes.push(Some(WgNode { ops: ops.clone(), writes, installed: merged_installed }));
+        self.succ.push(BTreeSet::new());
+        self.pred.push(BTreeSet::new());
+        // Rewire edges.
+        for &m in &set {
+            let succs: Vec<usize> = self.succ[m].iter().copied().collect();
+            for s in succs {
+                self.succ[m].remove(&s);
+                self.pred[s].remove(&m);
+                if !set.contains(&s) {
+                    self.succ[new_id].insert(s);
+                    self.pred[s].insert(new_id);
+                }
+            }
+            let preds: Vec<usize> = self.pred[m].iter().copied().collect();
+            for p in preds {
+                self.pred[m].remove(&p);
+                self.succ[p].remove(&m);
+                if !set.contains(&p) {
+                    self.pred[new_id].insert(p);
+                    self.succ[p].insert(new_id);
+                }
+            }
+            self.nodes[m] = None;
+        }
+        for op in &ops {
+            self.op_node[op.index()] = new_id;
+        }
+        debug_assert!(!self.has_cycle(), "validated quotient still cyclic");
+        debug_assert!(self.installed_prefix_violation().is_none());
+        Ok(WgNodeId(new_id))
+    }
+
+    /// **Remove a write**: drop the pair for `x` from `writes(n)`. See
+    /// the module documentation for the operational side condition.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::StaleNode`], [`Error::AlreadyInstalled`] (removal from an
+    /// installed node is meaningless — the value already reached the
+    /// state), [`Error::NoSuchWrite`], or [`Error::WriteStillNeeded`]
+    /// when an uninstalled operation could still observe the hole.
+    pub fn remove_write(&mut self, n: WgNodeId, x: Var) -> Result<()> {
+        let node = self.live(n)?;
+        if node.installed {
+            return Err(Error::AlreadyInstalled(n.0));
+        }
+        if !node.writes.contains_key(&x) {
+            return Err(Error::NoSuchWrite(x));
+        }
+        let n_ops = node.ops.clone();
+        // Condition 1: a strictly-following live node blindly writes x.
+        let has_blind_follower = self
+            .live_nodes()
+            .any(|k| k != n && self.reaches(n, k) && self.node_blindly_writes(k, x));
+        // Condition 2: every reader of x outside ops(n) is installed or
+        // ordered before n.
+        for m in self.live_nodes() {
+            let mn = self.live(m).expect("live");
+            for &op in &mn.ops {
+                if n_ops.contains(&op) {
+                    continue;
+                }
+                if self.cg.reads_of(op).contains(&x) && !mn.installed && !(m != n && self.reaches(m, n))
+                {
+                    return Err(Error::WriteStillNeeded { var: x, reader: op });
+                }
+            }
+        }
+        if !has_blind_follower {
+            // Without a later blind writer the removed value would be the
+            // final (exposed) value of x; report the earliest reader or a
+            // synthetic witness.
+            return Err(Error::WriteStillNeeded {
+                var: x,
+                reader: *n_ops.iter().next().expect("nodes are non-empty"),
+            });
+        }
+        self.nodes[n.0]
+            .as_mut()
+            .expect("checked live")
+            .writes
+            .remove(&x);
+        Ok(())
+    }
+
+    /// Does node `k` write `x` "without reading it": is the earliest
+    /// access to `x` among `ops(k)` (in conflict-graph order) a blind
+    /// write? (For singleton nodes this is exactly the operation-level
+    /// blind-write test.)
+    #[must_use]
+    pub fn node_blindly_writes(&self, k: WgNodeId, x: Var) -> bool {
+        let Ok(node) = self.live(k) else { return false };
+        if !node.writes.contains_key(&x) {
+            return false;
+        }
+        self.cg
+            .accessors_of(x)
+            .iter()
+            .find(|a| node.ops.contains(&a.op))
+            .is_some_and(|first| first.writes && !first.reads)
+    }
+
+    fn has_cycle(&self) -> bool {
+        // Kahn over live nodes.
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        let mut stack: Vec<usize> = (0..n)
+            .filter(|&v| self.nodes[v].is_some() && indeg[v] == 0)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(v) = stack.pop() {
+            seen += 1;
+            for &w in &self.succ[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    stack.push(w);
+                }
+            }
+        }
+        seen != self.live_count()
+    }
+
+    fn installed_prefix_violation(&self) -> Option<(usize, usize)> {
+        for v in 0..self.nodes.len() {
+            let Some(node) = self.nodes[v].as_ref() else { continue };
+            if !node.installed {
+                continue;
+            }
+            for &p in &self.pred[v] {
+                if !self.nodes[p].as_ref().expect("live").installed {
+                    return Some((v, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Do the installed nodes form a prefix of the write graph?
+    #[must_use]
+    pub fn installed_is_prefix(&self) -> bool {
+        self.installed_prefix_violation().is_none()
+    }
+
+    /// The union of `ops(n)` over installed nodes, as a node set over the
+    /// history.
+    #[must_use]
+    pub fn installed_ops(&self) -> NodeSet {
+        let mut out = NodeSet::new(self.op_node.len());
+        for n in self.live_nodes() {
+            let node = self.live(n).expect("live");
+            if node.installed {
+                for op in &node.ops {
+                    out.insert(op.index());
+                }
+            }
+        }
+        out
+    }
+
+    /// The state determined by the installed prefix: each variable takes
+    /// the surviving write whose producer is latest in the variable's
+    /// writer chain among installed nodes, or its initial value.
+    #[must_use]
+    pub fn installed_state(&self) -> State {
+        let mut out = self.sg.initial_state().clone();
+        let mut best: BTreeMap<Var, (usize, Value)> = BTreeMap::new();
+        for n in self.live_nodes() {
+            let node = self.live(n).expect("live");
+            if !node.installed {
+                continue;
+            }
+            for (&x, &(v, producer)) in &node.writes {
+                let chain = self.sg.writers_of(x);
+                let pos = chain
+                    .iter()
+                    .position(|&w| w == producer.index())
+                    .unwrap_or(usize::MAX);
+                match best.get(&x) {
+                    Some(&(bp, _)) if bp >= pos => {}
+                    _ => {
+                        best.insert(x, (pos, v));
+                    }
+                }
+            }
+        }
+        for (x, (_, v)) in best {
+            out.set(x, v);
+        }
+        out
+    }
+
+    /// Uninstalled nodes whose predecessors are all installed — the nodes
+    /// the cache manager may install next.
+    #[must_use]
+    pub fn minimal_uninstalled(&self) -> Vec<WgNodeId> {
+        self.live_nodes()
+            .filter(|&n| {
+                let node = self.live(n).expect("live");
+                !node.installed
+                    && self.pred[n.0]
+                        .iter()
+                        .all(|&p| self.nodes[p].as_ref().expect("live").installed)
+            })
+            .collect()
+    }
+
+    /// Corollary 5's conclusion for the current graph: the installed
+    /// operations form an installation-graph prefix that explains the
+    /// installed state.
+    #[must_use]
+    pub fn check_corollary5(&self, ig: &InstallationGraph) -> bool {
+        let installed = self.installed_ops();
+        ig.is_prefix(&installed)
+            && crate::explain::explains(&self.cg, &self.sg, &installed, &self.installed_state())
+    }
+}
+
+impl fmt::Debug for WriteGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "WriteGraph")?;
+        for n in self.live_nodes() {
+            let node = self.live(n).expect("live");
+            write!(f, "  {n:?}{}: ops {:?}, writes {{", if node.installed { "*" } else { "" }, node.ops)?;
+            for (i, (x, (v, p))) in node.writes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{x:?}={v:?}@{p:?}")?;
+            }
+            writeln!(f, "}} -> {:?}", self.succ[n.0])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::examples::{efg, figure4, hj, scenario2};
+    use crate::history::History;
+
+    struct Ctx {
+        h: History,
+        cg: ConflictGraph,
+        ig: InstallationGraph,
+        sg: StateGraph,
+        wg: WriteGraph,
+    }
+
+    fn ctx(h: History) -> Ctx {
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &State::zeroed());
+        let wg = WriteGraph::from_installation_graph(&h, &cg, &ig, &sg);
+        Ctx { h, cg, ig, sg, wg }
+    }
+
+    #[test]
+    fn initial_write_graph_mirrors_installation_graph() {
+        let c = ctx(figure4());
+        assert_eq!(c.wg.live_count(), 3);
+        // O -> Q and P -> Q edges; no O -> P (write-read removed).
+        assert!(c.wg.reaches(WgNodeId(0), WgNodeId(2)));
+        assert!(c.wg.reaches(WgNodeId(1), WgNodeId(2)));
+        assert!(!c.wg.reaches(WgNodeId(0), WgNodeId(1)));
+        assert!(c.wg.check_corollary5(&c.ig));
+    }
+
+    #[test]
+    fn install_requires_predecessors() {
+        let mut c = ctx(figure4());
+        // Q's predecessors O and P are uninstalled.
+        let err = c.wg.install(WgNodeId(2)).unwrap_err();
+        assert!(matches!(err, Error::PredecessorNotInstalled { node: 2, .. }));
+        // P has no installation predecessors; installing it is legal —
+        // the extra Figure 5 state.
+        c.wg.install(WgNodeId(1)).unwrap();
+        c.wg.install(WgNodeId(0)).unwrap();
+        c.wg.install(WgNodeId(2)).unwrap();
+        assert!(c.wg.check_corollary5(&c.ig));
+    }
+
+    #[test]
+    fn double_install_rejected() {
+        let mut c = ctx(figure4());
+        c.wg.install(WgNodeId(1)).unwrap();
+        assert_eq!(c.wg.install(WgNodeId(1)), Err(Error::AlreadyInstalled(1)));
+    }
+
+    #[test]
+    fn installed_state_tracks_installs() {
+        let mut c = ctx(figure4());
+        assert_eq!(c.wg.installed_state(), State::zeroed());
+        c.wg.install(WgNodeId(0)).unwrap();
+        assert_eq!(c.wg.installed_state().get(Var(0)), Value(1));
+        c.wg.install(WgNodeId(1)).unwrap();
+        c.wg.install(WgNodeId(2)).unwrap();
+        assert_eq!(c.wg.installed_state(), c.sg.final_state());
+    }
+
+    #[test]
+    fn corollary5_along_every_install_order() {
+        // Install nodes of figure4's write graph in any legal order;
+        // after every step the installed state must be explainable.
+        let mut c = ctx(figure4());
+        for order in [[1usize, 0, 2], [0, 1, 2]] {
+            let mut wg = WriteGraph::from_installation_graph(&c.h, &c.cg, &c.ig, &c.sg);
+            for i in order {
+                wg.install(WgNodeId(i)).unwrap();
+                assert!(wg.check_corollary5(&c.ig), "after installing {i}");
+            }
+        }
+        let _ = &mut c;
+    }
+
+    #[test]
+    fn add_edge_rules() {
+        let mut c = ctx(figure4());
+        // Edge into an installed node is illegal.
+        c.wg.install(WgNodeId(1)).unwrap();
+        assert_eq!(c.wg.add_edge(WgNodeId(0), WgNodeId(1)), Err(Error::EdgeToInstalledNode(1)));
+        // Cycle rejected: Q -> O while O -> Q exists.
+        assert_eq!(c.wg.add_edge(WgNodeId(2), WgNodeId(0)), Err(Error::WouldCreateCycle));
+        // Legal constraint edge.
+        c.wg.add_edge(WgNodeId(0), WgNodeId(2)).unwrap();
+    }
+
+    #[test]
+    fn figure7_collapse_o_and_q() {
+        // Collapsing the two writers of x forces P before the merged
+        // node: exactly Figure 7.
+        let mut c = ctx(figure4());
+        let oq = c.wg.collapse(&[WgNodeId(0), WgNodeId(2)]).unwrap();
+        assert_eq!(c.wg.live_count(), 2);
+        // P must now precede the merged node (P -> Q edge survives).
+        assert!(c.wg.reaches(WgNodeId(1), oq));
+        // The merged node's write of x is Q's (the later writer): x=2.
+        let writes = c.wg.writes_of(oq).unwrap();
+        assert_eq!(writes, vec![(Var(0), Value(2))]);
+        // Installing the merged node before P is now impossible...
+        assert!(matches!(
+            c.wg.install(oq),
+            Err(Error::PredecessorNotInstalled { .. })
+        ));
+        // ...so the cache manager must write y (install P) first.
+        c.wg.install(WgNodeId(1)).unwrap();
+        c.wg.install(oq).unwrap();
+        assert!(c.wg.check_corollary5(&c.ig));
+        assert_eq!(c.wg.installed_state(), c.sg.final_state());
+    }
+
+    #[test]
+    fn collapse_marks_installed_if_any_member_installed() {
+        // §6: flushing a page = collapsing a cache node into the
+        // installed stable node.
+        let mut c = ctx(scenario2());
+        // B and A are unordered in the installation graph (the wr edge
+        // was dropped). Install B, then collapse A into it.
+        c.wg.install(WgNodeId(0)).unwrap();
+        let merged = c.wg.collapse(&[WgNodeId(0), WgNodeId(1)]).unwrap();
+        assert!(c.wg.is_installed(merged).unwrap());
+        assert_eq!(c.wg.installed_ops().count(), 2);
+        assert_eq!(c.wg.installed_state(), c.sg.final_state());
+        assert!(c.wg.check_corollary5(&c.ig));
+    }
+
+    #[test]
+    fn collapse_detects_quotient_cycles() {
+        // E -> F -> G with E -> G: collapsing {E, G} leaves F both after
+        // E and before G — a cycle in the quotient.
+        let mut c = ctx(efg());
+        let err = c.wg.collapse(&[WgNodeId(0), WgNodeId(2)]).unwrap_err();
+        assert_eq!(err, Error::WouldCreateCycle);
+        // Failed collapse must not disturb the graph.
+        assert_eq!(c.wg.live_count(), 3);
+        assert!(c.wg.reaches(WgNodeId(0), WgNodeId(1)));
+    }
+
+    #[test]
+    fn efg_requires_atomic_xy_install() {
+        // §5: installing E or F singly is unrecoverable; collapsing
+        // E and F lets x and y install atomically.
+        let mut c = ctx(efg());
+        let ef = c.wg.collapse(&[WgNodeId(0), WgNodeId(1)]).unwrap();
+        c.wg.install(ef).unwrap();
+        assert!(c.wg.check_corollary5(&c.ig));
+        let s = c.wg.installed_state();
+        assert_eq!(s.get(Var(0)), Value(1));
+        assert_eq!(s.get(Var(1)), Value(2));
+        let g = c.wg.node_of_op(OpId(2));
+        c.wg.install(g).unwrap();
+        assert_eq!(c.wg.installed_state(), c.sg.final_state());
+    }
+
+    #[test]
+    fn hj_remove_write_exploits_blind_follower() {
+        // §5: J's blind write to y makes y unexposed after H; removing
+        // H's write of y means installing H only updates x.
+        let mut c = ctx(hj());
+        let h_node = c.wg.node_of_op(OpId(0));
+        c.wg.remove_write(h_node, Var(1)).unwrap();
+        assert_eq!(c.wg.writes_of(h_node).unwrap(), vec![(Var(0), Value(1))]);
+        c.wg.install(h_node).unwrap();
+        // Installed state: x=1, y still 0 — explainable because y is
+        // unexposed by {H}.
+        assert!(c.wg.check_corollary5(&c.ig));
+        let j_node = c.wg.node_of_op(OpId(1));
+        c.wg.install(j_node).unwrap();
+        assert_eq!(c.wg.installed_state(), c.sg.final_state());
+    }
+
+    #[test]
+    fn remove_write_needs_blind_follower() {
+        // figure4: Q is the last writer of x; removing Q's write of x
+        // would lose the final value.
+        let mut c = ctx(figure4());
+        let q = c.wg.node_of_op(OpId(2));
+        assert!(matches!(
+            c.wg.remove_write(q, Var(0)),
+            Err(Error::WriteStillNeeded { var: Var(0), .. })
+        ));
+    }
+
+    #[test]
+    fn remove_write_blocked_by_uninstalled_reader_until_edge_added() {
+        // O1: x <- 1 (blind); O2: y <- x; O3: x <- 2 (blind).
+        // Removing O1's write of x is illegal while O2 might replay
+        // after O1 installs; adding the edge O2 -> O1 legalizes it (the
+        // paper's parenthetical).
+        use crate::expr::Expr;
+        use crate::op::Operation;
+        let h = History::new(vec![
+            Operation::builder(OpId(0)).assign(Var(0), Expr::constant(1)).build().unwrap(),
+            Operation::builder(OpId(1)).assign(Var(1), Expr::read(Var(0))).build().unwrap(),
+            Operation::builder(OpId(2)).assign(Var(0), Expr::constant(2)).build().unwrap(),
+        ])
+        .unwrap();
+        let mut c = ctx(h);
+        let n1 = c.wg.node_of_op(OpId(0));
+        let n2 = c.wg.node_of_op(OpId(1));
+        assert_eq!(
+            c.wg.remove_write(n1, Var(0)),
+            Err(Error::WriteStillNeeded { var: Var(0), reader: OpId(1) })
+        );
+        c.wg.add_edge(n2, n1).unwrap();
+        c.wg.remove_write(n1, Var(0)).unwrap();
+        // Now installs must follow the added edge: O2, then O1, then O3;
+        // Corollary 5 holds throughout.
+        c.wg.install(n2).unwrap();
+        assert!(c.wg.check_corollary5(&c.ig));
+        c.wg.install(n1).unwrap();
+        assert!(c.wg.check_corollary5(&c.ig));
+        let n3 = c.wg.node_of_op(OpId(2));
+        c.wg.install(n3).unwrap();
+        assert_eq!(c.wg.installed_state(), c.sg.final_state());
+    }
+
+    #[test]
+    fn remove_write_from_installed_node_rejected() {
+        let mut c = ctx(hj());
+        let h_node = c.wg.node_of_op(OpId(0));
+        c.wg.remove_write(h_node, Var(1)).unwrap();
+        c.wg.install(h_node).unwrap();
+        assert_eq!(c.wg.remove_write(h_node, Var(0)), Err(Error::AlreadyInstalled(h_node.0)));
+    }
+
+    #[test]
+    fn stale_nodes_rejected_everywhere() {
+        let mut c = ctx(figure4());
+        let merged = c.wg.collapse(&[WgNodeId(0), WgNodeId(2)]).unwrap();
+        assert_eq!(c.wg.install(WgNodeId(0)), Err(Error::StaleNode(0)));
+        assert_eq!(c.wg.add_edge(WgNodeId(0), merged), Err(Error::StaleNode(0)));
+        assert!(c.wg.collapse(&[WgNodeId(2), merged]).is_err());
+        assert_eq!(c.wg.remove_write(WgNodeId(2), Var(0)), Err(Error::StaleNode(2)));
+    }
+
+    #[test]
+    fn minimal_uninstalled_nodes() {
+        let mut c = ctx(figure4());
+        let mins: Vec<_> = c.wg.minimal_uninstalled();
+        assert_eq!(mins, vec![WgNodeId(0), WgNodeId(1)]);
+        c.wg.install(WgNodeId(0)).unwrap();
+        c.wg.install(WgNodeId(1)).unwrap();
+        assert_eq!(c.wg.minimal_uninstalled(), vec![WgNodeId(2)]);
+    }
+
+    #[test]
+    fn node_blindly_writes_respects_first_access() {
+        let c = ctx(hj());
+        // J blindly writes y.
+        assert!(c.wg.node_blindly_writes(c.wg.node_of_op(OpId(1)), Var(1)));
+        // H reads y before writing it.
+        assert!(!c.wg.node_blindly_writes(c.wg.node_of_op(OpId(0)), Var(1)));
+        // H does not write v9 at all.
+        assert!(!c.wg.node_blindly_writes(c.wg.node_of_op(OpId(0)), Var(9)));
+    }
+}

@@ -1,0 +1,401 @@
+//! Concurrent normal operation over the substrate.
+//!
+//! The paper's model is sequential, but its central insight — a log need
+//! only order *conflicting* operations (Lemma 1) — is what makes
+//! concurrent execution recoverable at all: operations on disjoint pages
+//! may interleave freely, and any log order consistent with the
+//! conflicts replays to the same state. [`SharedDb`] realizes this:
+//!
+//! * worker threads execute [`PageOp`]s under **per-page latches**
+//!   (acquired in sorted order — no deadlocks), so each operation's
+//!   read-then-write is atomic with respect to conflicting operations
+//!   while non-conflicting operations proceed in parallel;
+//! * a **group-commit thread** periodically forces the log;
+//! * a **background flusher** cleans dirty pages under the WAL rule and
+//!   the write-order constraints, exactly like the sequential cache
+//!   manager.
+//!
+//! Crashing tears the volatile components down and reassembles a
+//! sequential [`Db`] for the §6 recovery method to repair; the test
+//! suite then verifies the recovered state equals the replay of the
+//! stable log — whatever interleaving the threads actually produced.
+//!
+//! Lock ordering (strict, global): page latches → log → store. The
+//! flusher and committer never take latches, workers never take locks
+//! out of order, so the system is deadlock-free by construction.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use redo_sim::cache::{BufferPool, Constraint};
+use redo_sim::db::{Db, Geometry};
+use redo_sim::disk::Disk;
+use redo_sim::wal::LogManager;
+use redo_sim::{SimError, SimResult};
+use redo_theory::log::Lsn;
+use redo_workload::pages::{PageId, PageOp};
+
+use crate::oprecord::PageOpPayload;
+
+struct Store {
+    disk: Disk,
+    pool: BufferPool,
+}
+
+struct Inner {
+    geometry: Geometry,
+    log: Mutex<LogManager<PageOpPayload>>,
+    store: Mutex<Store>,
+    latches: Mutex<BTreeMap<PageId, Arc<Mutex<()>>>>,
+    stop: AtomicBool,
+}
+
+/// A thread-shareable database executing page operations with
+/// physiological/generalized logging.
+#[derive(Clone)]
+pub struct SharedDb {
+    inner: Arc<Inner>,
+}
+
+impl SharedDb {
+    /// A fresh shared database.
+    #[must_use]
+    pub fn new(geometry: Geometry) -> SharedDb {
+        SharedDb {
+            inner: Arc::new(Inner {
+                geometry,
+                log: Mutex::new(LogManager::new()),
+                store: Mutex::new(Store { disk: Disk::new(), pool: BufferPool::new(None) }),
+                latches: Mutex::new(BTreeMap::new()),
+                stop: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn latch_for(&self, page: PageId) -> Arc<Mutex<()>> {
+        self.inner
+            .latches
+            .lock()
+            .entry(page)
+            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .clone()
+    }
+
+    /// Executes one operation: latches its page set (sorted), reads its
+    /// cells, appends the log record, applies the writes, and registers
+    /// any write-order constraints. Returns the operation's LSN.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors (pool exhaustion).
+    pub fn execute(&self, op: &PageOp) -> SimResult<Lsn> {
+        if op.written_pages().is_empty() {
+            return Err(SimError::MethodViolation("operations must write at least one page"));
+        }
+        // Latch every page the operation touches, in id order.
+        let mut pages: Vec<PageId> = op
+            .read_pages()
+            .into_iter()
+            .chain(op.written_pages())
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        let latches: Vec<Arc<Mutex<()>>> = pages.iter().map(|&p| self.latch_for(p)).collect();
+        let _guards: Vec<_> = latches.iter().map(|l| l.lock()).collect();
+
+        // Read phase (under latches, short store lock).
+        let spp = self.inner.geometry.slots_per_page;
+        let mut read_values = Vec::with_capacity(op.reads.len());
+        {
+            let mut store = self.inner.store.lock();
+            let store = &mut *store;
+            for &cell in &op.reads {
+                let page = store.pool.fetch(&mut store.disk, cell.page, spp, Lsn::ZERO)?;
+                read_values.push(page.get(cell.slot));
+            }
+        }
+        // Log phase.
+        let lsn = self.inner.log.lock().append(PageOpPayload::Op(op.clone()));
+        // Apply phase (under the same latches: conflicting operations
+        // cannot interleave between our read and our write).
+        {
+            let mut store = self.inner.store.lock();
+            let store = &mut *store;
+            for page in op.written_pages() {
+                store.pool.fetch(&mut store.disk, page, spp, Lsn::ZERO)?;
+            }
+            for &cell in &op.writes {
+                let v = op.output(cell, &read_values);
+                store.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
+            }
+            let written = op.written_pages();
+            for r in op.read_pages() {
+                if !written.contains(&r) {
+                    for &w in &written {
+                        store.pool.add_constraint(Constraint {
+                            blocked: r,
+                            blocked_above: lsn,
+                            requires: w,
+                            required_lsn: lsn,
+                        });
+                    }
+                }
+            }
+            store.pool.add_atomic_group(written, lsn);
+        }
+        Ok(lsn)
+    }
+
+    /// One group-commit tick: forces the whole log.
+    pub fn commit_tick(&self) {
+        self.inner.log.lock().flush_all();
+    }
+
+    /// One background-flusher tick: attempts to flush each dirty page
+    /// with probability `p`, skipping any flush the WAL rule or a
+    /// write-order constraint forbids.
+    pub fn flusher_tick(&self, rng: &mut impl Rng, p: f64) {
+        let stable = self.inner.log.lock().stable_lsn();
+        let mut store = self.inner.store.lock();
+        let store = &mut *store;
+        for id in store.pool.dirty_pages() {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let _ = store.pool.flush_page(&mut store.disk, id, stable);
+            }
+        }
+    }
+
+    /// Signals background threads to stop.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Has shutdown been requested?
+    #[must_use]
+    pub fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Spawns the background flusher + group-commit loop on the current
+    /// handle; returns when [`SharedDb::shutdown`] is called. Intended to
+    /// run on its own thread.
+    pub fn background_loop(&self, seed: u64, flush_prob: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        while !self.stopping() {
+            self.commit_tick();
+            self.flusher_tick(&mut rng, flush_prob);
+            std::thread::yield_now();
+        }
+    }
+
+    /// CRASH: tears down the shared database (volatile state vanishes)
+    /// and reassembles the surviving parts as a sequential [`Db`] ready
+    /// for a §6 recovery method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other clones of this handle still exist (all workers
+    /// must have stopped — a crashed machine has no running threads).
+    #[must_use]
+    pub fn crash(self) -> Db<PageOpPayload> {
+        let inner = Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("crash requires exclusive ownership"));
+        let Store { mut disk, .. } = inner.store.into_inner();
+        let mut log = inner.log.into_inner();
+        log.crash();
+        disk.crash();
+        let mut db = Db::new(inner.geometry);
+        db.disk = disk;
+        db.log = log;
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::Generalized;
+    use crate::RecoveryMethod;
+    use redo_workload::pages::{Cell, PageWorkloadSpec};
+
+    /// Replays the stable log's records in log order against a plain
+    /// cell map — the serialization the log itself defines.
+    fn model_from_stable_log(db: &Db<PageOpPayload>) -> BTreeMap<Cell, u64> {
+        let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
+        for rec in db.log.decode_stable().expect("log intact") {
+            let PageOpPayload::Op(op) = rec.payload else { continue };
+            let reads: Vec<u64> =
+                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            for &w in &op.writes {
+                cells.insert(w, op.output(w, &reads));
+            }
+        }
+        cells
+    }
+
+    fn run_concurrent(n_threads: usize, ops_per_thread: usize, seed: u64) {
+        use std::sync::atomic::AtomicUsize;
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let finished = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // Workers on disjoint op-id ranges (ids must be unique; page
+            // sets overlap freely).
+            for t in 0..n_threads {
+                let db = shared.clone();
+                let finished = &finished;
+                s.spawn(move || {
+                    let ops = PageWorkloadSpec {
+                        n_ops: ops_per_thread,
+                        n_pages: 6,
+                        cross_page_fraction: 0.3,
+                        multi_page_fraction: 0.2,
+                        blind_fraction: 0.2,
+                        ..Default::default()
+                    }
+                    .generate(seed ^ ((t as u64) << 32));
+                    for mut op in ops {
+                        op.id = op.id * n_threads as u32 + t as u32;
+                        db.execute(&op).expect("execute");
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // The main thread plays cache cleaner + group committer
+            // while the workers run.
+            let mut rng = StdRng::seed_from_u64(seed);
+            while finished.load(Ordering::SeqCst) < n_threads {
+                shared.commit_tick();
+                shared.flusher_tick(&mut rng, 0.3);
+                std::thread::yield_now();
+            }
+        });
+        shared.shutdown();
+        // Reacquire exclusive ownership and crash.
+        shared.commit_tick(); // final group commit before the "crash"
+        let mut db = shared.crash();
+        let stats = Generalized.recover(&mut db).expect("recover");
+        // The recovered state must equal the stable log's serialization.
+        let model = model_from_stable_log(&db);
+        for (cell, v) in model {
+            assert_eq!(
+                db.read_cell(cell).expect("read"),
+                v,
+                "cell {cell:?} diverged from the log's serialization"
+            );
+        }
+        let _ = stats;
+    }
+
+    #[test]
+    fn single_threaded_concurrent_api_matches_log() {
+        run_concurrent(1, 40, 1);
+    }
+
+    #[test]
+    fn four_threads_interleave_recoverably() {
+        for seed in 0..3 {
+            run_concurrent(4, 30, seed);
+        }
+    }
+
+    #[test]
+    fn eight_threads_heavy_contention() {
+        run_concurrent(8, 25, 9);
+    }
+
+    #[test]
+    fn background_loop_runs_until_shutdown() {
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let bg = shared.clone();
+        let handle = std::thread::spawn(move || bg.background_loop(1, 0.5));
+        let ops = PageWorkloadSpec { n_ops: 30, n_pages: 4, ..Default::default() }.generate(3);
+        for op in &ops {
+            shared.execute(op).expect("execute");
+        }
+        shared.shutdown();
+        handle.join().expect("background loop exits");
+        shared.commit_tick();
+        let mut db = shared.crash();
+        Generalized.recover(&mut db).expect("recover");
+        let model = model_from_stable_log(&db);
+        for (cell, v) in model {
+            assert_eq!(db.read_cell(cell).expect("read"), v);
+        }
+    }
+
+    #[test]
+    fn crash_mid_stream_recovers_durable_prefix() {
+        // No final commit: whatever the group-commit thread managed to
+        // force is what survives; recovery must match exactly that.
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let db = shared.clone();
+                s.spawn(move || {
+                    let ops = PageWorkloadSpec {
+                        n_ops: 25,
+                        n_pages: 5,
+                        cross_page_fraction: 0.3,
+                        ..Default::default()
+                    }
+                    .generate(77 ^ (t as u64) << 32);
+                    for mut op in ops {
+                        op.id = op.id * 4 + t as u32;
+                        db.execute(&op).expect("execute");
+                        if op.id % 7 == 0 {
+                            db.commit_tick();
+                        }
+                    }
+                });
+            }
+        });
+        shared.shutdown();
+        let mut db = shared.crash(); // volatile tail intentionally lost
+        Generalized.recover(&mut db).expect("recover");
+        let model = model_from_stable_log(&db);
+        for (cell, v) in model {
+            assert_eq!(db.read_cell(cell).expect("read"), v);
+        }
+    }
+
+    #[test]
+    fn latches_serialize_conflicting_increments() {
+        // All threads read-modify-write the SAME cell; the final value
+        // must reflect a chain (each op reads its predecessor's output),
+        // which only holds if read-then-write is atomic per op.
+        use redo_workload::pages::{PageOpKind, SlotId};
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let cell = Cell { page: PageId(0), slot: SlotId(0) };
+        let per_thread = 20u32;
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let db = shared.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let op = PageOp {
+                            id: t * per_thread + i,
+                            kind: PageOpKind::Physiological,
+                            reads: vec![cell],
+                            writes: vec![cell],
+                            f_seed: 42,
+                        };
+                        db.execute(&op).expect("execute");
+                    }
+                });
+            }
+        });
+        shared.shutdown();
+        shared.commit_tick();
+        let mut db = shared.crash();
+        Generalized.recover(&mut db).expect("recover");
+        // Replaying the log serially must land on the same value: if any
+        // op's read had been torn, the hash chain would diverge.
+        let model = model_from_stable_log(&db);
+        assert_eq!(db.read_cell(cell).expect("read"), model[&cell]);
+        assert_eq!(db.log.decode_stable().unwrap().len(), 80);
+    }
+}

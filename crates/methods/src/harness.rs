@@ -1,0 +1,398 @@
+//! The crash-injection harness: runs a workload under a recovery method
+//! with randomized cache flushes, periodic checkpoints, and injected
+//! crashes — verifying both *correctness* (recovery restores exactly the
+//! durable prefix) and *theory conformance* (the recovery invariant held
+//! at the instant of the crash).
+//!
+//! The conformance audit is the point of this whole reproduction: at
+//! every crash we project the simulated disk into a theory-level
+//! [`State`], project the durable operations into a theory-level
+//! [`History`], take the realized redo set from the actual recovery run,
+//! and check the paper's invariant — `operations(log) − redo_set` is an
+//! installation-graph prefix explaining the state. Because page-op
+//! semantics are bit-identical to their theory projections, the final
+//! comparison is plain equality on states.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redo_sim::db::{Db, Geometry};
+use redo_sim::SimError;
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::graph::NodeSet;
+use redo_theory::history::History;
+use redo_theory::installation::InstallationGraph;
+use redo_theory::invariant::recovery_invariant;
+use redo_theory::log::Log;
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+use redo_workload::pages::PageOp;
+
+use crate::RecoveryMethod;
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Take a checkpoint after every `n` operations.
+    pub checkpoint_every: Option<usize>,
+    /// Crash (and recover) after every `n` operations.
+    pub crash_every: Option<usize>,
+    /// Background flush probabilities `(log, pages)` applied after each
+    /// operation; page chaos is suppressed for methods that forbid it.
+    pub chaos: Option<(f64, f64)>,
+    /// RNG seed for the chaos schedule.
+    pub seed: u64,
+    /// Run the theory audit at every crash (quadratic-ish in history
+    /// length; disable for large benchmark runs).
+    pub audit: bool,
+    /// Page geometry.
+    pub slots_per_page: u16,
+    /// Buffer pool capacity (`None` = unbounded).
+    pub pool_capacity: Option<usize>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            checkpoint_every: Some(10),
+            crash_every: Some(16),
+            chaos: Some((0.7, 0.3)),
+            seed: 0,
+            audit: true,
+            slots_per_page: 8,
+            pool_capacity: None,
+        }
+    }
+}
+
+/// What a harness run observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HarnessReport {
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Operations replayed across all recoveries.
+    pub total_replayed: usize,
+    /// Operations bypassed as installed across all recoveries.
+    pub total_skipped: usize,
+    /// Operations that survived to the end (durable at every crash they
+    /// predated).
+    pub survivors: usize,
+    /// Operations lost to crashes (their log records never became
+    /// durable).
+    pub lost: usize,
+    /// Theory audits performed (one per crash plus one final, when
+    /// enabled).
+    pub audits: usize,
+    /// Total log bytes appended.
+    pub log_bytes: u64,
+    /// Total page writes to disk.
+    pub page_writes: u64,
+}
+
+/// Why a harness run failed.
+#[derive(Clone, Debug)]
+pub enum HarnessFailure {
+    /// The substrate refused an operation.
+    Sim(SimError),
+    /// The recovery invariant did not hold at a crash.
+    Invariant {
+        /// Which crash (1-based).
+        crash: u64,
+        /// The violation, rendered.
+        detail: String,
+    },
+    /// Recovery produced a state different from the durable prefix's
+    /// final state.
+    StateMismatch {
+        /// Which crash (1-based), or `None` for the end-of-run check.
+        crash: Option<u64>,
+    },
+}
+
+impl fmt::Display for HarnessFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessFailure::Sim(e) => write!(f, "substrate error: {e}"),
+            HarnessFailure::Invariant { crash, detail } => {
+                write!(f, "recovery invariant violated at crash {crash}: {detail}")
+            }
+            HarnessFailure::StateMismatch { crash: Some(c) } => {
+                write!(f, "recovered state mismatches durable prefix at crash {c}")
+            }
+            HarnessFailure::StateMismatch { crash: None } => {
+                write!(f, "final state mismatches surviving operations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessFailure {}
+
+impl From<SimError> for HarnessFailure {
+    fn from(e: SimError) -> Self {
+        HarnessFailure::Sim(e)
+    }
+}
+
+struct TheoryView {
+    history: History,
+    cg: ConflictGraph,
+    ig: InstallationGraph,
+    sg: StateGraph,
+    log: Log,
+    position_of: BTreeMap<u32, usize>,
+}
+
+fn theory_view(committed: &[PageOp], slots_per_page: u16) -> TheoryView {
+    let history = History::renumbering(
+        committed.iter().map(|op| op.to_operation(slots_per_page)).collect(),
+    );
+    let cg = ConflictGraph::generate(&history);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(&history, &cg, &State::zeroed());
+    let log = Log::from_history(&history);
+    let position_of = committed.iter().enumerate().map(|(i, op)| (op.id, i)).collect();
+    TheoryView { history, cg, ig, sg, log, position_of }
+}
+
+/// Runs `ops` under `method` per `cfg`. See the module docs for what is
+/// verified.
+///
+/// # Errors
+///
+/// [`HarnessFailure`] describing the first violation found.
+pub fn run<M: RecoveryMethod>(
+    method: &M,
+    ops: &[PageOp],
+    cfg: &HarnessConfig,
+) -> Result<HarnessReport, HarnessFailure> {
+    let mut db: Db<M::Payload> =
+        Db::with_capacity(Geometry { slots_per_page: cfg.slots_per_page }, cfg.pool_capacity);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = HarnessReport::default();
+    // Operations whose effects the system has promised to keep: durable
+    // at every crash that has happened since they ran.
+    let mut committed: Vec<(PageOp, redo_theory::log::Lsn)> = Vec::new();
+
+    for (i, op) in ops.iter().enumerate() {
+        let lsn = method.execute(&mut db, op)?;
+        committed.push((op.clone(), lsn));
+
+        if let Some((log_p, page_p)) = cfg.chaos {
+            let page_p = if method.allows_page_chaos() { page_p } else { 0.0 };
+            db.chaos_flush(&mut rng, log_p, page_p);
+        }
+        if let Some(k) = cfg.checkpoint_every {
+            if (i + 1) % k == 0 {
+                method.checkpoint(&mut db)?;
+            }
+        }
+        if let Some(k) = cfg.crash_every {
+            if (i + 1) % k == 0 {
+                crash_and_verify(method, &mut db, &mut committed, cfg, &mut report)?;
+            }
+        }
+    }
+
+    // End-of-run verification against the surviving operations.
+    let survivors: Vec<PageOp> = committed.iter().map(|(op, _)| op.clone()).collect();
+    report.survivors = survivors.len();
+    report.lost = ops.len() - survivors.len();
+    let view = theory_view(&survivors, cfg.slots_per_page);
+    if db.volatile_theory_state() != view.sg.final_state() {
+        return Err(HarnessFailure::StateMismatch { crash: None });
+    }
+    if cfg.audit {
+        report.audits += 1;
+    }
+    report.log_bytes = db.log.appended_bytes();
+    report.page_writes = db.disk.page_writes();
+    Ok(report)
+}
+
+fn crash_and_verify<M: RecoveryMethod>(
+    method: &M,
+    db: &mut Db<M::Payload>,
+    committed: &mut Vec<(PageOp, redo_theory::log::Lsn)>,
+    cfg: &HarnessConfig,
+    report: &mut HarnessReport,
+) -> Result<(), HarnessFailure> {
+    let stable = db.log.stable_lsn();
+    let pre_crash_disk = db.stable_theory_state();
+    db.crash();
+    report.crashes += 1;
+    // Durable prefix: operations whose log records reached the stable
+    // log. Everything after is lost, by design of redo-only recovery.
+    committed.retain(|(_, lsn)| *lsn <= stable);
+    let stats = method.recover(db)?;
+    report.total_replayed += stats.replay_count();
+    report.total_skipped += stats.skipped.len();
+
+    let durable: Vec<PageOp> = committed.iter().map(|(op, _)| op.clone()).collect();
+    let view = theory_view(&durable, cfg.slots_per_page);
+
+    // Correctness: the recovered (volatile) state is the durable
+    // prefix's final state, numerically.
+    if db.volatile_theory_state() != view.sg.final_state() {
+        return Err(HarnessFailure::StateMismatch { crash: Some(report.crashes) });
+    }
+
+    if cfg.audit {
+        // Theory conformance: the realized redo set satisfied the
+        // recovery invariant against the pre-recovery disk state.
+        let mut redo_set = NodeSet::new(view.history.len());
+        for id in &stats.replayed {
+            match view.position_of.get(id) {
+                Some(&pos) => {
+                    redo_set.insert(pos);
+                }
+                None => {
+                    return Err(HarnessFailure::Invariant {
+                        crash: report.crashes,
+                        detail: format!("recovery replayed non-durable operation {id}"),
+                    })
+                }
+            }
+        }
+        if let Err(v) = recovery_invariant(
+            &view.cg,
+            &view.ig,
+            &view.sg,
+            &view.log,
+            &redo_set,
+            &pre_crash_disk,
+        ) {
+            return Err(HarnessFailure::Invariant {
+                crash: report.crashes,
+                detail: v.to_string(),
+            });
+        }
+        report.audits += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::Generalized;
+    use crate::logical::Logical;
+    use crate::physical::Physical;
+    use crate::physiological::Physiological;
+    use redo_workload::pages::PageWorkloadSpec;
+
+    fn phys_workload(seed: u64) -> Vec<PageOp> {
+        PageWorkloadSpec { n_ops: 60, n_pages: 6, blind_fraction: 1.0, ..Default::default() }
+            .generate(seed)
+    }
+
+    fn physio_workload(seed: u64) -> Vec<PageOp> {
+        PageWorkloadSpec { n_ops: 60, n_pages: 6, ..Default::default() }.generate(seed)
+    }
+
+    fn general_workload(seed: u64) -> Vec<PageOp> {
+        PageWorkloadSpec {
+            n_ops: 60,
+            n_pages: 6,
+            cross_page_fraction: 0.5,
+            blind_fraction: 0.1,
+            ..Default::default()
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn physical_method_passes_audit() {
+        for seed in 0..3 {
+            let cfg = HarnessConfig { seed, ..Default::default() };
+            let report = run(&Physical, &phys_workload(seed), &cfg).unwrap();
+            assert!(report.crashes >= 3);
+            assert!(report.audits > 0);
+        }
+    }
+
+    #[test]
+    fn physiological_method_passes_audit() {
+        for seed in 0..3 {
+            let cfg = HarnessConfig { seed, ..Default::default() };
+            let report = run(&Physiological, &physio_workload(seed), &cfg).unwrap();
+            assert!(report.crashes >= 3);
+        }
+    }
+
+    #[test]
+    fn generalized_method_passes_audit() {
+        for seed in 0..3 {
+            let cfg = HarnessConfig { seed, ..Default::default() };
+            let report = run(&Generalized, &general_workload(seed), &cfg).unwrap();
+            assert!(report.crashes >= 3);
+        }
+    }
+
+    #[test]
+    fn logical_method_passes_audit() {
+        for seed in 0..3 {
+            let cfg = HarnessConfig { seed, ..Default::default() };
+            let report = run(&Logical, &general_workload(seed), &cfg).unwrap();
+            assert!(report.crashes >= 3);
+        }
+    }
+
+    #[test]
+    fn page_lsn_test_skips_installed_work() {
+        // With aggressive page flushing, physiological recovery should
+        // skip a substantial share of records; physical replays all.
+        let cfg = HarnessConfig {
+            chaos: Some((1.0, 0.9)),
+            checkpoint_every: None,
+            ..Default::default()
+        };
+        let physio = run(&Physiological, &physio_workload(1), &cfg).unwrap();
+        assert!(
+            physio.total_skipped > physio.total_replayed,
+            "{physio:?}: flushed pages should be bypassed"
+        );
+        let phys = run(&Physical, &phys_workload(1), &cfg).unwrap();
+        assert_eq!(phys.total_skipped, 0, "physical replays everything since checkpoint");
+    }
+
+    #[test]
+    fn without_log_flushes_everything_is_lost() {
+        let cfg = HarnessConfig {
+            chaos: None,
+            checkpoint_every: None,
+            crash_every: Some(40),
+            ..Default::default()
+        };
+        // 60 ops, crash after op 40 with a never-flushed log: the first
+        // 40 vanish entirely; ops 41..60 survive only in cache.
+        let report = run(&Physiological, &physio_workload(2), &cfg).unwrap();
+        assert_eq!(report.survivors, 20, "ops after the last crash survive in cache");
+        assert_eq!(report.lost, 40);
+    }
+
+    #[test]
+    fn checkpoints_reduce_replay_volume() {
+        let base = HarnessConfig {
+            chaos: Some((1.0, 0.0)),
+            crash_every: Some(20),
+            checkpoint_every: None,
+            ..Default::default()
+        };
+        let no_ckpt = run(&Physical, &phys_workload(3), &base).unwrap();
+        let with_ckpt = run(
+            &Physical,
+            &phys_workload(3),
+            &HarnessConfig { checkpoint_every: Some(5), ..base },
+        )
+        .unwrap();
+        assert!(
+            with_ckpt.total_replayed < no_ckpt.total_replayed,
+            "{} !< {}",
+            with_ckpt.total_replayed,
+            no_ckpt.total_replayed
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! # redo-methods
+//!
+//! The concrete redo-recovery methods of the paper's §6, implemented over
+//! the `redo-sim` substrate:
+//!
+//! * [`logical`] — §6.1, System R-style: the disk state is frozen
+//!   between checkpoints, updated pages quiesce into a staging area, and
+//!   writing the checkpoint record "swings a pointer" that atomically
+//!   installs every operation logged since the previous checkpoint.
+//!   Recovery replays *everything* after the checkpoint.
+//! * [`physical`] — §6.2: log records carry the exact values written
+//!   (blind after-images); pages may flush at any time under the WAL
+//!   rule because the affected variables stay unexposed; recovery
+//!   replays everything after the checkpoint, idempotently.
+//! * [`physiological`] — §6.3: operations read and write exactly one
+//!   page; every page carries the LSN of its last update; the redo test
+//!   compares page LSN with record LSN, so installation happens
+//!   page-at-a-time whenever the cache flushes.
+//! * [`generalized`] — §6.4: operations may *read* pages they do not
+//!   write (the B-tree-split shape of Figure 8); the cache manager must
+//!   then respect installation-graph write ordering, which it does via
+//!   the buffer pool's write-order [constraints](redo_sim::cache::Constraint).
+//!
+//! Every method implements [`RecoveryMethod`]; the [`harness`] module
+//! runs workloads against a method with randomized cache flushes,
+//! checkpoints, and injected crashes, verifying after every crash that
+//!
+//! 1. recovery restores exactly the durable prefix of the workload, and
+//! 2. the paper's **recovery invariant** held at the moment of the
+//!    crash: the operations the redo test bypassed form a prefix of the
+//!    installation graph explaining the stable state (checked by
+//!    projecting the simulated disk into the theory, bit-for-bit).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod broken;
+pub mod concurrent;
+pub mod fuzzy;
+pub mod generalized;
+pub mod oprecord;
+pub mod harness;
+pub mod logical;
+pub mod physical;
+pub mod physiological;
+
+use redo_sim::db::Db;
+use redo_sim::wal::LogPayload;
+use redo_sim::SimResult;
+use redo_theory::log::Lsn;
+use redo_workload::pages::PageOp;
+
+/// What one recovery pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Log records examined during the scan.
+    pub scanned: usize,
+    /// Operations replayed (the realized `redo_set`), by workload op id,
+    /// in replay order.
+    pub replayed: Vec<u32>,
+    /// Operations bypassed as already installed.
+    pub skipped: Vec<u32>,
+}
+
+impl RecoveryStats {
+    /// Number of replayed operations.
+    #[must_use]
+    pub fn replay_count(&self) -> usize {
+        self.replayed.len()
+    }
+}
+
+/// A §6 recovery method: how to log an operation during normal
+/// operation, how to checkpoint, and how to recover after a crash.
+///
+/// Methods keep **no volatile state of their own** — everything recovery
+/// needs must live on the disk or in the stable log, because `recover`
+/// runs against a freshly crashed [`Db`].
+pub trait RecoveryMethod {
+    /// What this method writes to the log.
+    type Payload: LogPayload;
+
+    /// Human-readable name ("physical", "physiological", ...).
+    fn name(&self) -> &'static str;
+
+    /// May the harness flush arbitrary dirty pages between operations?
+    /// True for the LSN-based and physical methods; false for logical
+    /// recovery, whose disk state may only advance via the checkpoint
+    /// pointer swing.
+    fn allows_page_chaos(&self) -> bool {
+        true
+    }
+
+    /// Executes one operation during normal operation: writes the log
+    /// record(s), applies the operation to the cache, and registers any
+    /// write-order constraints. Returns the operation's LSN.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors (pool exhaustion, protocol violations).
+    fn execute(&self, db: &mut Db<Self::Payload>, op: &PageOp) -> SimResult<Lsn>;
+
+    /// Takes a checkpoint, advancing the point from which recovery will
+    /// scan the log.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors.
+    fn checkpoint(&self, db: &mut Db<Self::Payload>) -> SimResult<()>;
+
+    /// Recovers a crashed database: scans the stable log from the master
+    /// record, applies the redo test to each record, and replays the
+    /// chosen operations. On return the database is open for business
+    /// (its volatile view equals the durable prefix's final state).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors, including log corruption.
+    fn recover(&self, db: &mut Db<Self::Payload>) -> SimResult<RecoveryStats>;
+}

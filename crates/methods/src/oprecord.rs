@@ -1,0 +1,69 @@
+//! The shared log payload for operation-logging methods.
+//!
+//! Logical, physiological, and generalized-LSN recovery all log the
+//! *operation* (not its output values): a [`PageOp`] plus checkpoint
+//! markers. They differ only in their redo tests and checkpoint
+//! disciplines, so they share this payload.
+
+use redo_sim::wal::{codec, LogPayload};
+use redo_sim::{SimError, SimResult};
+use redo_workload::pages::PageOp;
+
+/// An operation record or a checkpoint marker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageOpPayload {
+    /// A logged operation.
+    Op(PageOp),
+    /// A checkpoint record.
+    Checkpoint,
+}
+
+impl LogPayload for PageOpPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PageOpPayload::Op(op) => {
+                codec::put_u8(buf, 0);
+                codec::put_page_op(buf, op);
+            }
+            PageOpPayload::Checkpoint => codec::put_u8(buf, 1),
+        }
+    }
+
+    fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
+        match codec::get_u8(input, pos)? {
+            0 => Ok(PageOpPayload::Op(codec::get_page_op(input, pos)?)),
+            1 => Ok(PageOpPayload::Checkpoint),
+            _ => Err(SimError::Corrupt(*pos - 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_workload::pages::PageWorkloadSpec;
+
+    #[test]
+    fn roundtrip() {
+        let spec =
+            PageWorkloadSpec { n_ops: 10, cross_page_fraction: 0.5, ..Default::default() };
+        for op in spec.generate(1) {
+            let p = PageOpPayload::Op(op);
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let mut pos = 0;
+            assert_eq!(PageOpPayload::decode(&buf, &mut pos).unwrap(), p);
+        }
+        let mut buf = Vec::new();
+        PageOpPayload::Checkpoint.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(PageOpPayload::decode(&buf, &mut pos).unwrap(), PageOpPayload::Checkpoint);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = [9u8];
+        let mut pos = 0;
+        assert!(matches!(PageOpPayload::decode(&buf, &mut pos), Err(SimError::Corrupt(0))));
+    }
+}

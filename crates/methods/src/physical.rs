@@ -1,0 +1,254 @@
+//! Physical recovery (§6.2).
+//!
+//! "Early recovery techniques frequently exploited physical recovery,
+//! logging the exact bytes of data and the exact locations written by the
+//! logged operations. Physical operations do not read data, they only
+//! write." Log records here carry `(cell, value)` after-images; replay is
+//! a blind, idempotent overwrite.
+//!
+//! Because the logged operations never read, the installation graph has
+//! only write-write edges (one chain per cell); any cache flush order is
+//! legal under the WAL rule, and while an operation sits in the redo set,
+//! the cells it wrote are *unexposed* — which is why the checkpoint can
+//! simply flush the cache (setting the stable values to whatever the
+//! cache holds) and then atomically shift every logged operation out of
+//! the redo set by writing the checkpoint record.
+
+use redo_sim::db::Db;
+use redo_sim::wal::{codec, LogPayload};
+use redo_sim::{SimError, SimResult};
+use redo_theory::log::Lsn;
+use redo_workload::pages::{Cell, PageOp};
+
+use crate::{RecoveryMethod, RecoveryStats};
+
+/// Log payload for physical recovery: blind after-images or a checkpoint
+/// marker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhysPayload {
+    /// The exact cells and values an operation wrote.
+    Writes {
+        /// The workload operation id (for auditing; replay ignores it).
+        op_id: u32,
+        /// After-images in write order.
+        writes: Vec<(Cell, u64)>,
+    },
+    /// A checkpoint record: every earlier operation is installed.
+    Checkpoint,
+}
+
+impl LogPayload for PhysPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PhysPayload::Writes { op_id, writes } => {
+                codec::put_u8(buf, 0);
+                codec::put_u32(buf, *op_id);
+                codec::put_u16(buf, writes.len() as u16);
+                for &(c, v) in writes {
+                    codec::put_cell(buf, c);
+                    codec::put_u64(buf, v);
+                }
+            }
+            PhysPayload::Checkpoint => codec::put_u8(buf, 1),
+        }
+    }
+
+    fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
+        match codec::get_u8(input, pos)? {
+            0 => {
+                let op_id = codec::get_u32(input, pos)?;
+                let n = codec::get_u16(input, pos)? as usize;
+                let mut writes = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let c = codec::get_cell(input, pos)?;
+                    let v = codec::get_u64(input, pos)?;
+                    writes.push((c, v));
+                }
+                Ok(PhysPayload::Writes { op_id, writes })
+            }
+            1 => Ok(PhysPayload::Checkpoint),
+            _ => Err(SimError::Corrupt(*pos - 1)),
+        }
+    }
+}
+
+/// The physical recovery method.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Physical;
+
+impl RecoveryMethod for Physical {
+    type Payload = PhysPayload;
+
+    fn name(&self) -> &'static str {
+        "physical"
+    }
+
+    fn execute(&self, db: &mut Db<PhysPayload>, op: &PageOp) -> SimResult<Lsn> {
+        // Compute the after-images by reading the cache (the *logged*
+        // record is blind; the computation that produced it is not our
+        // concern, exactly as in real systems).
+        let mut read_values = Vec::with_capacity(op.reads.len());
+        for &cell in &op.reads {
+            read_values.push(db.read_cell(cell)?);
+        }
+        let writes: Vec<(Cell, u64)> =
+            op.writes.iter().map(|&c| (c, op.output(c, &read_values))).collect();
+        let lsn = db.log.append(PhysPayload::Writes { op_id: op.id, writes: writes.clone() });
+        for (cell, v) in writes {
+            let stable = db.log.stable_lsn();
+            db.pool.fetch(&mut db.disk, cell.page, db.geometry.slots_per_page, stable)?;
+            db.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
+        }
+        Ok(lsn)
+    }
+
+    fn checkpoint(&self, db: &mut Db<PhysPayload>) -> SimResult<()> {
+        // §6.2: set the stable values to those in the cache (which
+        // include every pending operation's effects), then write the
+        // checkpoint record — atomically installing the lot.
+        db.log.flush_all();
+        let stable = db.log.stable_lsn();
+        db.pool.flush_all(&mut db.disk, stable)?;
+        let ck = db.log.append(PhysPayload::Checkpoint);
+        db.log.flush_all();
+        db.disk.set_master(ck);
+        Ok(())
+    }
+
+    fn recover(&self, db: &mut Db<PhysPayload>) -> SimResult<RecoveryStats> {
+        let master = db.disk.master();
+        let records = db.log.decode_stable()?;
+        let mut stats = RecoveryStats::default();
+        for rec in records {
+            if rec.lsn <= master {
+                continue;
+            }
+            stats.scanned += 1;
+            match rec.payload {
+                PhysPayload::Checkpoint => {}
+                PhysPayload::Writes { op_id, writes } => {
+                    // redo test: always replay (blind, idempotent).
+                    for (cell, v) in writes {
+                        let stable = db.log.stable_lsn();
+                        db.pool.fetch(
+                            &mut db.disk,
+                            cell.page,
+                            db.geometry.slots_per_page,
+                            stable,
+                        )?;
+                        db.pool.update(cell.page, rec.lsn, |p| p.set(cell.slot, v))?;
+                    }
+                    stats.replayed.push(op_id);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_sim::db::Geometry;
+    use redo_workload::pages::{PageId, PageWorkloadSpec, SlotId};
+
+    fn db() -> Db<PhysPayload> {
+        Db::new(Geometry::default())
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = PhysPayload::Writes {
+            op_id: 3,
+            writes: vec![(Cell { page: PageId(1), slot: SlotId(2) }, 99)],
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(PhysPayload::decode(&buf, &mut pos).unwrap(), p);
+        assert_eq!(pos, buf.len());
+        let mut buf = Vec::new();
+        PhysPayload::Checkpoint.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(PhysPayload::decode(&buf, &mut pos).unwrap(), PhysPayload::Checkpoint);
+    }
+
+    #[test]
+    fn crash_without_any_flush_recovers_nothing() {
+        let mut db = db();
+        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 5, ..Default::default() }
+            .generate(1);
+        for op in &ops {
+            Physical.execute(&mut db, op).unwrap();
+        }
+        db.crash();
+        let stats = Physical.recover(&mut db).unwrap();
+        assert_eq!(stats.replay_count(), 0);
+        assert_eq!(db.volatile_theory_state(), redo_theory::state::State::zeroed());
+    }
+
+    #[test]
+    fn durable_log_replays_fully() {
+        let mut db = db();
+        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 8, ..Default::default() }
+            .generate(2);
+        let mut expect = std::collections::BTreeMap::new();
+        for op in &ops {
+            Physical.execute(&mut db, op).unwrap();
+            for &c in &op.writes {
+                expect.insert(c, op.output(c, &[]));
+            }
+        }
+        db.log.flush_all();
+        db.crash();
+        let stats = Physical.recover(&mut db).unwrap();
+        assert_eq!(stats.replay_count(), 8);
+        for (c, v) in expect {
+            assert_eq!(db.read_cell(c).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncates_recovery_scan() {
+        let mut db = db();
+        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 10, ..Default::default() }
+            .generate(3);
+        for op in &ops[..6] {
+            Physical.execute(&mut db, op).unwrap();
+        }
+        Physical.checkpoint(&mut db).unwrap();
+        for op in &ops[6..] {
+            Physical.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        db.crash();
+        let stats = Physical.recover(&mut db).unwrap();
+        assert_eq!(stats.replay_count(), 4, "only post-checkpoint records replay");
+        // And the state is complete nevertheless.
+        for op in &ops {
+            for &c in &op.writes {
+                assert_ne!(db.read_cell(c).unwrap(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let mut db = db();
+        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 6, ..Default::default() }
+            .generate(4);
+        for op in &ops {
+            Physical.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        // Flush some pages so replay partially overlaps installed state.
+        let stable = db.log.stable_lsn();
+        db.pool.flush_all(&mut db.disk, stable).unwrap();
+        db.crash();
+        Physical.recover(&mut db).unwrap();
+        let once = db.volatile_theory_state();
+        db.crash();
+        Physical.recover(&mut db).unwrap();
+        assert_eq!(db.volatile_theory_state(), once);
+    }
+}

@@ -1,0 +1,226 @@
+//! Physiological recovery (§6.3).
+//!
+//! "A physiological operation reads and writes exactly one page. It
+//! identifies the page by a 'physical' page identifier, but performs a
+//! 'logical' operation on that page. [...] Each page of the system state
+//! is tagged with the LSN of the last operation that updated it."
+//!
+//! The redo test compares the page's LSN with the record's: `page LSN ≥
+//! record LSN` means the operation's effects are already on the page
+//! (installed), so it is bypassed. Flushing a page to disk therefore
+//! *atomically* installs every operation accumulated on it and removes
+//! them from the future redo set — the write-graph collapse of a minimal
+//! node into the stable-state node, with the page LSN carrying the redo
+//! information. Since operations touch a single page, all uninstalled
+//! write-graph nodes are minimal and the cache may flush pages in any
+//! order.
+
+use redo_sim::db::Db;
+use redo_sim::{SimError, SimResult};
+use redo_theory::log::Lsn;
+use redo_workload::pages::PageOp;
+
+use crate::oprecord::PageOpPayload;
+use crate::{RecoveryMethod, RecoveryStats};
+
+/// The physiological recovery method.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Physiological;
+
+/// Validates the §6.3 shape: reads and writes confined to one page.
+fn check_shape(op: &PageOp) -> SimResult<()> {
+    let written = op.written_pages();
+    if written.len() != 1 {
+        return Err(SimError::MethodViolation(
+            "physiological operations write exactly one page",
+        ));
+    }
+    if op.read_pages().iter().any(|p| *p != written[0]) {
+        return Err(SimError::MethodViolation(
+            "physiological operations read only the page they write",
+        ));
+    }
+    Ok(())
+}
+
+impl RecoveryMethod for Physiological {
+    type Payload = PageOpPayload;
+
+    fn name(&self) -> &'static str {
+        "physiological"
+    }
+
+    fn execute(&self, db: &mut Db<PageOpPayload>, op: &PageOp) -> SimResult<Lsn> {
+        check_shape(op)?;
+        let lsn = db.log.append(PageOpPayload::Op(op.clone()));
+        db.apply_page_op(op, lsn)?;
+        Ok(lsn)
+    }
+
+    fn checkpoint(&self, db: &mut Db<PageOpPayload>) -> SimResult<()> {
+        // A heavyweight (flush-everything) checkpoint: afterwards every
+        // logged operation is installed, so recovery may start at the
+        // checkpoint record.
+        db.log.flush_all();
+        let stable = db.log.stable_lsn();
+        db.pool.flush_all(&mut db.disk, stable)?;
+        let ck = db.log.append(PageOpPayload::Checkpoint);
+        db.log.flush_all();
+        db.disk.set_master(ck);
+        Ok(())
+    }
+
+    fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        let master = db.disk.master();
+        let records = db.log.decode_stable()?;
+        let mut stats = RecoveryStats::default();
+        for rec in records {
+            if rec.lsn <= master {
+                continue;
+            }
+            stats.scanned += 1;
+            let PageOpPayload::Op(op) = rec.payload else { continue };
+            let page = op.written_pages()[0];
+            let stable = db.log.stable_lsn();
+            let cached =
+                db.pool.fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+            if cached.lsn() < rec.lsn {
+                // redo test fired: the page misses this update. Reads see
+                // the page with every earlier operation already applied
+                // (replayed or installed), so the operation is applicable.
+                db.apply_page_op(&op, rec.lsn)?;
+                stats.replayed.push(op.id);
+            } else {
+                stats.skipped.push(op.id);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use redo_sim::db::Geometry;
+    use redo_workload::pages::{Cell, PageId, PageOpKind, PageWorkloadSpec, SlotId};
+
+    fn workload(n: usize, seed: u64) -> Vec<PageOp> {
+        PageWorkloadSpec { n_ops: n, n_pages: 4, ..Default::default() }.generate(seed)
+    }
+
+    fn model(ops: &[PageOp]) -> std::collections::BTreeMap<Cell, u64> {
+        let mut cells = std::collections::BTreeMap::new();
+        for op in ops {
+            let reads: Vec<u64> =
+                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            for &w in &op.writes {
+                cells.insert(w, op.output(w, &reads));
+            }
+        }
+        cells
+    }
+
+    fn assert_matches_model(db: &mut Db<PageOpPayload>, ops: &[PageOp]) {
+        for (c, v) in model(ops) {
+            assert_eq!(db.read_cell(c).unwrap(), v, "cell {c:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_cross_page_reads() {
+        let op = PageOp {
+            id: 0,
+            kind: PageOpKind::Generalized,
+            reads: vec![Cell { page: PageId(1), slot: SlotId(0) }],
+            writes: vec![Cell { page: PageId(0), slot: SlotId(0) }],
+            f_seed: 1,
+        };
+        let mut db = Db::new(Geometry::default());
+        assert!(matches!(
+            Physiological.execute(&mut db, &op),
+            Err(SimError::MethodViolation(_))
+        ));
+    }
+
+    #[test]
+    fn page_lsn_test_skips_flushed_pages() {
+        let mut db = Db::new(Geometry::default());
+        let ops = workload(12, 1);
+        for op in &ops {
+            Physiological.execute(&mut db, op).unwrap();
+        }
+        db.flush_everything().unwrap(); // all installed
+        db.crash();
+        let stats = Physiological.recover(&mut db).unwrap();
+        assert_eq!(stats.replay_count(), 0, "everything installed, nothing replays");
+        assert_eq!(stats.skipped.len(), 12);
+        assert_matches_model(&mut db, &ops);
+    }
+
+    #[test]
+    fn partial_flush_replays_only_missing_updates() {
+        let mut db = Db::new(Geometry::default());
+        let ops = workload(20, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for op in &ops {
+            Physiological.execute(&mut db, op).unwrap();
+            db.chaos_flush(&mut rng, 0.7, 0.4);
+        }
+        db.log.flush_all();
+        db.crash();
+        let stats = Physiological.recover(&mut db).unwrap();
+        assert_eq!(stats.replay_count() + stats.skipped.len(), 20);
+        assert_matches_model(&mut db, &ops);
+    }
+
+    #[test]
+    fn unflushed_log_tail_is_lost() {
+        let mut db = Db::new(Geometry::default());
+        let ops = workload(10, 3);
+        for op in &ops[..6] {
+            Physiological.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        for op in &ops[6..] {
+            Physiological.execute(&mut db, op).unwrap();
+        }
+        db.crash();
+        Physiological.recover(&mut db).unwrap();
+        assert_matches_model(&mut db, &ops[..6]);
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_scan() {
+        let mut db = Db::new(Geometry::default());
+        let ops = workload(16, 4);
+        for op in &ops[..10] {
+            Physiological.execute(&mut db, op).unwrap();
+        }
+        Physiological.checkpoint(&mut db).unwrap();
+        for op in &ops[10..] {
+            Physiological.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        db.crash();
+        let stats = Physiological.recover(&mut db).unwrap();
+        assert_eq!(stats.scanned, 6);
+        assert_matches_model(&mut db, &ops);
+    }
+
+    #[test]
+    fn repeated_crashes_converge() {
+        let mut db = Db::new(Geometry::default());
+        let ops = workload(15, 5);
+        for op in &ops {
+            Physiological.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        for _ in 0..3 {
+            db.crash();
+            Physiological.recover(&mut db).unwrap();
+            assert_matches_model(&mut db, &ops);
+        }
+    }
+}

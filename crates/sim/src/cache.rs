@@ -1,0 +1,709 @@
+//! The buffer pool: the cache manager whose flush decisions the write
+//! graph governs.
+//!
+//! §5's point is that a cache accumulates the effects of many operations
+//! per page and installs them all at once when the page is flushed; §6.4
+//! adds that once operations may read pages they do not write, the cache
+//! must respect *write-order constraints* (Figure 8: the new B-tree node
+//! must reach disk before the truncated old node overwrites the only
+//! copy of the moved keys). This pool enforces both disciplines:
+//!
+//! * the **WAL rule** — a page may not be flushed while it carries
+//!   updates whose log records are still volatile;
+//! * **write-order constraints** — registered as
+//!   [`Constraint`]s: flushing page *r* past LSN `blocked_above`
+//!   requires page `requires` to be on disk at ≥ `required_lsn`;
+//! * **atomic flush groups** — [`AtomicGroup`]s bind a multi-page write
+//!   set (§5's "update sets of variables atomically") so that flushing
+//!   any member atomically flushes the group's closure, via the disk's
+//!   multi-page atomic write.
+//!
+//! Eviction is LRU with the same rules: a dirty victim is flushed if
+//! legal, otherwise the next victim is tried.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use redo_theory::log::Lsn;
+use redo_workload::pages::PageId;
+
+use crate::disk::Disk;
+use crate::error::{SimError, SimResult};
+use crate::page::Page;
+
+/// A write-order constraint: "page `blocked` may not be flushed with an
+/// LSN above `blocked_above` until `requires` is on disk at
+/// `required_lsn` or later."
+///
+/// Registered when a generalized operation at LSN `L` reads page `r`
+/// while writing page `w`: any *later* update of `r` (LSN > L) must not
+/// reach disk before `w` does — the cache-manager enforcement of the
+/// read-write installation-graph edge out of the operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Constraint {
+    /// The page whose flush is conditionally blocked.
+    pub blocked: PageId,
+    /// Flushes of `blocked` at LSNs ≤ this are unaffected (they don't
+    /// overwrite what the reader saw).
+    pub blocked_above: Lsn,
+    /// The page that must be durable first.
+    pub requires: PageId,
+    /// The LSN `requires` must have on disk.
+    pub required_lsn: Lsn,
+}
+
+/// An atomic flush group: the write set of one multi-page operation
+/// (§5's "update sets of variables atomically"). While any member's
+/// durable copy predates `lsn`, the members may only reach disk
+/// together, via one atomic multi-page write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomicGroup {
+    /// The pages bound together.
+    pub pages: std::collections::BTreeSet<PageId>,
+    /// The binding operation's LSN.
+    pub lsn: Lsn,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    page: Page,
+    dirty: bool,
+}
+
+/// The buffer pool.
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    frames: BTreeMap<PageId, Frame>,
+    lru: VecDeque<PageId>,
+    capacity: Option<usize>,
+    constraints: Vec<Constraint>,
+    groups: Vec<AtomicGroup>,
+    flushes: u64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages (`None` = unbounded).
+    #[must_use]
+    pub fn new(capacity: Option<usize>) -> BufferPool {
+        BufferPool {
+            frames: BTreeMap::new(),
+            lru: VecDeque::new(),
+            capacity,
+            constraints: Vec::new(),
+            groups: Vec::new(),
+            flushes: 0,
+        }
+    }
+
+    /// Number of cached pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Is the pool empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Pages currently dirty, in id order.
+    #[must_use]
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Total pages flushed to disk by this pool.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Registers a write-order constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Currently active constraints (satisfied ones are garbage-collected
+    /// on flush).
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Binds a set of pages into an atomic flush group at `lsn`: until
+    /// every member is durable at ≥ `lsn`, flushing any member flushes
+    /// them all, atomically.
+    pub fn add_atomic_group(&mut self, pages: impl IntoIterator<Item = PageId>, lsn: Lsn) {
+        let pages: std::collections::BTreeSet<PageId> = pages.into_iter().collect();
+        if pages.len() > 1 {
+            self.groups.push(AtomicGroup { pages, lsn });
+        }
+    }
+
+    /// Currently active atomic groups (satisfied ones are collected on
+    /// flush).
+    #[must_use]
+    pub fn atomic_groups(&self) -> &[AtomicGroup] {
+        &self.groups
+    }
+
+    /// The transitive closure of active atomic groups containing `id`:
+    /// the set of pages that must reach disk together with `id`.
+    /// Overlapping groups chain (flushing a shared member at its newest
+    /// LSN would otherwise part-install the other group).
+    #[must_use]
+    pub fn atomic_closure(&self, disk: &Disk, id: PageId) -> std::collections::BTreeSet<PageId> {
+        let mut members = std::collections::BTreeSet::from([id]);
+        loop {
+            let before = members.len();
+            for g in &self.groups {
+                let active = g.pages.iter().any(|&p| disk.page_lsn(p) < g.lsn);
+                if active && g.pages.iter().any(|p| members.contains(p)) {
+                    members.extend(g.pages.iter().copied());
+                }
+            }
+            if members.len() == before {
+                return members;
+            }
+        }
+    }
+
+    /// Ensures `id` is cached, reading from disk if necessary; evicts per
+    /// LRU if the pool is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::PoolExhausted`] if no frame can be legally freed.
+    pub fn fetch(
+        &mut self,
+        disk: &mut Disk,
+        id: PageId,
+        slots_per_page: u16,
+        stable_lsn: Lsn,
+    ) -> SimResult<&Page> {
+        if !self.frames.contains_key(&id) {
+            if let Some(cap) = self.capacity {
+                while self.frames.len() >= cap {
+                    self.evict_one(disk, stable_lsn)?;
+                }
+            }
+            let page = disk.read_page(id, slots_per_page);
+            self.frames.insert(id, Frame { page, dirty: false });
+            self.lru.push_back(id);
+        }
+        self.touch(id);
+        Ok(&self.frames.get(&id).expect("just inserted").page)
+    }
+
+    /// The cached copy of `id`, if present (no disk access, no LRU
+    /// touch).
+    #[must_use]
+    pub fn get(&self, id: PageId) -> Option<&Page> {
+        self.frames.get(&id).map(|f| &f.page)
+    }
+
+    /// Mutates a cached page, tagging it with `lsn` and marking it dirty.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotCached`] if the page has not been fetched.
+    pub fn update(
+        &mut self,
+        id: PageId,
+        lsn: Lsn,
+        f: impl FnOnce(&mut Page),
+    ) -> SimResult<()> {
+        let frame = self.frames.get_mut(&id).ok_or(SimError::NotCached(id))?;
+        f(&mut frame.page);
+        frame.page.set_lsn(lsn);
+        frame.dirty = true;
+        self.touch(id);
+        Ok(())
+    }
+
+    /// Would flushing `id` right now violate the WAL rule or a
+    /// write-order constraint?
+    ///
+    /// # Errors
+    ///
+    /// The specific violation; `Ok(())` means the flush is legal.
+    pub fn check_flush(&self, disk: &Disk, id: PageId, stable_lsn: Lsn) -> SimResult<()> {
+        self.check_flush_in_batch(disk, id, stable_lsn, &std::collections::BTreeSet::new())
+    }
+
+    /// As [`BufferPool::check_flush`], treating `batch` as pages that
+    /// will reach disk in the same atomic write — a write-order
+    /// prerequisite inside the batch counts as satisfied (the members'
+    /// cached versions carry LSNs at or beyond any constraint their
+    /// binding operation created).
+    fn check_flush_in_batch(
+        &self,
+        disk: &Disk,
+        id: PageId,
+        stable_lsn: Lsn,
+        batch: &std::collections::BTreeSet<PageId>,
+    ) -> SimResult<()> {
+        let frame = self.frames.get(&id).ok_or(SimError::NotCached(id))?;
+        let page_lsn = frame.page.lsn();
+        if page_lsn > stable_lsn {
+            return Err(SimError::WalViolation { page: id, page_lsn, stable_lsn });
+        }
+        for c in &self.constraints {
+            if c.blocked == id
+                && page_lsn > c.blocked_above
+                && disk.page_lsn(c.requires) < c.required_lsn
+                && !batch.contains(&c.requires)
+            {
+                return Err(SimError::WriteOrderViolation {
+                    blocked: id,
+                    requires: c.requires,
+                    required_lsn: c.required_lsn,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes a dirty page to disk (atomic page write), after checking
+    /// the WAL rule and every write-order constraint. Clean pages flush
+    /// trivially (no-op). Satisfied constraints are garbage-collected.
+    ///
+    /// # Errors
+    ///
+    /// See [`BufferPool::check_flush`].
+    pub fn flush_page(&mut self, disk: &mut Disk, id: PageId, stable_lsn: Lsn) -> SimResult<()> {
+        // Atomic groups widen the flush: every page bound to `id` by an
+        // active group must go to disk in the same atomic write.
+        let members = self.atomic_closure(disk, id);
+        for &m in &members {
+            self.check_flush_in_batch(disk, m, stable_lsn, &members)?;
+        }
+        let mut batch = Vec::new();
+        for &m in &members {
+            let frame = self.frames.get_mut(&m).ok_or(SimError::NotCached(m))?;
+            if frame.dirty {
+                batch.push((m, frame.page.clone()));
+                frame.dirty = false;
+            }
+        }
+        self.flushes += batch.len() as u64;
+        match batch.len() {
+            0 => {}
+            1 => {
+                let (m, page) = batch.pop().expect("len checked");
+                disk.write_page(m, page);
+            }
+            _ => disk.write_pages_atomic(batch),
+        }
+        self.gc_constraints(disk);
+        self.gc_groups(disk);
+        Ok(())
+    }
+
+    /// Flushes every dirty page, ordering flushes so write-order
+    /// constraints are honored (a blocked page is retried after its
+    /// prerequisite flushes). The WAL rule still applies: the caller must
+    /// have forced the log first.
+    ///
+    /// # Errors
+    ///
+    /// The first unresolvable violation (e.g. WAL rule, or circular
+    /// constraints — which the write-graph acyclicity makes impossible
+    /// for well-formed methods).
+    pub fn flush_all(&mut self, disk: &mut Disk, stable_lsn: Lsn) -> SimResult<()> {
+        loop {
+            let dirty = self.dirty_pages();
+            if dirty.is_empty() {
+                return Ok(());
+            }
+            let mut progressed = false;
+            let mut first_err = None;
+            for id in dirty {
+                match self.flush_page(disk, id, stable_lsn) {
+                    Ok(()) => progressed = true,
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                return Err(first_err.expect("no progress implies an error"));
+            }
+        }
+    }
+
+    /// Drops a clean page from the pool (no disk write).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotCached`] if absent; [`SimError::PoolExhausted`] if
+    /// the page is dirty (flush it first — dropping a dirty page would
+    /// silently lose installed-state updates).
+    pub fn drop_clean(&mut self, id: PageId) -> SimResult<()> {
+        match self.frames.get(&id) {
+            None => Err(SimError::NotCached(id)),
+            Some(f) if f.dirty => Err(SimError::PoolExhausted),
+            Some(_) => {
+                self.frames.remove(&id);
+                self.lru.retain(|&p| p != id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Copies of every dirty frame, in id order — what a System R-style
+    /// quiesce writes to the staging area (§6.1).
+    #[must_use]
+    pub fn dirty_frames(&self) -> Vec<(PageId, Page)> {
+        self.frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, f)| (id, f.page.clone()))
+            .collect()
+    }
+
+    /// Marks a cached page clean *without* writing it through this pool —
+    /// used after a checkpoint pointer swing has installed the page by
+    /// other means (the staging-area promotion).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotCached`] if absent.
+    pub fn mark_clean(&mut self, id: PageId) -> SimResult<()> {
+        let frame = self.frames.get_mut(&id).ok_or(SimError::NotCached(id))?;
+        frame.dirty = false;
+        Ok(())
+    }
+
+    /// Simulates losing the cache in a crash: every frame vanishes.
+    /// Constraints vanish too — they concern cached future flushes, and
+    /// there are none.
+    pub fn crash(&mut self) {
+        self.frames.clear();
+        self.lru.clear();
+        self.constraints.clear();
+        self.groups.clear();
+    }
+
+    fn touch(&mut self, id: PageId) {
+        if let Some(pos) = self.lru.iter().position(|&p| p == id) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(id);
+    }
+
+    fn gc_constraints(&mut self, disk: &Disk) {
+        self.constraints
+            .retain(|c| disk.page_lsn(c.requires) < c.required_lsn);
+    }
+
+    fn gc_groups(&mut self, disk: &Disk) {
+        self.groups
+            .retain(|g| g.pages.iter().any(|&p| disk.page_lsn(p) < g.lsn));
+    }
+
+    fn evict_one(&mut self, disk: &mut Disk, stable_lsn: Lsn) -> SimResult<()> {
+        // Try LRU order: clean pages drop immediately; dirty ones flush
+        // if legal (which may atomically flush their whole group).
+        for i in 0..self.lru.len() {
+            let id = self.lru[i];
+            let dirty = self.frames.get(&id).map(|f| f.dirty).unwrap_or(false);
+            if !dirty {
+                self.frames.remove(&id);
+                self.lru.remove(i);
+                return Ok(());
+            }
+            if self.flush_page(disk, id, stable_lsn).is_ok() {
+                self.frames.remove(&id);
+                self.lru.retain(|&p| p != id);
+                return Ok(());
+            }
+        }
+        Err(SimError::PoolExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_workload::pages::SlotId;
+
+    fn pool_with_page(id: PageId) -> (BufferPool, Disk) {
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, id, 4, Lsn::ZERO).unwrap();
+        (pool, disk)
+    }
+
+    #[test]
+    fn fetch_loads_and_caches() {
+        let (pool, _disk) = pool_with_page(PageId(0));
+        assert_eq!(pool.len(), 1);
+        assert!(pool.get(PageId(0)).is_some());
+        assert!(pool.get(PageId(1)).is_none());
+    }
+
+    #[test]
+    fn update_requires_fetch() {
+        let mut pool = BufferPool::new(None);
+        let err = pool.update(PageId(0), Lsn(1), |_| {}).unwrap_err();
+        assert_eq!(err, SimError::NotCached(PageId(0)));
+    }
+
+    #[test]
+    fn update_marks_dirty_and_tags_lsn() {
+        let (mut pool, _disk) = pool_with_page(PageId(0));
+        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9)).unwrap();
+        assert_eq!(pool.dirty_pages(), vec![PageId(0)]);
+        assert_eq!(pool.get(PageId(0)).unwrap().lsn(), Lsn(5));
+    }
+
+    #[test]
+    fn wal_rule_blocks_flush_of_unlogged_updates() {
+        let (mut pool, mut disk) = pool_with_page(PageId(0));
+        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9)).unwrap();
+        // Log stable only to 3: flush must fail.
+        let err = pool.flush_page(&mut disk, PageId(0), Lsn(3)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WalViolation { page: PageId(0), page_lsn: Lsn(5), stable_lsn: Lsn(3) }
+        );
+        // Once the log catches up the flush succeeds.
+        pool.flush_page(&mut disk, PageId(0), Lsn(5)).unwrap();
+        assert_eq!(disk.page_lsn(PageId(0)), Lsn(5));
+        assert!(pool.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn write_order_constraint_blocks_until_prerequisite_durable() {
+        // Figure 8 in miniature: y (page 1) must reach disk at lsn >= 5
+        // before x (page 0) may be flushed past lsn 5.
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn(5),
+            requires: PageId(1),
+            required_lsn: Lsn(5),
+        });
+        pool.update(PageId(1), Lsn(5), |p| p.set(SlotId(0), 1)).unwrap();
+        pool.update(PageId(0), Lsn(6), |p| p.set(SlotId(0), 2)).unwrap();
+        let err = pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WriteOrderViolation {
+                blocked: PageId(0),
+                requires: PageId(1),
+                required_lsn: Lsn(5)
+            }
+        );
+        pool.flush_page(&mut disk, PageId(1), Lsn(10)).unwrap();
+        pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
+        // Constraint satisfied and collected.
+        assert!(pool.constraints().is_empty());
+    }
+
+    #[test]
+    fn old_updates_of_blocked_page_still_flush() {
+        // A flush of the blocked page at an LSN <= blocked_above is
+        // harmless (it doesn't overwrite what the reader read).
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn(5),
+            requires: PageId(1),
+            required_lsn: Lsn(5),
+        });
+        pool.update(PageId(0), Lsn(4), |p| p.set(SlotId(0), 3)).unwrap();
+        pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
+        assert_eq!(disk.page_lsn(PageId(0)), Lsn(4));
+    }
+
+    #[test]
+    fn flush_all_orders_around_constraints() {
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn::ZERO,
+            requires: PageId(1),
+            required_lsn: Lsn(2),
+        });
+        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1)).unwrap();
+        pool.update(PageId(1), Lsn(2), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.flush_all(&mut disk, Lsn(10)).unwrap();
+        assert!(pool.dirty_pages().is_empty());
+        assert_eq!(disk.page_lsn(PageId(0)), Lsn(3));
+        assert_eq!(disk.page_lsn(PageId(1)), Lsn(2));
+    }
+
+    #[test]
+    fn flush_all_reports_wal_stall() {
+        let (mut pool, mut disk) = pool_with_page(PageId(0));
+        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9)).unwrap();
+        let err = pool.flush_all(&mut disk, Lsn(1)).unwrap_err();
+        assert!(matches!(err, SimError::WalViolation { .. }));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest_clean() {
+        let mut pool = BufferPool::new(Some(2));
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn(10)).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn(10)).unwrap();
+        // Touch 0 so 1 is oldest.
+        pool.fetch(&mut disk, PageId(0), 4, Lsn(10)).unwrap();
+        pool.fetch(&mut disk, PageId(2), 4, Lsn(10)).unwrap();
+        assert!(pool.get(PageId(1)).is_none(), "oldest clean page evicted");
+        assert!(pool.get(PageId(0)).is_some());
+    }
+
+    #[test]
+    fn eviction_flushes_dirty_victims() {
+        let mut pool = BufferPool::new(Some(1));
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn(10)).unwrap();
+        pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 7)).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn(10)).unwrap();
+        assert_eq!(disk.read_page(PageId(0), 4).get(SlotId(0)), 7);
+    }
+
+    #[test]
+    fn eviction_blocked_by_wal_exhausts_pool() {
+        let mut pool = BufferPool::new(Some(1));
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.update(PageId(0), Lsn(9), |p| p.set(SlotId(0), 7)).unwrap();
+        // Log stable at 0: the only victim is unflushable.
+        let err = pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap_err();
+        assert_eq!(err, SimError::PoolExhausted);
+    }
+
+    #[test]
+    fn crash_empties_everything() {
+        let (mut pool, _disk) = pool_with_page(PageId(0));
+        pool.add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn::ZERO,
+            requires: PageId(1),
+            required_lsn: Lsn(1),
+        });
+        pool.crash();
+        assert!(pool.is_empty());
+        assert!(pool.constraints().is_empty());
+    }
+
+    #[test]
+    fn atomic_group_flushes_together() {
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1)).unwrap();
+        pool.update(PageId(1), Lsn(3), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.add_atomic_group([PageId(0), PageId(1)], Lsn(3));
+        // Flushing either member installs both.
+        pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
+        assert_eq!(disk.page_lsn(PageId(0)), Lsn(3));
+        assert_eq!(disk.page_lsn(PageId(1)), Lsn(3));
+        assert!(pool.dirty_pages().is_empty());
+        // The satisfied group is collected.
+        assert!(pool.atomic_groups().is_empty());
+    }
+
+    #[test]
+    fn atomic_group_blocked_by_member_wal_violation() {
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.update(PageId(0), Lsn(2), |p| p.set(SlotId(0), 1)).unwrap();
+        pool.update(PageId(1), Lsn(5), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.add_atomic_group([PageId(0), PageId(1)], Lsn(2));
+        // Page 0 alone satisfies the WAL rule at stable=3, but its group
+        // partner does not: the whole flush must be refused, leaving
+        // BOTH pages unflushed (failure atomicity).
+        let err = pool.flush_page(&mut disk, PageId(0), Lsn(3)).unwrap_err();
+        assert!(matches!(err, SimError::WalViolation { page: PageId(1), .. }));
+        assert_eq!(disk.page_lsn(PageId(0)), Lsn::ZERO);
+        assert_eq!(pool.dirty_pages().len(), 2);
+    }
+
+    #[test]
+    fn overlapping_groups_chain() {
+        // Group {0,1}@2 and {1,2}@4: flushing page 0 at its newest
+        // version must carry pages 1 and 2 along.
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        for p in 0..3u32 {
+            pool.fetch(&mut disk, PageId(p), 4, Lsn::ZERO).unwrap();
+        }
+        pool.update(PageId(0), Lsn(2), |p| p.set(SlotId(0), 1)).unwrap();
+        pool.update(PageId(1), Lsn(4), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.update(PageId(2), Lsn(4), |p| p.set(SlotId(0), 3)).unwrap();
+        pool.add_atomic_group([PageId(0), PageId(1)], Lsn(2));
+        pool.add_atomic_group([PageId(1), PageId(2)], Lsn(4));
+        let closure = pool.atomic_closure(&disk, PageId(0));
+        assert_eq!(closure.len(), 3);
+        pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
+        assert_eq!(disk.page_lsn(PageId(2)), Lsn(4));
+        assert!(pool.atomic_groups().is_empty());
+    }
+
+    #[test]
+    fn singleton_groups_are_not_registered() {
+        let mut pool = BufferPool::new(None);
+        pool.add_atomic_group([PageId(7)], Lsn(1));
+        assert!(pool.atomic_groups().is_empty());
+    }
+
+    #[test]
+    fn crash_clears_groups() {
+        let mut pool = BufferPool::new(None);
+        pool.add_atomic_group([PageId(0), PageId(1)], Lsn(1));
+        pool.crash();
+        assert!(pool.atomic_groups().is_empty());
+    }
+
+    #[test]
+    fn constraint_satisfied_within_batch() {
+        // requires-page in the same atomic batch counts as satisfied.
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.update(PageId(0), Lsn(6), |p| p.set(SlotId(0), 1)).unwrap();
+        pool.update(PageId(1), Lsn(6), |p| p.set(SlotId(0), 2)).unwrap();
+        // Page 0 may not pass lsn 5 until page 1 is durable at >= 5 —
+        // but they are in one atomic group, so flushing together is fine.
+        pool.add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn(5),
+            requires: PageId(1),
+            required_lsn: Lsn(5),
+        });
+        pool.add_atomic_group([PageId(0), PageId(1)], Lsn(6));
+        pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
+        assert_eq!(disk.page_lsn(PageId(0)), Lsn(6));
+        assert_eq!(disk.page_lsn(PageId(1)), Lsn(6));
+    }
+
+    #[test]
+    fn drop_clean_refuses_dirty_pages() {
+        let (mut pool, _disk) = pool_with_page(PageId(0));
+        pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 1)).unwrap();
+        assert!(pool.drop_clean(PageId(0)).is_err());
+    }
+}

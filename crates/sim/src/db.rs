@@ -1,0 +1,319 @@
+//! The assembled database: disk + buffer pool + log manager.
+//!
+//! [`Db`] wires the substrate together and owns the crash semantics:
+//! [`Db::crash`] drops the cache and the volatile log tail, keeping only
+//! the disk. It also carries the page geometry and the helpers shared by
+//! every recovery method — executing a
+//! [`PageOp`] against the cache, and
+//! projecting either the *stable* (disk) or the *volatile* (cache over
+//! disk) state into a theory-level [`State`] for invariant audits.
+
+use rand::Rng;
+use redo_theory::log::Lsn;
+use redo_theory::state::{State, Value};
+use redo_workload::pages::{Cell, PageId, PageOp, SlotId};
+
+use crate::cache::BufferPool;
+use crate::disk::Disk;
+use crate::error::SimResult;
+use crate::wal::{LogManager, LogPayload};
+
+/// Page geometry shared by every component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Slots per page.
+    pub slots_per_page: u16,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry { slots_per_page: 8 }
+    }
+}
+
+/// The simulated database.
+#[derive(Clone, Debug)]
+pub struct Db<P: LogPayload> {
+    /// Stable storage (survives crashes).
+    pub disk: Disk,
+    /// The cache manager (volatile).
+    pub pool: BufferPool,
+    /// The write-ahead log (stable prefix survives; tail is volatile).
+    pub log: LogManager<P>,
+    /// Page geometry.
+    pub geometry: Geometry,
+    crashes: u64,
+}
+
+impl<P: LogPayload> Db<P> {
+    /// A fresh database with an unbounded pool.
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Db<P> {
+        Db::with_capacity(geometry, None)
+    }
+
+    /// A fresh database with a bounded buffer pool.
+    #[must_use]
+    pub fn with_capacity(geometry: Geometry, capacity: Option<usize>) -> Db<P> {
+        Db {
+            disk: Disk::new(),
+            pool: BufferPool::new(capacity),
+            log: LogManager::new(),
+            geometry,
+            crashes: 0,
+        }
+    }
+
+    /// Number of crashes injected so far.
+    #[must_use]
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// CRASH: volatile state (cache, log tail) vanishes; the disk and the
+    /// stable log prefix survive.
+    pub fn crash(&mut self) {
+        self.pool.crash();
+        self.log.crash();
+        self.disk.crash();
+        self.crashes += 1;
+    }
+
+    /// Reads one cell through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Pool exhaustion while faulting the page in.
+    pub fn read_cell(&mut self, cell: Cell) -> SimResult<u64> {
+        let stable = self.log.stable_lsn();
+        let page =
+            self.pool.fetch(&mut self.disk, cell.page, self.geometry.slots_per_page, stable)?;
+        Ok(page.get(cell.slot))
+    }
+
+    /// Executes a [`PageOp`] against the cache: reads its cells, computes
+    /// its outputs, applies them, and tags every written page with `lsn`.
+    /// (Logging is the caller's business — each method logs something
+    /// different *before* calling this, per the WAL protocol.)
+    ///
+    /// # Errors
+    ///
+    /// Pool exhaustion while faulting pages in.
+    pub fn apply_page_op(&mut self, op: &PageOp, lsn: Lsn) -> SimResult<()> {
+        let mut read_values = Vec::with_capacity(op.reads.len());
+        for &cell in &op.reads {
+            read_values.push(self.read_cell(cell)?);
+        }
+        // Fault in written pages before updating.
+        for page in op.written_pages() {
+            let stable = self.log.stable_lsn();
+            self.pool.fetch(&mut self.disk, page, self.geometry.slots_per_page, stable)?;
+        }
+        for &cell in &op.writes {
+            let v = op.output(cell, &read_values);
+            self.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the log fully, then every dirty page (ordering around
+    /// write-order constraints).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unresolvable flush violations.
+    pub fn flush_everything(&mut self) -> SimResult<()> {
+        self.log.flush_all();
+        let stable = self.log.stable_lsn();
+        self.pool.flush_all(&mut self.disk, stable)
+    }
+
+    /// Randomly flushes: forces the log with probability `log_prob`, then
+    /// attempts each dirty page with probability `page_prob`, skipping
+    /// pages whose flush would violate a rule. This is the background
+    /// cache-cleaning a real system does between checkpoints, and the
+    /// source of crash-state diversity in the experiments.
+    pub fn chaos_flush(&mut self, rng: &mut impl Rng, log_prob: f64, page_prob: f64) {
+        if rng.gen_bool(log_prob.clamp(0.0, 1.0)) {
+            self.log.flush_all();
+        }
+        let stable = self.log.stable_lsn();
+        for id in self.pool.dirty_pages() {
+            if rng.gen_bool(page_prob.clamp(0.0, 1.0)) {
+                // Illegal flushes are simply skipped — the cache manager
+                // respects the rules rather than reporting them upward.
+                let _ = self.pool.flush_page(&mut self.disk, id, stable);
+            }
+        }
+    }
+
+    /// Projects the *stable* (disk-only) state into a theory state. This
+    /// is what recovery starts from after a crash.
+    #[must_use]
+    pub fn stable_theory_state(&self) -> State {
+        self.disk.theory_state(self.geometry.slots_per_page)
+    }
+
+    /// Projects the *volatile* view (cache over disk) into a theory
+    /// state: what the database would answer queries from right now. At
+    /// end of workload this is the theory's final state.
+    #[must_use]
+    pub fn volatile_theory_state(&self) -> State {
+        let spp = self.geometry.slots_per_page;
+        let mut s = self.stable_theory_state();
+        // Overlay cached pages (they may contain newer values), including
+        // zeros overwriting stale disk values.
+        let cached: Vec<PageId> = self
+            .disk
+            .pages()
+            .map(|(id, _)| id)
+            .chain(self.pool_page_ids())
+            .collect();
+        for id in cached {
+            if let Some(page) = self.pool.get(id) {
+                for slot in 0..spp {
+                    let cell = Cell { page: id, slot: SlotId(slot) };
+                    s.set(cell.var(spp), Value(page.get(SlotId(slot))));
+                }
+            }
+        }
+        s
+    }
+
+    fn pool_page_ids(&self) -> Vec<PageId> {
+        // The pool doesn't expose iteration directly; dirty pages plus
+        // disk pages cover everything that can differ from zero.
+        self.pool.dirty_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::codec;
+    use crate::SimError;
+    use redo_workload::pages::{PageOpKind, PageWorkloadSpec};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct OpRec(PageOp);
+
+    impl LogPayload for OpRec {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            codec::put_page_op(buf, &self.0);
+        }
+        fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
+            Ok(OpRec(codec::get_page_op(input, pos)?))
+        }
+    }
+
+    fn blind_op(id: u32, page: u32, slot: u16) -> PageOp {
+        PageOp {
+            id,
+            kind: PageOpKind::Blind,
+            reads: vec![],
+            writes: vec![Cell { page: PageId(page), slot: SlotId(slot) }],
+            f_seed: 7,
+        }
+    }
+
+    #[test]
+    fn apply_page_op_updates_cache_not_disk() {
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        let op = blind_op(0, 0, 1);
+        let lsn = db.log.append(OpRec(op.clone()));
+        db.apply_page_op(&op, lsn).unwrap();
+        let cell = op.writes[0];
+        assert_eq!(db.read_cell(cell).unwrap(), op.output(cell, &[]));
+        assert_eq!(db.disk.read_page(PageId(0), 8).get(SlotId(1)), 0);
+    }
+
+    #[test]
+    fn crash_loses_cache_keeps_disk() {
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        let op = blind_op(0, 0, 1);
+        let lsn = db.log.append(OpRec(op.clone()));
+        db.apply_page_op(&op, lsn).unwrap();
+        db.flush_everything().unwrap();
+        let op2 = blind_op(1, 0, 2);
+        let lsn2 = db.log.append(OpRec(op2.clone()));
+        db.apply_page_op(&op2, lsn2).unwrap();
+        db.crash();
+        assert_eq!(db.crashes(), 1);
+        let page = db.disk.read_page(PageId(0), 8);
+        assert_eq!(page.get(SlotId(1)), op.output(op.writes[0], &[]));
+        assert_eq!(page.get(SlotId(2)), 0, "unflushed update lost");
+        // Stable log retains only the first record.
+        assert_eq!(db.log.decode_stable().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wal_rule_enforced_through_db() {
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        let op = blind_op(0, 0, 1);
+        let lsn = db.log.append(OpRec(op.clone()));
+        db.apply_page_op(&op, lsn).unwrap();
+        // Without flushing the log, the page flush must fail.
+        let stable = db.log.stable_lsn();
+        let err = db.pool.flush_page(&mut db.disk, PageId(0), stable).unwrap_err();
+        assert!(matches!(err, SimError::WalViolation { .. }));
+        db.flush_everything().unwrap();
+    }
+
+    #[test]
+    fn deterministic_outputs_across_replay() {
+        // Applying the same op twice (normal run, then replay on a fresh
+        // db) yields identical cell values.
+        let spec = PageWorkloadSpec { n_ops: 20, cross_page_fraction: 0.3, ..Default::default() };
+        let ops = spec.generate(5);
+        let run = |crash_halfway: bool| {
+            let mut db: Db<OpRec> = Db::new(Geometry::default());
+            for op in &ops {
+                let lsn = db.log.append(OpRec(op.clone()));
+                db.apply_page_op(op, lsn).unwrap();
+                if crash_halfway {
+                    db.flush_everything().unwrap();
+                }
+            }
+            db.flush_everything().unwrap();
+            db.stable_theory_state()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn volatile_state_overlays_cache() {
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        let op = blind_op(0, 0, 1);
+        let lsn = db.log.append(OpRec(op.clone()));
+        db.apply_page_op(&op, lsn).unwrap();
+        let vol = db.volatile_theory_state();
+        let stable = db.stable_theory_state();
+        let var = op.writes[0].var(8);
+        assert_ne!(vol.get(var), Value(0));
+        assert_eq!(stable.get(var), Value(0));
+    }
+
+    #[test]
+    fn chaos_flush_respects_rules() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..20 {
+            let op = blind_op(i, i % 3, (i % 8) as u16);
+            let lsn = db.log.append(OpRec(op.clone()));
+            db.apply_page_op(&op, lsn).unwrap();
+            db.chaos_flush(&mut rng, 0.5, 0.5);
+            // Invariant: no disk page may carry an LSN beyond the stable
+            // log (the WAL rule, continuously).
+            for (id, page) in db.disk.pages() {
+                assert!(
+                    page.lsn() <= db.log.stable_lsn(),
+                    "page {id:?} violates WAL: {:?} > {:?}",
+                    page.lsn(),
+                    db.log.stable_lsn()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Stable storage: atomic page writes, a master record, and the System R
+//! staging area.
+//!
+//! The disk is the only component that survives [`crate::db::Db::crash`].
+//! Page writes are atomic (the paper's model installs a write-graph
+//! node's values atomically; page-granularity atomicity is the standard
+//! realization). The *master record* holds the durable checkpoint
+//! pointer — the log position recovery starts from. For the logical
+//! method (§6.1), updated pages accumulate in a [staging
+//! area](Disk::write_staging) that becomes the installed state only when
+//! the checkpoint record "swings the pointer"
+//! ([`Disk::promote_staging`]).
+
+use std::collections::BTreeMap;
+
+use redo_theory::log::Lsn;
+use redo_theory::state::{State, Value};
+use redo_workload::pages::PageId;
+
+use crate::error::{SimError, SimResult};
+use crate::page::Page;
+
+/// Simulated stable storage.
+#[derive(Clone, Debug, Default)]
+pub struct Disk {
+    current: BTreeMap<PageId, Page>,
+    staging: BTreeMap<PageId, Page>,
+    master_lsn: Lsn,
+    page_writes: u64,
+}
+
+impl Disk {
+    /// An empty disk: every page reads as freshly formatted (zeroed,
+    /// LSN 0).
+    #[must_use]
+    pub fn new() -> Disk {
+        Disk::default()
+    }
+
+    /// Reads a page (a copy — disk reads transfer, they don't alias).
+    /// Absent pages materialize as zeroed pages of the given geometry.
+    #[must_use]
+    pub fn read_page(&self, id: PageId, slots_per_page: u16) -> Page {
+        self.current.get(&id).cloned().unwrap_or_else(|| Page::new(slots_per_page))
+    }
+
+    /// The LSN of the page's durable copy (`Lsn::ZERO` when never
+    /// written).
+    #[must_use]
+    pub fn page_lsn(&self, id: PageId) -> Lsn {
+        self.current.get(&id).map_or(Lsn::ZERO, Page::lsn)
+    }
+
+    /// Atomically writes a page to the installed state.
+    pub fn write_page(&mut self, id: PageId, page: Page) {
+        self.page_writes += 1;
+        self.current.insert(id, page);
+    }
+
+    /// Atomically writes a *set* of pages: either all reach the installed
+    /// state or none do. This is the "large atomic transition" §5 and §7
+    /// identify as the price of multi-variable write sets — real systems
+    /// approximate it with shadowing or intentions lists; the simulator
+    /// grants it as a primitive and the benchmarks charge one page write
+    /// per member.
+    pub fn write_pages_atomic(&mut self, pages: Vec<(PageId, Page)>) {
+        for (id, page) in pages {
+            self.page_writes += 1;
+            self.current.insert(id, page);
+        }
+    }
+
+    /// Writes a page to the staging area (not yet installed).
+    pub fn write_staging(&mut self, id: PageId, page: Page) {
+        self.page_writes += 1;
+        self.staging.insert(id, page);
+    }
+
+    /// Number of staged pages.
+    #[must_use]
+    pub fn staging_len(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// The checkpoint pointer swing (§6.1): atomically replaces the
+    /// installed copies of every staged page with the staged versions and
+    /// empties the staging area. This is the single atomic act that
+    /// installs every operation logged since the previous checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyStaging`] if nothing is staged — a pointer swing
+    /// would install nothing and indicates a method bug.
+    pub fn promote_staging(&mut self) -> SimResult<()> {
+        if self.staging.is_empty() {
+            return Err(SimError::EmptyStaging);
+        }
+        let staged = std::mem::take(&mut self.staging);
+        for (id, page) in staged {
+            self.current.insert(id, page);
+        }
+        Ok(())
+    }
+
+    /// Discards the staging area (e.g. when a quiesce is abandoned).
+    pub fn discard_staging(&mut self) {
+        self.staging.clear();
+    }
+
+    /// Durably records the checkpoint pointer (the LSN recovery should
+    /// scan from).
+    pub fn set_master(&mut self, lsn: Lsn) {
+        self.master_lsn = lsn;
+    }
+
+    /// The durable checkpoint pointer.
+    #[must_use]
+    pub fn master(&self) -> Lsn {
+        self.master_lsn
+    }
+
+    /// Crash handling: installed pages and the master record survive; the
+    /// staging area, being unreferenced until a pointer swing, is treated
+    /// as garbage and dropped.
+    pub fn crash(&mut self) {
+        self.staging.clear();
+    }
+
+    /// Total page writes issued (installed + staged) — an I/O metric for
+    /// the benchmarks.
+    #[must_use]
+    pub fn page_writes(&self) -> u64 {
+        self.page_writes
+    }
+
+    /// Pages currently materialized in the installed state.
+    pub fn pages(&self) -> impl Iterator<Item = (PageId, &Page)> {
+        self.current.iter().map(|(&id, p)| (id, p))
+    }
+
+    /// Projects the installed state into a theory-level [`State`] at slot
+    /// granularity: `Var(page · slots + slot) ↦ slot value`. Zero slots
+    /// coincide with the theory's default value, so never-written cells
+    /// agree with the theory's initial state by construction.
+    #[must_use]
+    pub fn theory_state(&self, slots_per_page: u16) -> State {
+        let mut s = State::zeroed();
+        for (&id, page) in &self.current {
+            for (slot, &v) in page.slots().iter().enumerate() {
+                if v != 0 {
+                    let var = redo_workload::pages::Cell {
+                        page: id,
+                        slot: redo_workload::pages::SlotId(slot as u16),
+                    }
+                    .var(slots_per_page);
+                    s.set(var, Value(v));
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_workload::pages::SlotId;
+
+    #[test]
+    fn absent_pages_read_zeroed() {
+        let d = Disk::new();
+        let p = d.read_page(PageId(9), 4);
+        assert_eq!(p.lsn(), Lsn::ZERO);
+        assert!(p.slots().iter().all(|&s| s == 0));
+        assert_eq!(d.page_lsn(PageId(9)), Lsn::ZERO);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut d = Disk::new();
+        let mut p = Page::new(4);
+        p.set(SlotId(1), 7);
+        p.set_lsn(Lsn(3));
+        d.write_page(PageId(0), p.clone());
+        assert_eq!(d.read_page(PageId(0), 4), p);
+        assert_eq!(d.page_lsn(PageId(0)), Lsn(3));
+        assert_eq!(d.page_writes(), 1);
+    }
+
+    #[test]
+    fn staging_is_invisible_until_promoted() {
+        let mut d = Disk::new();
+        let mut p = Page::new(4);
+        p.set(SlotId(0), 42);
+        d.write_staging(PageId(1), p);
+        assert_eq!(d.read_page(PageId(1), 4).get(SlotId(0)), 0);
+        d.promote_staging().unwrap();
+        assert_eq!(d.read_page(PageId(1), 4).get(SlotId(0)), 42);
+        assert_eq!(d.staging_len(), 0);
+    }
+
+    #[test]
+    fn promote_empty_staging_is_an_error() {
+        let mut d = Disk::new();
+        assert_eq!(d.promote_staging(), Err(SimError::EmptyStaging));
+    }
+
+    #[test]
+    fn crash_drops_staging_keeps_installed() {
+        let mut d = Disk::new();
+        let mut p = Page::new(4);
+        p.set(SlotId(0), 1);
+        d.write_page(PageId(0), p.clone());
+        p.set(SlotId(0), 2);
+        d.write_staging(PageId(0), p);
+        d.set_master(Lsn(5));
+        d.crash();
+        assert_eq!(d.read_page(PageId(0), 4).get(SlotId(0)), 1);
+        assert_eq!(d.staging_len(), 0);
+        assert_eq!(d.master(), Lsn(5));
+    }
+
+    #[test]
+    fn theory_projection_covers_written_cells() {
+        let mut d = Disk::new();
+        let mut p = Page::new(8);
+        p.set(SlotId(3), 11);
+        d.write_page(PageId(2), p);
+        let s = d.theory_state(8);
+        assert_eq!(s.get(redo_theory::state::Var(2 * 8 + 3)), Value(11));
+        assert_eq!(s.get(redo_theory::state::Var(0)), Value(0));
+        assert_eq!(s.support_len(), 1);
+    }
+
+    #[test]
+    fn discard_staging() {
+        let mut d = Disk::new();
+        d.write_staging(PageId(0), Page::new(4));
+        d.discard_staging();
+        assert_eq!(d.staging_len(), 0);
+    }
+}

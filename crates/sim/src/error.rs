@@ -1,0 +1,73 @@
+use std::fmt;
+
+use redo_theory::log::Lsn;
+use redo_workload::pages::PageId;
+
+/// Failures of the storage substrate. Most are *protocol* violations —
+/// the caller tried to do something the write-ahead or write-order rules
+/// forbid — and are exactly the situations the paper's recovery invariant
+/// exists to prevent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A page flush would violate the write-ahead-log rule: the page
+    /// carries updates whose log records are not yet stable.
+    WalViolation {
+        /// The page being flushed.
+        page: PageId,
+        /// The page's LSN (newest update it contains).
+        page_lsn: Lsn,
+        /// The log's stable LSN (everything ≤ this is durable).
+        stable_lsn: Lsn,
+    },
+    /// A page flush would violate a write-order constraint registered by
+    /// a generalized-LSN operation: the required page has not reached
+    /// disk at the required LSN yet (Figure 8's "new node before old
+    /// node" rule).
+    WriteOrderViolation {
+        /// The page whose flush was blocked.
+        blocked: PageId,
+        /// The page that must reach disk first.
+        requires: PageId,
+        /// The LSN `requires` must have on disk.
+        required_lsn: Lsn,
+    },
+    /// The page is not cached (fetch it first).
+    NotCached(PageId),
+    /// The buffer pool is full and every frame is pinned or unflushable.
+    PoolExhausted,
+    /// A checkpoint pointer swing was requested with no staging area
+    /// contents.
+    EmptyStaging,
+    /// Decoding a log record failed at the given byte offset.
+    Corrupt(usize),
+    /// An operation was handed to a recovery method whose logging
+    /// discipline cannot express it (e.g. a multi-page write under an
+    /// LSN-based method, which would require multi-page atomic installs).
+    MethodViolation(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WalViolation { page, page_lsn, stable_lsn } => write!(
+                f,
+                "WAL violation: page {page:?} at {page_lsn:?} but log stable only to {stable_lsn:?}"
+            ),
+            SimError::WriteOrderViolation { blocked, requires, required_lsn } => write!(
+                f,
+                "write-order violation: page {blocked:?} must wait for {requires:?} to reach disk at {required_lsn:?}"
+            ),
+            SimError::NotCached(p) => write!(f, "page {p:?} is not cached"),
+            SimError::PoolExhausted => write!(f, "buffer pool exhausted"),
+            SimError::EmptyStaging => write!(f, "staging area is empty"),
+            SimError::Corrupt(off) => write!(f, "log corrupt at byte {off}"),
+            SimError::MethodViolation(msg) => write!(f, "recovery-method violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for substrate operations.
+pub type SimResult<T> = std::result::Result<T, SimError>;

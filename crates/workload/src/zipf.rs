@@ -1,0 +1,118 @@
+//! A small Zipf/uniform sampler over `0..n`.
+//!
+//! `rand_distr` is not in the approved offline crate set, and we only
+//! need inverse-CDF sampling over a fixed, modest support, so a
+//! precomputed cumulative table is simpler and faster than rejection
+//! sampling anyway.
+
+use rand::Rng;
+
+/// A sampler drawing indices in `0..n` with probability proportional to
+/// `1 / (i + 1)^s`. With `s == 0` this degenerates to the uniform
+/// distribution.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "empty support");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items in the support.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Is the support empty? (Never true; kept for API symmetry.)
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, draws: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; z.len()];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        let counts = histogram(&z, 40_000);
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_indices() {
+        let z = Zipf::new(16, 1.2);
+        let counts = histogram(&z, 40_000);
+        assert!(counts[0] > counts[8] * 4, "{counts:?}");
+        // Monotone-ish: first item dominates the tail sum of the last 8.
+        let tail: usize = counts[8..].iter().sum();
+        assert!(counts[0] > tail / 2);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn single_item_support() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 8 end to end: B-tree split logging, physiological vs
+//! generalized-LSN.
+//!
+//! Run with `cargo run --example btree_split`.
+//!
+//! Loads the same keys into two B+trees that differ only in how they log
+//! node splits, then:
+//!
+//! 1. compares log volume (the generalized split logs two page ids where
+//!    the physiological split logs half a page of moved keys);
+//! 2. demonstrates the *careful write order* the generalized method
+//!    needs: the cache refuses to flush the truncated old page before
+//!    the new page is durable;
+//! 3. crashes in the dangerous window (new page durable, old page's
+//!    truncation not) and shows recovery replaying exactly the right
+//!    records.
+
+use redo_recovery::btree::{BTree, SplitStrategy};
+use redo_recovery::sim::SimError;
+use redo_recovery::workload::pages::mix64;
+
+const KEYS: u64 = 3_000;
+const SPP: u16 = 64;
+
+fn load(strategy: SplitStrategy) -> BTree {
+    let mut tree = BTree::new(strategy, SPP).expect("bootstrap");
+    for k in 0..KEYS {
+        tree.insert(mix64(k), k).expect("insert");
+    }
+    tree.validate().expect("structurally sound");
+    tree
+}
+
+fn main() {
+    println!("Loading {KEYS} keys into two B+trees (pages of {SPP} slots)...\n");
+
+    let physio = load(SplitStrategy::Physiological);
+    let general = load(SplitStrategy::Generalized);
+
+    let pb = physio.db.log.appended_bytes();
+    let gb = general.db.log.appended_bytes();
+    println!("log volume, physiological splits: {pb:>9} bytes");
+    println!("log volume, generalized splits:   {gb:>9} bytes");
+    println!(
+        "=> generalized logging saves {:.1}% of total log volume\n   (per split: a page-image record is ~{}x larger than a SplitCopyHigh record)\n",
+        100.0 * (pb - gb) as f64 / pb as f64,
+        (SPP as usize * 8 + 7) / 13,
+    );
+
+    // --- The careful write order, observed directly. ---
+    println!("Careful write ordering (Figure 8):");
+    let mut tree = BTree::new(SplitStrategy::Generalized, 8).expect("bootstrap");
+    // 3 keys per 8-slot node: the fourth insert forces a root split.
+    for k in 0..8u64 {
+        tree.insert(k, k).expect("insert");
+    }
+    tree.db.log.flush_all();
+    let stable = tree.db.log.stable_lsn();
+    let constraints = tree.db.pool.constraints().to_vec();
+    println!("  active write-order constraints: {}", constraints.len());
+    let mut blocked = 0;
+    for page in tree.db.pool.dirty_pages() {
+        if let Err(SimError::WriteOrderViolation { blocked: b, requires, .. }) = tree.db.pool.check_flush(&tree.db.disk, page, stable) {
+            blocked += 1;
+            println!("  flush of old page {b:?} BLOCKED until new page {requires:?} is durable");
+        }
+    }
+    assert!(blocked > 0, "expected at least one blocked flush after splits");
+
+    // --- Crash in the dangerous window. ---
+    println!("\nCrash in the split window (new page flushed, old page's truncation not):");
+    // Flush whatever is legal — the constraints force new-before-old.
+    for page in tree.db.pool.dirty_pages() {
+        let _ = tree.db.pool.flush_page(&mut tree.db.disk, page, stable);
+    }
+    tree.crash();
+    let (replayed, skipped) = tree.recover().expect("recovery");
+    println!("  recovery replayed {replayed} records, skipped {skipped} (already installed)");
+    for k in 0..8u64 {
+        assert_eq!(tree.get(k).expect("get"), Some(k), "key {k} lost");
+    }
+    tree.validate().expect("tree intact after crash");
+    println!("  all keys intact, tree structurally valid.");
+    println!("\nFigure 8's claim verified: the generalized split is cheaper to log and");
+    println!("safe exactly because the cache manager enforces installation-graph order.");
+}

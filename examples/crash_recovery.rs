@@ -1,0 +1,86 @@
+//! A full crash/recovery tour of the four §6 recovery methods.
+//!
+//! Run with `cargo run --example crash_recovery`.
+//!
+//! Executes the same page workload under logical (System R-style),
+//! physical, physiological, and generalized-LSN recovery, with random
+//! background cache flushes, periodic checkpoints, and injected crashes.
+//! After every crash the harness verifies (a) recovery rebuilt exactly
+//! the durable prefix of the workload and (b) the paper's recovery
+//! invariant held at the instant of the crash — by projecting the
+//! simulated disk into the theory and checking that the bypassed
+//! operations form an installation-graph prefix explaining it.
+
+use redo_recovery::methods::generalized::Generalized;
+use redo_recovery::methods::harness::{run, HarnessConfig};
+use redo_recovery::methods::logical::Logical;
+use redo_recovery::methods::physical::Physical;
+use redo_recovery::methods::physiological::Physiological;
+use redo_recovery::methods::RecoveryMethod;
+use redo_recovery::workload::pages::{PageOp, PageWorkloadSpec};
+
+fn drive<M: RecoveryMethod>(method: &M, ops: &[PageOp]) {
+    let cfg = HarnessConfig {
+        checkpoint_every: Some(25),
+        crash_every: Some(40),
+        chaos: Some((0.8, 0.35)),
+        seed: 7,
+        audit: true,
+        slots_per_page: 8,
+        pool_capacity: None,
+    };
+    match run(method, ops, &cfg) {
+        Ok(report) => {
+            println!(
+                "{:<16} crashes: {:>2}  replayed: {:>4}  skipped: {:>4}  survivors: {:>3}/{:<3}  \
+                 log bytes: {:>6}  page writes: {:>4}  invariant audits: {}",
+                method.name(),
+                report.crashes,
+                report.total_replayed,
+                report.total_skipped,
+                report.survivors,
+                ops.len(),
+                report.log_bytes,
+                report.page_writes,
+                report.audits,
+            );
+        }
+        Err(e) => panic!("{} failed: {e}", method.name()),
+    }
+}
+
+fn main() {
+    println!("Workload: 200 page operations over 8 pages, checkpoints every 25 ops,");
+    println!("a crash every 40 ops, random background flushes. Every crash is audited");
+    println!("against the recovery invariant.\n");
+
+    // Each method gets the workload shape its logging discipline admits.
+    let physical_ops = PageWorkloadSpec {
+        n_ops: 200,
+        n_pages: 8,
+        blind_fraction: 1.0,
+        ..Default::default()
+    }
+    .generate(42);
+    let physio_ops =
+        PageWorkloadSpec { n_ops: 200, n_pages: 8, ..Default::default() }.generate(42);
+    let general_ops = PageWorkloadSpec {
+        n_ops: 200,
+        n_pages: 8,
+        cross_page_fraction: 0.4,
+        blind_fraction: 0.1,
+        ..Default::default()
+    }
+    .generate(42);
+
+    drive(&Logical, &general_ops);
+    drive(&Physical, &physical_ops);
+    drive(&Physiological, &physio_ops);
+    drive(&Generalized, &general_ops);
+
+    println!("\nAll four methods recovered every crash and preserved the invariant.");
+    println!("Note the shape: physical replays everything since the checkpoint");
+    println!("(skipped = 0 is impossible only when pages flushed — its redo test is");
+    println!("constant true), while the LSN-based methods skip work already installed");
+    println!("by page flushes.");
+}

@@ -1,0 +1,68 @@
+//! Regenerate the paper's graph figures as Graphviz DOT.
+//!
+//! Run with `cargo run --example render_figures > figures.dot`, or pipe
+//! individual sections through `dot -Tsvg`. Emits:
+//!
+//! * Figure 4 — the conflict (state) graph of O, P, Q;
+//! * Figure 5 — its installation graph, removed write-read edge dotted;
+//! * Figure 7 — the write graph after collapsing the writers of `x`,
+//!   showing the forced y-before-x install order;
+//! * Figure 8 — the B-tree-split write graph: P (read x, write y)
+//!   preceding the collapsed {O, Q} node that overwrites x.
+
+use redo_recovery::theory::conflict::ConflictGraph;
+use redo_recovery::theory::expr::Expr;
+use redo_recovery::theory::history::examples::figure4;
+use redo_recovery::theory::history::History;
+use redo_recovery::theory::installation::InstallationGraph;
+use redo_recovery::theory::op::{OpId, Operation};
+use redo_recovery::theory::state::{State, Var};
+use redo_recovery::theory::state_graph::StateGraph;
+use redo_recovery::theory::viz;
+use redo_recovery::theory::write_graph::WriteGraph;
+
+fn graphs(h: &History) -> (ConflictGraph, InstallationGraph, StateGraph) {
+    let cg = ConflictGraph::generate(h);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(h, &cg, &State::zeroed());
+    (cg, ig, sg)
+}
+
+fn main() {
+    let h = figure4();
+    let (cg, ig, sg) = graphs(&h);
+
+    println!("// ===== Figure 4: conflict state graph of O, P, Q =====");
+    print!("{}", viz::conflict_dot(&h, &cg));
+
+    println!("\n// ===== Figure 5: installation graph (dropped wr edge dotted) =====");
+    print!("{}", viz::installation_dot(&h, &ig));
+
+    println!("\n// ===== Figure 7: write graph after collapsing the writers of x =====");
+    let mut wg = WriteGraph::from_installation_graph(&h, &cg, &ig, &sg);
+    let o = wg.node_of_op(OpId(0));
+    let q = wg.node_of_op(OpId(2));
+    wg.collapse(&[o, q]).expect("Figure 7's collapse is legal");
+    print!("{}", viz::write_graph_dot(&wg));
+
+    println!("\n// ===== Figure 8: the B-tree split write graph =====");
+    // O: initialize x (the old full node); P: read x, write y (the new
+    // node gets half the contents); Q: write x (remove the moved half).
+    let x = Var(0);
+    let y = Var(1);
+    let o = Operation::builder(OpId(0)).assign(x, Expr::constant(100)).build().unwrap();
+    let p = Operation::builder(OpId(1)).assign(y, Expr::read(x)).build().unwrap();
+    let q = Operation::builder(OpId(2))
+        .assign(x, Expr::read(x).sub(Expr::constant(50)))
+        .build()
+        .unwrap();
+    let h8 = History::new(vec![o, p, q]).unwrap();
+    let (cg8, ig8, sg8) = graphs(&h8);
+    let mut wg8 = WriteGraph::from_installation_graph(&h8, &cg8, &ig8, &sg8);
+    let o = wg8.node_of_op(OpId(0));
+    let q = wg8.node_of_op(OpId(2));
+    wg8.collapse(&[o, q]).expect("collapsing x's writers is legal");
+    print!("{}", viz::write_graph_dot(&wg8));
+    eprintln!("\n(The edge from P's node into the collapsed x-writers is Figure 8's");
+    eprintln!("careful write order: the cache must install y before overwriting x.)");
+}

@@ -1,0 +1,127 @@
+//! B+tree crash-recovery integration across both split strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use redo_recovery::btree::{BTree, SplitStrategy};
+use redo_recovery::workload::pages::mix64;
+use std::collections::BTreeMap;
+
+const STRATEGIES: [SplitStrategy; 2] =
+    [SplitStrategy::Physiological, SplitStrategy::Generalized];
+
+#[test]
+fn mixed_workload_with_periodic_crashes() {
+    for strategy in STRATEGIES {
+        for seed in 0..3u64 {
+            let mut tree = BTree::new(strategy, 16).unwrap();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for step in 0..400u64 {
+                match rng.gen_range(0..10) {
+                    0..=6 => {
+                        let k = rng.gen_range(0..600);
+                        let v = mix64(k ^ step);
+                        tree.insert(k, v).unwrap();
+                        model.insert(k, v);
+                    }
+                    7 => {
+                        let k = rng.gen_range(0..600);
+                        assert_eq!(tree.remove(k).unwrap(), model.remove(&k).is_some());
+                    }
+                    8 => {
+                        tree.db.chaos_flush(&mut rng, 0.8, 0.4);
+                    }
+                    _ => {
+                        if rng.gen_bool(0.3) {
+                            tree.checkpoint().unwrap();
+                        } else {
+                            tree.db.log.flush_all();
+                            tree.crash();
+                            tree.recover().unwrap();
+                        }
+                    }
+                }
+            }
+            tree.db.log.flush_all();
+            tree.crash();
+            tree.recover().unwrap();
+            for (&k, &v) in &model {
+                assert_eq!(tree.get(k).unwrap(), Some(v), "{strategy:?} seed {seed} key {k}");
+            }
+            assert_eq!(tree.validate().unwrap(), model.len());
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_on_query_results() {
+    let mut a = BTree::new(SplitStrategy::Physiological, 16).unwrap();
+    let mut b = BTree::new(SplitStrategy::Generalized, 16).unwrap();
+    for k in 0..500u64 {
+        let key = mix64(k) % 10_000;
+        a.insert(key, k).unwrap();
+        b.insert(key, k).unwrap();
+    }
+    assert_eq!(a.range(0, u64::MAX).unwrap(), b.range(0, u64::MAX).unwrap());
+    assert_eq!(a.range(100, 5_000).unwrap(), b.range(100, 5_000).unwrap());
+}
+
+#[test]
+fn recovery_is_idempotent_across_repeated_crashes() {
+    for strategy in STRATEGIES {
+        let mut tree = BTree::new(strategy, 16).unwrap();
+        for k in 0..300u64 {
+            tree.insert(mix64(k), k).unwrap();
+        }
+        tree.db.log.flush_all();
+        let mut last = None;
+        for _ in 0..4 {
+            tree.crash();
+            tree.recover().unwrap();
+            let snapshot = tree.range(0, u64::MAX).unwrap();
+            if let Some(prev) = &last {
+                assert_eq!(&snapshot, prev);
+            }
+            last = Some(snapshot);
+        }
+        assert_eq!(last.unwrap().len(), 300);
+    }
+}
+
+#[test]
+fn checkpointed_tree_survives_crash_without_log_tail() {
+    for strategy in STRATEGIES {
+        let mut tree = BTree::new(strategy, 16).unwrap();
+        for k in 0..200u64 {
+            tree.insert(k, k + 7).unwrap();
+        }
+        tree.checkpoint().unwrap();
+        // Post-checkpoint inserts never make it to the stable log.
+        for k in 200..260u64 {
+            tree.insert(k, k + 7).unwrap();
+        }
+        tree.crash();
+        tree.recover().unwrap();
+        for k in 0..200u64 {
+            assert_eq!(tree.get(k).unwrap(), Some(k + 7));
+        }
+        for k in 200..260u64 {
+            assert_eq!(tree.get(k).unwrap(), None, "{strategy:?}: key {k} should be lost");
+        }
+        tree.validate().unwrap();
+    }
+}
+
+#[test]
+fn deep_trees_stay_uniform_depth() {
+    // Small pages force depth > 3; validate() enforces uniform depth.
+    let mut tree = BTree::new(SplitStrategy::Generalized, 8).unwrap();
+    for k in 0..1_000u64 {
+        tree.insert(mix64(k), k).unwrap();
+    }
+    assert_eq!(tree.validate().unwrap(), 1_000);
+    tree.db.log.flush_all();
+    tree.crash();
+    tree.recover().unwrap();
+    assert_eq!(tree.validate().unwrap(), 1_000);
+}

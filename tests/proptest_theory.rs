@@ -1,0 +1,235 @@
+//! Property-based tests of the theory core: the paper's lemmas and
+//! theorems over proptest-generated histories, and the graph/set data
+//! structures against reference models.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use redo_recovery::theory::conflict::ConflictGraph;
+use redo_recovery::theory::explain::explains;
+use redo_recovery::theory::exposed::{is_exposed, is_exposed_by_graph};
+use redo_recovery::theory::graph::{Dag, EdgeKinds, NodeSet};
+use redo_recovery::theory::history::History;
+use redo_recovery::theory::installation::InstallationGraph;
+use redo_recovery::theory::op::{OpId, Operation};
+use redo_recovery::theory::replay::{potentially_recoverable, replay_uninstalled};
+use redo_recovery::theory::state::{State, Value, Var};
+use redo_recovery::theory::state_graph::StateGraph;
+use std::collections::BTreeSet;
+
+/// A proptest strategy for small operations over `n_vars` variables.
+fn arb_operation(n_vars: u32) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (
+        vec(0..n_vars, 0..3usize), // reads
+        vec(0..n_vars, 1..3usize), // writes
+    )
+}
+
+fn build_history(specs: &[(Vec<u32>, Vec<u32>)], seed: u64) -> History {
+    let ops = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (reads, writes))| {
+            let mut b = Operation::builder(OpId(i as u32));
+            let mut targets: Vec<u32> = writes.clone();
+            targets.sort_unstable();
+            targets.dedup();
+            for &w in &targets {
+                let mut parts = vec![
+                    redo_recovery::theory::expr::Expr::constant(seed ^ ((i as u64) << 24)),
+                    redo_recovery::theory::expr::Expr::constant(u64::from(w)),
+                ];
+                parts.extend(
+                    reads
+                        .iter()
+                        .map(|&r| redo_recovery::theory::expr::Expr::read(Var(r))),
+                );
+                b = b.assign(Var(w), redo_recovery::theory::expr::Expr::mix(parts));
+            }
+            for &r in reads {
+                b = b.declare_read(Var(r));
+            }
+            b.build().expect("valid")
+        })
+        .collect();
+    History::new(ops).expect("sequential")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 1: every linear extension of the conflict graph regenerates
+    /// exactly the same graph.
+    #[test]
+    fn lemma1_linear_extensions_regenerate(
+        specs in vec(arb_operation(4), 1..7),
+        seed in any::<u64>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let cg = ConflictGraph::generate(&h);
+        cg.for_each_linear_extension(200, |order| {
+            let cg2 = ConflictGraph::generate_from_order(&h, order);
+            assert_eq!(&cg, &cg2);
+        });
+    }
+
+    /// The two exposure implementations (fast accessor-chain path and
+    /// literal graph-minimality path) agree on every subset.
+    #[test]
+    fn exposure_implementations_agree(
+        specs in vec(arb_operation(3), 1..6),
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let cg = ConflictGraph::generate(&h);
+        let n = h.len();
+        let set = NodeSet::from_indices(n, (0..n).filter(|i| mask >> i & 1 == 1));
+        for x in cg.vars().collect::<Vec<_>>() {
+            prop_assert_eq!(
+                is_exposed(&cg, &set, x),
+                is_exposed_by_graph(&cg, &set, x),
+                "var {:?} set {:?}", x, set
+            );
+        }
+    }
+
+    /// Lemma 2: the prefix induced by the first `i` operations
+    /// determines exactly the `i`-th state of the sequence.
+    #[test]
+    fn lemma2_prefix_states(
+        specs in vec(arb_operation(4), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let s0 = State::zeroed();
+        let sg = StateGraph::conflict_state_graph(&h, &s0);
+        let states = h.states(&s0);
+        for (i, expected) in states.iter().enumerate() {
+            let prefix = NodeSet::from_indices(h.len(), 0..i);
+            prop_assert_eq!(&sg.state_determined_by(&prefix), expected);
+        }
+    }
+
+    /// Theorem 3 on arbitrary installation prefixes: determined states
+    /// are explained and replay to the final state.
+    #[test]
+    fn theorem3_on_generated_histories(
+        specs in vec(arb_operation(4), 1..7),
+        seed in any::<u64>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let s0 = State::zeroed();
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &s0);
+        ig.dag().for_each_prefix(500, |p| {
+            let state = sg.state_determined_by(p);
+            assert!(explains(&cg, &sg, p, &state));
+            assert!(potentially_recoverable(&h, &cg, &sg, p, &state));
+        });
+    }
+
+    /// Conflict prefixes are installation prefixes, and the installation
+    /// graph never has more edges than the conflict graph.
+    #[test]
+    fn installation_weakens_conflict(
+        specs in vec(arb_operation(4), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        prop_assert!(ig.dag().edge_count() <= cg.dag().edge_count());
+        prop_assert_eq!(
+            ig.dag().edge_count() + ig.removed_edges().len(),
+            cg.dag().edge_count()
+        );
+        cg.dag().for_each_prefix(300, |p| {
+            assert!(ig.is_prefix(p));
+        });
+    }
+
+    /// Replay from the final state with everything installed is the
+    /// empty replay; replay from S0 with nothing installed reproduces
+    /// the whole execution.
+    #[test]
+    fn replay_boundary_conditions(
+        specs in vec(arb_operation(4), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let s0 = State::zeroed();
+        let cg = ConflictGraph::generate(&h);
+        let sg = StateGraph::from_conflict(&h, &cg, &s0);
+        let all = NodeSet::full(h.len());
+        let none = NodeSet::new(h.len());
+        prop_assert_eq!(
+            replay_uninstalled(&h, &sg, &all, &sg.final_state()).unwrap(),
+            sg.final_state()
+        );
+        prop_assert_eq!(
+            replay_uninstalled(&h, &sg, &none, &s0).unwrap(),
+            sg.final_state()
+        );
+    }
+
+    /// NodeSet behaves like a BTreeSet.
+    #[test]
+    fn nodeset_models_btreeset(ops in vec((0..64usize, any::<bool>()), 0..60)) {
+        let mut ns = NodeSet::new(64);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                prop_assert_eq!(ns.insert(i), model.insert(i));
+            } else {
+                prop_assert_eq!(ns.remove(i), model.remove(&i));
+            }
+            prop_assert_eq!(ns.count(), model.len());
+        }
+        prop_assert_eq!(ns.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        let c = ns.complement();
+        prop_assert_eq!(c.count(), 64 - model.len());
+    }
+
+    /// Prefix closure is idempotent, monotone, and produces prefixes.
+    #[test]
+    fn prefix_closure_properties(
+        edges in vec((0..8usize, 0..8usize), 0..16),
+        mask in any::<u8>(),
+    ) {
+        let mut dag = Dag::new(8);
+        for (u, v) in edges {
+            // Orient edges upward to keep the graph acyclic.
+            let (a, b) = (u.min(v), u.max(v));
+            if a != b {
+                dag.add_edge(a, b, EdgeKinds::WW).unwrap();
+            }
+        }
+        let seed = NodeSet::from_indices(8, (0..8).filter(|i| mask >> i & 1 == 1));
+        let closure = dag.prefix_closure(&seed);
+        prop_assert!(dag.is_prefix(&closure));
+        prop_assert!(seed.is_subset(&closure));
+        prop_assert_eq!(dag.prefix_closure(&closure).count(), closure.count());
+    }
+
+    /// Operations are deterministic: applying the same op to equal
+    /// states yields equal states (the property replay relies on).
+    #[test]
+    fn operations_are_deterministic(
+        specs in vec(arb_operation(4), 1..6),
+        seed in any::<u64>(),
+        pairs in vec((0..4u32, any::<u64>()), 0..4),
+    ) {
+        let h = build_history(&specs, seed);
+        let mut s1 = State::zeroed();
+        for (x, v) in pairs {
+            s1.set(Var(x), Value(v));
+        }
+        let mut s2 = s1.clone();
+        for op in h.iter() {
+            op.apply(&mut s1);
+            op.apply(&mut s2);
+            prop_assert_eq!(&s1, &s2);
+        }
+    }
+}

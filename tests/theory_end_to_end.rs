@@ -1,0 +1,159 @@
+//! Cross-crate integration: the paper's storyline exercised through the
+//! public umbrella API only.
+
+use redo_recovery::checker::theorems::check_history;
+use redo_recovery::theory::explain::{all_explaining_prefixes, find_explaining_prefix};
+use redo_recovery::theory::history::examples as paper;
+use redo_recovery::theory::history::History;
+use redo_recovery::theory::invariant::recovery_invariant;
+use redo_recovery::theory::prelude::*;
+use redo_recovery::theory::recovery::{analyze_noop, redo_always};
+use redo_recovery::theory::replay::exists_recovery_subset;
+use redo_recovery::workload::{Shape, WorkloadSpec};
+
+fn ctx(h: &History) -> (ConflictGraph, InstallationGraph, StateGraph, Log) {
+    let cg = ConflictGraph::generate(h);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(h, &cg, &State::zeroed());
+    let log = Log::from_history(h);
+    (cg, ig, sg, log)
+}
+
+#[test]
+fn the_full_scenario1_story() {
+    // The paper's opening: violating a read-write edge is fatal, and the
+    // theory knows it three different ways.
+    let h = paper::scenario1();
+    let (cg, ig, sg, log) = ctx(&h);
+    let bad = State::from_pairs([(Var(1), Value(2))]);
+
+    // 1. Operationally: no replay subset works.
+    assert!(exists_recovery_subset(&h, &sg, &bad).is_none());
+    // 2. Structurally: no explaining prefix exists.
+    assert!(find_explaining_prefix(&cg, &ig, &sg, &bad, 1_000).is_none());
+    // 3. Via the invariant: whatever redo set you pick, it fails.
+    for mask in 0..4u32 {
+        let redo = NodeSet::from_indices(2, (0..2).filter(|i| mask >> i & 1 == 1));
+        assert!(
+            recovery_invariant(&cg, &ig, &sg, &log, &redo, &bad).is_err(),
+            "redo set {redo:?} should not satisfy the invariant"
+        );
+    }
+}
+
+#[test]
+fn the_full_scenario2_story() {
+    // Write-read edges may be violated: {A} installed is fine, and the
+    // abstract recovery procedure with the right redo test fixes it.
+    let h = paper::scenario2();
+    let (cg, ig, sg, log) = ctx(&h);
+    let state = State::from_pairs([(Var(0), Value(3))]);
+    let outcome = recover(
+        &h,
+        &state,
+        &log,
+        &NodeSet::new(2),
+        analyze_noop,
+        |op, _, _, _| op.id() == OpId(0),
+    );
+    assert_eq!(outcome.state, sg.final_state());
+    recovery_invariant(&cg, &ig, &sg, &log, &outcome.redo_set, &state).unwrap();
+}
+
+#[test]
+fn the_full_scenario3_story() {
+    // Unexposed garbage is harmless; redo-everything from the partial
+    // state diverges unless guided.
+    let h = paper::scenario3();
+    let (cg, ig, sg, log) = ctx(&h);
+    let garbage = State::from_pairs([(Var(0), Value(12345)), (Var(1), Value(1))]);
+    // Redo only D.
+    let outcome = recover(
+        &h,
+        &garbage,
+        &log,
+        &NodeSet::new(2),
+        analyze_noop,
+        |op, _, _, _| op.id() == OpId(1),
+    );
+    assert_eq!(outcome.state, sg.final_state());
+    recovery_invariant(&cg, &ig, &sg, &log, &outcome.redo_set, &garbage).unwrap();
+    // Redo-everything would violate the invariant from this state (C is
+    // not applicable: it would read the garbage x).
+    let all = NodeSet::full(2);
+    assert!(recovery_invariant(&cg, &ig, &sg, &log, &all, &garbage).is_err());
+}
+
+#[test]
+fn figure5_extra_state_is_real() {
+    // The installation graph admits one more prefix than the conflict
+    // graph, and the extra {P} state is explainable + recoverable.
+    let h = paper::figure4();
+    let (cg, ig, sg, _) = ctx(&h);
+    assert_eq!(cg.dag().count_prefixes(100), Some(4));
+    assert_eq!(ig.count_prefixes(100), Some(5));
+    let p_only = NodeSet::from_indices(3, [1]);
+    assert!(ig.is_prefix(&p_only) && !cg.dag().is_prefix(&p_only));
+    let state = sg.state_determined_by(&p_only);
+    assert!(!all_explaining_prefixes(&cg, &ig, &sg, &state, 100).is_empty());
+    assert!(potentially_recoverable(&h, &cg, &sg, &p_only, &state));
+}
+
+#[test]
+fn redo_all_recovers_any_conflict_prefix_state() {
+    // Logical/physical style: from any conflict-prefix state with a
+    // checkpoint covering it, redo-everything works.
+    for seed in 0..5 {
+        let h = WorkloadSpec { n_ops: 20, n_vars: 6, ..Default::default() }.generate(seed);
+        let (cg, ig, sg, log) = ctx(&h);
+        for cut in [0, 7, 20] {
+            let ckpt = NodeSet::from_indices(h.len(), 0..cut);
+            let state = sg.state_determined_by(&ckpt);
+            let outcome = recover(&h, &state, &log, &ckpt, analyze_noop, redo_always);
+            assert_eq!(outcome.state, sg.final_state(), "seed {seed} cut {cut}");
+            recovery_invariant(&cg, &ig, &sg, &log, &outcome.redo_set, &state).unwrap();
+        }
+    }
+}
+
+#[test]
+fn checker_validates_chain_and_blind_families() {
+    for shape in [Shape::Chain, Shape::Blind, Shape::ReadModifyWrite] {
+        for seed in 0..3 {
+            let h = WorkloadSpec {
+                n_ops: 5,
+                n_vars: 3,
+                max_reads: 1,
+                max_writes: 1,
+                blind_fraction: 0.5,
+                skew: 0.0,
+                shape,
+            }
+            .generate(seed);
+            check_history(&h, 50_000, 50_000)
+                .unwrap_or_else(|c| panic!("{shape:?} seed {seed}: {c}"));
+        }
+    }
+}
+
+#[test]
+fn log_order_flexibility_lemma1() {
+    // A conflict-consistent permuted log is as good as the invocation
+    // order: recovery over it reaches the same state.
+    let h = paper::figure4();
+    let (cg, _, sg, _) = ctx(&h);
+    cg.for_each_linear_extension(100, |order| {
+        let log = Log::from_order(order);
+        log.validate_against(&cg).unwrap();
+        let outcome = recover(
+            &h,
+            &State::zeroed(),
+            &log,
+            &NodeSet::new(3),
+            analyze_noop,
+            redo_always,
+        );
+        assert_eq!(outcome.state, sg.final_state());
+    })
+    .unwrap();
+}

@@ -25,16 +25,17 @@ use redo_sim::db::{Db, Geometry};
 use redo_workload::pages::{PageOp, PageWorkloadSpec};
 
 fn workload(n: usize) -> Vec<PageOp> {
-    PageWorkloadSpec { n_ops: n, n_pages: 16, ..Default::default() }.generate(21)
+    PageWorkloadSpec {
+        n_ops: n,
+        n_pages: 16,
+        ..Default::default()
+    }
+    .generate(21)
 }
 
 /// Runs a workload with checkpoints every `every` ops (None = never),
 /// then crashes and recovers; returns (scanned, replayed).
-fn run_once<M: RecoveryMethod>(
-    method: &M,
-    ops: &[PageOp],
-    every: Option<usize>,
-) -> (usize, usize) {
+fn run_once<M: RecoveryMethod>(method: &M, ops: &[PageOp], every: Option<usize>) -> (usize, usize) {
     let mut db: Db<M::Payload> = Db::new(Geometry { slots_per_page: 8 });
     let mut rng = StdRng::seed_from_u64(77);
     for (i, op) in ops.iter().enumerate() {
@@ -65,9 +66,18 @@ fn bench(c: &mut Criterion) {
     println!("  none:  scanned {scan_none:>4}, replayed {replay_none:>4}");
     println!("  heavy: scanned {scan_heavy:>4}, replayed {replay_heavy:>4}");
     println!("  fuzzy: scanned {scan_fuzzy:>4}, replayed {replay_fuzzy:>4}");
-    assert!(scan_heavy < scan_none, "heavy checkpoints must bound the scan");
-    assert!(scan_fuzzy < scan_none, "fuzzy checkpoints must bound the scan");
-    assert!(scan_heavy <= scan_fuzzy, "fuzzy scans at least as much as heavy");
+    assert!(
+        scan_heavy < scan_none,
+        "heavy checkpoints must bound the scan"
+    );
+    assert!(
+        scan_fuzzy < scan_none,
+        "fuzzy checkpoints must bound the scan"
+    );
+    assert!(
+        scan_heavy <= scan_fuzzy,
+        "fuzzy scans at least as much as heavy"
+    );
 
     for every in [10usize, 50, 200] {
         group.bench_with_input(

@@ -39,7 +39,12 @@ fn bench(c: &mut Criterion) {
 
     // Identical single-page workload under both methods: isolates the
     // constraint machinery's fixed overhead (zero constraints).
-    let single = PageWorkloadSpec { n_ops: n, n_pages: 8, ..Default::default() }.generate(31);
+    let single = PageWorkloadSpec {
+        n_ops: n,
+        n_pages: 8,
+        ..Default::default()
+    }
+    .generate(31);
     group.bench_function("physiological_single_page", |b| {
         b.iter(|| run_to_checkpoint(&Physiological, &single))
     });

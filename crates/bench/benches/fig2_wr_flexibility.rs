@@ -49,7 +49,10 @@ fn bench(c: &mut Criterion) {
             "fig2 shape-check [{name}]: {shed}/{total} conflict edges are pure write-read and shed"
         );
         if name == "wr_heavy" {
-            assert!(shed * 4 > total, "wr-heavy should shed a large fraction: {shed}/{total}");
+            assert!(
+                shed * 4 > total,
+                "wr-heavy should shed a large fraction: {shed}/{total}"
+            );
         }
         if name == "blind" {
             assert_eq!(shed, 0, "blind workloads have no write-read edges at all");
@@ -67,12 +70,16 @@ fn bench(c: &mut Criterion) {
     for n in [128usize, 512, 2048] {
         let h = workload(n, Shape::WriteReadHeavy, 0.9);
         let cg = ConflictGraph::generate(&h);
-        group.bench_with_input(BenchmarkId::new("derive_installation_graph", n), &cg, |b, cg| {
-            b.iter(|| InstallationGraph::from_conflict(cg))
-        });
-        group.bench_with_input(BenchmarkId::new("generate_conflict_graph", n), &h, |b, h| {
-            b.iter(|| ConflictGraph::generate(h))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("derive_installation_graph", n),
+            &cg,
+            |b, cg| b.iter(|| InstallationGraph::from_conflict(cg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("generate_conflict_graph", n),
+            &h,
+            |b, h| b.iter(|| ConflictGraph::generate(h)),
+        );
     }
     group.finish();
 }

@@ -40,7 +40,10 @@ fn bench(c: &mut Criterion) {
         let installed = NodeSet::from_indices(h.len(), 0..h.len() / 2);
         let unexposed = unexposed_vars(&cg, &installed).len();
         println!("fig3 shape-check: blind={blind:.1} -> {unexposed} unexposed variables");
-        assert!(unexposed >= last, "unexposure should not shrink as blindness grows");
+        assert!(
+            unexposed >= last,
+            "unexposure should not shrink as blindness grows"
+        );
         last = unexposed;
     }
 

@@ -70,18 +70,28 @@ fn bench(c: &mut Criterion) {
         }
         let start_sound = s.sg.state_determined_by(&sound);
         let sound_ref = &sound;
-        let out = recover(&s.h, &start_sound, &s.log, &NodeSet::new(n), analyze_noop, |op, _, _, _| {
-            !sound_ref.contains(op.id().index())
-        });
+        let out = recover(
+            &s.h,
+            &start_sound,
+            &s.log,
+            &NodeSet::new(n),
+            analyze_noop,
+            |op, _, _, _| !sound_ref.contains(op.id().index()),
+        );
         assert_eq!(out.state, s.sg.final_state());
         group.bench_with_input(
             BenchmarkId::new("lsn_style_skips_half", n),
             &(&s, &sound, &start_sound),
             |b, (s, sound, start)| {
                 b.iter(|| {
-                    recover(&s.h, start, &s.log, &NodeSet::new(s.h.len()), analyze_noop, |op, _, _, _| {
-                        !sound.contains(op.id().index())
-                    })
+                    recover(
+                        &s.h,
+                        start,
+                        &s.log,
+                        &NodeSet::new(s.h.len()),
+                        analyze_noop,
+                        |op, _, _, _| !sound.contains(op.id().index()),
+                    )
                 })
             },
         );

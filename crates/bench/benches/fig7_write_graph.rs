@@ -52,13 +52,12 @@ fn setup(n: usize, n_vars: u32) -> Setup {
 fn collapse_per_variable(s: &Setup) -> WriteGraph {
     let mut wg = WriteGraph::from_installation_graph(&s.h, &s.cg, &s.ig, &s.sg);
     for x in s.cg.vars().collect::<Vec<_>>() {
-        let writers: Vec<_> = s
-            .cg
-            .accessors_of(x)
-            .iter()
-            .filter(|a| a.writes)
-            .map(|a| a.op)
-            .collect();
+        let writers: Vec<_> =
+            s.cg.accessors_of(x)
+                .iter()
+                .filter(|a| a.writes)
+                .map(|a| a.op)
+                .collect();
         for pair in writers.windows(2) {
             let (a, b) = (wg.node_of_op(pair[0]), wg.node_of_op(pair[1]));
             if a != b {
@@ -86,9 +85,11 @@ fn bench(c: &mut Criterion) {
 
     for n in [64usize, 256, 1024] {
         let s = setup(n, (n / 8).max(2) as u32);
-        group.bench_with_input(BenchmarkId::new("build_from_installation", n), &s, |b, s| {
-            b.iter(|| WriteGraph::from_installation_graph(&s.h, &s.cg, &s.ig, &s.sg))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_from_installation", n),
+            &s,
+            |b, s| b.iter(|| WriteGraph::from_installation_graph(&s.h, &s.cg, &s.ig, &s.sg)),
+        );
         group.bench_with_input(BenchmarkId::new("collapse_per_variable", n), &s, |b, s| {
             b.iter(|| collapse_per_variable(s))
         });

@@ -32,7 +32,10 @@ fn bench(c: &mut Criterion) {
     for spp in [16u16, 64] {
         let physio = load(SplitStrategy::Physiological, 2_000, spp);
         let general = load(SplitStrategy::Generalized, 2_000, spp);
-        let (pb, gb) = (physio.db.log.appended_bytes(), general.db.log.appended_bytes());
+        let (pb, gb) = (
+            physio.db.log.appended_bytes(),
+            general.db.log.appended_bytes(),
+        );
         println!(
             "fig8 shape-check: spp={spp}: physiological {pb} bytes, generalized {gb} bytes \
              ({:.1}% saved)",

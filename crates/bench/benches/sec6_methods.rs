@@ -41,9 +41,12 @@ fn workload_for(name: &str, n: usize) -> Vec<PageOp> {
             ..Default::default()
         }
         .generate(11),
-        "physiological" => {
-            PageWorkloadSpec { n_ops: n, n_pages: 8, ..Default::default() }.generate(11)
+        "physiological" => PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 8,
+            ..Default::default()
         }
+        .generate(11),
         "generalized-multi" => PageWorkloadSpec {
             n_ops: n,
             n_pages: 8,
@@ -94,7 +97,11 @@ impl RecoveryMethod for GeneralizedMulti {
 
 use redo_methods as crate_stats;
 
-fn bench_method<M: RecoveryMethod>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, method: &M, n: usize) {
+fn bench_method<M: RecoveryMethod>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    method: &M,
+    n: usize,
+) {
     let ops = workload_for(method.name(), n);
     // Shape check + report once per (method, n).
     let report = run(method, &ops, &cfg(false)).expect("harness clean");

@@ -205,7 +205,10 @@ pub fn internal_insert(page: &mut Page, spp: u16, k: u64, right_child: PageId) {
         Err(i) => i,
     };
     let n = n_keys(page);
-    debug_assert!(n < max_keys(spp), "caller must split full internal nodes first");
+    debug_assert!(
+        n < max_keys(spp),
+        "caller must split full internal nodes first"
+    );
     let mut j = n;
     while j > i {
         set_key(page, j, key(page, j - 1));
@@ -239,7 +242,10 @@ pub struct SplitPlan {
 pub fn split_plan(page: &Page) -> SplitPlan {
     let n = n_keys(page);
     let mid = n / 2;
-    SplitPlan { mid, separator: key(page, mid) }
+    SplitPlan {
+        mid,
+        separator: key(page, mid),
+    }
 }
 
 /// Applies the "copy high half into `dst`" half of a split (the new
@@ -396,7 +402,13 @@ mod tests {
         let mut src = src0.clone();
         let mut dst = Page::new(SPP);
         let plan = split_plan(&src);
-        assert_eq!(plan, SplitPlan { mid: 3, separator: 4 });
+        assert_eq!(
+            plan,
+            SplitPlan {
+                mid: 3,
+                separator: 4
+            }
+        );
         split_copy_high(&src, &mut dst, SPP);
         split_truncate(&mut src, SPP, PageId(9));
         assert_eq!(n_keys(&src), 3);

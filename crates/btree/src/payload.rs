@@ -121,7 +121,12 @@ impl LogPayload for BtPayload {
                 codec::put_u8(buf, 0);
                 codec::put_u32(buf, page.0);
             }
-            BtPayload::InitRoot { page, separator, left, right } => {
+            BtPayload::InitRoot {
+                page,
+                separator,
+                left,
+                right,
+            } => {
                 codec::put_u8(buf, 1);
                 codec::put_u32(buf, page.0);
                 codec::put_u64(buf, *separator);
@@ -139,7 +144,11 @@ impl LogPayload for BtPayload {
                 codec::put_u32(buf, page.0);
                 codec::put_u64(buf, *key);
             }
-            BtPayload::InsertInternal { page, separator, right_child } => {
+            BtPayload::InsertInternal {
+                page,
+                separator,
+                right_child,
+            } => {
                 codec::put_u8(buf, 4);
                 codec::put_u32(buf, page.0);
                 codec::put_u64(buf, *separator);
@@ -174,7 +183,9 @@ impl LogPayload for BtPayload {
 
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
         Ok(match codec::get_u8(input, pos)? {
-            0 => BtPayload::InitLeaf { page: PageId(codec::get_u32(input, pos)?) },
+            0 => BtPayload::InitLeaf {
+                page: PageId(codec::get_u32(input, pos)?),
+            },
             1 => BtPayload::InitRoot {
                 page: PageId(codec::get_u32(input, pos)?),
                 separator: codec::get_u64(input, pos)?,
@@ -235,13 +246,36 @@ mod tests {
                 left: PageId(1),
                 right: PageId(3),
             },
-            BtPayload::Insert { page: PageId(1), key: 42, value: 420 },
-            BtPayload::Remove { page: PageId(1), key: 42 },
-            BtPayload::InsertInternal { page: PageId(2), separator: 9, right_child: PageId(4) },
-            BtPayload::PageImage { page: PageId(3), slots: vec![1, 2, 3] },
-            BtPayload::SplitCopyHigh { from: PageId(1), to: PageId(3) },
-            BtPayload::SplitTruncate { page: PageId(1), new_right: PageId(3) },
-            BtPayload::MetaSet { root: PageId(2), next_free: 5 },
+            BtPayload::Insert {
+                page: PageId(1),
+                key: 42,
+                value: 420,
+            },
+            BtPayload::Remove {
+                page: PageId(1),
+                key: 42,
+            },
+            BtPayload::InsertInternal {
+                page: PageId(2),
+                separator: 9,
+                right_child: PageId(4),
+            },
+            BtPayload::PageImage {
+                page: PageId(3),
+                slots: vec![1, 2, 3],
+            },
+            BtPayload::SplitCopyHigh {
+                from: PageId(1),
+                to: PageId(3),
+            },
+            BtPayload::SplitTruncate {
+                page: PageId(1),
+                new_right: PageId(3),
+            },
+            BtPayload::MetaSet {
+                root: PageId(2),
+                next_free: 5,
+            },
             BtPayload::Checkpoint,
         ]
     }
@@ -259,14 +293,25 @@ mod tests {
 
     #[test]
     fn targets() {
-        assert_eq!(BtPayload::InitLeaf { page: PageId(7) }.target(), Some(PageId(7)));
         assert_eq!(
-            BtPayload::SplitCopyHigh { from: PageId(1), to: PageId(3) }.target(),
+            BtPayload::InitLeaf { page: PageId(7) }.target(),
+            Some(PageId(7))
+        );
+        assert_eq!(
+            BtPayload::SplitCopyHigh {
+                from: PageId(1),
+                to: PageId(3)
+            }
+            .target(),
             Some(PageId(3)),
             "the split-copy record writes the NEW page"
         );
         assert_eq!(
-            BtPayload::MetaSet { root: PageId(2), next_free: 4 }.target(),
+            BtPayload::MetaSet {
+                root: PageId(2),
+                next_free: 4
+            }
+            .target(),
             Some(PageId(0))
         );
         assert_eq!(BtPayload::Checkpoint.target(), None);
@@ -276,15 +321,31 @@ mod tests {
     fn bad_tag_is_corrupt() {
         let buf = [42u8];
         let mut pos = 0;
-        assert!(matches!(BtPayload::decode(&buf, &mut pos), Err(SimError::Corrupt(0))));
+        assert!(matches!(
+            BtPayload::decode(&buf, &mut pos),
+            Err(SimError::Corrupt(0))
+        ));
     }
 
     #[test]
     fn generalized_split_record_is_tiny() {
         let mut gen_buf = Vec::new();
-        BtPayload::SplitCopyHigh { from: PageId(1), to: PageId(2) }.encode(&mut gen_buf);
+        BtPayload::SplitCopyHigh {
+            from: PageId(1),
+            to: PageId(2),
+        }
+        .encode(&mut gen_buf);
         let mut img_buf = Vec::new();
-        BtPayload::PageImage { page: PageId(2), slots: vec![0; 64] }.encode(&mut img_buf);
-        assert!(gen_buf.len() * 10 < img_buf.len(), "{} vs {}", gen_buf.len(), img_buf.len());
+        BtPayload::PageImage {
+            page: PageId(2),
+            slots: vec![0; 64],
+        }
+        .encode(&mut img_buf);
+        assert!(
+            gen_buf.len() * 10 < img_buf.len(),
+            "{} vs {}",
+            gen_buf.len(),
+            img_buf.len()
+        );
     }
 }

@@ -62,7 +62,12 @@ pub fn apply_payload(db: &mut Db<BtPayload>, payload: &BtPayload, lsn: Lsn) -> S
             fetch(db, *page)?;
             db.pool.update(*page, lsn, |p| layout::format(p, true))?;
         }
-        BtPayload::InitRoot { page, separator, left, right } => {
+        BtPayload::InitRoot {
+            page,
+            separator,
+            left,
+            right,
+        } => {
             fetch(db, *page)?;
             db.pool.update(*page, lsn, |p| {
                 layout::format(p, false);
@@ -84,7 +89,11 @@ pub fn apply_payload(db: &mut Db<BtPayload>, payload: &BtPayload, lsn: Lsn) -> S
                 layout::leaf_remove(p, spp, *key);
             })?;
         }
-        BtPayload::InsertInternal { page, separator, right_child } => {
+        BtPayload::InsertInternal {
+            page,
+            separator,
+            right_child,
+        } => {
             fetch(db, *page)?;
             db.pool.update(*page, lsn, |p| {
                 layout::internal_insert(p, spp, *separator, *right_child);
@@ -107,11 +116,13 @@ pub fn apply_payload(db: &mut Db<BtPayload>, payload: &BtPayload, lsn: Lsn) -> S
                 .ok_or(SimError::NotCached(*from))?
                 .clone();
             fetch(db, *to)?;
-            db.pool.update(*to, lsn, |p| layout::split_copy_high(&src, p, spp))?;
+            db.pool
+                .update(*to, lsn, |p| layout::split_copy_high(&src, p, spp))?;
         }
         BtPayload::SplitTruncate { page, new_right } => {
             fetch(db, *page)?;
-            db.pool.update(*page, lsn, |p| layout::split_truncate(p, spp, *new_right))?;
+            db.pool
+                .update(*page, lsn, |p| layout::split_truncate(p, spp, *new_right))?;
         }
         BtPayload::MetaSet { root, next_free } => {
             fetch(db, META)?;
@@ -142,7 +153,10 @@ impl BTree {
             strategy,
             spp: slots_per_page,
         };
-        tree.log_apply(BtPayload::MetaSet { root: PageId(1), next_free: 2 })?;
+        tree.log_apply(BtPayload::MetaSet {
+            root: PageId(1),
+            next_free: 2,
+        })?;
         tree.log_apply(BtPayload::InitLeaf { page: PageId(1) })?;
         Ok(tree)
     }
@@ -171,7 +185,11 @@ impl BTree {
 
     fn read_page(&mut self, id: PageId) -> SimResult<Page> {
         let stable = self.db.log.stable_lsn();
-        Ok(self.db.pool.fetch(&mut self.db.disk, id, self.spp, stable)?.clone())
+        Ok(self
+            .db
+            .pool
+            .fetch(&mut self.db.disk, id, self.spp, stable)?
+            .clone())
     }
 
     /// Reads a page and verifies it is a formatted node — a zeroed page
@@ -181,18 +199,26 @@ impl BTree {
     fn read_node(&mut self, id: PageId) -> SimResult<Page> {
         let page = self.read_page(id)?;
         if !layout::is_initialized(&page) {
-            return Err(SimError::MethodViolation("descent reached an uninitialized page"));
+            return Err(SimError::MethodViolation(
+                "descent reached an uninitialized page",
+            ));
         }
         Ok(page)
     }
 
     fn meta(&mut self) -> SimResult<(PageId, u32)> {
         let page = self.read_page(META)?;
-        Ok((PageId(page.get(META_ROOT) as u32), page.get(META_NEXT) as u32))
+        Ok((
+            PageId(page.get(META_ROOT) as u32),
+            page.get(META_NEXT) as u32,
+        ))
     }
 
     fn alloc(&mut self, root: PageId, next: u32) -> SimResult<(PageId, u32)> {
-        self.log_apply(BtPayload::MetaSet { root, next_free: next + 1 })?;
+        self.log_apply(BtPayload::MetaSet {
+            root,
+            next_free: next + 1,
+        })?;
         Ok((PageId(next), next + 1))
     }
 
@@ -204,7 +230,10 @@ impl BTree {
         let child_page = self.read_page(child)?;
         let plan = layout::split_plan(&child_page);
         self.log_split_copy(child, new_page, &child_page)?;
-        self.log_apply(BtPayload::SplitTruncate { page: child, new_right: new_page })?;
+        self.log_apply(BtPayload::SplitTruncate {
+            page: child,
+            new_right: new_page,
+        })?;
         self.log_apply(BtPayload::InsertInternal {
             page: parent,
             separator: plan.separator,
@@ -220,14 +249,20 @@ impl BTree {
         let root_page = self.read_page(old_root)?;
         let plan = layout::split_plan(&root_page);
         self.log_split_copy(old_root, new_sibling, &root_page)?;
-        self.log_apply(BtPayload::SplitTruncate { page: old_root, new_right: new_sibling })?;
+        self.log_apply(BtPayload::SplitTruncate {
+            page: old_root,
+            new_right: new_sibling,
+        })?;
         self.log_apply(BtPayload::InitRoot {
             page: new_root,
             separator: plan.separator,
             left: old_root,
             right: new_sibling,
         })?;
-        self.log_apply(BtPayload::MetaSet { root: new_root, next_free: next })?;
+        self.log_apply(BtPayload::MetaSet {
+            root: new_root,
+            next_free: next,
+        })?;
         Ok(())
     }
 
@@ -267,7 +302,11 @@ impl BTree {
             let page = self.read_node(current)?;
             if layout::is_leaf(&page) {
                 debug_assert!(layout::n_keys(&page) < max);
-                self.log_apply(BtPayload::Insert { page: current, key, value })?;
+                self.log_apply(BtPayload::Insert {
+                    page: current,
+                    key,
+                    value,
+                })?;
                 return Ok(());
             }
             let idx = layout::descend_index(&page, key);
@@ -397,7 +436,10 @@ impl BTree {
         if records.is_empty() && master == Lsn::ZERO {
             // Nothing ever became durable — not even the bootstrap
             // records. The tree is factually empty; re-bootstrap it.
-            self.log_apply(BtPayload::MetaSet { root: PageId(1), next_free: 2 })?;
+            self.log_apply(BtPayload::MetaSet {
+                root: PageId(1),
+                next_free: 2,
+            })?;
             self.log_apply(BtPayload::InitLeaf { page: PageId(1) })?;
             return Ok((0, 0));
         }
@@ -406,9 +448,14 @@ impl BTree {
             if rec.lsn <= master {
                 continue;
             }
-            let Some(target) = rec.payload.target() else { continue };
+            let Some(target) = rec.payload.target() else {
+                continue;
+            };
             let stable = self.db.log.stable_lsn();
-            let page = self.db.pool.fetch(&mut self.db.disk, target, self.spp, stable)?;
+            let page = self
+                .db
+                .pool
+                .fetch(&mut self.db.disk, target, self.spp, stable)?;
             if page.lsn() < rec.lsn {
                 apply_payload(&mut self.db, &rec.payload, rec.lsn)?;
                 if let BtPayload::SplitCopyHigh { from, to } = rec.payload {
@@ -438,7 +485,9 @@ impl BTree {
     pub fn validate(&mut self) -> SimResult<usize> {
         let (root, _) = self.meta()?;
         let mut leaves_in_order = Vec::new();
-        let count = self.validate_node(root, None, None, &mut leaves_in_order)?.1;
+        let count = self
+            .validate_node(root, None, None, &mut leaves_in_order)?
+            .1;
         // Leaf chain must visit the same leaves in the same order.
         let mut chain = Vec::new();
         let mut cur = Some(*leaves_in_order.first().unwrap_or(&root));
@@ -448,7 +497,9 @@ impl BTree {
             cur = layout::right_sibling(&page);
         }
         if chain != leaves_in_order {
-            return Err(SimError::MethodViolation("leaf sibling chain disagrees with tree order"));
+            return Err(SimError::MethodViolation(
+                "leaf sibling chain disagrees with tree order",
+            ));
         }
         Ok(count)
     }
@@ -481,8 +532,16 @@ impl BTree {
         let mut depth = None;
         let mut total = 0usize;
         for i in 0..=n {
-            let child_lo = if i == 0 { lo } else { Some(layout::key(&page, i - 1)) };
-            let child_hi = if i == n { hi } else { Some(layout::key(&page, i)) };
+            let child_lo = if i == 0 {
+                lo
+            } else {
+                Some(layout::key(&page, i - 1))
+            };
+            let child_hi = if i == n {
+                hi
+            } else {
+                Some(layout::key(&page, i))
+            };
             let child = layout::child(&page, self.spp, i);
             let (d, c) = self.validate_node(child, child_lo, child_hi, leaves)?;
             total += c;
@@ -569,7 +628,21 @@ mod tests {
             tree.insert(k, k + 1).unwrap();
         }
         let r = tree.range(30, 60).unwrap();
-        assert_eq!(r, vec![(30, 31), (33, 34), (36, 37), (39, 40), (42, 43), (45, 46), (48, 49), (51, 52), (54, 55), (57, 58)]);
+        assert_eq!(
+            r,
+            vec![
+                (30, 31),
+                (33, 34),
+                (36, 37),
+                (39, 40),
+                (42, 43),
+                (45, 46),
+                (48, 49),
+                (51, 52),
+                (54, 55),
+                (57, 58)
+            ]
+        );
         assert!(tree.range(1000, 2000).unwrap().is_empty());
     }
 
@@ -643,7 +716,10 @@ mod tests {
         tree.db.log.flush_all();
         tree.crash();
         let (replayed, skipped) = tree.recover().unwrap();
-        assert!(replayed + skipped <= 30, "scan bounded by checkpoint: {replayed}+{skipped}");
+        assert!(
+            replayed + skipped <= 30,
+            "scan bounded by checkpoint: {replayed}+{skipped}"
+        );
         assert_matches(&mut tree, &{
             let mut m = model.clone();
             m.extend(extra.iter().map(|&k| (k, k)));
@@ -693,7 +769,11 @@ mod tests {
         tree.crash();
         tree.recover().unwrap();
         for k in 0..40u64 {
-            assert_eq!(tree.get(k).unwrap(), Some(k + 100), "key {k} lost across split+crash");
+            assert_eq!(
+                tree.get(k).unwrap(),
+                Some(k + 100),
+                "key {k} lost across split+crash"
+            );
         }
         tree.validate().unwrap();
     }

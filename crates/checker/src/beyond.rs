@@ -44,10 +44,7 @@ pub struct BeyondWitness {
 /// for beyond-the-theory successes. Returns all witnesses found (empty
 /// when the history offers none), visiting at most `state_limit` states.
 #[must_use]
-pub fn find_beyond_witnesses(
-    history: &History,
-    state_limit: usize,
-) -> Vec<BeyondWitness> {
+pub fn find_beyond_witnesses(history: &History, state_limit: usize) -> Vec<BeyondWitness> {
     let n = history.len();
     assert!(n <= 12, "exponential search; history too large ({n} ops)");
     let s0 = State::zeroed();
@@ -100,16 +97,25 @@ mod tests {
             .assign(y, Expr::read(x).add(Expr::constant(1)))
             .build()
             .unwrap();
-        let l = Operation::builder(OpId(1)).assign(y, Expr::constant(7)).build().unwrap();
+        let l = Operation::builder(OpId(1))
+            .assign(y, Expr::constant(7))
+            .build()
+            .unwrap();
         // A final blind writer of x restores x itself.
-        let m = Operation::builder(OpId(2)).assign(x, Expr::constant(3)).build().unwrap();
+        let m = Operation::builder(OpId(2))
+            .assign(x, Expr::constant(3))
+            .build()
+            .unwrap();
         History::new(vec![k, l, m]).unwrap()
     }
 
     #[test]
     fn canonical_history_has_witnesses() {
         let ws = find_beyond_witnesses(&canonical(), 10_000);
-        assert!(!ws.is_empty(), "§7's remark should be constructively confirmed");
+        assert!(
+            !ws.is_empty(),
+            "§7's remark should be constructively confirmed"
+        );
         // Every witness's inapplicable op must be K (the only reader).
         for w in &ws {
             assert!(w.inapplicable.iter().all(|&i| i == 0), "{w:?}");
@@ -125,10 +131,8 @@ mod tests {
         let sg = StateGraph::conflict_state_graph(&h, &State::zeroed());
         let ws = find_beyond_witnesses(&h, 10_000);
         let w = &ws[0];
-        let installed = NodeSet::from_indices(
-            h.len(),
-            (0..h.len()).filter(|i| !w.replayed.contains(i)),
-        );
+        let installed =
+            NodeSet::from_indices(h.len(), (0..h.len()).filter(|i| !w.replayed.contains(i)));
         assert!(redo_theory::replay::replay_uninstalled(&h, &sg, &installed, &w.state).is_err());
     }
 
@@ -160,6 +164,9 @@ mod tests {
             .generate(seed);
             found += usize::from(!find_beyond_witnesses(&h, 20_000).is_empty());
         }
-        assert!(found > 0, "expected at least one seed to exhibit §7 behaviour");
+        assert!(
+            found > 0,
+            "expected at least one seed to exhibit §7 behaviour"
+        );
     }
 }

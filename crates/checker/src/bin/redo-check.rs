@@ -47,7 +47,9 @@ impl Args {
             let k = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
-            let v = args.get(i + 1).ok_or_else(|| format!("--{k} needs a value"))?;
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{k} needs a value"))?;
             flags.push((k.to_string(), v.clone()));
             i += 2;
         }
@@ -116,7 +118,11 @@ fn explore_method<M: RecoveryMethod>(
         "generalized-lsn" | "logical" => 0.5,
         _ => 0.0,
     };
-    let blind = if method.name() == "physical" { 1.0 } else { 0.2 };
+    let blind = if method.name() == "physical" {
+        1.0
+    } else {
+        0.2
+    };
     let (mut ok, mut bad) = (0u64, 0u64);
     for seed in 0..seeds {
         let ops = PageWorkloadSpec {

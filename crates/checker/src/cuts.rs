@@ -24,10 +24,7 @@ pub const GARBAGE: Value = Value(0xdead_beef_dead_beef);
 #[must_use]
 pub fn variable_versions(history: &History, s0: &State) -> Vec<(Var, Vec<Value>)> {
     let vars = history.written_vars();
-    let mut out: Vec<(Var, Vec<Value>)> = vars
-        .iter()
-        .map(|&x| (x, vec![s0.get(x)]))
-        .collect();
+    let mut out: Vec<(Var, Vec<Value>)> = vars.iter().map(|&x| (x, vec![s0.get(x)])).collect();
     let mut cur = s0.clone();
     for op in history.iter() {
         op.apply(&mut cur);
@@ -94,7 +91,15 @@ pub fn for_each_cut_state(
             }
         }
     }
-    if rec(&versions, 0, with_garbage, &mut state, &mut count, limit, &mut f) {
+    if rec(
+        &versions,
+        0,
+        with_garbage,
+        &mut state,
+        &mut count,
+        limit,
+        &mut f,
+    ) {
         Some(count)
     } else {
         None

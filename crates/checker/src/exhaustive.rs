@@ -120,7 +120,14 @@ impl<M: RecoveryMethod> Explorer<'_, M> {
         let key: Vec<(u32, u64)> = crashed
             .disk
             .pages()
-            .map(|(id, p)| (id.0, p.slots().iter().fold(0u64, |h, &s| h.wrapping_mul(31).wrapping_add(s))))
+            .map(|(id, p)| {
+                (
+                    id.0,
+                    p.slots()
+                        .iter()
+                        .fold(0u64, |h, &s| h.wrapping_mul(31).wrapping_add(s)),
+                )
+            })
             .collect();
         if self.stable_states.insert(key) {
             self.report.distinct_stable_states += 1;
@@ -132,14 +139,15 @@ impl<M: RecoveryMethod> Explorer<'_, M> {
             .filter(|(_, lsn)| *lsn <= stable)
             .map(|(op, _)| op.clone())
             .collect();
-        let history = History::renumbering(
-            durable.iter().map(|op| op.to_operation(self.spp)).collect(),
-        );
+        let history =
+            History::renumbering(durable.iter().map(|op| op.to_operation(self.spp)).collect());
         let cg = ConflictGraph::generate(&history);
         let ig = InstallationGraph::from_conflict(&cg);
         let sg = StateGraph::from_conflict(&history, &cg, &State::zeroed());
         if crashed.volatile_theory_state() != sg.final_state() {
-            return Err(HarnessFailure::StateMismatch { crash: Some(self.report.crashes_checked as u64) });
+            return Err(HarnessFailure::StateMismatch {
+                crash: Some(self.report.crashes_checked as u64),
+            });
         }
         let log = Log::from_history(&history);
         let mut redo_set = NodeSet::new(history.len());
@@ -173,7 +181,10 @@ impl<M: RecoveryMethod> Explorer<'_, M> {
         self.report.nodes += 1;
         // Crash here, before any further action.
         if let Err(failure) = self.check_crash(db, executed) {
-            return Err(ExploreFailure { schedule: self.schedule.clone(), failure });
+            return Err(ExploreFailure {
+                schedule: self.schedule.clone(),
+                failure,
+            });
         }
         if i == self.ops.len() {
             return Ok(true);
@@ -186,7 +197,10 @@ impl<M: RecoveryMethod> Explorer<'_, M> {
             // are crash points).
             self.schedule.push(action);
             if let Err(failure) = self.check_crash(&next, executed) {
-                return Err(ExploreFailure { schedule: self.schedule.clone(), failure });
+                return Err(ExploreFailure {
+                    schedule: self.schedule.clone(),
+                    failure,
+                });
             }
             let mut executed = executed.to_vec();
             let lsn = self
@@ -219,10 +233,7 @@ pub fn explore<M: RecoveryMethod>(
     slots_per_page: u16,
     node_limit: usize,
 ) -> Result<(ExploreReport, bool), ExploreFailure> {
-    let mut pages: Vec<PageId> = ops
-        .iter()
-        .flat_map(|op| op.written_pages())
-        .collect();
+    let mut pages: Vec<PageId> = ops.iter().flat_map(|op| op.written_pages()).collect();
     pages.sort_unstable();
     pages.dedup();
     let mut explorer = Explorer {

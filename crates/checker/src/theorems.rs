@@ -112,7 +112,10 @@ pub fn check_history(
     state_limit: usize,
 ) -> Result<CheckReport, Counterexample> {
     let n = history.len();
-    assert!(n <= 16, "exhaustive checking is exponential; history too large ({n} ops)");
+    assert!(
+        n <= 16,
+        "exhaustive checking is exponential; history too large ({n} ops)"
+    );
     let s0 = State::zeroed();
     let cg = ConflictGraph::generate(history);
     let ig = InstallationGraph::from_conflict(&cg);
@@ -185,7 +188,9 @@ pub fn check_history(
                     return;
                 }
                 Err(e) => {
-                    t3_failure = Some(Counterexample::Corollary4 { detail: e.to_string() });
+                    t3_failure = Some(Counterexample::Corollary4 {
+                        detail: e.to_string(),
+                    });
                     return;
                 }
             }
@@ -228,8 +233,9 @@ pub fn check_history(
                 // two definitions equivalent: the *explainable states*
                 // coincide even though the prefix families differ.)
                 if explaining.is_none() {
-                    conv_failure =
-                        Some(Counterexample::Converse { replayed: set_to_vec(&replayed) });
+                    conv_failure = Some(Counterexample::Converse {
+                        replayed: set_to_vec(&replayed),
+                    });
                     return;
                 }
             }
@@ -262,7 +268,14 @@ mod tests {
 
     #[test]
     fn paper_examples_check_clean() {
-        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+        for h in [
+            scenario1(),
+            scenario2(),
+            scenario3(),
+            figure4(),
+            efg(),
+            hj(),
+        ] {
             let report = check_history(&h, 10_000, 10_000).unwrap_or_else(|c| {
                 panic!("counterexample on {h:?}: {c}");
             });

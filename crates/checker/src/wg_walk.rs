@@ -168,6 +168,9 @@ mod tests {
         assert!(totals.installs > 0);
         assert!(totals.collapses > 0);
         assert!(totals.edges > 0);
-        assert!(totals.removals > 0, "remove-write never applied: {totals:?}");
+        assert!(
+            totals.removals > 0,
+            "remove-write never applied: {totals:?}"
+        );
     }
 }

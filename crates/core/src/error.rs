@@ -68,6 +68,15 @@ pub enum Error {
         /// The first mismatching read variable.
         var: Var,
     },
+    /// A replay order or redo schedule failed to cover the uninstalled
+    /// set exactly (Theorem 3 replays *all* uninstalled operations, each
+    /// once, and nothing else).
+    OrderCoverageMismatch {
+        /// An operation witnessing the mismatch.
+        op: OpId,
+        /// How the order mismatched on `op`.
+        fault: CoverageFault,
+    },
     /// The log's order contradicts the conflict graph.
     LogOrderViolation {
         /// Earlier operation in the conflict graph...
@@ -114,6 +123,17 @@ impl fmt::Display for Error {
                 f,
                 "operation {op:?} is not applicable: read of {var:?} differs from the original execution"
             ),
+            Error::OrderCoverageMismatch { op, fault } => match fault {
+                CoverageFault::Missing => {
+                    write!(f, "order does not cover uninstalled operation {op:?}")
+                }
+                CoverageFault::Installed => {
+                    write!(f, "order contains installed operation {op:?}")
+                }
+                CoverageFault::Duplicated => {
+                    write!(f, "order contains operation {op:?} more than once")
+                }
+            },
             Error::LogOrderViolation { before, after } => write!(
                 f,
                 "log order violates the conflict graph: {before:?} must precede {after:?}"
@@ -127,6 +147,18 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// How an order failed to cover the uninstalled set (see
+/// [`Error::OrderCoverageMismatch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverageFault {
+    /// An uninstalled operation is absent from the order.
+    Missing,
+    /// The order names an operation that is already installed.
+    Installed,
+    /// The order names the same operation twice.
+    Duplicated,
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -154,8 +154,14 @@ mod tests {
         let c = ctx(scenario2());
         let state = State::from_pairs([(Var(0), Value(3))]);
         let all = all_explaining_prefixes(&c.cg, &c.ig, &c.sg, &state, 10_000);
-        assert!(all.contains(&NodeSet::from_indices(2, [1])), "{{A}} must explain");
-        assert!(all.contains(&NodeSet::new(2)), "{{}} also explains: all vars unexposed");
+        assert!(
+            all.contains(&NodeSet::from_indices(2, [1])),
+            "{{A}} must explain"
+        );
+        assert!(
+            all.contains(&NodeSet::new(2)),
+            "{{}} also explains: all vars unexposed"
+        );
     }
 
     #[test]
@@ -173,7 +179,12 @@ mod tests {
         // Same as above but x holds an arbitrary value.
         let c = ctx(scenario3());
         let state = State::from_pairs([(Var(0), Value(0xdead_beef)), (Var(1), Value(1))]);
-        assert!(explains(&c.cg, &c.sg, &NodeSet::from_indices(2, [0]), &state));
+        assert!(explains(
+            &c.cg,
+            &c.sg,
+            &NodeSet::from_indices(2, [0]),
+            &state
+        ));
     }
 
     #[test]
@@ -183,7 +194,10 @@ mod tests {
         let state = State::from_pairs([(Var(1), Value(42))]);
         let sigma = NodeSet::from_indices(2, [0]);
         assert!(!explains(&c.cg, &c.sg, &sigma, &state));
-        assert_eq!(first_unexplained_var(&c.cg, &c.sg, &sigma, &state), Some(Var(1)));
+        assert_eq!(
+            first_unexplained_var(&c.cg, &c.sg, &sigma, &state),
+            Some(Var(1))
+        );
     }
 
     #[test]

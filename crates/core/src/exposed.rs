@@ -29,7 +29,11 @@ use crate::state::Var;
 /// Fast-path exposure test: is `x` exposed by the installed set?
 #[must_use]
 pub fn is_exposed(cg: &ConflictGraph, installed: &NodeSet, x: Var) -> bool {
-    match cg.accessors_of(x).iter().find(|a| !installed.contains(a.op.index())) {
+    match cg
+        .accessors_of(x)
+        .iter()
+        .find(|a| !installed.contains(a.op.index()))
+    {
         None => true,
         Some(first_uninstalled) => first_uninstalled.reads,
     }
@@ -62,13 +66,17 @@ pub fn is_exposed_by_graph(cg: &ConflictGraph, installed: &NodeSet, x: Var) -> b
 /// All variables exposed by `installed`, in ascending order.
 #[must_use]
 pub fn exposed_vars(cg: &ConflictGraph, installed: &NodeSet) -> Vec<Var> {
-    cg.vars().filter(|&x| is_exposed(cg, installed, x)).collect()
+    cg.vars()
+        .filter(|&x| is_exposed(cg, installed, x))
+        .collect()
 }
 
 /// All variables left *unexposed* by `installed`.
 #[must_use]
 pub fn unexposed_vars(cg: &ConflictGraph, installed: &NodeSet) -> Vec<Var> {
-    cg.vars().filter(|&x| !is_exposed(cg, installed, x)).collect()
+    cg.vars()
+        .filter(|&x| !is_exposed(cg, installed, x))
+        .collect()
 }
 
 #[cfg(test)]
@@ -177,10 +185,16 @@ mod tests {
         use crate::expr::Expr;
         use crate::op::{OpId, Operation};
         let blind = |i: u32, x: Var| {
-            Operation::builder(OpId(i)).assign(x, Expr::constant(u64::from(i))).build().unwrap()
+            Operation::builder(OpId(i))
+                .assign(x, Expr::constant(u64::from(i)))
+                .build()
+                .unwrap()
         };
         let reader = |i: u32, x: Var, y: Var| {
-            Operation::builder(OpId(i)).assign(y, Expr::read(x)).build().unwrap()
+            Operation::builder(OpId(i))
+                .assign(y, Expr::read(x))
+                .build()
+                .unwrap()
         };
         // Grow: [blind(x)], then append a reader of x.
         let h1 = History::new(vec![blind(0, Var(0))]).unwrap();

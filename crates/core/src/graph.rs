@@ -100,7 +100,10 @@ impl NodeSet {
     /// The empty set over a universe of `len` nodes.
     #[must_use]
     pub fn new(len: usize) -> NodeSet {
-        NodeSet { words: vec![0; len.div_ceil(64)], len }
+        NodeSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// The full set over a universe of `len` nodes.
@@ -178,7 +181,10 @@ impl NodeSet {
     /// Is `self` a subset of `other`?
     #[must_use]
     pub fn is_subset(&self, other: &NodeSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// In-place union.
@@ -246,7 +252,10 @@ impl Dag {
     /// An edgeless graph with `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Dag {
-        Dag { succ: vec![BTreeMap::new(); n], pred: vec![BTreeMap::new(); n] }
+        Dag {
+            succ: vec![BTreeMap::new(); n],
+            pred: vec![BTreeMap::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -357,7 +366,8 @@ impl Dag {
     /// Is `set` a prefix: closed under predecessors?
     #[must_use]
     pub fn is_prefix(&self, set: &NodeSet) -> bool {
-        set.iter().all(|n| self.predecessors(n).all(|(p, _)| set.contains(p)))
+        set.iter()
+            .all(|n| self.predecessors(n).all(|(p, _)| set.contains(p)))
     }
 
     /// The smallest prefix containing `seed` (its downward closure).

@@ -26,7 +26,10 @@ impl History {
     pub fn new(ops: Vec<Operation>) -> Result<History> {
         for (i, op) in ops.iter().enumerate() {
             if op.id().index() != i {
-                return Err(Error::MisnumberedHistory { position: i, found: op.id() });
+                return Err(Error::MisnumberedHistory {
+                    position: i,
+                    found: op.id(),
+                });
             }
         }
         Ok(History { ops })
@@ -124,7 +127,11 @@ impl History {
     /// Every variable written by any operation.
     #[must_use]
     pub fn written_vars(&self) -> Vec<Var> {
-        let mut out: Vec<Var> = self.ops.iter().flat_map(|op| op.writes().iter().copied()).collect();
+        let mut out: Vec<Var> = self
+            .ops
+            .iter()
+            .flat_map(|op| op.writes().iter().copied())
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -233,7 +240,10 @@ pub mod examples {
             .assign(y, Expr::read(y).add(Expr::constant(1)))
             .build()
             .expect("well-formed");
-        let j = Operation::builder(OpId(1)).assign(y, Expr::constant(0)).build().expect("well-formed");
+        let j = Operation::builder(OpId(1))
+            .assign(y, Expr::constant(0))
+            .build()
+            .expect("well-formed");
         History::new(vec![h, j]).expect("well-formed")
     }
 }
@@ -246,14 +256,20 @@ mod tests {
 
     #[test]
     fn misnumbered_history_rejected() {
-        let op = Operation::builder(OpId(5)).assign(Var(0), Expr::constant(1)).build().unwrap();
+        let op = Operation::builder(OpId(5))
+            .assign(Var(0), Expr::constant(1))
+            .build()
+            .unwrap();
         let err = History::new(vec![op]).unwrap_err();
         assert!(matches!(err, Error::MisnumberedHistory { position: 0, .. }));
     }
 
     #[test]
     fn renumbering_fixes_ids() {
-        let op = Operation::builder(OpId(5)).assign(Var(0), Expr::constant(1)).build().unwrap();
+        let op = Operation::builder(OpId(5))
+            .assign(Var(0), Expr::constant(1))
+            .build()
+            .unwrap();
         let h = History::renumbering(vec![op.clone(), op]);
         assert_eq!(h.op(OpId(0)).id(), OpId(0));
         assert_eq!(h.op(OpId(1)).id(), OpId(1));

@@ -34,10 +34,14 @@ impl InstallationGraph {
             if kinds.is_pure_write_read() {
                 removed.push((OpId(u as u32), OpId(v as u32)));
             } else {
-                dag.add_edge(u, v, kinds).expect("edges of a DAG remain valid");
+                dag.add_edge(u, v, kinds)
+                    .expect("edges of a DAG remain valid");
             }
         }
-        InstallationGraph { dag, removed_edges: removed }
+        InstallationGraph {
+            dag,
+            removed_edges: removed,
+        }
     }
 
     /// The underlying DAG.
@@ -119,12 +123,22 @@ mod tests {
 
     #[test]
     fn conflict_prefixes_are_installation_prefixes() {
-        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+        for h in [
+            scenario1(),
+            scenario2(),
+            scenario3(),
+            figure4(),
+            efg(),
+            hj(),
+        ] {
             let cg = ConflictGraph::generate(&h);
             let ig = InstallationGraph::from_conflict(&cg);
             cg.dag()
                 .for_each_prefix(10_000, |p| {
-                    assert!(ig.is_prefix(p), "conflict prefix {p:?} not an installation prefix");
+                    assert!(
+                        ig.is_prefix(p),
+                        "conflict prefix {p:?} not an installation prefix"
+                    );
                 })
                 .expect("small");
         }
@@ -132,7 +146,14 @@ mod tests {
 
     #[test]
     fn installation_graph_admits_at_least_as_many_prefixes() {
-        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+        for h in [
+            scenario1(),
+            scenario2(),
+            scenario3(),
+            figure4(),
+            efg(),
+            hj(),
+        ] {
             let cg = ConflictGraph::generate(&h);
             let ig = InstallationGraph::from_conflict(&cg);
             let nc = cg.dag().count_prefixes(10_000).unwrap();

@@ -90,7 +90,11 @@ pub fn recovery_invariant(
     }
     if let Some(var) = first_unexplained_var(cg, sg, &installed, state) {
         let expected = sg.state_determined_by(&installed).get(var);
-        return Err(InvariantViolation::Unexplained { var, expected, actual: state.get(var) });
+        return Err(InvariantViolation::Unexplained {
+            var,
+            expected,
+            actual: state.get(var),
+        });
     }
     Ok(())
 }
@@ -157,7 +161,13 @@ mod tests {
         let redo = NodeSet::from_indices(2, [0]);
         let state = State::from_pairs([(Var(1), Value(2))]);
         let err = recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &redo, &state).unwrap_err();
-        assert_eq!(err, InvariantViolation::NotAPrefix { op: OpId(1), missing_pred: OpId(0) });
+        assert_eq!(
+            err,
+            InvariantViolation::NotAPrefix {
+                op: OpId(1),
+                missing_pred: OpId(0)
+            }
+        );
     }
 
     #[test]
@@ -179,7 +189,11 @@ mod tests {
         let err = recovery_invariant(&c.cg, &c.ig, &c.sg, &c.log, &redo, &state).unwrap_err();
         assert_eq!(
             err,
-            InvariantViolation::Unexplained { var: Var(0), expected: Value(3), actual: Value(9) }
+            InvariantViolation::Unexplained {
+                var: Var(0),
+                expected: Value(3),
+                actual: Value(9)
+            }
         );
     }
 
@@ -195,9 +209,16 @@ mod tests {
 
     #[test]
     fn invariant_violation_displays() {
-        let v = InvariantViolation::NotAPrefix { op: OpId(1), missing_pred: OpId(0) };
+        let v = InvariantViolation::NotAPrefix {
+            op: OpId(1),
+            missing_pred: OpId(0),
+        };
         assert!(v.to_string().contains("op1"));
-        let v = InvariantViolation::Unexplained { var: Var(2), expected: Value(1), actual: Value(3) };
+        let v = InvariantViolation::Unexplained {
+            var: Var(2),
+            expected: Value(1),
+            actual: Value(3),
+        };
         assert!(v.to_string().contains("v2"));
     }
 }

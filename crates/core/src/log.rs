@@ -55,7 +55,10 @@ impl Log {
             records: history
                 .ids()
                 .enumerate()
-                .map(|(i, op)| LogRecord { lsn: Lsn(i as u64 + 1), op })
+                .map(|(i, op)| LogRecord {
+                    lsn: Lsn(i as u64 + 1),
+                    op,
+                })
                 .collect(),
         }
     }
@@ -69,7 +72,10 @@ impl Log {
             records: order
                 .iter()
                 .enumerate()
-                .map(|(i, &op)| LogRecord { lsn: Lsn(i as u64 + 1), op })
+                .map(|(i, &op)| LogRecord {
+                    lsn: Lsn(i as u64 + 1),
+                    op,
+                })
                 .collect(),
         }
     }
@@ -179,16 +185,28 @@ mod tests {
         // [B, A] is forced, but for an edgeless pair any order works.
         let h = scenario2();
         let cg = ConflictGraph::generate(&h);
-        Log::from_order(&[OpId(0), OpId(1)]).validate_against(&cg).unwrap();
-        let err = Log::from_order(&[OpId(1), OpId(0)]).validate_against(&cg).unwrap_err();
-        assert_eq!(err, Error::LogOrderViolation { before: OpId(0), after: OpId(1) });
+        Log::from_order(&[OpId(0), OpId(1)])
+            .validate_against(&cg)
+            .unwrap();
+        let err = Log::from_order(&[OpId(1), OpId(0)])
+            .validate_against(&cg)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::LogOrderViolation {
+                before: OpId(0),
+                after: OpId(1)
+            }
+        );
     }
 
     #[test]
     fn missing_and_duplicate_ops_rejected() {
         let h = figure4();
         let cg = ConflictGraph::generate(&h);
-        assert!(Log::from_order(&[OpId(0), OpId(1)]).validate_against(&cg).is_err());
+        assert!(Log::from_order(&[OpId(0), OpId(1)])
+            .validate_against(&cg)
+            .is_err());
         assert!(Log::from_order(&[OpId(0), OpId(0), OpId(2)])
             .validate_against(&cg)
             .is_err());

@@ -64,7 +64,11 @@ impl Operation {
     /// Starts building an operation with the given id.
     #[must_use]
     pub fn builder(id: OpId) -> OperationBuilder {
-        OperationBuilder { id, body: Vec::new(), extra_reads: BTreeSet::new() }
+        OperationBuilder {
+            id,
+            body: Vec::new(),
+            extra_reads: BTreeSet::new(),
+        }
     }
 
     /// The operation's identifier.
@@ -199,7 +203,12 @@ impl OperationBuilder {
             }
             a.expr.collect_reads(&mut reads);
         }
-        Ok(Operation { id: self.id, reads, writes, body: self.body })
+        Ok(Operation {
+            id: self.id,
+            reads,
+            writes,
+            body: self.body,
+        })
     }
 }
 
@@ -219,7 +228,10 @@ pub mod examples {
     /// `B: y ← 2` (Scenarios 1 and 2).
     #[must_use]
     pub fn op_b(id: OpId) -> Operation {
-        Operation::builder(id).assign(Var(1), Expr::constant(2)).build().expect("valid operation")
+        Operation::builder(id)
+            .assign(Var(1), Expr::constant(2))
+            .build()
+            .expect("valid operation")
     }
 
     /// `C: ⟨x ← x+1; y ← y+1⟩` (Scenario 3).

@@ -107,7 +107,13 @@ pub fn recover<A>(
         unrecovered.remove(record.op.index());
     }
 
-    RecoveryOutcome { state: cur, redo_set, skipped, checkpointed, iterations }
+    RecoveryOutcome {
+        state: cur,
+        redo_set,
+        skipped,
+        checkpointed,
+        iterations,
+    }
 }
 
 /// Runs [`recover`] and verifies the Recovery Corollary's inductive
@@ -164,9 +170,7 @@ pub fn recover_checked<A>(
                 redo_future.insert(op.index());
             }
         }
-        if let Err(v) =
-            recovery_invariant(cg, ig, sg, log, &redo_future, &snapshots[step])
-        {
+        if let Err(v) = recovery_invariant(cg, ig, sg, log, &redo_future, &snapshots[step]) {
             return Err(Error::InvariantViolated(format!(
                 "at iteration {step} of {}: {v}",
                 decisions.len()
@@ -174,6 +178,80 @@ pub fn recover_checked<A>(
         }
     }
     Ok(outcome)
+}
+
+/// The Figure 6 procedure with the replay phase parallelized per
+/// Theorem 3.
+///
+/// Runs in two passes. The *decision* pass walks the log in order,
+/// calling `analyze` and `redo` exactly as [`recover`] does but against
+/// the frozen crash state — the redo set is fixed up front. The *replay*
+/// pass then redoes that set with
+/// [`replay_parallel`](crate::schedule::replay_parallel): a level
+/// schedule of the conflict graph restricted to the redo set, executed
+/// on up to `threads` workers with per-step applicability checks.
+///
+/// Because the decision pass never applies operations, the redo test
+/// must not depend on the evolving state — it may consult the crash
+/// state, the log, and the analysis. Both standard tests qualify:
+/// [`redo_always`] and LSN-style comparisons against on-disk page tags.
+/// Theorem 3 is what makes the substitution sound: once the non-redone
+/// operations form an installation-graph prefix explaining the crash
+/// state, *any* conflict-consistent replay of the rest — including the
+/// parallel one — rebuilds the same state as Figure 6's sequential loop.
+///
+/// # Errors
+///
+/// [`Error::NotApplicable`] if a replayed operation would read a value
+/// differing from the original execution, i.e. the redo test chose a set
+/// whose complement does not explain the crash state.
+#[allow(clippy::too_many_arguments)] // mirrors Figure 6's recover() plus the executor knob
+pub fn recover_parallel<A>(
+    history: &History,
+    cg: &ConflictGraph,
+    sg: &StateGraph,
+    state: &State,
+    log: &Log,
+    checkpoint: &NodeSet,
+    mut analyze: impl FnMut(&State, &Log, &NodeSet, Option<A>) -> A,
+    mut redo: impl FnMut(&Operation, &State, &Log, &A) -> bool,
+    threads: usize,
+) -> Result<RecoveryOutcome> {
+    let n = history.len();
+    let mut unrecovered = log.operations(n);
+    unrecovered.difference_with(checkpoint);
+    let mut checkpointed = log.operations(n);
+    checkpointed.difference_with(&unrecovered);
+
+    let mut redo_set = NodeSet::new(n);
+    let mut skipped = NodeSet::new(n);
+    let mut analysis: Option<A> = None;
+    let mut iterations = 0usize;
+    for record in log.records() {
+        if !unrecovered.contains(record.op.index()) {
+            continue;
+        }
+        iterations += 1;
+        let a = analyze(state, log, &unrecovered, analysis.take());
+        let op = history.op(record.op);
+        if redo(op, state, log, &a) {
+            redo_set.insert(record.op.index());
+        } else {
+            skipped.insert(record.op.index());
+        }
+        analysis = Some(a);
+        unrecovered.remove(record.op.index());
+    }
+
+    let installed = redo_set.complement();
+    let rebuilt = crate::schedule::replay_parallel(history, cg, sg, &installed, state, threads)?;
+    Ok(RecoveryOutcome {
+        state: rebuilt,
+        redo_set,
+        skipped,
+        checkpointed,
+        iterations,
+    })
 }
 
 /// The trivial analysis function: returns the previous analysis, or `()`
@@ -321,6 +399,87 @@ mod tests {
     }
 
     #[test]
+    fn parallel_recover_matches_serial_figure6() {
+        for h in [scenario1(), scenario2(), scenario3(), figure4()] {
+            let c = ctx(h);
+            let serial = recover(
+                &c.h,
+                &State::zeroed(),
+                &c.log,
+                &NodeSet::new(c.h.len()),
+                analyze_noop,
+                redo_always,
+            );
+            for threads in [1, 2, 4] {
+                let parallel = recover_parallel(
+                    &c.h,
+                    &c.cg,
+                    &c.sg,
+                    &State::zeroed(),
+                    &c.log,
+                    &NodeSet::new(c.h.len()),
+                    analyze_noop,
+                    redo_always,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(parallel, serial);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_recover_with_checkpoint_and_lsn_test() {
+        // Same setup as lsn_style_redo_test_skips_installed_ops: only Q
+        // needs replay, and the parallel run agrees.
+        let c = ctx(figure4());
+        let installed = NodeSet::from_indices(3, [0, 1]);
+        let start = c.sg.state_determined_by(&installed);
+        let mut tags: BTreeMap<Var, Lsn> = BTreeMap::new();
+        tags.insert(Var(0), c.log.lsn_of(OpId(0)).unwrap());
+        tags.insert(Var(1), c.log.lsn_of(OpId(1)).unwrap());
+        let out = recover_parallel(
+            &c.h,
+            &c.cg,
+            &c.sg,
+            &start,
+            &c.log,
+            &NodeSet::new(3),
+            analyze_noop,
+            |op, _, log, ()| {
+                let lsn = log.lsn_of(op.id()).unwrap();
+                op.writes()
+                    .iter()
+                    .any(|x| tags.get(x).copied().unwrap_or(Lsn::ZERO) < lsn)
+            },
+            4,
+        )
+        .unwrap();
+        assert_eq!(out.state, c.sg.final_state());
+        assert_eq!(out.redo_set, NodeSet::from_indices(3, [2]));
+        assert_eq!(out.skipped, NodeSet::from_indices(3, [0, 1]));
+
+        // A checkpoint covering O excludes it from examination entirely.
+        let ckpt = NodeSet::from_indices(3, [0]);
+        let start = c.sg.state_determined_by(&ckpt);
+        let out = recover_parallel(
+            &c.h,
+            &c.cg,
+            &c.sg,
+            &start,
+            &c.log,
+            &ckpt,
+            analyze_noop,
+            redo_always,
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.state, c.sg.final_state());
+        assert_eq!(out.iterations, 2);
+        assert_eq!(out.checkpointed, ckpt);
+    }
+
+    #[test]
     fn analysis_runs_every_iteration_and_threads_state() {
         let c = ctx(figure4());
         let mut calls = 0;
@@ -343,7 +502,14 @@ mod tests {
     fn empty_log_recovers_immediately() {
         let h = History::new(vec![]).unwrap();
         let log = Log::from_order(&[]);
-        let out = recover(&h, &State::zeroed(), &log, &NodeSet::new(0), analyze_noop, redo_always);
+        let out = recover(
+            &h,
+            &State::zeroed(),
+            &log,
+            &NodeSet::new(0),
+            analyze_noop,
+            redo_always,
+        );
         assert_eq!(out.iterations, 0);
         assert_eq!(out.state, State::zeroed());
     }

@@ -10,7 +10,7 @@
 //! comes.
 
 use crate::conflict::ConflictGraph;
-use crate::error::{Error, Result};
+use crate::error::{CoverageFault, Error, Result};
 use crate::graph::NodeSet;
 use crate::history::History;
 use crate::op::{OpId, Operation};
@@ -30,7 +30,10 @@ pub fn is_applicable(sg: &StateGraph, op: &Operation, state: &State) -> bool {
 pub fn check_applicable(sg: &StateGraph, op: &Operation, state: &State) -> Result<()> {
     for (&x, &v) in sg.read_values_of(op.id()) {
         if state.get(x) != v {
-            return Err(Error::NotApplicable { op: op.id(), var: x });
+            return Err(Error::NotApplicable {
+                op: op.id(),
+                var: x,
+            });
         }
     }
     Ok(())
@@ -105,7 +108,10 @@ pub fn exists_recovery_subset(
     state: &State,
 ) -> Option<NodeSet> {
     let n = history.len();
-    assert!(n <= 20, "exists_recovery_subset is exponential; got {n} operations");
+    assert!(
+        n <= 20,
+        "exists_recovery_subset is exponential; got {n} operations"
+    );
     let target = sg.final_state();
     for mask in 0..(1u64 << n) {
         let subset = NodeSet::from_indices(n, (0..n).filter(|i| mask >> i & 1 == 1));
@@ -131,14 +137,28 @@ pub fn replay_uninstalled_in_order(
     // Order must cover exactly the uninstalled set.
     let mut seen = NodeSet::new(history.len());
     for &id in order {
-        if history.get(id).is_none() || installed.contains(id.index()) || !seen.insert(id.index())
-        {
+        if history.get(id).is_none() {
             return Err(Error::NoSuchOp(id));
+        }
+        if installed.contains(id.index()) {
+            return Err(Error::OrderCoverageMismatch {
+                op: id,
+                fault: CoverageFault::Installed,
+            });
+        }
+        if !seen.insert(id.index()) {
+            return Err(Error::OrderCoverageMismatch {
+                op: id,
+                fault: CoverageFault::Duplicated,
+            });
         }
     }
     let expected = installed.complement();
-    if seen != expected {
-        return Err(Error::NoSuchOp(OpId(0)));
+    if let Some(missing) = expected.iter().find(|&i| !seen.contains(i)) {
+        return Err(Error::OrderCoverageMismatch {
+            op: OpId(missing as u32),
+            fault: CoverageFault::Missing,
+        });
     }
     // Every conflict edge between two uninstalled ops must go forward.
     let mut pos = vec![usize::MAX; history.len()];
@@ -147,7 +167,10 @@ pub fn replay_uninstalled_in_order(
     }
     for (u, v, _) in cg.dag().edges() {
         if pos[u] != usize::MAX && pos[v] != usize::MAX && pos[u] > pos[v] {
-            return Err(Error::LogOrderViolation { before: OpId(u as u32), after: OpId(v as u32) });
+            return Err(Error::LogOrderViolation {
+                before: OpId(u as u32),
+                after: OpId(v as u32),
+            });
         }
     }
     let mut cur = state.clone();
@@ -178,7 +201,14 @@ mod tests {
     fn theorem3_on_all_examples() {
         // Every state determined by an installation prefix is potentially
         // recoverable via strict replay.
-        for h in [scenario1(), scenario2(), scenario3(), figure4(), efg(), hj()] {
+        for h in [
+            scenario1(),
+            scenario2(),
+            scenario3(),
+            figure4(),
+            efg(),
+            hj(),
+        ] {
             let (cg, ig, sg) = setup(&h);
             ig.dag()
                 .for_each_prefix(1_000, |p| {
@@ -246,7 +276,13 @@ mod tests {
         // originally read.
         let bad = State::from_pairs([(Var(1), Value(2))]);
         let err = replay_uninstalled(&h, &sg, &NodeSet::new(2), &bad).unwrap_err();
-        assert_eq!(err, Error::NotApplicable { op: OpId(0), var: Var(1) });
+        assert_eq!(
+            err,
+            Error::NotApplicable {
+                op: OpId(0),
+                var: Var(1)
+            }
+        );
     }
 
     #[test]
@@ -266,13 +302,40 @@ mod tests {
 
     #[test]
     fn replay_order_must_cover_uninstalled_exactly() {
+        use crate::error::CoverageFault;
         let h = hj();
         let (cg, _ig, sg) = setup(&h);
         let none = NodeSet::new(2);
         let s0 = State::zeroed();
-        assert!(replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(0)], &s0).is_err());
-        assert!(
-            replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(0), OpId(0)], &s0).is_err()
+        // Missing op: reported as such, not as a bogus NoSuchOp(OpId(0)).
+        assert_eq!(
+            replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(0)], &s0).unwrap_err(),
+            Error::OrderCoverageMismatch {
+                op: OpId(1),
+                fault: CoverageFault::Missing
+            }
+        );
+        assert_eq!(
+            replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(0), OpId(0)], &s0).unwrap_err(),
+            Error::OrderCoverageMismatch {
+                op: OpId(0),
+                fault: CoverageFault::Duplicated
+            }
+        );
+        // Replaying an installed op is a coverage fault too.
+        let h_installed = NodeSet::from_indices(2, [0]);
+        assert_eq!(
+            replay_uninstalled_in_order(&h, &cg, &sg, &h_installed, &[OpId(0), OpId(1)], &s0)
+                .unwrap_err(),
+            Error::OrderCoverageMismatch {
+                op: OpId(0),
+                fault: CoverageFault::Installed
+            }
+        );
+        // A genuinely unknown id still reports NoSuchOp.
+        assert_eq!(
+            replay_uninstalled_in_order(&h, &cg, &sg, &none, &[OpId(7), OpId(1)], &s0).unwrap_err(),
+            Error::NoSuchOp(OpId(7))
         );
     }
 

@@ -1,0 +1,650 @@
+//! Parallel redo scheduling, the executable content of Theorem 3.
+//!
+//! Theorem 3 licenses more than sequential replay: starting from a state
+//! explained by an installation-graph prefix σ, replaying the operations
+//! outside σ in *any* order consistent with the conflict graph reaches
+//! the final state. The conflict graph restricted to the uninstalled set
+//! is therefore a dependency DAG for redo, and any two operations with no
+//! path between them may run *concurrently* — they conflict on no
+//! variable (see the soundness argument below), so neither can observe
+//! or clobber the other.
+//!
+//! This module turns that observation into machinery:
+//!
+//! * [`RedoSchedule::plan`] computes a level (antichain) schedule of the
+//!   uninstalled restriction by longest-path layering: level 0 holds the
+//!   minimal uninstalled operations, level `k+1` the operations whose
+//!   deepest uninstalled predecessor sits at level `k`. All operations
+//!   within one level are pairwise non-adjacent in the restricted graph.
+//! * [`RedoSchedule::validate`] checks a schedule's legality against an
+//!   installed set: exact coverage of the uninstalled operations
+//!   (reported via [`Error::OrderCoverageMismatch`]), every conflict edge
+//!   within the uninstalled set going strictly forward in level order,
+//!   and no two same-level operations sharing a variable one of them
+//!   writes (both reported via [`Error::LogOrderViolation`]).
+//! * [`RedoSchedule::components`] and [`RedoSchedule::partition_by_var`]
+//!   expose the partition views: connected components of the restricted
+//!   graph can be replayed with no synchronization at all, and when every
+//!   uninstalled operation touches a single variable (the
+//!   page-partitioned case of §6 — a "variable" is a page, an operation
+//!   a page update), the components collapse to per-variable queues.
+//!   That degenerate shape is why real systems can partition a redo log
+//!   by page id and replay the partitions on independent threads.
+//! * [`replay_parallel`] executes the planned schedule level by level on
+//!   worker threads, verifying applicability per step exactly as
+//!   [`replay_uninstalled`](crate::replay::replay_uninstalled) does;
+//!   [`replay_parallel_checked`] additionally replays sequentially and
+//!   insists on state equality.
+//!
+//! # Why level-parallel execution is sound
+//!
+//! Workers evaluate every operation of a level against the *frozen*
+//! level-start state and the writes are applied only after the level
+//! completes. This is equivalent to running the level's operations in
+//! any serial order provided no two of them conflict. For a legal
+//! installation-graph prefix that holds automatically: the installation
+//! graph keeps every write-write edge, so the uninstalled writers of any
+//! variable form a contiguous *suffix* of that variable's writer chain —
+//! an installed writer implies all earlier writers are installed. Hence
+//! any two uninstalled operations conflicting on `x` are linked by a
+//! path of conflict edges that stays inside the uninstalled set, which
+//! forces them onto different levels. [`RedoSchedule::validate`] checks
+//! the no-same-level-conflict property explicitly anyway, so execution
+//! is deterministic even for installed sets that are not legal prefixes.
+
+use std::collections::BTreeMap;
+
+use crate::conflict::ConflictGraph;
+use crate::error::{CoverageFault, Error, Result};
+use crate::graph::NodeSet;
+use crate::history::History;
+use crate::op::OpId;
+use crate::replay::{check_applicable, replay_uninstalled};
+use crate::state::{State, Value, Var};
+use crate::state_graph::StateGraph;
+
+/// A level (antichain) schedule of the conflict graph restricted to the
+/// uninstalled operations.
+///
+/// Level `k` may only run once levels `0..k` have been applied; the
+/// operations *within* a level are mutually independent and may run
+/// concurrently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoSchedule {
+    levels: Vec<Vec<OpId>>,
+}
+
+impl RedoSchedule {
+    /// Plans the schedule for redoing the complement of `installed`:
+    /// longest-path layering of the conflict graph restricted to the
+    /// uninstalled set.
+    ///
+    /// The result is legal by construction
+    /// ([`RedoSchedule::validate`] accepts it) and has minimal depth
+    /// among level schedules: `depth()` equals the longest chain of
+    /// conflict edges through uninstalled operations.
+    #[must_use]
+    pub fn plan(cg: &ConflictGraph, installed: &NodeSet) -> RedoSchedule {
+        let n = cg.len();
+        let order = cg
+            .dag()
+            .topo_order()
+            .expect("conflict graphs are acyclic by construction");
+        let mut level = vec![0usize; n];
+        let mut levels: Vec<Vec<OpId>> = Vec::new();
+        for &v in &order {
+            if installed.contains(v) {
+                continue;
+            }
+            let depth = cg
+                .dag()
+                .predecessors(v)
+                .filter(|&(p, _)| !installed.contains(p))
+                .map(|(p, _)| level[p] + 1)
+                .max()
+                .unwrap_or(0);
+            level[v] = depth;
+            if levels.len() <= depth {
+                levels.resize(depth + 1, Vec::new());
+            }
+            levels[depth].push(OpId(v as u32));
+        }
+        // Topological order with ascending tie-break means each level is
+        // already sorted by op id; keep that as the canonical form.
+        RedoSchedule { levels }
+    }
+
+    /// Builds a schedule from explicit levels, e.g. to probe
+    /// [`RedoSchedule::validate`] with deliberately illegal shapes.
+    #[must_use]
+    pub fn from_levels(levels: Vec<Vec<OpId>>) -> RedoSchedule {
+        RedoSchedule { levels }
+    }
+
+    /// The levels, outermost first.
+    #[must_use]
+    pub fn levels(&self) -> &[Vec<OpId>] {
+        &self.levels
+    }
+
+    /// The schedule flattened to a single replay order (levels in
+    /// sequence, each level in ascending op order) — a linear extension
+    /// of the restricted conflict graph, suitable for
+    /// [`replay_uninstalled_in_order`](crate::replay::replay_uninstalled_in_order).
+    #[must_use]
+    pub fn order(&self) -> Vec<OpId> {
+        self.levels.iter().flatten().copied().collect()
+    }
+
+    /// Total number of scheduled operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Is the schedule empty (nothing to redo)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(Vec::is_empty)
+    }
+
+    /// Number of levels — the critical-path length of redo.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Size of the widest level — the maximum exploitable parallelism.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Checks the schedule's legality for redoing the complement of
+    /// `installed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoSuchOp`] — the schedule names an id outside the
+    ///   graph.
+    /// * [`Error::OrderCoverageMismatch`] — the schedule misses an
+    ///   uninstalled operation, names an installed one, or names an
+    ///   operation twice (Theorem 3 replays all uninstalled operations,
+    ///   each once, and nothing else).
+    /// * [`Error::LogOrderViolation`] — a conflict edge within the
+    ///   uninstalled set does not go strictly forward in level order, or
+    ///   two same-level operations share a variable one of them writes
+    ///   (they would race instead of being ordered).
+    pub fn validate(&self, cg: &ConflictGraph, installed: &NodeSet) -> Result<()> {
+        let n = cg.len();
+        let mut level_of = vec![usize::MAX; n];
+        let mut seen = NodeSet::new(n);
+        for (depth, level) in self.levels.iter().enumerate() {
+            for &id in level {
+                if id.index() >= n {
+                    return Err(Error::NoSuchOp(id));
+                }
+                if installed.contains(id.index()) {
+                    return Err(Error::OrderCoverageMismatch {
+                        op: id,
+                        fault: CoverageFault::Installed,
+                    });
+                }
+                if !seen.insert(id.index()) {
+                    return Err(Error::OrderCoverageMismatch {
+                        op: id,
+                        fault: CoverageFault::Duplicated,
+                    });
+                }
+                level_of[id.index()] = depth;
+            }
+        }
+        let expected = installed.complement();
+        if let Some(missing) = expected.iter().find(|&i| !seen.contains(i)) {
+            return Err(Error::OrderCoverageMismatch {
+                op: OpId(missing as u32),
+                fault: CoverageFault::Missing,
+            });
+        }
+        // Every conflict edge inside the uninstalled set must go strictly
+        // forward in level order.
+        for (u, v, _) in cg.dag().edges() {
+            if level_of[u] != usize::MAX && level_of[v] != usize::MAX && level_of[u] >= level_of[v]
+            {
+                return Err(Error::LogOrderViolation {
+                    before: OpId(u as u32),
+                    after: OpId(v as u32),
+                });
+            }
+        }
+        // No two same-level operations may share a variable one of them
+        // writes: concurrent execution would race where the conflict
+        // graph demands an order. (Automatic for installation-graph
+        // prefixes; checked so arbitrary installed sets stay safe.)
+        for level in &self.levels {
+            let mut writer: BTreeMap<Var, OpId> = BTreeMap::new();
+            for &id in level {
+                for &x in cg.writes_of(id) {
+                    if let Some(&other) = writer.get(&x) {
+                        return Err(Error::LogOrderViolation {
+                            before: other,
+                            after: id,
+                        });
+                    }
+                    writer.insert(x, id);
+                }
+            }
+            for &id in level {
+                for &x in cg.reads_of(id) {
+                    if let Some(&w) = writer.get(&x) {
+                        if w != id {
+                            return Err(Error::LogOrderViolation {
+                                before: w,
+                                after: id,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The connected components of the restricted conflict graph, each
+    /// listed in schedule order. Components share no variable, so they
+    /// can be replayed on independent workers with no cross-component
+    /// synchronization whatsoever — the general form of partitioned
+    /// redo.
+    #[must_use]
+    pub fn components(&self, cg: &ConflictGraph) -> Vec<Vec<OpId>> {
+        let n = cg.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut scheduled = NodeSet::new(n);
+        for &id in self.levels.iter().flatten() {
+            scheduled.insert(id.index());
+        }
+        let mut next = 0usize;
+        for &seed in self.levels.iter().flatten() {
+            if comp[seed.index()] != usize::MAX {
+                continue;
+            }
+            comp[seed.index()] = next;
+            let mut stack = vec![seed.index()];
+            while let Some(u) = stack.pop() {
+                let nbrs = cg
+                    .dag()
+                    .successors(u)
+                    .chain(cg.dag().predecessors(u))
+                    .map(|(v, _)| v)
+                    .collect::<Vec<_>>();
+                for v in nbrs {
+                    if scheduled.contains(v) && comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        let mut out = vec![Vec::new(); next];
+        for &id in self.levels.iter().flatten() {
+            out[comp[id.index()]].push(id);
+        }
+        out
+    }
+
+    /// The per-variable partition view for the page-partitioned case.
+    ///
+    /// Returns `Some` exactly when every scheduled operation accesses a
+    /// single variable — then each component of
+    /// [`RedoSchedule::components`] lives on one variable, and the map
+    /// sends that variable (page) to its operations in schedule order
+    /// (which, by Lemma 1, is their log order). This is the shape §6's
+    /// physical and physiological methods exploit: LSN order only
+    /// matters within a page, so a stable log can be split by page id
+    /// and the partitions redone concurrently. Returns `None` when some
+    /// operation spans variables, in which case only the coarser
+    /// component partition is safe.
+    #[must_use]
+    pub fn partition_by_var(&self, cg: &ConflictGraph) -> Option<BTreeMap<Var, Vec<OpId>>> {
+        let mut out: BTreeMap<Var, Vec<OpId>> = BTreeMap::new();
+        for &id in self.levels.iter().flatten() {
+            let mut accessed = cg
+                .reads_of(id)
+                .union(cg.writes_of(id))
+                .copied()
+                .collect::<Vec<_>>();
+            accessed.dedup();
+            match accessed.as_slice() {
+                &[x] => out.entry(x).or_default().push(id),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+fn apply_level(
+    history: &History,
+    sg: &StateGraph,
+    level: &[OpId],
+    cur: &mut State,
+    threads: usize,
+) -> Result<()> {
+    // Small levels (or a serial executor) run inline: spawning threads
+    // for a handful of expression evaluations costs more than it saves.
+    if threads <= 1 || level.len() <= 1 {
+        for &id in level {
+            let op = history.op(id);
+            check_applicable(sg, op, cur)?;
+            op.apply(cur);
+        }
+        return Ok(());
+    }
+    // Freeze the level-start state; workers verify applicability and
+    // compute outputs against it, the main thread applies the writes
+    // after the join. Sound because validate() guarantees same-level
+    // operations share no written variable.
+    let frozen: &State = cur;
+    let chunk = level.len().div_ceil(threads);
+    let results: Result<Vec<Vec<(Var, Value)>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = level
+            .chunks(chunk)
+            .map(|ids| {
+                s.spawn(move || -> Result<Vec<(Var, Value)>> {
+                    let mut writes = Vec::new();
+                    for &id in ids {
+                        let op = history.op(id);
+                        check_applicable(sg, op, frozen)?;
+                        writes.extend(op.outputs(frozen));
+                    }
+                    Ok(writes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("redo worker panicked"))
+            .collect()
+    });
+    for (x, v) in results?.into_iter().flatten() {
+        cur.set(x, v);
+    }
+    Ok(())
+}
+
+/// Executes an explicit schedule against `state` on up to `threads`
+/// worker threads, after checking its legality.
+///
+/// # Errors
+///
+/// Everything [`RedoSchedule::validate`] reports, plus
+/// [`Error::NotApplicable`] if a replayed operation would read a value
+/// differing from the original execution.
+pub fn replay_schedule(
+    history: &History,
+    cg: &ConflictGraph,
+    sg: &StateGraph,
+    installed: &NodeSet,
+    schedule: &RedoSchedule,
+    state: &State,
+    threads: usize,
+) -> Result<State> {
+    schedule.validate(cg, installed)?;
+    let mut cur = state.clone();
+    for level in schedule.levels() {
+        apply_level(history, sg, level, &mut cur, threads)?;
+    }
+    Ok(cur)
+}
+
+/// Plans and executes the level schedule for the complement of
+/// `installed` on up to `threads` worker threads: the parallel
+/// counterpart of [`replay_uninstalled`].
+///
+/// By Theorem 3, when `installed` is an installation-graph prefix and
+/// `state` is explained by it, the result equals the sequential replay
+/// (and the history's final state), with every step applicable.
+///
+/// # Errors
+///
+/// [`Error::NotApplicable`] if some operation would read a value
+/// differing from the original execution — the signature of an
+/// unexplainable starting state. Schedule-legality errors cannot occur
+/// for a planned schedule.
+pub fn replay_parallel(
+    history: &History,
+    cg: &ConflictGraph,
+    sg: &StateGraph,
+    installed: &NodeSet,
+    state: &State,
+    threads: usize,
+) -> Result<State> {
+    let schedule = RedoSchedule::plan(cg, installed);
+    replay_schedule(history, cg, sg, installed, &schedule, state, threads)
+}
+
+/// [`replay_parallel`], differentially checked: also replays
+/// sequentially via [`replay_uninstalled`] and insists the two agree.
+///
+/// # Errors
+///
+/// As [`replay_parallel`], plus [`Error::InvariantViolated`] if the
+/// parallel and sequential replays disagree — which Theorem 3 says
+/// cannot happen from an explained state, so any such report is a bug in
+/// the scheduler (or a misuse with an illegal installed set).
+pub fn replay_parallel_checked(
+    history: &History,
+    cg: &ConflictGraph,
+    sg: &StateGraph,
+    installed: &NodeSet,
+    state: &State,
+    threads: usize,
+) -> Result<State> {
+    let parallel = replay_parallel(history, cg, sg, installed, state, threads)?;
+    let serial = replay_uninstalled(history, sg, installed, state)?;
+    if parallel != serial {
+        return Err(Error::InvariantViolated(format!(
+            "parallel replay diverged from sequential replay: {parallel:?} vs {serial:?}"
+        )));
+    }
+    Ok(parallel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::history::examples::{efg, figure4, hj, scenario1, scenario2, scenario3};
+    use crate::installation::InstallationGraph;
+    use crate::op::Operation;
+    use crate::replay::replay_uninstalled_in_order;
+
+    fn setup(h: &History) -> (ConflictGraph, InstallationGraph, StateGraph) {
+        let cg = ConflictGraph::generate(h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(h, &cg, &State::zeroed());
+        (cg, ig, sg)
+    }
+
+    #[test]
+    fn planned_schedules_validate_and_flatten_to_linear_extensions() {
+        for h in [
+            scenario1(),
+            scenario2(),
+            scenario3(),
+            figure4(),
+            efg(),
+            hj(),
+        ] {
+            let (cg, ig, sg) = setup(&h);
+            ig.dag()
+                .for_each_prefix(1_000, |p| {
+                    let schedule = RedoSchedule::plan(&cg, p);
+                    schedule.validate(&cg, p).unwrap();
+                    assert_eq!(schedule.len(), h.len() - p.count());
+                    let s = sg.state_determined_by(p);
+                    let via_order =
+                        replay_uninstalled_in_order(&h, &cg, &sg, p, &schedule.order(), &s)
+                            .unwrap();
+                    assert_eq!(via_order, sg.final_state());
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_on_all_prefixes() {
+        for h in [
+            scenario1(),
+            scenario2(),
+            scenario3(),
+            figure4(),
+            efg(),
+            hj(),
+        ] {
+            let (cg, ig, sg) = setup(&h);
+            for threads in [1, 2, 4] {
+                ig.dag()
+                    .for_each_prefix(1_000, |p| {
+                        let s = sg.state_determined_by(p);
+                        let out = replay_parallel_checked(&h, &cg, &sg, p, &s, threads).unwrap();
+                        assert_eq!(out, sg.final_state());
+                    })
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_width_of_chain_and_antichain() {
+        // hj is a two-op chain (both touch y): depth 2, width 1, one
+        // component.
+        let h = hj();
+        let (cg, _ig, _sg) = setup(&h);
+        let schedule = RedoSchedule::plan(&cg, &NodeSet::new(h.len()));
+        assert_eq!(schedule.depth(), 2);
+        assert_eq!(schedule.width(), 1);
+        assert_eq!(schedule.components(&cg).len(), 1);
+
+        // Two ops on disjoint variables: depth 1, width 2, two
+        // components.
+        let h = History::new(vec![
+            Operation::builder(OpId(0))
+                .assign(Var(0), Expr::constant(1))
+                .build()
+                .unwrap(),
+            Operation::builder(OpId(1))
+                .assign(Var(1), Expr::constant(2))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let (cg, _ig, _sg) = setup(&h);
+        let schedule = RedoSchedule::plan(&cg, &NodeSet::new(h.len()));
+        assert_eq!(schedule.depth(), 1);
+        assert_eq!(schedule.width(), 2);
+        assert_eq!(schedule.components(&cg).len(), 2);
+    }
+
+    #[test]
+    fn reversed_conflict_edge_is_rejected() {
+        let h = hj(); // H -> J
+        let (cg, _ig, _sg) = setup(&h);
+        let none = NodeSet::new(h.len());
+        let bad = RedoSchedule::from_levels(vec![vec![OpId(1)], vec![OpId(0)]]);
+        assert_eq!(
+            bad.validate(&cg, &none),
+            Err(Error::LogOrderViolation {
+                before: OpId(0),
+                after: OpId(1)
+            })
+        );
+        // Collapsing the chain into one level races on the shared
+        // variable and is equally illegal.
+        let flat = RedoSchedule::from_levels(vec![vec![OpId(0), OpId(1)]]);
+        assert_eq!(
+            flat.validate(&cg, &none),
+            Err(Error::LogOrderViolation {
+                before: OpId(0),
+                after: OpId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn coverage_faults_are_reported() {
+        let h = hj();
+        let (cg, _ig, _sg) = setup(&h);
+        let none = NodeSet::new(h.len());
+        let missing = RedoSchedule::from_levels(vec![vec![OpId(0)]]);
+        assert_eq!(
+            missing.validate(&cg, &none),
+            Err(Error::OrderCoverageMismatch {
+                op: OpId(1),
+                fault: CoverageFault::Missing
+            })
+        );
+        let duplicated =
+            RedoSchedule::from_levels(vec![vec![OpId(0)], vec![OpId(0)], vec![OpId(1)]]);
+        assert_eq!(
+            duplicated.validate(&cg, &none),
+            Err(Error::OrderCoverageMismatch {
+                op: OpId(0),
+                fault: CoverageFault::Duplicated
+            })
+        );
+        let installed = NodeSet::from_indices(h.len(), [0]);
+        let stale = RedoSchedule::from_levels(vec![vec![OpId(0)], vec![OpId(1)]]);
+        assert_eq!(
+            stale.validate(&cg, &installed),
+            Err(Error::OrderCoverageMismatch {
+                op: OpId(0),
+                fault: CoverageFault::Installed
+            })
+        );
+        let unknown = RedoSchedule::from_levels(vec![vec![OpId(7)]]);
+        assert_eq!(unknown.validate(&cg, &none), Err(Error::NoSuchOp(OpId(7))));
+    }
+
+    #[test]
+    fn single_variable_histories_partition_by_var() {
+        // Page-shaped history: every op reads and writes one variable.
+        // Two increments of Var(0), one of Var(1): two partitions, each
+        // in schedule (= log) order.
+        let incr = |id: u32, x: Var| {
+            Operation::builder(OpId(id))
+                .assign(x, Expr::read(x).add(Expr::constant(1)))
+                .build()
+                .unwrap()
+        };
+        let h = History::new(vec![incr(0, Var(0)), incr(1, Var(1)), incr(2, Var(0))]).unwrap();
+        let (cg, _ig, _sg) = setup(&h);
+        let schedule = RedoSchedule::plan(&cg, &NodeSet::new(h.len()));
+        let parts = schedule.partition_by_var(&cg).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[&Var(0)], vec![OpId(0), OpId(2)]);
+        assert_eq!(parts[&Var(1)], vec![OpId(1)]);
+
+        // scenario2: A reads y and writes x — spans two variables.
+        let h = scenario2();
+        let (cg, _ig, _sg) = setup(&h);
+        let schedule = RedoSchedule::plan(&cg, &NodeSet::new(h.len()));
+        assert!(schedule.partition_by_var(&cg).is_none());
+    }
+
+    #[test]
+    fn inapplicable_state_detected_in_parallel() {
+        let h = scenario1();
+        let (cg, _ig, sg) = setup(&h);
+        let bad = State::from_pairs([(Var(1), Value(2))]);
+        let err = replay_parallel(&h, &cg, &sg, &NodeSet::new(2), &bad, 4).unwrap_err();
+        assert_eq!(
+            err,
+            Error::NotApplicable {
+                op: OpId(0),
+                var: Var(1)
+            }
+        );
+    }
+}

@@ -89,13 +89,19 @@ impl State {
     /// the paper's examples.
     #[must_use]
     pub fn zeroed() -> State {
-        State { map: BTreeMap::new(), default: Value(0) }
+        State {
+            map: BTreeMap::new(),
+            default: Value(0),
+        }
     }
 
     /// A state mapping every variable to `default`.
     #[must_use]
     pub fn with_default(default: Value) -> State {
-        State { map: BTreeMap::new(), default }
+        State {
+            map: BTreeMap::new(),
+            default,
+        }
     }
 
     /// Builds a state from explicit pairs (remaining variables take the

@@ -65,8 +65,7 @@ pub fn installation_dot(history: &History, ig: &InstallationGraph) -> String {
 /// node, installed nodes shaded (Figures 7 and 8).
 #[must_use]
 pub fn write_graph_dot(wg: &WriteGraph) -> String {
-    let mut out =
-        String::from("digraph write_graph {\n  rankdir=LR;\n  node [shape=record];\n");
+    let mut out = String::from("digraph write_graph {\n  rankdir=LR;\n  node [shape=record];\n");
     for n in wg.live_nodes() {
         let ops: Vec<String> = wg
             .ops_of(n)
@@ -85,8 +84,16 @@ pub fn write_graph_dot(wg: &WriteGraph) -> String {
             "  n{} [label=\"{{{} | {}}}\"{}];",
             n.0,
             ops.join(", "),
-            if writes.is_empty() { "(no writes)".to_string() } else { writes.join(", ") },
-            if installed { ", style=filled, fillcolor=lightgray" } else { "" }
+            if writes.is_empty() {
+                "(no writes)".to_string()
+            } else {
+                writes.join(", ")
+            },
+            if installed {
+                ", style=filled, fillcolor=lightgray"
+            } else {
+                ""
+            }
         );
     }
     for n in wg.live_nodes() {

@@ -166,7 +166,12 @@ impl WriteGraph {
 
     /// The winning writes of a node, as `(var, value)` pairs.
     pub fn writes_of(&self, n: WgNodeId) -> Result<Vec<(Var, Value)>> {
-        Ok(self.live(n)?.writes.iter().map(|(&x, &(v, _))| (x, v)).collect())
+        Ok(self
+            .live(n)?
+            .writes
+            .iter()
+            .map(|(&x, &(v, _))| (x, v))
+            .collect())
     }
 
     /// Is the node installed?
@@ -223,7 +228,10 @@ impl WriteGraph {
         for &p in &self.pred[n.0] {
             let pn = self.nodes[p].as_ref().expect("edges only join live nodes");
             if !pn.installed {
-                return Err(Error::PredecessorNotInstalled { node: n.0, predecessor: p });
+                return Err(Error::PredecessorNotInstalled {
+                    node: n.0,
+                    predecessor: p,
+                });
             }
         }
         self.nodes[n.0].as_mut().expect("checked live").installed = true;
@@ -318,9 +326,7 @@ impl WriteGraph {
         for &m in &set {
             if merged_installed {
                 for &p in &self.pred[m] {
-                    if !set.contains(&p)
-                        && !self.nodes[p].as_ref().expect("live").installed
-                    {
+                    if !set.contains(&p) && !self.nodes[p].as_ref().expect("live").installed {
                         return Err(Error::PredecessorNotInstalled {
                             node: m,
                             predecessor: p,
@@ -329,9 +335,11 @@ impl WriteGraph {
                 }
             } else {
                 for &q in &self.succ[m] {
-                    if !set.contains(&q) && self.nodes[q].as_ref().expect("live").installed
-                    {
-                        return Err(Error::PredecessorNotInstalled { node: q, predecessor: m });
+                    if !set.contains(&q) && self.nodes[q].as_ref().expect("live").installed {
+                        return Err(Error::PredecessorNotInstalled {
+                            node: q,
+                            predecessor: m,
+                        });
                     }
                 }
             }
@@ -354,7 +362,10 @@ impl WriteGraph {
                         // graph; its writer chain gives the order.
                         let chain = self.sg.writers_of(x);
                         let pos = |op: OpId| {
-                            chain.iter().position(|&w| w == op.index()).unwrap_or(usize::MAX)
+                            chain
+                                .iter()
+                                .position(|&w| w == op.index())
+                                .unwrap_or(usize::MAX)
                         };
                         if pos(producer) > pos(incumbent) {
                             writes.insert(x, (v, producer));
@@ -363,7 +374,11 @@ impl WriteGraph {
                 }
             }
         }
-        self.nodes.push(Some(WgNode { ops: ops.clone(), writes, installed: merged_installed }));
+        self.nodes.push(Some(WgNode {
+            ops: ops.clone(),
+            writes,
+            installed: merged_installed,
+        }));
         self.succ.push(BTreeSet::new());
         self.pred.push(BTreeSet::new());
         // Rewire edges.
@@ -426,7 +441,9 @@ impl WriteGraph {
                 if n_ops.contains(&op) {
                     continue;
                 }
-                if self.cg.reads_of(op).contains(&x) && !mn.installed && !(m != n && self.reaches(m, n))
+                if self.cg.reads_of(op).contains(&x)
+                    && !mn.installed
+                    && !(m != n && self.reaches(m, n))
                 {
                     return Err(Error::WriteStillNeeded { var: x, reader: op });
                 }
@@ -488,7 +505,9 @@ impl WriteGraph {
 
     fn installed_prefix_violation(&self) -> Option<(usize, usize)> {
         for v in 0..self.nodes.len() {
-            let Some(node) = self.nodes[v].as_ref() else { continue };
+            let Some(node) = self.nodes[v].as_ref() else {
+                continue;
+            };
             if !node.installed {
                 continue;
             }
@@ -586,7 +605,12 @@ impl fmt::Debug for WriteGraph {
         writeln!(f, "WriteGraph")?;
         for n in self.live_nodes() {
             let node = self.live(n).expect("live");
-            write!(f, "  {n:?}{}: ops {:?}, writes {{", if node.installed { "*" } else { "" }, node.ops)?;
+            write!(
+                f,
+                "  {n:?}{}: ops {:?}, writes {{",
+                if node.installed { "*" } else { "" },
+                node.ops
+            )?;
             for (i, (x, (v, p))) in node.writes.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
@@ -637,7 +661,10 @@ mod tests {
         let mut c = ctx(figure4());
         // Q's predecessors O and P are uninstalled.
         let err = c.wg.install(WgNodeId(2)).unwrap_err();
-        assert!(matches!(err, Error::PredecessorNotInstalled { node: 2, .. }));
+        assert!(matches!(
+            err,
+            Error::PredecessorNotInstalled { node: 2, .. }
+        ));
         // P has no installation predecessors; installing it is legal —
         // the extra Figure 5 state.
         c.wg.install(WgNodeId(1)).unwrap();
@@ -684,9 +711,15 @@ mod tests {
         let mut c = ctx(figure4());
         // Edge into an installed node is illegal.
         c.wg.install(WgNodeId(1)).unwrap();
-        assert_eq!(c.wg.add_edge(WgNodeId(0), WgNodeId(1)), Err(Error::EdgeToInstalledNode(1)));
+        assert_eq!(
+            c.wg.add_edge(WgNodeId(0), WgNodeId(1)),
+            Err(Error::EdgeToInstalledNode(1))
+        );
         // Cycle rejected: Q -> O while O -> Q exists.
-        assert_eq!(c.wg.add_edge(WgNodeId(2), WgNodeId(0)), Err(Error::WouldCreateCycle));
+        assert_eq!(
+            c.wg.add_edge(WgNodeId(2), WgNodeId(0)),
+            Err(Error::WouldCreateCycle)
+        );
         // Legal constraint edge.
         c.wg.add_edge(WgNodeId(0), WgNodeId(2)).unwrap();
     }
@@ -796,9 +829,18 @@ mod tests {
         use crate::expr::Expr;
         use crate::op::Operation;
         let h = History::new(vec![
-            Operation::builder(OpId(0)).assign(Var(0), Expr::constant(1)).build().unwrap(),
-            Operation::builder(OpId(1)).assign(Var(1), Expr::read(Var(0))).build().unwrap(),
-            Operation::builder(OpId(2)).assign(Var(0), Expr::constant(2)).build().unwrap(),
+            Operation::builder(OpId(0))
+                .assign(Var(0), Expr::constant(1))
+                .build()
+                .unwrap(),
+            Operation::builder(OpId(1))
+                .assign(Var(1), Expr::read(Var(0)))
+                .build()
+                .unwrap(),
+            Operation::builder(OpId(2))
+                .assign(Var(0), Expr::constant(2))
+                .build()
+                .unwrap(),
         ])
         .unwrap();
         let mut c = ctx(h);
@@ -806,7 +848,10 @@ mod tests {
         let n2 = c.wg.node_of_op(OpId(1));
         assert_eq!(
             c.wg.remove_write(n1, Var(0)),
-            Err(Error::WriteStillNeeded { var: Var(0), reader: OpId(1) })
+            Err(Error::WriteStillNeeded {
+                var: Var(0),
+                reader: OpId(1)
+            })
         );
         c.wg.add_edge(n2, n1).unwrap();
         c.wg.remove_write(n1, Var(0)).unwrap();
@@ -827,7 +872,10 @@ mod tests {
         let h_node = c.wg.node_of_op(OpId(0));
         c.wg.remove_write(h_node, Var(1)).unwrap();
         c.wg.install(h_node).unwrap();
-        assert_eq!(c.wg.remove_write(h_node, Var(0)), Err(Error::AlreadyInstalled(h_node.0)));
+        assert_eq!(
+            c.wg.remove_write(h_node, Var(0)),
+            Err(Error::AlreadyInstalled(h_node.0))
+        );
     }
 
     #[test]
@@ -837,7 +885,10 @@ mod tests {
         assert_eq!(c.wg.install(WgNodeId(0)), Err(Error::StaleNode(0)));
         assert_eq!(c.wg.add_edge(WgNodeId(0), merged), Err(Error::StaleNode(0)));
         assert!(c.wg.collapse(&[WgNodeId(2), merged]).is_err());
-        assert_eq!(c.wg.remove_write(WgNodeId(2), Var(0)), Err(Error::StaleNode(2)));
+        assert_eq!(
+            c.wg.remove_write(WgNodeId(2), Var(0)),
+            Err(Error::StaleNode(2))
+        );
     }
 
     #[test]

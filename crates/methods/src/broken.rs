@@ -57,11 +57,14 @@ impl RecoveryMethod for SkippyRedo {
                 continue;
             }
             stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else { continue };
+            let PageOpPayload::Op(op) = rec.payload else {
+                continue;
+            };
             let page = op.written_pages()[0];
             let stable = db.log.stable_lsn();
-            let cached =
-                db.pool.fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+            let cached = db
+                .pool
+                .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
             // BUG: `rec.lsn - 1` instead of `rec.lsn`. A page flushed at
             // LSN L causes the record at L+1 to be wrongly bypassed.
             if cached.lsn() < Lsn(rec.lsn.0.saturating_sub(1)) {
@@ -111,7 +114,12 @@ mod tests {
     use redo_workload::pages::PageWorkloadSpec;
 
     fn workload(seed: u64) -> Vec<PageOp> {
-        PageWorkloadSpec { n_ops: 80, n_pages: 5, ..Default::default() }.generate(seed)
+        PageWorkloadSpec {
+            n_ops: 80,
+            n_pages: 5,
+            ..Default::default()
+        }
+        .generate(seed)
     }
 
     fn chaotic_cfg(seed: u64) -> HarnessConfig {
@@ -138,7 +146,10 @@ mod tests {
                 Ok(_) => {} // some schedules never hit the off-by-one window
             }
         }
-        assert!(caught > 0, "the harness must catch the off-by-one redo test");
+        assert!(
+            caught > 0,
+            "the harness must catch the off-by-one redo test"
+        );
     }
 
     #[test]
@@ -153,7 +164,10 @@ mod tests {
                 Ok(_) => {}
             }
         }
-        assert!(caught > 0, "the harness must catch the non-flushing checkpoint");
+        assert!(
+            caught > 0,
+            "the harness must catch the non-flushing checkpoint"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl SharedDb {
             inner: Arc::new(Inner {
                 geometry,
                 log: Mutex::new(LogManager::new()),
-                store: Mutex::new(Store { disk: Disk::new(), pool: BufferPool::new(None) }),
+                store: Mutex::new(Store {
+                    disk: Disk::new(),
+                    pool: BufferPool::new(None),
+                }),
                 latches: Mutex::new(BTreeMap::new()),
                 stop: AtomicBool::new(false),
             }),
@@ -94,7 +97,9 @@ impl SharedDb {
     /// Substrate errors (pool exhaustion).
     pub fn execute(&self, op: &PageOp) -> SimResult<Lsn> {
         if op.written_pages().is_empty() {
-            return Err(SimError::MethodViolation("operations must write at least one page"));
+            return Err(SimError::MethodViolation(
+                "operations must write at least one page",
+            ));
         }
         // Latch every page the operation touches, in id order.
         let mut pages: Vec<PageId> = op
@@ -114,7 +119,9 @@ impl SharedDb {
             let mut store = self.inner.store.lock();
             let store = &mut *store;
             for &cell in &op.reads {
-                let page = store.pool.fetch(&mut store.disk, cell.page, spp, Lsn::ZERO)?;
+                let page = store
+                    .pool
+                    .fetch(&mut store.disk, cell.page, spp, Lsn::ZERO)?;
                 read_values.push(page.get(cell.slot));
             }
         }
@@ -227,9 +234,14 @@ mod tests {
     fn model_from_stable_log(db: &Db<PageOpPayload>) -> BTreeMap<Cell, u64> {
         let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
         for rec in db.log.decode_stable().expect("log intact") {
-            let PageOpPayload::Op(op) = rec.payload else { continue };
-            let reads: Vec<u64> =
-                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            let PageOpPayload::Op(op) = rec.payload else {
+                continue;
+            };
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
             for &w in &op.writes {
                 cells.insert(w, op.output(w, &reads));
             }
@@ -312,7 +324,12 @@ mod tests {
         let shared = SharedDb::new(Geometry { slots_per_page: 8 });
         let bg = shared.clone();
         let handle = std::thread::spawn(move || bg.background_loop(1, 0.5));
-        let ops = PageWorkloadSpec { n_ops: 30, n_pages: 4, ..Default::default() }.generate(3);
+        let ops = PageWorkloadSpec {
+            n_ops: 30,
+            n_pages: 4,
+            ..Default::default()
+        }
+        .generate(3);
         for op in &ops {
             shared.execute(op).expect("execute");
         }
@@ -369,7 +386,10 @@ mod tests {
         // which only holds if read-then-write is atomic per op.
         use redo_workload::pages::{PageOpKind, SlotId};
         let shared = SharedDb::new(Geometry { slots_per_page: 8 });
-        let cell = Cell { page: PageId(0), slot: SlotId(0) };
+        let cell = Cell {
+            page: PageId(0),
+            slot: SlotId(0),
+        };
         let per_thread = 20u32;
         std::thread::scope(|s| {
             for t in 0..4u32 {

@@ -22,7 +22,6 @@
 //! can start. The contract stays the same, which is exactly the paper's
 //! point about separating the redo test from the machinery feeding it.
 
-
 use redo_sim::db::Db;
 use redo_sim::wal::{codec, LogPayload, WalRecord};
 use redo_sim::{SimError, SimResult};
@@ -122,7 +121,10 @@ impl FuzzyPhysiological {
     /// # Errors
     ///
     /// Log corruption.
-    pub fn analyze(&self, db: &Db<FuzzyPayload>) -> SimResult<(Vec<WalRecord<FuzzyPayload>>, FuzzyAnalysis)> {
+    pub fn analyze(
+        &self,
+        db: &Db<FuzzyPayload>,
+    ) -> SimResult<(Vec<WalRecord<FuzzyPayload>>, FuzzyAnalysis)> {
         let master = db.disk.master();
         let records = db.log.decode_stable()?;
         let mut analysis = FuzzyAnalysis {
@@ -146,8 +148,10 @@ impl FuzzyPhysiological {
                 }
             }
         }
-        analysis.records_elided =
-            records.iter().filter(|r| r.lsn < analysis.redo_start).count();
+        analysis.records_elided = records
+            .iter()
+            .filter(|r| r.lsn < analysis.redo_start)
+            .count();
         Ok((records, analysis))
     }
 }
@@ -190,11 +194,14 @@ impl RecoveryMethod for FuzzyPhysiological {
                 continue;
             }
             stats.scanned += 1;
-            let FuzzyPayload::Op(op) = rec.payload else { continue };
+            let FuzzyPayload::Op(op) = rec.payload else {
+                continue;
+            };
             let page = op.written_pages()[0];
             let stable = db.log.stable_lsn();
-            let cached =
-                db.pool.fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+            let cached = db
+                .pool
+                .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
             if cached.lsn() < rec.lsn {
                 db.apply_page_op(&op, rec.lsn)?;
                 stats.replayed.push(op.id);
@@ -215,14 +222,22 @@ mod tests {
     use redo_workload::pages::{Cell, PageWorkloadSpec};
 
     fn workload(n: usize, seed: u64) -> Vec<PageOp> {
-        PageWorkloadSpec { n_ops: n, n_pages: 5, ..Default::default() }.generate(seed)
+        PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 5,
+            ..Default::default()
+        }
+        .generate(seed)
     }
 
     fn model(ops: &[PageOp]) -> std::collections::BTreeMap<Cell, u64> {
         let mut cells = std::collections::BTreeMap::new();
         for op in ops {
-            let reads: Vec<u64> =
-                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
             for &w in &op.writes {
                 cells.insert(w, op.output(w, &reads));
             }
@@ -257,7 +272,11 @@ mod tests {
         }
         let before = db.disk.page_writes();
         FuzzyPhysiological.checkpoint(&mut db).unwrap();
-        assert_eq!(db.disk.page_writes(), before, "fuzzy checkpoints never flush pages");
+        assert_eq!(
+            db.disk.page_writes(),
+            before,
+            "fuzzy checkpoints never flush pages"
+        );
         assert!(!db.pool.dirty_pages().is_empty());
     }
 

@@ -149,8 +149,11 @@ fn has_cycle(edges: &[(redo_workload::pages::PageId, redo_workload::pages::PageI
     for &(_, b) in edges {
         *indeg.get_mut(&b).expect("inserted") += 1;
     }
-    let mut ready: Vec<PageId> =
-        indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+    let mut ready: Vec<PageId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
     let mut seen = 0usize;
     while let Some(n) = ready.pop() {
         seen += 1;
@@ -217,7 +220,9 @@ impl RecoveryMethod for Generalized {
                 continue;
             }
             stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else { continue };
+            let PageOpPayload::Op(op) = rec.payload else {
+                continue;
+            };
             // The redo test examines the whole write set; the atomic
             // flush group guarantees all pages agree (all installed or
             // none), so any stale page means the operation is
@@ -227,7 +232,8 @@ impl RecoveryMethod for Generalized {
             for page in op.written_pages() {
                 let stable = db.log.stable_lsn();
                 let cached =
-                    db.pool.fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+                    db.pool
+                        .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
                 if cached.lsn() < rec.lsn {
                     stale = true;
                 } else {
@@ -280,8 +286,11 @@ mod tests {
     fn model(ops: &[PageOp]) -> std::collections::BTreeMap<Cell, u64> {
         let mut cells = std::collections::BTreeMap::new();
         for op in ops {
-            let reads: Vec<u64> =
-                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
             for &w in &op.writes {
                 cells.insert(w, op.output(w, &reads));
             }
@@ -302,8 +311,14 @@ mod tests {
             kind: PageOpKind::MultiPage,
             reads: vec![],
             writes: vec![
-                Cell { page: PageId(0), slot: SlotId(0) },
-                Cell { page: PageId(1), slot: SlotId(0) },
+                Cell {
+                    page: PageId(0),
+                    slot: SlotId(0),
+                },
+                Cell {
+                    page: PageId(1),
+                    slot: SlotId(0),
+                },
             ],
             f_seed: 1,
         };
@@ -323,9 +338,21 @@ mod tests {
         // pages {0,1}? Simpler: one multi-page op writing {0,1} whose
         // partial install would be unexplainable; the atomic group makes
         // partial installs impossible and recovery exact.
-        let x = Cell { page: PageId(0), slot: SlotId(0) };
-        let y = Cell { page: PageId(1), slot: SlotId(0) };
-        let seed = PageOp { id: 0, kind: PageOpKind::Blind, reads: vec![], writes: vec![x], f_seed: 1 };
+        let x = Cell {
+            page: PageId(0),
+            slot: SlotId(0),
+        };
+        let y = Cell {
+            page: PageId(1),
+            slot: SlotId(0),
+        };
+        let seed = PageOp {
+            id: 0,
+            kind: PageOpKind::Blind,
+            reads: vec![],
+            writes: vec![x],
+            f_seed: 1,
+        };
         let entangled = PageOp {
             id: 1,
             kind: PageOpKind::MultiPage,
@@ -406,8 +433,14 @@ mod tests {
         let op = PageOp {
             id: 0,
             kind: PageOpKind::Generalized,
-            reads: vec![Cell { page: PageId(1), slot: SlotId(0) }],
-            writes: vec![Cell { page: PageId(0), slot: SlotId(0) }],
+            reads: vec![Cell {
+                page: PageId(1),
+                slot: SlotId(0),
+            }],
+            writes: vec![Cell {
+                page: PageId(0),
+                slot: SlotId(0),
+            }],
             f_seed: 7,
         };
         let lsn = Generalized.execute(&mut db, &op).unwrap();
@@ -423,8 +456,14 @@ mod tests {
         // P: read x (page 0), write y (page 1). Q: overwrite x.
         // The cache must refuse to flush x before y is durable.
         let mut db = Db::new(Geometry::default());
-        let x = Cell { page: PageId(0), slot: SlotId(0) };
-        let y = Cell { page: PageId(1), slot: SlotId(0) };
+        let x = Cell {
+            page: PageId(0),
+            slot: SlotId(0),
+        };
+        let y = Cell {
+            page: PageId(1),
+            slot: SlotId(0),
+        };
         let seed_x = PageOp {
             id: 0,
             kind: PageOpKind::Blind,
@@ -452,8 +491,14 @@ mod tests {
         db.log.flush_all();
         let stable = db.log.stable_lsn();
         // Flushing x (now at q_lsn > p_lsn) before y must be refused.
-        let err = db.pool.flush_page(&mut db.disk, PageId(0), stable).unwrap_err();
-        assert!(matches!(err, SimError::WriteOrderViolation { .. }), "{err:?} at {q_lsn:?}");
+        let err = db
+            .pool
+            .flush_page(&mut db.disk, PageId(0), stable)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::WriteOrderViolation { .. }),
+            "{err:?} at {q_lsn:?}"
+        );
         // Flush y, then x: legal.
         db.pool.flush_page(&mut db.disk, PageId(1), stable).unwrap();
         db.pool.flush_page(&mut db.disk, PageId(0), stable).unwrap();
@@ -464,10 +509,21 @@ mod tests {
         // The dangerous window: y durable, x's overwrite not. Recovery
         // must replay Q (x stale) and skip P (y durable).
         let mut db = Db::new(Geometry::default());
-        let x = Cell { page: PageId(0), slot: SlotId(0) };
-        let y = Cell { page: PageId(1), slot: SlotId(0) };
-        let seed_x =
-            PageOp { id: 0, kind: PageOpKind::Blind, reads: vec![], writes: vec![x], f_seed: 1 };
+        let x = Cell {
+            page: PageId(0),
+            slot: SlotId(0),
+        };
+        let y = Cell {
+            page: PageId(1),
+            slot: SlotId(0),
+        };
+        let seed_x = PageOp {
+            id: 0,
+            kind: PageOpKind::Blind,
+            reads: vec![],
+            writes: vec![x],
+            f_seed: 1,
+        };
         let p = PageOp {
             id: 1,
             kind: PageOpKind::Generalized,
@@ -486,12 +542,16 @@ mod tests {
         // Seed x and make it durable first (so Q's replay reads P's x).
         Generalized.execute(&mut db, &ops[0]).unwrap();
         db.log.flush_all();
-        db.pool.flush_page(&mut db.disk, PageId(0), db.log.stable_lsn()).unwrap();
+        db.pool
+            .flush_page(&mut db.disk, PageId(0), db.log.stable_lsn())
+            .unwrap();
         Generalized.execute(&mut db, &ops[1]).unwrap();
         Generalized.execute(&mut db, &ops[2]).unwrap();
         db.log.flush_all();
         // Flush y only; x's overwrite stays volatile.
-        db.pool.flush_page(&mut db.disk, PageId(1), db.log.stable_lsn()).unwrap();
+        db.pool
+            .flush_page(&mut db.disk, PageId(1), db.log.stable_lsn())
+            .unwrap();
         db.crash();
         let stats = Generalized.recover(&mut db).unwrap();
         assert!(stats.replayed.contains(&2), "Q must replay");

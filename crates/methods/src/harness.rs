@@ -147,14 +147,28 @@ struct TheoryView {
 
 fn theory_view(committed: &[PageOp], slots_per_page: u16) -> TheoryView {
     let history = History::renumbering(
-        committed.iter().map(|op| op.to_operation(slots_per_page)).collect(),
+        committed
+            .iter()
+            .map(|op| op.to_operation(slots_per_page))
+            .collect(),
     );
     let cg = ConflictGraph::generate(&history);
     let ig = InstallationGraph::from_conflict(&cg);
     let sg = StateGraph::from_conflict(&history, &cg, &State::zeroed());
     let log = Log::from_history(&history);
-    let position_of = committed.iter().enumerate().map(|(i, op)| (op.id, i)).collect();
-    TheoryView { history, cg, ig, sg, log, position_of }
+    let position_of = committed
+        .iter()
+        .enumerate()
+        .map(|(i, op)| (op.id, i))
+        .collect();
+    TheoryView {
+        history,
+        cg,
+        ig,
+        sg,
+        log,
+        position_of,
+    }
 }
 
 /// Runs `ops` under `method` per `cfg`. See the module docs for what is
@@ -168,8 +182,12 @@ pub fn run<M: RecoveryMethod>(
     ops: &[PageOp],
     cfg: &HarnessConfig,
 ) -> Result<HarnessReport, HarnessFailure> {
-    let mut db: Db<M::Payload> =
-        Db::with_capacity(Geometry { slots_per_page: cfg.slots_per_page }, cfg.pool_capacity);
+    let mut db: Db<M::Payload> = Db::with_capacity(
+        Geometry {
+            slots_per_page: cfg.slots_per_page,
+        },
+        cfg.pool_capacity,
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = HarnessReport::default();
     // Operations whose effects the system has promised to keep: durable
@@ -181,7 +199,11 @@ pub fn run<M: RecoveryMethod>(
         committed.push((op.clone(), lsn));
 
         if let Some((log_p, page_p)) = cfg.chaos {
-            let page_p = if method.allows_page_chaos() { page_p } else { 0.0 };
+            let page_p = if method.allows_page_chaos() {
+                page_p
+            } else {
+                0.0
+            };
             db.chaos_flush(&mut rng, log_p, page_p);
         }
         if let Some(k) = cfg.checkpoint_every {
@@ -236,7 +258,9 @@ fn crash_and_verify<M: RecoveryMethod>(
     // Correctness: the recovered (volatile) state is the durable
     // prefix's final state, numerically.
     if db.volatile_theory_state() != view.sg.final_state() {
-        return Err(HarnessFailure::StateMismatch { crash: Some(report.crashes) });
+        return Err(HarnessFailure::StateMismatch {
+            crash: Some(report.crashes),
+        });
     }
 
     if cfg.audit {
@@ -284,12 +308,22 @@ mod tests {
     use redo_workload::pages::PageWorkloadSpec;
 
     fn phys_workload(seed: u64) -> Vec<PageOp> {
-        PageWorkloadSpec { n_ops: 60, n_pages: 6, blind_fraction: 1.0, ..Default::default() }
-            .generate(seed)
+        PageWorkloadSpec {
+            n_ops: 60,
+            n_pages: 6,
+            blind_fraction: 1.0,
+            ..Default::default()
+        }
+        .generate(seed)
     }
 
     fn physio_workload(seed: u64) -> Vec<PageOp> {
-        PageWorkloadSpec { n_ops: 60, n_pages: 6, ..Default::default() }.generate(seed)
+        PageWorkloadSpec {
+            n_ops: 60,
+            n_pages: 6,
+            ..Default::default()
+        }
+        .generate(seed)
     }
 
     fn general_workload(seed: u64) -> Vec<PageOp> {
@@ -306,7 +340,10 @@ mod tests {
     #[test]
     fn physical_method_passes_audit() {
         for seed in 0..3 {
-            let cfg = HarnessConfig { seed, ..Default::default() };
+            let cfg = HarnessConfig {
+                seed,
+                ..Default::default()
+            };
             let report = run(&Physical, &phys_workload(seed), &cfg).unwrap();
             assert!(report.crashes >= 3);
             assert!(report.audits > 0);
@@ -316,7 +353,10 @@ mod tests {
     #[test]
     fn physiological_method_passes_audit() {
         for seed in 0..3 {
-            let cfg = HarnessConfig { seed, ..Default::default() };
+            let cfg = HarnessConfig {
+                seed,
+                ..Default::default()
+            };
             let report = run(&Physiological, &physio_workload(seed), &cfg).unwrap();
             assert!(report.crashes >= 3);
         }
@@ -325,7 +365,10 @@ mod tests {
     #[test]
     fn generalized_method_passes_audit() {
         for seed in 0..3 {
-            let cfg = HarnessConfig { seed, ..Default::default() };
+            let cfg = HarnessConfig {
+                seed,
+                ..Default::default()
+            };
             let report = run(&Generalized, &general_workload(seed), &cfg).unwrap();
             assert!(report.crashes >= 3);
         }
@@ -334,7 +377,10 @@ mod tests {
     #[test]
     fn logical_method_passes_audit() {
         for seed in 0..3 {
-            let cfg = HarnessConfig { seed, ..Default::default() };
+            let cfg = HarnessConfig {
+                seed,
+                ..Default::default()
+            };
             let report = run(&Logical, &general_workload(seed), &cfg).unwrap();
             assert!(report.crashes >= 3);
         }
@@ -355,7 +401,10 @@ mod tests {
             "{physio:?}: flushed pages should be bypassed"
         );
         let phys = run(&Physical, &phys_workload(1), &cfg).unwrap();
-        assert_eq!(phys.total_skipped, 0, "physical replays everything since checkpoint");
+        assert_eq!(
+            phys.total_skipped, 0,
+            "physical replays everything since checkpoint"
+        );
     }
 
     #[test]
@@ -369,7 +418,10 @@ mod tests {
         // 60 ops, crash after op 40 with a never-flushed log: the first
         // 40 vanish entirely; ops 41..60 survive only in cache.
         let report = run(&Physiological, &physio_workload(2), &cfg).unwrap();
-        assert_eq!(report.survivors, 20, "ops after the last crash survive in cache");
+        assert_eq!(
+            report.survivors, 20,
+            "ops after the last crash survive in cache"
+        );
         assert_eq!(report.lost, 40);
     }
 
@@ -385,7 +437,10 @@ mod tests {
         let with_ckpt = run(
             &Physical,
             &phys_workload(3),
-            &HarnessConfig { checkpoint_every: Some(5), ..base },
+            &HarnessConfig {
+                checkpoint_every: Some(5),
+                ..base
+            },
         )
         .unwrap();
         assert!(

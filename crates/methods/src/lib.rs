@@ -20,6 +20,10 @@
 //!   write (the B-tree-split shape of Figure 8); the cache manager must
 //!   then respect installation-graph write ordering, which it does via
 //!   the buffer pool's write-order [constraints](redo_sim::cache::Constraint).
+//! * [`parallel`] — page-partitioned parallel redo for the physical and
+//!   physiological methods: Theorem 3 makes LSN order matter only within
+//!   a page, so the log tail splits by page id and the partitions replay
+//!   on worker threads.
 //!
 //! Every method implements [`RecoveryMethod`]; the [`harness`] module
 //! runs workloads against a method with randomized cache flushes,
@@ -38,9 +42,10 @@ pub mod broken;
 pub mod concurrent;
 pub mod fuzzy;
 pub mod generalized;
-pub mod oprecord;
 pub mod harness;
 pub mod logical;
+pub mod oprecord;
+pub mod parallel;
 pub mod physical;
 pub mod physiological;
 

@@ -96,7 +96,9 @@ impl RecoveryMethod for Logical {
                 continue;
             }
             stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else { continue };
+            let PageOpPayload::Op(op) = rec.payload else {
+                continue;
+            };
             // redo test: constant true.
             db.apply_page_op(&op, rec.lsn)?;
             stats.replayed.push(op.id);
@@ -126,8 +128,11 @@ mod tests {
     fn model(ops: &[PageOp]) -> std::collections::BTreeMap<Cell, u64> {
         let mut cells = std::collections::BTreeMap::new();
         for op in ops {
-            let reads: Vec<u64> =
-                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
             for &w in &op.writes {
                 cells.insert(w, op.output(w, &reads));
             }
@@ -148,7 +153,11 @@ mod tests {
         for op in &ops {
             Logical.execute(&mut db, op).unwrap();
         }
-        assert_eq!(db.disk.page_writes(), 0, "no installed-state writes before checkpoint");
+        assert_eq!(
+            db.disk.page_writes(),
+            0,
+            "no installed-state writes before checkpoint"
+        );
     }
 
     #[test]

@@ -45,8 +45,11 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let spec =
-            PageWorkloadSpec { n_ops: 10, cross_page_fraction: 0.5, ..Default::default() };
+        let spec = PageWorkloadSpec {
+            n_ops: 10,
+            cross_page_fraction: 0.5,
+            ..Default::default()
+        };
         for op in spec.generate(1) {
             let p = PageOpPayload::Op(op);
             let mut buf = Vec::new();
@@ -57,13 +60,19 @@ mod tests {
         let mut buf = Vec::new();
         PageOpPayload::Checkpoint.encode(&mut buf);
         let mut pos = 0;
-        assert_eq!(PageOpPayload::decode(&buf, &mut pos).unwrap(), PageOpPayload::Checkpoint);
+        assert_eq!(
+            PageOpPayload::decode(&buf, &mut pos).unwrap(),
+            PageOpPayload::Checkpoint
+        );
     }
 
     #[test]
     fn bad_tag_rejected() {
         let buf = [9u8];
         let mut pos = 0;
-        assert!(matches!(PageOpPayload::decode(&buf, &mut pos), Err(SimError::Corrupt(0))));
+        assert!(matches!(
+            PageOpPayload::decode(&buf, &mut pos),
+            Err(SimError::Corrupt(0))
+        ));
     }
 }

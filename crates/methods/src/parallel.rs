@@ -1,0 +1,454 @@
+//! Page-partitioned parallel redo for the physical and physiological
+//! methods.
+//!
+//! Theorem 3 says redo may replay the uninstalled operations in *any*
+//! order consistent with the conflict graph. For the §6.2/§6.3 methods
+//! every conflict lives inside a single page — physiological operations
+//! read and write exactly one page, and a physical record's per-cell
+//! after-images commute across pages — so LSN order only matters
+//! *within* a page. The stable log tail can therefore be partitioned by
+//! [`PageId`] and the partitions redone concurrently, which is precisely
+//! the per-variable partition view of
+//! [`RedoSchedule::partition_by_var`](redo_theory::schedule::RedoSchedule::partition_by_var)
+//! with a page playing the role of a variable.
+//!
+//! The execution scheme: the recovery scan (decode, master filter, redo
+//! test bookkeeping) stays on the calling thread; worker threads each
+//! take a set of page partitions, rebuild every page *image* from its
+//! durable copy by applying that page's records in LSN order, and the
+//! calling thread installs the rebuilt images into the buffer pool. The
+//! buffer pool and disk are never touched off-thread — workers operate
+//! on cloned [`Page`]s, so the substrate needs no internal locking.
+//!
+//! [`ParallelPhysiological`] and [`ParallelPhysical`] wrap the scheme in
+//! [`RecoveryMethod`] (normal operation delegates to the serial
+//! methods), so the harness can crash-test the parallel recovery path
+//! exactly like the serial ones.
+
+use std::collections::BTreeMap;
+
+use redo_sim::db::Db;
+use redo_sim::page::Page;
+use redo_sim::{SimError, SimResult};
+use redo_theory::log::Lsn;
+use redo_workload::pages::{PageId, PageOp, SlotId};
+
+use crate::oprecord::PageOpPayload;
+use crate::physical::{PhysPayload, Physical};
+use crate::physiological::Physiological;
+use crate::{RecoveryMethod, RecoveryStats};
+
+/// One page's share of the redo work: its identity, the image being
+/// rebuilt, and its log records in LSN order.
+struct Partition<T> {
+    page: PageId,
+    image: Page,
+    records: Vec<(Lsn, u32, T)>,
+}
+
+/// The outcome of redoing one partition.
+struct Rebuilt {
+    page: PageId,
+    image: Page,
+    replayed: Vec<(Lsn, u32)>,
+    skipped: Vec<(Lsn, u32)>,
+}
+
+/// Redoes every partition, fanning out across up to `threads` workers.
+/// `apply` replays one record against the page image, returning whether
+/// the redo test fired. Results come back in page-id order regardless of
+/// thread interleaving.
+fn redo_partitions<T, F>(work: Vec<Partition<T>>, threads: usize, apply: F) -> Vec<Rebuilt>
+where
+    T: Send,
+    F: Fn(&mut Page, Lsn, &T) -> bool + Sync,
+{
+    let run_one = |p: Partition<T>| -> Rebuilt {
+        let Partition {
+            page,
+            mut image,
+            records,
+        } = p;
+        let mut replayed = Vec::new();
+        let mut skipped = Vec::new();
+        for (lsn, op_id, payload) in &records {
+            if apply(&mut image, *lsn, payload) {
+                replayed.push((*lsn, *op_id));
+            } else {
+                skipped.push((*lsn, *op_id));
+            }
+        }
+        Rebuilt {
+            page,
+            image,
+            replayed,
+            skipped,
+        }
+    };
+
+    let threads = threads.max(1).min(work.len().max(1));
+    if threads <= 1 {
+        return work.into_iter().map(run_one).collect();
+    }
+    // Deal partitions round-robin: page ids say nothing about record
+    // counts, so interleaving spreads skew better than contiguous
+    // chunks.
+    let mut buckets: Vec<Vec<Partition<T>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, p) in work.into_iter().enumerate() {
+        buckets[i % threads].push(p);
+    }
+    let mut rebuilt: Vec<Rebuilt> = std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| s.spawn(|| bucket.into_iter().map(run_one).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("redo worker panicked"))
+            .collect()
+    });
+    rebuilt.sort_by_key(|r| r.page);
+    rebuilt
+}
+
+/// The durable (or already-cached) starting image for a page: recovery
+/// normally begins with an empty pool, but re-entrant recovery must see
+/// its own earlier progress just as the serial scan's `fetch` does.
+fn start_image<P: redo_sim::wal::LogPayload>(db: &Db<P>, page: PageId) -> Page {
+    db.pool
+        .get(page)
+        .cloned()
+        .unwrap_or_else(|| db.disk.read_page(page, db.geometry.slots_per_page))
+}
+
+/// Installs rebuilt images into the buffer pool and folds the
+/// per-partition redo decisions into `stats` in global LSN order, so the
+/// stats are indistinguishable from a serial scan's.
+fn install<P: redo_sim::wal::LogPayload>(
+    db: &mut Db<P>,
+    rebuilt: Vec<Rebuilt>,
+    stats: &mut RecoveryStats,
+) -> SimResult<()> {
+    let mut replayed: Vec<(Lsn, u32)> = Vec::new();
+    let mut skipped: Vec<(Lsn, u32)> = Vec::new();
+    for r in rebuilt {
+        replayed.extend(r.replayed.iter().copied());
+        skipped.extend(r.skipped.iter().copied());
+        if r.replayed.is_empty() {
+            // Nothing fired on this page: its image equals the durable
+            // copy, so there is nothing to install (and dirtying it
+            // would provoke spurious flushes later).
+            continue;
+        }
+        let stable = db.log.stable_lsn();
+        db.pool
+            .fetch(&mut db.disk, r.page, db.geometry.slots_per_page, stable)?;
+        let lsn = r.image.lsn();
+        let image = r.image;
+        db.pool.update(r.page, lsn, move |p| *p = image)?;
+    }
+    replayed.sort_unstable();
+    skipped.sort_unstable();
+    stats
+        .replayed
+        .extend(replayed.into_iter().map(|(_, id)| id));
+    stats.skipped.extend(skipped.into_iter().map(|(_, id)| id));
+    Ok(())
+}
+
+/// Physiological recovery (§6.3) with page-partitioned parallel redo:
+/// the per-page LSN redo test and replay run on worker threads, one
+/// partition per page touched by the log tail.
+///
+/// Equivalent to [`Physiological::recover`] — same rebuilt state, same
+/// stats (the harness and checker enforce this differentially).
+///
+/// # Errors
+///
+/// Substrate errors, including log corruption and shape violations.
+pub fn recover_physiological_parallel(
+    db: &mut Db<PageOpPayload>,
+    threads: usize,
+) -> SimResult<RecoveryStats> {
+    let master = db.disk.master();
+    let records = db.log.decode_stable()?;
+    let mut stats = RecoveryStats::default();
+    let mut partitions: BTreeMap<PageId, Vec<(Lsn, u32, PageOp)>> = BTreeMap::new();
+    for rec in records {
+        if rec.lsn <= master {
+            continue;
+        }
+        stats.scanned += 1;
+        let PageOpPayload::Op(op) = rec.payload else {
+            continue;
+        };
+        let written = op.written_pages();
+        if written.len() != 1 || op.read_pages().iter().any(|p| *p != written[0]) {
+            return Err(SimError::MethodViolation(
+                "physiological operations access exactly one page",
+            ));
+        }
+        partitions
+            .entry(written[0])
+            .or_default()
+            .push((rec.lsn, op.id, op));
+    }
+    let work: Vec<Partition<PageOp>> = partitions
+        .into_iter()
+        .map(|(page, records)| Partition {
+            page,
+            image: start_image(db, page),
+            records,
+        })
+        .collect();
+    let rebuilt = redo_partitions(work, threads, |image, lsn, op: &PageOp| {
+        if image.lsn() >= lsn {
+            return false; // already installed on the durable copy
+        }
+        // All reads are on this page, and the image holds every earlier
+        // operation's effects — the operation is applicable.
+        let read_values: Vec<u64> = op.reads.iter().map(|c| image.get(c.slot)).collect();
+        for &cell in &op.writes {
+            image.set(cell.slot, op.output(cell, &read_values));
+        }
+        image.set_lsn(lsn);
+        true
+    });
+    install(db, rebuilt, &mut stats)?;
+    Ok(stats)
+}
+
+/// Physical recovery (§6.2) with page-partitioned parallel redo: the
+/// blind after-images are split per page (a multi-page record
+/// contributes a fragment to each page it touches) and replayed on
+/// worker threads in per-page LSN order.
+///
+/// Equivalent to [`Physical::recover`]: every record replays, so an
+/// operation is counted replayed once even when its cells span pages.
+///
+/// # Errors
+///
+/// Substrate errors, including log corruption.
+pub fn recover_physical_parallel(
+    db: &mut Db<PhysPayload>,
+    threads: usize,
+) -> SimResult<RecoveryStats> {
+    let master = db.disk.master();
+    let records = db.log.decode_stable()?;
+    let mut stats = RecoveryStats::default();
+    // Per-page slices of each record's write set: (lsn, op id, slot writes).
+    type PageFragments = Vec<(Lsn, u32, Vec<(SlotId, u64)>)>;
+    let mut partitions: BTreeMap<PageId, PageFragments> = BTreeMap::new();
+    for rec in records {
+        if rec.lsn <= master {
+            continue;
+        }
+        stats.scanned += 1;
+        let PhysPayload::Writes { op_id, writes } = rec.payload else {
+            continue;
+        };
+        // The record replays unconditionally; stats are settled here, in
+        // scan (= LSN) order, and the workers only rebuild images.
+        stats.replayed.push(op_id);
+        let mut per_page: BTreeMap<PageId, Vec<(SlotId, u64)>> = BTreeMap::new();
+        for (cell, v) in writes {
+            per_page.entry(cell.page).or_default().push((cell.slot, v));
+        }
+        for (page, cells) in per_page {
+            partitions
+                .entry(page)
+                .or_default()
+                .push((rec.lsn, op_id, cells));
+        }
+    }
+    let work: Vec<Partition<Vec<(SlotId, u64)>>> = partitions
+        .into_iter()
+        .map(|(page, records)| Partition {
+            page,
+            image: start_image(db, page),
+            records,
+        })
+        .collect();
+    let rebuilt = redo_partitions(work, threads, |image, lsn, cells: &Vec<(SlotId, u64)>| {
+        for &(slot, v) in cells {
+            image.set(slot, v);
+        }
+        image.set_lsn(lsn);
+        true
+    });
+    install(db, rebuilt, &mut RecoveryStats::default())?;
+    Ok(stats)
+}
+
+/// [`Physiological`] with the recovery path replaced by
+/// [`recover_physiological_parallel`]. Normal operation (logging,
+/// checkpoints) is identical, so crash states interchange freely with
+/// the serial method's.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelPhysiological {
+    /// Worker threads for the redo phase.
+    pub threads: usize,
+}
+
+impl RecoveryMethod for ParallelPhysiological {
+    type Payload = PageOpPayload;
+
+    fn name(&self) -> &'static str {
+        "physiological-parallel"
+    }
+
+    fn execute(&self, db: &mut Db<PageOpPayload>, op: &PageOp) -> SimResult<Lsn> {
+        Physiological.execute(db, op)
+    }
+
+    fn checkpoint(&self, db: &mut Db<PageOpPayload>) -> SimResult<()> {
+        Physiological.checkpoint(db)
+    }
+
+    fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        recover_physiological_parallel(db, self.threads)
+    }
+}
+
+/// [`Physical`] with the recovery path replaced by
+/// [`recover_physical_parallel`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelPhysical {
+    /// Worker threads for the redo phase.
+    pub threads: usize,
+}
+
+impl RecoveryMethod for ParallelPhysical {
+    type Payload = PhysPayload;
+
+    fn name(&self) -> &'static str {
+        "physical-parallel"
+    }
+
+    fn execute(&self, db: &mut Db<PhysPayload>, op: &PageOp) -> SimResult<Lsn> {
+        Physical.execute(db, op)
+    }
+
+    fn checkpoint(&self, db: &mut Db<PhysPayload>) -> SimResult<()> {
+        Physical.checkpoint(db)
+    }
+
+    fn recover(&self, db: &mut Db<PhysPayload>) -> SimResult<RecoveryStats> {
+        recover_physical_parallel(db, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use redo_sim::db::Geometry;
+    use redo_workload::pages::PageWorkloadSpec;
+
+    fn chaotic_crashed_db<M: RecoveryMethod>(
+        method: &M,
+        ops: &[PageOp],
+        seed: u64,
+    ) -> Db<M::Payload> {
+        let mut db = Db::new(Geometry::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for op in ops {
+            method.execute(&mut db, op).unwrap();
+            db.chaos_flush(&mut rng, 0.7, 0.4);
+        }
+        db.log.flush_all();
+        db.crash();
+        db
+    }
+
+    #[test]
+    fn physiological_parallel_matches_serial() {
+        let ops = PageWorkloadSpec {
+            n_ops: 40,
+            n_pages: 6,
+            ..Default::default()
+        }
+        .generate(11);
+        for threads in [1, 2, 4, 8] {
+            let mut serial_db = chaotic_crashed_db(&Physiological, &ops, 3);
+            let serial = Physiological.recover(&mut serial_db).unwrap();
+            let mut par_db = chaotic_crashed_db(&Physiological, &ops, 3);
+            let parallel = recover_physiological_parallel(&mut par_db, threads).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(
+                par_db.volatile_theory_state(),
+                serial_db.volatile_theory_state(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn physical_parallel_matches_serial() {
+        let ops = PageWorkloadSpec {
+            n_ops: 40,
+            n_pages: 6,
+            blind_fraction: 1.0,
+            cross_page_fraction: 0.4,
+            multi_page_fraction: 0.4,
+            ..Default::default()
+        }
+        .generate(12);
+        for threads in [1, 2, 4, 8] {
+            let mut serial_db = chaotic_crashed_db(&Physical, &ops, 5);
+            let serial = Physical.recover(&mut serial_db).unwrap();
+            let mut par_db = chaotic_crashed_db(&Physical, &ops, 5);
+            let parallel = recover_physical_parallel(&mut par_db, threads).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(
+                par_db.volatile_theory_state(),
+                serial_db.volatile_theory_state(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_recovery_survives_repeated_crashes() {
+        let ops = PageWorkloadSpec {
+            n_ops: 25,
+            n_pages: 4,
+            ..Default::default()
+        }
+        .generate(13);
+        let method = ParallelPhysiological { threads: 4 };
+        let mut db = chaotic_crashed_db(&method, &ops, 7);
+        method.recover(&mut db).unwrap();
+        let once = db.volatile_theory_state();
+        for _ in 0..3 {
+            db.crash();
+            method.recover(&mut db).unwrap();
+            assert_eq!(db.volatile_theory_state(), once);
+        }
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_parallel_scan() {
+        let ops = PageWorkloadSpec {
+            n_ops: 16,
+            n_pages: 4,
+            ..Default::default()
+        }
+        .generate(14);
+        let method = ParallelPhysiological { threads: 2 };
+        let mut db = Db::new(Geometry::default());
+        for op in &ops[..10] {
+            method.execute(&mut db, op).unwrap();
+        }
+        method.checkpoint(&mut db).unwrap();
+        for op in &ops[10..] {
+            method.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        db.crash();
+        let stats = method.recover(&mut db).unwrap();
+        assert_eq!(stats.scanned, 6);
+        assert_eq!(stats.replay_count() + stats.skipped.len(), 6);
+    }
+}

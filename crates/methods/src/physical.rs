@@ -91,12 +91,19 @@ impl RecoveryMethod for Physical {
         for &cell in &op.reads {
             read_values.push(db.read_cell(cell)?);
         }
-        let writes: Vec<(Cell, u64)> =
-            op.writes.iter().map(|&c| (c, op.output(c, &read_values))).collect();
-        let lsn = db.log.append(PhysPayload::Writes { op_id: op.id, writes: writes.clone() });
+        let writes: Vec<(Cell, u64)> = op
+            .writes
+            .iter()
+            .map(|&c| (c, op.output(c, &read_values)))
+            .collect();
+        let lsn = db.log.append(PhysPayload::Writes {
+            op_id: op.id,
+            writes: writes.clone(),
+        });
         for (cell, v) in writes {
             let stable = db.log.stable_lsn();
-            db.pool.fetch(&mut db.disk, cell.page, db.geometry.slots_per_page, stable)?;
+            db.pool
+                .fetch(&mut db.disk, cell.page, db.geometry.slots_per_page, stable)?;
             db.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
         }
         Ok(lsn)
@@ -136,7 +143,8 @@ impl RecoveryMethod for Physical {
                             db.geometry.slots_per_page,
                             stable,
                         )?;
-                        db.pool.update(cell.page, rec.lsn, |p| p.set(cell.slot, v))?;
+                        db.pool
+                            .update(cell.page, rec.lsn, |p| p.set(cell.slot, v))?;
                     }
                     stats.replayed.push(op_id);
                 }
@@ -160,7 +168,13 @@ mod tests {
     fn payload_roundtrip() {
         let p = PhysPayload::Writes {
             op_id: 3,
-            writes: vec![(Cell { page: PageId(1), slot: SlotId(2) }, 99)],
+            writes: vec![(
+                Cell {
+                    page: PageId(1),
+                    slot: SlotId(2),
+                },
+                99,
+            )],
         };
         let mut buf = Vec::new();
         p.encode(&mut buf);
@@ -170,28 +184,42 @@ mod tests {
         let mut buf = Vec::new();
         PhysPayload::Checkpoint.encode(&mut buf);
         let mut pos = 0;
-        assert_eq!(PhysPayload::decode(&buf, &mut pos).unwrap(), PhysPayload::Checkpoint);
+        assert_eq!(
+            PhysPayload::decode(&buf, &mut pos).unwrap(),
+            PhysPayload::Checkpoint
+        );
     }
 
     #[test]
     fn crash_without_any_flush_recovers_nothing() {
         let mut db = db();
-        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 5, ..Default::default() }
-            .generate(1);
+        let ops = PageWorkloadSpec {
+            blind_fraction: 1.0,
+            n_ops: 5,
+            ..Default::default()
+        }
+        .generate(1);
         for op in &ops {
             Physical.execute(&mut db, op).unwrap();
         }
         db.crash();
         let stats = Physical.recover(&mut db).unwrap();
         assert_eq!(stats.replay_count(), 0);
-        assert_eq!(db.volatile_theory_state(), redo_theory::state::State::zeroed());
+        assert_eq!(
+            db.volatile_theory_state(),
+            redo_theory::state::State::zeroed()
+        );
     }
 
     #[test]
     fn durable_log_replays_fully() {
         let mut db = db();
-        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 8, ..Default::default() }
-            .generate(2);
+        let ops = PageWorkloadSpec {
+            blind_fraction: 1.0,
+            n_ops: 8,
+            ..Default::default()
+        }
+        .generate(2);
         let mut expect = std::collections::BTreeMap::new();
         for op in &ops {
             Physical.execute(&mut db, op).unwrap();
@@ -211,8 +239,12 @@ mod tests {
     #[test]
     fn checkpoint_truncates_recovery_scan() {
         let mut db = db();
-        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 10, ..Default::default() }
-            .generate(3);
+        let ops = PageWorkloadSpec {
+            blind_fraction: 1.0,
+            n_ops: 10,
+            ..Default::default()
+        }
+        .generate(3);
         for op in &ops[..6] {
             Physical.execute(&mut db, op).unwrap();
         }
@@ -223,7 +255,11 @@ mod tests {
         db.log.flush_all();
         db.crash();
         let stats = Physical.recover(&mut db).unwrap();
-        assert_eq!(stats.replay_count(), 4, "only post-checkpoint records replay");
+        assert_eq!(
+            stats.replay_count(),
+            4,
+            "only post-checkpoint records replay"
+        );
         // And the state is complete nevertheless.
         for op in &ops {
             for &c in &op.writes {
@@ -235,8 +271,12 @@ mod tests {
     #[test]
     fn replay_is_idempotent() {
         let mut db = db();
-        let ops = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 6, ..Default::default() }
-            .generate(4);
+        let ops = PageWorkloadSpec {
+            blind_fraction: 1.0,
+            n_ops: 6,
+            ..Default::default()
+        }
+        .generate(4);
         for op in &ops {
             Physical.execute(&mut db, op).unwrap();
         }

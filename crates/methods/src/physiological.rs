@@ -79,11 +79,14 @@ impl RecoveryMethod for Physiological {
                 continue;
             }
             stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else { continue };
+            let PageOpPayload::Op(op) = rec.payload else {
+                continue;
+            };
             let page = op.written_pages()[0];
             let stable = db.log.stable_lsn();
-            let cached =
-                db.pool.fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+            let cached = db
+                .pool
+                .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
             if cached.lsn() < rec.lsn {
                 // redo test fired: the page misses this update. Reads see
                 // the page with every earlier operation already applied
@@ -107,14 +110,22 @@ mod tests {
     use redo_workload::pages::{Cell, PageId, PageOpKind, PageWorkloadSpec, SlotId};
 
     fn workload(n: usize, seed: u64) -> Vec<PageOp> {
-        PageWorkloadSpec { n_ops: n, n_pages: 4, ..Default::default() }.generate(seed)
+        PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 4,
+            ..Default::default()
+        }
+        .generate(seed)
     }
 
     fn model(ops: &[PageOp]) -> std::collections::BTreeMap<Cell, u64> {
         let mut cells = std::collections::BTreeMap::new();
         for op in ops {
-            let reads: Vec<u64> =
-                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
             for &w in &op.writes {
                 cells.insert(w, op.output(w, &reads));
             }
@@ -133,8 +144,14 @@ mod tests {
         let op = PageOp {
             id: 0,
             kind: PageOpKind::Generalized,
-            reads: vec![Cell { page: PageId(1), slot: SlotId(0) }],
-            writes: vec![Cell { page: PageId(0), slot: SlotId(0) }],
+            reads: vec![Cell {
+                page: PageId(1),
+                slot: SlotId(0),
+            }],
+            writes: vec![Cell {
+                page: PageId(0),
+                slot: SlotId(0),
+            }],
             f_seed: 1,
         };
         let mut db = Db::new(Geometry::default());
@@ -154,7 +171,11 @@ mod tests {
         db.flush_everything().unwrap(); // all installed
         db.crash();
         let stats = Physiological.recover(&mut db).unwrap();
-        assert_eq!(stats.replay_count(), 0, "everything installed, nothing replays");
+        assert_eq!(
+            stats.replay_count(),
+            0,
+            "everything installed, nothing replays"
+        );
         assert_eq!(stats.skipped.len(), 12);
         assert_matches_model(&mut db, &ops);
     }

@@ -211,12 +211,7 @@ impl BufferPool {
     /// # Errors
     ///
     /// [`SimError::NotCached`] if the page has not been fetched.
-    pub fn update(
-        &mut self,
-        id: PageId,
-        lsn: Lsn,
-        f: impl FnOnce(&mut Page),
-    ) -> SimResult<()> {
+    pub fn update(&mut self, id: PageId, lsn: Lsn, f: impl FnOnce(&mut Page)) -> SimResult<()> {
         let frame = self.frames.get_mut(&id).ok_or(SimError::NotCached(id))?;
         f(&mut frame.page);
         frame.page.set_lsn(lsn);
@@ -250,7 +245,11 @@ impl BufferPool {
         let frame = self.frames.get(&id).ok_or(SimError::NotCached(id))?;
         let page_lsn = frame.page.lsn();
         if page_lsn > stable_lsn {
-            return Err(SimError::WalViolation { page: id, page_lsn, stable_lsn });
+            return Err(SimError::WalViolation {
+                page: id,
+                page_lsn,
+                stable_lsn,
+            });
         }
         for c in &self.constraints {
             if c.blocked == id
@@ -459,7 +458,8 @@ mod tests {
     #[test]
     fn update_marks_dirty_and_tags_lsn() {
         let (mut pool, _disk) = pool_with_page(PageId(0));
-        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9)).unwrap();
+        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9))
+            .unwrap();
         assert_eq!(pool.dirty_pages(), vec![PageId(0)]);
         assert_eq!(pool.get(PageId(0)).unwrap().lsn(), Lsn(5));
     }
@@ -467,12 +467,17 @@ mod tests {
     #[test]
     fn wal_rule_blocks_flush_of_unlogged_updates() {
         let (mut pool, mut disk) = pool_with_page(PageId(0));
-        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9)).unwrap();
+        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9))
+            .unwrap();
         // Log stable only to 3: flush must fail.
         let err = pool.flush_page(&mut disk, PageId(0), Lsn(3)).unwrap_err();
         assert_eq!(
             err,
-            SimError::WalViolation { page: PageId(0), page_lsn: Lsn(5), stable_lsn: Lsn(3) }
+            SimError::WalViolation {
+                page: PageId(0),
+                page_lsn: Lsn(5),
+                stable_lsn: Lsn(3)
+            }
         );
         // Once the log catches up the flush succeeds.
         pool.flush_page(&mut disk, PageId(0), Lsn(5)).unwrap();
@@ -494,8 +499,10 @@ mod tests {
             requires: PageId(1),
             required_lsn: Lsn(5),
         });
-        pool.update(PageId(1), Lsn(5), |p| p.set(SlotId(0), 1)).unwrap();
-        pool.update(PageId(0), Lsn(6), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.update(PageId(1), Lsn(5), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(0), Lsn(6), |p| p.set(SlotId(0), 2))
+            .unwrap();
         let err = pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap_err();
         assert_eq!(
             err,
@@ -524,7 +531,8 @@ mod tests {
             requires: PageId(1),
             required_lsn: Lsn(5),
         });
-        pool.update(PageId(0), Lsn(4), |p| p.set(SlotId(0), 3)).unwrap();
+        pool.update(PageId(0), Lsn(4), |p| p.set(SlotId(0), 3))
+            .unwrap();
         pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
         assert_eq!(disk.page_lsn(PageId(0)), Lsn(4));
     }
@@ -541,8 +549,10 @@ mod tests {
             requires: PageId(1),
             required_lsn: Lsn(2),
         });
-        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1)).unwrap();
-        pool.update(PageId(1), Lsn(2), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(1), Lsn(2), |p| p.set(SlotId(0), 2))
+            .unwrap();
         pool.flush_all(&mut disk, Lsn(10)).unwrap();
         assert!(pool.dirty_pages().is_empty());
         assert_eq!(disk.page_lsn(PageId(0)), Lsn(3));
@@ -552,7 +562,8 @@ mod tests {
     #[test]
     fn flush_all_reports_wal_stall() {
         let (mut pool, mut disk) = pool_with_page(PageId(0));
-        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9)).unwrap();
+        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 9))
+            .unwrap();
         let err = pool.flush_all(&mut disk, Lsn(1)).unwrap_err();
         assert!(matches!(err, SimError::WalViolation { .. }));
     }
@@ -575,7 +586,8 @@ mod tests {
         let mut pool = BufferPool::new(Some(1));
         let mut disk = Disk::new();
         pool.fetch(&mut disk, PageId(0), 4, Lsn(10)).unwrap();
-        pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 7)).unwrap();
+        pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 7))
+            .unwrap();
         pool.fetch(&mut disk, PageId(1), 4, Lsn(10)).unwrap();
         assert_eq!(disk.read_page(PageId(0), 4).get(SlotId(0)), 7);
     }
@@ -585,7 +597,8 @@ mod tests {
         let mut pool = BufferPool::new(Some(1));
         let mut disk = Disk::new();
         pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
-        pool.update(PageId(0), Lsn(9), |p| p.set(SlotId(0), 7)).unwrap();
+        pool.update(PageId(0), Lsn(9), |p| p.set(SlotId(0), 7))
+            .unwrap();
         // Log stable at 0: the only victim is unflushable.
         let err = pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap_err();
         assert_eq!(err, SimError::PoolExhausted);
@@ -611,8 +624,10 @@ mod tests {
         let mut disk = Disk::new();
         pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
         pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
-        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1)).unwrap();
-        pool.update(PageId(1), Lsn(3), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(1), Lsn(3), |p| p.set(SlotId(0), 2))
+            .unwrap();
         pool.add_atomic_group([PageId(0), PageId(1)], Lsn(3));
         // Flushing either member installs both.
         pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
@@ -629,14 +644,22 @@ mod tests {
         let mut disk = Disk::new();
         pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
         pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
-        pool.update(PageId(0), Lsn(2), |p| p.set(SlotId(0), 1)).unwrap();
-        pool.update(PageId(1), Lsn(5), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.update(PageId(0), Lsn(2), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(1), Lsn(5), |p| p.set(SlotId(0), 2))
+            .unwrap();
         pool.add_atomic_group([PageId(0), PageId(1)], Lsn(2));
         // Page 0 alone satisfies the WAL rule at stable=3, but its group
         // partner does not: the whole flush must be refused, leaving
         // BOTH pages unflushed (failure atomicity).
         let err = pool.flush_page(&mut disk, PageId(0), Lsn(3)).unwrap_err();
-        assert!(matches!(err, SimError::WalViolation { page: PageId(1), .. }));
+        assert!(matches!(
+            err,
+            SimError::WalViolation {
+                page: PageId(1),
+                ..
+            }
+        ));
         assert_eq!(disk.page_lsn(PageId(0)), Lsn::ZERO);
         assert_eq!(pool.dirty_pages().len(), 2);
     }
@@ -650,9 +673,12 @@ mod tests {
         for p in 0..3u32 {
             pool.fetch(&mut disk, PageId(p), 4, Lsn::ZERO).unwrap();
         }
-        pool.update(PageId(0), Lsn(2), |p| p.set(SlotId(0), 1)).unwrap();
-        pool.update(PageId(1), Lsn(4), |p| p.set(SlotId(0), 2)).unwrap();
-        pool.update(PageId(2), Lsn(4), |p| p.set(SlotId(0), 3)).unwrap();
+        pool.update(PageId(0), Lsn(2), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(1), Lsn(4), |p| p.set(SlotId(0), 2))
+            .unwrap();
+        pool.update(PageId(2), Lsn(4), |p| p.set(SlotId(0), 3))
+            .unwrap();
         pool.add_atomic_group([PageId(0), PageId(1)], Lsn(2));
         pool.add_atomic_group([PageId(1), PageId(2)], Lsn(4));
         let closure = pool.atomic_closure(&disk, PageId(0));
@@ -684,8 +710,10 @@ mod tests {
         let mut disk = Disk::new();
         pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
         pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
-        pool.update(PageId(0), Lsn(6), |p| p.set(SlotId(0), 1)).unwrap();
-        pool.update(PageId(1), Lsn(6), |p| p.set(SlotId(0), 2)).unwrap();
+        pool.update(PageId(0), Lsn(6), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(1), Lsn(6), |p| p.set(SlotId(0), 2))
+            .unwrap();
         // Page 0 may not pass lsn 5 until page 1 is durable at >= 5 —
         // but they are in one atomic group, so flushing together is fine.
         pool.add_constraint(Constraint {
@@ -703,7 +731,8 @@ mod tests {
     #[test]
     fn drop_clean_refuses_dirty_pages() {
         let (mut pool, _disk) = pool_with_page(PageId(0));
-        pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 1)).unwrap();
+        pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 1))
+            .unwrap();
         assert!(pool.drop_clean(PageId(0)).is_err());
     }
 }

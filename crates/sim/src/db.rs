@@ -86,8 +86,12 @@ impl<P: LogPayload> Db<P> {
     /// Pool exhaustion while faulting the page in.
     pub fn read_cell(&mut self, cell: Cell) -> SimResult<u64> {
         let stable = self.log.stable_lsn();
-        let page =
-            self.pool.fetch(&mut self.disk, cell.page, self.geometry.slots_per_page, stable)?;
+        let page = self.pool.fetch(
+            &mut self.disk,
+            cell.page,
+            self.geometry.slots_per_page,
+            stable,
+        )?;
         Ok(page.get(cell.slot))
     }
 
@@ -107,7 +111,8 @@ impl<P: LogPayload> Db<P> {
         // Fault in written pages before updating.
         for page in op.written_pages() {
             let stable = self.log.stable_lsn();
-            self.pool.fetch(&mut self.disk, page, self.geometry.slots_per_page, stable)?;
+            self.pool
+                .fetch(&mut self.disk, page, self.geometry.slots_per_page, stable)?;
         }
         for &cell in &op.writes {
             let v = op.output(cell, &read_values);
@@ -172,7 +177,10 @@ impl<P: LogPayload> Db<P> {
         for id in cached {
             if let Some(page) = self.pool.get(id) {
                 for slot in 0..spp {
-                    let cell = Cell { page: id, slot: SlotId(slot) };
+                    let cell = Cell {
+                        page: id,
+                        slot: SlotId(slot),
+                    };
                     s.set(cell.var(spp), Value(page.get(SlotId(slot))));
                 }
             }
@@ -211,7 +219,10 @@ mod tests {
             id,
             kind: PageOpKind::Blind,
             reads: vec![],
-            writes: vec![Cell { page: PageId(page), slot: SlotId(slot) }],
+            writes: vec![Cell {
+                page: PageId(page),
+                slot: SlotId(slot),
+            }],
             f_seed: 7,
         }
     }
@@ -254,7 +265,10 @@ mod tests {
         db.apply_page_op(&op, lsn).unwrap();
         // Without flushing the log, the page flush must fail.
         let stable = db.log.stable_lsn();
-        let err = db.pool.flush_page(&mut db.disk, PageId(0), stable).unwrap_err();
+        let err = db
+            .pool
+            .flush_page(&mut db.disk, PageId(0), stable)
+            .unwrap_err();
         assert!(matches!(err, SimError::WalViolation { .. }));
         db.flush_everything().unwrap();
     }
@@ -263,7 +277,11 @@ mod tests {
     fn deterministic_outputs_across_replay() {
         // Applying the same op twice (normal run, then replay on a fresh
         // db) yields identical cell values.
-        let spec = PageWorkloadSpec { n_ops: 20, cross_page_fraction: 0.3, ..Default::default() };
+        let spec = PageWorkloadSpec {
+            n_ops: 20,
+            cross_page_fraction: 0.3,
+            ..Default::default()
+        };
         let ops = spec.generate(5);
         let run = |crash_halfway: bool| {
             let mut db: Db<OpRec> = Db::new(Geometry::default());

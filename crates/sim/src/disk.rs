@@ -41,7 +41,10 @@ impl Disk {
     /// Absent pages materialize as zeroed pages of the given geometry.
     #[must_use]
     pub fn read_page(&self, id: PageId, slots_per_page: u16) -> Page {
-        self.current.get(&id).cloned().unwrap_or_else(|| Page::new(slots_per_page))
+        self.current
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| Page::new(slots_per_page))
     }
 
     /// The LSN of the page's durable copy (`Lsn::ZERO` when never

@@ -21,7 +21,10 @@ impl Page {
     /// A zero-filled page with the null LSN (a freshly formatted page).
     #[must_use]
     pub fn new(slots_per_page: u16) -> Page {
-        Page { lsn: Lsn::ZERO, slots: vec![0; slots_per_page as usize].into_boxed_slice() }
+        Page {
+            lsn: Lsn::ZERO,
+            slots: vec![0; slots_per_page as usize].into_boxed_slice(),
+        }
     }
 
     /// The LSN of the last update applied to this copy of the page.
@@ -109,7 +112,10 @@ mod tests {
     fn projection_matches_geometry() {
         let mut p = Page::new(8);
         p.set(SlotId(3), 42);
-        let cell = Cell { page: PageId(2), slot: SlotId(3) };
+        let cell = Cell {
+            page: PageId(2),
+            slot: SlotId(3),
+        };
         let (var, val) = p.project_cell(cell, 8);
         assert_eq!(var, Var(2 * 8 + 3));
         assert_eq!(val, Value(42));

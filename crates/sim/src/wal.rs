@@ -317,7 +317,13 @@ pub mod codec {
         for _ in 0..n_writes {
             writes.push(get_cell(input, pos)?);
         }
-        Ok(PageOp { id, kind, reads, writes, f_seed })
+        Ok(PageOp {
+            id,
+            kind,
+            reads,
+            writes,
+            f_seed,
+        })
     }
 }
 
@@ -360,7 +366,13 @@ mod tests {
         assert_eq!(log.volatile_records().len(), 2);
         let decoded = log.decode_stable().unwrap();
         assert_eq!(decoded.len(), 3);
-        assert_eq!(decoded[2], WalRecord { lsn: Lsn(3), payload: Num(2) });
+        assert_eq!(
+            decoded[2],
+            WalRecord {
+                lsn: Lsn(3),
+                payload: Num(2)
+            }
+        );
     }
 
     #[test]
@@ -461,6 +473,9 @@ mod tests {
         codec::put_u64(&mut buf, 5);
         let mut pos = 0;
         assert!(codec::get_u64(&buf, &mut pos).is_ok());
-        assert!(matches!(codec::get_u32(&buf, &mut pos), Err(SimError::Corrupt(_))));
+        assert!(matches!(
+            codec::get_u32(&buf, &mut pos),
+            Err(SimError::Corrupt(_))
+        ));
     }
 }

@@ -99,7 +99,13 @@ impl WorkloadSpec {
     /// operations over few variables so prefix enumeration stays cheap).
     #[must_use]
     pub fn tiny(n_ops: usize, n_vars: u32) -> WorkloadSpec {
-        WorkloadSpec { n_vars, n_ops, max_reads: 1, max_writes: 1, ..WorkloadSpec::default() }
+        WorkloadSpec {
+            n_vars,
+            n_ops,
+            max_reads: 1,
+            max_writes: 1,
+            ..WorkloadSpec::default()
+        }
     }
 
     /// The physical-logging regime: blind single-variable writes.
@@ -176,8 +182,9 @@ impl WorkloadSpec {
                 }
                 Shape::Random => {
                     let n_reads = rng.gen_range(0..=self.max_reads);
-                    let reads =
-                        (0..n_reads).map(|_| Var(zipf.sample(&mut rng) as u32)).collect();
+                    let reads = (0..n_reads)
+                        .map(|_| Var(zipf.sample(&mut rng) as u32))
+                        .collect();
                     (reads, self.draw_writes(&mut rng, &zipf))
                 }
                 Shape::MixedRmwBlind => {
@@ -216,7 +223,9 @@ impl WorkloadSpec {
             for &r in &reads {
                 builder = builder.declare_read(r);
             }
-            let op = builder.build().expect("generator produces valid operations");
+            let op = builder
+                .build()
+                .expect("generator produces valid operations");
             last_written = op.writes().iter().next().copied();
             recently_written.extend(op.writes().iter().copied());
             let len = recently_written.len();
@@ -229,7 +238,10 @@ impl WorkloadSpec {
     }
 
     fn draw_writes(&self, rng: &mut StdRng, zipf: &Zipf) -> Vec<Var> {
-        assert!(self.max_writes > 0, "operations must write at least one variable");
+        assert!(
+            self.max_writes > 0,
+            "operations must write at least one variable"
+        );
         let n = rng.gen_range(1..=self.max_writes);
         (0..n).map(|_| Var(zipf.sample(rng) as u32)).collect()
     }
@@ -252,7 +264,10 @@ mod tests {
 
     #[test]
     fn generates_requested_counts() {
-        let spec = WorkloadSpec { n_ops: 50, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            n_ops: 50,
+            ..WorkloadSpec::default()
+        };
         let h = spec.generate(1);
         assert_eq!(h.len(), 50);
         for op in h.iter() {
@@ -327,8 +342,18 @@ mod tests {
 
     #[test]
     fn skewed_workloads_concentrate_accesses() {
-        let uniform = WorkloadSpec { skew: 0.0, n_ops: 400, n_vars: 64, ..Default::default() };
-        let skewed = WorkloadSpec { skew: 1.5, n_ops: 400, n_vars: 64, ..Default::default() };
+        let uniform = WorkloadSpec {
+            skew: 0.0,
+            n_ops: 400,
+            n_vars: 64,
+            ..Default::default()
+        };
+        let skewed = WorkloadSpec {
+            skew: 1.5,
+            n_ops: 400,
+            n_vars: 64,
+            ..Default::default()
+        };
         let hot = |h: &History| {
             let mut counts = vec![0usize; 64];
             for op in h.iter() {
@@ -346,7 +371,11 @@ mod tests {
         // Smoke-level cross-check with the theory crate: conflict-order
         // prefixes of generated workloads are recoverable.
         for seed in 0..5 {
-            let h = WorkloadSpec { n_ops: 12, ..Default::default() }.generate(seed);
+            let h = WorkloadSpec {
+                n_ops: 12,
+                ..Default::default()
+            }
+            .generate(seed);
             let s0 = State::zeroed();
             let cg = ConflictGraph::generate(&h);
             let sg = StateGraph::from_conflict(&h, &cg, &s0);

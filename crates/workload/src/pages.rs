@@ -157,7 +157,11 @@ impl PageOp {
                 Expr::constant(self.f_seed ^ u64::from(self.id)),
                 Expr::constant(Self::cell_code(w)),
             ];
-            parts.extend(self.reads.iter().map(|&r| Expr::read(r.var(slots_per_page))));
+            parts.extend(
+                self.reads
+                    .iter()
+                    .map(|&r| Expr::read(r.var(slots_per_page))),
+            );
             b = b.assign(w.var(slots_per_page), Expr::mix(parts));
         }
         for &r in &self.reads {
@@ -260,9 +264,19 @@ impl PageWorkloadSpec {
                     .collect();
                 writes.sort_unstable();
                 writes.dedup();
-                (PageOpKind::Physiological, vec![cell(&mut rng, page)], writes)
+                (
+                    PageOpKind::Physiological,
+                    vec![cell(&mut rng, page)],
+                    writes,
+                )
             };
-            ops.push(PageOp { id: i as u32, kind, reads, writes, f_seed: mix64(seed ^ i as u64) });
+            ops.push(PageOp {
+                id: i as u32,
+                kind,
+                reads,
+                writes,
+                f_seed: mix64(seed ^ i as u64),
+            });
         }
         ops
     }
@@ -271,8 +285,12 @@ impl PageWorkloadSpec {
     /// granularity.
     #[must_use]
     pub fn to_history(&self, ops: &[PageOp]) -> History {
-        History::new(ops.iter().map(|op| op.to_operation(self.slots_per_page)).collect())
-            .expect("sequential ids")
+        History::new(
+            ops.iter()
+                .map(|op| op.to_operation(self.slots_per_page))
+                .collect(),
+        )
+        .expect("sequential ids")
     }
 }
 
@@ -282,8 +300,14 @@ mod tests {
 
     #[test]
     fn cells_project_to_distinct_vars() {
-        let a = Cell { page: PageId(0), slot: SlotId(7) };
-        let b = Cell { page: PageId(1), slot: SlotId(0) };
+        let a = Cell {
+            page: PageId(0),
+            slot: SlotId(7),
+        };
+        let b = Cell {
+            page: PageId(1),
+            slot: SlotId(0),
+        };
         assert_ne!(a.var(8), b.var(8));
         assert_eq!(a.var(8), Var(7));
         assert_eq!(b.var(8), Var(8));
@@ -297,7 +321,10 @@ mod tests {
 
     #[test]
     fn physiological_ops_stay_on_one_page() {
-        let spec = PageWorkloadSpec { n_ops: 80, ..Default::default() };
+        let spec = PageWorkloadSpec {
+            n_ops: 80,
+            ..Default::default()
+        };
         for op in spec.generate(1) {
             assert_eq!(op.kind, PageOpKind::Physiological);
             assert_eq!(op.written_pages().len(), 1);
@@ -307,7 +334,11 @@ mod tests {
 
     #[test]
     fn blind_ops_never_read() {
-        let spec = PageWorkloadSpec { blind_fraction: 1.0, n_ops: 40, ..Default::default() };
+        let spec = PageWorkloadSpec {
+            blind_fraction: 1.0,
+            n_ops: 40,
+            ..Default::default()
+        };
         for op in spec.generate(2) {
             assert_eq!(op.kind, PageOpKind::Blind);
             assert!(op.reads.is_empty());
@@ -323,8 +354,10 @@ mod tests {
             ..Default::default()
         };
         let ops = spec.generate(3);
-        let generalized: Vec<_> =
-            ops.iter().filter(|o| o.kind == PageOpKind::Generalized).collect();
+        let generalized: Vec<_> = ops
+            .iter()
+            .filter(|o| o.kind == PageOpKind::Generalized)
+            .collect();
         assert!(!generalized.is_empty());
         for op in generalized {
             assert_eq!(op.written_pages().len(), 1);
@@ -337,14 +370,23 @@ mod tests {
         let op = PageOp {
             id: 5,
             kind: PageOpKind::Physiological,
-            reads: vec![Cell { page: PageId(0), slot: SlotId(0) }],
-            writes: vec![Cell { page: PageId(0), slot: SlotId(1) }],
+            reads: vec![Cell {
+                page: PageId(0),
+                slot: SlotId(0),
+            }],
+            writes: vec![Cell {
+                page: PageId(0),
+                slot: SlotId(1),
+            }],
             f_seed: 99,
         };
         let c = op.writes[0];
         assert_eq!(op.output(c, &[1]), op.output(c, &[1]));
         assert_ne!(op.output(c, &[1]), op.output(c, &[2]));
-        let other = Cell { page: PageId(0), slot: SlotId(2) };
+        let other = Cell {
+            page: PageId(0),
+            slot: SlotId(2),
+        };
         assert_ne!(op.output(c, &[1]), op.output(other, &[1]));
     }
 
@@ -360,10 +402,16 @@ mod tests {
         let h = spec.to_history(&ops);
         assert_eq!(h.len(), ops.len());
         for (page_op, theory_op) in ops.iter().zip(h.iter()) {
-            let want_reads: std::collections::BTreeSet<Var> =
-                page_op.reads.iter().map(|c| c.var(spec.slots_per_page)).collect();
-            let want_writes: std::collections::BTreeSet<Var> =
-                page_op.writes.iter().map(|c| c.var(spec.slots_per_page)).collect();
+            let want_reads: std::collections::BTreeSet<Var> = page_op
+                .reads
+                .iter()
+                .map(|c| c.var(spec.slots_per_page))
+                .collect();
+            let want_writes: std::collections::BTreeSet<Var> = page_op
+                .writes
+                .iter()
+                .map(|c| c.var(spec.slots_per_page))
+                .collect();
             assert_eq!(theory_op.reads(), &want_reads);
             assert_eq!(theory_op.writes(), &want_writes);
         }
@@ -395,8 +443,11 @@ mod tests {
         // Theory execution.
         let mut theory = State::zeroed();
         for (page_op, theory_op) in ops.iter().zip(h.iter()) {
-            let reads: Vec<u64> =
-                page_op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            let reads: Vec<u64> = page_op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
             for &w in &page_op.writes {
                 cells.insert(w, page_op.output(w, &reads));
             }

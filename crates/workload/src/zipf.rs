@@ -24,7 +24,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n > 0, "empty support");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {
@@ -53,7 +56,10 @@ impl Zipf {
     /// Draws one index.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

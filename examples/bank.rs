@@ -26,7 +26,10 @@ const ACCOUNTS: u32 = 16; // one account per page, slot 0
 const SPP: u16 = 4;
 
 fn account(i: u32) -> Cell {
-    Cell { page: PageId(i), slot: SlotId(0) }
+    Cell {
+        page: PageId(i),
+        slot: SlotId(0),
+    }
 }
 
 /// A transfer is a multi-page operation reading both balances and
@@ -54,7 +57,9 @@ fn transfer_op(id: u32, from: u32, to: u32, nonce: u64) -> PageOp {
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2026);
-    let mut db: Db<_> = Db::new(Geometry { slots_per_page: SPP });
+    let mut db: Db<_> = Db::new(Geometry {
+        slots_per_page: SPP,
+    });
 
     // Seed the accounts (blind writes), then checkpoint so the seeds are
     // durable and the interesting phase starts clean. The seeds join the
@@ -111,8 +116,11 @@ fn main() {
             let mut model: std::collections::BTreeMap<Cell, u64> =
                 std::collections::BTreeMap::new();
             for (op, _) in &committed {
-                let reads: Vec<u64> =
-                    op.reads.iter().map(|c| model.get(c).copied().unwrap_or(0)).collect();
+                let reads: Vec<u64> = op
+                    .reads
+                    .iter()
+                    .map(|c| model.get(c).copied().unwrap_or(0))
+                    .collect();
                 for &w in &op.writes {
                     model.insert(w, op.output(w, &reads));
                 }
@@ -125,8 +133,13 @@ fn main() {
         }
     }
 
-    println!("{ACCOUNTS} accounts, {} transfers executed, {crashes} crashes injected", next_id - ACCOUNTS);
+    println!(
+        "{ACCOUNTS} accounts, {} transfers executed, {crashes} crashes injected",
+        next_id - ACCOUNTS
+    );
     println!("{part_flush_blocked} partial flushes were blocked by atomic groups / write ordering");
     println!("after every recovery, every transfer was all-or-nothing: no account ever tore.");
-    println!("(sum preserved by construction: each surviving transfer debits and credits atomically)");
+    println!(
+        "(sum preserved by construction: each surviving transfer debits and credits atomically)"
+    );
 }

@@ -60,12 +60,20 @@ fn main() {
     println!("  active write-order constraints: {}", constraints.len());
     let mut blocked = 0;
     for page in tree.db.pool.dirty_pages() {
-        if let Err(SimError::WriteOrderViolation { blocked: b, requires, .. }) = tree.db.pool.check_flush(&tree.db.disk, page, stable) {
+        if let Err(SimError::WriteOrderViolation {
+            blocked: b,
+            requires,
+            ..
+        }) = tree.db.pool.check_flush(&tree.db.disk, page, stable)
+        {
             blocked += 1;
             println!("  flush of old page {b:?} BLOCKED until new page {requires:?} is durable");
         }
     }
-    assert!(blocked > 0, "expected at least one blocked flush after splits");
+    assert!(
+        blocked > 0,
+        "expected at least one blocked flush after splits"
+    );
 
     // --- Crash in the dangerous window. ---
     println!("\nCrash in the split window (new page flushed, old page's truncation not):");

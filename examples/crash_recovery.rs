@@ -62,8 +62,12 @@ fn main() {
         ..Default::default()
     }
     .generate(42);
-    let physio_ops =
-        PageWorkloadSpec { n_ops: 200, n_pages: 8, ..Default::default() }.generate(42);
+    let physio_ops = PageWorkloadSpec {
+        n_ops: 200,
+        n_pages: 8,
+        ..Default::default()
+    }
+    .generate(42);
     let general_ops = PageWorkloadSpec {
         n_ops: 200,
         n_pages: 8,

@@ -37,7 +37,10 @@ fn main() {
         println!(
             "  {name:<10} prefixes: {:>3}  crash states: {:>4}  explainable: {:>3}  \
              unexplainable: {:>3}  successful replays: {:>4}",
-            r.prefixes_checked, r.states_checked, r.explainable, r.unexplainable,
+            r.prefixes_checked,
+            r.states_checked,
+            r.explainable,
+            r.unexplainable,
             r.successful_replays
         );
     }
@@ -55,12 +58,14 @@ fn main() {
             shape: Shape::Random,
         }
         .generate(seed);
-        let r = check_history(&h, 100_000, 100_000)
-            .unwrap_or_else(|c| panic!("seed {seed}: {c}"));
+        let r = check_history(&h, 100_000, 100_000).unwrap_or_else(|c| panic!("seed {seed}: {c}"));
         totals.0 += r.states_checked;
         totals.1 += r.successful_replays;
     }
-    println!("  10 histories: {} crash states, {} successful replays — all consistent", totals.0, totals.1);
+    println!(
+        "  10 histories: {} crash states, {} successful replays — all consistent",
+        totals.0, totals.1
+    );
 
     println!("\n3. Fuzzing write-graph evolutions (Corollary 5 after every step):");
     let mut applied = 0usize;

@@ -35,7 +35,10 @@ fn main() {
     // A: x <- y+1, then B: y <- 2. Installing B's update first is fatal.
     let c = ctx(scenario1());
     println!("history: {:?}", c.h);
-    println!("conflict edge A->B: {:?} (read-write)", c.cg.dag().edge(0, 1).unwrap());
+    println!(
+        "conflict edge A->B: {:?} (read-write)",
+        c.cg.dag().edge(0, 1).unwrap()
+    );
     let bad = State::from_pairs([(Var(1), Value(2))]); // y installed, x not
     println!("crash state: {bad:?}");
     match exists_recovery_subset(&c.h, &c.sg, &bad) {
@@ -58,8 +61,14 @@ fn main() {
     let state = State::from_pairs([(Var(0), Value(3))]); // A installed, B not
     let a_only = NodeSet::from_indices(2, [1]);
     println!("crash state: {state:?}  (A installed out of order)");
-    println!("  {{A}} is an installation prefix: {}", c.ig.is_prefix(&a_only));
-    println!("  ...but NOT a conflict prefix:    {}", !c.cg.dag().is_prefix(&a_only));
+    println!(
+        "  {{A}} is an installation prefix: {}",
+        c.ig.is_prefix(&a_only)
+    );
+    println!(
+        "  ...but NOT a conflict prefix:    {}",
+        !c.cg.dag().is_prefix(&a_only)
+    );
     println!(
         "  explainable: {}, recovered by replaying B: {}",
         explains(&c.cg, &c.sg, &a_only, &state),
@@ -71,8 +80,11 @@ fn main() {
     let c = ctx(scenario3());
     println!("history: {:?}", c.h);
     let c_only = NodeSet::from_indices(2, [0]);
-    println!("with C installed: exposed = {:?}, unexposed = {:?}",
-        exposed_vars(&c.cg, &c_only), unexposed_vars(&c.cg, &c_only));
+    println!(
+        "with C installed: exposed = {:?}, unexposed = {:?}",
+        exposed_vars(&c.cg, &c_only),
+        unexposed_vars(&c.cg, &c_only)
+    );
     // x may hold ANY value — D blindly overwrites it before anyone reads.
     let state = State::from_pairs([(Var(0), Value(0xFFFF)), (Var(1), Value(1))]);
     println!("crash state with garbage in x: {state:?}");
@@ -95,7 +107,10 @@ fn main() {
         // redo test: replay B (op0) only — A is installed.
         |op, _, _, _| op.id() == OpId(0),
     );
-    println!("redo_set = {:?}, skipped = {:?}", outcome.redo_set, outcome.skipped);
+    println!(
+        "redo_set = {:?}, skipped = {:?}",
+        outcome.redo_set, outcome.skipped
+    );
     println!("recovered state = {:?}", outcome.state);
     assert_eq!(outcome.state, c.sg.final_state());
     let inv = recovery_invariant(&c.cg, &c.ig, &c.sg, &log, &outcome.redo_set, &start);

@@ -50,8 +50,14 @@ fn main() {
     // node gets half the contents); Q: write x (remove the moved half).
     let x = Var(0);
     let y = Var(1);
-    let o = Operation::builder(OpId(0)).assign(x, Expr::constant(100)).build().unwrap();
-    let p = Operation::builder(OpId(1)).assign(y, Expr::read(x)).build().unwrap();
+    let o = Operation::builder(OpId(0))
+        .assign(x, Expr::constant(100))
+        .build()
+        .unwrap();
+    let p = Operation::builder(OpId(1))
+        .assign(y, Expr::read(x))
+        .build()
+        .unwrap();
     let q = Operation::builder(OpId(2))
         .assign(x, Expr::read(x).sub(Expr::constant(50)))
         .build()
@@ -61,7 +67,8 @@ fn main() {
     let mut wg8 = WriteGraph::from_installation_graph(&h8, &cg8, &ig8, &sg8);
     let o = wg8.node_of_op(OpId(0));
     let q = wg8.node_of_op(OpId(2));
-    wg8.collapse(&[o, q]).expect("collapsing x's writers is legal");
+    wg8.collapse(&[o, q])
+        .expect("collapsing x's writers is legal");
     print!("{}", viz::write_graph_dot(&wg8));
     eprintln!("\n(The edge from P's node into the collapsed x-writers is Figure 8's");
     eprintln!("careful write order: the cache must install y before overwriting x.)");

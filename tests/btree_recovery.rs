@@ -6,8 +6,7 @@ use redo_recovery::btree::{BTree, SplitStrategy};
 use redo_recovery::workload::pages::mix64;
 use std::collections::BTreeMap;
 
-const STRATEGIES: [SplitStrategy; 2] =
-    [SplitStrategy::Physiological, SplitStrategy::Generalized];
+const STRATEGIES: [SplitStrategy; 2] = [SplitStrategy::Physiological, SplitStrategy::Generalized];
 
 #[test]
 fn mixed_workload_with_periodic_crashes() {
@@ -46,7 +45,11 @@ fn mixed_workload_with_periodic_crashes() {
             tree.crash();
             tree.recover().unwrap();
             for (&k, &v) in &model {
-                assert_eq!(tree.get(k).unwrap(), Some(v), "{strategy:?} seed {seed} key {k}");
+                assert_eq!(
+                    tree.get(k).unwrap(),
+                    Some(v),
+                    "{strategy:?} seed {seed} key {k}"
+                );
             }
             assert_eq!(tree.validate().unwrap(), model.len());
         }
@@ -106,7 +109,11 @@ fn checkpointed_tree_survives_crash_without_log_tail() {
             assert_eq!(tree.get(k).unwrap(), Some(k + 7));
         }
         for k in 200..260u64 {
-            assert_eq!(tree.get(k).unwrap(), None, "{strategy:?}: key {k} should be lost");
+            assert_eq!(
+                tree.get(k).unwrap(),
+                None,
+                "{strategy:?}: key {k} should be lost"
+            );
         }
         tree.validate().unwrap();
     }

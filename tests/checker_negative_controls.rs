@@ -44,8 +44,12 @@ fn harness_catches_the_lying_checkpoint() {
     // methods must reject this one.
     let mut caught = 0;
     for seed in 0..6 {
-        let ops = PageWorkloadSpec { n_ops: 80, n_pages: 5, ..Default::default() }
-            .generate(seed);
+        let ops = PageWorkloadSpec {
+            n_ops: 80,
+            n_pages: 5,
+            ..Default::default()
+        }
+        .generate(seed);
         let cfg = HarnessConfig {
             checkpoint_every: Some(9),
             crash_every: Some(14),
@@ -63,7 +67,10 @@ fn harness_catches_the_lying_checkpoint() {
             Ok(_) => {}
         }
     }
-    assert!(caught > 0, "the harness must expose the non-flushing checkpoint");
+    assert!(
+        caught > 0,
+        "the harness must expose the non-flushing checkpoint"
+    );
 }
 
 #[test]
@@ -72,10 +79,7 @@ fn violation_reports_name_a_concrete_schedule() {
     // that led to the bad crash.
     for seed in 0..8 {
         if let Err(e) = explore(&SkippyRedo, &tiny(seed), 4, 100_000) {
-            assert!(
-                !format!("{e}").is_empty(),
-                "violation display must render"
-            );
+            assert!(!format!("{e}").is_empty(), "violation display must render");
             // The schedule is replayable: it is a plain Vec of actions.
             let _actions = e.schedule;
             return;

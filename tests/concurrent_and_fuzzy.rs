@@ -17,9 +17,14 @@ use redo_recovery::workload::pages::{Cell, PageOp, PageWorkloadSpec};
 fn log_model(db: &Db<PageOpPayload>) -> BTreeMap<Cell, u64> {
     let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
     for rec in db.log.decode_stable().expect("log intact") {
-        let PageOpPayload::Op(op) = rec.payload else { continue };
-        let reads: Vec<u64> =
-            op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+        let PageOpPayload::Op(op) = rec.payload else {
+            continue;
+        };
+        let reads: Vec<u64> = op
+            .reads
+            .iter()
+            .map(|c| cells.get(c).copied().unwrap_or(0))
+            .collect();
         for &w in &op.writes {
             cells.insert(w, op.output(w, &reads));
         }
@@ -57,7 +62,11 @@ fn concurrent_workers_with_multi_page_ops_recover_to_log_serialization() {
         let mut db = shared.crash();
         Generalized.recover(&mut db).expect("recover");
         for (cell, v) in log_model(&db) {
-            assert_eq!(db.read_cell(cell).expect("read"), v, "seed {seed} cell {cell:?}");
+            assert_eq!(
+                db.read_cell(cell).expect("read"),
+                v,
+                "seed {seed} cell {cell:?}"
+            );
         }
     }
 }
@@ -112,17 +121,27 @@ fn concurrent_log_order_is_conflict_consistent() {
     }
     assert_eq!(seen.len(), 100);
     let h = History::renumbering(
-        ops_in_log_order.iter().map(|op| op.to_operation(8)).collect(),
+        ops_in_log_order
+            .iter()
+            .map(|op| op.to_operation(8))
+            .collect(),
     );
     let cg = ConflictGraph::generate(&h);
-    Log::from_history(&h).validate_against(&cg).expect("log order conflict-consistent");
+    Log::from_history(&h)
+        .validate_against(&cg)
+        .expect("log order conflict-consistent");
 }
 
 #[test]
 fn fuzzy_checkpoints_survive_crash_storms() {
     for seed in 0..4u64 {
         let mut db: Db<_> = Db::new(Geometry { slots_per_page: 8 });
-        let ops = PageWorkloadSpec { n_ops: 90, n_pages: 6, ..Default::default() }.generate(seed);
+        let ops = PageWorkloadSpec {
+            n_ops: 90,
+            n_pages: 6,
+            ..Default::default()
+        }
+        .generate(seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut durable: Vec<(PageOp, Lsn)> = Vec::new();
         for (i, op) in ops.iter().enumerate() {
@@ -142,8 +161,11 @@ fn fuzzy_checkpoints_survive_crash_storms() {
         // Verify against the durable model.
         let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
         for (op, _) in &durable {
-            let reads: Vec<u64> =
-                op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
             for &w in &op.writes {
                 cells.insert(w, op.output(w, &reads));
             }
@@ -157,7 +179,12 @@ fn fuzzy_checkpoints_survive_crash_storms() {
 #[test]
 fn fuzzy_analysis_is_cheaper_than_full_scan_but_never_wrong() {
     let mut db: Db<_> = Db::new(Geometry { slots_per_page: 8 });
-    let ops = PageWorkloadSpec { n_ops: 120, n_pages: 8, ..Default::default() }.generate(9);
+    let ops = PageWorkloadSpec {
+        n_ops: 120,
+        n_pages: 8,
+        ..Default::default()
+    }
+    .generate(9);
     let mut rng = StdRng::seed_from_u64(9);
     for (i, op) in ops.iter().enumerate() {
         FuzzyPhysiological.execute(&mut db, op).expect("execute");
@@ -172,12 +199,18 @@ fn fuzzy_analysis_is_cheaper_than_full_scan_but_never_wrong() {
     assert!(analysis.checkpoint_lsn.is_some());
     assert!(analysis.records_elided > 0, "{analysis:?}");
     let stats = FuzzyPhysiological.recover(&mut db).expect("recover");
-    assert!(stats.scanned < 126, "analysis must bound the scan: {stats:?}");
+    assert!(
+        stats.scanned < 126,
+        "analysis must bound the scan: {stats:?}"
+    );
     // Full functional check.
     let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
     for op in &ops {
-        let reads: Vec<u64> =
-            op.reads.iter().map(|c| cells.get(c).copied().unwrap_or(0)).collect();
+        let reads: Vec<u64> = op
+            .reads
+            .iter()
+            .map(|c| cells.get(c).copied().unwrap_or(0))
+            .collect();
         for &w in &op.writes {
             cells.insert(w, op.output(w, &reads));
         }

@@ -11,12 +11,22 @@ use redo_recovery::methods::RecoveryMethod;
 use redo_recovery::workload::pages::{PageOp, PageWorkloadSpec};
 
 fn blind_ops(n: usize, seed: u64) -> Vec<PageOp> {
-    PageWorkloadSpec { n_ops: n, n_pages: 6, blind_fraction: 1.0, ..Default::default() }
-        .generate(seed)
+    PageWorkloadSpec {
+        n_ops: n,
+        n_pages: 6,
+        blind_fraction: 1.0,
+        ..Default::default()
+    }
+    .generate(seed)
 }
 
 fn physio_ops(n: usize, seed: u64) -> Vec<PageOp> {
-    PageWorkloadSpec { n_ops: n, n_pages: 6, ..Default::default() }.generate(seed)
+    PageWorkloadSpec {
+        n_ops: n,
+        n_pages: 6,
+        ..Default::default()
+    }
+    .generate(seed)
 }
 
 fn cross_ops(n: usize, seed: u64) -> Vec<PageOp> {
@@ -44,7 +54,10 @@ fn sweep<M: RecoveryMethod>(method: &M, ops_for: fn(usize, u64) -> Vec<PageOp>) 
                 pool_capacity: None,
             };
             last = run(method, &ops_for(80, seed), &cfg).unwrap_or_else(|e| {
-                panic!("{} seed {seed} ckpt {ckpt:?} crash {crash:?}: {e}", method.name())
+                panic!(
+                    "{} seed {seed} ckpt {ckpt:?} crash {crash:?}: {e}",
+                    method.name()
+                )
             });
             assert!(last.crashes > 0);
             assert!(last.audits > 0);
@@ -98,8 +111,7 @@ fn generalized_multi_page_sweep_with_audit() {
             slots_per_page: 8,
             pool_capacity: None,
         };
-        run(&Generalized, &ops, &cfg)
-            .unwrap_or_else(|e| panic!("multi-page seed {seed}: {e}"));
+        run(&Generalized, &ops, &cfg).unwrap_or_else(|e| panic!("multi-page seed {seed}: {e}"));
     }
 }
 

@@ -47,19 +47,34 @@ fn arb_page_op(n_pages: u32, spp: u16) -> impl Strategy<Value = PageOp> {
         any::<u32>(),
     )
         .prop_map(move |(wp, rp, ws, rs, kind, f_seed, id)| {
-            let write = Cell { page: PageId(wp), slot: SlotId(ws) };
+            let write = Cell {
+                page: PageId(wp),
+                slot: SlotId(ws),
+            };
             let (kind, reads) = match kind {
                 0 => (PageOpKind::Blind, vec![]),
                 1 => (
                     PageOpKind::Physiological,
-                    vec![Cell { page: PageId(wp), slot: SlotId(rs) }],
+                    vec![Cell {
+                        page: PageId(wp),
+                        slot: SlotId(rs),
+                    }],
                 ),
                 _ => (
                     PageOpKind::Generalized,
-                    vec![Cell { page: PageId(rp), slot: SlotId(rs) }],
+                    vec![Cell {
+                        page: PageId(rp),
+                        slot: SlotId(rs),
+                    }],
                 ),
             };
-            PageOp { id, kind, reads, writes: vec![write], f_seed }
+            PageOp {
+                id,
+                kind,
+                reads,
+                writes: vec![write],
+                f_seed,
+            }
         })
 }
 

@@ -12,8 +12,10 @@ use redo_recovery::theory::history::History;
 use redo_recovery::theory::installation::InstallationGraph;
 use redo_recovery::theory::op::{OpId, Operation};
 use redo_recovery::theory::replay::{potentially_recoverable, replay_uninstalled};
+use redo_recovery::theory::schedule::{replay_parallel, RedoSchedule};
 use redo_recovery::theory::state::{State, Value, Var};
 use redo_recovery::theory::state_graph::StateGraph;
+use redo_recovery::theory::{CoverageFault, Error};
 use std::collections::BTreeSet;
 
 /// A proptest strategy for small operations over `n_vars` variables.
@@ -232,4 +234,140 @@ proptest! {
             prop_assert_eq!(&s1, &s2);
         }
     }
+
+    /// The parallel scheduler agrees with sequential replay on every
+    /// installation prefix, at an arbitrary worker count.
+    #[test]
+    fn parallel_replay_equals_serial(
+        specs in vec(arb_operation(4), 1..8),
+        seed in any::<u64>(),
+        threads in 1..9usize,
+    ) {
+        let h = build_history(&specs, seed);
+        let s0 = State::zeroed();
+        let cg = ConflictGraph::generate(&h);
+        let ig = InstallationGraph::from_conflict(&cg);
+        let sg = StateGraph::from_conflict(&h, &cg, &s0);
+        ig.dag().for_each_prefix(200, |p| {
+            let state = sg.state_determined_by(p);
+            let serial = replay_uninstalled(&h, &sg, p, &state).unwrap();
+            let parallel = replay_parallel(&h, &cg, &sg, p, &state, threads).unwrap();
+            assert_eq!(serial, parallel, "prefix {p:?} threads {threads}");
+            assert_eq!(serial, sg.final_state());
+        });
+    }
+
+    /// Reversing the schedule turns every conflict edge backward, which
+    /// validation must reject (whenever the history has a conflict at
+    /// all — conflict-free histories admit any order).
+    #[test]
+    fn reversed_schedule_is_rejected(
+        specs in vec(arb_operation(3), 2..8),
+        seed in any::<u64>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let cg = ConflictGraph::generate(&h);
+        let none = NodeSet::new(h.len());
+        let planned = RedoSchedule::plan(&cg, &none);
+        planned.validate(&cg, &none).unwrap();
+        let reversed = RedoSchedule::from_levels(
+            planned.order().into_iter().rev().map(|id| vec![id]).collect(),
+        );
+        let verdict = reversed.validate(&cg, &none);
+        if cg.dag().edge_count() > 0 {
+            prop_assert!(
+                matches!(verdict, Err(Error::LogOrderViolation { .. })),
+                "expected LogOrderViolation, got {verdict:?}"
+            );
+        } else {
+            prop_assert!(verdict.is_ok());
+        }
+    }
+
+    /// A schedule that skips an uninstalled operation is reported as a
+    /// coverage mismatch naming the missing operation — not as a bogus
+    /// `NoSuchOp`.
+    #[test]
+    fn incomplete_schedule_reports_coverage_mismatch(
+        specs in vec(arb_operation(3), 2..8),
+        seed in any::<u64>(),
+        drop_ix in any::<prop::sample::Index>(),
+    ) {
+        let h = build_history(&specs, seed);
+        let cg = ConflictGraph::generate(&h);
+        let none = NodeSet::new(h.len());
+        let planned = RedoSchedule::plan(&cg, &none);
+        let mut order = planned.order();
+        let dropped = order.remove(drop_ix.index(order.len()));
+        let partial =
+            RedoSchedule::from_levels(order.into_iter().map(|id| vec![id]).collect());
+        let verdict = partial.validate(&cg, &none);
+        prop_assert!(
+            matches!(
+                verdict,
+                Err(Error::OrderCoverageMismatch { op, fault: CoverageFault::Missing })
+                    if op == dropped
+            ),
+            "expected coverage mismatch on {dropped:?}, got {verdict:?}"
+        );
+    }
+}
+
+/// Pinned regression (proptest seed `081699c6…`, shrunk input
+/// `specs = [([3], [1]), ([3], [0])], seed = 0`): two operations that
+/// *read* a variable nothing ever writes. Historically this input
+/// surfaced failures in the history-shaped properties above, so it runs
+/// them all, unconditionally, as a plain unit test.
+#[test]
+fn regression_081699c6_read_only_var() {
+    let specs: Vec<(Vec<u32>, Vec<u32>)> = vec![(vec![3], vec![1]), (vec![3], vec![0])];
+    let h = build_history(&specs, 0);
+    let s0 = State::zeroed();
+    let cg = ConflictGraph::generate(&h);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(&h, &cg, &s0);
+
+    // Lemma 1: linear extensions regenerate the conflict graph.
+    cg.for_each_linear_extension(200, |order| {
+        assert_eq!(&cg, &ConflictGraph::generate_from_order(&h, order));
+    });
+
+    // Exposure implementations agree on every subset — including the
+    // read-only variable 3, which no set can expose.
+    let n = h.len();
+    for mask in 0..1u64 << n {
+        let set = NodeSet::from_indices(n, (0..n).filter(|i| mask >> i & 1 == 1));
+        for x in cg.vars().collect::<Vec<_>>() {
+            assert_eq!(
+                is_exposed(&cg, &set, x),
+                is_exposed_by_graph(&cg, &set, x),
+                "var {x:?} set {set:?}"
+            );
+        }
+    }
+
+    // Lemma 2: index prefixes determine the state sequence.
+    for (i, expected) in h.states(&s0).iter().enumerate() {
+        assert_eq!(
+            &sg.state_determined_by(&NodeSet::from_indices(n, 0..i)),
+            expected
+        );
+    }
+
+    // Theorem 3 + parallel replay on every installation prefix.
+    ig.dag().for_each_prefix(500, |p| {
+        let state = sg.state_determined_by(p);
+        assert!(explains(&cg, &sg, p, &state));
+        assert!(potentially_recoverable(&h, &cg, &sg, p, &state));
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                replay_parallel(&h, &cg, &sg, p, &state, threads).unwrap(),
+                sg.final_state()
+            );
+        }
+    });
+
+    // Installation weakens conflict.
+    assert!(ig.dag().edge_count() <= cg.dag().edge_count());
+    cg.dag().for_each_prefix(300, |p| assert!(ig.is_prefix(p)));
 }

@@ -104,7 +104,12 @@ fn redo_all_recovers_any_conflict_prefix_state() {
     // Logical/physical style: from any conflict-prefix state with a
     // checkpoint covering it, redo-everything works.
     for seed in 0..5 {
-        let h = WorkloadSpec { n_ops: 20, n_vars: 6, ..Default::default() }.generate(seed);
+        let h = WorkloadSpec {
+            n_ops: 20,
+            n_vars: 6,
+            ..Default::default()
+        }
+        .generate(seed);
         let (cg, ig, sg, log) = ctx(&h);
         for cut in [0, 7, 20] {
             let ckpt = NodeSet::from_indices(h.len(), 0..cut);

@@ -1,0 +1,302 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build environment has no route to crates.io, so the workspace
+//! vendors a small timing harness with the same shape: benchmark
+//! groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. It calibrates an iteration count per benchmark, takes a few
+//! samples, and prints the median ns/iter — no statistics engine, no
+//! HTML reports.
+//!
+//! Environment knobs: `BENCH_MEASURE_MS` (per-sample budget,
+//! default 20) and `BENCH_SAMPLES` (default 5).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement marker types (the stand-in only measures wall time).
+
+    /// Wall-clock time measurement.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies a benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name }
+    }
+}
+
+/// Throughput annotation (recorded but not rendered by the stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the
+/// stand-in; every iteration gets a fresh input).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    measure: Duration,
+    samples: u32,
+}
+
+impl Settings {
+    fn from_env() -> Settings {
+        let ms = std::env::var("BENCH_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        let samples = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        Settings {
+            measure: Duration::from_millis(ms),
+            samples: samples.max(1),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            group: name.into(),
+            settings: self.settings,
+            _m: PhantomData,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().name, self.settings, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    group: String,
+    settings: Settings,
+    _m: PhantomData<&'a M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Records the work performed per iteration (accepted for API
+    /// compatibility; the stand-in does not derive rates from it).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.group, id.name), self.settings, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Times a routine for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, mut f: F) {
+    // Calibrate: grow the iteration count until one sample fills the
+    // per-sample budget (or the count is clearly large enough).
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= settings.measure || iters >= 1 << 20 {
+            break;
+        }
+        let per_iter = (b.elapsed.as_nanos() / u128::from(iters)).max(1);
+        let target = (settings.measure.as_nanos() / per_iter).max(1);
+        let next = u64::try_from(target)
+            .unwrap_or(u64::MAX)
+            .min(iters.saturating_mul(100));
+        iters = next.max(iters + 1).min(1 << 20);
+    }
+
+    let mut samples: Vec<f64> = (0..settings.samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<60} {median:>12.1} ns/iter  ({iters} iters x {} samples)",
+        samples.len()
+    );
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        std::env::set_var("BENCH_MEASURE_MS", "1");
+        std::env::set_var("BENCH_SAMPLES", "2");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        let mut ran = false;
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("noop", 4), |b| {
+            b.iter(|| black_box(2 + 2));
+            ran = true;
+        });
+        group.bench_with_input("with_input", &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

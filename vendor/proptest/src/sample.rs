@@ -1,0 +1,51 @@
+//! `prop::sample` — sampling helpers.
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::arbitrary::Arbitrary;
+
+/// A deferred index: a random draw that can be projected onto any
+/// non-empty collection length after generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects the draw onto `0..size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projects_into_bounds() {
+        for raw in [0, 1, 41, u64::MAX] {
+            let idx = Index(raw);
+            for size in [1usize, 2, 7, 1_000] {
+                assert!(idx.index(size) < size);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_collection_panics() {
+        let _ = Index(3).index(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The [`Strategy`] trait and the combinators the workspace uses:
+//! integer ranges, tuples, and `prop_map`.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating test-case values.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the runner's RNG.
+pub trait Strategy {
+    /// The type of generated values. `Clone` lets the runner keep a copy
+    /// for the failure report; `Debug` lets it print one.
+    type Value: Clone + fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+        O: Clone + fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            f,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F, O> {
+    source: S,
+    f: F,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<S, F, O> Strategy for Map<S, F, O>
+where
+    S: Strategy,
+    O: Clone + fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! strategy_for_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! strategy_for_tuple {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+strategy_for_tuple!(A.0);
+strategy_for_tuple!(A.0, B.1);
+strategy_for_tuple!(A.0, B.1, C.2);
+strategy_for_tuple!(A.0, B.1, C.2, D.3);
+strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let strat = (0..5u32, 10..20usize).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..1_000 {
+            let v = strat.generate(&mut rng);
+            assert!((10..25).contains(&v), "{v}");
+        }
+    }
+}

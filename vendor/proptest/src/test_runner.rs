@@ -1,0 +1,139 @@
+//! The case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs were unsuitable; it does not count as a failure.
+    Reject(String),
+    /// The property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome with the given message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) outcome with the given message.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(msg) => write!(f, "case rejected: {msg}"),
+            TestCaseError::Fail(msg) => write!(f, "case failed: {msg}"),
+        }
+    }
+}
+
+/// Outcome of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `config.cases` generated cases of one property.
+///
+/// `case` generates inputs from the RNG and returns the body's outcome
+/// (caught panics included) plus a rendering of the inputs for failure
+/// reports. The RNG is seeded from the fully-qualified test name, so
+/// every test gets a distinct, reproducible sequence.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) on the first failing case,
+/// with the generated inputs in the message.
+pub fn run_cases<F>(config: &Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (std::thread::Result<TestCaseResult>, String),
+{
+    let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+    for case_no in 0..config.cases {
+        let (outcome, inputs) = case(&mut rng);
+        match outcome {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{name}: case {case_no}/{} failed: {msg}\ninputs:\n{inputs}",
+                    config.cases
+                )
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{name}: case {case_no}/{} panicked; inputs:\n{inputs}",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_names_get_distinct_seeds() {
+        assert_ne!(fnv1a(b"mod::test_a"), fnv1a(b"mod::test_b"));
+    }
+
+    #[test]
+    fn runs_exactly_cases_times() {
+        let mut runs = 0;
+        run_cases(&Config::with_cases(17), "counter", |_| {
+            runs += 1;
+            (Ok(Ok(())), String::new())
+        });
+        assert_eq!(runs, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_fail() {
+        run_cases(&Config::with_cases(3), "rejects", |_| {
+            (Ok(Err(TestCaseError::reject("skip"))), String::new())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "bad case")]
+    fn failures_panic_with_message() {
+        run_cases(&Config::with_cases(3), "fails", |_| {
+            (Ok(Err(TestCaseError::fail("bad case"))), "  x = 1\n".into())
+        });
+    }
+}

@@ -1,0 +1,66 @@
+//! The standard RNG: xoshiro256++, a small, fast, high-quality PRNG.
+//! (Real `rand 0.8` uses ChaCha12 here; nothing in this workspace
+//! depends on the exact stream, only on determinism per seed.)
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic, seedable RNG (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> StdRng {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            // xoshiro must not start from the all-zero state.
+            let mut sm = 0x5eed_5eed_5eed_5eed;
+            for word in &mut s {
+                *word = crate::splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        let draws: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0), "{draws:?}");
+    }
+
+    #[test]
+    fn next_u32_uses_high_bits() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = a.clone();
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+}

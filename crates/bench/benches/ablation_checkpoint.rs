@@ -40,7 +40,7 @@ fn run_once<M: RecoveryMethod>(method: &M, ops: &[PageOp], every: Option<usize>)
     let mut rng = StdRng::seed_from_u64(77);
     for (i, op) in ops.iter().enumerate() {
         method.execute(&mut db, op).expect("execute");
-        db.chaos_flush(&mut rng, 0.8, 0.2);
+        db.chaos_flush(&mut rng, 0.8, 0.2).unwrap();
         if let Some(k) = every {
             if (i + 1) % k == 0 {
                 method.checkpoint(&mut db).expect("checkpoint");

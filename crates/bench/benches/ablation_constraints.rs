@@ -27,7 +27,7 @@ fn run_to_checkpoint<M: RecoveryMethod>(method: &M, ops: &[PageOp]) -> u64 {
     let mut rng = StdRng::seed_from_u64(5);
     for op in ops {
         method.execute(&mut db, op).expect("execute");
-        db.chaos_flush(&mut rng, 0.6, 0.25);
+        db.chaos_flush(&mut rng, 0.6, 0.25).unwrap();
     }
     method.checkpoint(&mut db).expect("checkpoint");
     db.disk.page_writes()

@@ -149,7 +149,7 @@ fn crashed_physiological_db(
         Physiological.execute(&mut db, op).unwrap();
         // Flush the log eagerly but pages rarely, so recovery finds a
         // long tail of genuinely uninstalled operations to replay.
-        db.chaos_flush(&mut rng, 0.9, 0.01);
+        db.chaos_flush(&mut rng, 0.9, 0.01).unwrap();
     }
     db.log.flush_all();
     db.crash();

@@ -29,6 +29,7 @@ fn cfg(audit: bool) -> HarnessConfig {
         audit,
         slots_per_page: 8,
         pool_capacity: None,
+        fault: None,
     }
 }
 

@@ -694,7 +694,7 @@ mod tests {
                     let v = mix64(k ^ i);
                     tree.insert(k, v).unwrap();
                     model.insert(k, v);
-                    tree.db.chaos_flush(&mut rng, 0.6, 0.3);
+                    tree.db.chaos_flush(&mut rng, 0.6, 0.3).unwrap();
                 }
                 tree.db.log.flush_all();
                 tree.crash();

@@ -1,10 +1,12 @@
 //! `redo-check` — command-line recovery checker.
 //!
 //! ```text
-//! redo-check theorems  [--ops N] [--vars V] [--seeds K] [--blind F]
-//! redo-check schedules [--method M] [--ops N] [--pages P] [--seeds K] [--limit L]
-//! redo-check walks     [--ops N] [--vars V] [--seeds K] [--steps S]
-//! redo-check beyond    [--ops N] [--vars V] [--seeds K]
+//! redo-check theorems    [--ops N] [--vars V] [--seeds K] [--blind F]
+//! redo-check schedules   [--method M] [--ops N] [--pages P] [--seeds K] [--limit L]
+//! redo-check walks       [--ops N] [--vars V] [--seeds K] [--steps S]
+//! redo-check beyond      [--ops N] [--vars V] [--seeds K]
+//! redo-check crash-audit [--method M] [--schedules S] [--ops N] [--pages P]
+//!                        [--seed X] [--capacity C]
 //! ```
 //!
 //! * `theorems`  — brute-force Theorem 3 / converse / Corollary 4 on
@@ -14,6 +16,11 @@
 //!   the last two are deliberately broken and should FAIL).
 //! * `walks`     — fuzz write-graph evolutions against Corollary 5.
 //! * `beyond`    — search for §7's beyond-the-theory witnesses.
+//! * `crash-audit` — drive each method (`--method all` by default)
+//!   through seeded crash schedules with injected faults: torn page
+//!   writes, partial log flushes, and a crash in the middle of every
+//!   recovery, checking the Recovery Invariant after each completed
+//!   recovery. `--capacity 0` means an unbounded buffer pool.
 //!
 //! Exit code 0 = everything checked clean (or, for the broken methods,
 //! the expected violation was found); 1 = a violation of the paper's
@@ -22,6 +29,7 @@
 use std::process::ExitCode;
 
 use redo_checker::beyond::find_beyond_witnesses;
+use redo_checker::crash_audit::{audit, CrashAuditConfig};
 use redo_checker::exhaustive::explore;
 use redo_checker::theorems::check_history;
 use redo_checker::wg_walk::walk;
@@ -29,6 +37,7 @@ use redo_methods::broken::{LyingCheckpoint, SkippyRedo};
 use redo_methods::fuzzy::FuzzyPhysiological;
 use redo_methods::generalized::Generalized;
 use redo_methods::logical::Logical;
+use redo_methods::parallel::{ParallelPhysical, ParallelPhysiological};
 use redo_methods::physical::Physical;
 use redo_methods::physiological::Physiological;
 use redo_methods::RecoveryMethod;
@@ -180,6 +189,79 @@ fn cmd_schedules(args: &Args) -> Result<bool, String> {
     }
 }
 
+fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
+    match audit(method, cfg) {
+        Ok(r) => {
+            println!(
+                "{}: OK — {} schedules, {} crashes ({} mid-recovery), {} faults fired \
+                 ({} torn writes, {} torn flushes, {} clean stops), {} torn pages repaired, \
+                 {} log bytes dropped, {} recoveries verified",
+                method.name(),
+                r.schedules,
+                r.crashes,
+                r.mid_recovery_crashes,
+                r.faults_tripped,
+                r.torn_writes,
+                r.torn_flushes,
+                r.clean_stops,
+                r.torn_pages_repaired,
+                r.log_bytes_dropped,
+                r.recoveries_verified
+            );
+            true
+        }
+        Err(e) => {
+            println!("VIOLATION — {e}");
+            false
+        }
+    }
+}
+
+fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
+    let capacity: usize = args.get("capacity", 4)?;
+    let cfg = CrashAuditConfig {
+        schedules: args.get("schedules", 100)?,
+        n_ops: args.get("ops", 40)?,
+        n_pages: args.get("pages", 6)?,
+        seed: args.get("seed", 0)?,
+        pool_capacity: if capacity == 0 { None } else { Some(capacity) },
+        ..Default::default()
+    };
+    let method = args.get_str("method", "all");
+    let all = method == "all";
+    let mut clean = true;
+    let mut matched = false;
+    if all || method == "logical" {
+        clean &= audit_method(&Logical, &cfg);
+        matched = true;
+    }
+    if all || method == "physical" {
+        clean &= audit_method(&Physical, &cfg);
+        matched = true;
+    }
+    if all || method == "physiological" {
+        clean &= audit_method(&Physiological, &cfg);
+        matched = true;
+    }
+    if all || method == "generalized" {
+        clean &= audit_method(&Generalized, &cfg);
+        matched = true;
+    }
+    if all || method == "fuzzy" {
+        clean &= audit_method(&FuzzyPhysiological, &cfg);
+        matched = true;
+    }
+    if all || method == "parallel" {
+        clean &= audit_method(&ParallelPhysiological { threads: 3 }, &cfg);
+        clean &= audit_method(&ParallelPhysical { threads: 3 }, &cfg);
+        matched = true;
+    }
+    if !matched {
+        return Err(format!("unknown method {method}"));
+    }
+    Ok(clean)
+}
+
 fn cmd_walks(args: &Args) -> Result<bool, String> {
     let ops: usize = args.get("ops", 8)?;
     let vars: u32 = args.get("vars", 4)?;
@@ -238,7 +320,9 @@ fn cmd_beyond(args: &Args) -> Result<bool, String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        eprintln!("usage: redo-check <theorems|schedules|walks|beyond> [--flag value]...");
+        eprintln!(
+            "usage: redo-check <theorems|schedules|walks|beyond|crash-audit> [--flag value]..."
+        );
         return ExitCode::from(2);
     };
     let args = match Args::parse(rest) {
@@ -253,6 +337,7 @@ fn main() -> ExitCode {
         "schedules" => cmd_schedules(&args),
         "walks" => cmd_walks(&args),
         "beyond" => cmd_beyond(&args),
+        "crash-audit" => cmd_crash_audit(&args),
         other => Err(format!("unknown command {other}")),
     };
     match result {

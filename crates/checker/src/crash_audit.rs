@@ -1,0 +1,520 @@
+//! Seeded crash-schedule audit with fault injection.
+//!
+//! [`crate::exhaustive`] enumerates every *flush* schedule of a tiny
+//! workload, but its crashes are polite: whole pages, whole log
+//! records. This module samples many larger schedules and makes the
+//! crashes hostile — each schedule arms a random
+//! [`FaultPlan`](redo_sim::fault::FaultPlan) (a clean stop, a torn page
+//! write, or a partial log flush at a random faultable I/O event) and
+//! then drives the method through the full degradation loop the paper's
+//! Corollary 4 must survive:
+//!
+//! 1. **Run** the workload with background chaos and checkpoints until
+//!    the fault trips (or the workload ends), then crash and run media
+//!    repair ([`redo_sim::db::Db::repair_after_crash`]).
+//! 2. **Probe recovery**: on a clone of the crashed image, run recovery
+//!    to completion and check the Recovery Invariant — the realized
+//!    redo set joined with the repaired disk state must be explained by
+//!    an installation-graph prefix of the durable history — plus exact
+//!    state equality with the durable prefix's final state.
+//! 3. **Crash mid-recovery**: on the real image, arm a *second* fault
+//!    plan and run recovery again, then crash unconditionally. Because
+//!    recovery's replay is volatile until a post-recovery checkpoint,
+//!    this discards all of recovery's work regardless of where the
+//!    fault landed; for methods whose recovery does touch stable
+//!    storage (evictions under a bounded pool), the armed plan
+//!    additionally tears or suppresses that I/O partway.
+//! 4. **Recover again** after repairing, and verify the invariant and
+//!    final state once more.
+//! 5. **Idempotence**: crash and recover a third time; the recovered
+//!    state must be unchanged.
+//!
+//! The invariant is checked after *every completed* recovery (steps 2,
+//! 4, and 5) — an interrupted recovery has no realized redo set to
+//! check, only the obligation that the next one still succeeds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use redo_methods::harness::HarnessFailure;
+use redo_methods::{RecoveryMethod, RecoveryStats};
+use redo_sim::db::{Db, Geometry};
+use redo_sim::fault::{FaultKind, FaultPlan, InjectedFault};
+use redo_theory::conflict::ConflictGraph;
+use redo_theory::graph::NodeSet;
+use redo_theory::history::History;
+use redo_theory::installation::InstallationGraph;
+use redo_theory::invariant::recovery_invariant;
+use redo_theory::log::Log;
+use redo_theory::state::State;
+use redo_theory::state_graph::StateGraph;
+use redo_workload::pages::{PageOp, PageWorkloadSpec};
+
+/// Crash-audit configuration.
+#[derive(Clone, Debug)]
+pub struct CrashAuditConfig {
+    /// Seeded crash schedules per method.
+    pub schedules: u64,
+    /// Operations per schedule.
+    pub n_ops: usize,
+    /// Pages in the workload.
+    pub n_pages: u32,
+    /// Base RNG seed; schedule `s` derives its own stream from it.
+    pub seed: u64,
+    /// Buffer-pool capacity (`None` = unbounded). Methods that forbid
+    /// page chaos (logical) always get an unbounded pool: an eviction
+    /// is a page write, and their discipline freezes the disk between
+    /// checkpoints.
+    pub pool_capacity: Option<usize>,
+    /// Checkpoint cadence within a schedule.
+    pub checkpoint_every: Option<usize>,
+    /// Background `(log, page)` flush probabilities; page chaos is
+    /// suppressed for methods that forbid it.
+    pub chaos: Option<(f64, f64)>,
+    /// Page geometry.
+    pub slots_per_page: u16,
+}
+
+impl Default for CrashAuditConfig {
+    fn default() -> Self {
+        CrashAuditConfig {
+            schedules: 100,
+            n_ops: 40,
+            n_pages: 6,
+            seed: 0,
+            pool_capacity: Some(4),
+            checkpoint_every: Some(7),
+            chaos: Some((0.7, 0.4)),
+            slots_per_page: 8,
+        }
+    }
+}
+
+/// What a crash audit observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashAuditReport {
+    /// Schedules driven.
+    pub schedules: u64,
+    /// Total crashes injected (three per schedule).
+    pub crashes: u64,
+    /// Crashes that discarded an in-flight recovery (one per schedule).
+    pub mid_recovery_crashes: u64,
+    /// Armed faults that actually fired.
+    pub faults_tripped: u64,
+    /// Fired faults that tore a page write.
+    pub torn_writes: u64,
+    /// Fired faults that truncated a log flush.
+    pub torn_flushes: u64,
+    /// Fired faults that stopped the machine cleanly (planned, or a
+    /// torn kind that degraded on the wrong device).
+    pub clean_stops: u64,
+    /// Torn pages restored from their pre-images.
+    pub torn_pages_repaired: usize,
+    /// Torn log-tail bytes discarded.
+    pub log_bytes_dropped: usize,
+    /// Completed recoveries whose invariant and final state were
+    /// verified (three per schedule).
+    pub recoveries_verified: u64,
+    /// Operations replayed across all verified recoveries.
+    pub replayed: usize,
+    /// Operations bypassed as installed across all verified recoveries.
+    pub skipped: usize,
+}
+
+/// A schedule on which the method failed.
+#[derive(Clone, Debug)]
+pub struct CrashAuditFailure {
+    /// The method under audit.
+    pub method: &'static str,
+    /// Which schedule (0-based).
+    pub schedule: u64,
+    /// Which step of the degradation loop.
+    pub phase: &'static str,
+    /// What went wrong.
+    pub failure: HarnessFailure,
+}
+
+impl fmt::Display for CrashAuditFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: schedule {} failed during {}: {}",
+            self.method, self.schedule, self.phase, self.failure
+        )
+    }
+}
+
+impl std::error::Error for CrashAuditFailure {}
+
+/// The theory-level projection of a durable prefix.
+struct View {
+    cg: ConflictGraph,
+    ig: InstallationGraph,
+    sg: StateGraph,
+    log: Log,
+    n: usize,
+    position_of: BTreeMap<u32, usize>,
+}
+
+fn view_of(durable: &[PageOp], spp: u16) -> View {
+    let history = History::renumbering(durable.iter().map(|op| op.to_operation(spp)).collect());
+    let cg = ConflictGraph::generate(&history);
+    let ig = InstallationGraph::from_conflict(&cg);
+    let sg = StateGraph::from_conflict(&history, &cg, &State::zeroed());
+    let log = Log::from_history(&history);
+    let n = history.len();
+    let position_of = durable
+        .iter()
+        .enumerate()
+        .map(|(i, op)| (op.id, i))
+        .collect();
+    View {
+        cg,
+        ig,
+        sg,
+        log,
+        n,
+        position_of,
+    }
+}
+
+/// Checks one *completed* recovery: exact state equality with the
+/// durable prefix's final state, and the Recovery Invariant for the
+/// realized redo set against the pre-recovery disk state.
+fn verify_recovery(
+    view: &View,
+    stats: &RecoveryStats,
+    recovered: &State,
+    pre_disk: &State,
+    crash: u64,
+) -> Result<(), HarnessFailure> {
+    if *recovered != view.sg.final_state() {
+        return Err(HarnessFailure::StateMismatch { crash: Some(crash) });
+    }
+    let mut redo_set = NodeSet::new(view.n);
+    for id in &stats.replayed {
+        match view.position_of.get(id) {
+            Some(&pos) => {
+                redo_set.insert(pos);
+            }
+            None => {
+                return Err(HarnessFailure::Invariant {
+                    crash,
+                    detail: format!("recovery replayed non-durable operation {id}"),
+                })
+            }
+        }
+    }
+    recovery_invariant(&view.cg, &view.ig, &view.sg, &view.log, &redo_set, pre_disk).map_err(|v| {
+        HarnessFailure::Invariant {
+            crash,
+            detail: v.to_string(),
+        }
+    })
+}
+
+/// Samples a fault plan whose crash point lies in `1..=max_at`.
+fn sample_plan(rng: &mut StdRng, max_at: u64) -> FaultPlan {
+    let at = rng.gen_range(1..=max_at.max(1));
+    let kind = match rng.gen_range(0u32..10) {
+        0..=3 => FaultKind::TornWrite {
+            sectors: rng.gen_range(1..=3),
+        },
+        4..=7 => FaultKind::TornFlush {
+            bytes: rng.gen_range(1..=24),
+        },
+        _ => FaultKind::Clean,
+    };
+    FaultPlan { at, kind }
+}
+
+/// Generates the operation shapes a method's logging discipline admits
+/// (mirrors the harness and the `schedules` explorer).
+fn shaped_workload(method_name: &str, cfg: &CrashAuditConfig, seed: u64) -> Vec<PageOp> {
+    let (cross, blind, multi) = match method_name {
+        "physical" | "physical-parallel" => (0.0, 1.0, 0.0),
+        "generalized-lsn" => (0.5, 0.1, 0.2),
+        "logical" => (0.5, 0.1, 0.0),
+        _ => (0.0, 0.2, 0.0),
+    };
+    PageWorkloadSpec {
+        n_ops: cfg.n_ops,
+        n_pages: cfg.n_pages,
+        slots_per_page: cfg.slots_per_page,
+        cross_page_fraction: cross,
+        multi_page_fraction: multi,
+        blind_fraction: blind,
+        ..Default::default()
+    }
+    .generate(seed)
+}
+
+/// Drives `method` through `cfg.schedules` seeded crash schedules (see
+/// the module docs for the per-schedule degradation loop).
+///
+/// # Errors
+///
+/// The first schedule on which a completed recovery violated the
+/// Recovery Invariant, mismatched the durable prefix's state, failed to
+/// be idempotent, or the substrate refused an operation with no fault
+/// armed as an excuse.
+pub fn audit<M: RecoveryMethod>(
+    method: &M,
+    cfg: &CrashAuditConfig,
+) -> Result<CrashAuditReport, CrashAuditFailure> {
+    let mut report = CrashAuditReport::default();
+    for s in 0..cfg.schedules {
+        run_schedule(method, cfg, s, &mut report).map_err(|(phase, failure)| {
+            CrashAuditFailure {
+                method: method.name(),
+                schedule: s,
+                phase,
+                failure,
+            }
+        })?;
+        report.schedules += 1;
+    }
+    Ok(report)
+}
+
+type PhaseResult = Result<(), (&'static str, HarnessFailure)>;
+
+fn run_schedule<M: RecoveryMethod>(
+    method: &M,
+    cfg: &CrashAuditConfig,
+    s: u64,
+    report: &mut CrashAuditReport,
+) -> PhaseResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let ops = shaped_workload(method.name(), cfg, cfg.seed.wrapping_add(s));
+    let capacity = if method.allows_page_chaos() {
+        cfg.pool_capacity
+    } else {
+        None
+    };
+    let mut db: Db<M::Payload> = Db::with_capacity(
+        Geometry {
+            slots_per_page: cfg.slots_per_page,
+        },
+        capacity,
+    );
+    let fail = |phase: &'static str, e: HarnessFailure| (phase, e);
+
+    // Step 1: run until the armed fault trips (or the workload ends).
+    db.arm_faults(sample_plan(&mut rng, ops.len() as u64 * 4));
+    let mut committed: Vec<(PageOp, redo_theory::log::Lsn)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match method.execute(&mut db, op) {
+            Ok(lsn) => committed.push((op.clone(), lsn)),
+            Err(_) if db.fault_tripped() => {}
+            Err(e) => return Err(fail("workload", e.into())),
+        }
+        if let Some((log_p, page_p)) = cfg.chaos {
+            let page_p = if method.allows_page_chaos() {
+                page_p
+            } else {
+                0.0
+            };
+            match db.chaos_flush(&mut rng, log_p, page_p) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(fail("workload", e.into())),
+            }
+        }
+        if cfg.checkpoint_every.is_some_and(|k| (i + 1) % k == 0) {
+            match method.checkpoint(&mut db) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(fail("checkpoint", e.into())),
+            }
+        }
+        if db.fault_tripped() {
+            break;
+        }
+    }
+    tally_fault(&db, report);
+    db.crash();
+    report.crashes += 1;
+    let repair = db.repair_after_crash();
+    report.torn_pages_repaired += repair.torn_pages.len();
+    report.log_bytes_dropped += repair.log_bytes_dropped;
+
+    let stable = db.log.stable_lsn();
+    committed.retain(|(_, lsn)| *lsn <= stable);
+    let durable: Vec<PageOp> = committed.iter().map(|(op, _)| op.clone()).collect();
+    let view = view_of(&durable, cfg.slots_per_page);
+    let pre1 = db.stable_theory_state();
+
+    // Step 2: probe recovery on a clone of the crashed image. The clone
+    // shares the (now disarmed) injector; it is discarded before the
+    // second plan is armed.
+    let mut probe = db.clone();
+    let stats = method
+        .recover(&mut probe)
+        .map_err(|e| fail("probe recovery", e.into()))?;
+    verify_recovery(&view, &stats, &probe.volatile_theory_state(), &pre1, 1)
+        .map_err(|e| fail("probe recovery", e))?;
+    report.recoveries_verified += 1;
+    report.replayed += stats.replay_count();
+    report.skipped += stats.skipped.len();
+    drop(probe);
+
+    // Step 3: crash the real image mid-recovery.
+    db.arm_faults(sample_plan(&mut rng, 6));
+    match method.recover(&mut db) {
+        Ok(_) => {}
+        Err(_) if db.fault_tripped() => {}
+        Err(e) => return Err(fail("interrupted recovery", e.into())),
+    }
+    tally_fault(&db, report);
+    db.crash();
+    report.crashes += 1;
+    report.mid_recovery_crashes += 1;
+    let repair = db.repair_after_crash();
+    report.torn_pages_repaired += repair.torn_pages.len();
+    report.log_bytes_dropped += repair.log_bytes_dropped;
+
+    // Step 4: recovery after the mid-recovery crash. The durable prefix
+    // is unchanged (recovery appends nothing to the log), but the disk
+    // may hold more installed work than at crash 1 — legal flushes the
+    // interrupted recovery performed before its fault tripped.
+    let pre2 = db.stable_theory_state();
+    let stats = method
+        .recover(&mut db)
+        .map_err(|e| fail("re-recovery", e.into()))?;
+    verify_recovery(&view, &stats, &db.volatile_theory_state(), &pre2, 2)
+        .map_err(|e| fail("re-recovery", e))?;
+    report.recoveries_verified += 1;
+    report.replayed += stats.replay_count();
+    report.skipped += stats.skipped.len();
+    let recovered = db.volatile_theory_state();
+
+    // Step 5: idempotence — crash the recovered-but-unchekpointed
+    // system and recover once more; the state must not move.
+    db.crash();
+    report.crashes += 1;
+    let repair = db.repair_after_crash();
+    report.torn_pages_repaired += repair.torn_pages.len();
+    report.log_bytes_dropped += repair.log_bytes_dropped;
+    let pre3 = db.stable_theory_state();
+    let stats = method
+        .recover(&mut db)
+        .map_err(|e| fail("idempotence", e.into()))?;
+    verify_recovery(&view, &stats, &db.volatile_theory_state(), &pre3, 3)
+        .map_err(|e| fail("idempotence", e))?;
+    report.recoveries_verified += 1;
+    report.replayed += stats.replay_count();
+    report.skipped += stats.skipped.len();
+    if db.volatile_theory_state() != recovered {
+        return Err(fail(
+            "idempotence",
+            HarnessFailure::StateMismatch { crash: None },
+        ));
+    }
+    Ok(())
+}
+
+fn tally_fault<P: redo_sim::wal::LogPayload>(db: &Db<P>, report: &mut CrashAuditReport) {
+    if !db.fault_tripped() {
+        return;
+    }
+    report.faults_tripped += 1;
+    match db.fault_injector().injected() {
+        Some(InjectedFault::TornWrite(_)) => report.torn_writes += 1,
+        Some(InjectedFault::TornFlush) => report.torn_flushes += 1,
+        Some(InjectedFault::Clean) | None => report.clean_stops += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_methods::fuzzy::FuzzyPhysiological;
+    use redo_methods::generalized::Generalized;
+    use redo_methods::logical::Logical;
+    use redo_methods::parallel::{ParallelPhysical, ParallelPhysiological};
+    use redo_methods::physical::Physical;
+    use redo_methods::physiological::Physiological;
+
+    fn small() -> CrashAuditConfig {
+        CrashAuditConfig {
+            schedules: 12,
+            n_ops: 24,
+            ..Default::default()
+        }
+    }
+
+    fn assert_clean(report: &CrashAuditReport, cfg: &CrashAuditConfig) {
+        assert_eq!(report.schedules, cfg.schedules);
+        assert_eq!(report.mid_recovery_crashes, cfg.schedules);
+        assert_eq!(report.crashes, cfg.schedules * 3);
+        assert_eq!(report.recoveries_verified, cfg.schedules * 3);
+        assert!(report.faults_tripped > 0, "no fault ever fired: {report:?}");
+    }
+
+    #[test]
+    fn physical_survives_crash_audit() {
+        let cfg = small();
+        let report = audit(&Physical, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn physiological_survives_crash_audit() {
+        let cfg = small();
+        let report = audit(&Physiological, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn generalized_survives_crash_audit() {
+        let cfg = small();
+        let report = audit(&Generalized, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn logical_survives_crash_audit() {
+        let cfg = small();
+        let report = audit(&Logical, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn fuzzy_survives_crash_audit() {
+        let cfg = small();
+        let report = audit(&FuzzyPhysiological, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn parallel_methods_survive_crash_audit() {
+        let cfg = CrashAuditConfig {
+            schedules: 6,
+            n_ops: 24,
+            ..Default::default()
+        };
+        let report =
+            audit(&ParallelPhysiological { threads: 3 }, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        let report =
+            audit(&ParallelPhysical { threads: 3 }, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn both_torn_kinds_occur_across_schedules() {
+        let cfg = CrashAuditConfig {
+            schedules: 40,
+            n_ops: 24,
+            ..Default::default()
+        };
+        let report = audit(&Physiological, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.torn_writes > 0, "{report:?}");
+        assert!(report.torn_flushes > 0, "{report:?}");
+        assert!(report.torn_pages_repaired > 0, "{report:?}");
+        assert!(report.log_bytes_dropped > 0, "{report:?}");
+    }
+}

@@ -29,6 +29,10 @@
 //!   goes forward), and multi-threaded replay reaches exactly the state
 //!   sequential replay reaches — exhaustively on small histories and on
 //!   hundreds of random large ones.
+//! * [`crash_audit`] samples seeded crash schedules with *injected
+//!   faults* — torn page writes, partial log flushes, crashes in the
+//!   middle of recovery itself — and checks the Recovery Invariant
+//!   after every completed recovery, plus recovery idempotence.
 //! * [`exhaustive`] explores the *simulated database* instead of the
 //!   abstract model: every reachable (log-flush × page-flush) schedule
 //!   of a workload under a §6 recovery method, crashing at every
@@ -43,6 +47,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod beyond;
+pub mod crash_audit;
 pub mod cuts;
 pub mod exhaustive;
 pub mod schedule;

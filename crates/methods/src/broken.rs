@@ -49,6 +49,9 @@ impl RecoveryMethod for SkippyRedo {
     }
 
     fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        // Recovery's first act: repair crash damage the media can
+        // detect (torn pages, a torn log-tail fragment).
+        db.repair_after_crash();
         let master = db.disk.master();
         let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
@@ -103,6 +106,9 @@ impl RecoveryMethod for LyingCheckpoint {
     }
 
     fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        // Recovery's first act: repair crash damage the media can
+        // detect (torn pages, a torn log-tail fragment).
+        db.repair_after_crash();
         Physiological.recover(db)
     }
 }
@@ -131,6 +137,7 @@ mod tests {
             audit: true,
             slots_per_page: 8,
             pool_capacity: None,
+            fault: None,
         }
     }
 

@@ -187,6 +187,9 @@ impl RecoveryMethod for FuzzyPhysiological {
     }
 
     fn recover(&self, db: &mut Db<FuzzyPayload>) -> SimResult<RecoveryStats> {
+        // Recovery's first act: repair crash damage the media can
+        // detect (torn pages, a torn log-tail fragment).
+        db.repair_after_crash();
         let (records, analysis) = self.analyze(db)?;
         let mut stats = RecoveryStats::default();
         for rec in records {
@@ -324,7 +327,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
             for (i, op) in ops.iter().enumerate() {
                 FuzzyPhysiological.execute(&mut db, op).unwrap();
-                db.chaos_flush(&mut rng, 0.7, 0.3);
+                db.chaos_flush(&mut rng, 0.7, 0.3).unwrap();
                 if i % 11 == 10 {
                     FuzzyPhysiological.checkpoint(&mut db).unwrap();
                 }

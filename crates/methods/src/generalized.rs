@@ -212,6 +212,9 @@ impl RecoveryMethod for Generalized {
     }
 
     fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        // Recovery's first act: repair crash damage the media can
+        // detect (torn pages, a torn log-tail fragment).
+        db.repair_after_crash();
         let master = db.disk.master();
         let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
@@ -418,7 +421,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
             for op in &ops {
                 Generalized.execute(&mut db, op).unwrap();
-                db.chaos_flush(&mut rng, 0.6, 0.3);
+                db.chaos_flush(&mut rng, 0.6, 0.3).unwrap();
             }
             db.log.flush_all();
             db.crash();
@@ -567,7 +570,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
             for op in &ops {
                 Generalized.execute(&mut db, op).unwrap();
-                db.chaos_flush(&mut rng, 0.6, 0.3);
+                db.chaos_flush(&mut rng, 0.6, 0.3).unwrap();
             }
             db.log.flush_all();
             db.crash();

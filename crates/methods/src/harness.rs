@@ -19,6 +19,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use redo_sim::db::{Db, Geometry};
+use redo_sim::fault::FaultPlan;
 use redo_sim::SimError;
 use redo_theory::conflict::ConflictGraph;
 use redo_theory::graph::NodeSet;
@@ -51,6 +52,11 @@ pub struct HarnessConfig {
     pub slots_per_page: u16,
     /// Buffer pool capacity (`None` = unbounded).
     pub pool_capacity: Option<usize>,
+    /// A crash-point fault to arm before the first operation: when it
+    /// trips, the harness crashes the database at the next operation
+    /// boundary (substrate errors in between are expected — the machine
+    /// is dying) and verifies recovery as usual.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for HarnessConfig {
@@ -63,6 +69,7 @@ impl Default for HarnessConfig {
             audit: true,
             slots_per_page: 8,
             pool_capacity: None,
+            fault: None,
         }
     }
 }
@@ -89,6 +96,10 @@ pub struct HarnessReport {
     pub log_bytes: u64,
     /// Total page writes to disk.
     pub page_writes: u64,
+    /// Torn pages repaired from their pre-images across all crashes.
+    pub torn_repairs: usize,
+    /// Torn log-tail bytes discarded across all crashes.
+    pub log_tail_dropped: usize,
 }
 
 /// Why a harness run failed.
@@ -194,27 +205,45 @@ pub fn run<M: RecoveryMethod>(
     // at every crash that has happened since they ran.
     let mut committed: Vec<(PageOp, redo_theory::log::Lsn)> = Vec::new();
 
-    for (i, op) in ops.iter().enumerate() {
-        let lsn = method.execute(&mut db, op)?;
-        committed.push((op.clone(), lsn));
+    if let Some(plan) = cfg.fault {
+        db.arm_faults(plan);
+    }
 
+    for (i, op) in ops.iter().enumerate() {
+        // Once the armed fault trips, the machine is dying: substrate
+        // errors are expected (post-trip I/O is suppressed, so e.g. a
+        // checkpoint's page flush sees a WAL violation) and the next
+        // operation boundary crashes for real. An error WITHOUT a trip
+        // is a genuine failure.
+        match method.execute(&mut db, op) {
+            Ok(lsn) => committed.push((op.clone(), lsn)),
+            Err(_) if db.fault_tripped() => {}
+            Err(e) => return Err(e.into()),
+        }
         if let Some((log_p, page_p)) = cfg.chaos {
             let page_p = if method.allows_page_chaos() {
                 page_p
             } else {
                 0.0
             };
-            db.chaos_flush(&mut rng, log_p, page_p);
+            match db.chaos_flush(&mut rng, log_p, page_p) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(e.into()),
+            }
         }
         if let Some(k) = cfg.checkpoint_every {
             if (i + 1) % k == 0 {
-                method.checkpoint(&mut db)?;
+                match method.checkpoint(&mut db) {
+                    Ok(()) => {}
+                    Err(_) if db.fault_tripped() => {}
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
-        if let Some(k) = cfg.crash_every {
-            if (i + 1) % k == 0 {
-                crash_and_verify(method, &mut db, &mut committed, cfg, &mut report)?;
-            }
+        let scheduled_crash = cfg.crash_every.is_some_and(|k| (i + 1) % k == 0);
+        if db.fault_tripped() || scheduled_crash {
+            crash_and_verify(method, &mut db, &mut committed, cfg, &mut report)?;
         }
     }
 
@@ -241,10 +270,17 @@ fn crash_and_verify<M: RecoveryMethod>(
     cfg: &HarnessConfig,
     report: &mut HarnessReport,
 ) -> Result<(), HarnessFailure> {
-    let stable = db.log.stable_lsn();
-    let pre_crash_disk = db.stable_theory_state();
     db.crash();
     report.crashes += 1;
+    // Media repair precedes everything: a torn page projects garbage
+    // and a torn log tail reads as corruption, so the theory snapshot
+    // below is taken from the repaired (= explainable) image — exactly
+    // the state recovery itself starts from.
+    let repair = db.repair_after_crash();
+    report.torn_repairs += repair.torn_pages.len();
+    report.log_tail_dropped += repair.log_bytes_dropped;
+    let stable = db.log.stable_lsn();
+    let pre_crash_disk = db.stable_theory_state();
     // Durable prefix: operations whose log records reached the stable
     // log. Everything after is lost, by design of redo-only recovery.
     committed.retain(|(_, lsn)| *lsn <= stable);
@@ -423,6 +459,42 @@ mod tests {
             "ops after the last crash survive in cache"
         );
         assert_eq!(report.lost, 40);
+    }
+
+    #[test]
+    fn armed_faults_trip_and_recovery_still_passes_audit() {
+        // Sweep the crash point across the run: wherever the fault
+        // lands — torn page write, torn log flush, or a clean stop —
+        // recovery must restore the durable prefix and the invariant
+        // must hold. Across the sweep both damage kinds must actually
+        // occur (the sweep is vacuous if every fault degrades).
+        use redo_sim::fault::FaultKind;
+        let mut torn = 0usize;
+        let mut dropped = 0usize;
+        for at in 1..=24u64 {
+            let cfg = HarnessConfig {
+                chaos: Some((0.8, 0.6)),
+                fault: Some(FaultPlan {
+                    at,
+                    kind: FaultKind::TornWrite { sectors: 1 },
+                }),
+                ..Default::default()
+            };
+            let report = run(&Physiological, &physio_workload(5), &cfg).unwrap();
+            torn += report.torn_repairs;
+            let cfg = HarnessConfig {
+                chaos: Some((0.8, 0.6)),
+                fault: Some(FaultPlan {
+                    at,
+                    kind: FaultKind::TornFlush { bytes: 5 },
+                }),
+                ..Default::default()
+            };
+            let report = run(&Physiological, &physio_workload(5), &cfg).unwrap();
+            dropped += report.log_tail_dropped;
+        }
+        assert!(torn > 0, "no torn write ever landed in the sweep");
+        assert!(dropped > 0, "no torn flush ever landed in the sweep");
     }
 
     #[test]

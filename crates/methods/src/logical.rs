@@ -78,9 +78,12 @@ impl RecoveryMethod for Logical {
         }
         let ck = db.log.append(PageOpPayload::Checkpoint);
         db.log.flush_all();
-        // The pointer swing: promote + master update, one atomic step.
-        db.disk.promote_staging()?;
-        db.disk.set_master(ck);
+        // The pointer swing: staged pages and the new master install in
+        // ONE atomic (and singly faultable) act — a crash point between
+        // "promote" and "set master" must not exist, or recovery would
+        // see checkpoint pages installed while the master still points
+        // at the previous checkpoint.
+        db.disk.swing_pointer(ck);
         for (id, _) in dirty {
             db.pool.mark_clean(id)?;
         }
@@ -88,6 +91,9 @@ impl RecoveryMethod for Logical {
     }
 
     fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        // Recovery's first act: repair crash damage the media can
+        // detect (torn pages, a torn log-tail fragment).
+        db.repair_after_crash();
         let master = db.disk.master();
         let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();

@@ -170,6 +170,8 @@ pub fn recover_physiological_parallel(
     db: &mut Db<PageOpPayload>,
     threads: usize,
 ) -> SimResult<RecoveryStats> {
+    // Recovery's first act: repair crash damage the media can detect.
+    db.repair_after_crash();
     let master = db.disk.master();
     let records = db.log.decode_stable()?;
     let mut stats = RecoveryStats::default();
@@ -233,6 +235,8 @@ pub fn recover_physical_parallel(
     db: &mut Db<PhysPayload>,
     threads: usize,
 ) -> SimResult<RecoveryStats> {
+    // Recovery's first act: repair crash damage the media can detect.
+    db.repair_after_crash();
     let master = db.disk.master();
     let records = db.log.decode_stable()?;
     let mut stats = RecoveryStats::default();
@@ -355,7 +359,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         for op in ops {
             method.execute(&mut db, op).unwrap();
-            db.chaos_flush(&mut rng, 0.7, 0.4);
+            db.chaos_flush(&mut rng, 0.7, 0.4).unwrap();
         }
         db.log.flush_all();
         db.crash();

@@ -123,6 +123,9 @@ impl RecoveryMethod for Physical {
     }
 
     fn recover(&self, db: &mut Db<PhysPayload>) -> SimResult<RecoveryStats> {
+        // Recovery's first act: repair crash damage the media can
+        // detect (torn pages, a torn log-tail fragment).
+        db.repair_after_crash();
         let master = db.disk.master();
         let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();

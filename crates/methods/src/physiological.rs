@@ -71,6 +71,9 @@ impl RecoveryMethod for Physiological {
     }
 
     fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        // Recovery's first act: repair crash damage the media can
+        // detect (torn pages, a torn log-tail fragment).
+        db.repair_after_crash();
         let master = db.disk.master();
         let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
@@ -187,7 +190,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for op in &ops {
             Physiological.execute(&mut db, op).unwrap();
-            db.chaos_flush(&mut rng, 0.7, 0.4);
+            db.chaos_flush(&mut rng, 0.7, 0.4).unwrap();
         }
         db.log.flush_all();
         db.crash();

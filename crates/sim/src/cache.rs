@@ -78,6 +78,9 @@ pub struct BufferPool {
     constraints: Vec<Constraint>,
     groups: Vec<AtomicGroup>,
     flushes: u64,
+    /// Pin counts: pinned pages are ineligible for eviction (they may
+    /// still be flushed — a pin protects residency, not cleanliness).
+    pins: BTreeMap<PageId, u32>,
 }
 
 impl BufferPool {
@@ -91,6 +94,7 @@ impl BufferPool {
             constraints: Vec::new(),
             groups: Vec::new(),
             flushes: 0,
+            pins: BTreeMap::new(),
         }
     }
 
@@ -104,6 +108,43 @@ impl BufferPool {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
+    }
+
+    /// Every cached page id, clean or dirty, in id order. This is the
+    /// ground truth for "what may differ from disk": volatile-state
+    /// projections overlay exactly these pages.
+    pub fn cached_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.frames.keys().copied()
+    }
+
+    /// Pins a cached page: it cannot be evicted until unpinned. Pins
+    /// nest (each `pin` needs a matching [`BufferPool::unpin`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotCached`] if the page is not resident.
+    pub fn pin(&mut self, id: PageId) -> SimResult<()> {
+        if !self.frames.contains_key(&id) {
+            return Err(SimError::NotCached(id));
+        }
+        *self.pins.entry(id).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on `id` (a no-op if the page is not pinned).
+    pub fn unpin(&mut self, id: PageId) {
+        if let Some(count) = self.pins.get_mut(&id) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&id);
+            }
+        }
+    }
+
+    /// Is the page currently pinned?
+    #[must_use]
+    pub fn is_pinned(&self, id: PageId) -> bool {
+        self.pins.contains_key(&id)
     }
 
     /// Pages currently dirty, in id order.
@@ -348,6 +389,7 @@ impl BufferPool {
         match self.frames.get(&id) {
             None => Err(SimError::NotCached(id)),
             Some(f) if f.dirty => Err(SimError::PoolExhausted),
+            Some(_) if self.is_pinned(id) => Err(SimError::PoolExhausted),
             Some(_) => {
                 self.frames.remove(&id);
                 self.lru.retain(|&p| p != id);
@@ -388,6 +430,7 @@ impl BufferPool {
         self.lru.clear();
         self.constraints.clear();
         self.groups.clear();
+        self.pins.clear();
     }
 
     fn touch(&mut self, id: PageId) {
@@ -408,23 +451,44 @@ impl BufferPool {
     }
 
     fn evict_one(&mut self, disk: &mut Disk, stable_lsn: Lsn) -> SimResult<()> {
+        if self.try_evict_one(disk, stable_lsn) {
+            return Ok(());
+        }
+        // Every unpinned victim was individually unflushable. A victim
+        // blocked by a write-order constraint may become flushable once
+        // its prerequisite (possibly pinned — pins don't forbid
+        // flushing) reaches disk, which is exactly the ordered discharge
+        // flush_all performs. Best effort: WAL-blocked pages legitimately
+        // stay dirty.
+        let _ = self.flush_all(disk, stable_lsn);
+        if self.try_evict_one(disk, stable_lsn) {
+            return Ok(());
+        }
+        Err(SimError::PoolExhausted)
+    }
+
+    fn try_evict_one(&mut self, disk: &mut Disk, stable_lsn: Lsn) -> bool {
         // Try LRU order: clean pages drop immediately; dirty ones flush
         // if legal (which may atomically flush their whole group).
+        // Pinned pages are never victims.
         for i in 0..self.lru.len() {
             let id = self.lru[i];
+            if self.is_pinned(id) {
+                continue;
+            }
             let dirty = self.frames.get(&id).map(|f| f.dirty).unwrap_or(false);
             if !dirty {
                 self.frames.remove(&id);
                 self.lru.remove(i);
-                return Ok(());
+                return true;
             }
             if self.flush_page(disk, id, stable_lsn).is_ok() {
                 self.frames.remove(&id);
                 self.lru.retain(|&p| p != id);
-                return Ok(());
+                return true;
             }
         }
-        Err(SimError::PoolExhausted)
+        false
     }
 }
 
@@ -734,5 +798,98 @@ mod tests {
         pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 1))
             .unwrap();
         assert!(pool.drop_clean(PageId(0)).is_err());
+    }
+
+    #[test]
+    fn cached_pages_covers_clean_and_dirty() {
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(3), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.update(PageId(1), Lsn(1), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        let ids: Vec<PageId> = pool.cached_pages().collect();
+        assert_eq!(ids, vec![PageId(1), PageId(3)], "id order, clean included");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut pool = BufferPool::new(Some(2));
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn(10)).unwrap();
+        pool.pin(PageId(0)).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn(10)).unwrap();
+        // Page 0 is LRU-oldest and clean, but pinned: page 1 must go
+        // instead.
+        pool.fetch(&mut disk, PageId(2), 4, Lsn(10)).unwrap();
+        assert!(pool.get(PageId(0)).is_some());
+        assert!(pool.get(PageId(1)).is_none());
+        pool.unpin(PageId(0));
+        pool.fetch(&mut disk, PageId(3), 4, Lsn(10)).unwrap();
+        assert!(pool.get(PageId(0)).is_none(), "unpinned page evictable");
+    }
+
+    #[test]
+    fn all_pinned_pool_exhausts() {
+        let mut pool = BufferPool::new(Some(1));
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn(10)).unwrap();
+        pool.pin(PageId(0)).unwrap();
+        let err = pool.fetch(&mut disk, PageId(1), 4, Lsn(10)).unwrap_err();
+        assert_eq!(err, SimError::PoolExhausted);
+    }
+
+    #[test]
+    fn pins_nest_and_unpin_is_saturating() {
+        let (mut pool, _disk) = pool_with_page(PageId(0));
+        pool.pin(PageId(0)).unwrap();
+        pool.pin(PageId(0)).unwrap();
+        pool.unpin(PageId(0));
+        assert!(pool.is_pinned(PageId(0)));
+        pool.unpin(PageId(0));
+        assert!(!pool.is_pinned(PageId(0)));
+        pool.unpin(PageId(0)); // extra unpin is harmless
+        assert_eq!(pool.pin(PageId(9)), Err(SimError::NotCached(PageId(9))));
+    }
+
+    #[test]
+    fn drop_clean_refuses_pinned_pages() {
+        let (mut pool, _disk) = pool_with_page(PageId(0));
+        pool.pin(PageId(0)).unwrap();
+        assert_eq!(pool.drop_clean(PageId(0)), Err(SimError::PoolExhausted));
+    }
+
+    #[test]
+    fn crash_clears_pins() {
+        let (mut pool, _disk) = pool_with_page(PageId(0));
+        pool.pin(PageId(0)).unwrap();
+        pool.crash();
+        assert!(!pool.is_pinned(PageId(0)));
+    }
+
+    #[test]
+    fn eviction_discharges_write_order_chains() {
+        // Capacity 2: page 0 is dirty and blocked on page 1 reaching
+        // disk, page 1 is dirty and pinned. A naive victim scan fails
+        // (0 is blocked, 1 is pinned) — the discharge pass flushes the
+        // pinned prerequisite, unblocking 0.
+        let mut pool = BufferPool::new(Some(2));
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn::ZERO,
+            requires: PageId(1),
+            required_lsn: Lsn(2),
+        });
+        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(1), Lsn(2), |p| p.set(SlotId(0), 2))
+            .unwrap();
+        pool.pin(PageId(1)).unwrap();
+        pool.fetch(&mut disk, PageId(2), 4, Lsn(10)).unwrap();
+        assert_eq!(disk.page_lsn(PageId(1)), Lsn(2), "prerequisite flushed");
+        assert!(pool.get(PageId(1)).is_some(), "pinned page stayed resident");
     }
 }

@@ -15,7 +15,8 @@ use redo_workload::pages::{Cell, PageId, PageOp, SlotId};
 
 use crate::cache::BufferPool;
 use crate::disk::Disk;
-use crate::error::SimResult;
+use crate::error::{SimError, SimResult};
+use crate::fault::{FaultInjector, FaultPlan, RepairReport};
 use crate::wal::{LogManager, LogPayload};
 
 /// Page geometry shared by every component.
@@ -43,6 +44,7 @@ pub struct Db<P: LogPayload> {
     /// Page geometry.
     pub geometry: Geometry,
     crashes: u64,
+    injector: FaultInjector,
 }
 
 impl<P: LogPayload> Db<P> {
@@ -55,12 +57,50 @@ impl<P: LogPayload> Db<P> {
     /// A fresh database with a bounded buffer pool.
     #[must_use]
     pub fn with_capacity(geometry: Geometry, capacity: Option<usize>) -> Db<P> {
+        // One injector shared by both stable-storage devices, so a fault
+        // plan's event counter spans disk writes and log flushes alike.
+        let injector = FaultInjector::new();
+        let mut disk = Disk::new();
+        disk.injector = injector.clone();
+        let mut log = LogManager::new();
+        log.injector = injector.clone();
         Db {
-            disk: Disk::new(),
+            disk,
             pool: BufferPool::new(capacity),
-            log: LogManager::new(),
+            log,
             geometry,
             crashes: 0,
+            injector,
+        }
+    }
+
+    /// The shared crash-fault injector. Cloning a `Db` shares it (clone
+    /// exploration is safe while no plan is armed); arm a plan around
+    /// exactly one database at a time.
+    #[must_use]
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Arms a crash-point fault plan on this database's devices.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.injector.arm(plan);
+    }
+
+    /// Has an armed fault fired? Once true, the machine is dead: all
+    /// stable-storage I/O is suppressed until [`Db::crash`].
+    #[must_use]
+    pub fn fault_tripped(&self) -> bool {
+        self.injector.tripped()
+    }
+
+    /// Post-crash media repair, recovery's first act: restores torn
+    /// pages from their journaled pre-images and discards a torn
+    /// log-tail fragment. Idempotent; a no-op after clean crashes.
+    pub fn repair_after_crash(&mut self) -> RepairReport {
+        RepairReport {
+            torn_pages: self.disk.repair_torn(),
+            log_bytes_dropped: self.log.repair_tail(),
         }
     }
 
@@ -71,11 +111,14 @@ impl<P: LogPayload> Db<P> {
     }
 
     /// CRASH: volatile state (cache, log tail) vanishes; the disk and the
-    /// stable log prefix survive.
+    /// stable log prefix survive — including any torn-page or torn-tail
+    /// damage an armed fault left ([`Db::repair_after_crash`] fixes it).
+    /// The injector disarms: the restarted machine's I/O works.
     pub fn crash(&mut self) {
         self.pool.crash();
         self.log.crash();
         self.disk.crash();
+        self.injector.reset();
         self.crashes += 1;
     }
 
@@ -85,14 +128,32 @@ impl<P: LogPayload> Db<P> {
     ///
     /// Pool exhaustion while faulting the page in.
     pub fn read_cell(&mut self, cell: Cell) -> SimResult<u64> {
+        self.fetch_with_steal(cell.page)?;
+        Ok(self
+            .pool
+            .get(cell.page)
+            .expect("just fetched page resident")
+            .get(cell.slot))
+    }
+
+    /// Faults `page` in, stealing a frame if the pool is full. When the
+    /// first attempt exhausts the pool, the log is forced — a victim
+    /// whose flush the WAL rule blocked becomes flushable — and the
+    /// fetch retried once. This is the log force a real cache manager
+    /// performs to steal a dirty frame.
+    fn fetch_with_steal(&mut self, page: PageId) -> SimResult<()> {
+        let spp = self.geometry.slots_per_page;
         let stable = self.log.stable_lsn();
-        let page = self.pool.fetch(
-            &mut self.disk,
-            cell.page,
-            self.geometry.slots_per_page,
-            stable,
-        )?;
-        Ok(page.get(cell.slot))
+        match self.pool.fetch(&mut self.disk, page, spp, stable) {
+            Err(SimError::PoolExhausted) => {
+                self.log.flush_all();
+                let stable = self.log.stable_lsn();
+                self.pool
+                    .fetch(&mut self.disk, page, spp, stable)
+                    .map(|_| ())
+            }
+            r => r.map(|_| ()),
+        }
     }
 
     /// Executes a [`PageOp`] against the cache: reads its cells, computes
@@ -100,23 +161,59 @@ impl<P: LogPayload> Db<P> {
     /// (Logging is the caller's business — each method logs something
     /// different *before* calling this, per the WAL protocol.)
     ///
+    /// The op applies atomically or not at all: every page it touches is
+    /// faulted in and pinned *before* the first write, so a bounded pool
+    /// exhausting mid-op cannot evict an earlier-fetched page and leave
+    /// the op half-applied (an unexplainable cache state — no
+    /// installation-graph prefix contains half an operation).
+    ///
     /// # Errors
     ///
-    /// Pool exhaustion while faulting pages in.
+    /// Pool exhaustion while faulting pages in; no write has been
+    /// applied when an error is returned.
     pub fn apply_page_op(&mut self, op: &PageOp, lsn: Lsn) -> SimResult<()> {
-        let mut read_values = Vec::with_capacity(op.reads.len());
-        for &cell in &op.reads {
-            read_values.push(self.read_cell(cell)?);
+        let mut pages: Vec<PageId> = op.reads.iter().map(|c| c.page).collect();
+        pages.extend(op.written_pages());
+        pages.sort_unstable();
+        pages.dedup();
+        let mut pinned = Vec::with_capacity(pages.len());
+        let mut fail: Option<SimError> = None;
+        for &page in &pages {
+            let result = self.fetch_with_steal(page);
+            match result.and_then(|()| self.pool.pin(page)) {
+                Ok(()) => pinned.push(page),
+                Err(e) => {
+                    fail = Some(e);
+                    break;
+                }
+            }
         }
-        // Fault in written pages before updating.
-        for page in op.written_pages() {
-            let stable = self.log.stable_lsn();
-            self.pool
-                .fetch(&mut self.disk, page, self.geometry.slots_per_page, stable)?;
+        if let Some(e) = fail {
+            for &page in &pinned {
+                self.pool.unpin(page);
+            }
+            return Err(e);
         }
+        // All touched pages are resident and pinned: the read and write
+        // phases below cannot fail.
+        let read_values: Vec<u64> = op
+            .reads
+            .iter()
+            .map(|&cell| {
+                self.pool
+                    .get(cell.page)
+                    .expect("pinned page resident")
+                    .get(cell.slot)
+            })
+            .collect();
         for &cell in &op.writes {
             let v = op.output(cell, &read_values);
-            self.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
+            self.pool
+                .update(cell.page, lsn, |p| p.set(cell.slot, v))
+                .expect("pinned page resident");
+        }
+        for &page in &pages {
+            self.pool.unpin(page);
         }
         Ok(())
     }
@@ -138,18 +235,34 @@ impl<P: LogPayload> Db<P> {
     /// pages whose flush would violate a rule. This is the background
     /// cache-cleaning a real system does between checkpoints, and the
     /// source of crash-state diversity in the experiments.
-    pub fn chaos_flush(&mut self, rng: &mut impl Rng, log_prob: f64, page_prob: f64) {
+    ///
+    /// # Errors
+    ///
+    /// WAL-rule and write-order refusals are the cache manager doing its
+    /// job and are skipped silently; anything else (pool exhaustion, a
+    /// page that claims to be dirty but is not cached) is a substrate
+    /// bug and propagates.
+    pub fn chaos_flush(
+        &mut self,
+        rng: &mut impl Rng,
+        log_prob: f64,
+        page_prob: f64,
+    ) -> SimResult<()> {
         if rng.gen_bool(log_prob.clamp(0.0, 1.0)) {
             self.log.flush_all();
         }
         let stable = self.log.stable_lsn();
         for id in self.pool.dirty_pages() {
             if rng.gen_bool(page_prob.clamp(0.0, 1.0)) {
-                // Illegal flushes are simply skipped — the cache manager
-                // respects the rules rather than reporting them upward.
-                let _ = self.pool.flush_page(&mut self.disk, id, stable);
+                match self.pool.flush_page(&mut self.disk, id, stable) {
+                    Ok(())
+                    | Err(SimError::WalViolation { .. })
+                    | Err(SimError::WriteOrderViolation { .. }) => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
+        Ok(())
     }
 
     /// Projects the *stable* (disk-only) state into a theory state. This
@@ -166,32 +279,21 @@ impl<P: LogPayload> Db<P> {
     pub fn volatile_theory_state(&self) -> State {
         let spp = self.geometry.slots_per_page;
         let mut s = self.stable_theory_state();
-        // Overlay cached pages (they may contain newer values), including
-        // zeros overwriting stale disk values.
-        let cached: Vec<PageId> = self
-            .disk
-            .pages()
-            .map(|(id, _)| id)
-            .chain(self.pool_page_ids())
-            .collect();
-        for id in cached {
-            if let Some(page) = self.pool.get(id) {
-                for slot in 0..spp {
-                    let cell = Cell {
-                        page: id,
-                        slot: SlotId(slot),
-                    };
-                    s.set(cell.var(spp), Value(page.get(SlotId(slot))));
-                }
+        // Overlay every cached page — the cache copy is the current
+        // value whether the frame is clean or dirty, and zeros overwrite
+        // stale disk values (`State::set` normalizes them out of the
+        // support).
+        for id in self.pool.cached_pages() {
+            let page = self.pool.get(id).expect("cached_pages is resident");
+            for slot in 0..spp {
+                let cell = Cell {
+                    page: id,
+                    slot: SlotId(slot),
+                };
+                s.set(cell.var(spp), Value(page.get(SlotId(slot))));
             }
         }
         s
-    }
-
-    fn pool_page_ids(&self) -> Vec<PageId> {
-        // The pool doesn't expose iteration directly; dirty pages plus
-        // disk pages cover everything that can differ from zero.
-        self.pool.dirty_pages()
     }
 }
 
@@ -312,6 +414,136 @@ mod tests {
     }
 
     #[test]
+    fn multi_page_op_applies_atomically_or_not_at_all() {
+        // Regression: with a one-frame pool, a two-page op used to fetch
+        // page A, evict it fetching page B, and then half-apply (or fail
+        // after dirtying one page). Pre-pinning makes the failure clean.
+        let op = PageOp {
+            id: 0,
+            kind: PageOpKind::MultiPage,
+            reads: vec![],
+            writes: vec![
+                Cell {
+                    page: PageId(1),
+                    slot: SlotId(0),
+                },
+                Cell {
+                    page: PageId(0),
+                    slot: SlotId(0),
+                },
+            ],
+            f_seed: 3,
+        };
+        let mut db: Db<OpRec> = Db::with_capacity(Geometry::default(), Some(1));
+        let lsn = db.log.append(OpRec(op.clone()));
+        let err = db.apply_page_op(&op, lsn).unwrap_err();
+        assert_eq!(err, SimError::PoolExhausted);
+        assert!(
+            db.pool.dirty_pages().is_empty(),
+            "no page may carry half the op"
+        );
+        assert_eq!(db.volatile_theory_state(), db.stable_theory_state());
+        // A pool that fits the op applies it fully.
+        let mut db: Db<OpRec> = Db::with_capacity(Geometry::default(), Some(2));
+        let lsn = db.log.append(OpRec(op.clone()));
+        db.apply_page_op(&op, lsn).unwrap();
+        assert_eq!(db.pool.dirty_pages().len(), 2);
+        for &cell in &op.writes {
+            assert_eq!(db.read_cell(cell).unwrap(), op.output(cell, &[]));
+        }
+        assert!(
+            !db.pool.is_pinned(PageId(0)) && !db.pool.is_pinned(PageId(1)),
+            "pins released after the op"
+        );
+    }
+
+    #[test]
+    fn volatile_state_overlays_clean_cached_pages_by_construction() {
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        let op = blind_op(0, 2, 1);
+        let lsn = db.log.append(OpRec(op.clone()));
+        db.apply_page_op(&op, lsn).unwrap();
+        db.flush_everything().unwrap();
+        // Page 2 is now cached AND clean; the overlay must still cover
+        // it (previously it was only covered by the accident that clean
+        // pages equal their disk copies).
+        assert!(db.pool.get(PageId(2)).is_some());
+        assert!(db.pool.dirty_pages().is_empty());
+        assert_eq!(db.volatile_theory_state(), db.stable_theory_state());
+        // And a clean cached page of an absent disk page contributes
+        // nothing but zeros.
+        db.read_cell(Cell {
+            page: PageId(7),
+            slot: SlotId(0),
+        })
+        .unwrap();
+        assert_eq!(db.volatile_theory_state(), db.stable_theory_state());
+    }
+
+    #[test]
+    fn torn_page_write_detected_and_repaired_end_to_end() {
+        use crate::fault::{FaultKind, FaultPlan, InjectedFault};
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        // Install op 0 durably on page 0.
+        let op0 = blind_op(0, 0, 1);
+        let lsn0 = db.log.append(OpRec(op0.clone()));
+        db.apply_page_op(&op0, lsn0).unwrap();
+        db.flush_everything().unwrap();
+        let durable = db.stable_theory_state();
+        // Op 1 updates the same page; its flush tears.
+        let op1 = blind_op(1, 0, 3);
+        let lsn1 = db.log.append(OpRec(op1.clone()));
+        db.apply_page_op(&op1, lsn1).unwrap();
+        db.log.flush_all();
+        db.arm_faults(FaultPlan {
+            at: 1,
+            kind: FaultKind::TornWrite { sectors: 2 },
+        });
+        let stable = db.log.stable_lsn();
+        db.pool.flush_page(&mut db.disk, PageId(0), stable).unwrap();
+        assert!(db.fault_tripped());
+        assert_eq!(
+            db.fault_injector().injected(),
+            Some(InjectedFault::TornWrite(PageId(0)))
+        );
+        db.crash();
+        assert!(db.disk.is_torn(PageId(0)));
+        let report = db.repair_after_crash();
+        assert_eq!(report.torn_pages, vec![PageId(0)]);
+        assert_eq!(report.log_bytes_dropped, 0);
+        // The repaired disk is the pre-tear durable state: op 0's world.
+        assert_eq!(db.stable_theory_state(), durable);
+        // Repair is idempotent.
+        assert!(db.repair_after_crash().is_clean());
+    }
+
+    #[test]
+    fn torn_log_flush_repaired_end_to_end() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut db: Db<OpRec> = Db::new(Geometry::default());
+        let op0 = blind_op(0, 0, 1);
+        let lsn0 = db.log.append(OpRec(op0.clone()));
+        db.apply_page_op(&op0, lsn0).unwrap();
+        let op1 = blind_op(1, 1, 2);
+        let lsn1 = db.log.append(OpRec(op1.clone()));
+        db.apply_page_op(&op1, lsn1).unwrap();
+        // The second record's flush tears mid-frame.
+        db.arm_faults(FaultPlan {
+            at: 2,
+            kind: FaultKind::TornFlush { bytes: 9 },
+        });
+        db.log.flush_all();
+        assert!(db.fault_tripped());
+        db.crash();
+        assert!(matches!(db.log.decode_stable(), Err(SimError::Corrupt(_))));
+        let report = db.repair_after_crash();
+        assert_eq!(report.log_bytes_dropped, 9);
+        let records = db.log.decode_stable().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].lsn, lsn0);
+    }
+
+    #[test]
     fn chaos_flush_respects_rules() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
@@ -321,7 +553,7 @@ mod tests {
             let op = blind_op(i, i % 3, (i % 8) as u16);
             let lsn = db.log.append(OpRec(op.clone()));
             db.apply_page_op(&op, lsn).unwrap();
-            db.chaos_flush(&mut rng, 0.5, 0.5);
+            db.chaos_flush(&mut rng, 0.5, 0.5).unwrap();
             // Invariant: no disk page may carry an LSN beyond the stable
             // log (the WAL rule, continuously).
             for (id, page) in db.disk.pages() {

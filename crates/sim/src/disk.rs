@@ -11,13 +11,14 @@
 //! the checkpoint record "swings the pointer"
 //! ([`Disk::promote_staging`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use redo_theory::log::Lsn;
 use redo_theory::state::{State, Value};
-use redo_workload::pages::PageId;
+use redo_workload::pages::{PageId, SlotId};
 
 use crate::error::{SimError, SimResult};
+use crate::fault::{FaultDecision, FaultInjector, InjectedFault};
 use crate::page::Page;
 
 /// Simulated stable storage.
@@ -27,6 +28,15 @@ pub struct Disk {
     staging: BTreeMap<PageId, Page>,
     master_lsn: Lsn,
     page_writes: u64,
+    /// Shared crash-point switchboard ([`crate::db::Db`] wires the same
+    /// injector into the log manager).
+    pub(crate) injector: FaultInjector,
+    /// Pages whose last write was torn — the per-page "checksum failed"
+    /// flag recovery can read. Survives crashes (the damage is durable).
+    torn: BTreeSet<PageId>,
+    /// Pre-images of torn pages: the page-journal / doublewrite copy a
+    /// real system keeps so torn writes are repairable. Durable.
+    shadow: BTreeMap<PageId, Page>,
 }
 
 impl Disk {
@@ -54,10 +64,71 @@ impl Disk {
         self.current.get(&id).map_or(Lsn::ZERO, Page::lsn)
     }
 
-    /// Atomically writes a page to the installed state.
+    /// Writes a page to the installed state. Atomic — unless an armed
+    /// [`FaultInjector`] picks this write as its crash point, in which
+    /// case it may land torn (partially transferred, flagged) or not at
+    /// all.
     pub fn write_page(&mut self, id: PageId, page: Page) {
+        match self.injector.on_page_write() {
+            FaultDecision::Proceed => {
+                self.page_writes += 1;
+                self.current.insert(id, page);
+            }
+            FaultDecision::Tear { sectors } => self.tear_write(id, page, sectors),
+            FaultDecision::Suppress | FaultDecision::Truncate { .. } => {}
+        }
+    }
+
+    /// Delivers a torn write: the first `sectors` slots (and the page-LSN
+    /// header, which rides in sector 0) come from the new image, the rest
+    /// keep their old bytes. The pre-image goes to the shadow (page
+    /// journal) and the page is flagged torn.
+    fn tear_write(&mut self, id: PageId, new: Page, sectors: u16) {
+        let spp = new.slot_count();
+        if spp < 2 {
+            // A one-sector page cannot tear; the write just never lands.
+            self.injector.record_injected(InjectedFault::Clean);
+            return;
+        }
+        let k = sectors.clamp(1, spp - 1);
+        let old = self.read_page(id, spp);
+        let mut torn = old.clone();
+        torn.set_lsn(new.lsn());
+        for s in 0..k {
+            torn.set(SlotId(s), new.get(SlotId(s)));
+        }
         self.page_writes += 1;
-        self.current.insert(id, page);
+        self.shadow.entry(id).or_insert(old);
+        self.torn.insert(id);
+        self.current.insert(id, torn);
+        self.injector.record_injected(InjectedFault::TornWrite(id));
+    }
+
+    /// Is this page flagged torn (its last write only partially landed)?
+    #[must_use]
+    pub fn is_torn(&self, id: PageId) -> bool {
+        self.torn.contains(&id)
+    }
+
+    /// Pages currently flagged torn, in id order.
+    #[must_use]
+    pub fn torn_pages(&self) -> Vec<PageId> {
+        self.torn.iter().copied().collect()
+    }
+
+    /// Restores every torn page from its journaled pre-image and clears
+    /// the torn flags, returning the repaired ids. Recovery runs this
+    /// before reading any page: a torn page's content is garbage, but its
+    /// pre-image is a state the durable log explains, so repairing back
+    /// to it keeps the whole disk explainable.
+    pub fn repair_torn(&mut self) -> Vec<PageId> {
+        let torn = std::mem::take(&mut self.torn);
+        for &id in &torn {
+            if let Some(pre) = self.shadow.remove(&id) {
+                self.current.insert(id, pre);
+            }
+        }
+        torn.into_iter().collect()
     }
 
     /// Atomically writes a *set* of pages: either all reach the installed
@@ -67,14 +138,23 @@ impl Disk {
     /// grants it as a primitive and the benchmarks charge one page write
     /// per member.
     pub fn write_pages_atomic(&mut self, pages: Vec<(PageId, Page)>) {
+        if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            return;
+        }
         for (id, page) in pages {
             self.page_writes += 1;
             self.current.insert(id, page);
         }
     }
 
-    /// Writes a page to the staging area (not yet installed).
+    /// Writes a page to the staging area (not yet installed). One
+    /// faultable event; a crash point here loses the staged copy, which
+    /// is safe — staging is unreferenced until the pointer swing, and a
+    /// tripped injector suppresses that swing too.
     pub fn write_staging(&mut self, id: PageId, page: Page) {
+        if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            return;
+        }
         self.page_writes += 1;
         self.staging.insert(id, page);
     }
@@ -98,11 +178,34 @@ impl Disk {
         if self.staging.is_empty() {
             return Err(SimError::EmptyStaging);
         }
+        if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            return Ok(());
+        }
         let staged = std::mem::take(&mut self.staging);
         for (id, page) in staged {
             self.current.insert(id, page);
         }
         Ok(())
+    }
+
+    /// The *full* checkpoint pointer swing as one faultable, atomic act:
+    /// promotes whatever is staged (nothing, for an empty checkpoint)
+    /// *and* moves the master record to `master`, together. This is the
+    /// §6.1 discipline — the staged pages and the new checkpoint pointer
+    /// become visible in the same instant, so a crash point here either
+    /// installs the whole checkpoint or none of it. (Calling
+    /// [`Disk::promote_staging`] and [`Disk::set_master`] separately
+    /// would expose a window where staged pages are installed but the
+    /// master still points at the old checkpoint.)
+    pub fn swing_pointer(&mut self, master: Lsn) {
+        if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            return;
+        }
+        let staged = std::mem::take(&mut self.staging);
+        for (id, page) in staged {
+            self.current.insert(id, page);
+        }
+        self.master_lsn = master;
     }
 
     /// Discards the staging area (e.g. when a quiesce is abandoned).
@@ -111,8 +214,12 @@ impl Disk {
     }
 
     /// Durably records the checkpoint pointer (the LSN recovery should
-    /// scan from).
+    /// scan from). One faultable event; the master write itself is
+    /// atomic (it is a single sector).
     pub fn set_master(&mut self, lsn: Lsn) {
+        if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            return;
+        }
         self.master_lsn = lsn;
     }
 
@@ -124,7 +231,9 @@ impl Disk {
 
     /// Crash handling: installed pages and the master record survive; the
     /// staging area, being unreferenced until a pointer swing, is treated
-    /// as garbage and dropped.
+    /// as garbage and dropped. Torn flags and page-journal pre-images are
+    /// durable media state and survive too — repairing them is recovery's
+    /// first job ([`crate::db::Db::repair_after_crash`]).
     pub fn crash(&mut self) {
         self.staging.clear();
     }
@@ -241,5 +350,86 @@ mod tests {
         d.write_staging(PageId(0), Page::new(4));
         d.discard_staging();
         assert_eq!(d.staging_len(), 0);
+    }
+
+    #[test]
+    fn torn_write_lands_partially_and_repairs_to_preimage() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut d = Disk::new();
+        // Establish a durable pre-image: slots [1, 2, 3, 4] at LSN 1.
+        let mut pre = Page::new(4);
+        for s in 0..4 {
+            pre.set(SlotId(s), u64::from(s) + 1);
+        }
+        pre.set_lsn(Lsn(1));
+        d.write_page(PageId(0), pre.clone());
+        // The next write tears after 2 sectors.
+        d.injector.arm(FaultPlan {
+            at: 1,
+            kind: FaultKind::TornWrite { sectors: 2 },
+        });
+        let mut new = Page::new(4);
+        for s in 0..4 {
+            new.set(SlotId(s), 100 + u64::from(s));
+        }
+        new.set_lsn(Lsn(2));
+        d.write_page(PageId(0), new);
+        assert!(d.is_torn(PageId(0)));
+        let torn = d.read_page(PageId(0), 4);
+        assert_eq!(torn.lsn(), Lsn(2), "header sector carries the new LSN");
+        assert_eq!(torn.get(SlotId(0)), 100);
+        assert_eq!(torn.get(SlotId(1)), 101);
+        assert_eq!(torn.get(SlotId(2)), 3, "tail sectors keep old bytes");
+        assert_eq!(torn.get(SlotId(3)), 4);
+        assert!(d.injector.tripped());
+        // Post-trip writes are suppressed.
+        d.write_page(PageId(1), Page::new(4));
+        assert_eq!(d.read_page(PageId(1), 4), Page::new(4));
+        // Torn flag and pre-image survive the crash; repair restores it.
+        d.crash();
+        d.injector.reset();
+        assert_eq!(d.torn_pages(), vec![PageId(0)]);
+        assert_eq!(d.repair_torn(), vec![PageId(0)]);
+        assert!(!d.is_torn(PageId(0)));
+        assert_eq!(d.read_page(PageId(0), 4), pre);
+    }
+
+    #[test]
+    fn swing_pointer_installs_staging_and_master_together() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut d = Disk::new();
+        let mut p = Page::new(4);
+        p.set(SlotId(0), 9);
+        d.write_staging(PageId(0), p);
+        // A crash point on the swing installs neither the pages nor the
+        // master.
+        d.injector.arm(FaultPlan {
+            at: 1,
+            kind: FaultKind::Clean,
+        });
+        d.swing_pointer(Lsn(5));
+        assert_eq!(d.master(), Lsn::ZERO);
+        assert_eq!(d.read_page(PageId(0), 4).get(SlotId(0)), 0);
+        d.injector.reset();
+        // With no fault both land at once.
+        d.swing_pointer(Lsn(5));
+        assert_eq!(d.master(), Lsn(5));
+        assert_eq!(d.read_page(PageId(0), 4).get(SlotId(0)), 9);
+        assert_eq!(d.staging_len(), 0);
+    }
+
+    #[test]
+    fn atomic_multi_page_write_suppressed_wholesale() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut d = Disk::new();
+        d.injector.arm(FaultPlan {
+            at: 1,
+            kind: FaultKind::TornWrite { sectors: 1 },
+        });
+        d.write_pages_atomic(vec![(PageId(0), Page::new(4)), (PageId(1), Page::new(4))]);
+        // The tear degraded to a clean stop: nothing landed, nothing is
+        // torn.
+        assert_eq!(d.page_writes(), 0);
+        assert!(d.torn_pages().is_empty());
     }
 }

@@ -24,7 +24,12 @@
 //! * [`db::Db`] — the assembled database with [`db::Db::crash`]
 //!   dropping every volatile component, and a projection of the stable
 //!   state into a theory-level [`redo_theory::state::State`] so the
-//!   recovery invariant can be audited mechanically.
+//!   recovery invariant can be audited mechanically;
+//! * [`fault::FaultInjector`] — deterministic crash points with torn
+//!   page writes and partial log-tail flushes, so crash states are not
+//!   limited to the polite ones atomic I/O produces; the damage is
+//!   detectable (torn flags, log-tail corruption) and repairable
+//!   ([`db::Db::repair_after_crash`]) before recovery proper begins.
 //!
 //! Nothing here knows *which* redo test will run: the concrete methods
 //! (logical, physical, physiological, generalized-LSN) live in
@@ -36,6 +41,7 @@
 pub mod cache;
 pub mod db;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod wal;
 

@@ -17,6 +17,7 @@ use std::fmt;
 use redo_theory::log::Lsn;
 
 use crate::error::{SimError, SimResult};
+use crate::fault::{FaultDecision, FaultInjector};
 
 /// A type that can be written to and read back from the stable log.
 pub trait LogPayload: Clone + fmt::Debug {
@@ -48,6 +49,9 @@ pub struct LogManager<P> {
     volatile: Vec<WalRecord<P>>,
     next_lsn: Lsn,
     appended_bytes: u64,
+    /// Shared crash-point switchboard ([`crate::db::Db`] wires the same
+    /// injector into the disk).
+    pub(crate) injector: FaultInjector,
 }
 
 impl<P: LogPayload> LogManager<P> {
@@ -61,6 +65,7 @@ impl<P: LogPayload> LogManager<P> {
             volatile: Vec::new(),
             next_lsn: Lsn(1),
             appended_bytes: 0,
+            injector: FaultInjector::new(),
         }
     }
 
@@ -80,19 +85,46 @@ impl<P: LogPayload> LogManager<P> {
     /// Forces the log through `upto` (inclusive): encodes and moves the
     /// covered tail records to the stable prefix. Flushing past the end
     /// of the tail forces everything.
+    ///
+    /// Each record transfer is one faultable event: an armed
+    /// [`FaultInjector`] may stop the flush between records (a clean
+    /// crash point) or truncate a record mid-frame
+    /// ([`crate::fault::FaultKind::TornFlush`]). A truncated record's
+    /// bytes land on disk but the stable bookkeeping never covers them —
+    /// [`LogManager::decode_stable`] reports the fragment as
+    /// [`SimError::Corrupt`] and [`LogManager::repair_tail`] discards it.
     pub fn flush(&mut self, upto: Lsn) {
         let mut kept = Vec::new();
+        let mut halted = false;
         for rec in std::mem::take(&mut self.volatile) {
-            if rec.lsn <= upto {
-                codec::put_u64(&mut self.stable_bytes, rec.lsn.0);
-                let mut body = Vec::new();
-                rec.payload.encode(&mut body);
-                codec::put_u32(&mut self.stable_bytes, body.len() as u32);
-                self.stable_bytes.extend_from_slice(&body);
-                self.stable_lsn = rec.lsn;
-                self.stable_count += 1;
-            } else {
+            if halted || rec.lsn > upto {
                 kept.push(rec);
+                continue;
+            }
+            let mut frame = Vec::new();
+            codec::put_u64(&mut frame, rec.lsn.0);
+            let mut body = Vec::new();
+            rec.payload.encode(&mut body);
+            codec::put_u32(&mut frame, body.len() as u32);
+            frame.extend_from_slice(&body);
+            match self.injector.on_log_flush() {
+                FaultDecision::Proceed => {
+                    self.stable_bytes.extend_from_slice(&frame);
+                    self.stable_lsn = rec.lsn;
+                    self.stable_count += 1;
+                }
+                FaultDecision::Truncate { bytes } => {
+                    // A strictly partial transfer: at least one byte
+                    // lands, at least one is lost.
+                    let k = bytes.clamp(1, frame.len() - 1);
+                    self.stable_bytes.extend_from_slice(&frame[..k]);
+                    kept.push(rec);
+                    halted = true;
+                }
+                FaultDecision::Suppress | FaultDecision::Tear { .. } => {
+                    kept.push(rec);
+                    halted = true;
+                }
             }
         }
         self.volatile = kept;
@@ -151,26 +183,66 @@ impl<P: LogPayload> LogManager<P> {
     ///
     /// [`SimError::Corrupt`] if the bytes do not parse.
     pub fn decode_stable(&self) -> SimResult<Vec<WalRecord<P>>> {
-        let mut out = Vec::with_capacity(self.stable_count);
+        decode_records(&self.stable_bytes)
+    }
+
+    /// The raw stable-log bytes (what a crash leaves on disk).
+    #[must_use]
+    pub fn stable_bytes(&self) -> &[u8] {
+        &self.stable_bytes
+    }
+
+    /// Discards a torn tail: scans record frames structurally (8-byte
+    /// LSN + 4-byte length + body) and truncates the stable bytes at the
+    /// first frame that does not fit — the fragment a
+    /// [`crate::fault::FaultKind::TornFlush`] crash point left behind.
+    /// Returns the number of bytes dropped. The stable LSN and record
+    /// count never covered the fragment, so they are already consistent
+    /// with the repaired image.
+    pub fn repair_tail(&mut self) -> usize {
         let bytes = &self.stable_bytes;
         let mut pos = 0usize;
-        while pos < bytes.len() {
-            let lsn = Lsn(codec::get_u64(bytes, &mut pos)?);
-            let len = codec::get_u32(bytes, &mut pos)? as usize;
-            let end = pos.checked_add(len).ok_or(SimError::Corrupt(pos))?;
-            if end > bytes.len() {
-                return Err(SimError::Corrupt(pos));
+        while pos + 12 <= bytes.len() {
+            let len =
+                u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
+            match (pos + 12).checked_add(len) {
+                Some(end) if end <= bytes.len() => pos = end,
+                _ => break,
             }
-            let mut body_pos = pos;
-            let payload = P::decode(&bytes[..end], &mut body_pos)?;
-            if body_pos != end {
-                return Err(SimError::Corrupt(body_pos));
-            }
-            pos = end;
-            out.push(WalRecord { lsn, payload });
         }
-        Ok(out)
+        let dropped = self.stable_bytes.len() - pos;
+        self.stable_bytes.truncate(pos);
+        dropped
     }
+}
+
+/// Decodes a stable-log byte image into records — the recovery-time log
+/// scan as a pure function (the corruption tests drive it over
+/// arbitrarily truncated and bit-flipped images).
+///
+/// # Errors
+///
+/// [`SimError::Corrupt`] at the failing offset if the bytes do not parse
+/// as a whole number of well-formed records.
+pub fn decode_records<P: LogPayload>(bytes: &[u8]) -> SimResult<Vec<WalRecord<P>>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let lsn = Lsn(codec::get_u64(bytes, &mut pos)?);
+        let len = codec::get_u32(bytes, &mut pos)? as usize;
+        let end = pos.checked_add(len).ok_or(SimError::Corrupt(pos))?;
+        if end > bytes.len() {
+            return Err(SimError::Corrupt(pos));
+        }
+        let mut body_pos = pos;
+        let payload = P::decode(&bytes[..end], &mut body_pos)?;
+        if body_pos != end {
+            return Err(SimError::Corrupt(body_pos));
+        }
+        pos = end;
+        out.push(WalRecord { lsn, payload });
+    }
+    Ok(out)
 }
 
 impl<P: LogPayload> Default for LogManager<P> {
@@ -477,5 +549,70 @@ mod tests {
             codec::get_u32(&buf, &mut pos),
             Err(SimError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn torn_flush_truncates_mid_record_and_repair_drops_fragment() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut log = LogManager::new();
+        log.append(Num(10));
+        log.append(Num(20));
+        log.append(Num(30));
+        // The second record's flush tears 5 bytes in (inside its LSN
+        // field).
+        log.injector.arm(FaultPlan {
+            at: 2,
+            kind: FaultKind::TornFlush { bytes: 5 },
+        });
+        log.flush_all();
+        // Only the first record became stable; the fragment is on disk
+        // but uncovered by the bookkeeping.
+        assert_eq!(log.stable_lsn(), Lsn(1));
+        assert_eq!(log.stable_count(), 1);
+        assert!(
+            matches!(log.decode_stable(), Err(SimError::Corrupt(_))),
+            "the torn fragment must read as corruption"
+        );
+        log.injector.reset();
+        log.crash();
+        let dropped = log.repair_tail();
+        assert_eq!(dropped, 5);
+        let decoded = log.decode_stable().unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].payload, Num(10));
+        // The un-flushed records were lost with the volatile tail; LSN
+        // assignment resumes after the stable point.
+        assert_eq!(log.append(Num(40)), Lsn(2));
+    }
+
+    #[test]
+    fn clean_crash_point_stops_flush_between_records() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut log = LogManager::new();
+        for i in 0..4 {
+            log.append(Num(i));
+        }
+        log.injector.arm(FaultPlan {
+            at: 3,
+            kind: FaultKind::Clean,
+        });
+        log.flush_all();
+        assert_eq!(log.stable_count(), 2);
+        assert_eq!(log.stable_lsn(), Lsn(2));
+        // No fragment: the stable image decodes cleanly as-is.
+        assert_eq!(log.decode_stable().unwrap().len(), 2);
+        let mut repaired = log.clone();
+        assert_eq!(repaired.repair_tail(), 0);
+    }
+
+    #[test]
+    fn repair_tail_is_noop_on_intact_log() {
+        let mut log = LogManager::new();
+        for i in 0..6 {
+            log.append(Num(i));
+        }
+        log.flush_all();
+        assert_eq!(log.repair_tail(), 0);
+        assert_eq!(log.decode_stable().unwrap().len(), 6);
     }
 }

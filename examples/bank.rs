@@ -94,7 +94,7 @@ fn main() {
 
         // Aggressive background flushing: the pool may flush either
         // account page — and must drag the other along atomically.
-        db.chaos_flush(&mut rng, 0.8, 0.5);
+        db.chaos_flush(&mut rng, 0.8, 0.5).unwrap();
         // Observe the atomicity directly now and then.
         if round % 50 == 0 {
             let stable = db.log.stable_lsn();

@@ -28,6 +28,7 @@ fn drive<M: RecoveryMethod>(method: &M, ops: &[PageOp]) {
         audit: true,
         slots_per_page: 8,
         pool_capacity: None,
+        fault: None,
     };
     match run(method, ops, &cfg) {
         Ok(report) => {

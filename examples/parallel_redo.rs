@@ -95,7 +95,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(9);
     for op in &ops {
         Physiological.execute(&mut db, op).unwrap();
-        db.chaos_flush(&mut rng, 0.9, 0.05);
+        db.chaos_flush(&mut rng, 0.9, 0.05).unwrap();
     }
     db.log.flush_all();
     db.crash();

@@ -28,7 +28,7 @@ fn mixed_workload_with_periodic_crashes() {
                         assert_eq!(tree.remove(k).unwrap(), model.remove(&k).is_some());
                     }
                     8 => {
-                        tree.db.chaos_flush(&mut rng, 0.8, 0.4);
+                        tree.db.chaos_flush(&mut rng, 0.8, 0.4).unwrap();
                     }
                     _ => {
                         if rng.gen_bool(0.3) {

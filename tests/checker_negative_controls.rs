@@ -58,6 +58,7 @@ fn harness_catches_the_lying_checkpoint() {
             audit: true,
             slots_per_page: 8,
             pool_capacity: None,
+            fault: None,
         };
         match run(&LyingCheckpoint, &ops, &cfg) {
             Err(HarnessFailure::StateMismatch { .. } | HarnessFailure::Invariant { .. }) => {

@@ -147,7 +147,7 @@ fn fuzzy_checkpoints_survive_crash_storms() {
         for (i, op) in ops.iter().enumerate() {
             let lsn = FuzzyPhysiological.execute(&mut db, op).expect("execute");
             durable.push((op.clone(), lsn));
-            db.chaos_flush(&mut rng, 0.7, 0.3);
+            db.chaos_flush(&mut rng, 0.7, 0.3).unwrap();
             if i % 9 == 8 {
                 FuzzyPhysiological.checkpoint(&mut db).expect("checkpoint");
             }
@@ -188,7 +188,7 @@ fn fuzzy_analysis_is_cheaper_than_full_scan_but_never_wrong() {
     let mut rng = StdRng::seed_from_u64(9);
     for (i, op) in ops.iter().enumerate() {
         FuzzyPhysiological.execute(&mut db, op).expect("execute");
-        db.chaos_flush(&mut rng, 0.9, 0.5);
+        db.chaos_flush(&mut rng, 0.9, 0.5).unwrap();
         if i % 20 == 19 {
             FuzzyPhysiological.checkpoint(&mut db).expect("checkpoint");
         }

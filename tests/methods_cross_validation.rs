@@ -52,6 +52,7 @@ fn sweep<M: RecoveryMethod>(method: &M, ops_for: fn(usize, u64) -> Vec<PageOp>) 
                 audit: true,
                 slots_per_page: 8,
                 pool_capacity: None,
+                fault: None,
             };
             last = run(method, &ops_for(80, seed), &cfg).unwrap_or_else(|e| {
                 panic!(
@@ -110,6 +111,7 @@ fn generalized_multi_page_sweep_with_audit() {
             audit: true,
             slots_per_page: 8,
             pool_capacity: None,
+            fault: None,
         };
         run(&Generalized, &ops, &cfg).unwrap_or_else(|e| panic!("multi-page seed {seed}: {e}"));
     }
@@ -148,6 +150,7 @@ fn bounded_pool_methods_still_recover() {
             audit: true,
             slots_per_page: 8,
             pool_capacity: Some(3),
+            fault: None,
         };
         run(&Physiological, &physio_ops(60, seed), &cfg)
             .unwrap_or_else(|e| panic!("physiological bounded pool seed {seed}: {e}"));
@@ -166,6 +169,7 @@ fn more_frequent_checkpoints_never_hurt_replay_volume() {
         audit: false,
         slots_per_page: 8,
         pool_capacity: None,
+        fault: None,
     };
     let rare = run(&Physical, &blind_ops(100, 3), &mk(Some(50))).unwrap();
     let frequent = run(&Physical, &blind_ops(100, 3), &mk(Some(5))).unwrap();
@@ -198,6 +202,7 @@ fn log_volume_ordering_physical_vs_physiological() {
         audit: false,
         slots_per_page: 8,
         pool_capacity: None,
+        fault: None,
     };
     let phys = run(&Physical, &multi, &cfg).unwrap();
     let physio = run(&Physiological, &physio_ops(80, 9), &cfg).unwrap();

@@ -170,6 +170,7 @@ proptest! {
             audit: false, // keep proptest runs fast; audited suites run elsewhere
             slots_per_page: 8,
             pool_capacity: None,
+            fault: None,
         };
         let blind = PageWorkloadSpec { n_ops: 40, n_pages: 5, blind_fraction: 1.0, ..Default::default() }
             .generate(seed);

@@ -1,0 +1,132 @@
+//! RECOVERY_THROUGHPUT — what the streaming scan and seek index buy.
+//!
+//! Recovery time for the §6.3 physiological method over growing logs
+//! (1k / 10k / 100k operations), in three configurations per size:
+//!
+//! * `full` — no checkpoint ever taken: recovery decodes the entire
+//!   stable log and replays everything. The baseline that scales with
+//!   *total* log size.
+//! * `ckpt_seek` — a checkpoint at 90% of the run: the master record
+//!   bounds replay, and the sparse LSN seek index jumps the scan to the
+//!   post-checkpoint suffix, so *decode* work too scales with the
+//!   suffix, not the whole log.
+//! * `ckpt_noseek` — the same crashed image with the seek index
+//!   disabled: the master record still bounds replay, but the scan must
+//!   walk (and skip) every pre-checkpoint frame header from offset 0.
+//!   The gap to `ckpt_seek` is the seek index's contribution alone.
+//!
+//! Shape checks before timing assert the telemetry tells the same
+//! story: the checkpointed scan decodes at most a quarter of what the
+//! full scan decodes (it is ~10% by construction), enters the log
+//! through a seek-index hit, and all three configurations of the
+//! checkpointed image recover identical states.
+//!
+//! Set `RECOVERY_THROUGHPUT_SMOKE=1` to run only the smallest size
+//! (CI's smoke iteration).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redo_methods::physiological::Physiological;
+use redo_methods::RecoveryMethod;
+use redo_sim::db::{Db, Geometry};
+use redo_workload::pages::PageWorkloadSpec;
+
+type PhysioDb = Db<<Physiological as RecoveryMethod>::Payload>;
+
+/// A crashed database after `n_ops` operations with an eagerly flushed
+/// log, rare page flushes (so replay has real work), and optionally a
+/// checkpoint at 90% of the run.
+fn crashed_db(n_ops: usize, checkpoint_at_90: bool) -> PhysioDb {
+    let ops = PageWorkloadSpec {
+        n_ops,
+        n_pages: 64,
+        ..Default::default()
+    }
+    .generate(23);
+    let mut db = Db::new(Geometry::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    let ckpt_at = n_ops * 9 / 10;
+    for (i, op) in ops.iter().enumerate() {
+        Physiological.execute(&mut db, op).unwrap();
+        db.chaos_flush(&mut rng, 0.9, 0.01).unwrap();
+        if checkpoint_at_90 && i + 1 == ckpt_at {
+            Physiological.checkpoint(&mut db).unwrap();
+        }
+    }
+    db.log.flush_all();
+    db.crash();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("RECOVERY_THROUGHPUT_SMOKE").is_ok();
+    let sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut group = c.benchmark_group("recovery_throughput");
+    for &n in sizes {
+        let full = crashed_db(n, false);
+        let ckpt = crashed_db(n, true);
+        let mut ckpt_noseek = ckpt.clone();
+        ckpt_noseek.log.disable_seek_index();
+
+        // Shape checks: the telemetry must show the checkpoint bounding
+        // decode work and the seek index actually firing, and all three
+        // configurations must agree on the recovered state.
+        let mut probe = full.clone();
+        let full_stats = Physiological.recover(&mut probe).unwrap();
+        let mut probe = ckpt.clone();
+        let seek_stats = Physiological.recover(&mut probe).unwrap();
+        let seeked_state = probe.volatile_theory_state();
+        let mut probe = ckpt_noseek.clone();
+        let noseek_stats = Physiological.recover(&mut probe).unwrap();
+        assert_eq!(seek_stats, noseek_stats, "seek index changed semantics");
+        assert_eq!(
+            probe.volatile_theory_state(),
+            seeked_state,
+            "seek index changed the recovered state"
+        );
+        assert!(
+            seek_stats.records_decoded * 4 <= full_stats.records_decoded,
+            "checkpointed decode must track the suffix: {} vs {}",
+            seek_stats.records_decoded,
+            full_stats.records_decoded
+        );
+        assert!(
+            seek_stats.seek_hits >= 1,
+            "checkpointed recovery must enter via the seek index"
+        );
+        println!(
+            "recovery_throughput shape-check [n={n}]: full decodes {} records / {} bytes; \
+             ckpt+seek decodes {} records / {} bytes ({} seek hit(s)); \
+             ckpt without index scans {} bytes",
+            full_stats.records_decoded,
+            full_stats.bytes_scanned,
+            seek_stats.records_decoded,
+            seek_stats.bytes_scanned,
+            seek_stats.seek_hits,
+            noseek_stats.bytes_scanned,
+        );
+
+        for (label, image) in [
+            ("full", &full),
+            ("ckpt_seek", &ckpt),
+            ("ckpt_noseek", &ckpt_noseek),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), image, |b, image| {
+                b.iter_batched(
+                    || (*image).clone(),
+                    |mut db| Physiological.recover(&mut db).unwrap(),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

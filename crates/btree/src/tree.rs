@@ -10,6 +10,7 @@
 use redo_sim::cache::Constraint;
 use redo_sim::db::{Db, Geometry};
 use redo_sim::page::Page;
+use redo_sim::wal::LogScanner;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::PageId;
@@ -432,8 +433,7 @@ impl BTree {
     /// Substrate errors, including log corruption.
     pub fn recover(&mut self) -> SimResult<(usize, usize)> {
         let master = self.db.disk.master();
-        let records = self.db.log.decode_stable()?;
-        if records.is_empty() && master == Lsn::ZERO {
+        if self.db.log.stable_count() == 0 && master == Lsn::ZERO {
             // Nothing ever became durable — not even the bootstrap
             // records. The tree is factually empty; re-bootstrap it.
             self.log_apply(BtPayload::MetaSet {
@@ -444,31 +444,37 @@ impl BTree {
             return Ok((0, 0));
         }
         let (mut replayed, mut skipped) = (0usize, 0usize);
-        for rec in records {
-            if rec.lsn <= master {
-                continue;
+        // Streaming scan: the seek index jumps the cursor near the
+        // master record, so only the post-checkpoint suffix is decoded.
+        let mut scanner = LogScanner::seek(&self.db.log, master.next());
+        loop {
+            let batch = scanner.next_batch(&self.db.log, 32)?;
+            if batch.is_empty() {
+                break;
             }
-            let Some(target) = rec.payload.target() else {
-                continue;
-            };
-            let stable = self.db.log.stable_lsn();
-            let page = self
-                .db
-                .pool
-                .fetch(&mut self.db.disk, target, self.spp, stable)?;
-            if page.lsn() < rec.lsn {
-                apply_payload(&mut self.db, &rec.payload, rec.lsn)?;
-                if let BtPayload::SplitCopyHigh { from, to } = rec.payload {
-                    self.db.pool.add_constraint(Constraint {
-                        blocked: from,
-                        blocked_above: rec.lsn,
-                        requires: to,
-                        required_lsn: rec.lsn,
-                    });
+            for rec in batch {
+                let Some(target) = rec.payload.target() else {
+                    continue;
+                };
+                let stable = self.db.log.stable_lsn();
+                let page = self
+                    .db
+                    .pool
+                    .fetch(&mut self.db.disk, target, self.spp, stable)?;
+                if page.lsn() < rec.lsn {
+                    apply_payload(&mut self.db, &rec.payload, rec.lsn)?;
+                    if let BtPayload::SplitCopyHigh { from, to } = rec.payload {
+                        self.db.pool.add_constraint(Constraint {
+                            blocked: from,
+                            blocked_above: rec.lsn,
+                            requires: to,
+                            required_lsn: rec.lsn,
+                        });
+                    }
+                    replayed += 1;
+                } else {
+                    skipped += 1;
                 }
-                replayed += 1;
-            } else {
-                skipped += 1;
             }
         }
         Ok((replayed, skipped))

@@ -195,7 +195,7 @@ fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
             println!(
                 "{}: OK — {} schedules, {} crashes ({} mid-recovery), {} faults fired \
                  ({} torn writes, {} torn flushes, {} clean stops), {} torn pages repaired, \
-                 {} log bytes dropped, {} recoveries verified",
+                 {} log bytes dropped, {} recoveries verified, {} seekless probes agreed",
                 method.name(),
                 r.schedules,
                 r.crashes,
@@ -206,7 +206,8 @@ fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
                 r.clean_stops,
                 r.torn_pages_repaired,
                 r.log_bytes_dropped,
-                r.recoveries_verified
+                r.recoveries_verified,
+                r.seekless_probes
             );
             true
         }

@@ -16,7 +16,10 @@
 //!    to completion and check the Recovery Invariant — the realized
 //!    redo set joined with the repaired disk state must be explained by
 //!    an installation-graph prefix of the durable history — plus exact
-//!    state equality with the durable prefix's final state.
+//!    state equality with the durable prefix's final state. A *second*
+//!    clone recovers with the LSN seek index disabled: the index is
+//!    purely an access-path optimization, so both probes must reach the
+//!    identical recovered state with identical semantic redo stats.
 //! 3. **Crash mid-recovery**: on the real image, arm a *second* fault
 //!    plan and run recovery again, then crash unconditionally. Because
 //!    recovery's replay is volatile until a post-recovery checkpoint,
@@ -117,6 +120,10 @@ pub struct CrashAuditReport {
     /// Completed recoveries whose invariant and final state were
     /// verified (three per schedule).
     pub recoveries_verified: u64,
+    /// Seek-index equivalence probes: recoveries re-run with the seek
+    /// index disabled that reached the identical durable state and
+    /// semantic redo stats (one per schedule).
+    pub seekless_probes: u64,
     /// Operations replayed across all verified recoveries.
     pub replayed: usize,
     /// Operations bypassed as installed across all verified recoveries.
@@ -359,6 +366,35 @@ fn run_schedule<M: RecoveryMethod>(
     report.recoveries_verified += 1;
     report.replayed += stats.replay_count();
     report.skipped += stats.skipped.len();
+
+    // Seek-index equivalence: recover the same crashed image with the
+    // seek index disabled. The index only changes where the scan enters
+    // the stable log, so the recovered state and the semantic redo
+    // stats (scanned / replayed / skipped) must be identical.
+    let mut unseeked = db.clone();
+    unseeked.log.disable_seek_index();
+    let unseeked_stats = method
+        .recover(&mut unseeked)
+        .map_err(|e| fail("seekless probe", e.into()))?;
+    if unseeked_stats != stats {
+        return Err(fail(
+            "seekless probe",
+            HarnessFailure::Invariant {
+                crash: 1,
+                detail: format!(
+                    "seeked and unseeked recovery disagree: {stats:?} vs {unseeked_stats:?}"
+                ),
+            },
+        ));
+    }
+    if unseeked.volatile_theory_state() != probe.volatile_theory_state() {
+        return Err(fail(
+            "seekless probe",
+            HarnessFailure::StateMismatch { crash: Some(1) },
+        ));
+    }
+    report.seekless_probes += 1;
+    drop(unseeked);
     drop(probe);
 
     // Step 3: crash the real image mid-recovery.
@@ -451,6 +487,7 @@ mod tests {
         assert_eq!(report.mid_recovery_crashes, cfg.schedules);
         assert_eq!(report.crashes, cfg.schedules * 3);
         assert_eq!(report.recoveries_verified, cfg.schedules * 3);
+        assert_eq!(report.seekless_probes, cfg.schedules);
         assert!(report.faults_tripped > 0, "no fault ever fired: {report:?}");
     }
 

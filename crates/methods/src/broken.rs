@@ -21,13 +21,14 @@
 //! around as regression tests for the checker itself.
 
 use redo_sim::db::Db;
+use redo_sim::wal::LogScanner;
 use redo_sim::SimResult;
 use redo_theory::log::Lsn;
 use redo_workload::pages::PageOp;
 
 use crate::oprecord::PageOpPayload;
 use crate::physiological::Physiological;
-use crate::{RecoveryMethod, RecoveryStats};
+use crate::{RecoveryMethod, RecoveryStats, SCAN_BATCH};
 
 /// Physiological recovery with an off-by-one redo test.
 #[derive(Clone, Copy, Debug, Default)]
@@ -53,30 +54,34 @@ impl RecoveryMethod for SkippyRedo {
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
         let master = db.disk.master();
-        let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
-        for rec in records {
-            if rec.lsn <= master {
-                continue;
+        let mut scanner = LogScanner::seek(&db.log, master.next());
+        loop {
+            let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
+            if batch.is_empty() {
+                break;
             }
-            stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else {
-                continue;
-            };
-            let page = op.written_pages()[0];
-            let stable = db.log.stable_lsn();
-            let cached = db
-                .pool
-                .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
-            // BUG: `rec.lsn - 1` instead of `rec.lsn`. A page flushed at
-            // LSN L causes the record at L+1 to be wrongly bypassed.
-            if cached.lsn() < Lsn(rec.lsn.0.saturating_sub(1)) {
-                db.apply_page_op(&op, rec.lsn)?;
-                stats.replayed.push(op.id);
-            } else {
-                stats.skipped.push(op.id);
+            for rec in batch {
+                stats.scanned += 1;
+                let PageOpPayload::Op(op) = rec.payload else {
+                    continue;
+                };
+                let page = op.written_pages()[0];
+                let stable = db.log.stable_lsn();
+                let cached =
+                    db.pool
+                        .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+                // BUG: `rec.lsn - 1` instead of `rec.lsn`. A page flushed at
+                // LSN L causes the record at L+1 to be wrongly bypassed.
+                if cached.lsn() < Lsn(rec.lsn.0.saturating_sub(1)) {
+                    db.apply_page_op(&op, rec.lsn)?;
+                    stats.replayed.push(op.id);
+                } else {
+                    stats.skipped.push(op.id);
+                }
             }
         }
+        stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
     }
 }

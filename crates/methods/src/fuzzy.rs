@@ -22,13 +22,15 @@
 //! can start. The contract stays the same, which is exactly the paper's
 //! point about separating the redo test from the machinery feeding it.
 
+use std::collections::BTreeSet;
+
 use redo_sim::db::Db;
-use redo_sim::wal::{codec, LogPayload, WalRecord};
+use redo_sim::wal::{codec, LogPayload, LogScanner};
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageId, PageOp};
 
-use crate::{RecoveryMethod, RecoveryStats};
+use crate::{RecoveryMethod, RecoveryStats, SCAN_BATCH};
 
 /// Log payload: operations plus fuzzy checkpoint records carrying the
 /// dirty-page table.
@@ -118,41 +120,46 @@ impl FuzzyPhysiological {
     /// The analysis pass: locate the checkpoint's dirty-page table in
     /// the stable log and compute the redo scan start.
     ///
+    /// The checkpoint record is found by *seeking* directly to the
+    /// master LSN — one index jump plus a short header walk, decoding a
+    /// single record — rather than materializing the whole log. The
+    /// elided-record count then falls out of the density invariant
+    /// (stable LSNs are exactly `1..=stable_lsn`): everything below
+    /// `redo_start` is `redo_start − 1` records, no decoding required.
+    ///
     /// # Errors
     ///
     /// Log corruption.
-    pub fn analyze(
-        &self,
-        db: &Db<FuzzyPayload>,
-    ) -> SimResult<(Vec<WalRecord<FuzzyPayload>>, FuzzyAnalysis)> {
+    pub fn analyze(&self, db: &Db<FuzzyPayload>) -> SimResult<FuzzyAnalysis> {
         let master = db.disk.master();
-        let records = db.log.decode_stable()?;
         let mut analysis = FuzzyAnalysis {
             checkpoint_lsn: None,
             redo_start: Lsn(1),
             records_elided: 0,
         };
         if master > Lsn::ZERO {
-            if let Some(rec) = records.iter().find(|r| r.lsn == master) {
-                if let FuzzyPayload::Checkpoint { dirty } = &rec.payload {
-                    analysis.checkpoint_lsn = Some(master);
-                    // Everything before the checkpoint whose page was
-                    // clean at checkpoint time is installed; the scan
-                    // needs to start only at the oldest recLSN (or right
-                    // after the checkpoint if nothing was dirty).
-                    analysis.redo_start = dirty
-                        .iter()
-                        .map(|&(_, rec_lsn)| rec_lsn)
-                        .min()
-                        .unwrap_or(master.next());
+            let mut cursor = db.log.cursor_from(master);
+            if let Some(rec) = cursor.next() {
+                let rec = rec?;
+                if rec.lsn == master {
+                    if let FuzzyPayload::Checkpoint { dirty } = &rec.payload {
+                        analysis.checkpoint_lsn = Some(master);
+                        // Everything before the checkpoint whose page was
+                        // clean at checkpoint time is installed; the scan
+                        // needs to start only at the oldest recLSN (or right
+                        // after the checkpoint if nothing was dirty).
+                        analysis.redo_start = dirty
+                            .iter()
+                            .map(|&(_, rec_lsn)| rec_lsn)
+                            .min()
+                            .unwrap_or(master.next());
+                    }
                 }
             }
         }
-        analysis.records_elided = records
-            .iter()
-            .filter(|r| r.lsn < analysis.redo_start)
-            .count();
-        Ok((records, analysis))
+        analysis.records_elided =
+            (analysis.redo_start.0.saturating_sub(1) as usize).min(db.log.stable_count());
+        Ok(analysis)
     }
 }
 
@@ -190,28 +197,49 @@ impl RecoveryMethod for FuzzyPhysiological {
         // Recovery's first act: repair crash damage the media can
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
-        let (records, analysis) = self.analyze(db)?;
+        let analysis = self.analyze(db)?;
         let mut stats = RecoveryStats::default();
-        for rec in records {
-            if rec.lsn < analysis.redo_start {
-                continue;
+        // The analysis told us where uninstalled operations can start;
+        // seek there and decode only the suffix.
+        let mut scanner = LogScanner::seek(&db.log, analysis.redo_start);
+        loop {
+            let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
+            if batch.is_empty() {
+                break;
             }
-            stats.scanned += 1;
-            let FuzzyPayload::Op(op) = rec.payload else {
-                continue;
-            };
-            let page = op.written_pages()[0];
-            let stable = db.log.stable_lsn();
-            let cached = db
-                .pool
-                .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
-            if cached.lsn() < rec.lsn {
-                db.apply_page_op(&op, rec.lsn)?;
-                stats.replayed.push(op.id);
-            } else {
-                stats.skipped.push(op.id);
+            let pages: BTreeSet<PageId> = batch
+                .iter()
+                .filter_map(|rec| match &rec.payload {
+                    FuzzyPayload::Op(op) => Some(op.written_pages()[0]),
+                    FuzzyPayload::Checkpoint { .. } => None,
+                })
+                .collect();
+            let pages: Vec<PageId> = pages.into_iter().collect();
+            stats.pages_prefetched += db.pool.prefetch(
+                &mut db.disk,
+                &pages,
+                db.geometry.slots_per_page,
+                db.log.stable_lsn(),
+            );
+            for rec in batch {
+                stats.scanned += 1;
+                let FuzzyPayload::Op(op) = rec.payload else {
+                    continue;
+                };
+                let page = op.written_pages()[0];
+                let stable = db.log.stable_lsn();
+                let cached =
+                    db.pool
+                        .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+                if cached.lsn() < rec.lsn {
+                    db.apply_page_op(&op, rec.lsn)?;
+                    stats.replayed.push(op.id);
+                } else {
+                    stats.skipped.push(op.id);
+                }
             }
         }
+        stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
     }
 }
@@ -302,7 +330,7 @@ mod tests {
         }
         db.log.flush_all();
         db.crash();
-        let (_, analysis) = FuzzyPhysiological.analyze(&db).unwrap();
+        let analysis = FuzzyPhysiological.analyze(&db).unwrap();
         assert!(analysis.checkpoint_lsn.is_some());
         // recLSN is approximated conservatively as `durable LSN + 1`, so
         // analysis elides a *prefix* of the installed window — possibly

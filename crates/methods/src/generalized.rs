@@ -22,14 +22,17 @@
 //! updates preceding it — the constraint guarantees the disk never got
 //! ahead.
 
+use std::collections::BTreeSet;
+
 use redo_sim::cache::Constraint;
 use redo_sim::db::Db;
+use redo_sim::wal::LogScanner;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
-use redo_workload::pages::PageOp;
+use redo_workload::pages::{PageId, PageOp};
 
 use crate::oprecord::PageOpPayload;
-use crate::{RecoveryMethod, RecoveryStats};
+use crate::{RecoveryMethod, RecoveryStats, SCAN_BATCH};
 
 /// The generalized LSN-based recovery method.
 #[derive(Clone, Copy, Debug, Default)]
@@ -81,7 +84,6 @@ fn register_constraints(db: &mut Db<PageOpPayload>, op: &PageOp, lsn: Lsn) {
 /// §5 would reject as cyclic: the single-copy cache could never flush
 /// legally again.
 fn would_cycle(db: &Db<PageOpPayload>, op: &PageOp) -> bool {
-    use redo_workload::pages::PageId;
     let written = op.written_pages();
     // Union-find over pages: identify members of active groups and of
     // the new op's write set.
@@ -216,53 +218,77 @@ impl RecoveryMethod for Generalized {
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
         let master = db.disk.master();
-        let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
-        for rec in records {
-            if rec.lsn <= master {
-                continue;
+        // Streaming scan of the post-checkpoint suffix; each batch
+        // prefetches the read+write footprint of its operations (replay
+        // reads go through the recovery cache too).
+        let mut scanner = LogScanner::seek(&db.log, master.next());
+        loop {
+            let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
+            if batch.is_empty() {
+                break;
             }
-            stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else {
-                continue;
-            };
-            // The redo test examines the whole write set; the atomic
-            // flush group guarantees all pages agree (all installed or
-            // none), so any stale page means the operation is
-            // uninstalled.
-            let mut stale = false;
-            let mut fresh = false;
-            for page in op.written_pages() {
-                let stable = db.log.stable_lsn();
-                let cached =
-                    db.pool
-                        .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
-                if cached.lsn() < rec.lsn {
-                    stale = true;
-                } else {
-                    fresh = true;
-                }
-            }
-            debug_assert!(
-                !(stale && fresh),
-                "atomic group violated: write set of op {} part-installed",
-                op.id
+            let pages: BTreeSet<PageId> = batch
+                .iter()
+                .filter_map(|rec| match &rec.payload {
+                    PageOpPayload::Op(op) => {
+                        Some(op.read_pages().into_iter().chain(op.written_pages()))
+                    }
+                    PageOpPayload::Checkpoint => None,
+                })
+                .flatten()
+                .collect();
+            let pages: Vec<PageId> = pages.into_iter().collect();
+            stats.pages_prefetched += db.pool.prefetch(
+                &mut db.disk,
+                &pages,
+                db.geometry.slots_per_page,
+                db.log.stable_lsn(),
             );
-            if stale {
-                // The replayed operation re-imposes its write ordering
-                // on post-recovery cache management, with the same
-                // pre-resolution of would-be cycles as normal execution.
-                if would_cycle(db, &op) {
+            for rec in batch {
+                stats.scanned += 1;
+                let PageOpPayload::Op(op) = rec.payload else {
+                    continue;
+                };
+                // The redo test examines the whole write set; the atomic
+                // flush group guarantees all pages agree (all installed or
+                // none), so any stale page means the operation is
+                // uninstalled.
+                let mut stale = false;
+                let mut fresh = false;
+                for page in op.written_pages() {
                     let stable = db.log.stable_lsn();
-                    db.pool.flush_all(&mut db.disk, stable)?;
+                    let cached =
+                        db.pool
+                            .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+                    if cached.lsn() < rec.lsn {
+                        stale = true;
+                    } else {
+                        fresh = true;
+                    }
                 }
-                db.apply_page_op(&op, rec.lsn)?;
-                register_constraints(db, &op, rec.lsn);
-                stats.replayed.push(op.id);
-            } else {
-                stats.skipped.push(op.id);
+                debug_assert!(
+                    !(stale && fresh),
+                    "atomic group violated: write set of op {} part-installed",
+                    op.id
+                );
+                if stale {
+                    // The replayed operation re-imposes its write ordering
+                    // on post-recovery cache management, with the same
+                    // pre-resolution of would-be cycles as normal execution.
+                    if would_cycle(db, &op) {
+                        let stable = db.log.stable_lsn();
+                        db.pool.flush_all(&mut db.disk, stable)?;
+                    }
+                    db.apply_page_op(&op, rec.lsn)?;
+                    register_constraints(db, &op, rec.lsn);
+                    stats.replayed.push(op.id);
+                } else {
+                    stats.skipped.push(op.id);
+                }
             }
         }
+        stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
     }
 }

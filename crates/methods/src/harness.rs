@@ -100,6 +100,18 @@ pub struct HarnessReport {
     pub torn_repairs: usize,
     /// Torn log-tail bytes discarded across all crashes.
     pub log_tail_dropped: usize,
+    /// Stable-log bytes walked by recovery scans (headers of skipped
+    /// frames plus full frames of decoded records).
+    pub bytes_scanned: u64,
+    /// Log records actually decoded by recovery scans — with a seek
+    /// index this tracks the post-checkpoint suffix, not the whole log.
+    pub records_decoded: usize,
+    /// Recovery scans that entered the log through a seek-index jump.
+    pub seek_hits: usize,
+    /// Pages warmed by recovery's batched prefetch.
+    pub pages_prefetched: usize,
+    /// Group-commit log forces (coalesced stable appends) over the run.
+    pub log_forces: u64,
 }
 
 /// Why a harness run failed.
@@ -260,6 +272,7 @@ pub fn run<M: RecoveryMethod>(
     }
     report.log_bytes = db.log.appended_bytes();
     report.page_writes = db.disk.page_writes();
+    report.log_forces = db.log.forces();
     Ok(report)
 }
 
@@ -287,6 +300,10 @@ fn crash_and_verify<M: RecoveryMethod>(
     let stats = method.recover(db)?;
     report.total_replayed += stats.replay_count();
     report.total_skipped += stats.skipped.len();
+    report.bytes_scanned += stats.bytes_scanned;
+    report.records_decoded += stats.records_decoded;
+    report.seek_hits += stats.seek_hits;
+    report.pages_prefetched += stats.pages_prefetched;
 
     let durable: Vec<PageOp> = committed.iter().map(|(op, _)| op.clone()).collect();
     let view = theory_view(&durable, cfg.slots_per_page);
@@ -495,6 +512,30 @@ mod tests {
         }
         assert!(torn > 0, "no torn write ever landed in the sweep");
         assert!(dropped > 0, "no torn flush ever landed in the sweep");
+    }
+
+    #[test]
+    fn scan_telemetry_reaches_the_report() {
+        let cfg = HarnessConfig {
+            chaos: Some((1.0, 0.3)),
+            checkpoint_every: Some(8),
+            crash_every: Some(13),
+            ..Default::default()
+        };
+        let report = run(&Physiological, &physio_workload(4), &cfg).unwrap();
+        assert!(report.crashes >= 3);
+        assert!(report.bytes_scanned > 0, "{report:?}");
+        assert!(report.log_forces > 0, "{report:?}");
+        // Recovery decodes exactly what it scans: every replayed or
+        // skipped operation was decoded, plus only checkpoint records.
+        assert!(
+            report.records_decoded >= report.total_replayed + report.total_skipped,
+            "{report:?}"
+        );
+        // Checkpoints advance the master, and the seek index lets the
+        // scan jump past the checkpointed prefix at least once.
+        assert!(report.seek_hits > 0, "{report:?}");
+        assert!(report.pages_prefetched > 0, "{report:?}");
     }
 
     #[test]

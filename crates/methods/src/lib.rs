@@ -50,13 +50,25 @@ pub mod physical;
 pub mod physiological;
 
 use redo_sim::db::Db;
-use redo_sim::wal::LogPayload;
+use redo_sim::wal::{LogPayload, ScanStats};
 use redo_sim::SimResult;
 use redo_theory::log::Lsn;
 use redo_workload::pages::PageOp;
 
+/// How many records a recovery scan decodes per [`redo_sim::wal::LogScanner`]
+/// batch before replaying them — the size of the streaming window.
+pub const SCAN_BATCH: usize = 32;
+
 /// What one recovery pass did.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Splits into two layers: the *semantic* outcome (`scanned`,
+/// `replayed`, `skipped` — which operations the redo test chose) and
+/// I/O-path *telemetry* (`bytes_scanned`, `records_decoded`,
+/// `seek_hits`, `forces`, `pages_prefetched`). Equality compares only
+/// the semantic layer: equivalent recoveries — serial vs. parallel,
+/// seeked vs. full scan — must agree on what they replayed, while
+/// legitimately taking different I/O paths to get there.
+#[derive(Clone, Debug, Default, Eq)]
 pub struct RecoveryStats {
     /// Log records examined during the scan.
     pub scanned: usize,
@@ -65,6 +77,26 @@ pub struct RecoveryStats {
     pub replayed: Vec<u32>,
     /// Operations bypassed as already installed.
     pub skipped: Vec<u32>,
+    /// Stable-log bytes the recovery scan decoded.
+    pub bytes_scanned: u64,
+    /// Log records the scan decoded (post-seek; elided prefix records
+    /// are neither decoded nor counted).
+    pub records_decoded: usize,
+    /// Scans that jumped via the LSN seek index.
+    pub seek_hits: usize,
+    /// Coalesced stable log appends (group-commit forces) the database
+    /// had performed by the end of recovery.
+    pub forces: u64,
+    /// Pages batch-prefetched into the buffer pool ahead of replay.
+    pub pages_prefetched: usize,
+}
+
+impl PartialEq for RecoveryStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.scanned == other.scanned
+            && self.replayed == other.replayed
+            && self.skipped == other.skipped
+    }
 }
 
 impl RecoveryStats {
@@ -72,6 +104,15 @@ impl RecoveryStats {
     #[must_use]
     pub fn replay_count(&self) -> usize {
         self.replayed.len()
+    }
+
+    /// Folds one finished scan's telemetry plus the log's force count
+    /// into the stats.
+    pub fn note_scan(&mut self, scan: ScanStats, forces: u64) {
+        self.bytes_scanned += scan.bytes_scanned;
+        self.records_decoded += scan.records_decoded;
+        self.seek_hits += scan.seek_hits;
+        self.forces = forces;
     }
 }
 

@@ -30,13 +30,16 @@
 //! operations out of `redo_set` — one atomic change preserving the
 //! recovery invariant.
 
+use std::collections::BTreeSet;
+
 use redo_sim::db::Db;
+use redo_sim::wal::LogScanner;
 use redo_sim::SimResult;
 use redo_theory::log::Lsn;
-use redo_workload::pages::PageOp;
+use redo_workload::pages::{PageId, PageOp};
 
 use crate::oprecord::PageOpPayload;
-use crate::{RecoveryMethod, RecoveryStats};
+use crate::{RecoveryMethod, RecoveryStats, SCAN_BATCH};
 
 /// The logical (System R-style) recovery method.
 #[derive(Clone, Copy, Debug, Default)]
@@ -95,20 +98,44 @@ impl RecoveryMethod for Logical {
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
         let master = db.disk.master();
-        let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
-        for rec in records {
-            if rec.lsn <= master {
-                continue;
+        // Streaming scan: only the post-checkpoint suffix is ever
+        // decoded. Logical operations read and write arbitrary pages, so
+        // each batch prefetches its whole read+write footprint.
+        let mut scanner = LogScanner::seek(&db.log, master.next());
+        loop {
+            let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
+            if batch.is_empty() {
+                break;
             }
-            stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else {
-                continue;
-            };
-            // redo test: constant true.
-            db.apply_page_op(&op, rec.lsn)?;
-            stats.replayed.push(op.id);
+            let pages: BTreeSet<PageId> = batch
+                .iter()
+                .filter_map(|rec| match &rec.payload {
+                    PageOpPayload::Op(op) => {
+                        Some(op.read_pages().into_iter().chain(op.written_pages()))
+                    }
+                    PageOpPayload::Checkpoint => None,
+                })
+                .flatten()
+                .collect();
+            let pages: Vec<PageId> = pages.into_iter().collect();
+            stats.pages_prefetched += db.pool.prefetch(
+                &mut db.disk,
+                &pages,
+                db.geometry.slots_per_page,
+                db.log.stable_lsn(),
+            );
+            for rec in batch {
+                stats.scanned += 1;
+                let PageOpPayload::Op(op) = rec.payload else {
+                    continue;
+                };
+                // redo test: constant true.
+                db.apply_page_op(&op, rec.lsn)?;
+                stats.replayed.push(op.id);
+            }
         }
+        stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
     }
 }

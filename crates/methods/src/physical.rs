@@ -14,13 +14,15 @@
 //! cache holds) and then atomically shift every logged operation out of
 //! the redo set by writing the checkpoint record.
 
+use std::collections::BTreeSet;
+
 use redo_sim::db::Db;
-use redo_sim::wal::{codec, LogPayload};
+use redo_sim::wal::{codec, LogPayload, LogScanner};
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
-use redo_workload::pages::{Cell, PageOp};
+use redo_workload::pages::{Cell, PageId, PageOp};
 
-use crate::{RecoveryMethod, RecoveryStats};
+use crate::{RecoveryMethod, RecoveryStats, SCAN_BATCH};
 
 /// Log payload for physical recovery: blind after-images or a checkpoint
 /// marker.
@@ -127,32 +129,53 @@ impl RecoveryMethod for Physical {
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
         let master = db.disk.master();
-        let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
-        for rec in records {
-            if rec.lsn <= master {
-                continue;
+        // Streaming scan: seek past the checkpointed prefix (never
+        // decoding it) and replay batch by batch.
+        let mut scanner = LogScanner::seek(&db.log, master.next());
+        loop {
+            let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
+            if batch.is_empty() {
+                break;
             }
-            stats.scanned += 1;
-            match rec.payload {
-                PhysPayload::Checkpoint => {}
-                PhysPayload::Writes { op_id, writes } => {
-                    // redo test: always replay (blind, idempotent).
-                    for (cell, v) in writes {
-                        let stable = db.log.stable_lsn();
-                        db.pool.fetch(
-                            &mut db.disk,
-                            cell.page,
-                            db.geometry.slots_per_page,
-                            stable,
-                        )?;
-                        db.pool
-                            .update(cell.page, rec.lsn, |p| p.set(cell.slot, v))?;
+            let pages: BTreeSet<PageId> = batch
+                .iter()
+                .filter_map(|rec| match &rec.payload {
+                    PhysPayload::Writes { writes, .. } => Some(writes.iter().map(|&(c, _)| c.page)),
+                    PhysPayload::Checkpoint => None,
+                })
+                .flatten()
+                .collect();
+            let pages: Vec<PageId> = pages.into_iter().collect();
+            stats.pages_prefetched += db.pool.prefetch(
+                &mut db.disk,
+                &pages,
+                db.geometry.slots_per_page,
+                db.log.stable_lsn(),
+            );
+            for rec in batch {
+                stats.scanned += 1;
+                match rec.payload {
+                    PhysPayload::Checkpoint => {}
+                    PhysPayload::Writes { op_id, writes } => {
+                        // redo test: always replay (blind, idempotent).
+                        for (cell, v) in writes {
+                            let stable = db.log.stable_lsn();
+                            db.pool.fetch(
+                                &mut db.disk,
+                                cell.page,
+                                db.geometry.slots_per_page,
+                                stable,
+                            )?;
+                            db.pool
+                                .update(cell.page, rec.lsn, |p| p.set(cell.slot, v))?;
+                        }
+                        stats.replayed.push(op_id);
                     }
-                    stats.replayed.push(op_id);
                 }
             }
         }
+        stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
     }
 }

@@ -15,13 +15,16 @@
 //! write-graph nodes are minimal and the cache may flush pages in any
 //! order.
 
+use std::collections::BTreeSet;
+
 use redo_sim::db::Db;
+use redo_sim::wal::LogScanner;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
-use redo_workload::pages::PageOp;
+use redo_workload::pages::{PageId, PageOp};
 
 use crate::oprecord::PageOpPayload;
-use crate::{RecoveryMethod, RecoveryStats};
+use crate::{RecoveryMethod, RecoveryStats, SCAN_BATCH};
 
 /// The physiological recovery method.
 #[derive(Clone, Copy, Debug, Default)]
@@ -75,31 +78,52 @@ impl RecoveryMethod for Physiological {
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
         let master = db.disk.master();
-        let records = db.log.decode_stable()?;
         let mut stats = RecoveryStats::default();
-        for rec in records {
-            if rec.lsn <= master {
-                continue;
+        // Streaming scan: seek past the checkpointed prefix (never
+        // decoding it) and replay batch by batch, prefetching the pages
+        // the upcoming records name.
+        let mut scanner = LogScanner::seek(&db.log, master.next());
+        loop {
+            let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
+            if batch.is_empty() {
+                break;
             }
-            stats.scanned += 1;
-            let PageOpPayload::Op(op) = rec.payload else {
-                continue;
-            };
-            let page = op.written_pages()[0];
-            let stable = db.log.stable_lsn();
-            let cached = db
-                .pool
-                .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
-            if cached.lsn() < rec.lsn {
-                // redo test fired: the page misses this update. Reads see
-                // the page with every earlier operation already applied
-                // (replayed or installed), so the operation is applicable.
-                db.apply_page_op(&op, rec.lsn)?;
-                stats.replayed.push(op.id);
-            } else {
-                stats.skipped.push(op.id);
+            let pages: BTreeSet<PageId> = batch
+                .iter()
+                .filter_map(|rec| match &rec.payload {
+                    PageOpPayload::Op(op) => Some(op.written_pages()[0]),
+                    PageOpPayload::Checkpoint => None,
+                })
+                .collect();
+            let pages: Vec<PageId> = pages.into_iter().collect();
+            stats.pages_prefetched += db.pool.prefetch(
+                &mut db.disk,
+                &pages,
+                db.geometry.slots_per_page,
+                db.log.stable_lsn(),
+            );
+            for rec in batch {
+                stats.scanned += 1;
+                let PageOpPayload::Op(op) = rec.payload else {
+                    continue;
+                };
+                let page = op.written_pages()[0];
+                let stable = db.log.stable_lsn();
+                let cached =
+                    db.pool
+                        .fetch(&mut db.disk, page, db.geometry.slots_per_page, stable)?;
+                if cached.lsn() < rec.lsn {
+                    // redo test fired: the page misses this update. Reads see
+                    // the page with every earlier operation already applied
+                    // (replayed or installed), so the operation is applicable.
+                    db.apply_page_op(&op, rec.lsn)?;
+                    stats.replayed.push(op.id);
+                } else {
+                    stats.skipped.push(op.id);
+                }
             }
         }
+        stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
     }
 }

@@ -240,6 +240,42 @@ impl BufferPool {
         Ok(&self.frames.get(&id).expect("just inserted").page)
     }
 
+    /// Batched best-effort prefetch: reads each listed page that is not
+    /// already resident, in order, and returns how many were newly
+    /// fetched. Recovery calls this with the distinct pages named by the
+    /// next batch of log records so the per-record fetches hit cache.
+    ///
+    /// Pages are *not* pinned: pinning a whole lookahead window under a
+    /// bounded pool could make the window unevictable and starve the
+    /// replay fetch itself. Under a bounded pool the prefetch also stops
+    /// short of filling every frame, leaving one for the replay's own
+    /// working page, and a page that cannot be brought in (pool
+    /// exhausted) simply ends the prefetch — replay's own fetch will
+    /// surface any real error.
+    pub fn prefetch(
+        &mut self,
+        disk: &mut Disk,
+        pages: &[PageId],
+        slots_per_page: u16,
+        stable_lsn: Lsn,
+    ) -> usize {
+        let budget = match self.capacity {
+            Some(cap) => cap.saturating_sub(1),
+            None => usize::MAX,
+        };
+        let mut fetched = 0;
+        for &id in pages {
+            if self.frames.contains_key(&id) {
+                continue;
+            }
+            if fetched >= budget || self.fetch(disk, id, slots_per_page, stable_lsn).is_err() {
+                break;
+            }
+            fetched += 1;
+        }
+        fetched
+    }
+
     /// The cached copy of `id`, if present (no disk access, no LRU
     /// touch).
     #[must_use]
@@ -517,6 +553,29 @@ mod tests {
         let mut pool = BufferPool::new(None);
         let err = pool.update(PageId(0), Lsn(1), |_| {}).unwrap_err();
         assert_eq!(err, SimError::NotCached(PageId(0)));
+    }
+
+    #[test]
+    fn prefetch_warms_missing_pages_only() {
+        let (mut pool, mut disk) = pool_with_page(PageId(0));
+        let want = [PageId(0), PageId(1), PageId(2)];
+        let fetched = pool.prefetch(&mut disk, &want, 4, Lsn::ZERO);
+        assert_eq!(fetched, 2, "already-resident pages are not re-read");
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.prefetch(&mut disk, &want, 4, Lsn::ZERO), 0);
+    }
+
+    #[test]
+    fn prefetch_under_bounded_pool_leaves_a_free_frame_and_never_pins() {
+        let mut pool = BufferPool::new(Some(3));
+        let mut disk = Disk::new();
+        let want: Vec<PageId> = (0..5).map(PageId).collect();
+        let fetched = pool.prefetch(&mut disk, &want, 4, Lsn::ZERO);
+        assert_eq!(fetched, 2, "prefetch stops one frame short of capacity");
+        assert!(pool.len() < 3);
+        for id in want {
+            assert!(!pool.is_pinned(id));
+        }
     }
 
     #[test]

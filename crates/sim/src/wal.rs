@@ -6,6 +6,33 @@
 //! volatile tail; recovery decodes the stable bytes — so the binary codec
 //! is actually exercised on every simulated crash, not decorative.
 //!
+//! ## Frame format
+//!
+//! Each stable record occupies one *frame*: an 8-byte little-endian LSN,
+//! a 4-byte little-endian body length, then the payload body. Frames are
+//! contiguous; the stable image is well-formed iff it is a whole number
+//! of well-formed frames. Because [`LogManager::flush`] moves the
+//! volatile tail in order and a crash re-derives the next LSN from the
+//! stable end, the stable log always holds exactly LSNs
+//! `1..=stable_lsn`, densely and in order — the seek machinery below
+//! relies on this.
+//!
+//! ## Scanning
+//!
+//! Recovery reads the log through [`LogCursor`], a streaming iterator
+//! that decodes frames lazily out of the stable bytes (payloads decode
+//! from a borrowed slice; nothing is materialized up front), or through
+//! [`LogScanner`], a resumable cursor that yields bounded batches so a
+//! caller can interleave decoding with mutable database work.
+//! [`LogManager::cursor_from`] seeks: a sparse LSN→byte-offset index,
+//! maintained as frames are flushed, jumps near the requested LSN and a
+//! structural header walk (no payload decode) lands on it exactly — so a
+//! checkpoint bounds *decode* work, not just replay work.
+//!
+//! On the write side [`LogManager::flush`] is a group commit: every
+//! frame covered by the force is encoded into one coalesced buffer and
+//! appended to the stable bytes in a single extend.
+//!
 //! The payload type is method-specific (`redo-methods` logs after-images
 //! for physical recovery, page operations for physiological recovery,
 //! etc.), so the manager is generic over [`LogPayload`]. The [`codec`]
@@ -13,6 +40,7 @@
 //! [`PageOp`](redo_workload::pages::PageOp), which several methods embed.
 
 use std::fmt;
+use std::marker::PhantomData;
 
 use redo_theory::log::Lsn;
 
@@ -40,6 +68,11 @@ pub struct WalRecord<P> {
     pub payload: P,
 }
 
+/// One seek-index entry every this many stable records. Small enough
+/// that the post-seek header walk touches at most a handful of frames,
+/// sparse enough that the index stays a rounding error next to the log.
+pub const SEEK_INTERVAL: usize = 8;
+
 /// The log manager.
 #[derive(Clone, Debug)]
 pub struct LogManager<P> {
@@ -49,6 +82,13 @@ pub struct LogManager<P> {
     volatile: Vec<WalRecord<P>>,
     next_lsn: Lsn,
     appended_bytes: u64,
+    /// Sparse LSN → stable-byte-offset index: one entry per
+    /// [`SEEK_INTERVAL`] records, pushed as frames are covered by a
+    /// flush. Entries only ever point at frame starts the stable
+    /// bookkeeping covers, so tail repair can only drop them wholesale.
+    seek_index: Vec<(Lsn, u64)>,
+    seek_enabled: bool,
+    forces: u64,
     /// Shared crash-point switchboard ([`crate::db::Db`] wires the same
     /// injector into the disk).
     pub(crate) injector: FaultInjector,
@@ -65,6 +105,9 @@ impl<P: LogPayload> LogManager<P> {
             volatile: Vec::new(),
             next_lsn: Lsn(1),
             appended_bytes: 0,
+            seek_index: Vec::new(),
+            seek_enabled: true,
+            forces: 0,
             injector: FaultInjector::new(),
         }
     }
@@ -82,50 +125,65 @@ impl<P: LogPayload> LogManager<P> {
         lsn
     }
 
-    /// Forces the log through `upto` (inclusive): encodes and moves the
-    /// covered tail records to the stable prefix. Flushing past the end
-    /// of the tail forces everything.
+    /// Forces the log through `upto` (inclusive): encodes the covered
+    /// tail records into one coalesced batch and appends it to the
+    /// stable prefix in a single extend — a group commit. Flushing past
+    /// the end of the tail forces everything.
     ///
-    /// Each record transfer is one faultable event: an armed
-    /// [`FaultInjector`] may stop the flush between records (a clean
-    /// crash point) or truncate a record mid-frame
-    /// ([`crate::fault::FaultKind::TornFlush`]). A truncated record's
+    /// Fault semantics are per record, exactly as when each frame was
+    /// its own append: every record covered by the force is one
+    /// faultable event, so an armed [`FaultInjector`] may stop the batch
+    /// at any record boundary (a clean crash point) or truncate a record
+    /// mid-frame ([`crate::fault::FaultKind::TornFlush`]) — the batch is
+    /// cut there and later records never reach it. A truncated record's
     /// bytes land on disk but the stable bookkeeping never covers them —
     /// [`LogManager::decode_stable`] reports the fragment as
     /// [`SimError::Corrupt`] and [`LogManager::repair_tail`] discards it.
     pub fn flush(&mut self, upto: Lsn) {
         let mut kept = Vec::new();
         let mut halted = false;
+        let base = self.stable_bytes.len() as u64;
+        let mut batch: Vec<u8> = Vec::new();
         for rec in std::mem::take(&mut self.volatile) {
             if halted || rec.lsn > upto {
                 kept.push(rec);
                 continue;
             }
-            let mut frame = Vec::new();
-            codec::put_u64(&mut frame, rec.lsn.0);
-            let mut body = Vec::new();
-            rec.payload.encode(&mut body);
-            codec::put_u32(&mut frame, body.len() as u32);
-            frame.extend_from_slice(&body);
+            // Encode the frame in place at the batch tail: LSN, a length
+            // placeholder patched once the body has landed, then the body.
+            let frame_start = batch.len();
+            codec::put_u64(&mut batch, rec.lsn.0);
+            codec::put_u32(&mut batch, 0);
+            rec.payload.encode(&mut batch);
+            let body_len = (batch.len() - frame_start - 12) as u32;
+            batch[frame_start + 8..frame_start + 12].copy_from_slice(&body_len.to_le_bytes());
             match self.injector.on_log_flush() {
                 FaultDecision::Proceed => {
-                    self.stable_bytes.extend_from_slice(&frame);
+                    if self.seek_enabled && self.stable_count.is_multiple_of(SEEK_INTERVAL) {
+                        self.seek_index.push((rec.lsn, base + frame_start as u64));
+                    }
                     self.stable_lsn = rec.lsn;
                     self.stable_count += 1;
                 }
                 FaultDecision::Truncate { bytes } => {
-                    // A strictly partial transfer: at least one byte
-                    // lands, at least one is lost.
-                    let k = bytes.clamp(1, frame.len() - 1);
-                    self.stable_bytes.extend_from_slice(&frame[..k]);
+                    // A strictly partial transfer: at least one byte of
+                    // the frame lands, at least one is lost.
+                    let frame_len = batch.len() - frame_start;
+                    let k = bytes.clamp(1, frame_len - 1);
+                    batch.truncate(frame_start + k);
                     kept.push(rec);
                     halted = true;
                 }
                 FaultDecision::Suppress | FaultDecision::Tear { .. } => {
+                    batch.truncate(frame_start);
                     kept.push(rec);
                     halted = true;
                 }
             }
+        }
+        if !batch.is_empty() {
+            self.forces += 1;
+            self.stable_bytes.extend_from_slice(&batch);
         }
         self.volatile = kept;
     }
@@ -176,14 +234,86 @@ impl<P: LogPayload> LogManager<P> {
         self.next_lsn = self.stable_lsn.next();
     }
 
-    /// Decodes the stable prefix back into records — the recovery-time
-    /// log scan.
+    /// Decodes the stable prefix back into records, materialized as one
+    /// vector. Recovery hot paths use [`LogManager::cursor_from`] /
+    /// [`LogScanner`] instead; this remains for tests and tools that
+    /// want the whole log at once.
     ///
     /// # Errors
     ///
     /// [`SimError::Corrupt`] if the bytes do not parse.
     pub fn decode_stable(&self) -> SimResult<Vec<WalRecord<P>>> {
         decode_records(&self.stable_bytes)
+    }
+
+    /// A streaming cursor over the whole stable prefix.
+    #[must_use]
+    pub fn cursor(&self) -> LogCursor<'_, P> {
+        LogCursor::over(&self.stable_bytes)
+    }
+
+    /// A streaming cursor positioned at the first stable record with
+    /// LSN ≥ `from`.
+    ///
+    /// The sparse seek index supplies the long jump (greatest indexed
+    /// frame with LSN ≤ `from`); a structural header walk — LSN and
+    /// length fields only, no payload decode — lands exactly. Because
+    /// stable LSNs are dense and monotone (`1..=stable_lsn`), the cursor
+    /// yields precisely the suffix of the full scan starting at `from`.
+    /// With the index disabled the header walk starts at offset 0:
+    /// slower, but still decoding no payload below `from`.
+    #[must_use]
+    pub fn cursor_from(&self, from: Lsn) -> LogCursor<'_, P> {
+        let (start, hit) = self.seek_offset(from);
+        let (pos, frames_skipped) = skip_frames_below(&self.stable_bytes, start, from);
+        let stats = ScanStats {
+            // The header walk reads 12 bytes per skipped frame; the
+            // seek jump itself touches nothing — that difference is
+            // exactly what the telemetry should show.
+            bytes_scanned: frames_skipped as u64 * 12,
+            seek_hits: usize::from(hit),
+            ..ScanStats::default()
+        };
+        LogCursor::at(&self.stable_bytes, pos, stats)
+    }
+
+    /// The byte offset of the greatest indexed frame with LSN ≤ `from`,
+    /// and whether the index actually advanced the scan start.
+    fn seek_offset(&self, from: Lsn) -> (usize, bool) {
+        let i = self.seek_index.partition_point(|&(lsn, _)| lsn <= from);
+        match i.checked_sub(1) {
+            Some(i) => {
+                let off = self.seek_index[i].1 as usize;
+                if off == 0 || off > self.stable_bytes.len() {
+                    (0, false)
+                } else {
+                    (off, true)
+                }
+            }
+            None => (0, false),
+        }
+    }
+
+    /// Drops the seek index and stops maintaining it;
+    /// [`LogManager::cursor_from`] falls back to a pure header walk from
+    /// offset 0. The crash auditor uses this to check that seeked and
+    /// unseeked recovery reach identical states.
+    pub fn disable_seek_index(&mut self) {
+        self.seek_index.clear();
+        self.seek_enabled = false;
+    }
+
+    /// The sparse seek index (LSN → stable byte offset), for inspection.
+    #[must_use]
+    pub fn seek_index(&self) -> &[(Lsn, u64)] {
+        &self.seek_index
+    }
+
+    /// Number of coalesced stable appends (group-commit forces) that
+    /// have landed bytes so far.
+    #[must_use]
+    pub fn forces(&self) -> u64 {
+        self.forces
     }
 
     /// The raw stable-log bytes (what a crash leaves on disk).
@@ -212,37 +342,232 @@ impl<P: LogPayload> LogManager<P> {
         }
         let dropped = self.stable_bytes.len() - pos;
         self.stable_bytes.truncate(pos);
+        // Seek entries only ever point at covered frame starts, all of
+        // which the structural walk keeps; the retain is belt-and-braces
+        // against an entry landing in the dropped fragment.
+        self.seek_index
+            .retain(|&(_, off)| (off as usize) < pos || off == 0);
+        if pos == 0 {
+            self.seek_index.clear();
+        }
         dropped
     }
 }
 
 /// Decodes a stable-log byte image into records — the recovery-time log
 /// scan as a pure function (the corruption tests drive it over
-/// arbitrarily truncated and bit-flipped images).
+/// arbitrarily truncated and bit-flipped images). Implemented as a
+/// collected [`LogCursor`] so the materializing and streaming scans
+/// cannot drift apart.
 ///
 /// # Errors
 ///
 /// [`SimError::Corrupt`] at the failing offset if the bytes do not parse
 /// as a whole number of well-formed records.
 pub fn decode_records<P: LogPayload>(bytes: &[u8]) -> SimResult<Vec<WalRecord<P>>> {
-    let mut out = Vec::new();
-    let mut pos = 0usize;
-    while pos < bytes.len() {
-        let lsn = Lsn(codec::get_u64(bytes, &mut pos)?);
-        let len = codec::get_u32(bytes, &mut pos)? as usize;
+    LogCursor::over(bytes).collect()
+}
+
+/// Telemetry from one streaming log scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Stable-log bytes the scan touched: full frames (header plus
+    /// body) of decoded records, plus 12 header bytes per frame the
+    /// seek walk skipped structurally.
+    pub bytes_scanned: u64,
+    /// Frames decoded into records.
+    pub records_decoded: usize,
+    /// Scans whose starting position came from a seek-index jump past
+    /// offset 0.
+    pub seek_hits: usize,
+}
+
+/// A streaming, zero-copy scan over a stable-log byte image.
+///
+/// Decodes one frame per [`Iterator::next`] call; the payload decodes
+/// out of a borrowed slice of the underlying bytes and no record vector
+/// is ever materialized. The first decode error is yielded once and
+/// ends the iteration — identical observable behavior (records, error,
+/// offset) to [`decode_records`], which is built on top of it.
+#[derive(Debug)]
+pub struct LogCursor<'a, P> {
+    bytes: &'a [u8],
+    pos: usize,
+    stats: ScanStats,
+    failed: bool,
+    _payload: PhantomData<fn() -> P>,
+}
+
+impl<'a, P: LogPayload> LogCursor<'a, P> {
+    /// A cursor over an arbitrary byte image, starting at offset 0 —
+    /// the corruption tests drive this over truncated and bit-flipped
+    /// images that never came from a live [`LogManager`].
+    #[must_use]
+    pub fn over(bytes: &'a [u8]) -> LogCursor<'a, P> {
+        LogCursor::at(bytes, 0, ScanStats::default())
+    }
+
+    fn at(bytes: &'a [u8], pos: usize, stats: ScanStats) -> LogCursor<'a, P> {
+        LogCursor {
+            bytes,
+            pos,
+            stats,
+            failed: false,
+            _payload: PhantomData,
+        }
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    /// The current byte offset into the image.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn decode_next(&mut self) -> SimResult<Option<WalRecord<P>>> {
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let mut pos = self.pos;
+        let lsn = Lsn(codec::get_u64(self.bytes, &mut pos)?);
+        let len = codec::get_u32(self.bytes, &mut pos)? as usize;
         let end = pos.checked_add(len).ok_or(SimError::Corrupt(pos))?;
-        if end > bytes.len() {
+        if end > self.bytes.len() {
             return Err(SimError::Corrupt(pos));
         }
         let mut body_pos = pos;
-        let payload = P::decode(&bytes[..end], &mut body_pos)?;
+        let payload = P::decode(&self.bytes[..end], &mut body_pos)?;
         if body_pos != end {
             return Err(SimError::Corrupt(body_pos));
         }
-        pos = end;
-        out.push(WalRecord { lsn, payload });
+        self.pos = end;
+        self.stats.records_decoded += 1;
+        self.stats.bytes_scanned += (end - start) as u64;
+        Ok(Some(WalRecord { lsn, payload }))
     }
-    Ok(out)
+}
+
+impl<P: LogPayload> Iterator for LogCursor<'_, P> {
+    type Item = SimResult<WalRecord<P>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.decode_next() {
+            Ok(rec) => rec.map(Ok),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Walks frame headers from `pos` (which must be a frame boundary)
+/// until reaching a frame whose LSN is ≥ `from`, skipping bodies
+/// without decoding them. Returns the landing offset and the number of
+/// frames skipped over. Stops at any structural breakage so the
+/// caller's decode reports the corruption at the same offset a full
+/// scan would.
+fn skip_frames_below(bytes: &[u8], mut pos: usize, from: Lsn) -> (usize, usize) {
+    let mut skipped = 0usize;
+    while pos + 12 <= bytes.len() {
+        let lsn = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        if Lsn(lsn) >= from {
+            break;
+        }
+        let len =
+            u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
+        match (pos + 12).checked_add(len) {
+            Some(end) if end <= bytes.len() => {
+                pos = end;
+                skipped += 1;
+            }
+            _ => break,
+        }
+    }
+    (pos, skipped)
+}
+
+/// A resumable batched scan over a [`LogManager`]'s stable prefix.
+///
+/// [`LogCursor`] borrows the log for its whole lifetime, which serial
+/// recovery loops — they also need the database mutably, to replay —
+/// cannot afford. `LogScanner` holds only a byte position and re-borrows
+/// the log per [`LogScanner::next_batch`] call, so callers interleave
+/// decoding with replay under a bounded in-memory window.
+#[derive(Clone, Debug, Default)]
+pub struct LogScanner {
+    pos: usize,
+    stats: ScanStats,
+    failed: bool,
+}
+
+impl LogScanner {
+    /// A scanner over the whole stable prefix.
+    #[must_use]
+    pub fn from_start() -> LogScanner {
+        LogScanner::default()
+    }
+
+    /// A scanner positioned (via the seek index) at the first stable
+    /// record with LSN ≥ `from`.
+    #[must_use]
+    pub fn seek<P: LogPayload>(log: &LogManager<P>, from: Lsn) -> LogScanner {
+        let cursor = log.cursor_from(from);
+        LogScanner {
+            pos: cursor.pos,
+            stats: cursor.stats,
+            failed: false,
+        }
+    }
+
+    /// Decodes up to `max` records at the current position, advancing
+    /// past them. An empty batch means the scan is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] at the failing offset; subsequent calls
+    /// return empty batches.
+    pub fn next_batch<P: LogPayload>(
+        &mut self,
+        log: &LogManager<P>,
+        max: usize,
+    ) -> SimResult<Vec<WalRecord<P>>> {
+        if self.failed {
+            return Ok(Vec::new());
+        }
+        let mut cursor: LogCursor<'_, P> = LogCursor::at(log.stable_bytes(), self.pos, self.stats);
+        let mut out = Vec::new();
+        while out.len() < max {
+            match cursor.next() {
+                Some(Ok(rec)) => out.push(rec),
+                Some(Err(e)) => {
+                    self.failed = true;
+                    self.pos = cursor.pos;
+                    self.stats = cursor.stats;
+                    return Err(e);
+                }
+                None => break,
+            }
+        }
+        self.pos = cursor.pos;
+        self.stats = cursor.stats;
+        Ok(out)
+    }
+
+    /// Telemetry accumulated across all batches (including the seek).
+    #[must_use]
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
 }
 
 impl<P: LogPayload> Default for LogManager<P> {
@@ -599,10 +924,11 @@ mod tests {
         log.flush_all();
         assert_eq!(log.stable_count(), 2);
         assert_eq!(log.stable_lsn(), Lsn(2));
-        // No fragment: the stable image decodes cleanly as-is.
+        // No fragment: the stable image decodes cleanly as-is, and
+        // repair is an in-place no-op — no whole-log copy needed.
         assert_eq!(log.decode_stable().unwrap().len(), 2);
-        let mut repaired = log.clone();
-        assert_eq!(repaired.repair_tail(), 0);
+        assert_eq!(log.repair_tail(), 0);
+        assert_eq!(log.decode_stable().unwrap().len(), 2);
     }
 
     #[test]
@@ -614,5 +940,167 @@ mod tests {
         log.flush_all();
         assert_eq!(log.repair_tail(), 0);
         assert_eq!(log.decode_stable().unwrap().len(), 6);
+    }
+
+    /// Builds a fully flushed log of `n` numbered records.
+    fn numbered_log(n: u64) -> LogManager<Num> {
+        let mut log = LogManager::new();
+        for i in 0..n {
+            log.append(Num(i * 3));
+        }
+        log.flush_all();
+        log
+    }
+
+    #[test]
+    fn cursor_streams_the_same_records_decode_stable_returns() {
+        let log = numbered_log(40);
+        let full = log.decode_stable().unwrap();
+        let streamed: Vec<_> = log.cursor().map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, full);
+        let mut cursor = log.cursor();
+        while cursor.next().is_some() {}
+        assert_eq!(cursor.stats().records_decoded, 40);
+        assert_eq!(
+            cursor.stats().bytes_scanned,
+            log.stable_bytes().len() as u64
+        );
+        assert_eq!(cursor.stats().seek_hits, 0);
+    }
+
+    #[test]
+    fn seeked_cursor_yields_the_exact_suffix() {
+        let log = numbered_log(41);
+        let full = log.decode_stable().unwrap();
+        for from in 1..=42u64 {
+            let suffix: Vec<_> = log.cursor_from(Lsn(from)).map(|r| r.unwrap()).collect();
+            assert_eq!(&suffix[..], &full[(from as usize - 1).min(full.len())..]);
+        }
+        // A seek well past the first index entry must actually use it.
+        let cursor = log.cursor_from(Lsn(33));
+        assert_eq!(cursor.stats().seek_hits, 1);
+        // The suffix decode touches fewer bytes than the full image.
+        let mut cursor = log.cursor_from(Lsn(33));
+        while cursor.next().is_some() {}
+        assert!(cursor.stats().bytes_scanned < log.stable_bytes().len() as u64);
+        assert_eq!(cursor.stats().records_decoded, 9);
+    }
+
+    #[test]
+    fn disabled_seek_index_still_lands_on_the_right_record() {
+        let mut log = numbered_log(40);
+        assert!(!log.seek_index().is_empty());
+        let seeked: Vec<_> = log.cursor_from(Lsn(20)).map(|r| r.unwrap()).collect();
+        log.disable_seek_index();
+        assert!(log.seek_index().is_empty());
+        let walked: Vec<_> = log.cursor_from(Lsn(20)).map(|r| r.unwrap()).collect();
+        assert_eq!(walked, seeked);
+        let cursor = log.cursor_from(Lsn(20));
+        assert_eq!(cursor.stats().seek_hits, 0);
+        // The index stays off across later flushes.
+        log.append(Num(999));
+        log.flush_all();
+        assert!(log.seek_index().is_empty());
+    }
+
+    #[test]
+    fn flush_batches_count_as_single_forces() {
+        let mut log = LogManager::new();
+        for i in 0..10 {
+            log.append(Num(i));
+        }
+        log.flush(Lsn(6));
+        log.flush_all();
+        assert_eq!(log.forces(), 2, "one coalesced append per force");
+        log.flush_all();
+        assert_eq!(log.forces(), 2, "an empty force lands no bytes");
+        assert_eq!(log.decode_stable().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn seek_index_is_sparse_and_survives_crash_and_repair() {
+        let mut log = numbered_log(20);
+        // Entries at records 1, 9, 17 under SEEK_INTERVAL = 8.
+        assert_eq!(log.seek_index().len(), 20usize.div_ceil(SEEK_INTERVAL));
+        assert_eq!(log.seek_index()[0], (Lsn(1), 0));
+        log.crash();
+        assert_eq!(log.seek_index().len(), 3);
+        assert_eq!(log.repair_tail(), 0);
+        assert_eq!(log.seek_index().len(), 3);
+        let suffix: Vec<_> = log.cursor_from(Lsn(18)).map(|r| r.unwrap()).collect();
+        assert_eq!(suffix.len(), 3);
+        assert_eq!(suffix[0].lsn, Lsn(18));
+    }
+
+    #[test]
+    fn torn_flush_leaves_seek_index_consistent_after_repair() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut log = LogManager::new();
+        for i in 0..12 {
+            log.append(Num(i));
+        }
+        // Tear the 10th record's frame: records 1..=9 are covered, so the
+        // index entry for record 9 stays valid and the fragment is
+        // beyond every entry.
+        log.injector.arm(FaultPlan {
+            at: 10,
+            kind: FaultKind::TornFlush { bytes: 3 },
+        });
+        log.flush_all();
+        log.injector.reset();
+        log.crash();
+        assert!(log.repair_tail() > 0);
+        assert_eq!(log.seek_index().len(), 2);
+        let tail: Vec<_> = log.cursor_from(Lsn(9)).map(|r| r.unwrap()).collect();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].lsn, Lsn(9));
+    }
+
+    #[test]
+    fn scanner_resumes_across_batches_and_matches_full_scan() {
+        let log = numbered_log(25);
+        let full = log.decode_stable().unwrap();
+        let mut scanner = LogScanner::from_start();
+        let mut got = Vec::new();
+        loop {
+            let batch = scanner.next_batch(&log, 4).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            assert!(batch.len() <= 4);
+            got.extend(batch);
+        }
+        assert_eq!(got, full);
+        assert_eq!(scanner.stats().records_decoded, 25);
+
+        let mut seeked = LogScanner::seek(&log, Lsn(14));
+        let mut tail = Vec::new();
+        loop {
+            let batch = seeked.next_batch(&log, 5).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            tail.extend(batch);
+        }
+        assert_eq!(&tail[..], &full[13..]);
+        assert_eq!(seeked.stats().seek_hits, 1);
+    }
+
+    #[test]
+    fn scanner_reports_corruption_once_then_stays_done() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut log = LogManager::new();
+        for i in 0..3 {
+            log.append(Num(i));
+        }
+        log.injector.arm(FaultPlan {
+            at: 3,
+            kind: FaultKind::TornFlush { bytes: 4 },
+        });
+        log.flush_all();
+        let mut scanner = LogScanner::from_start();
+        let first = scanner.next_batch(&log, 16);
+        assert!(matches!(first, Err(SimError::Corrupt(_))));
+        assert!(scanner.next_batch(&log, 16).unwrap().is_empty());
     }
 }

@@ -195,7 +195,7 @@ fn fuzzy_analysis_is_cheaper_than_full_scan_but_never_wrong() {
     }
     db.log.flush_all();
     db.crash();
-    let (_, analysis) = FuzzyPhysiological.analyze(&db).expect("analysis");
+    let analysis = FuzzyPhysiological.analyze(&db).expect("analysis");
     assert!(analysis.checkpoint_lsn.is_some());
     assert!(analysis.records_elided > 0, "{analysis:?}");
     let stats = FuzzyPhysiological.recover(&mut db).expect("recover");

@@ -16,11 +16,15 @@
 //!   the last two are deliberately broken and should FAIL).
 //! * `walks`     — fuzz write-graph evolutions against Corollary 5.
 //! * `beyond`    — search for §7's beyond-the-theory witnesses.
-//! * `crash-audit` — drive each method (`--method all` by default)
+//! * `crash-audit` — drive each method (`--method all` by default;
+//!   `logical|physical|physiological|generalized|online|fuzzy|parallel`)
 //!   through seeded crash schedules with injected faults: torn page
 //!   writes, partial log flushes, and a crash in the middle of every
 //!   recovery, checking the Recovery Invariant after each completed
-//!   recovery. `--capacity 0` means an unbounded buffer pool.
+//!   recovery. The `online` method additionally exposes its fuzzy
+//!   checkpoint publication (force, pointer swing, truncation) as
+//!   faultable crash points. `--capacity 0` means an unbounded buffer
+//!   pool.
 //!
 //! Exit code 0 = everything checked clean (or, for the broken methods,
 //! the expected violation was found); 1 = a violation of the paper's
@@ -37,6 +41,7 @@ use redo_methods::broken::{LyingCheckpoint, SkippyRedo};
 use redo_methods::fuzzy::FuzzyPhysiological;
 use redo_methods::generalized::Generalized;
 use redo_methods::logical::Logical;
+use redo_methods::online::GeneralizedOnline;
 use redo_methods::parallel::{ParallelPhysical, ParallelPhysiological};
 use redo_methods::physical::Physical;
 use redo_methods::physiological::Physiological;
@@ -246,6 +251,10 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
     }
     if all || method == "generalized" {
         clean &= audit_method(&Generalized, &cfg);
+        matched = true;
+    }
+    if all || method == "online" {
+        clean &= audit_method(&GeneralizedOnline, &cfg);
         matched = true;
     }
     if all || method == "fuzzy" {

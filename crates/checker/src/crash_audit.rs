@@ -242,7 +242,7 @@ fn sample_plan(rng: &mut StdRng, max_at: u64) -> FaultPlan {
 fn shaped_workload(method_name: &str, cfg: &CrashAuditConfig, seed: u64) -> Vec<PageOp> {
     let (cross, blind, multi) = match method_name {
         "physical" | "physical-parallel" => (0.0, 1.0, 0.0),
-        "generalized-lsn" => (0.5, 0.1, 0.2),
+        "generalized-lsn" | "generalized-online" => (0.5, 0.1, 0.2),
         "logical" => (0.5, 0.1, 0.0),
         _ => (0.0, 0.2, 0.0),
     };
@@ -470,6 +470,7 @@ mod tests {
     use redo_methods::fuzzy::FuzzyPhysiological;
     use redo_methods::generalized::Generalized;
     use redo_methods::logical::Logical;
+    use redo_methods::online::GeneralizedOnline;
     use redo_methods::parallel::{ParallelPhysical, ParallelPhysiological};
     use redo_methods::physical::Physical;
     use redo_methods::physiological::Physiological;
@@ -509,6 +510,17 @@ mod tests {
     fn generalized_survives_crash_audit() {
         let cfg = small();
         let report = audit(&Generalized, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn generalized_online_survives_crash_audit() {
+        // The online method's checkpoint is a multi-step publication
+        // (force, swing, truncate) and every step is a faultable crash
+        // point: this audit drives crashes *into* checkpoint writes and
+        // demands fallback to the previous published checkpoint.
+        let cfg = small();
+        let report = audit(&GeneralizedOnline, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
     }
 

@@ -13,18 +13,43 @@
 //! * a **group-commit thread** periodically forces the log;
 //! * a **background flusher** cleans dirty pages under the WAL rule and
 //!   the write-order constraints, exactly like the sequential cache
-//!   manager.
+//!   manager;
+//! * a **checkpoint daemon** periodically takes a fuzzy checkpoint —
+//!   snapshot the dirty-page table (with per-page recLSNs), append a
+//!   [`PageOpPayload::FuzzyCheckpoint`] record through the group-commit
+//!   path, publish it with the master pointer swing, and truncate the
+//!   log prefix the checkpoint proved redundant — so restart latency
+//!   stays bounded no matter how long the live run was.
 //!
 //! Crashing tears the volatile components down and reassembles a
 //! sequential [`Db`] for the §6 recovery method to repair; the test
 //! suite then verifies the recovered state equals the replay of the
 //! stable log — whatever interleaving the threads actually produced.
 //!
-//! Lock ordering (strict, global): page latches → log → store. The
-//! flusher and committer never take latches, workers never take locks
-//! out of order, so the system is deadlock-free by construction.
+//! Lock ordering (strict, global): page latches → store → log →
+//! in-flight set. The checkpoint daemon is why the store precedes the
+//! log: a consistent fuzzy snapshot must read the dirty-page table and
+//! append the checkpoint record with no apply slipping in between,
+//! which means holding both locks at once. Every other path takes each
+//! lock alone or in that order; the flusher and committer never take
+//! latches; so the system is deadlock-free by construction.
+//!
+//! ## Why the in-flight floor is needed
+//!
+//! [`SharedDb::execute`] assigns an operation's LSN under the log lock
+//! but applies its writes under a later store lock, so there is a
+//! window where a record exists in the log while its dirt is in no
+//! dirty-page table. A checkpoint snapshotting during that window
+//! would compute a redo-start above the un-applied record and recovery
+//! would skip it. The cure: each append registers its LSN in an
+//! in-flight set (same log-lock critical section) and removes it only
+//! once applied (same store-lock critical section); the daemon's
+//! redo-start is the min over recLSNs *and* the in-flight floor. Any
+//! operation below the checkpoint is then either applied (visible in
+//! the table, or flushed and installed) or still in flight (visible in
+//! the floor) — never invisible.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -51,7 +76,26 @@ struct Inner {
     log: Mutex<LogManager<PageOpPayload>>,
     store: Mutex<Store>,
     latches: Mutex<BTreeMap<PageId, Arc<Mutex<()>>>>,
+    /// LSNs appended to the log whose writes are not yet applied to the
+    /// buffer pool — the checkpoint daemon's redo-start floor.
+    inflight: Mutex<BTreeSet<Lsn>>,
+    daemon: Mutex<DaemonStats>,
     stop: AtomicBool,
+}
+
+/// Telemetry from the online checkpoint daemon.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Fuzzy checkpoints successfully published (master swung).
+    pub checkpoints_taken: u64,
+    /// Checkpoint attempts abandoned before publication (record not
+    /// durable, or the pointer swing did not land) — recovery falls
+    /// back to the previous checkpoint.
+    pub checkpoints_abandoned: u64,
+    /// Stable-log bytes reclaimed by prefix truncation.
+    pub truncated_bytes: u64,
+    /// The most recently published checkpoint record.
+    pub last_checkpoint: Option<Lsn>,
 }
 
 /// A thread-shareable database executing page operations with
@@ -74,6 +118,8 @@ impl SharedDb {
                     pool: BufferPool::new(None),
                 }),
                 latches: Mutex::new(BTreeMap::new()),
+                inflight: Mutex::new(BTreeSet::new()),
+                daemon: Mutex::new(DaemonStats::default()),
                 stop: AtomicBool::new(false),
             }),
         }
@@ -125,34 +171,49 @@ impl SharedDb {
                 read_values.push(page.get(cell.slot));
             }
         }
-        // Log phase.
-        let lsn = self.inner.log.lock().append(PageOpPayload::Op(op.clone()));
+        // Log phase: the LSN is assigned and registered as in-flight in
+        // one log-lock critical section, so no checkpoint snapshot can
+        // see the record without also seeing it in the floor.
+        let lsn = {
+            let mut log = self.inner.log.lock();
+            let lsn = log.append(PageOpPayload::Op(op.clone()));
+            self.inner.inflight.lock().insert(lsn);
+            lsn
+        };
         // Apply phase (under the same latches: conflicting operations
-        // cannot interleave between our read and our write).
+        // cannot interleave between our read and our write). The
+        // in-flight registration is withdrawn in the same store-lock
+        // critical section that applies the writes — on error paths too,
+        // or the floor would pin every later checkpoint forever.
         {
             let mut store = self.inner.store.lock();
             let store = &mut *store;
-            for page in op.written_pages() {
-                store.pool.fetch(&mut store.disk, page, spp, Lsn::ZERO)?;
-            }
-            for &cell in &op.writes {
-                let v = op.output(cell, &read_values);
-                store.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
-            }
-            let written = op.written_pages();
-            for r in op.read_pages() {
-                if !written.contains(&r) {
-                    for &w in &written {
-                        store.pool.add_constraint(Constraint {
-                            blocked: r,
-                            blocked_above: lsn,
-                            requires: w,
-                            required_lsn: lsn,
-                        });
+            let applied = (|| -> SimResult<()> {
+                for page in op.written_pages() {
+                    store.pool.fetch(&mut store.disk, page, spp, Lsn::ZERO)?;
+                }
+                for &cell in &op.writes {
+                    let v = op.output(cell, &read_values);
+                    store.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
+                }
+                let written = op.written_pages();
+                for r in op.read_pages() {
+                    if !written.contains(&r) {
+                        for &w in &written {
+                            store.pool.add_constraint(Constraint {
+                                blocked: r,
+                                blocked_above: lsn,
+                                requires: w,
+                                required_lsn: lsn,
+                            });
+                        }
                     }
                 }
-            }
-            store.pool.add_atomic_group(written, lsn);
+                store.pool.add_atomic_group(written, lsn);
+                Ok(())
+            })();
+            self.inner.inflight.lock().remove(&lsn);
+            applied?;
         }
         Ok(lsn)
     }
@@ -165,15 +226,119 @@ impl SharedDb {
     /// One background-flusher tick: attempts to flush each dirty page
     /// with probability `p`, skipping any flush the WAL rule or a
     /// write-order constraint forbids.
-    pub fn flusher_tick(&self, rng: &mut impl Rng, p: f64) {
-        let stable = self.inner.log.lock().stable_lsn();
+    ///
+    /// # Errors
+    ///
+    /// Only the two protocol refusals above are expected here and are
+    /// silently skipped (the page simply stays dirty for a later tick).
+    /// Anything else — a missing frame, pool corruption — is a real
+    /// substrate failure and propagates; swallowing it would let the
+    /// flusher spin forever against a broken pool.
+    pub fn flusher_tick(&self, rng: &mut impl Rng, p: f64) -> SimResult<()> {
         let mut store = self.inner.store.lock();
+        let stable = self.inner.log.lock().stable_lsn();
         let store = &mut *store;
         for id in store.pool.dirty_pages() {
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                let _ = store.pool.flush_page(&mut store.disk, id, stable);
+                match store.pool.flush_page(&mut store.disk, id, stable) {
+                    Ok(())
+                    | Err(SimError::WalViolation { .. })
+                    | Err(SimError::WriteOrderViolation { .. }) => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
+        Ok(())
+    }
+
+    /// One checkpoint-daemon tick: take a fuzzy snapshot of the
+    /// dirty-page table, append a [`PageOpPayload::FuzzyCheckpoint`]
+    /// record, force the log, publish the checkpoint by swinging the
+    /// master pointer, and truncate the log prefix below the
+    /// checkpoint's redo-start.
+    ///
+    /// The snapshot and the append happen under the store **and** log
+    /// locks together (see the module's lock-ordering note), so no
+    /// apply can slip between them; the in-flight floor covers records
+    /// appended but not yet applied. Returns the published checkpoint
+    /// LSN, or `None` if the attempt was abandoned (record not durable,
+    /// or the pointer swing did not land — e.g. suppressed by fault
+    /// injection); an abandoned attempt leaves the previous checkpoint
+    /// in force and truncates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from the log force.
+    pub fn checkpoint_tick(&self) -> SimResult<Option<Lsn>> {
+        // Snapshot + append, atomically w.r.t. appliers.
+        let (ck, redo_start) = {
+            let store = self.inner.store.lock();
+            let mut log = self.inner.log.lock();
+            let dirty = store.pool.dirty_page_table();
+            let floor = self.inner.inflight.lock().first().copied();
+            let ck_expected = Lsn(log.last_lsn().0 + 1);
+            let redo_start = [floor, dirty.iter().map(|&(_, rec)| rec).min()]
+                .into_iter()
+                .flatten()
+                .min()
+                // Nothing dirty, nothing in flight: everything logged so
+                // far is installed, so recovery need only scan the
+                // checkpoint record itself.
+                .unwrap_or(ck_expected);
+            let ck = log.append(PageOpPayload::FuzzyCheckpoint { dirty, redo_start });
+            debug_assert_eq!(ck, ck_expected);
+            (ck, redo_start)
+        };
+        // Make the record durable through the group-commit path.
+        self.commit_tick();
+        // Publish + truncate. Both the force and the pointer swing can
+        // be suppressed by fault injection, and each suppression is
+        // silent — so verify both before truncating anything.
+        let mut store = self.inner.store.lock();
+        let mut log = self.inner.log.lock();
+        if log.stable_lsn() < ck {
+            self.inner.daemon.lock().checkpoints_abandoned += 1;
+            return Ok(None);
+        }
+        store.disk.swing_pointer(ck);
+        if store.disk.master() != ck {
+            self.inner.daemon.lock().checkpoints_abandoned += 1;
+            return Ok(None);
+        }
+        let reclaimed = log.truncate_prefix(redo_start);
+        let mut daemon = self.inner.daemon.lock();
+        daemon.checkpoints_taken += 1;
+        daemon.truncated_bytes += reclaimed;
+        daemon.last_checkpoint = Some(ck);
+        Ok(Some(ck))
+    }
+
+    /// Checkpoint-daemon telemetry so far.
+    #[must_use]
+    pub fn daemon_stats(&self) -> DaemonStats {
+        *self.inner.daemon.lock()
+    }
+
+    /// Drops latches no thread currently holds or awaits. [`latch_for`]
+    /// inserts an entry per page id touched and never removes it, so a
+    /// workload skewed over a large page universe would grow the map
+    /// without bound; the background loop calls this each tick. A strong
+    /// count of 1 means the map holds the only reference, and because
+    /// `latch_for` clones under the same `latches` mutex we hold here,
+    /// no thread can acquire a reference concurrently with the check.
+    ///
+    /// [`latch_for`]: SharedDb::execute
+    pub fn latch_gc_tick(&self) {
+        self.inner
+            .latches
+            .lock()
+            .retain(|_, latch| Arc::strong_count(latch) > 1);
+    }
+
+    /// Number of per-page latches currently in the latch map.
+    #[must_use]
+    pub fn latch_count(&self) -> usize {
+        self.inner.latches.lock().len()
     }
 
     /// Signals background threads to stop.
@@ -187,14 +352,32 @@ impl SharedDb {
         self.inner.stop.load(Ordering::SeqCst)
     }
 
-    /// Spawns the background flusher + group-commit loop on the current
-    /// handle; returns when [`SharedDb::shutdown`] is called. Intended to
-    /// run on its own thread.
-    pub fn background_loop(&self, seed: u64, flush_prob: f64) {
+    /// Spawns the background group-commit + flusher + latch-GC +
+    /// checkpoint-daemon loop on the current handle; returns when
+    /// [`SharedDb::shutdown`] is called. Intended to run on its own
+    /// thread. `checkpoint_every` is the daemon's period in ticks
+    /// (`None` disables online checkpointing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tick hits an unexpected substrate error — a broken
+    /// pool or log is not something the background thread can recover
+    /// from, and limping on would mask the corruption.
+    pub fn background_loop(&self, seed: u64, flush_prob: f64, checkpoint_every: Option<u64>) {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut tick: u64 = 0;
         while !self.stopping() {
+            tick += 1;
             self.commit_tick();
-            self.flusher_tick(&mut rng, flush_prob);
+            self.flusher_tick(&mut rng, flush_prob)
+                .expect("flusher tick hit an unexpected substrate error");
+            self.latch_gc_tick();
+            if let Some(every) = checkpoint_every {
+                if tick.is_multiple_of(every.max(1)) {
+                    self.checkpoint_tick()
+                        .expect("checkpoint tick hit an unexpected substrate error");
+                }
+            }
             std::thread::yield_now();
         }
     }
@@ -281,7 +464,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             while finished.load(Ordering::SeqCst) < n_threads {
                 shared.commit_tick();
-                shared.flusher_tick(&mut rng, 0.3);
+                shared.flusher_tick(&mut rng, 0.3).expect("flusher tick");
                 std::thread::yield_now();
             }
         });
@@ -323,7 +506,7 @@ mod tests {
     fn background_loop_runs_until_shutdown() {
         let shared = SharedDb::new(Geometry { slots_per_page: 8 });
         let bg = shared.clone();
-        let handle = std::thread::spawn(move || bg.background_loop(1, 0.5));
+        let handle = std::thread::spawn(move || bg.background_loop(1, 0.5, None));
         let ops = PageWorkloadSpec {
             n_ops: 30,
             n_pages: 4,
@@ -417,5 +600,180 @@ mod tests {
         let model = model_from_stable_log(&db);
         assert_eq!(db.read_cell(cell).expect("read"), model[&cell]);
         assert_eq!(db.log.decode_stable().unwrap().len(), 80);
+    }
+
+    #[test]
+    fn checkpoint_daemon_truncates_and_recovery_stays_exact() {
+        // Single-threaded driver: execution order is the log order, so
+        // the ops list itself is ground truth — the stable log cannot be
+        // (its prefix gets truncated, which is the point of the test).
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let ops = PageWorkloadSpec {
+            n_ops: 60,
+            n_pages: 6,
+            cross_page_fraction: 0.3,
+            multi_page_fraction: 0.2,
+            blind_fraction: 0.2,
+            ..Default::default()
+        }
+        .generate(11);
+        let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for (i, op) in ops.iter().enumerate() {
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
+            for &w in &op.writes {
+                cells.insert(w, op.output(w, &reads));
+            }
+            shared.execute(op).expect("execute");
+            if (i + 1) % 10 == 0 {
+                shared.commit_tick();
+                // Two passes so one-level write-order chains drain.
+                shared.flusher_tick(&mut rng, 1.0).expect("flusher tick");
+                shared.flusher_tick(&mut rng, 1.0).expect("flusher tick");
+                let ck = shared.checkpoint_tick().expect("checkpoint tick");
+                assert!(ck.is_some(), "no faults injected: every attempt publishes");
+            }
+        }
+        let daemon = shared.daemon_stats();
+        assert_eq!(daemon.checkpoints_taken, 6);
+        assert_eq!(daemon.checkpoints_abandoned, 0);
+        assert!(
+            daemon.truncated_bytes > 0,
+            "checkpoints reclaimed log prefix"
+        );
+        shared.commit_tick();
+        let mut db = shared.crash();
+        assert!(
+            db.log.first_stable() > Lsn(1),
+            "the stable log's prefix was elided"
+        );
+        let stats = Generalized.recover(&mut db).expect("recover");
+        assert_eq!(stats.checkpoint_lsn, daemon.last_checkpoint);
+        assert!(stats.truncated_bytes > 0);
+        assert!(
+            stats.records_decoded < 25,
+            "restart scan must be bounded by the checkpoint, decoded {}",
+            stats.records_decoded
+        );
+        for (cell, v) in cells {
+            assert_eq!(
+                db.read_cell(cell).expect("read"),
+                v,
+                "cell {cell:?} diverged from the issue order"
+            );
+        }
+    }
+
+    #[test]
+    fn background_daemon_with_workers_recovers_exactly() {
+        // Workers on disjoint page universes: each thread's issue order
+        // is ground truth for its own pages, and the daemon checkpoints
+        // (and truncates) concurrently underneath all of them.
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let bg = shared.clone();
+        let handle = std::thread::spawn(move || bg.background_loop(2, 0.4, Some(3)));
+        let n_threads = 4usize;
+        let pages_per_thread = 3u32;
+        let mut models: Vec<BTreeMap<Cell, u64>> = Vec::new();
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let db = shared.clone();
+                    s.spawn(move || {
+                        let mut ops = PageWorkloadSpec {
+                            n_ops: 40,
+                            n_pages: pages_per_thread,
+                            cross_page_fraction: 0.3,
+                            multi_page_fraction: 0.2,
+                            ..Default::default()
+                        }
+                        .generate(31 ^ ((t as u64) << 32));
+                        let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
+                        for op in &mut ops {
+                            op.id = op.id * n_threads as u32 + t as u32;
+                            for c in op.reads.iter_mut().chain(op.writes.iter_mut()) {
+                                c.page = PageId(c.page.0 + t as u32 * pages_per_thread);
+                            }
+                            let reads: Vec<u64> = op
+                                .reads
+                                .iter()
+                                .map(|c| cells.get(c).copied().unwrap_or(0))
+                                .collect();
+                            for &w in &op.writes {
+                                cells.insert(w, op.output(w, &reads));
+                            }
+                            db.execute(op).expect("execute");
+                        }
+                        cells
+                    })
+                })
+                .collect();
+            for w in workers {
+                models.push(w.join().expect("worker"));
+            }
+        });
+        // The scheduler may run every worker to completion before the
+        // background thread gets a single tick; give the daemon until it
+        // publishes one checkpoint before stopping it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while shared.daemon_stats().checkpoints_taken == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        shared.shutdown();
+        handle.join().expect("background loop exits");
+        shared.commit_tick();
+        let daemon = shared.daemon_stats();
+        assert!(daemon.checkpoints_taken > 0, "the daemon ran");
+        let mut db = shared.crash();
+        Generalized.recover(&mut db).expect("recover");
+        for cells in models {
+            for (cell, v) in cells {
+                assert_eq!(
+                    db.read_cell(cell).expect("read"),
+                    v,
+                    "cell {cell:?} diverged from its thread's issue order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latch_map_stays_bounded_under_zipf_skew() {
+        use redo_workload::pages::{PageOpKind, SlotId};
+        use redo_workload::Zipf;
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let zipf = Zipf::new(10_000, 1.1);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut grew = 0usize;
+        for i in 0..600u32 {
+            let cell = Cell {
+                page: PageId(zipf.sample(&mut rng) as u32),
+                slot: SlotId(0),
+            };
+            let op = PageOp {
+                id: i,
+                kind: PageOpKind::Physiological,
+                reads: vec![cell],
+                writes: vec![cell],
+                f_seed: 7,
+            };
+            shared.execute(&op).expect("execute");
+            if (i + 1) % 50 == 0 {
+                grew = grew.max(shared.latch_count());
+                shared.latch_gc_tick();
+                // No thread holds a latch between operations, so GC can
+                // reclaim the whole map; under real concurrency it keeps
+                // exactly the latches workers are standing on.
+                assert_eq!(shared.latch_count(), 0);
+            }
+        }
+        assert!(
+            grew > 20,
+            "the workload must actually exercise map growth (saw {grew})"
+        );
     }
 }

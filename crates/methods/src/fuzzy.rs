@@ -83,10 +83,10 @@ impl LogPayload for FuzzyPayload {
 
 /// Physiological recovery with fuzzy checkpoints.
 ///
-/// Tracks recLSNs in a volatile dirty-page table mirror so checkpoints
-/// can log it. The mirror is *reconstructible*: it is rebuilt lazily
-/// from page LSNs and is only an upper bound on work, never a
-/// correctness input — the page-LSN redo test remains the sole decider.
+/// Checkpoints log the buffer pool's dirty-page table with each page's
+/// exact recLSN (tracked by the pool at first-dirty). The table is only
+/// a bound on work, never a correctness input — the page-LSN redo test
+/// remains the sole decider.
 #[derive(Clone, Debug, Default)]
 pub struct FuzzyPhysiological;
 
@@ -102,19 +102,12 @@ pub struct FuzzyAnalysis {
 }
 
 impl FuzzyPhysiological {
-    /// Computes the volatile dirty-page table: every cached dirty page
-    /// with its recLSN approximated by the page's first unflushed
-    /// update. The substrate does not track recLSN natively, so we use
-    /// the conservative bound `disk LSN + 1`-ish: the page has been
-    /// dirty since some LSN ≤ its current page LSN and > its durable
-    /// LSN; `durable + 1` is safe (scan may start earlier than strictly
-    /// needed, never later).
+    /// The dirty-page table to log: every cached dirty page with the
+    /// exact recLSN the buffer pool recorded at its first dirtying
+    /// update. Exactness only sharpens the analysis bound — the redo
+    /// test still decides every record on its own.
     fn dirty_page_table(db: &Db<FuzzyPayload>) -> Vec<(PageId, Lsn)> {
-        db.pool
-            .dirty_pages()
-            .into_iter()
-            .map(|p| (p, db.disk.page_lsn(p).next()))
-            .collect()
+        db.pool.dirty_page_table()
     }
 
     /// The analysis pass: locate the checkpoint's dirty-page table in
@@ -157,8 +150,14 @@ impl FuzzyPhysiological {
                 }
             }
         }
-        analysis.records_elided =
-            (analysis.redo_start.0.saturating_sub(1) as usize).min(db.log.stable_count());
+        // Density (stable LSNs are exactly first_stable..=stable_lsn)
+        // turns the elided count into arithmetic; a truncated prefix
+        // was elided before recovery even started.
+        analysis.records_elided = (analysis
+            .redo_start
+            .0
+            .saturating_sub(db.log.first_stable().0) as usize)
+            .min(db.log.stable_count());
         Ok(analysis)
     }
 }
@@ -198,7 +197,11 @@ impl RecoveryMethod for FuzzyPhysiological {
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
         let analysis = self.analyze(db)?;
-        let mut stats = RecoveryStats::default();
+        let mut stats = RecoveryStats {
+            checkpoint_lsn: analysis.checkpoint_lsn,
+            truncated_bytes: db.log.truncated_bytes(),
+            ..RecoveryStats::default()
+        };
         // The analysis told us where uninstalled operations can start;
         // seek there and decode only the suffix.
         let mut scanner = LogScanner::seek(&db.log, analysis.redo_start);
@@ -332,13 +335,12 @@ mod tests {
         db.crash();
         let analysis = FuzzyPhysiological.analyze(&db).unwrap();
         assert!(analysis.checkpoint_lsn.is_some());
-        // recLSN is approximated conservatively as `durable LSN + 1`, so
-        // analysis elides a *prefix* of the installed window — possibly
-        // not all of it (a page's durable LSN can predate the dirty
-        // window's start). The guarantee is: something is elided, and
-        // never anything that still needed replay.
-        assert!(analysis.records_elided >= 1, "{analysis:?}");
-        assert!(analysis.redo_start > Lsn(1), "{analysis:?}");
+        // recLSNs are exact (pinned at first-dirty by the pool), so the
+        // analysis elides the entire installed prefix: nothing was dirty
+        // before op 11, hence redo_start is op 11's LSN and all 10
+        // records below it are skipped without decoding.
+        assert_eq!(analysis.redo_start, Lsn(11), "{analysis:?}");
+        assert_eq!(analysis.records_elided, 10, "{analysis:?}");
         let stats = FuzzyPhysiological.recover(&mut db).unwrap();
         assert_matches(&mut db, &ops);
         assert!(

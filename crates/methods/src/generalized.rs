@@ -172,6 +172,41 @@ fn has_cycle(edges: &[(redo_workload::pages::PageId, redo_workload::pages::PageI
     seen != nodes.len()
 }
 
+impl Generalized {
+    /// The analysis step: decide where the redo scan starts from the
+    /// record the disk master points at. A heavyweight
+    /// [`PageOpPayload::Checkpoint`] installed everything below it, so
+    /// the scan starts just after; a
+    /// [`PageOpPayload::FuzzyCheckpoint`] carries its own precomputed
+    /// redo-start LSN. No master (or a master pointing at anything
+    /// else) falls back to a full scan from the log's first retained
+    /// record — always safe, since the per-record redo tests decide
+    /// installation on their own.
+    ///
+    /// # Errors
+    ///
+    /// Log corruption at the master record.
+    pub fn analyze(db: &Db<PageOpPayload>) -> SimResult<(Lsn, Option<Lsn>)> {
+        let master = db.disk.master();
+        if master > Lsn::ZERO {
+            let mut cursor = db.log.cursor_from(master);
+            if let Some(rec) = cursor.next() {
+                let rec = rec?;
+                if rec.lsn == master {
+                    match rec.payload {
+                        PageOpPayload::Checkpoint => return Ok((master.next(), Some(master))),
+                        PageOpPayload::FuzzyCheckpoint { redo_start, .. } => {
+                            return Ok((redo_start, Some(master)))
+                        }
+                        PageOpPayload::Op(_) => {}
+                    }
+                }
+            }
+        }
+        Ok((Lsn(1), None))
+    }
+}
+
 impl RecoveryMethod for Generalized {
     type Payload = PageOpPayload;
 
@@ -217,12 +252,16 @@ impl RecoveryMethod for Generalized {
         // Recovery's first act: repair crash damage the media can
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
-        let master = db.disk.master();
-        let mut stats = RecoveryStats::default();
-        // Streaming scan of the post-checkpoint suffix; each batch
+        let (redo_start, checkpoint_lsn) = Generalized::analyze(db)?;
+        let mut stats = RecoveryStats {
+            checkpoint_lsn,
+            truncated_bytes: db.log.truncated_bytes(),
+            ..RecoveryStats::default()
+        };
+        // Streaming scan from the analysis' redo-start LSN; each batch
         // prefetches the read+write footprint of its operations (replay
         // reads go through the recovery cache too).
-        let mut scanner = LogScanner::seek(&db.log, master.next());
+        let mut scanner = LogScanner::seek(&db.log, redo_start);
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {
@@ -234,7 +273,7 @@ impl RecoveryMethod for Generalized {
                     PageOpPayload::Op(op) => {
                         Some(op.read_pages().into_iter().chain(op.written_pages()))
                     }
-                    PageOpPayload::Checkpoint => None,
+                    PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
                 })
                 .flatten()
                 .collect();

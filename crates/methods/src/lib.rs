@@ -24,6 +24,12 @@
 //!   physiological methods: Theorem 3 makes LSN order matter only within
 //!   a page, so the log tail splits by page id and the partitions replay
 //!   on worker threads.
+//! * [`online`] — the generalized method with *online* fuzzy
+//!   checkpoints: no flushing at checkpoint time, a dirty-page-table
+//!   snapshot published via the master pointer, and prefix truncation
+//!   of the stable log below the checkpoint's redo-start. The
+//!   [`concurrent`] substrate runs the same discipline as a background
+//!   checkpoint daemon.
 //!
 //! Every method implements [`RecoveryMethod`]; the [`harness`] module
 //! runs workloads against a method with randomized cache flushes,
@@ -44,6 +50,7 @@ pub mod fuzzy;
 pub mod generalized;
 pub mod harness;
 pub mod logical;
+pub mod online;
 pub mod oprecord;
 pub mod parallel;
 pub mod physical;
@@ -89,6 +96,11 @@ pub struct RecoveryStats {
     pub forces: u64,
     /// Pages batch-prefetched into the buffer pool ahead of replay.
     pub pages_prefetched: usize,
+    /// The published checkpoint recovery started from, if any.
+    pub checkpoint_lsn: Option<Lsn>,
+    /// Stable-log bytes already reclaimed by checkpoint prefix
+    /// truncation when recovery ran (work the scan never saw).
+    pub truncated_bytes: u64,
 }
 
 impl PartialEq for RecoveryStats {

@@ -114,7 +114,7 @@ impl RecoveryMethod for Logical {
                     PageOpPayload::Op(op) => {
                         Some(op.read_pages().into_iter().chain(op.written_pages()))
                     }
-                    PageOpPayload::Checkpoint => None,
+                    PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
                 })
                 .flatten()
                 .collect();

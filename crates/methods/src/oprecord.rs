@@ -7,15 +7,29 @@
 
 use redo_sim::wal::{codec, LogPayload};
 use redo_sim::{SimError, SimResult};
-use redo_workload::pages::PageOp;
+use redo_theory::log::Lsn;
+use redo_workload::pages::{PageId, PageOp};
 
 /// An operation record or a checkpoint marker.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PageOpPayload {
     /// A logged operation.
     Op(PageOp),
-    /// A checkpoint record.
+    /// A heavyweight checkpoint record: everything below it is
+    /// installed, so recovery scans strictly after it.
     Checkpoint,
+    /// A fuzzy checkpoint record, taken online without quiescing or
+    /// flushing: the buffer pool's dirty-page table (page, recLSN)
+    /// at the moment of the snapshot, plus the precomputed redo-start
+    /// LSN (min over recLSNs and any in-flight-but-unapplied LSNs).
+    /// Recovery scans from `redo_start`; the per-page redo tests
+    /// make replaying already-installed records harmless.
+    FuzzyCheckpoint {
+        /// Dirty pages with their recovery LSNs, in id order.
+        dirty: Vec<(PageId, Lsn)>,
+        /// The LSN recovery must scan from.
+        redo_start: Lsn,
+    },
 }
 
 impl LogPayload for PageOpPayload {
@@ -26,6 +40,15 @@ impl LogPayload for PageOpPayload {
                 codec::put_page_op(buf, op);
             }
             PageOpPayload::Checkpoint => codec::put_u8(buf, 1),
+            PageOpPayload::FuzzyCheckpoint { dirty, redo_start } => {
+                codec::put_u8(buf, 2);
+                codec::put_u64(buf, redo_start.0);
+                codec::put_u16(buf, dirty.len() as u16);
+                for &(page, rec) in dirty {
+                    codec::put_u32(buf, page.0);
+                    codec::put_u64(buf, rec.0);
+                }
+            }
         }
     }
 
@@ -33,6 +56,17 @@ impl LogPayload for PageOpPayload {
         match codec::get_u8(input, pos)? {
             0 => Ok(PageOpPayload::Op(codec::get_page_op(input, pos)?)),
             1 => Ok(PageOpPayload::Checkpoint),
+            2 => {
+                let redo_start = Lsn(codec::get_u64(input, pos)?);
+                let n = codec::get_u16(input, pos)? as usize;
+                let mut dirty = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let page = PageId(codec::get_u32(input, pos)?);
+                    let rec = Lsn(codec::get_u64(input, pos)?);
+                    dirty.push((page, rec));
+                }
+                Ok(PageOpPayload::FuzzyCheckpoint { dirty, redo_start })
+            }
             _ => Err(SimError::Corrupt(*pos - 1)),
         }
     }
@@ -64,6 +98,49 @@ mod tests {
             PageOpPayload::decode(&buf, &mut pos).unwrap(),
             PageOpPayload::Checkpoint
         );
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_roundtrip() {
+        for dirty in [
+            vec![],
+            vec![(PageId(3), Lsn(7))],
+            vec![
+                (PageId(0), Lsn(1)),
+                (PageId(9), Lsn(40)),
+                (PageId(12), Lsn(2)),
+            ],
+        ] {
+            let p = PageOpPayload::FuzzyCheckpoint {
+                dirty,
+                redo_start: Lsn(5),
+            };
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let mut pos = 0;
+            assert_eq!(PageOpPayload::decode(&buf, &mut pos).unwrap(), p);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_fuzzy_checkpoint_is_corrupt() {
+        let p = PageOpPayload::FuzzyCheckpoint {
+            dirty: vec![(PageId(1), Lsn(2)), (PageId(2), Lsn(3))],
+            redo_start: Lsn(2),
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        for cut in 1..buf.len() {
+            let mut pos = 0;
+            assert!(
+                matches!(
+                    PageOpPayload::decode(&buf[..cut], &mut pos),
+                    Err(SimError::Corrupt(_))
+                ),
+                "cut at {cut} must not parse"
+            );
+        }
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct AtomicGroup {
 struct Frame {
     page: Page,
     dirty: bool,
+    /// Recovery LSN: the LSN of the first update since the frame was
+    /// last clean. `Some` exactly while `dirty`. A fuzzy checkpoint's
+    /// dirty-page table records this — redo for the page can never be
+    /// needed below it, so min over the table bounds the restart scan.
+    rec_lsn: Option<Lsn>,
 }
 
 /// The buffer pool.
@@ -157,6 +162,26 @@ impl BufferPool {
             .collect()
     }
 
+    /// The dirty-page table: every dirty page paired with its recovery
+    /// LSN (first update since the frame was last clean), in id order.
+    /// This is exactly what an ARIES-style fuzzy checkpoint records: no
+    /// page in the table needs redo below its recLSN, and pages absent
+    /// from the table are fully installed.
+    #[must_use]
+    pub fn dirty_page_table(&self) -> Vec<(PageId, Lsn)> {
+        self.frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, f)| {
+                let rec = f
+                    .rec_lsn
+                    .expect("invariant: dirty frames always carry a recLSN");
+                debug_assert!(rec <= f.page.lsn());
+                (id, rec)
+            })
+            .collect()
+    }
+
     /// Total pages flushed to disk by this pool.
     #[must_use]
     pub fn flushes(&self) -> u64 {
@@ -233,7 +258,14 @@ impl BufferPool {
                 }
             }
             let page = disk.read_page(id, slots_per_page);
-            self.frames.insert(id, Frame { page, dirty: false });
+            self.frames.insert(
+                id,
+                Frame {
+                    page,
+                    dirty: false,
+                    rec_lsn: None,
+                },
+            );
             self.lru.push_back(id);
         }
         self.touch(id);
@@ -292,6 +324,9 @@ impl BufferPool {
         let frame = self.frames.get_mut(&id).ok_or(SimError::NotCached(id))?;
         f(&mut frame.page);
         frame.page.set_lsn(lsn);
+        if !frame.dirty {
+            frame.rec_lsn = Some(lsn);
+        }
         frame.dirty = true;
         self.touch(id);
         Ok(())
@@ -364,6 +399,7 @@ impl BufferPool {
             if frame.dirty {
                 batch.push((m, frame.page.clone()));
                 frame.dirty = false;
+                frame.rec_lsn = None;
             }
         }
         self.flushes += batch.len() as u64;
@@ -418,14 +454,16 @@ impl BufferPool {
     ///
     /// # Errors
     ///
-    /// [`SimError::NotCached`] if absent; [`SimError::PoolExhausted`] if
+    /// [`SimError::NotCached`] if absent; [`SimError::DirtyEviction`] if
     /// the page is dirty (flush it first — dropping a dirty page would
-    /// silently lose installed-state updates).
+    /// silently lose installed-state updates); [`SimError::PinnedPage`]
+    /// if the page is pinned. Neither says anything about pool
+    /// occupancy, so neither is `PoolExhausted`.
     pub fn drop_clean(&mut self, id: PageId) -> SimResult<()> {
         match self.frames.get(&id) {
             None => Err(SimError::NotCached(id)),
-            Some(f) if f.dirty => Err(SimError::PoolExhausted),
-            Some(_) if self.is_pinned(id) => Err(SimError::PoolExhausted),
+            Some(f) if f.dirty => Err(SimError::DirtyEviction(id)),
+            Some(_) if self.is_pinned(id) => Err(SimError::PinnedPage(id)),
             Some(_) => {
                 self.frames.remove(&id);
                 self.lru.retain(|&p| p != id);
@@ -455,6 +493,7 @@ impl BufferPool {
     pub fn mark_clean(&mut self, id: PageId) -> SimResult<()> {
         let frame = self.frames.get_mut(&id).ok_or(SimError::NotCached(id))?;
         frame.dirty = false;
+        frame.rec_lsn = None;
         Ok(())
     }
 
@@ -856,7 +895,58 @@ mod tests {
         let (mut pool, _disk) = pool_with_page(PageId(0));
         pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 1))
             .unwrap();
-        assert!(pool.drop_clean(PageId(0)).is_err());
+        assert_eq!(
+            pool.drop_clean(PageId(0)),
+            Err(SimError::DirtyEviction(PageId(0))),
+            "a dirty victim is not pool exhaustion"
+        );
+    }
+
+    #[test]
+    fn rec_lsn_pins_to_first_dirtying_update() {
+        let (mut pool, mut disk) = pool_with_page(PageId(0));
+        assert!(pool.dirty_page_table().is_empty());
+        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(0), Lsn(7), |p| p.set(SlotId(0), 2))
+            .unwrap();
+        // recLSN stays at the *first* update since clean, not the newest.
+        assert_eq!(pool.dirty_page_table(), vec![(PageId(0), Lsn(3))]);
+        pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
+        assert!(pool.dirty_page_table().is_empty());
+        // Re-dirtying after a flush restarts the recLSN.
+        pool.update(PageId(0), Lsn(9), |p| p.set(SlotId(0), 3))
+            .unwrap();
+        assert_eq!(pool.dirty_page_table(), vec![(PageId(0), Lsn(9))]);
+    }
+
+    #[test]
+    fn rec_lsn_cleared_by_mark_clean() {
+        let (mut pool, _disk) = pool_with_page(PageId(0));
+        pool.update(PageId(0), Lsn(2), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.mark_clean(PageId(0)).unwrap();
+        assert!(pool.dirty_page_table().is_empty());
+        pool.update(PageId(0), Lsn(5), |p| p.set(SlotId(0), 2))
+            .unwrap();
+        assert_eq!(pool.dirty_page_table(), vec![(PageId(0), Lsn(5))]);
+    }
+
+    #[test]
+    fn dirty_page_table_covers_atomic_batch_flushes() {
+        let mut pool = BufferPool::new(None);
+        let mut disk = Disk::new();
+        pool.fetch(&mut disk, PageId(0), 4, Lsn::ZERO).unwrap();
+        pool.fetch(&mut disk, PageId(1), 4, Lsn::ZERO).unwrap();
+        pool.update(PageId(0), Lsn(3), |p| p.set(SlotId(0), 1))
+            .unwrap();
+        pool.update(PageId(1), Lsn(3), |p| p.set(SlotId(0), 2))
+            .unwrap();
+        pool.add_atomic_group([PageId(0), PageId(1)], Lsn(3));
+        assert_eq!(pool.dirty_page_table().len(), 2);
+        // Flushing one member clears the whole group's recLSNs.
+        pool.flush_page(&mut disk, PageId(0), Lsn(10)).unwrap();
+        assert!(pool.dirty_page_table().is_empty());
     }
 
     #[test]
@@ -915,7 +1005,10 @@ mod tests {
     fn drop_clean_refuses_pinned_pages() {
         let (mut pool, _disk) = pool_with_page(PageId(0));
         pool.pin(PageId(0)).unwrap();
-        assert_eq!(pool.drop_clean(PageId(0)), Err(SimError::PoolExhausted));
+        assert_eq!(
+            pool.drop_clean(PageId(0)),
+            Err(SimError::PinnedPage(PageId(0)))
+        );
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //! of well-formed frames. Because [`LogManager::flush`] moves the
 //! volatile tail in order and a crash re-derives the next LSN from the
 //! stable end, the stable log always holds exactly LSNs
-//! `1..=stable_lsn`, densely and in order — the seek machinery below
-//! relies on this.
+//! `first_stable..=stable_lsn`, densely and in order — the seek
+//! machinery below relies on this. `first_stable` starts at 1 and only
+//! moves when a published checkpoint makes the prefix redundant:
+//! [`LogManager::truncate_prefix`] elides every frame below the
+//! checkpoint's redo-start LSN and rebases the seek index onto the
+//! shortened image.
 //!
 //! ## Scanning
 //!
@@ -79,9 +83,15 @@ pub struct LogManager<P> {
     stable_bytes: Vec<u8>,
     stable_lsn: Lsn,
     stable_count: usize,
+    /// The lowest LSN still present in the stable image. Starts at 1;
+    /// [`LogManager::truncate_prefix`] advances it. The stable bytes
+    /// always hold exactly LSNs `first_stable..=stable_lsn`, densely.
+    first_stable: Lsn,
     volatile: Vec<WalRecord<P>>,
     next_lsn: Lsn,
     appended_bytes: u64,
+    truncated_bytes: u64,
+    truncated_records: u64,
     /// Sparse LSN → stable-byte-offset index: one entry per
     /// [`SEEK_INTERVAL`] records, pushed as frames are covered by a
     /// flush. Entries only ever point at frame starts the stable
@@ -102,9 +112,12 @@ impl<P: LogPayload> LogManager<P> {
             stable_bytes: Vec::new(),
             stable_lsn: Lsn::ZERO,
             stable_count: 0,
+            first_stable: Lsn(1),
             volatile: Vec::new(),
             next_lsn: Lsn(1),
             appended_bytes: 0,
+            truncated_bytes: 0,
+            truncated_records: 0,
             seek_index: Vec::new(),
             seek_enabled: true,
             forces: 0,
@@ -351,6 +364,63 @@ impl<P: LogPayload> LogManager<P> {
             self.seek_index.clear();
         }
         dropped
+    }
+
+    /// Elides every stable frame with LSN < `below`, returning the
+    /// number of bytes reclaimed. The caller must have established that
+    /// no recovery can ever need those records — i.e. `below` is the
+    /// redo-start LSN of a *published* checkpoint (appended, forced,
+    /// and installed via the master pointer swing). Records at or above
+    /// `below`, and anything not yet stable, are untouched; `below` is
+    /// clamped so the dense `first_stable..=stable_lsn` invariant is
+    /// preserved. The seek index is rebased onto the shortened image.
+    pub fn truncate_prefix(&mut self, below: Lsn) -> u64 {
+        let below = Lsn(below.0.min(self.stable_lsn.0 + 1));
+        if below <= self.first_stable {
+            return 0;
+        }
+        let (pos, skipped) = skip_frames_below(&self.stable_bytes, 0, below);
+        if pos == 0 {
+            return 0;
+        }
+        self.stable_bytes.drain(..pos);
+        self.stable_count -= skipped;
+        self.first_stable = Lsn(self.first_stable.0 + skipped as u64);
+        debug_assert_eq!(self.first_stable, below, "stable LSNs are dense");
+        self.seek_index.retain(|&(_, off)| off as usize >= pos);
+        for entry in &mut self.seek_index {
+            entry.1 -= pos as u64;
+        }
+        // Keep the image seekable from its new origin: without an entry
+        // at offset 0 every scan from below `first_stable` would walk
+        // headers from an offset the index can no longer reach.
+        if self.seek_enabled && self.seek_index.first().map(|&(_, off)| off) != Some(0) {
+            self.seek_index.insert(0, (self.first_stable, 0));
+        }
+        self.truncated_bytes += pos as u64;
+        self.truncated_records += skipped as u64;
+        pos as u64
+    }
+
+    /// The lowest LSN still present in the stable image (1 until a
+    /// checkpoint truncates the prefix).
+    #[must_use]
+    pub fn first_stable(&self) -> Lsn {
+        self.first_stable
+    }
+
+    /// Total bytes reclaimed by prefix truncation over this log's
+    /// lifetime.
+    #[must_use]
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
+    }
+
+    /// Total records elided by prefix truncation over this log's
+    /// lifetime.
+    #[must_use]
+    pub fn truncated_records(&self) -> u64 {
+        self.truncated_records
     }
 }
 
@@ -1084,6 +1154,111 @@ mod tests {
         }
         assert_eq!(&tail[..], &full[13..]);
         assert_eq!(seeked.stats().seek_hits, 1);
+    }
+
+    #[test]
+    fn truncate_prefix_elides_exactly_the_records_below() {
+        let mut log = numbered_log(20);
+        let full = log.decode_stable().unwrap();
+        let before = log.stable_bytes().len();
+        let dropped = log.truncate_prefix(Lsn(8));
+        assert!(dropped > 0);
+        assert_eq!(log.first_stable(), Lsn(8));
+        assert_eq!(log.stable_lsn(), Lsn(20));
+        assert_eq!(log.stable_count(), 13);
+        assert_eq!(log.truncated_records(), 7);
+        assert_eq!(log.truncated_bytes(), dropped);
+        assert_eq!(log.stable_bytes().len() as u64 + dropped, before as u64);
+        let rest = log.decode_stable().unwrap();
+        assert_eq!(&rest[..], &full[7..]);
+        // LSN assignment is unaffected.
+        assert_eq!(log.append(Num(99)), Lsn(21));
+    }
+
+    #[test]
+    fn truncate_prefix_is_idempotent_and_clamped() {
+        let mut log = numbered_log(10);
+        assert_eq!(log.truncate_prefix(Lsn(1)), 0, "nothing below 1");
+        let dropped = log.truncate_prefix(Lsn(5));
+        assert!(dropped > 0);
+        assert_eq!(log.truncate_prefix(Lsn(5)), 0, "already elided");
+        assert_eq!(log.truncate_prefix(Lsn(3)), 0, "below the new origin");
+        // A bound past the stable end clamps: the stable suffix may be
+        // emptied but un-stable records are never touched.
+        log.append(Num(7));
+        log.truncate_prefix(Lsn(999));
+        assert_eq!(log.first_stable(), Lsn(11));
+        assert_eq!(log.stable_count(), 0);
+        assert_eq!(log.volatile_records().len(), 1);
+        log.flush_all();
+        assert_eq!(log.decode_stable().unwrap().len(), 1);
+        assert_eq!(log.decode_stable().unwrap()[0].lsn, Lsn(11));
+    }
+
+    #[test]
+    fn seeks_stay_exact_over_a_truncated_prefix() {
+        let mut log = numbered_log(41);
+        let full = log.decode_stable().unwrap();
+        log.truncate_prefix(Lsn(14));
+        // Every seek target — below, at, and above the new origin —
+        // still yields exactly the records with LSN >= target that the
+        // image retains.
+        for from in 1..=42u64 {
+            let suffix: Vec<_> = log.cursor_from(Lsn(from)).map(|r| r.unwrap()).collect();
+            let want: Vec<_> = full
+                .iter()
+                .filter(|r| r.lsn >= Lsn(from.max(14)))
+                .cloned()
+                .collect();
+            assert_eq!(suffix, want, "seek to {from}");
+        }
+        // Rebased index entries still jump (target well past the origin).
+        assert!(log.cursor_from(Lsn(35)).stats().seek_hits >= 1);
+        // New flushes extend the truncated image seamlessly.
+        log.append(Num(1000));
+        log.flush_all();
+        let tail: Vec<_> = log.cursor_from(Lsn(42)).map(|r| r.unwrap()).collect();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].lsn, Lsn(42));
+    }
+
+    #[test]
+    fn repair_tail_stays_consistent_after_truncation() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut log = numbered_log(16);
+        log.truncate_prefix(Lsn(9));
+        // Tear a later flush, then repair: the repaired image must still
+        // decode as the dense suffix 9..=17.
+        log.append(Num(500));
+        log.append(Num(501));
+        log.injector.arm(FaultPlan {
+            at: 2,
+            kind: FaultKind::TornFlush { bytes: 6 },
+        });
+        log.flush_all();
+        log.injector.reset();
+        log.crash();
+        assert!(log.repair_tail() > 0);
+        let recs = log.decode_stable().unwrap();
+        assert_eq!(recs.first().unwrap().lsn, Lsn(9));
+        assert_eq!(recs.last().unwrap().lsn, Lsn(17));
+        assert_eq!(log.first_stable(), Lsn(9));
+        for &(lsn, off) in log.seek_index() {
+            assert!((off as usize) < log.stable_bytes().len() || off == 0);
+            let landed: Vec<_> = log.cursor_from(lsn).map(|r| r.unwrap()).collect();
+            assert_eq!(landed.first().unwrap().lsn, lsn);
+        }
+    }
+
+    #[test]
+    fn truncation_with_disabled_seek_index_keeps_scans_exact() {
+        let mut log = numbered_log(30);
+        log.disable_seek_index();
+        log.truncate_prefix(Lsn(12));
+        assert!(log.seek_index().is_empty());
+        let suffix: Vec<_> = log.cursor_from(Lsn(20)).map(|r| r.unwrap()).collect();
+        assert_eq!(suffix.first().unwrap().lsn, Lsn(20));
+        assert_eq!(suffix.len(), 11);
     }
 
     #[test]

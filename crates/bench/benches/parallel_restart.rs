@@ -1,0 +1,206 @@
+//! PARALLEL_RESTART — checkpoint-aware parallel restart latency.
+//!
+//! The two restart accelerators this repo builds — the fuzzy
+//! checkpoint's dirty-page-table seek and Theorem 3's page-partitioned
+//! parallel replay — measured together. For live runs of 1k / 10k /
+//! 100k operations, each in two images:
+//!
+//! * `no_ck` — no checkpoint: the restart scan decodes the whole log;
+//! * `ck` — one online fuzzy checkpoint published a fifth of the way
+//!   in (after draining the pool, so its dirty-page table is shallow
+//!   and its redo-start truncates the entire prefix): the scan seeks
+//!   past 20% of the history and replays the 80% suffix.
+//!
+//! each recovered serially (the checkpoint-aware [`Generalized`]
+//! analyze path) and through
+//! [`recover_physiological_parallel`] at 1 / 2 / 4 / 8 worker threads.
+//! The interesting cell is `ck × 4 threads`: checkpoint seek active
+//! *and* the replay fanned out.
+//!
+//! Shape checks before timing assert the checkpoint image's parallel
+//! recovery really started from the published checkpoint (checkpoint
+//! LSN recorded, checkpoint record counted, prefix bytes reclaimed)
+//! and that every thread count lands on the identical recovered state
+//! as the serial path; at the largest size the check also wall-clocks
+//! 4 workers against 1 and prints the speedup.
+//!
+//! Set `PARALLEL_RESTART_SMOKE=1` to run only the smallest size (CI's
+//! smoke iteration).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redo_methods::generalized::Generalized;
+use redo_methods::online::GeneralizedOnline;
+use redo_methods::oprecord::PageOpPayload;
+use redo_methods::parallel::recover_physiological_parallel;
+use redo_methods::physiological::Physiological;
+use redo_methods::RecoveryMethod;
+use redo_sim::db::{Db, Geometry};
+use redo_workload::pages::PageWorkloadSpec;
+
+/// A crashed database after an `n_ops` single-page-op run with
+/// group-committed log flushes. Background page cleaning runs only
+/// through the first fifth of the run: the crash then catches the
+/// write-behind with the entire suffix still uninstalled — the
+/// worst-case restart depth the partitioned scheduler exists for (a
+/// well-cleaned cache makes restart a pure scan with nothing to
+/// parallelize). With `checkpoint` set, one online fuzzy checkpoint is
+/// published right where the cleaning stops, after draining the pool:
+/// its dirty-page table is then shallow, its redo-start sits at the
+/// checkpoint itself, and the whole prefix truncates.
+fn crashed_db(n_ops: usize, checkpoint: bool) -> Db<PageOpPayload> {
+    let ops = PageWorkloadSpec {
+        n_ops,
+        n_pages: 64,
+        cross_page_fraction: 0.0,
+        multi_page_fraction: 0.0,
+        blind_fraction: 0.1,
+        ..Default::default()
+    }
+    .generate(41);
+    let mut db = Db::new(Geometry::default());
+    let mut rng = StdRng::seed_from_u64(13);
+    let ck_at = n_ops / 5;
+    for (i, op) in ops.iter().enumerate() {
+        Physiological.execute(&mut db, op).unwrap();
+        let page_p = if i < ck_at { 0.05 } else { 0.0 };
+        db.chaos_flush(&mut rng, 0.9, page_p).unwrap();
+        if checkpoint && i + 1 == ck_at {
+            db.log.flush_all();
+            let stable = db.log.stable_lsn();
+            db.pool.flush_all(&mut db.disk, stable).unwrap();
+            GeneralizedOnline::checkpoint_online(&mut db)
+                .unwrap()
+                .expect("unfaulted publication lands");
+        }
+    }
+    db.log.flush_all();
+    db.crash();
+    db
+}
+
+fn wall_clock(
+    db: &Db<PageOpPayload>,
+    reps: u32,
+    mut recover: impl FnMut(&mut Db<PageOpPayload>),
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut image = db.clone();
+        let start = Instant::now();
+        recover(&mut image);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("PARALLEL_RESTART_SMOKE").is_ok();
+    let sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let threads: &[usize] = &[1, 2, 4, 8];
+    let mut group = c.benchmark_group("parallel_restart");
+    for &n in sizes {
+        let no_ck = crashed_db(n, false);
+        let ck = crashed_db(n, true);
+
+        // Shape checks: the checkpoint must actually feed the
+        // partitioned scheduler, and every path must agree on the
+        // recovered state.
+        let mut probe = ck.clone();
+        let serial_stats = Generalized.recover(&mut probe).unwrap();
+        let serial_state = probe.volatile_theory_state();
+        let mut ck_records = 0;
+        for &t in threads {
+            let mut image = ck.clone();
+            let stats = recover_physiological_parallel(&mut image, t).unwrap();
+            assert!(
+                stats.checkpoint_lsn.is_some(),
+                "parallel restart must start from the published checkpoint"
+            );
+            assert!(
+                stats.checkpoint_records >= 1,
+                "the checkpoint record must be recognized (and kept out of the partitions)"
+            );
+            assert!(
+                stats.truncated_bytes > 0,
+                "the checkpoint must have reclaimed the log prefix"
+            );
+            assert_eq!(
+                image.volatile_theory_state(),
+                serial_state,
+                "parallel restart with {t} threads diverged from serial recovery"
+            );
+            assert_eq!(
+                stats, serial_stats,
+                "semantic stats diverged at {t} threads"
+            );
+            ck_records = stats.checkpoint_records;
+        }
+        println!(
+            "parallel_restart shape-check [n={n}]: checkpoint at {:?}, \
+             {} records scanned ({} checkpoint), {} replayed, {} stable bytes reclaimed",
+            serial_stats.checkpoint_lsn,
+            serial_stats.scanned,
+            ck_records,
+            serial_stats.replay_count(),
+            serial_stats.truncated_bytes,
+        );
+        if n >= 100_000 {
+            let ts = wall_clock(&ck, 3, |db| {
+                Generalized.recover(db).unwrap();
+            });
+            let t1 = wall_clock(&ck, 3, |db| {
+                recover_physiological_parallel(db, 1).unwrap();
+            });
+            let t4 = wall_clock(&ck, 3, |db| {
+                recover_physiological_parallel(db, 4).unwrap();
+            });
+            println!(
+                "parallel_restart speedup [n={n}, ck]: serial {:.1} ms, \
+                 1 thread {:.1} ms, 4 threads {:.1} ms, speedup at 4 threads {:.2}x",
+                ts * 1e3,
+                t1 * 1e3,
+                t4 * 1e3,
+                ts / t4
+            );
+        }
+
+        for (label, image) in [("no_ck", &no_ck), ("ck", &ck)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/serial"), n),
+                image,
+                |b, image| {
+                    b.iter_batched(
+                        || (*image).clone(),
+                        |mut db| Generalized.recover(&mut db).unwrap(),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+            for &t in threads {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}/threads{t}"), n),
+                    image,
+                    |b, image| {
+                        b.iter_batched(
+                            || (*image).clone(),
+                            |mut db| recover_physiological_parallel(&mut db, t).unwrap(),
+                            BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

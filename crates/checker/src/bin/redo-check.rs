@@ -42,7 +42,7 @@ use redo_methods::fuzzy::FuzzyPhysiological;
 use redo_methods::generalized::Generalized;
 use redo_methods::logical::Logical;
 use redo_methods::online::GeneralizedOnline;
-use redo_methods::parallel::{ParallelPhysical, ParallelPhysiological};
+use redo_methods::parallel::{ParallelOnline, ParallelPhysical, ParallelPhysiological};
 use redo_methods::physical::Physical;
 use redo_methods::physiological::Physiological;
 use redo_methods::RecoveryMethod;
@@ -200,7 +200,8 @@ fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
             println!(
                 "{}: OK — {} schedules, {} crashes ({} mid-recovery), {} faults fired \
                  ({} torn writes, {} torn flushes, {} clean stops), {} torn pages repaired, \
-                 {} log bytes dropped, {} recoveries verified, {} seekless probes agreed",
+                 {} log bytes dropped, {} recoveries verified, {} seekless probes agreed, \
+                 {} parallel probes agreed",
                 method.name(),
                 r.schedules,
                 r.crashes,
@@ -212,7 +213,8 @@ fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
                 r.torn_pages_repaired,
                 r.log_bytes_dropped,
                 r.recoveries_verified,
-                r.seekless_probes
+                r.seekless_probes,
+                r.parallel_probes
             );
             true
         }
@@ -264,6 +266,7 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
     if all || method == "parallel" {
         clean &= audit_method(&ParallelPhysiological { threads: 3 }, &cfg);
         clean &= audit_method(&ParallelPhysical { threads: 3 }, &cfg);
+        clean &= audit_method(&ParallelOnline { threads: 3 }, &cfg);
         matched = true;
     }
     if !matched {

@@ -19,7 +19,11 @@
 //!    state equality with the durable prefix's final state. A *second*
 //!    clone recovers with the LSN seek index disabled: the index is
 //!    purely an access-path optimization, so both probes must reach the
-//!    identical recovered state with identical semantic redo stats.
+//!    identical recovered state with identical semantic redo stats. A
+//!    *third* clone — for methods whose discipline admits one — runs
+//!    the page-partitioned **parallel restart**
+//!    ([`RecoveryMethod::parallel_restart`]) and must reach the same
+//!    state while passing the invariant for its own redo set.
 //! 3. **Crash mid-recovery**: on the real image, arm a *second* fault
 //!    plan and run recovery again, then crash unconditionally. Because
 //!    recovery's replay is volatile until a post-recovery checkpoint,
@@ -124,6 +128,13 @@ pub struct CrashAuditReport {
     /// index disabled that reached the identical durable state and
     /// semantic redo stats (one per schedule).
     pub seekless_probes: u64,
+    /// Parallel-restart equivalence probes: crashed images re-recovered
+    /// through the page-partitioned parallel path
+    /// ([`RecoveryMethod::parallel_restart`]) that reached the identical
+    /// durable state and passed the Recovery Invariant (one per schedule
+    /// for methods whose discipline admits a parallel restart; zero for
+    /// the rest).
+    pub parallel_probes: u64,
     /// Operations replayed across all verified recoveries.
     pub replayed: usize,
     /// Operations bypassed as installed across all verified recoveries.
@@ -395,6 +406,35 @@ fn run_schedule<M: RecoveryMethod>(
     }
     report.seekless_probes += 1;
     drop(unseeked);
+
+    // Parallel-restart equivalence: if the method's discipline admits a
+    // page-partitioned restart, re-recover the same crashed image
+    // through it with a fixed worker count and demand the identical
+    // durable state plus the Recovery Invariant for its own realized
+    // redo set. Theorem 3 says per-page replay order is all that
+    // matters, so the partitioned path must land exactly where the
+    // serial probe did — including from a fuzzy checkpoint's
+    // dirty-page-table seek.
+    let mut par_probe = db.clone();
+    if let Some(res) = method.parallel_restart(&mut par_probe, 4) {
+        let par_stats = res.map_err(|e| fail("parallel probe", e.into()))?;
+        verify_recovery(
+            &view,
+            &par_stats,
+            &par_probe.volatile_theory_state(),
+            &pre1,
+            1,
+        )
+        .map_err(|e| fail("parallel probe", e))?;
+        if par_probe.volatile_theory_state() != probe.volatile_theory_state() {
+            return Err(fail(
+                "parallel probe",
+                HarnessFailure::StateMismatch { crash: Some(1) },
+            ));
+        }
+        report.parallel_probes += 1;
+    }
+    drop(par_probe);
     drop(probe);
 
     // Step 3: crash the real image mid-recovery.
@@ -471,7 +511,7 @@ mod tests {
     use redo_methods::generalized::Generalized;
     use redo_methods::logical::Logical;
     use redo_methods::online::GeneralizedOnline;
-    use redo_methods::parallel::{ParallelPhysical, ParallelPhysiological};
+    use redo_methods::parallel::{ParallelOnline, ParallelPhysical, ParallelPhysiological};
     use redo_methods::physical::Physical;
     use redo_methods::physiological::Physiological;
 
@@ -497,6 +537,7 @@ mod tests {
         let cfg = small();
         let report = audit(&Physical, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, cfg.schedules);
     }
 
     #[test]
@@ -504,6 +545,7 @@ mod tests {
         let cfg = small();
         let report = audit(&Physiological, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, cfg.schedules);
     }
 
     #[test]
@@ -511,6 +553,10 @@ mod tests {
         let cfg = small();
         let report = audit(&Generalized, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+        assert_eq!(
+            report.parallel_probes, 0,
+            "generalized reads cross pages: no parallel path"
+        );
     }
 
     #[test]
@@ -522,6 +568,7 @@ mod tests {
         let cfg = small();
         let report = audit(&GeneralizedOnline, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, 0);
     }
 
     #[test]
@@ -536,6 +583,7 @@ mod tests {
         let cfg = small();
         let report = audit(&FuzzyPhysiological, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, 0, "fuzzy logs its own payload");
     }
 
     #[test]
@@ -548,9 +596,27 @@ mod tests {
         let report =
             audit(&ParallelPhysiological { threads: 3 }, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, cfg.schedules);
         let report =
             audit(&ParallelPhysical { threads: 3 }, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, cfg.schedules);
+    }
+
+    #[test]
+    fn online_parallel_survives_crash_audit() {
+        // The checkpoint-aware path end to end under hostile crashes:
+        // fuzzy checkpoints (any publication step may be the fault
+        // site), then every probe recovery re-run through the
+        // DPT-seeded partitioned scheduler.
+        let cfg = CrashAuditConfig {
+            schedules: 8,
+            n_ops: 24,
+            ..Default::default()
+        };
+        let report = audit(&ParallelOnline { threads: 3 }, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, cfg.schedules);
     }
 
     #[test]

@@ -26,28 +26,36 @@
 //! suite then verifies the recovered state equals the replay of the
 //! stable log — whatever interleaving the threads actually produced.
 //!
-//! Lock ordering (strict, global): page latches → store → log →
-//! in-flight set. The checkpoint daemon is why the store precedes the
-//! log: a consistent fuzzy snapshot must read the dirty-page table and
-//! append the checkpoint record with no apply slipping in between,
-//! which means holding both locks at once. Every other path takes each
-//! lock alone or in that order; the flusher and committer never take
-//! latches; so the system is deadlock-free by construction.
+//! The store itself is a [`ShardedStore`]: the buffer pool and the
+//! latch map are both split into power-of-two page-id shards, so
+//! operations on pages in different shards never contend on a shared
+//! pool lock — only on the single disk, and only while actually doing
+//! I/O. Lock ordering (strict, global): page latches → store shards in
+//! ascending index order → disk → log → in-flight set. The checkpoint
+//! daemon is why the shards precede the log: a consistent fuzzy
+//! snapshot must read the dirty-page table (all shards, ascending —
+//! [`ShardedStore::snapshot`]) and append the checkpoint record with
+//! no apply slipping in between, which means holding all of them and
+//! the log at once. Every other path takes a subset of the locks in
+//! that order; the flusher and committer never take latches; so the
+//! system is deadlock-free by construction.
 //!
 //! ## Why the in-flight floor is needed
 //!
 //! [`SharedDb::execute`] assigns an operation's LSN under the log lock
-//! but applies its writes under a later store lock, so there is a
+//! but applies its writes under a later shard lease, so there is a
 //! window where a record exists in the log while its dirt is in no
 //! dirty-page table. A checkpoint snapshotting during that window
 //! would compute a redo-start above the un-applied record and recovery
 //! would skip it. The cure: each append registers its LSN in an
 //! in-flight set (same log-lock critical section) and removes it only
-//! once applied (same store-lock critical section); the daemon's
-//! redo-start is the min over recLSNs *and* the in-flight floor. Any
-//! operation below the checkpoint is then either applied (visible in
-//! the table, or flushed and installed) or still in flight (visible in
-//! the floor) — never invisible.
+//! once applied (while the applying lease is still held — the
+//! snapshot locks *all* shards, so it cannot slip between the apply
+//! and the withdrawal); the daemon's redo-start is the min over
+//! recLSNs *and* the in-flight floor. Any operation below the
+//! checkpoint is then either applied (visible in the table, or flushed
+//! and installed) or still in flight (visible in the floor) — never
+//! invisible.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,9 +64,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use redo_sim::cache::{BufferPool, Constraint};
+use redo_sim::cache::Constraint;
 use redo_sim::db::{Db, Geometry};
-use redo_sim::disk::Disk;
+use redo_sim::shard::ShardedStore;
 use redo_sim::wal::LogManager;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
@@ -66,16 +74,17 @@ use redo_workload::pages::{PageId, PageOp};
 
 use crate::oprecord::PageOpPayload;
 
-struct Store {
-    disk: Disk,
-    pool: BufferPool,
-}
+/// How many shards the store and the latch map split into. Power of
+/// two; pages land in shard `page_id & (STORE_SHARDS - 1)`.
+const STORE_SHARDS: usize = 8;
+
+type LatchShard = Mutex<BTreeMap<PageId, Arc<Mutex<()>>>>;
 
 struct Inner {
     geometry: Geometry,
     log: Mutex<LogManager<PageOpPayload>>,
-    store: Mutex<Store>,
-    latches: Mutex<BTreeMap<PageId, Arc<Mutex<()>>>>,
+    store: ShardedStore,
+    latches: Box<[LatchShard]>,
     /// LSNs appended to the log whose writes are not yet applied to the
     /// buffer pool — the checkpoint daemon's redo-start floor.
     inflight: Mutex<BTreeSet<Lsn>>,
@@ -113,11 +122,11 @@ impl SharedDb {
             inner: Arc::new(Inner {
                 geometry,
                 log: Mutex::new(LogManager::new()),
-                store: Mutex::new(Store {
-                    disk: Disk::new(),
-                    pool: BufferPool::new(None),
-                }),
-                latches: Mutex::new(BTreeMap::new()),
+                store: ShardedStore::new(STORE_SHARDS),
+                latches: (0..STORE_SHARDS)
+                    .map(|_| Mutex::new(BTreeMap::new()))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
                 inflight: Mutex::new(BTreeSet::new()),
                 daemon: Mutex::new(DaemonStats::default()),
                 stop: AtomicBool::new(false),
@@ -125,9 +134,12 @@ impl SharedDb {
         }
     }
 
+    fn latch_shard(&self, page: PageId) -> &LatchShard {
+        &self.inner.latches[page.0 as usize & (STORE_SHARDS - 1)]
+    }
+
     fn latch_for(&self, page: PageId) -> Arc<Mutex<()>> {
-        self.inner
-            .latches
+        self.latch_shard(page)
             .lock()
             .entry(page)
             .or_insert_with(|| Arc::new(Mutex::new(())))
@@ -158,17 +170,15 @@ impl SharedDb {
         let latches: Vec<Arc<Mutex<()>>> = pages.iter().map(|&p| self.latch_for(p)).collect();
         let _guards: Vec<_> = latches.iter().map(|l| l.lock()).collect();
 
-        // Read phase (under latches, short store lock).
+        // Read phase (under latches, a short lease on the touched
+        // shards).
         let spp = self.inner.geometry.slots_per_page;
         let mut read_values = Vec::with_capacity(op.reads.len());
         {
-            let mut store = self.inner.store.lock();
-            let store = &mut *store;
+            let mut lease = self.inner.store.lock_pages(&pages);
             for &cell in &op.reads {
-                let page = store
-                    .pool
-                    .fetch(&mut store.disk, cell.page, spp, Lsn::ZERO)?;
-                read_values.push(page.get(cell.slot));
+                lease.fetch(cell.page, spp, Lsn::ZERO)?;
+                read_values.push(lease.page(cell.page).expect("just fetched").get(cell.slot));
             }
         }
         // Log phase: the LSN is assigned and registered as in-flight in
@@ -182,25 +192,26 @@ impl SharedDb {
         };
         // Apply phase (under the same latches: conflicting operations
         // cannot interleave between our read and our write). The
-        // in-flight registration is withdrawn in the same store-lock
-        // critical section that applies the writes — on error paths too,
-        // or the floor would pin every later checkpoint forever.
+        // in-flight registration is withdrawn while the applying lease
+        // is still held — on error paths too, or the floor would pin
+        // every later checkpoint forever. A checkpoint snapshot locks
+        // every shard, so it cannot land between the apply and the
+        // withdrawal.
         {
-            let mut store = self.inner.store.lock();
-            let store = &mut *store;
+            let mut lease = self.inner.store.lock_pages(&pages);
             let applied = (|| -> SimResult<()> {
                 for page in op.written_pages() {
-                    store.pool.fetch(&mut store.disk, page, spp, Lsn::ZERO)?;
+                    lease.fetch(page, spp, Lsn::ZERO)?;
                 }
                 for &cell in &op.writes {
                     let v = op.output(cell, &read_values);
-                    store.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
+                    lease.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
                 }
                 let written = op.written_pages();
                 for r in op.read_pages() {
                     if !written.contains(&r) {
                         for &w in &written {
-                            store.pool.add_constraint(Constraint {
+                            lease.add_constraint(Constraint {
                                 blocked: r,
                                 blocked_above: lsn,
                                 requires: w,
@@ -209,7 +220,7 @@ impl SharedDb {
                         }
                     }
                 }
-                store.pool.add_atomic_group(written, lsn);
+                lease.add_atomic_group(&written, lsn);
                 Ok(())
             })();
             self.inner.inflight.lock().remove(&lsn);
@@ -235,12 +246,10 @@ impl SharedDb {
     /// substrate failure and propagates; swallowing it would let the
     /// flusher spin forever against a broken pool.
     pub fn flusher_tick(&self, rng: &mut impl Rng, p: f64) -> SimResult<()> {
-        let mut store = self.inner.store.lock();
         let stable = self.inner.log.lock().stable_lsn();
-        let store = &mut *store;
-        for id in store.pool.dirty_pages() {
+        for id in self.inner.store.dirty_pages() {
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                match store.pool.flush_page(&mut store.disk, id, stable) {
+                match self.inner.store.flush_page(id, stable) {
                     Ok(())
                     | Err(SimError::WalViolation { .. })
                     | Err(SimError::WriteOrderViolation { .. }) => {}
@@ -270,11 +279,13 @@ impl SharedDb {
     ///
     /// Substrate errors from the log force.
     pub fn checkpoint_tick(&self) -> SimResult<Option<Lsn>> {
-        // Snapshot + append, atomically w.r.t. appliers.
+        // Snapshot + append, atomically w.r.t. appliers: the snapshot
+        // holds every store shard (acquired in ascending order), so no
+        // apply can slip between the table read and the append.
         let (ck, redo_start) = {
-            let store = self.inner.store.lock();
+            let snapshot = self.inner.store.snapshot();
             let mut log = self.inner.log.lock();
-            let dirty = store.pool.dirty_page_table();
+            let dirty = snapshot.dirty_page_table();
             let floor = self.inner.inflight.lock().first().copied();
             let ck_expected = Lsn(log.last_lsn().0 + 1);
             let redo_start = [floor, dirty.iter().map(|&(_, rec)| rec).min()]
@@ -293,15 +304,16 @@ impl SharedDb {
         self.commit_tick();
         // Publish + truncate. Both the force and the pointer swing can
         // be suppressed by fault injection, and each suppression is
-        // silent — so verify both before truncating anything.
-        let mut store = self.inner.store.lock();
+        // silent — so verify both before truncating anything. No shard
+        // locks here: publication touches only the disk and the log.
+        let mut disk = self.inner.store.disk();
         let mut log = self.inner.log.lock();
         if log.stable_lsn() < ck {
             self.inner.daemon.lock().checkpoints_abandoned += 1;
             return Ok(None);
         }
-        store.disk.swing_pointer(ck);
-        if store.disk.master() != ck {
+        disk.swing_pointer(ck);
+        if disk.master() != ck {
             self.inner.daemon.lock().checkpoints_abandoned += 1;
             return Ok(None);
         }
@@ -321,24 +333,24 @@ impl SharedDb {
 
     /// Drops latches no thread currently holds or awaits. [`latch_for`]
     /// inserts an entry per page id touched and never removes it, so a
-    /// workload skewed over a large page universe would grow the map
+    /// workload skewed over a large page universe would grow the maps
     /// without bound; the background loop calls this each tick. A strong
     /// count of 1 means the map holds the only reference, and because
-    /// `latch_for` clones under the same `latches` mutex we hold here,
-    /// no thread can acquire a reference concurrently with the check.
+    /// `latch_for` clones under the same latch-shard mutex we hold
+    /// while sweeping that shard, no thread can acquire a reference
+    /// concurrently with its check.
     ///
     /// [`latch_for`]: SharedDb::execute
     pub fn latch_gc_tick(&self) {
-        self.inner
-            .latches
-            .lock()
-            .retain(|_, latch| Arc::strong_count(latch) > 1);
+        for shard in self.inner.latches.iter() {
+            shard.lock().retain(|_, latch| Arc::strong_count(latch) > 1);
+        }
     }
 
-    /// Number of per-page latches currently in the latch map.
+    /// Number of per-page latches currently across the latch shards.
     #[must_use]
     pub fn latch_count(&self) -> usize {
-        self.inner.latches.lock().len()
+        self.inner.latches.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Signals background threads to stop.
@@ -394,7 +406,7 @@ impl SharedDb {
     pub fn crash(self) -> Db<PageOpPayload> {
         let inner = Arc::try_unwrap(self.inner)
             .unwrap_or_else(|_| panic!("crash requires exclusive ownership"));
-        let Store { mut disk, .. } = inner.store.into_inner();
+        let mut disk = inner.store.into_disk();
         let mut log = inner.log.into_inner();
         log.crash();
         disk.crash();

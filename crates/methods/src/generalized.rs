@@ -22,7 +22,7 @@
 //! updates preceding it — the constraint guarantees the disk never got
 //! ahead.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use redo_sim::cache::Constraint;
 use redo_sim::db::Db;
@@ -172,6 +172,63 @@ fn has_cycle(edges: &[(redo_workload::pages::PageId, redo_workload::pages::PageI
     seen != nodes.len()
 }
 
+/// What restart analysis computed from the record the disk master
+/// points at: where the redo scan starts, which checkpoint (if any) is
+/// in force, and — for fuzzy checkpoints — the logged dirty-page table.
+///
+/// The DPT is what lets a *partitioned* restart scheduler
+/// ([`crate::parallel`]) prove records installed without fetching
+/// their pages: a record below the checkpoint whose page was clean at
+/// the snapshot (or dirty but below its recLSN) is durably installed,
+/// so the router never ships it to a partition. Sequential recovery
+/// reaches the same verdict through the per-page redo test; the table
+/// only moves the decision from fetch time to scan time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RestartAnalysis {
+    /// The LSN the redo scan must start from.
+    pub redo_start: Lsn,
+    /// The published checkpoint the master named, if any.
+    pub checkpoint_lsn: Option<Lsn>,
+    /// The fuzzy checkpoint's dirty-page table (page → recLSN), if the
+    /// master named a fuzzy checkpoint. `None` for heavyweight
+    /// checkpoints and for the no-checkpoint fallback.
+    pub dirty: Option<BTreeMap<PageId, Lsn>>,
+}
+
+impl RestartAnalysis {
+    /// The fallback when no checkpoint is in force: a full scan from
+    /// the log's first retained record.
+    #[must_use]
+    pub fn full_scan() -> Self {
+        RestartAnalysis {
+            redo_start: Lsn(1),
+            checkpoint_lsn: None,
+            dirty: None,
+        }
+    }
+
+    /// Is the record `(page, lsn)` provably installed by this analysis
+    /// alone — no page fetch, no LSN comparison against the image?
+    ///
+    /// True exactly when a fuzzy checkpoint is in force, the record
+    /// precedes it, and the page was clean at the snapshot or dirty
+    /// with a recLSN above the record. In both cases every effect of
+    /// the record had reached disk before the checkpoint published
+    /// (that is what recLSN *means*), and redo tests are monotone: a
+    /// page's durable LSN never regresses, so the verdict survives
+    /// chaos flushes and mid-recovery crashes after the snapshot.
+    #[must_use]
+    pub fn provably_installed(&self, page: PageId, lsn: Lsn) -> bool {
+        match (self.checkpoint_lsn, &self.dirty) {
+            (Some(ck), Some(dirty)) if lsn < ck => match dirty.get(&page) {
+                Some(&rec_lsn) => lsn < rec_lsn,
+                None => true,
+            },
+            _ => false,
+        }
+    }
+}
+
 impl Generalized {
     /// The analysis step: decide where the redo scan starts from the
     /// record the disk master points at. A heavyweight
@@ -187,6 +244,18 @@ impl Generalized {
     ///
     /// Log corruption at the master record.
     pub fn analyze(db: &Db<PageOpPayload>) -> SimResult<(Lsn, Option<Lsn>)> {
+        Self::analyze_dpt(db).map(|a| (a.redo_start, a.checkpoint_lsn))
+    }
+
+    /// [`Generalized::analyze`], additionally handing back the fuzzy
+    /// checkpoint's dirty-page table so a partitioned restart scheduler
+    /// can route records straight off the scan
+    /// ([`RestartAnalysis::provably_installed`]).
+    ///
+    /// # Errors
+    ///
+    /// Log corruption at the master record.
+    pub fn analyze_dpt(db: &Db<PageOpPayload>) -> SimResult<RestartAnalysis> {
         let master = db.disk.master();
         if master > Lsn::ZERO {
             let mut cursor = db.log.cursor_from(master);
@@ -194,16 +263,26 @@ impl Generalized {
                 let rec = rec?;
                 if rec.lsn == master {
                     match rec.payload {
-                        PageOpPayload::Checkpoint => return Ok((master.next(), Some(master))),
-                        PageOpPayload::FuzzyCheckpoint { redo_start, .. } => {
-                            return Ok((redo_start, Some(master)))
+                        PageOpPayload::Checkpoint => {
+                            return Ok(RestartAnalysis {
+                                redo_start: master.next(),
+                                checkpoint_lsn: Some(master),
+                                dirty: None,
+                            })
+                        }
+                        PageOpPayload::FuzzyCheckpoint { dirty, redo_start } => {
+                            return Ok(RestartAnalysis {
+                                redo_start,
+                                checkpoint_lsn: Some(master),
+                                dirty: Some(dirty.into_iter().collect()),
+                            })
                         }
                         PageOpPayload::Op(_) => {}
                     }
                 }
             }
         }
-        Ok((Lsn(1), None))
+        Ok(RestartAnalysis::full_scan())
     }
 }
 

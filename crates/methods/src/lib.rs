@@ -91,6 +91,9 @@ pub struct RecoveryStats {
     pub records_decoded: usize,
     /// Scans that jumped via the LSN seek index.
     pub seek_hits: usize,
+    /// Checkpoint records the scan recognized (and, on partitioned
+    /// paths, kept out of the page routers).
+    pub checkpoint_records: usize,
     /// Coalesced stable log appends (group-commit forces) the database
     /// had performed by the end of recovery.
     pub forces: u64,
@@ -124,6 +127,7 @@ impl RecoveryStats {
         self.bytes_scanned += scan.bytes_scanned;
         self.records_decoded += scan.records_decoded;
         self.seek_hits += scan.seek_hits;
+        self.checkpoint_records += scan.checkpoint_records;
         self.forces = forces;
     }
 }
@@ -175,4 +179,20 @@ pub trait RecoveryMethod {
     ///
     /// Substrate errors, including log corruption.
     fn recover(&self, db: &mut Db<Self::Payload>) -> SimResult<RecoveryStats>;
+
+    /// Recovers the crashed database through the page-partitioned
+    /// *parallel* restart path with `threads` workers, if this method's
+    /// logging discipline admits one. Returns `None` for disciplines
+    /// that cannot partition by page — generalized-LSN operations may
+    /// read pages they do not write, so their conflicts (and Theorem 3's
+    /// replay-order freedom) do not decompose per page. The crash
+    /// auditor uses this hook to re-run every probe recovery through
+    /// the parallel path and demand the identical state.
+    fn parallel_restart(
+        &self,
+        _db: &mut Db<Self::Payload>,
+        _threads: usize,
+    ) -> Option<SimResult<RecoveryStats>> {
+        None
+    }
 }

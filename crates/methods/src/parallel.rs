@@ -15,7 +15,8 @@
 //! The execution scheme is a *pipeline*: the calling thread runs the
 //! streaming log scan (a seeked [`LogCursor`](redo_sim::wal::LogCursor)
 //! — only the post-checkpoint suffix is ever decoded) and routes each
-//! record's per-page work items over channels to worker threads, which
+//! record's per-page work items, coalesced into batches to amortize
+//! channel synchronization, over channels to worker threads, which
 //! rebuild page *images* from their durable copies in per-page LSN
 //! order **while the scan is still decoding later records** — replay
 //! overlaps decode. A page's first routed item carries its starting
@@ -24,11 +25,27 @@
 //! When the scan finishes, the channels close, the workers drain, and
 //! the calling thread installs the rebuilt images into the buffer pool.
 //!
-//! [`ParallelPhysiological`] and [`ParallelPhysical`] wrap the scheme in
-//! [`RecoveryMethod`] (normal operation delegates to the serial
-//! methods), so the harness can crash-test the parallel recovery path
-//! exactly like the serial ones.
+//! Restart is *checkpoint-aware*: the scheduler is fed by the same
+//! analysis pass sequential recovery uses
+//! ([`Generalized::analyze_dpt`] /
+//! [`Physical::analyze`](crate::physical::Physical::analyze)). The
+//! scan seeks straight to the checkpoint's redo-start LSN (the minimum
+//! recLSN over the logged dirty-page table), checkpoint records are
+//! recognized and never routed to a partition, and a record below the
+//! checkpoint whose page the DPT proves installed
+//! ([`RestartAnalysis::provably_installed`](crate::generalized::RestartAnalysis::provably_installed))
+//! is settled as *skipped*
+//! at scan time — no partition, and no page fetch, ever sees it.
+//!
+//! [`ParallelPhysiological`], [`ParallelPhysical`], and
+//! [`ParallelOnline`] wrap the scheme in [`RecoveryMethod`] (normal
+//! operation delegates to the serial methods), so the harness can
+//! crash-test the parallel recovery path exactly like the serial ones.
+//! Worker failures stay contained: a panicking redo worker or a routing
+//! protocol breach surfaces as a [`SimError`] from `recover_*_parallel`,
+//! never as an unwind into the caller.
 
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc;
 
@@ -39,6 +56,8 @@ use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageId, PageOp, SlotId};
 
+use crate::generalized::Generalized;
+use crate::online::GeneralizedOnline;
 use crate::oprecord::PageOpPayload;
 use crate::physical::{PhysPayload, Physical};
 use crate::physiological::Physiological;
@@ -55,6 +74,12 @@ struct WorkItem<T> {
     start: Option<Page>,
 }
 
+/// Items per channel send. Redo work items are tiny (a page op or a
+/// handful of cell writes), so routing them one send apiece would cost
+/// more in channel synchronization than the replay itself; the router
+/// coalesces this many per worker before handing off.
+const ROUTE_BATCH: usize = 256;
+
 /// The outcome of redoing one partition.
 struct Rebuilt {
     page: PageId,
@@ -63,10 +88,13 @@ struct Rebuilt {
     skipped: Vec<(Lsn, u32)>,
 }
 
-/// A worker's main loop: consume items as the scan routes them,
+/// A worker's main loop: consume item batches as the scan routes them,
 /// applying each to its page's image the moment it arrives. The channel
 /// closing (scan finished) ends the loop.
-fn redo_worker<T, F>(rx: mpsc::Receiver<WorkItem<T>>, apply: &F) -> Vec<Rebuilt>
+///
+/// An erroring worker drops its receiver early; the router tolerates
+/// the resulting send failures and the error surfaces at join time.
+fn redo_worker<T, F>(rx: mpsc::Receiver<Vec<WorkItem<T>>>, apply: &F) -> SimResult<Vec<Rebuilt>>
 where
     F: Fn(&mut Page, Lsn, &T) -> bool + Sync,
 {
@@ -77,21 +105,33 @@ where
         op_id,
         payload,
         start,
-    } in rx
+    } in rx.into_iter().flatten()
     {
-        let part = parts.entry(page).or_insert_with(|| Rebuilt {
-            page,
-            image: start.expect("a page's first routed item carries its start image"),
-            replayed: Vec::new(),
-            skipped: Vec::new(),
-        });
+        let part = match parts.entry(page) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                // The routing protocol ships a page's starting image
+                // with its first item; a breach is a structured error,
+                // never a panic (the caller may be mid-recovery of a
+                // production restart).
+                let Some(image) = start else {
+                    return Err(SimError::MissingStartImage(page));
+                };
+                e.insert(Rebuilt {
+                    page,
+                    image,
+                    replayed: Vec::new(),
+                    skipped: Vec::new(),
+                })
+            }
+        };
         if apply(&mut part.image, lsn, &payload) {
             part.replayed.push((lsn, op_id));
         } else {
             part.skipped.push((lsn, op_id));
         }
     }
-    parts.into_values().collect()
+    Ok(parts.into_values().collect())
 }
 
 /// Drives the pipeline: streams records from the seeked cursor on the
@@ -116,10 +156,13 @@ where
         let mut txs = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
-            let (tx, rx) = mpsc::channel::<WorkItem<T>>();
+            let (tx, rx) = mpsc::channel::<Vec<WorkItem<T>>>();
             txs.push(tx);
             handles.push(s.spawn(move || redo_worker(rx, apply)));
         }
+        let mut bufs: Vec<Vec<WorkItem<T>>> = (0..threads)
+            .map(|_| Vec::with_capacity(ROUTE_BATCH))
+            .collect();
         let mut routed: BTreeSet<PageId> = BTreeSet::new();
         let mut cursor = db.log.cursor_from(from);
         let mut scan_err: Option<SimError> = None;
@@ -136,25 +179,47 @@ where
                 // cached copy if recovery already progressed, else the
                 // durable page.
                 let start = routed.insert(page).then(|| start_image(db, page));
-                // A failed send means the worker panicked; the join
-                // below surfaces it.
-                let _ = txs[page.0 as usize % threads].send(WorkItem {
+                let w = page.0 as usize % threads;
+                bufs[w].push(WorkItem {
                     page,
                     lsn,
                     op_id,
                     payload,
                     start,
                 });
+                if bufs[w].len() == ROUTE_BATCH {
+                    // A failed send means the worker panicked; the
+                    // join below surfaces it.
+                    let batch = std::mem::replace(&mut bufs[w], Vec::with_capacity(ROUTE_BATCH));
+                    let _ = txs[w].send(batch);
+                }
+            }
+        }
+        for (w, buf) in bufs.into_iter().enumerate() {
+            if !buf.is_empty() {
+                let _ = txs[w].send(buf);
             }
         }
         let stats = cursor.stats();
         // Closing the channels ends the workers' loops.
         drop(txs);
-        let mut rebuilt: Vec<Rebuilt> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("redo worker panicked"))
-            .collect();
+        // Every worker is joined before any error returns, so no
+        // thread outlives the scope regardless of outcome. A panicking
+        // worker is contained here and reported as a recovery error —
+        // it must never unwind across `recover_*_parallel`.
+        let mut rebuilt: Vec<Rebuilt> = Vec::new();
+        let mut worker_err: Option<SimError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(parts)) => rebuilt.extend(parts),
+                Ok(Err(e)) => worker_err = worker_err.or(Some(e)),
+                Err(_) => worker_err = worker_err.or(Some(SimError::RecoveryWorkerPanic)),
+            }
+        }
         if let Some(e) = scan_err {
+            return Err(e);
+        }
+        if let Some(e) = worker_err {
             return Err(e);
         }
         rebuilt.sort_by_key(|r| r.page);
@@ -173,15 +238,17 @@ fn start_image<P: LogPayload>(db: &Db<P>, page: PageId) -> Page {
 }
 
 /// Installs rebuilt images into the buffer pool and folds the
-/// per-partition redo decisions into `stats` in global LSN order, so the
-/// stats are indistinguishable from a serial scan's.
+/// per-partition redo decisions — plus the records the DPT let the scan
+/// settle as skipped before routing (`elided`) — into `stats` in global
+/// LSN order, so the stats are indistinguishable from a serial scan's.
 fn install<P: LogPayload>(
     db: &mut Db<P>,
     rebuilt: Vec<Rebuilt>,
+    elided: Vec<(Lsn, u32)>,
     stats: &mut RecoveryStats,
 ) -> SimResult<()> {
     let mut replayed: Vec<(Lsn, u32)> = Vec::new();
-    let mut skipped: Vec<(Lsn, u32)> = Vec::new();
+    let mut skipped: Vec<(Lsn, u32)> = elided;
     for r in rebuilt {
         replayed.extend(r.replayed.iter().copied());
         skipped.extend(r.skipped.iter().copied());
@@ -208,32 +275,53 @@ fn install<P: LogPayload>(
 }
 
 /// Physiological recovery (§6.3) with page-partitioned, pipelined
-/// parallel redo: the streaming scan routes each record to a per-page
-/// worker the moment it decodes, and the per-page LSN redo test and
-/// replay run concurrently with the rest of the scan.
+/// parallel redo, fed by the checkpoint analysis: the scan seeks to
+/// the analysis' redo-start, the streaming scan routes each surviving
+/// record to a per-page worker the moment it decodes, and the per-page
+/// LSN redo test and replay run concurrently with the rest of the
+/// scan. Records below a fuzzy checkpoint whose page the dirty-page
+/// table proves installed are settled as skipped at scan time and
+/// never reach a partition; checkpoint records themselves are counted
+/// ([`ScanStats::checkpoint_records`]) but never routed.
 ///
-/// Equivalent to [`Physiological::recover`] — same rebuilt state, same
-/// semantic stats (the harness and checker enforce this
-/// differentially).
+/// Works against any [`PageOpPayload`] image whose operations are
+/// single-page — [`Physiological`]'s heavyweight checkpoints and
+/// [`GeneralizedOnline`]'s fuzzy online checkpoints alike. Reaches the
+/// same rebuilt state and semantic stats as the sequential
+/// checkpoint-aware scan (the harness, checker, and proptests enforce
+/// this differentially).
 ///
 /// # Errors
 ///
-/// Substrate errors, including log corruption and shape violations.
+/// Substrate errors, including log corruption, shape violations, and
+/// contained worker failures ([`SimError::RecoveryWorkerPanic`],
+/// [`SimError::MissingStartImage`]).
 pub fn recover_physiological_parallel(
     db: &mut Db<PageOpPayload>,
     threads: usize,
 ) -> SimResult<RecoveryStats> {
     // Recovery's first act: repair crash damage the media can detect.
     db.repair_after_crash();
-    let master = db.disk.master();
-    let mut stats = RecoveryStats::default();
-    let (rebuilt, scan) = pipeline_partitions(
+    // The analysis pass hands the partitioned scheduler its feed: the
+    // redo-start LSN to seek to and the dirty-page table to route by.
+    let analysis = Generalized::analyze_dpt(db)?;
+    let mut stats = RecoveryStats {
+        checkpoint_lsn: analysis.checkpoint_lsn,
+        truncated_bytes: db.log.truncated_bytes(),
+        ..RecoveryStats::default()
+    };
+    let mut elided: Vec<(Lsn, u32)> = Vec::new();
+    let mut checkpoint_records = 0usize;
+    let (rebuilt, mut scan) = pipeline_partitions(
         db,
-        master.next(),
+        analysis.redo_start,
         threads,
         |rec| {
             stats.scanned += 1;
             let PageOpPayload::Op(op) = rec.payload else {
+                // Checkpoint records are not page writes: they must
+                // never be routed to a page partition.
+                checkpoint_records += 1;
                 return Ok(Vec::new());
             };
             let written = op.written_pages();
@@ -241,6 +329,12 @@ pub fn recover_physiological_parallel(
                 return Err(SimError::MethodViolation(
                     "physiological operations access exactly one page",
                 ));
+            }
+            if analysis.provably_installed(written[0], rec.lsn) {
+                // The DPT already decided this record: skipped, settled
+                // at scan time, no partition or page fetch involved.
+                elided.push((rec.lsn, op.id));
+                return Ok(Vec::new());
             }
             Ok(vec![(written[0], rec.lsn, op.id, op)])
         },
@@ -258,48 +352,73 @@ pub fn recover_physiological_parallel(
             true
         },
     )?;
-    install(db, rebuilt, &mut stats)?;
+    scan.checkpoint_records = checkpoint_records;
+    install(db, rebuilt, elided, &mut stats)?;
     stats.note_scan(scan, db.log.forces());
     Ok(stats)
 }
 
 /// Physical recovery (§6.2) with page-partitioned, pipelined parallel
-/// redo: the blind after-images are split per page as they stream off
-/// the scan (a multi-page record contributes a fragment to each page it
-/// touches) and replayed on worker threads in per-page LSN order while
-/// the scan continues.
+/// redo, fed by the checkpoint analysis: the blind after-images are
+/// split per page as they stream off the scan (a multi-page record
+/// contributes a fragment to each page it touches) and replayed on
+/// worker threads in per-page LSN order while the scan continues.
 ///
-/// Equivalent to [`Physical::recover`]: every record replays, so an
-/// operation is counted replayed once even when its cells span pages.
+/// Under a heavyweight checkpoint this is equivalent to
+/// [`Physical::recover`]: every record replays, so an operation is
+/// counted replayed once even when its cells span pages. Under a
+/// *fuzzy* checkpoint ([`Physical::checkpoint_fuzzy`]) the dirty-page
+/// table additionally lets the router drop fragments it can prove
+/// installed — the sequential path re-applies them harmlessly, the
+/// partitioned path never ships them; a record all of whose fragments
+/// are provably installed is counted skipped. Both paths rebuild the
+/// identical state.
 ///
 /// # Errors
 ///
-/// Substrate errors, including log corruption.
+/// Substrate errors, including log corruption and contained worker
+/// failures ([`SimError::RecoveryWorkerPanic`],
+/// [`SimError::MissingStartImage`]).
 pub fn recover_physical_parallel(
     db: &mut Db<PhysPayload>,
     threads: usize,
 ) -> SimResult<RecoveryStats> {
     // Recovery's first act: repair crash damage the media can detect.
     db.repair_after_crash();
-    let master = db.disk.master();
-    let mut stats = RecoveryStats::default();
-    let (rebuilt, scan) = pipeline_partitions(
+    let analysis = Physical::analyze(db)?;
+    let mut stats = RecoveryStats {
+        checkpoint_lsn: analysis.checkpoint_lsn,
+        truncated_bytes: db.log.truncated_bytes(),
+        ..RecoveryStats::default()
+    };
+    let mut checkpoint_records = 0usize;
+    let (rebuilt, mut scan) = pipeline_partitions(
         db,
-        master.next(),
+        analysis.redo_start,
         threads,
         |rec| {
             stats.scanned += 1;
             let lsn = rec.lsn;
             let PhysPayload::Writes { op_id, writes } = rec.payload else {
+                // Checkpoint records are not page writes: count them,
+                // never route them.
+                checkpoint_records += 1;
                 return Ok(Vec::new());
             };
-            // The record replays unconditionally; stats are settled here,
-            // in scan (= LSN) order, and the workers only rebuild images.
-            stats.replayed.push(op_id);
             let mut per_page: BTreeMap<PageId, Vec<(SlotId, u64)>> = BTreeMap::new();
             for (cell, v) in writes {
                 per_page.entry(cell.page).or_default().push((cell.slot, v));
             }
+            // Fragments the DPT proves installed never reach a
+            // partition; surviving fragments replay unconditionally
+            // (blind, idempotent), so stats are settled here, in scan
+            // (= LSN) order, and the workers only rebuild images.
+            per_page.retain(|&page, _| !analysis.provably_installed(page, lsn));
+            if per_page.is_empty() {
+                stats.skipped.push(op_id);
+                return Ok(Vec::new());
+            }
+            stats.replayed.push(op_id);
             Ok(per_page
                 .into_iter()
                 .map(|(page, cells)| (page, lsn, op_id, cells))
@@ -313,9 +432,10 @@ pub fn recover_physical_parallel(
             true
         },
     )?;
+    scan.checkpoint_records = checkpoint_records;
     // Worker-side replay bookkeeping is per-fragment; the scan already
     // settled the per-operation stats, so the install discards it.
-    install(db, rebuilt, &mut RecoveryStats::default())?;
+    install(db, rebuilt, Vec::new(), &mut RecoveryStats::default())?;
     stats.note_scan(scan, db.log.forces());
     Ok(stats)
 }
@@ -348,10 +468,20 @@ impl RecoveryMethod for ParallelPhysiological {
     fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
         recover_physiological_parallel(db, self.threads)
     }
+
+    fn parallel_restart(
+        &self,
+        db: &mut Db<PageOpPayload>,
+        threads: usize,
+    ) -> Option<SimResult<RecoveryStats>> {
+        Some(recover_physiological_parallel(db, threads))
+    }
 }
 
 /// [`Physical`] with the recovery path replaced by
-/// [`recover_physical_parallel`].
+/// [`recover_physical_parallel`] and the checkpoint discipline by the
+/// *fuzzy* one ([`Physical::checkpoint_fuzzy`]) — so a crashed image
+/// carries a dirty-page table for the partitioned restart to route by.
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelPhysical {
     /// Worker threads for the redo phase.
@@ -370,11 +500,60 @@ impl RecoveryMethod for ParallelPhysical {
     }
 
     fn checkpoint(&self, db: &mut Db<PhysPayload>) -> SimResult<()> {
-        Physical.checkpoint(db)
+        Physical::checkpoint_fuzzy(db).map(|_| ())
     }
 
     fn recover(&self, db: &mut Db<PhysPayload>) -> SimResult<RecoveryStats> {
         recover_physical_parallel(db, self.threads)
+    }
+
+    fn parallel_restart(
+        &self,
+        db: &mut Db<PhysPayload>,
+        threads: usize,
+    ) -> Option<SimResult<RecoveryStats>> {
+        Some(recover_physical_parallel(db, threads))
+    }
+}
+
+/// The online fuzzy-checkpoint discipline
+/// ([`GeneralizedOnline::checkpoint_online`]) over physiological
+/// (single-page) operations, with the recovery path replaced by the
+/// DPT-fed [`recover_physiological_parallel`] — the full tentpole
+/// combination: fuzzy checkpoints with log truncation during normal
+/// operation, and a checkpoint-aware page-partitioned parallel
+/// restart after a crash.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOnline {
+    /// Worker threads for the redo phase.
+    pub threads: usize,
+}
+
+impl RecoveryMethod for ParallelOnline {
+    type Payload = PageOpPayload;
+
+    fn name(&self) -> &'static str {
+        "online-parallel"
+    }
+
+    fn execute(&self, db: &mut Db<PageOpPayload>, op: &PageOp) -> SimResult<Lsn> {
+        Physiological.execute(db, op)
+    }
+
+    fn checkpoint(&self, db: &mut Db<PageOpPayload>) -> SimResult<()> {
+        GeneralizedOnline::checkpoint_online(db).map(|_| ())
+    }
+
+    fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        recover_physiological_parallel(db, self.threads)
+    }
+
+    fn parallel_restart(
+        &self,
+        db: &mut Db<PageOpPayload>,
+        threads: usize,
+    ) -> Option<SimResult<RecoveryStats>> {
+        Some(recover_physiological_parallel(db, threads))
     }
 }
 
@@ -466,6 +645,182 @@ mod tests {
             method.recover(&mut db).unwrap();
             assert_eq!(db.volatile_theory_state(), once);
         }
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_feeds_the_parallel_scheduler() {
+        // The tentpole path: online fuzzy checkpoints during normal
+        // operation, then a DPT-fed partitioned restart that must match
+        // the sequential checkpoint-aware scan exactly — same state,
+        // same semantic stats — at every thread count.
+        let ops = PageWorkloadSpec {
+            n_ops: 40,
+            n_pages: 6,
+            ..Default::default()
+        }
+        .generate(21);
+        let method = ParallelOnline { threads: 4 };
+        let build = || {
+            let mut db = Db::new(Geometry::default());
+            let mut rng = StdRng::seed_from_u64(9);
+            for (i, op) in ops.iter().enumerate() {
+                method.execute(&mut db, op).unwrap();
+                db.chaos_flush(&mut rng, 0.5, 0.3).unwrap();
+                if (i + 1) % 11 == 0 {
+                    method.checkpoint(&mut db).unwrap();
+                }
+            }
+            db.log.flush_all();
+            db.crash();
+            db
+        };
+        let mut serial_db = build();
+        let serial = Generalized.recover(&mut serial_db).unwrap();
+        assert!(serial.checkpoint_lsn.is_some());
+        for threads in [1, 2, 4, 8] {
+            let mut par_db = build();
+            let parallel = recover_physiological_parallel(&mut par_db, threads).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(
+                par_db.volatile_theory_state(),
+                serial_db.volatile_theory_state(),
+                "threads={threads}"
+            );
+            assert_eq!(parallel.checkpoint_lsn, serial.checkpoint_lsn);
+            // The scan covers the checkpoint record itself (redo_start
+            // ≤ checkpoint LSN), recognizes it, and never routes it.
+            assert!(
+                parallel.checkpoint_records >= 1,
+                "checkpoint records must be counted, not routed: {parallel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_restart_is_idempotent_across_fuzzy_checkpoints() {
+        let ops = PageWorkloadSpec {
+            n_ops: 30,
+            n_pages: 5,
+            ..Default::default()
+        }
+        .generate(22);
+        let method = ParallelOnline { threads: 3 };
+        let mut db = Db::new(Geometry::default());
+        let mut rng = StdRng::seed_from_u64(17);
+        for (i, op) in ops.iter().enumerate() {
+            method.execute(&mut db, op).unwrap();
+            db.chaos_flush(&mut rng, 0.6, 0.3).unwrap();
+            if (i + 1) % 7 == 0 {
+                method.checkpoint(&mut db).unwrap();
+            }
+        }
+        db.log.flush_all();
+        db.crash();
+        method.recover(&mut db).unwrap();
+        let once = db.volatile_theory_state();
+        for _ in 0..3 {
+            db.crash();
+            method.recover(&mut db).unwrap();
+            assert_eq!(db.volatile_theory_state(), once);
+        }
+    }
+
+    #[test]
+    fn physical_fuzzy_checkpoints_match_serial_recovery() {
+        // ParallelPhysical now checkpoints fuzzily: the parallel path
+        // routes by the DPT (dropping provably-installed fragments),
+        // the serial path blindly re-applies them; both must rebuild
+        // the identical state.
+        let ops = PageWorkloadSpec {
+            n_ops: 30,
+            n_pages: 6,
+            blind_fraction: 1.0,
+            cross_page_fraction: 0.4,
+            multi_page_fraction: 0.4,
+            ..Default::default()
+        }
+        .generate(15);
+        let method = ParallelPhysical { threads: 3 };
+        let build = || {
+            let mut db = Db::new(Geometry::default());
+            let mut rng = StdRng::seed_from_u64(4);
+            for (i, op) in ops.iter().enumerate() {
+                method.execute(&mut db, op).unwrap();
+                db.chaos_flush(&mut rng, 0.6, 0.4).unwrap();
+                if (i + 1) % 9 == 0 {
+                    method.checkpoint(&mut db).unwrap();
+                }
+            }
+            db.log.flush_all();
+            db.crash();
+            db
+        };
+        let mut serial_db = build();
+        let serial = Physical.recover(&mut serial_db).unwrap();
+        assert!(serial.checkpoint_lsn.is_some());
+        for threads in [1, 2, 4, 8] {
+            let mut par_db = build();
+            let parallel = recover_physical_parallel(&mut par_db, threads).unwrap();
+            assert_eq!(
+                par_db.volatile_theory_state(),
+                serial_db.volatile_theory_state(),
+                "threads={threads}"
+            );
+            // Everything serial replayed is either replayed by the
+            // parallel path too or proven installed by the DPT.
+            assert_eq!(
+                parallel.replayed.len() + parallel.skipped.len(),
+                serial.replayed.len(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_an_error() {
+        let ops = PageWorkloadSpec {
+            n_ops: 10,
+            n_pages: 3,
+            ..Default::default()
+        }
+        .generate(23);
+        let mut db = chaotic_crashed_db(&Physiological, &ops, 3);
+        db.repair_after_crash();
+        let result = pipeline_partitions(
+            &db,
+            Lsn(1),
+            2,
+            |rec| {
+                let PageOpPayload::Op(op) = rec.payload else {
+                    return Ok(Vec::new());
+                };
+                Ok(vec![(op.written_pages()[0], rec.lsn, op.id, op)])
+            },
+            |_image: &mut Page, _lsn, _op: &PageOp| panic!("injected worker failure"),
+        );
+        assert!(
+            matches!(result, Err(SimError::RecoveryWorkerPanic)),
+            "a panicking worker must surface as a recovery error"
+        );
+    }
+
+    #[test]
+    fn missing_start_image_is_a_structured_error() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(vec![WorkItem {
+            page: PageId(3),
+            lsn: Lsn(1),
+            op_id: 0,
+            payload: (),
+            start: None,
+        }])
+        .unwrap();
+        drop(tx);
+        let apply = |_: &mut Page, _: Lsn, _: &()| true;
+        assert!(
+            matches!(redo_worker(rx, &apply), Err(SimError::MissingStartImage(p)) if p == PageId(3)),
+            "a page routed without its start image must error, not panic"
+        );
     }
 
     #[test]

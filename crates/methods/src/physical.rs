@@ -22,6 +22,7 @@ use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{Cell, PageId, PageOp};
 
+use crate::generalized::RestartAnalysis;
 use crate::{RecoveryMethod, RecoveryStats, SCAN_BATCH};
 
 /// Log payload for physical recovery: blind after-images or a checkpoint
@@ -37,6 +38,18 @@ pub enum PhysPayload {
     },
     /// A checkpoint record: every earlier operation is installed.
     Checkpoint,
+    /// A fuzzy checkpoint record, taken without flushing: the buffer
+    /// pool's dirty-page table (page, recLSN) at the snapshot plus the
+    /// precomputed redo-start LSN. Blind replay makes re-applying
+    /// installed records harmless, so recovery may simply scan from
+    /// `redo_start`; a partitioned restart additionally uses the table
+    /// to keep provably-installed records out of the page partitions.
+    FuzzyCheckpoint {
+        /// Dirty pages with their recovery LSNs, in id order.
+        dirty: Vec<(PageId, Lsn)>,
+        /// The LSN recovery must scan from.
+        redo_start: Lsn,
+    },
 }
 
 impl LogPayload for PhysPayload {
@@ -52,6 +65,15 @@ impl LogPayload for PhysPayload {
                 }
             }
             PhysPayload::Checkpoint => codec::put_u8(buf, 1),
+            PhysPayload::FuzzyCheckpoint { dirty, redo_start } => {
+                codec::put_u8(buf, 2);
+                codec::put_u64(buf, redo_start.0);
+                codec::put_u16(buf, dirty.len() as u16);
+                for &(page, rec) in dirty {
+                    codec::put_u32(buf, page.0);
+                    codec::put_u64(buf, rec.0);
+                }
+            }
         }
     }
 
@@ -69,6 +91,17 @@ impl LogPayload for PhysPayload {
                 Ok(PhysPayload::Writes { op_id, writes })
             }
             1 => Ok(PhysPayload::Checkpoint),
+            2 => {
+                let redo_start = Lsn(codec::get_u64(input, pos)?);
+                let n = codec::get_u16(input, pos)? as usize;
+                let mut dirty = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let page = PageId(codec::get_u32(input, pos)?);
+                    let rec = Lsn(codec::get_u64(input, pos)?);
+                    dirty.push((page, rec));
+                }
+                Ok(PhysPayload::FuzzyCheckpoint { dirty, redo_start })
+            }
             _ => Err(SimError::Corrupt(*pos - 1)),
         }
     }
@@ -77,6 +110,85 @@ impl LogPayload for PhysPayload {
 /// The physical recovery method.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Physical;
+
+impl Physical {
+    /// The analysis step over the physical log: dispatch on the record
+    /// the master points at. A heavyweight [`PhysPayload::Checkpoint`]
+    /// installed everything below it; a
+    /// [`PhysPayload::FuzzyCheckpoint`] carries its redo-start and
+    /// dirty-page table. Anything else falls back to a full scan from
+    /// the first retained record — always safe, since blind replay is
+    /// idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Log corruption at the master record.
+    pub fn analyze(db: &Db<PhysPayload>) -> SimResult<RestartAnalysis> {
+        let master = db.disk.master();
+        if master > Lsn::ZERO {
+            let mut cursor = db.log.cursor_from(master);
+            if let Some(rec) = cursor.next() {
+                let rec = rec?;
+                if rec.lsn == master {
+                    match rec.payload {
+                        PhysPayload::Checkpoint => {
+                            return Ok(RestartAnalysis {
+                                redo_start: master.next(),
+                                checkpoint_lsn: Some(master),
+                                dirty: None,
+                            })
+                        }
+                        PhysPayload::FuzzyCheckpoint { dirty, redo_start } => {
+                            return Ok(RestartAnalysis {
+                                redo_start,
+                                checkpoint_lsn: Some(master),
+                                dirty: Some(dirty.into_iter().collect()),
+                            })
+                        }
+                        PhysPayload::Writes { .. } => {}
+                    }
+                }
+            }
+        }
+        Ok(RestartAnalysis::full_scan())
+    }
+
+    /// One *online* checkpoint attempt for the physical method: no page
+    /// flushing, just a dirty-page-table snapshot published through the
+    /// master pointer, followed by prefix truncation. The protocol and
+    /// its abandonment semantics mirror
+    /// [`crate::online::GeneralizedOnline::checkpoint_online`]; returns
+    /// the published checkpoint LSN, or `None` if the attempt was
+    /// abandoned under fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors. (Fault suppression is not an error — it
+    /// surfaces as an abandoned attempt.)
+    pub fn checkpoint_fuzzy(db: &mut Db<PhysPayload>) -> SimResult<Option<Lsn>> {
+        let dirty = db.pool.dirty_page_table();
+        let ck_expected = Lsn(db.log.last_lsn().0 + 1);
+        let redo_start = dirty
+            .iter()
+            .map(|&(_, rec)| rec)
+            .min()
+            .unwrap_or(ck_expected);
+        let ck = db
+            .log
+            .append(PhysPayload::FuzzyCheckpoint { dirty, redo_start });
+        debug_assert_eq!(ck, ck_expected);
+        db.log.flush_all();
+        if db.log.stable_lsn() < ck {
+            return Ok(None);
+        }
+        db.disk.set_master(ck);
+        if db.disk.master() != ck {
+            return Ok(None);
+        }
+        db.log.truncate_prefix(redo_start);
+        Ok(Some(ck))
+    }
+}
 
 impl RecoveryMethod for Physical {
     type Payload = PhysPayload;
@@ -103,9 +215,11 @@ impl RecoveryMethod for Physical {
             writes: writes.clone(),
         });
         for (cell, v) in writes {
-            let stable = db.log.stable_lsn();
-            db.pool
-                .fetch(&mut db.disk, cell.page, db.geometry.slots_per_page, stable)?;
+            // Fetch through the steal path: under the fuzzy-checkpoint
+            // discipline nothing else cleans the pool, so a bounded
+            // pool full of WAL-blocked dirty frames must force the log
+            // to evict, not error out.
+            db.fetch_with_steal(cell.page)?;
             db.pool.update(cell.page, lsn, |p| p.set(cell.slot, v))?;
         }
         Ok(lsn)
@@ -128,11 +242,18 @@ impl RecoveryMethod for Physical {
         // Recovery's first act: repair crash damage the media can
         // detect (torn pages, a torn log-tail fragment).
         db.repair_after_crash();
-        let master = db.disk.master();
-        let mut stats = RecoveryStats::default();
-        // Streaming scan: seek past the checkpointed prefix (never
-        // decoding it) and replay batch by batch.
-        let mut scanner = LogScanner::seek(&db.log, master.next());
+        let analysis = Physical::analyze(db)?;
+        let mut stats = RecoveryStats {
+            checkpoint_lsn: analysis.checkpoint_lsn,
+            truncated_bytes: db.log.truncated_bytes(),
+            ..RecoveryStats::default()
+        };
+        // Streaming scan: seek past the checkpointed (or fuzzily
+        // elided) prefix — never decoding it — and replay batch by
+        // batch. Records a fuzzy analysis proves installed still
+        // replay here: they are blind and idempotent, and the serial
+        // path keeps the simplest possible redo test (always yes).
+        let mut scanner = LogScanner::seek(&db.log, analysis.redo_start);
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {
@@ -142,7 +263,7 @@ impl RecoveryMethod for Physical {
                 .iter()
                 .filter_map(|rec| match &rec.payload {
                     PhysPayload::Writes { writes, .. } => Some(writes.iter().map(|&(c, _)| c.page)),
-                    PhysPayload::Checkpoint => None,
+                    PhysPayload::Checkpoint | PhysPayload::FuzzyCheckpoint { .. } => None,
                 })
                 .flatten()
                 .collect();
@@ -156,7 +277,7 @@ impl RecoveryMethod for Physical {
             for rec in batch {
                 stats.scanned += 1;
                 match rec.payload {
-                    PhysPayload::Checkpoint => {}
+                    PhysPayload::Checkpoint | PhysPayload::FuzzyCheckpoint { .. } => {}
                     PhysPayload::Writes { op_id, writes } => {
                         // redo test: always replay (blind, idempotent).
                         for (cell, v) in writes {
@@ -177,6 +298,14 @@ impl RecoveryMethod for Physical {
         }
         stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
+    }
+
+    fn parallel_restart(
+        &self,
+        db: &mut Db<PhysPayload>,
+        threads: usize,
+    ) -> Option<SimResult<RecoveryStats>> {
+        Some(crate::parallel::recover_physical_parallel(db, threads))
     }
 }
 
@@ -214,6 +343,65 @@ mod tests {
             PhysPayload::decode(&buf, &mut pos).unwrap(),
             PhysPayload::Checkpoint
         );
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_roundtrip() {
+        for dirty in [
+            vec![],
+            vec![(PageId(3), Lsn(7))],
+            vec![(PageId(0), Lsn(1)), (PageId(9), Lsn(40))],
+        ] {
+            let p = PhysPayload::FuzzyCheckpoint {
+                dirty,
+                redo_start: Lsn(5),
+            };
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let mut pos = 0;
+            assert_eq!(PhysPayload::decode(&buf, &mut pos).unwrap(), p);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_publishes_without_flushing() {
+        let mut db = db();
+        let ops = PageWorkloadSpec {
+            blind_fraction: 1.0,
+            n_ops: 12,
+            ..Default::default()
+        }
+        .generate(9);
+        for op in &ops {
+            Physical.execute(&mut db, op).unwrap();
+        }
+        let dirty_before = db.pool.dirty_pages();
+        assert!(!dirty_before.is_empty());
+        let ck = Physical::checkpoint_fuzzy(&mut db)
+            .unwrap()
+            .expect("no faults armed: publication must land");
+        assert_eq!(
+            db.pool.dirty_pages(),
+            dirty_before,
+            "fuzzy: nothing flushed"
+        );
+        assert_eq!(db.disk.master(), ck);
+        let analysis = Physical::analyze(&db).unwrap();
+        assert_eq!(analysis.checkpoint_lsn, Some(ck));
+        assert!(analysis.dirty.is_some());
+        db.crash();
+        let stats = Physical.recover(&mut db).unwrap();
+        assert_eq!(stats.checkpoint_lsn, Some(ck));
+        let mut expect = std::collections::BTreeMap::new();
+        for op in &ops {
+            for &c in &op.writes {
+                expect.insert(c, op.output(c, &[]));
+            }
+        }
+        for (c, v) in expect {
+            assert_eq!(db.read_cell(c).unwrap(), v);
+        }
     }
 
     #[test]

@@ -126,6 +126,14 @@ impl RecoveryMethod for Physiological {
         stats.note_scan(scanner.stats(), db.log.forces());
         Ok(stats)
     }
+
+    fn parallel_restart(
+        &self,
+        db: &mut Db<PageOpPayload>,
+        threads: usize,
+    ) -> Option<SimResult<RecoveryStats>> {
+        Some(crate::parallel::recover_physiological_parallel(db, threads))
+    }
 }
 
 #[cfg(test)]

@@ -347,7 +347,7 @@ impl BufferPool {
     /// prerequisite inside the batch counts as satisfied (the members'
     /// cached versions carry LSNs at or beyond any constraint their
     /// binding operation created).
-    fn check_flush_in_batch(
+    pub(crate) fn check_flush_in_batch(
         &self,
         disk: &Disk,
         id: PageId,
@@ -515,14 +515,56 @@ impl BufferPool {
         self.lru.push_back(id);
     }
 
-    fn gc_constraints(&mut self, disk: &Disk) {
+    pub(crate) fn gc_constraints(&mut self, disk: &Disk) {
         self.constraints
             .retain(|c| disk.page_lsn(c.requires) < c.required_lsn);
     }
 
-    fn gc_groups(&mut self, disk: &Disk) {
+    pub(crate) fn gc_groups(&mut self, disk: &Disk) {
         self.groups
             .retain(|g| g.pages.iter().any(|&p| disk.page_lsn(p) < g.lsn));
+    }
+
+    /// Grows `members` with every page bound to a current member by an
+    /// active atomic group in *this* pool, to a local fixpoint. Returns
+    /// whether the set grew. The sharded store registers each group in
+    /// every member's shard and iterates this step across locked shards
+    /// until no shard reports growth, then widens its lock set if the
+    /// closure escaped it.
+    pub(crate) fn extend_atomic_closure(
+        &self,
+        disk: &Disk,
+        members: &mut std::collections::BTreeSet<PageId>,
+    ) -> bool {
+        let mut grew = false;
+        loop {
+            let before = members.len();
+            for g in &self.groups {
+                let active = g.pages.iter().any(|&p| disk.page_lsn(p) < g.lsn);
+                if active && g.pages.iter().any(|p| members.contains(p)) {
+                    members.extend(g.pages.iter().copied());
+                }
+            }
+            if members.len() == before {
+                return grew;
+            }
+            grew = true;
+        }
+    }
+
+    /// If `id` is cached and dirty: marks it clean, counts the flush,
+    /// and hands back the frame's page for the caller to write to disk
+    /// (the sharded store batches frames from several shards into one
+    /// atomic multi-page write). Clean or absent pages yield `None`.
+    pub(crate) fn take_dirty_frame(&mut self, id: PageId) -> Option<Page> {
+        let frame = self.frames.get_mut(&id)?;
+        if !frame.dirty {
+            return None;
+        }
+        frame.dirty = false;
+        frame.rec_lsn = None;
+        self.flushes += 1;
+        Some(frame.page.clone())
     }
 
     fn evict_one(&mut self, disk: &mut Disk, stable_lsn: Lsn) -> SimResult<()> {

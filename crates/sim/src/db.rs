@@ -140,8 +140,17 @@ impl<P: LogPayload> Db<P> {
     /// first attempt exhausts the pool, the log is forced — a victim
     /// whose flush the WAL rule blocked becomes flushable — and the
     /// fetch retried once. This is the log force a real cache manager
-    /// performs to steal a dirty frame.
-    fn fetch_with_steal(&mut self, page: PageId) -> SimResult<()> {
+    /// performs to steal a dirty frame. Every method's apply path must
+    /// fetch through this (not `pool.fetch` directly): under fuzzy
+    /// checkpoints nothing else ever cleans the pool, so a bounded pool
+    /// whose frames are all dirty above the stable LSN is a normal
+    /// state, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Pool exhaustion when every frame is pinned (the force cannot
+    /// help), or disk faults from the victim flush.
+    pub fn fetch_with_steal(&mut self, page: PageId) -> SimResult<()> {
         let spp = self.geometry.slots_per_page;
         let stable = self.log.stable_lsn();
         match self.pool.fetch(&mut self.disk, page, spp, stable) {

@@ -52,6 +52,14 @@ pub enum SimError {
     /// discipline cannot express it (e.g. a multi-page write under an
     /// LSN-based method, which would require multi-page atomic installs).
     MethodViolation(&'static str),
+    /// A parallel-redo worker thread panicked. The panic is contained
+    /// to the worker: recovery reports it as an error instead of
+    /// propagating the unwind into the caller's process.
+    RecoveryWorkerPanic,
+    /// A parallel-redo partition received a record for a page whose
+    /// starting image was never shipped — the router violated the
+    /// first-item-carries-image protocol.
+    MissingStartImage(PageId),
 }
 
 impl fmt::Display for SimError {
@@ -74,6 +82,10 @@ impl fmt::Display for SimError {
             SimError::EmptyStaging => write!(f, "staging area is empty"),
             SimError::Corrupt(off) => write!(f, "log corrupt at byte {off}"),
             SimError::MethodViolation(msg) => write!(f, "recovery-method violation: {msg}"),
+            SimError::RecoveryWorkerPanic => write!(f, "a parallel-redo worker panicked"),
+            SimError::MissingStartImage(p) => {
+                write!(f, "page {p:?} was routed without its starting image")
+            }
         }
     }
 }

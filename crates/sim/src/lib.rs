@@ -21,6 +21,10 @@
 //!   its log records) and of *write-order constraints* — the
 //!   installation-graph edges §6.4 requires the cache to respect when
 //!   operations read pages they do not write;
+//! * [`shard::ShardedStore`] — the buffer pool split into power-of-two
+//!   page-id shards over one shared disk, with an ordered-acquisition
+//!   snapshot path for fuzzy checkpoints — the store concurrent normal
+//!   operation runs on;
 //! * [`db::Db`] — the assembled database with [`db::Db::crash`]
 //!   dropping every volatile component, and a projection of the stable
 //!   state into a theory-level [`redo_theory::state::State`] so the
@@ -43,6 +47,7 @@ pub mod db;
 pub mod disk;
 pub mod fault;
 pub mod page;
+pub mod shard;
 pub mod wal;
 
 mod error;

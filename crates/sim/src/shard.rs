@@ -1,0 +1,574 @@
+//! A page-sharded store for concurrent normal operation.
+//!
+//! Lemma 1 says a log need only order *conflicting* operations, and
+//! conflicts are per-page for the single-page disciplines — so the
+//! store's synchronization can be per-page-range too. [`ShardedStore`]
+//! splits the buffer pool into N power-of-two shards keyed by the low
+//! bits of the page id, each behind its own lock, over one shared
+//! [`Disk`]. Operations touching disjoint shards proceed in parallel;
+//! the global pool lock the sequential substrate implies disappears.
+//!
+//! What keeps this correct is a strict acquisition order:
+//!
+//! > **shards in ascending index order → disk**
+//!
+//! (callers put page latches before and the log after — see
+//! `redo-methods`' `concurrent` module for the full chain). Three paths
+//! exercise it:
+//!
+//! * [`ShardedStore::lock_pages`] — an operation leases exactly the
+//!   shards its page set touches, ascending, and reads/updates under
+//!   the lease ([`PageLease`]);
+//! * [`ShardedStore::flush_page`] — a flush must honor atomic groups
+//!   whose closure may span shards. Groups are registered in **every**
+//!   member's shard, so the closure is discoverable from whatever
+//!   shard the flush starts in; the flusher locks the shards it knows
+//!   about, grows the closure to a fixpoint, and if the closure escaped
+//!   the locked set, drops everything and relocks the wider
+//!   (monotonically growing, hence terminating) set;
+//! * [`ShardedStore::snapshot`] — the fuzzy-checkpoint daemon's
+//!   ordered-acquisition path: all shards, ascending, held together so
+//!   the dirty-page table it reads is a consistent cut against every
+//!   concurrent applier.
+//!
+//! Write-order constraints need no cross-shard care: a constraint lives
+//! in its *blocked* page's shard (the only shard whose flushes must
+//! check it), and its `requires` prerequisite is checked against the
+//! shared disk, not against another shard's volatile state.
+
+use std::collections::BTreeSet;
+
+use parking_lot::{Mutex, MutexGuard};
+use redo_theory::log::Lsn;
+use redo_workload::pages::PageId;
+
+use crate::cache::{BufferPool, Constraint};
+use crate::disk::Disk;
+use crate::error::SimResult;
+use crate::page::Page;
+
+/// A buffer pool split into power-of-two page-id shards over one shared
+/// disk. See the module docs for the locking discipline.
+pub struct ShardedStore {
+    shards: Box<[Mutex<BufferPool>]>,
+    disk: Mutex<Disk>,
+    mask: u32,
+}
+
+impl ShardedStore {
+    /// A store with `n_shards` (rounded up to a power of two, min 1)
+    /// unbounded pool shards over a fresh disk.
+    #[must_use]
+    pub fn new(n_shards: usize) -> ShardedStore {
+        let n = n_shards.max(1).next_power_of_two();
+        ShardedStore {
+            shards: (0..n)
+                .map(|_| Mutex::new(BufferPool::new(None)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            disk: Mutex::new(Disk::new()),
+            mask: (n - 1) as u32,
+        }
+    }
+
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard holds `page` (its id's low bits).
+    #[must_use]
+    pub fn shard_of(&self, page: PageId) -> usize {
+        (page.0 & self.mask) as usize
+    }
+
+    /// Leases every shard the given page set touches, in ascending
+    /// shard order. The lease is the only handle for reading and
+    /// updating cached pages; holding it excludes flushes and snapshots
+    /// of the same shards, so an operation's read-then-write is atomic
+    /// against conflicting operations (callers still latch pages to
+    /// order conflicting *operations* — the lease only protects the
+    /// frames).
+    #[must_use]
+    pub fn lock_pages(&self, pages: &[PageId]) -> PageLease<'_> {
+        let shards: BTreeSet<usize> = pages.iter().map(|&p| self.shard_of(p)).collect();
+        PageLease {
+            store: self,
+            guards: shards
+                .into_iter()
+                .map(|s| (s, self.shards[s].lock()))
+                .collect(),
+        }
+    }
+
+    /// Locks **all** shards in ascending order — the checkpoint
+    /// daemon's consistent cut. While the snapshot is held no applier
+    /// or flusher can move, so the dirty-page table it reads, paired
+    /// with a log append in the same critical section, is exactly the
+    /// atomicity a fuzzy checkpoint's published table needs.
+    #[must_use]
+    pub fn snapshot(&self) -> StoreSnapshot<'_> {
+        StoreSnapshot {
+            guards: self.shards.iter().map(|s| s.lock()).collect(),
+        }
+    }
+
+    /// The shared disk (locked). Acquired *after* any shard locks per
+    /// the module's ordering; the checkpoint daemon takes it alone for
+    /// the master-pointer swing.
+    #[must_use]
+    pub fn disk(&self) -> MutexGuard<'_, Disk> {
+        self.disk.lock()
+    }
+
+    /// Every dirty page across all shards, in id order (brief per-shard
+    /// locks — a moving target under concurrency, as any dirty-page
+    /// listing is).
+    #[must_use]
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let mut dirty: Vec<PageId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().dirty_pages())
+            .collect();
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Total pages flushed to disk across all shards.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().flushes()).sum()
+    }
+
+    /// Flushes `id` (and, atomically, the closure of any atomic groups
+    /// binding it — possibly spanning shards) to disk, after checking
+    /// the WAL rule and every write-order constraint in each member's
+    /// shard. Clean pages flush trivially.
+    ///
+    /// Lock acquisition: the needed shard set starts as `id`'s shard
+    /// and grows monotonically while the atomic closure escapes it;
+    /// each attempt locks the set ascending, then the disk, recomputes
+    /// the closure from scratch (groups may have been discharged by a
+    /// concurrent flush between attempts), and either widens or
+    /// proceeds. The set is bounded by the shard count, so the loop
+    /// terminates.
+    ///
+    /// # Errors
+    ///
+    /// See [`BufferPool::check_flush`]; failure flushes nothing.
+    pub fn flush_page(&self, id: PageId, stable_lsn: Lsn) -> SimResult<()> {
+        let mut lock_set: BTreeSet<usize> = BTreeSet::from([self.shard_of(id)]);
+        loop {
+            let mut pools: Vec<(usize, MutexGuard<'_, BufferPool>)> = lock_set
+                .iter()
+                .map(|&s| (s, self.shards[s].lock()))
+                .collect();
+            let mut disk = self.disk.lock();
+            // Closure fixpoint over the locked shards. Every group is
+            // registered in every member's shard, so one shard of each
+            // member suffices to discover the next link of a chain.
+            let mut members = BTreeSet::from([id]);
+            loop {
+                let mut grew = false;
+                for (_, pool) in &pools {
+                    grew |= pool.extend_atomic_closure(&disk, &mut members);
+                }
+                if !grew {
+                    break;
+                }
+            }
+            let needed: BTreeSet<usize> = members.iter().map(|&p| self.shard_of(p)).collect();
+            if !needed.is_subset(&lock_set) {
+                lock_set.extend(needed);
+                drop(disk);
+                drop(pools);
+                continue;
+            }
+            // Check every member in its own shard; refusal flushes
+            // nothing (failure atomicity, as in the sequential pool).
+            for &m in &members {
+                let shard = self.shard_of(m);
+                let (_, pool) = pools
+                    .iter()
+                    .find(|(s, _)| *s == shard)
+                    .expect("needed is a subset of the locked set");
+                pool.check_flush_in_batch(&disk, m, stable_lsn, &members)?;
+            }
+            let mut batch: Vec<(PageId, Page)> = Vec::new();
+            for &m in &members {
+                let shard = self.shard_of(m);
+                let (_, pool) = pools
+                    .iter_mut()
+                    .find(|(s, _)| *s == shard)
+                    .expect("needed is a subset of the locked set");
+                if let Some(page) = pool.take_dirty_frame(m) {
+                    batch.push((m, page));
+                }
+            }
+            match batch.len() {
+                0 => {}
+                1 => {
+                    let (m, page) = batch.pop().expect("len checked");
+                    disk.write_page(m, page);
+                }
+                _ => disk.write_pages_atomic(batch),
+            }
+            for (_, pool) in &mut pools {
+                pool.gc_constraints(&disk);
+                pool.gc_groups(&disk);
+            }
+            return Ok(());
+        }
+    }
+
+    /// Flushes every dirty page, retrying blocked pages after their
+    /// prerequisites flush, exactly like the sequential pool's ordered
+    /// discharge.
+    ///
+    /// # Errors
+    ///
+    /// The first unresolvable violation once a full pass makes no
+    /// progress.
+    pub fn flush_all(&self, stable_lsn: Lsn) -> SimResult<()> {
+        loop {
+            let dirty = self.dirty_pages();
+            if dirty.is_empty() {
+                return Ok(());
+            }
+            let mut progressed = false;
+            let mut first_err = None;
+            for id in dirty {
+                match self.flush_page(id, stable_lsn) {
+                    Ok(()) => progressed = true,
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                return Err(first_err.expect("no progress implies an error"));
+            }
+        }
+    }
+
+    /// Consumes the store, keeping only what survives a crash: the
+    /// disk. Every pool shard (volatile) is dropped on the floor.
+    #[must_use]
+    pub fn into_disk(self) -> Disk {
+        self.disk.into_inner()
+    }
+}
+
+/// A lease on the shards covering one operation's page set, acquired by
+/// [`ShardedStore::lock_pages`]. All accessors address pages; a page
+/// outside the leased set is a caller bug and panics.
+pub struct PageLease<'a> {
+    store: &'a ShardedStore,
+    guards: Vec<(usize, MutexGuard<'a, BufferPool>)>,
+}
+
+impl PageLease<'_> {
+    fn pool_mut(&mut self, id: PageId) -> &mut BufferPool {
+        let shard = self.store.shard_of(id);
+        self.guards
+            .iter_mut()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, g)| &mut **g)
+            .expect("page not covered by this lease")
+    }
+
+    /// Ensures `id` is resident in its shard, reading from the shared
+    /// disk (briefly locked, after the shard per the ordering) on a
+    /// miss.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::PoolExhausted`] under a bounded pool (the
+    /// store's shards are unbounded, so not in practice).
+    pub fn fetch(&mut self, id: PageId, slots_per_page: u16, stable_lsn: Lsn) -> SimResult<()> {
+        let store = self.store;
+        let pool = self.pool_mut(id);
+        if pool.get(id).is_none() {
+            let mut disk = store.disk.lock();
+            pool.fetch(&mut disk, id, slots_per_page, stable_lsn)?;
+        }
+        Ok(())
+    }
+
+    /// The cached copy of `id`, if resident.
+    #[must_use]
+    pub fn page(&self, id: PageId) -> Option<&Page> {
+        let shard = self.store.shard_of(id);
+        self.guards
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .and_then(|(_, g)| g.get(id))
+    }
+
+    /// Mutates a cached page, tagging it with `lsn` and marking it
+    /// dirty in its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::NotCached`] if `id` has not been fetched.
+    pub fn update(&mut self, id: PageId, lsn: Lsn, f: impl FnOnce(&mut Page)) -> SimResult<()> {
+        self.pool_mut(id).update(id, lsn, f)
+    }
+
+    /// Registers a write-order constraint in the **blocked** page's
+    /// shard — the only shard whose flushes must consult it.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.pool_mut(c.blocked).add_constraint(c);
+    }
+
+    /// Binds `pages` into an atomic flush group at `lsn`, registering
+    /// the group in **every** member's shard so a flush starting from
+    /// any member discovers the closure.
+    pub fn add_atomic_group(&mut self, pages: &[PageId], lsn: Lsn) {
+        let set: BTreeSet<PageId> = pages.iter().copied().collect();
+        if set.len() < 2 {
+            return;
+        }
+        for &p in &set {
+            self.pool_mut(p).add_atomic_group(set.iter().copied(), lsn);
+        }
+    }
+}
+
+/// All shards locked at once (ascending) — the checkpoint daemon's
+/// consistent cut, from [`ShardedStore::snapshot`].
+pub struct StoreSnapshot<'a> {
+    guards: Vec<MutexGuard<'a, BufferPool>>,
+}
+
+impl StoreSnapshot<'_> {
+    /// The merged dirty-page table across every shard, in page-id
+    /// order — what a fuzzy checkpoint records.
+    #[must_use]
+    pub fn dirty_page_table(&self) -> Vec<(PageId, Lsn)> {
+        let mut table: Vec<(PageId, Lsn)> = self
+            .guards
+            .iter()
+            .flat_map(|g| g.dirty_page_table())
+            .collect();
+        table.sort_unstable_by_key(|&(id, _)| id);
+        table
+    }
+
+    /// Total dirty pages in the cut.
+    #[must_use]
+    pub fn dirty_count(&self) -> usize {
+        self.guards.iter().map(|g| g.dirty_pages().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redo_workload::pages::SlotId;
+
+    const SPP: u16 = 4;
+
+    fn write(store: &ShardedStore, page: PageId, lsn: Lsn, v: u64) {
+        let mut lease = store.lock_pages(&[page]);
+        lease.fetch(page, SPP, Lsn::ZERO).unwrap();
+        lease.update(page, lsn, |p| p.set(SlotId(0), v)).unwrap();
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedStore::new(0).n_shards(), 1);
+        assert_eq!(ShardedStore::new(3).n_shards(), 4);
+        assert_eq!(ShardedStore::new(8).n_shards(), 8);
+    }
+
+    #[test]
+    fn pages_distribute_by_low_bits() {
+        let store = ShardedStore::new(4);
+        assert_eq!(store.shard_of(PageId(0)), 0);
+        assert_eq!(store.shard_of(PageId(5)), 1);
+        assert_eq!(store.shard_of(PageId(7)), 3);
+    }
+
+    #[test]
+    fn update_and_flush_install_on_disk() {
+        let store = ShardedStore::new(4);
+        write(&store, PageId(3), Lsn(2), 9);
+        assert_eq!(store.dirty_pages(), vec![PageId(3)]);
+        store.flush_page(PageId(3), Lsn(10)).unwrap();
+        assert!(store.dirty_pages().is_empty());
+        assert_eq!(store.disk().page_lsn(PageId(3)), Lsn(2));
+        assert_eq!(store.flushes(), 1);
+    }
+
+    #[test]
+    fn wal_rule_still_blocks_sharded_flushes() {
+        let store = ShardedStore::new(2);
+        write(&store, PageId(0), Lsn(5), 1);
+        let err = store.flush_page(PageId(0), Lsn(3)).unwrap_err();
+        assert!(matches!(err, crate::SimError::WalViolation { .. }));
+        assert_eq!(store.dirty_pages(), vec![PageId(0)]);
+    }
+
+    #[test]
+    fn cross_shard_atomic_group_flushes_together() {
+        // Pages 0 and 1 land in different shards of a 2-shard store;
+        // the group closure must pull the partner shard into the flush.
+        let store = ShardedStore::new(2);
+        {
+            let pages = [PageId(0), PageId(1)];
+            let mut lease = store.lock_pages(&pages);
+            for &p in &pages {
+                lease.fetch(p, SPP, Lsn::ZERO).unwrap();
+                lease.update(p, Lsn(3), |pg| pg.set(SlotId(0), 7)).unwrap();
+            }
+            lease.add_atomic_group(&pages, Lsn(3));
+        }
+        store.flush_page(PageId(0), Lsn(10)).unwrap();
+        assert_eq!(store.disk().page_lsn(PageId(0)), Lsn(3));
+        assert_eq!(store.disk().page_lsn(PageId(1)), Lsn(3));
+        assert!(store.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn cross_shard_group_refusal_is_atomic() {
+        // Partner violates the WAL rule: neither page may reach disk.
+        let store = ShardedStore::new(2);
+        write(&store, PageId(0), Lsn(2), 1);
+        write(&store, PageId(1), Lsn(5), 2);
+        store
+            .lock_pages(&[PageId(0), PageId(1)])
+            .add_atomic_group(&[PageId(0), PageId(1)], Lsn(2));
+        let err = store.flush_page(PageId(0), Lsn(3)).unwrap_err();
+        assert!(matches!(err, crate::SimError::WalViolation { .. }));
+        assert_eq!(store.disk().page_lsn(PageId(0)), Lsn::ZERO);
+        assert_eq!(store.disk().page_lsn(PageId(1)), Lsn::ZERO);
+        assert_eq!(store.dirty_pages().len(), 2);
+    }
+
+    #[test]
+    fn overlapping_groups_chain_across_three_shards() {
+        // {0,1}@2 and {1,2}@4 in a 4-shard store: flushing page 0 must
+        // widen its lock set twice and carry all three pages.
+        let store = ShardedStore::new(4);
+        write(&store, PageId(0), Lsn(2), 1);
+        write(&store, PageId(1), Lsn(4), 2);
+        write(&store, PageId(2), Lsn(4), 3);
+        store
+            .lock_pages(&[PageId(0), PageId(1)])
+            .add_atomic_group(&[PageId(0), PageId(1)], Lsn(2));
+        store
+            .lock_pages(&[PageId(1), PageId(2)])
+            .add_atomic_group(&[PageId(1), PageId(2)], Lsn(4));
+        store.flush_page(PageId(0), Lsn(10)).unwrap();
+        assert_eq!(store.disk().page_lsn(PageId(2)), Lsn(4));
+        assert!(store.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn cross_shard_constraint_blocks_until_prerequisite_durable() {
+        // Blocked page 0 (shard 0) requires page 1 (shard 1) on disk:
+        // the constraint lives in shard 0 and checks the shared disk,
+        // so no cross-shard lock is needed to enforce it.
+        let store = ShardedStore::new(2);
+        write(&store, PageId(1), Lsn(5), 1);
+        write(&store, PageId(0), Lsn(6), 2);
+        store.lock_pages(&[PageId(0)]).add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn(5),
+            requires: PageId(1),
+            required_lsn: Lsn(5),
+        });
+        let err = store.flush_page(PageId(0), Lsn(10)).unwrap_err();
+        assert!(matches!(err, crate::SimError::WriteOrderViolation { .. }));
+        store.flush_page(PageId(1), Lsn(10)).unwrap();
+        store.flush_page(PageId(0), Lsn(10)).unwrap();
+        assert_eq!(store.disk().page_lsn(PageId(0)), Lsn(6));
+    }
+
+    #[test]
+    fn flush_all_discharges_ordered_chains() {
+        let store = ShardedStore::new(4);
+        write(&store, PageId(0), Lsn(3), 1);
+        write(&store, PageId(1), Lsn(2), 2);
+        store.lock_pages(&[PageId(0)]).add_constraint(Constraint {
+            blocked: PageId(0),
+            blocked_above: Lsn::ZERO,
+            requires: PageId(1),
+            required_lsn: Lsn(2),
+        });
+        store.flush_all(Lsn(10)).unwrap();
+        assert!(store.dirty_pages().is_empty());
+        assert_eq!(store.disk().page_lsn(PageId(0)), Lsn(3));
+    }
+
+    #[test]
+    fn snapshot_merges_dirty_page_tables_in_id_order() {
+        let store = ShardedStore::new(4);
+        write(&store, PageId(5), Lsn(7), 1);
+        write(&store, PageId(2), Lsn(3), 2);
+        write(&store, PageId(8), Lsn(9), 3);
+        let snap = store.snapshot();
+        assert_eq!(
+            snap.dirty_page_table(),
+            vec![
+                (PageId(2), Lsn(3)),
+                (PageId(5), Lsn(7)),
+                (PageId(8), Lsn(9))
+            ]
+        );
+        assert_eq!(snap.dirty_count(), 3);
+    }
+
+    #[test]
+    fn into_disk_keeps_installed_state_only() {
+        let store = ShardedStore::new(2);
+        write(&store, PageId(0), Lsn(1), 4);
+        store.flush_page(PageId(0), Lsn(10)).unwrap();
+        write(&store, PageId(1), Lsn(2), 5);
+        let disk = store.into_disk();
+        assert_eq!(disk.page_lsn(PageId(0)), Lsn(1));
+        assert_eq!(disk.page_lsn(PageId(1)), Lsn::ZERO, "volatile dirt lost");
+    }
+
+    #[test]
+    fn concurrent_leases_and_flushes_do_not_deadlock() {
+        // Threads hammer overlapping page sets while a flusher sweeps;
+        // the ascending shard order must keep everyone live.
+        let store = std::sync::Arc::new(ShardedStore::new(4));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let store = std::sync::Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let pages = [PageId(t), PageId((t + 1) % 4), PageId(t + 4)];
+                        let mut lease = store.lock_pages(&pages);
+                        for &p in &pages {
+                            lease.fetch(p, SPP, Lsn::ZERO).unwrap();
+                        }
+                        let lsn = Lsn(u64::from(t) * 1000 + i + 1);
+                        for &p in &pages {
+                            lease.update(p, lsn, |pg| pg.set(SlotId(0), i)).unwrap();
+                        }
+                        lease.add_atomic_group(&pages, lsn);
+                    }
+                });
+            }
+            let store = std::sync::Arc::clone(&store);
+            s.spawn(move || {
+                for _ in 0..100 {
+                    for id in store.dirty_pages() {
+                        let _ = store.flush_page(id, Lsn(u64::MAX));
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        store.flush_all(Lsn(u64::MAX)).unwrap();
+        assert!(store.dirty_pages().is_empty());
+    }
+}

@@ -450,6 +450,11 @@ pub struct ScanStats {
     /// Scans whose starting position came from a seek-index jump past
     /// offset 0.
     pub seek_hits: usize,
+    /// Checkpoint records the consumer recognized and declined to treat
+    /// as page work (a page-partitioned router must never send them to
+    /// a partition). The cursor itself is payload-agnostic, so this is
+    /// filled in by the scan's consumer, not the decode loop.
+    pub checkpoint_records: usize,
 }
 
 /// A streaming, zero-copy scan over a stable-log byte image.

@@ -1,0 +1,182 @@
+//! Property tests for the checkpoint-aware parallel restart.
+//!
+//! The tentpole contract: restarting through the DPT-fed partitioned
+//! scheduler ([`recover_physiological_parallel`]) from a crashed image
+//! carrying online fuzzy checkpoints must reach *exactly* the state
+//! that sequential, checkpoint-blind, full-scan recovery reaches — the
+//! reference that uses no dirty-page table, no redo-start seek, and no
+//! partitioning, only the per-page LSN redo test over the entire
+//! surviving stable log. Theorem 3 says the two replay orders are
+//! interchangeable; the fuzzy-checkpoint contract says the records the
+//! seek skips were all provably installed. The property exercises both
+//! at once, across thread counts, arbitrary checkpoint cadences,
+//! chaotic flush schedules, and injected crash-point faults (clean
+//! stops, torn page writes, torn log flushes).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redo_recovery::methods::online::GeneralizedOnline;
+use redo_recovery::methods::oprecord::PageOpPayload;
+use redo_recovery::methods::parallel::recover_physiological_parallel;
+use redo_recovery::methods::physiological::Physiological;
+use redo_recovery::methods::RecoveryMethod;
+use redo_recovery::sim::db::{Db, Geometry};
+use redo_recovery::sim::fault::{FaultKind, FaultPlan};
+use redo_recovery::sim::wal::LogScanner;
+use redo_recovery::theory::log::Lsn;
+use redo_recovery::workload::pages::{PageOp, PageWorkloadSpec};
+
+/// Runs the workload under the online fuzzy-checkpoint discipline with
+/// chaotic flushing and an optional armed crash-point fault, then
+/// crashes. Once a fault trips the machine is dying — substrate errors
+/// are expected and the run ends at the next operation boundary, the
+/// same discipline the method harness uses.
+fn crashed_image(
+    ops: &[PageOp],
+    seed: u64,
+    ck_every: usize,
+    chaos: (f64, f64),
+    fault: Option<FaultPlan>,
+) -> Db<PageOpPayload> {
+    let mut db = Db::new(Geometry::default());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    if let Some(plan) = fault {
+        db.arm_faults(plan);
+    }
+    for (i, op) in ops.iter().enumerate() {
+        match Physiological.execute(&mut db, op) {
+            Ok(_) => {}
+            Err(_) if db.fault_tripped() => break,
+            Err(e) => panic!("execute failed without a fault: {e}"),
+        }
+        match db.chaos_flush(&mut rng, chaos.0, chaos.1) {
+            Ok(()) => {}
+            Err(_) if db.fault_tripped() => break,
+            Err(e) => panic!("chaos flush failed without a fault: {e}"),
+        }
+        if (i + 1) % ck_every == 0 {
+            match GeneralizedOnline::checkpoint_online(&mut db) {
+                // Ok(None) is a publication the fault interrupted
+                // mid-protocol — a legal crash state.
+                Ok(_) => {}
+                Err(_) if db.fault_tripped() => break,
+                Err(e) => panic!("checkpoint failed without a fault: {e}"),
+            }
+        }
+        if db.fault_tripped() {
+            break;
+        }
+    }
+    db.log.flush_all();
+    db.crash();
+    db
+}
+
+/// The reference recovery: sequential, checkpoint-blind, full-scan.
+/// Scans the entire surviving stable log from its first record (no
+/// dirty-page table, no seek), applies the per-page LSN redo test to
+/// every page-op record, and ignores checkpoint payloads entirely.
+fn recover_full_scan(db: &mut Db<PageOpPayload>) -> usize {
+    db.repair_after_crash();
+    let spp = db.geometry.slots_per_page;
+    let mut scanner = LogScanner::seek(&db.log, Lsn(1));
+    let mut replayed = 0;
+    loop {
+        let batch = scanner
+            .next_batch(&db.log, 32)
+            .expect("surviving stable log decodes");
+        if batch.is_empty() {
+            return replayed;
+        }
+        for rec in batch {
+            let PageOpPayload::Op(op) = rec.payload else {
+                continue;
+            };
+            let page = op.written_pages()[0];
+            let stable = db.log.stable_lsn();
+            db.pool
+                .fetch(&mut db.disk, page, spp, stable)
+                .expect("recovery fetch");
+            let installed = db.pool.get(page).expect("just fetched").lsn() >= rec.lsn;
+            if !installed {
+                db.apply_page_op(&op, rec.lsn).expect("redo applies");
+                replayed += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DPT-fed parallel restart == checkpoint-blind full-scan recovery,
+    /// for every thread count, under arbitrary fuzzy-checkpoint
+    /// cadence, flush chaos, and injected crash schedules.
+    #[test]
+    fn parallel_restart_matches_checkpoint_blind_full_scan(
+        seed in any::<u64>(),
+        n_ops in 20..60usize,
+        n_pages in 3..8u32,
+        ck_every in 3..12usize,
+        log_pct in 30..100u32,
+        page_pct in 0..50u32,
+        fault in prop::option::of((1..80u64, 0..3u8, 1..6usize)),
+    ) {
+        let (log_p, page_p) = (f64::from(log_pct) / 100.0, f64::from(page_pct) / 100.0);
+        let ops = PageWorkloadSpec { n_ops, n_pages, ..Default::default() }.generate(seed);
+        let plan = fault.map(|(at, kind, n)| FaultPlan {
+            at,
+            kind: match kind {
+                0 => FaultKind::Clean,
+                1 => FaultKind::TornWrite { sectors: n as u16 },
+                _ => FaultKind::TornFlush { bytes: n * 5 },
+            },
+        });
+        let mut ref_db = crashed_image(&ops, seed, ck_every, (log_p, page_p), plan);
+        let ref_replayed = recover_full_scan(&mut ref_db);
+        let reference = ref_db.volatile_theory_state();
+        for threads in [1usize, 2, 4, 8] {
+            let mut db = crashed_image(&ops, seed, ck_every, (log_p, page_p), plan);
+            let stats = recover_physiological_parallel(&mut db, threads)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(
+                db.volatile_theory_state(),
+                reference.clone(),
+                "threads={} stats={:?}",
+                threads,
+                stats
+            );
+            // The checkpoint seek only ever *narrows* redo work: the
+            // partitioned path must never replay more than the
+            // checkpoint-blind reference scan did.
+            prop_assert!(
+                stats.replay_count() <= ref_replayed,
+                "threads={}: parallel replayed {} > blind full scan {}",
+                threads,
+                stats.replay_count(),
+                ref_replayed
+            );
+        }
+    }
+
+    /// Parallel restart is idempotent: a second crash immediately after
+    /// recovery (no new work) recovers to the identical state, at any
+    /// thread count.
+    #[test]
+    fn parallel_restart_is_idempotent(
+        seed in any::<u64>(),
+        ck_every in 3..10usize,
+        threads in 1..8usize,
+    ) {
+        let ops = PageWorkloadSpec { n_ops: 30, n_pages: 5, ..Default::default() }.generate(seed);
+        let mut db = crashed_image(&ops, seed, ck_every, (0.7, 0.3), None);
+        recover_physiological_parallel(&mut db, threads)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let once = db.volatile_theory_state();
+        db.crash();
+        recover_physiological_parallel(&mut db, threads)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(db.volatile_theory_state(), once);
+    }
+}

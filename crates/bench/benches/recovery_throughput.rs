@@ -29,6 +29,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use redo_methods::physiological::Physiological;
 use redo_methods::RecoveryMethod;
+use redo_sim::backend::BackendKind;
 use redo_sim::db::{Db, Geometry};
 use redo_workload::pages::PageWorkloadSpec;
 
@@ -37,14 +38,14 @@ type PhysioDb = Db<<Physiological as RecoveryMethod>::Payload>;
 /// A crashed database after `n_ops` operations with an eagerly flushed
 /// log, rare page flushes (so replay has real work), and optionally a
 /// checkpoint at 90% of the run.
-fn crashed_db(n_ops: usize, checkpoint_at_90: bool) -> PhysioDb {
+fn crashed_db(n_ops: usize, checkpoint_at_90: bool, kind: BackendKind) -> PhysioDb {
     let ops = PageWorkloadSpec {
         n_ops,
         n_pages: 64,
         ..Default::default()
     }
     .generate(23);
-    let mut db = Db::new(Geometry::default());
+    let mut db = Db::on(kind, Geometry::default(), None);
     let mut rng = StdRng::seed_from_u64(7);
     let ckpt_at = n_ops * 9 / 10;
     for (i, op) in ops.iter().enumerate() {
@@ -68,8 +69,8 @@ fn bench(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("recovery_throughput");
     for &n in sizes {
-        let full = crashed_db(n, false);
-        let ckpt = crashed_db(n, true);
+        let full = crashed_db(n, false, BackendKind::Mem);
+        let ckpt = crashed_db(n, true, BackendKind::Mem);
         let mut ckpt_noseek = ckpt.clone();
         ckpt_noseek.log.disable_seek_index();
 
@@ -123,6 +124,37 @@ fn bench(c: &mut Criterion) {
                     BatchSize::LargeInput,
                 )
             });
+        }
+
+        // The fsync-bound axis, smallest size only: the same checkpointed
+        // crash image living on real files. Recovery's repair pass and
+        // every page it installs now pay real fsyncs; each timed iteration
+        // recovers a fresh on-disk copy (the clone in the untimed setup
+        // copies the backing directory).
+        if n == sizes[0] {
+            let file_ckpt = crashed_db(n, true, BackendKind::File);
+            let mut probe = file_ckpt.clone();
+            let file_stats = Physiological.recover(&mut probe).unwrap();
+            assert_eq!(
+                probe.volatile_theory_state(),
+                seeked_state,
+                "file backend changed the recovered state"
+            );
+            println!(
+                "recovery_throughput shape-check [n={n}]: file backend decodes {} records / {} bytes",
+                file_stats.records_decoded, file_stats.bytes_scanned,
+            );
+            group.bench_with_input(
+                BenchmarkId::new("file_ckpt_seek", n),
+                &file_ckpt,
+                |b, image| {
+                    b.iter_batched(
+                        || (*image).clone(),
+                        |mut db| Physiological.recover(&mut db).unwrap(),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
         }
     }
     group.finish();

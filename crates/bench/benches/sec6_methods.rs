@@ -30,6 +30,7 @@ fn cfg(audit: bool) -> HarnessConfig {
         slots_per_page: 8,
         pool_capacity: None,
         fault: None,
+        ..Default::default()
     }
 }
 
@@ -133,6 +134,18 @@ fn bench(c: &mut Criterion) {
     let ops = workload_for("physiological", 200);
     group.bench_function("physiological_with_invariant_audit/200", |b| {
         b.iter(|| run(&Physiological, &ops, &cfg(true)).expect("harness clean"))
+    });
+    // The fsync-bound axis at the small size only: the same end-to-end
+    // harness run (execute + chaos flush + checkpoint + crash + recover)
+    // with the disk and log on real files, so every group commit and
+    // page install pays an actual fsync. The gap to the in-memory
+    // number is the durability tax.
+    let file_cfg = HarnessConfig {
+        backend: redo_sim::backend::BackendKind::File,
+        ..cfg(false)
+    };
+    group.bench_function("physiological_file_backend/200", |b| {
+        b.iter(|| run(&Physiological, &ops, &file_cfg).expect("harness clean"))
     });
     group.finish();
 }

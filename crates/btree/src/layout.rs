@@ -16,10 +16,18 @@
 //! helpers, so normal execution and redo replay share one code path.
 
 use redo_sim::page::Page;
+use redo_sim::{SimError, SimResult};
 use redo_workload::pages::{PageId, SlotId};
 
 const LEAF_BIT: u64 = 1 << 63;
 const INIT_BIT: u64 = 1 << 62;
+
+/// Checked slot-index narrowing: a computed slot index that does not
+/// fit `u16` is a geometry violation by the caller, and wrapping it
+/// would silently address a *different* slot — panic loudly instead.
+fn slot(i: usize) -> SlotId {
+    SlotId(u16::try_from(i).expect("slot index exceeds u16 page geometry"))
+}
 
 /// Maximum keys per node for a page of `spp` slots.
 ///
@@ -58,7 +66,7 @@ pub fn n_keys(page: &Page) -> usize {
 #[must_use]
 pub fn right_sibling(page: &Page) -> Option<PageId> {
     let raw = header(page) & 0xffff_ffff;
-    (raw != 0).then(|| PageId((raw - 1) as u32))
+    (raw != 0).then(|| PageId(u32::try_from(raw - 1).expect("masked to 32 bits")))
 }
 
 fn set_header(page: &mut Page, leaf: bool, n: usize, right: Option<PageId>) {
@@ -66,7 +74,8 @@ fn set_header(page: &mut Page, leaf: bool, n: usize, right: Option<PageId>) {
     if leaf {
         h |= LEAF_BIT;
     }
-    h |= ((n as u64) & 0xffff) << 32;
+    assert!(n <= 0xffff, "key count exceeds the 16-bit header field");
+    h |= (n as u64) << 32;
     h |= right.map_or(0, |p| u64::from(p.0) + 1);
     page.set(SlotId(0), h);
 }
@@ -92,12 +101,12 @@ pub fn format(page: &mut Page, leaf: bool) {
 /// The `i`-th key.
 #[must_use]
 pub fn key(page: &Page, i: usize) -> u64 {
-    page.get(SlotId(1 + i as u16))
+    page.get(slot(1 + i))
 }
 
 /// Sets the `i`-th key.
 pub fn set_key(page: &mut Page, i: usize, k: u64) {
-    page.set(SlotId(1 + i as u16), k);
+    page.set(slot(1 + i), k);
 }
 
 fn value_base(spp: u16) -> usize {
@@ -107,23 +116,35 @@ fn value_base(spp: u16) -> usize {
 /// The `i`-th value (leaf) — parallel to the `i`-th key.
 #[must_use]
 pub fn value(page: &Page, spp: u16, i: usize) -> u64 {
-    page.get(SlotId((value_base(spp) + i) as u16))
+    page.get(slot(value_base(spp) + i))
 }
 
 /// Sets the `i`-th value.
 pub fn set_value(page: &mut Page, spp: u16, i: usize, v: u64) {
-    page.set(SlotId((value_base(spp) + i) as u16), v);
+    page.set(slot(value_base(spp) + i), v);
 }
 
 /// The `i`-th child page id (internal) — there are `n_keys + 1`.
-#[must_use]
-pub fn child(page: &Page, spp: u16, i: usize) -> PageId {
-    PageId(page.get(SlotId((value_base(spp) + i) as u16)) as u32)
+///
+/// # Errors
+///
+/// [`SimError::FieldOverflow`] if the stored slot does not fit a
+/// 32-bit page id — a corrupted node must surface as a structured
+/// error, not descend to a silently truncated page.
+pub fn child(page: &Page, spp: u16, i: usize) -> SimResult<PageId> {
+    let raw = page.get(slot(value_base(spp) + i));
+    match u32::try_from(raw) {
+        Ok(id) => Ok(PageId(id)),
+        Err(_) => Err(SimError::FieldOverflow {
+            field: "child page id",
+            value: raw,
+        }),
+    }
 }
 
 /// Sets the `i`-th child page id.
 pub fn set_child(page: &mut Page, spp: u16, i: usize, c: PageId) {
-    page.set(SlotId((value_base(spp) + i) as u16), u64::from(c.0));
+    page.set(slot(value_base(spp) + i), u64::from(c.0));
 }
 
 /// Binary search among the node's keys: `Ok(i)` exact, `Err(i)`
@@ -214,11 +235,12 @@ pub fn internal_insert(page: &mut Page, spp: u16, k: u64, right_child: PageId) {
         set_key(page, j, key(page, j - 1));
         j -= 1;
     }
-    // Children shift one further (n+1 children).
+    // Children shift one further (n+1 children); the slots move as raw
+    // values — shifting must not require decoding them as page ids.
     let mut j = n + 1;
     while j > i + 1 {
-        let c = child(page, spp, j - 1);
-        set_child(page, spp, j, c);
+        let c = page.get(slot(value_base(spp) + j - 1));
+        page.set(slot(value_base(spp) + j), c);
         j -= 1;
     }
     set_key(page, i, k);
@@ -269,8 +291,8 @@ pub fn split_copy_high(src: &Page, dst: &mut Page, spp: u16) {
             set_key(dst, j, key(src, i));
         }
         for (j, i) in (plan.mid + 1..=n).enumerate() {
-            let c = child(src, spp, i);
-            set_child(dst, spp, j, c);
+            let c = src.get(slot(value_base(spp) + i));
+            dst.set(slot(value_base(spp) + j), c);
         }
         set_n_keys(dst, n - plan.mid - 1);
     }
@@ -390,10 +412,10 @@ mod tests {
         assert_eq!(key(&p, 0), 30);
         assert_eq!(key(&p, 1), 50);
         assert_eq!(key(&p, 2), 70);
-        assert_eq!(child(&p, SPP, 0), PageId(100));
-        assert_eq!(child(&p, SPP, 1), PageId(102));
-        assert_eq!(child(&p, SPP, 2), PageId(101));
-        assert_eq!(child(&p, SPP, 3), PageId(103));
+        assert_eq!(child(&p, SPP, 0).unwrap(), PageId(100));
+        assert_eq!(child(&p, SPP, 1).unwrap(), PageId(102));
+        assert_eq!(child(&p, SPP, 2).unwrap(), PageId(101));
+        assert_eq!(child(&p, SPP, 3).unwrap(), PageId(103));
     }
 
     #[test]
@@ -436,8 +458,8 @@ mod tests {
         assert_eq!(n_keys(&p), 2);
         assert_eq!(n_keys(&right), 2);
         assert_eq!(key(&right, 0), 40);
-        assert_eq!(child(&right, SPP, 0), PageId(203)); // child right of 30
-        assert_eq!(child(&right, SPP, 2), PageId(205));
+        assert_eq!(child(&right, SPP, 0).unwrap(), PageId(203)); // child right of 30
+        assert_eq!(child(&right, SPP, 2).unwrap(), PageId(205));
     }
 
     #[test]

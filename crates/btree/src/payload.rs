@@ -115,7 +115,7 @@ impl BtPayload {
 }
 
 impl LogPayload for BtPayload {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
         match self {
             BtPayload::InitLeaf { page } => {
                 codec::put_u8(buf, 0);
@@ -157,7 +157,7 @@ impl LogPayload for BtPayload {
             BtPayload::PageImage { page, slots } => {
                 codec::put_u8(buf, 5);
                 codec::put_u32(buf, page.0);
-                codec::put_u16(buf, slots.len() as u16);
+                codec::put_u16(buf, codec::count_u16("page-image slot count", slots.len())?);
                 for &s in slots {
                     codec::put_u64(buf, s);
                 }
@@ -179,6 +179,7 @@ impl LogPayload for BtPayload {
             }
             BtPayload::Checkpoint => codec::put_u8(buf, 9),
         }
+        Ok(())
     }
 
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
@@ -284,7 +285,7 @@ mod tests {
     fn codec_roundtrip_every_variant() {
         for p in all_variants() {
             let mut buf = Vec::new();
-            p.encode(&mut buf);
+            p.encode(&mut buf).unwrap();
             let mut pos = 0;
             assert_eq!(BtPayload::decode(&buf, &mut pos).unwrap(), p);
             assert_eq!(pos, buf.len(), "{p:?} decoded short");
@@ -334,13 +335,15 @@ mod tests {
             from: PageId(1),
             to: PageId(2),
         }
-        .encode(&mut gen_buf);
+        .encode(&mut gen_buf)
+        .unwrap();
         let mut img_buf = Vec::new();
         BtPayload::PageImage {
             page: PageId(2),
             slots: vec![0; 64],
         }
-        .encode(&mut img_buf);
+        .encode(&mut img_buf)
+        .unwrap();
         assert!(
             gen_buf.len() * 10 < img_buf.len(),
             "{} vs {}",

@@ -169,7 +169,7 @@ impl BTree {
     }
 
     fn log_apply(&mut self, payload: BtPayload) -> SimResult<Lsn> {
-        let lsn = self.db.log.append(payload.clone());
+        let lsn = self.db.log.append(payload.clone())?;
         apply_payload(&mut self.db, &payload, lsn)?;
         if let BtPayload::SplitCopyHigh { from, to } = payload {
             // Figure 8: the new page must reach disk before any later
@@ -311,14 +311,14 @@ impl BTree {
                 return Ok(());
             }
             let idx = layout::descend_index(&page, key);
-            let child = layout::child(&page, self.spp, idx);
+            let child = layout::child(&page, self.spp, idx)?;
             let child_page = self.read_node(child)?;
             if layout::n_keys(&child_page) == max {
                 self.split_child(current, child)?;
                 // Re-route: the separator may send us right.
                 let page = self.read_page(current)?;
                 let idx = layout::descend_index(&page, key);
-                current = layout::child(&page, self.spp, idx);
+                current = layout::child(&page, self.spp, idx)?;
             } else {
                 current = child;
             }
@@ -341,7 +341,7 @@ impl BTree {
                 });
             }
             let idx = layout::descend_index(&page, key);
-            current = layout::child(&page, self.spp, idx);
+            current = layout::child(&page, self.spp, idx)?;
         }
     }
 
@@ -363,7 +363,7 @@ impl BTree {
                 return Ok(true);
             }
             let idx = layout::descend_index(&page, key);
-            current = layout::child(&page, self.spp, idx);
+            current = layout::child(&page, self.spp, idx)?;
         }
     }
 
@@ -382,7 +382,7 @@ impl BTree {
                 break;
             }
             let idx = layout::descend_index(&page, lo);
-            current = layout::child(&page, self.spp, idx);
+            current = layout::child(&page, self.spp, idx)?;
         }
         let mut out = Vec::new();
         let mut leaf = Some(current);
@@ -413,7 +413,7 @@ impl BTree {
         self.db.log.flush_all();
         let stable = self.db.log.stable_lsn();
         self.db.pool.flush_all(&mut self.db.disk, stable)?;
-        let ck = self.db.log.append(BtPayload::Checkpoint);
+        let ck = self.db.log.append(BtPayload::Checkpoint)?;
         self.db.log.flush_all();
         self.db.disk.set_master(ck);
         Ok(())
@@ -548,7 +548,7 @@ impl BTree {
             } else {
                 Some(layout::key(&page, i))
             };
-            let child = layout::child(&page, self.spp, i);
+            let child = layout::child(&page, self.spp, i)?;
             let (d, c) = self.validate_node(child, child_lo, child_hi, leaves)?;
             total += c;
             match depth {

@@ -6,7 +6,7 @@
 //! redo-check walks       [--ops N] [--vars V] [--seeds K] [--steps S]
 //! redo-check beyond      [--ops N] [--vars V] [--seeds K]
 //! redo-check crash-audit [--method M] [--schedules S] [--ops N] [--pages P]
-//!                        [--seed X] [--capacity C]
+//!                        [--seed X] [--capacity C] [--backend mem|file]
 //! ```
 //!
 //! * `theorems`  — brute-force Theorem 3 / converse / Corollary 4 on
@@ -24,7 +24,9 @@
 //!   recovery. The `online` method additionally exposes its fuzzy
 //!   checkpoint publication (force, pointer swing, truncation) as
 //!   faultable crash points. `--capacity 0` means an unbounded buffer
-//!   pool.
+//!   pool. `--backend file` runs every schedule against the fsync-backed
+//!   file backend in a fresh temporary directory instead of the
+//!   in-memory simulation.
 //!
 //! Exit code 0 = everything checked clean (or, for the broken methods,
 //! the expected violation was found); 1 = a violation of the paper's
@@ -46,6 +48,7 @@ use redo_methods::parallel::{ParallelOnline, ParallelPhysical, ParallelPhysiolog
 use redo_methods::physical::Physical;
 use redo_methods::physiological::Physiological;
 use redo_methods::RecoveryMethod;
+use redo_sim::backend::BackendKind;
 use redo_workload::pages::PageWorkloadSpec;
 use redo_workload::{Shape, WorkloadSpec};
 
@@ -227,12 +230,18 @@ fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
 
 fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
     let capacity: usize = args.get("capacity", 4)?;
+    let backend = match args.get_str("backend", "mem").as_str() {
+        "mem" => BackendKind::Mem,
+        "file" => BackendKind::File,
+        other => return Err(format!("unknown backend {other} (expected mem|file)")),
+    };
     let cfg = CrashAuditConfig {
         schedules: args.get("schedules", 100)?,
         n_ops: args.get("ops", 40)?,
         n_pages: args.get("pages", 6)?,
         seed: args.get("seed", 0)?,
         pool_capacity: if capacity == 0 { None } else { Some(capacity) },
+        backend,
         ..Default::default()
     };
     let method = args.get_str("method", "all");

@@ -47,6 +47,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use redo_methods::harness::HarnessFailure;
 use redo_methods::{RecoveryMethod, RecoveryStats};
+use redo_sim::backend::BackendKind;
 use redo_sim::db::{Db, Geometry};
 use redo_sim::fault::{FaultKind, FaultPlan, InjectedFault};
 use redo_theory::conflict::ConflictGraph;
@@ -82,6 +83,11 @@ pub struct CrashAuditConfig {
     pub chaos: Option<(f64, f64)>,
     /// Page geometry.
     pub slots_per_page: u16,
+    /// Which stable-storage backend each schedule's disk and log live
+    /// on: the in-memory simulation, or real files in a fresh tempdir
+    /// (every probe clone deep-copies into its own directory, so the
+    /// degradation loop exercises real I/O end to end).
+    pub backend: BackendKind,
 }
 
 impl Default for CrashAuditConfig {
@@ -95,6 +101,7 @@ impl Default for CrashAuditConfig {
             checkpoint_every: Some(7),
             chaos: Some((0.7, 0.4)),
             slots_per_page: 8,
+            backend: BackendKind::Mem,
         }
     }
 }
@@ -312,7 +319,8 @@ fn run_schedule<M: RecoveryMethod>(
     } else {
         None
     };
-    let mut db: Db<M::Payload> = Db::with_capacity(
+    let mut db: Db<M::Payload> = Db::on(
+        cfg.backend,
         Geometry {
             slots_per_page: cfg.slots_per_page,
         },
@@ -617,6 +625,22 @@ mod tests {
         let report = audit(&ParallelOnline { threads: 3 }, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
         assert_eq!(report.parallel_probes, cfg.schedules);
+    }
+
+    #[test]
+    fn physiological_survives_crash_audit_on_files() {
+        // The same degradation loop against real files: CRC-framed WAL,
+        // checksummed page files, doublewrite journal, rename-published
+        // checkpoint pointer. Fewer schedules — every clone copies a
+        // directory tree — but the loop itself is unchanged.
+        let cfg = CrashAuditConfig {
+            schedules: 6,
+            n_ops: 24,
+            backend: BackendKind::File,
+            ..Default::default()
+        };
+        let report = audit(&Physiological, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
     }
 
     #[test]

@@ -120,6 +120,7 @@ impl<M: RecoveryMethod> Explorer<'_, M> {
         let key: Vec<(u32, u64)> = crashed
             .disk
             .pages()
+            .into_iter()
             .map(|(id, p)| {
                 (
                     id.0,

@@ -104,7 +104,7 @@ impl RecoveryMethod for LyingCheckpoint {
     fn checkpoint(&self, db: &mut Db<PageOpPayload>) -> SimResult<()> {
         // BUG: the §6.2/§6.3 checkpoint contract is "flush, THEN move
         // the master". This one skips the flush.
-        let ck = db.log.append(PageOpPayload::Checkpoint);
+        let ck = db.log.append(PageOpPayload::Checkpoint)?;
         db.log.flush_all();
         db.disk.set_master(ck);
         Ok(())
@@ -143,6 +143,7 @@ mod tests {
             slots_per_page: 8,
             pool_capacity: None,
             fault: None,
+            ..Default::default()
         }
     }
 

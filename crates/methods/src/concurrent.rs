@@ -186,7 +186,7 @@ impl SharedDb {
         // see the record without also seeing it in the floor.
         let lsn = {
             let mut log = self.inner.log.lock();
-            let lsn = log.append(PageOpPayload::Op(op.clone()));
+            let lsn = log.append(PageOpPayload::Op(op.clone()))?;
             self.inner.inflight.lock().insert(lsn);
             lsn
         };
@@ -296,7 +296,7 @@ impl SharedDb {
                 // far is installed, so recovery need only scan the
                 // checkpoint record itself.
                 .unwrap_or(ck_expected);
-            let ck = log.append(PageOpPayload::FuzzyCheckpoint { dirty, redo_start });
+            let ck = log.append(PageOpPayload::FuzzyCheckpoint { dirty, redo_start })?;
             debug_assert_eq!(ck, ck_expected);
             (ck, redo_start)
         };
@@ -317,7 +317,7 @@ impl SharedDb {
             self.inner.daemon.lock().checkpoints_abandoned += 1;
             return Ok(None);
         }
-        let reclaimed = log.truncate_prefix(redo_start);
+        let reclaimed = log.truncate_prefix(redo_start)?;
         let mut daemon = self.inner.daemon.lock();
         daemon.checkpoints_taken += 1;
         daemon.truncated_bytes += reclaimed;

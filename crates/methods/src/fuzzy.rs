@@ -46,21 +46,25 @@ pub enum FuzzyPayload {
 }
 
 impl LogPayload for FuzzyPayload {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
         match self {
             FuzzyPayload::Op(op) => {
                 codec::put_u8(buf, 0);
-                codec::put_page_op(buf, op);
+                codec::put_page_op(buf, op)?;
             }
             FuzzyPayload::Checkpoint { dirty } => {
                 codec::put_u8(buf, 1);
-                codec::put_u16(buf, dirty.len() as u16);
+                codec::put_u16(
+                    buf,
+                    codec::count_u16("dirty-page-table length", dirty.len())?,
+                );
                 for &(p, lsn) in dirty {
                     codec::put_u32(buf, p.0);
                     codec::put_u64(buf, lsn.0);
                 }
             }
         }
+        Ok(())
     }
 
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
@@ -176,7 +180,7 @@ impl RecoveryMethod for FuzzyPhysiological {
                 "fuzzy-physiological operations read and write exactly one page",
             ));
         }
-        let lsn = db.log.append(FuzzyPayload::Op(op.clone()));
+        let lsn = db.log.append(FuzzyPayload::Op(op.clone()))?;
         db.apply_page_op(op, lsn)?;
         Ok(lsn)
     }
@@ -186,7 +190,7 @@ impl RecoveryMethod for FuzzyPhysiological {
         // and move the master. The WAL rule still requires the log up to
         // the checkpoint record to be stable before the master moves.
         let dirty = Self::dirty_page_table(db);
-        let ck = db.log.append(FuzzyPayload::Checkpoint { dirty });
+        let ck = db.log.append(FuzzyPayload::Checkpoint { dirty })?;
         db.log.flush_all();
         db.disk.set_master(ck);
         Ok(())
@@ -291,7 +295,7 @@ mod tests {
             dirty: vec![(PageId(1), Lsn(4)), (PageId(3), Lsn(9))],
         };
         let mut buf = Vec::new();
-        p.encode(&mut buf);
+        p.encode(&mut buf).unwrap();
         let mut pos = 0;
         assert_eq!(FuzzyPayload::decode(&buf, &mut pos).unwrap(), p);
         assert_eq!(pos, buf.len());

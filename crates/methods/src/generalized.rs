@@ -308,7 +308,7 @@ impl RecoveryMethod for Generalized {
             let stable = db.log.stable_lsn();
             db.pool.flush_all(&mut db.disk, stable)?;
         }
-        let lsn = db.log.append(PageOpPayload::Op(op.clone()));
+        let lsn = db.log.append(PageOpPayload::Op(op.clone()))?;
         db.apply_page_op(op, lsn)?;
         register_constraints(db, op, lsn);
         Ok(lsn)
@@ -321,7 +321,7 @@ impl RecoveryMethod for Generalized {
         // prerequisite pages first; write-graph acyclicity guarantees
         // termination.
         db.pool.flush_all(&mut db.disk, stable)?;
-        let ck = db.log.append(PageOpPayload::Checkpoint);
+        let ck = db.log.append(PageOpPayload::Checkpoint)?;
         db.log.flush_all();
         db.disk.set_master(ck);
         Ok(())

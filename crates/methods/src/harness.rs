@@ -18,6 +18,7 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use redo_sim::backend::BackendKind;
 use redo_sim::db::{Db, Geometry};
 use redo_sim::fault::FaultPlan;
 use redo_sim::SimError;
@@ -57,6 +58,9 @@ pub struct HarnessConfig {
     /// boundary (substrate errors in between are expected — the machine
     /// is dying) and verifies recovery as usual.
     pub fault: Option<FaultPlan>,
+    /// Which stable-storage backend the run's disk and log live on:
+    /// the in-memory simulation or real files in a fresh tempdir.
+    pub backend: BackendKind,
 }
 
 impl Default for HarnessConfig {
@@ -70,6 +74,7 @@ impl Default for HarnessConfig {
             slots_per_page: 8,
             pool_capacity: None,
             fault: None,
+            backend: BackendKind::Mem,
         }
     }
 }
@@ -205,7 +210,8 @@ pub fn run<M: RecoveryMethod>(
     ops: &[PageOp],
     cfg: &HarnessConfig,
 ) -> Result<HarnessReport, HarnessFailure> {
-    let mut db: Db<M::Payload> = Db::with_capacity(
+    let mut db: Db<M::Payload> = Db::on(
+        cfg.backend,
         Geometry {
             slots_per_page: cfg.slots_per_page,
         },

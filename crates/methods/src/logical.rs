@@ -59,7 +59,7 @@ impl RecoveryMethod for Logical {
     fn execute(&self, db: &mut Db<PageOpPayload>, op: &PageOp) -> SimResult<Lsn> {
         // No shape restriction: logical operations may read and write
         // arbitrarily many pages.
-        let lsn = db.log.append(PageOpPayload::Op(op.clone()));
+        let lsn = db.log.append(PageOpPayload::Op(op.clone()))?;
         db.apply_page_op(op, lsn)?;
         Ok(lsn)
     }
@@ -71,7 +71,7 @@ impl RecoveryMethod for Logical {
         if dirty.is_empty() {
             // Nothing to install; still advance the master so recovery
             // scans less log.
-            let ck = db.log.append(PageOpPayload::Checkpoint);
+            let ck = db.log.append(PageOpPayload::Checkpoint)?;
             db.log.flush_all();
             db.disk.set_master(ck);
             return Ok(());
@@ -79,7 +79,7 @@ impl RecoveryMethod for Logical {
         for (id, page) in &dirty {
             db.disk.write_staging(*id, page.clone());
         }
-        let ck = db.log.append(PageOpPayload::Checkpoint);
+        let ck = db.log.append(PageOpPayload::Checkpoint)?;
         db.log.flush_all();
         // The pointer swing: staged pages and the new master install in
         // ONE atomic (and singly faultable) act — a crash point between

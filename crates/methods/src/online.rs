@@ -75,7 +75,7 @@ impl GeneralizedOnline {
             .unwrap_or(ck_expected);
         let ck = db
             .log
-            .append(PageOpPayload::FuzzyCheckpoint { dirty, redo_start });
+            .append(PageOpPayload::FuzzyCheckpoint { dirty, redo_start })?;
         debug_assert_eq!(ck, ck_expected);
         db.log.flush_all();
         if db.log.stable_lsn() < ck {
@@ -85,7 +85,7 @@ impl GeneralizedOnline {
         if db.disk.master() != ck {
             return Ok(None);
         }
-        db.log.truncate_prefix(redo_start);
+        db.log.truncate_prefix(redo_start)?;
         Ok(Some(ck))
     }
 }

@@ -33,23 +33,27 @@ pub enum PageOpPayload {
 }
 
 impl LogPayload for PageOpPayload {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
         match self {
             PageOpPayload::Op(op) => {
                 codec::put_u8(buf, 0);
-                codec::put_page_op(buf, op);
+                codec::put_page_op(buf, op)?;
             }
             PageOpPayload::Checkpoint => codec::put_u8(buf, 1),
             PageOpPayload::FuzzyCheckpoint { dirty, redo_start } => {
                 codec::put_u8(buf, 2);
                 codec::put_u64(buf, redo_start.0);
-                codec::put_u16(buf, dirty.len() as u16);
+                codec::put_u16(
+                    buf,
+                    codec::count_u16("dirty-page-table length", dirty.len())?,
+                );
                 for &(page, rec) in dirty {
                     codec::put_u32(buf, page.0);
                     codec::put_u64(buf, rec.0);
                 }
             }
         }
+        Ok(())
     }
 
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
@@ -87,12 +91,12 @@ mod tests {
         for op in spec.generate(1) {
             let p = PageOpPayload::Op(op);
             let mut buf = Vec::new();
-            p.encode(&mut buf);
+            p.encode(&mut buf).unwrap();
             let mut pos = 0;
             assert_eq!(PageOpPayload::decode(&buf, &mut pos).unwrap(), p);
         }
         let mut buf = Vec::new();
-        PageOpPayload::Checkpoint.encode(&mut buf);
+        PageOpPayload::Checkpoint.encode(&mut buf).unwrap();
         let mut pos = 0;
         assert_eq!(
             PageOpPayload::decode(&buf, &mut pos).unwrap(),
@@ -116,7 +120,7 @@ mod tests {
                 redo_start: Lsn(5),
             };
             let mut buf = Vec::new();
-            p.encode(&mut buf);
+            p.encode(&mut buf).unwrap();
             let mut pos = 0;
             assert_eq!(PageOpPayload::decode(&buf, &mut pos).unwrap(), p);
             assert_eq!(pos, buf.len());
@@ -130,7 +134,7 @@ mod tests {
             redo_start: Lsn(2),
         };
         let mut buf = Vec::new();
-        p.encode(&mut buf);
+        p.encode(&mut buf).unwrap();
         for cut in 1..buf.len() {
             let mut pos = 0;
             assert!(

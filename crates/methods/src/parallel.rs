@@ -166,7 +166,7 @@ where
         let mut routed: BTreeSet<PageId> = BTreeSet::new();
         let mut cursor = db.log.cursor_from(from);
         let mut scan_err: Option<SimError> = None;
-        for rec in cursor.by_ref() {
+        'scan: for rec in cursor.by_ref() {
             let items = match rec.and_then(&mut shard) {
                 Ok(items) => items,
                 Err(e) => {
@@ -178,7 +178,17 @@ where
                 // The page's first item ships its starting image: the
                 // cached copy if recovery already progressed, else the
                 // durable page.
-                let start = routed.insert(page).then(|| start_image(db, page));
+                let start = match routed
+                    .insert(page)
+                    .then(|| start_image(db, page))
+                    .transpose()
+                {
+                    Ok(start) => start,
+                    Err(e) => {
+                        scan_err = Some(e);
+                        break 'scan;
+                    }
+                };
                 let w = page.0 as usize % threads;
                 bufs[w].push(WorkItem {
                     page,
@@ -230,11 +240,11 @@ where
 /// The durable (or already-cached) starting image for a page: recovery
 /// normally begins with an empty pool, but re-entrant recovery must see
 /// its own earlier progress just as the serial scan's `fetch` does.
-fn start_image<P: LogPayload>(db: &Db<P>, page: PageId) -> Page {
-    db.pool
-        .get(page)
-        .cloned()
-        .unwrap_or_else(|| db.disk.read_page(page, db.geometry.slots_per_page))
+fn start_image<P: LogPayload>(db: &Db<P>, page: PageId) -> SimResult<Page> {
+    match db.pool.get(page) {
+        Some(p) => Ok(p.clone()),
+        None => db.disk.read_page(page, db.geometry.slots_per_page),
+    }
 }
 
 /// Installs rebuilt images into the buffer pool and folds the

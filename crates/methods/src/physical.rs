@@ -53,12 +53,12 @@ pub enum PhysPayload {
 }
 
 impl LogPayload for PhysPayload {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
         match self {
             PhysPayload::Writes { op_id, writes } => {
                 codec::put_u8(buf, 0);
                 codec::put_u32(buf, *op_id);
-                codec::put_u16(buf, writes.len() as u16);
+                codec::put_u16(buf, codec::count_u16("after-image count", writes.len())?);
                 for &(c, v) in writes {
                     codec::put_cell(buf, c);
                     codec::put_u64(buf, v);
@@ -68,13 +68,17 @@ impl LogPayload for PhysPayload {
             PhysPayload::FuzzyCheckpoint { dirty, redo_start } => {
                 codec::put_u8(buf, 2);
                 codec::put_u64(buf, redo_start.0);
-                codec::put_u16(buf, dirty.len() as u16);
+                codec::put_u16(
+                    buf,
+                    codec::count_u16("dirty-page-table length", dirty.len())?,
+                );
                 for &(page, rec) in dirty {
                     codec::put_u32(buf, page.0);
                     codec::put_u64(buf, rec.0);
                 }
             }
         }
+        Ok(())
     }
 
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
@@ -175,7 +179,7 @@ impl Physical {
             .unwrap_or(ck_expected);
         let ck = db
             .log
-            .append(PhysPayload::FuzzyCheckpoint { dirty, redo_start });
+            .append(PhysPayload::FuzzyCheckpoint { dirty, redo_start })?;
         debug_assert_eq!(ck, ck_expected);
         db.log.flush_all();
         if db.log.stable_lsn() < ck {
@@ -185,7 +189,7 @@ impl Physical {
         if db.disk.master() != ck {
             return Ok(None);
         }
-        db.log.truncate_prefix(redo_start);
+        db.log.truncate_prefix(redo_start)?;
         Ok(Some(ck))
     }
 }
@@ -213,7 +217,7 @@ impl RecoveryMethod for Physical {
         let lsn = db.log.append(PhysPayload::Writes {
             op_id: op.id,
             writes: writes.clone(),
-        });
+        })?;
         for (cell, v) in writes {
             // Fetch through the steal path: under the fuzzy-checkpoint
             // discipline nothing else cleans the pool, so a bounded
@@ -232,7 +236,7 @@ impl RecoveryMethod for Physical {
         db.log.flush_all();
         let stable = db.log.stable_lsn();
         db.pool.flush_all(&mut db.disk, stable)?;
-        let ck = db.log.append(PhysPayload::Checkpoint);
+        let ck = db.log.append(PhysPayload::Checkpoint)?;
         db.log.flush_all();
         db.disk.set_master(ck);
         Ok(())
@@ -332,12 +336,12 @@ mod tests {
             )],
         };
         let mut buf = Vec::new();
-        p.encode(&mut buf);
+        p.encode(&mut buf).unwrap();
         let mut pos = 0;
         assert_eq!(PhysPayload::decode(&buf, &mut pos).unwrap(), p);
         assert_eq!(pos, buf.len());
         let mut buf = Vec::new();
-        PhysPayload::Checkpoint.encode(&mut buf);
+        PhysPayload::Checkpoint.encode(&mut buf).unwrap();
         let mut pos = 0;
         assert_eq!(
             PhysPayload::decode(&buf, &mut pos).unwrap(),
@@ -357,7 +361,7 @@ mod tests {
                 redo_start: Lsn(5),
             };
             let mut buf = Vec::new();
-            p.encode(&mut buf);
+            p.encode(&mut buf).unwrap();
             let mut pos = 0;
             assert_eq!(PhysPayload::decode(&buf, &mut pos).unwrap(), p);
             assert_eq!(pos, buf.len());

@@ -55,7 +55,7 @@ impl RecoveryMethod for Physiological {
 
     fn execute(&self, db: &mut Db<PageOpPayload>, op: &PageOp) -> SimResult<Lsn> {
         check_shape(op)?;
-        let lsn = db.log.append(PageOpPayload::Op(op.clone()));
+        let lsn = db.log.append(PageOpPayload::Op(op.clone()))?;
         db.apply_page_op(op, lsn)?;
         Ok(lsn)
     }
@@ -67,7 +67,7 @@ impl RecoveryMethod for Physiological {
         db.log.flush_all();
         let stable = db.log.stable_lsn();
         db.pool.flush_all(&mut db.disk, stable)?;
-        let ck = db.log.append(PageOpPayload::Checkpoint);
+        let ck = db.log.append(PageOpPayload::Checkpoint)?;
         db.log.flush_all();
         db.disk.set_master(ck);
         Ok(())

@@ -243,7 +243,9 @@ impl BufferPool {
     ///
     /// # Errors
     ///
-    /// [`SimError::PoolExhausted`] if no frame can be legally freed.
+    /// [`SimError::PoolExhausted`] if no frame can be legally freed;
+    /// [`SimError::TornPage`] if the disk copy is torn (repair it
+    /// before fetching).
     pub fn fetch(
         &mut self,
         disk: &mut Disk,
@@ -257,7 +259,7 @@ impl BufferPool {
                     self.evict_one(disk, stable_lsn)?;
                 }
             }
-            let page = disk.read_page(id, slots_per_page);
+            let page = disk.read_page(id, slots_per_page)?;
             self.frames.insert(
                 id,
                 Frame {
@@ -793,7 +795,7 @@ mod tests {
         pool.update(PageId(0), Lsn(1), |p| p.set(SlotId(0), 7))
             .unwrap();
         pool.fetch(&mut disk, PageId(1), 4, Lsn(10)).unwrap();
-        assert_eq!(disk.read_page(PageId(0), 4).get(SlotId(0)), 7);
+        assert_eq!(disk.read_page(PageId(0), 4).unwrap().get(SlotId(0)), 7);
     }
 
     #[test]

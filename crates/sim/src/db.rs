@@ -57,12 +57,25 @@ impl<P: LogPayload> Db<P> {
     /// A fresh database with a bounded buffer pool.
     #[must_use]
     pub fn with_capacity(geometry: Geometry, capacity: Option<usize>) -> Db<P> {
+        Db::on(crate::backend::BackendKind::Mem, geometry, capacity)
+    }
+
+    /// A fresh database whose disk and log live on the chosen backend —
+    /// [`BackendKind::Mem`](crate::backend::BackendKind::Mem) for the
+    /// simulated devices, [`BackendKind::File`](crate::backend::BackendKind::File)
+    /// for real files in a fresh temporary directory.
+    #[must_use]
+    pub fn on(
+        kind: crate::backend::BackendKind,
+        geometry: Geometry,
+        capacity: Option<usize>,
+    ) -> Db<P> {
         // One injector shared by both stable-storage devices, so a fault
         // plan's event counter spans disk writes and log flushes alike.
         let injector = FaultInjector::new();
-        let mut disk = Disk::new();
+        let mut disk = Disk::on(kind);
         disk.injector = injector.clone();
-        let mut log = LogManager::new();
+        let mut log = LogManager::on(kind);
         log.injector = injector.clone();
         Db {
             disk,
@@ -317,8 +330,8 @@ mod tests {
     struct OpRec(PageOp);
 
     impl LogPayload for OpRec {
-        fn encode(&self, buf: &mut Vec<u8>) {
-            codec::put_page_op(buf, &self.0);
+        fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
+            codec::put_page_op(buf, &self.0)
         }
         fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
             Ok(OpRec(codec::get_page_op(input, pos)?))
@@ -342,26 +355,26 @@ mod tests {
     fn apply_page_op_updates_cache_not_disk() {
         let mut db: Db<OpRec> = Db::new(Geometry::default());
         let op = blind_op(0, 0, 1);
-        let lsn = db.log.append(OpRec(op.clone()));
+        let lsn = db.log.append(OpRec(op.clone())).unwrap();
         db.apply_page_op(&op, lsn).unwrap();
         let cell = op.writes[0];
         assert_eq!(db.read_cell(cell).unwrap(), op.output(cell, &[]));
-        assert_eq!(db.disk.read_page(PageId(0), 8).get(SlotId(1)), 0);
+        assert_eq!(db.disk.read_page(PageId(0), 8).unwrap().get(SlotId(1)), 0);
     }
 
     #[test]
     fn crash_loses_cache_keeps_disk() {
         let mut db: Db<OpRec> = Db::new(Geometry::default());
         let op = blind_op(0, 0, 1);
-        let lsn = db.log.append(OpRec(op.clone()));
+        let lsn = db.log.append(OpRec(op.clone())).unwrap();
         db.apply_page_op(&op, lsn).unwrap();
         db.flush_everything().unwrap();
         let op2 = blind_op(1, 0, 2);
-        let lsn2 = db.log.append(OpRec(op2.clone()));
+        let lsn2 = db.log.append(OpRec(op2.clone())).unwrap();
         db.apply_page_op(&op2, lsn2).unwrap();
         db.crash();
         assert_eq!(db.crashes(), 1);
-        let page = db.disk.read_page(PageId(0), 8);
+        let page = db.disk.read_page(PageId(0), 8).unwrap();
         assert_eq!(page.get(SlotId(1)), op.output(op.writes[0], &[]));
         assert_eq!(page.get(SlotId(2)), 0, "unflushed update lost");
         // Stable log retains only the first record.
@@ -372,7 +385,7 @@ mod tests {
     fn wal_rule_enforced_through_db() {
         let mut db: Db<OpRec> = Db::new(Geometry::default());
         let op = blind_op(0, 0, 1);
-        let lsn = db.log.append(OpRec(op.clone()));
+        let lsn = db.log.append(OpRec(op.clone())).unwrap();
         db.apply_page_op(&op, lsn).unwrap();
         // Without flushing the log, the page flush must fail.
         let stable = db.log.stable_lsn();
@@ -397,7 +410,7 @@ mod tests {
         let run = |crash_halfway: bool| {
             let mut db: Db<OpRec> = Db::new(Geometry::default());
             for op in &ops {
-                let lsn = db.log.append(OpRec(op.clone()));
+                let lsn = db.log.append(OpRec(op.clone())).unwrap();
                 db.apply_page_op(op, lsn).unwrap();
                 if crash_halfway {
                     db.flush_everything().unwrap();
@@ -413,7 +426,7 @@ mod tests {
     fn volatile_state_overlays_cache() {
         let mut db: Db<OpRec> = Db::new(Geometry::default());
         let op = blind_op(0, 0, 1);
-        let lsn = db.log.append(OpRec(op.clone()));
+        let lsn = db.log.append(OpRec(op.clone())).unwrap();
         db.apply_page_op(&op, lsn).unwrap();
         let vol = db.volatile_theory_state();
         let stable = db.stable_theory_state();
@@ -444,7 +457,7 @@ mod tests {
             f_seed: 3,
         };
         let mut db: Db<OpRec> = Db::with_capacity(Geometry::default(), Some(1));
-        let lsn = db.log.append(OpRec(op.clone()));
+        let lsn = db.log.append(OpRec(op.clone())).unwrap();
         let err = db.apply_page_op(&op, lsn).unwrap_err();
         assert_eq!(err, SimError::PoolExhausted);
         assert!(
@@ -454,7 +467,7 @@ mod tests {
         assert_eq!(db.volatile_theory_state(), db.stable_theory_state());
         // A pool that fits the op applies it fully.
         let mut db: Db<OpRec> = Db::with_capacity(Geometry::default(), Some(2));
-        let lsn = db.log.append(OpRec(op.clone()));
+        let lsn = db.log.append(OpRec(op.clone())).unwrap();
         db.apply_page_op(&op, lsn).unwrap();
         assert_eq!(db.pool.dirty_pages().len(), 2);
         for &cell in &op.writes {
@@ -470,7 +483,7 @@ mod tests {
     fn volatile_state_overlays_clean_cached_pages_by_construction() {
         let mut db: Db<OpRec> = Db::new(Geometry::default());
         let op = blind_op(0, 2, 1);
-        let lsn = db.log.append(OpRec(op.clone()));
+        let lsn = db.log.append(OpRec(op.clone())).unwrap();
         db.apply_page_op(&op, lsn).unwrap();
         db.flush_everything().unwrap();
         // Page 2 is now cached AND clean; the overlay must still cover
@@ -495,13 +508,13 @@ mod tests {
         let mut db: Db<OpRec> = Db::new(Geometry::default());
         // Install op 0 durably on page 0.
         let op0 = blind_op(0, 0, 1);
-        let lsn0 = db.log.append(OpRec(op0.clone()));
+        let lsn0 = db.log.append(OpRec(op0.clone())).unwrap();
         db.apply_page_op(&op0, lsn0).unwrap();
         db.flush_everything().unwrap();
         let durable = db.stable_theory_state();
         // Op 1 updates the same page; its flush tears.
         let op1 = blind_op(1, 0, 3);
-        let lsn1 = db.log.append(OpRec(op1.clone()));
+        let lsn1 = db.log.append(OpRec(op1.clone())).unwrap();
         db.apply_page_op(&op1, lsn1).unwrap();
         db.log.flush_all();
         db.arm_faults(FaultPlan {
@@ -531,10 +544,10 @@ mod tests {
         use crate::fault::{FaultKind, FaultPlan};
         let mut db: Db<OpRec> = Db::new(Geometry::default());
         let op0 = blind_op(0, 0, 1);
-        let lsn0 = db.log.append(OpRec(op0.clone()));
+        let lsn0 = db.log.append(OpRec(op0.clone())).unwrap();
         db.apply_page_op(&op0, lsn0).unwrap();
         let op1 = blind_op(1, 1, 2);
-        let lsn1 = db.log.append(OpRec(op1.clone()));
+        let lsn1 = db.log.append(OpRec(op1.clone())).unwrap();
         db.apply_page_op(&op1, lsn1).unwrap();
         // The second record's flush tears mid-frame.
         db.arm_faults(FaultPlan {
@@ -560,7 +573,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..20 {
             let op = blind_op(i, i % 3, (i % 8) as u16);
-            let lsn = db.log.append(OpRec(op.clone()));
+            let lsn = db.log.append(OpRec(op.clone())).unwrap();
             db.apply_page_op(&op, lsn).unwrap();
             db.chaos_flush(&mut rng, 0.5, 0.5).unwrap();
             // Invariant: no disk page may carry an LSN beyond the stable

@@ -10,141 +10,142 @@
 //! area](Disk::write_staging) that becomes the installed state only when
 //! the checkpoint record "swings the pointer"
 //! ([`Disk::promote_staging`]).
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! `Disk` itself owns the *protocol*: fault-injector consultation, I/O
+//! accounting, and the checkpoint-install discipline. Where the durable
+//! bytes actually live is a [`StorageBackend`] — in-memory simulation by
+//! default, real checksummed files via
+//! [`crate::backend::BackendKind::File`].
 
 use redo_theory::log::Lsn;
 use redo_theory::state::{State, Value};
-use redo_workload::pages::{PageId, SlotId};
+use redo_workload::pages::PageId;
 
+use crate::backend::{BackendKind, StorageBackend};
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultDecision, FaultInjector, InjectedFault};
 use crate::page::Page;
 
-/// Simulated stable storage.
-#[derive(Clone, Debug, Default)]
+/// Simulated stable storage over a pluggable [`StorageBackend`].
+#[derive(Clone, Debug)]
 pub struct Disk {
-    current: BTreeMap<PageId, Page>,
-    staging: BTreeMap<PageId, Page>,
-    master_lsn: Lsn,
+    backend: Box<dyn StorageBackend>,
     page_writes: u64,
     /// Shared crash-point switchboard ([`crate::db::Db`] wires the same
     /// injector into the log manager).
     pub(crate) injector: FaultInjector,
-    /// Pages whose last write was torn — the per-page "checksum failed"
-    /// flag recovery can read. Survives crashes (the damage is durable).
-    torn: BTreeSet<PageId>,
-    /// Pre-images of torn pages: the page-journal / doublewrite copy a
-    /// real system keeps so torn writes are repairable. Durable.
-    shadow: BTreeMap<PageId, Page>,
+}
+
+impl Default for Disk {
+    fn default() -> Disk {
+        Disk::new()
+    }
 }
 
 impl Disk {
-    /// An empty disk: every page reads as freshly formatted (zeroed,
-    /// LSN 0).
+    /// An empty in-memory disk: every page reads as freshly formatted
+    /// (zeroed, LSN 0).
     #[must_use]
     pub fn new() -> Disk {
-        Disk::default()
+        Disk::on(BackendKind::Mem)
+    }
+
+    /// An empty disk on the given backend.
+    #[must_use]
+    pub fn on(kind: BackendKind) -> Disk {
+        Disk {
+            backend: kind.new_storage(),
+            page_writes: 0,
+            injector: FaultInjector::default(),
+        }
     }
 
     /// Reads a page (a copy — disk reads transfer, they don't alias).
     /// Absent pages materialize as zeroed pages of the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TornPage`] if the page's last write only partially
+    /// landed (checksum mismatch) — the caller must run
+    /// [`Disk::repair_torn`] (normally via
+    /// [`crate::db::Db::repair_after_crash`]) before reading.
+    pub fn read_page(&self, id: PageId, slots_per_page: u16) -> SimResult<Page> {
+        self.backend.read_page(id, slots_per_page)
+    }
+
+    /// Reads a page's raw durable content without the torn check — what
+    /// the medium actually holds, garbage included. For state audits and
+    /// damage inspection, never for recovery reads.
     #[must_use]
-    pub fn read_page(&self, id: PageId, slots_per_page: u16) -> Page {
-        self.current
-            .get(&id)
-            .cloned()
-            .unwrap_or_else(|| Page::new(slots_per_page))
+    pub fn raw_page(&self, id: PageId, slots_per_page: u16) -> Page {
+        self.backend.raw_page(id, slots_per_page)
     }
 
     /// The LSN of the page's durable copy (`Lsn::ZERO` when never
     /// written).
     #[must_use]
     pub fn page_lsn(&self, id: PageId) -> Lsn {
-        self.current.get(&id).map_or(Lsn::ZERO, Page::lsn)
+        self.backend.page_lsn(id)
     }
 
     /// Writes a page to the installed state. Atomic — unless an armed
     /// [`FaultInjector`] picks this write as its crash point, in which
-    /// case it may land torn (partially transferred, flagged) or not at
-    /// all.
+    /// case it may land torn (partially transferred, detectably damaged)
+    /// or not at all.
     pub fn write_page(&mut self, id: PageId, page: Page) {
         match self.injector.on_page_write() {
             FaultDecision::Proceed => {
                 self.page_writes += 1;
-                self.current.insert(id, page);
+                self.backend.write_page(id, page);
             }
-            FaultDecision::Tear { sectors } => self.tear_write(id, page, sectors),
+            FaultDecision::Tear { sectors } => {
+                if self.backend.tear_page(id, page, sectors) {
+                    self.page_writes += 1;
+                    self.injector.record_injected(InjectedFault::TornWrite(id));
+                } else {
+                    // A one-sector page cannot tear; the write just
+                    // never lands.
+                    self.injector.record_injected(InjectedFault::Clean);
+                }
+            }
             FaultDecision::Suppress | FaultDecision::Truncate { .. } => {}
         }
     }
 
-    /// Delivers a torn write: the first `sectors` slots (and the page-LSN
-    /// header, which rides in sector 0) come from the new image, the rest
-    /// keep their old bytes. The pre-image goes to the shadow (page
-    /// journal) and the page is flagged torn.
-    fn tear_write(&mut self, id: PageId, new: Page, sectors: u16) {
-        let spp = new.slot_count();
-        if spp < 2 {
-            // A one-sector page cannot tear; the write just never lands.
-            self.injector.record_injected(InjectedFault::Clean);
-            return;
-        }
-        let k = sectors.clamp(1, spp - 1);
-        let old = self.read_page(id, spp);
-        let mut torn = old.clone();
-        torn.set_lsn(new.lsn());
-        for s in 0..k {
-            torn.set(SlotId(s), new.get(SlotId(s)));
-        }
-        self.page_writes += 1;
-        self.shadow.entry(id).or_insert(old);
-        self.torn.insert(id);
-        self.current.insert(id, torn);
-        self.injector.record_injected(InjectedFault::TornWrite(id));
-    }
-
-    /// Is this page flagged torn (its last write only partially landed)?
+    /// Is this page's durable copy torn (its last write only partially
+    /// landed)?
     #[must_use]
     pub fn is_torn(&self, id: PageId) -> bool {
-        self.torn.contains(&id)
+        self.backend.is_torn(id)
     }
 
-    /// Pages currently flagged torn, in id order.
+    /// Pages currently torn, in id order.
     #[must_use]
     pub fn torn_pages(&self) -> Vec<PageId> {
-        self.torn.iter().copied().collect()
+        self.backend.torn_pages()
     }
 
     /// Restores every torn page from its journaled pre-image and clears
-    /// the torn flags, returning the repaired ids. Recovery runs this
+    /// the torn state, returning the repaired ids. Recovery runs this
     /// before reading any page: a torn page's content is garbage, but its
     /// pre-image is a state the durable log explains, so repairing back
     /// to it keeps the whole disk explainable.
     pub fn repair_torn(&mut self) -> Vec<PageId> {
-        let torn = std::mem::take(&mut self.torn);
-        for &id in &torn {
-            if let Some(pre) = self.shadow.remove(&id) {
-                self.current.insert(id, pre);
-            }
-        }
-        torn.into_iter().collect()
+        self.backend.repair_torn()
     }
 
     /// Atomically writes a *set* of pages: either all reach the installed
     /// state or none do. This is the "large atomic transition" §5 and §7
     /// identify as the price of multi-variable write sets — real systems
-    /// approximate it with shadowing or intentions lists; the simulator
-    /// grants it as a primitive and the benchmarks charge one page write
-    /// per member.
+    /// approximate it with shadowing or intentions lists (which is
+    /// literally what the file backend does); the benchmarks charge one
+    /// page write per member.
     pub fn write_pages_atomic(&mut self, pages: Vec<(PageId, Page)>) {
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
             return;
         }
-        for (id, page) in pages {
-            self.page_writes += 1;
-            self.current.insert(id, page);
-        }
+        self.page_writes += pages.len() as u64;
+        self.backend.write_pages(pages);
     }
 
     /// Writes a page to the staging area (not yet installed). One
@@ -156,13 +157,13 @@ impl Disk {
             return;
         }
         self.page_writes += 1;
-        self.staging.insert(id, page);
+        self.backend.write_staging(id, page);
     }
 
     /// Number of staged pages.
     #[must_use]
     pub fn staging_len(&self) -> usize {
-        self.staging.len()
+        self.backend.staging_len()
     }
 
     /// The checkpoint pointer swing (§6.1): atomically replaces the
@@ -175,16 +176,13 @@ impl Disk {
     /// [`SimError::EmptyStaging`] if nothing is staged — a pointer swing
     /// would install nothing and indicates a method bug.
     pub fn promote_staging(&mut self) -> SimResult<()> {
-        if self.staging.is_empty() {
+        if self.backend.staging_len() == 0 {
             return Err(SimError::EmptyStaging);
         }
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
             return Ok(());
         }
-        let staged = std::mem::take(&mut self.staging);
-        for (id, page) in staged {
-            self.current.insert(id, page);
-        }
+        self.backend.promote_staging();
         Ok(())
     }
 
@@ -196,46 +194,51 @@ impl Disk {
     /// installs the whole checkpoint or none of it. (Calling
     /// [`Disk::promote_staging`] and [`Disk::set_master`] separately
     /// would expose a window where staged pages are installed but the
-    /// master still points at the old checkpoint.)
+    /// master still points at the old checkpoint.) A crash point here
+    /// leaves the backend's pre-commit debris (a written-but-unrenamed
+    /// temp file, for the file backend) and installs nothing.
     pub fn swing_pointer(&mut self, master: Lsn) {
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            self.backend.abandon_install(master);
             return;
         }
-        let staged = std::mem::take(&mut self.staging);
-        for (id, page) in staged {
-            self.current.insert(id, page);
-        }
-        self.master_lsn = master;
+        self.backend.swing_pointer(master);
     }
 
     /// Discards the staging area (e.g. when a quiesce is abandoned).
     pub fn discard_staging(&mut self) {
-        self.staging.clear();
+        self.backend.discard_staging();
     }
 
     /// Durably records the checkpoint pointer (the LSN recovery should
     /// scan from). One faultable event; the master write itself is
-    /// atomic (it is a single sector).
+    /// atomic (a single sector in the simulation, a temp + `fsync` +
+    /// `rename` on files). A crash point here leaves pre-commit debris
+    /// and the old pointer.
     pub fn set_master(&mut self, lsn: Lsn) {
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            self.backend.abandon_install(lsn);
             return;
         }
-        self.master_lsn = lsn;
+        self.backend.set_master(lsn);
     }
 
     /// The durable checkpoint pointer.
     #[must_use]
     pub fn master(&self) -> Lsn {
-        self.master_lsn
+        self.backend.master()
     }
 
     /// Crash handling: installed pages and the master record survive; the
     /// staging area, being unreferenced until a pointer swing, is treated
-    /// as garbage and dropped. Torn flags and page-journal pre-images are
-    /// durable media state and survive too — repairing them is recovery's
-    /// first job ([`crate::db::Db::repair_after_crash`]).
+    /// as garbage and dropped. Torn damage is durable media state and
+    /// survives too — repairing it is recovery's first job
+    /// ([`crate::db::Db::repair_after_crash`]). The file backend also
+    /// resolves interrupted installs here (replays a committed intentions
+    /// list, discards uncommitted debris) and relearns everything else
+    /// from the files.
     pub fn crash(&mut self) {
-        self.staging.clear();
+        self.backend.crash();
     }
 
     /// Total page writes issued (installed + staged) — an I/O metric for
@@ -245,9 +248,18 @@ impl Disk {
         self.page_writes
     }
 
-    /// Pages currently materialized in the installed state.
-    pub fn pages(&self) -> impl Iterator<Item = (PageId, &Page)> {
-        self.current.iter().map(|(&id, p)| (id, p))
+    /// Snapshot of the pages currently materialized in the installed
+    /// state (raw durable content), in id order.
+    #[must_use]
+    pub fn pages(&self) -> Vec<(PageId, Page)> {
+        self.backend.pages()
+    }
+
+    /// The backend's backing directory, when the pages live in real
+    /// files (tests damage them out-of-band).
+    #[must_use]
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.backend.dir()
     }
 
     /// Projects the installed state into a theory-level [`State`] at slot
@@ -257,12 +269,14 @@ impl Disk {
     #[must_use]
     pub fn theory_state(&self, slots_per_page: u16) -> State {
         let mut s = State::zeroed();
-        for (&id, page) in &self.current {
+        for (id, page) in self.backend.pages() {
             for (slot, &v) in page.slots().iter().enumerate() {
                 if v != 0 {
                     let var = redo_workload::pages::Cell {
                         page: id,
-                        slot: redo_workload::pages::SlotId(slot as u16),
+                        slot: redo_workload::pages::SlotId(
+                            u16::try_from(slot).expect("slot index bounded by page geometry"),
+                        ),
                     }
                     .var(slots_per_page);
                     s.set(var, Value(v));
@@ -278,158 +292,205 @@ mod tests {
     use super::*;
     use redo_workload::pages::SlotId;
 
+    /// Every test in this module runs against both backends: the
+    /// protocol in the `Disk` wrapper must not care where bytes live.
+    fn both(f: impl Fn(Disk)) {
+        f(Disk::on(BackendKind::Mem));
+        f(Disk::on(BackendKind::File));
+    }
+
     #[test]
     fn absent_pages_read_zeroed() {
-        let d = Disk::new();
-        let p = d.read_page(PageId(9), 4);
-        assert_eq!(p.lsn(), Lsn::ZERO);
-        assert!(p.slots().iter().all(|&s| s == 0));
-        assert_eq!(d.page_lsn(PageId(9)), Lsn::ZERO);
+        both(|d| {
+            let p = d.read_page(PageId(9), 4).unwrap();
+            assert_eq!(p.lsn(), Lsn::ZERO);
+            assert!(p.slots().iter().all(|&s| s == 0));
+            assert_eq!(d.page_lsn(PageId(9)), Lsn::ZERO);
+        });
     }
 
     #[test]
     fn write_read_roundtrip() {
-        let mut d = Disk::new();
-        let mut p = Page::new(4);
-        p.set(SlotId(1), 7);
-        p.set_lsn(Lsn(3));
-        d.write_page(PageId(0), p.clone());
-        assert_eq!(d.read_page(PageId(0), 4), p);
-        assert_eq!(d.page_lsn(PageId(0)), Lsn(3));
-        assert_eq!(d.page_writes(), 1);
+        both(|mut d| {
+            let mut p = Page::new(4);
+            p.set(SlotId(1), 7);
+            p.set_lsn(Lsn(3));
+            d.write_page(PageId(0), p.clone());
+            assert_eq!(d.read_page(PageId(0), 4).unwrap(), p);
+            assert_eq!(d.page_lsn(PageId(0)), Lsn(3));
+            assert_eq!(d.page_writes(), 1);
+        });
     }
 
     #[test]
     fn staging_is_invisible_until_promoted() {
-        let mut d = Disk::new();
-        let mut p = Page::new(4);
-        p.set(SlotId(0), 42);
-        d.write_staging(PageId(1), p);
-        assert_eq!(d.read_page(PageId(1), 4).get(SlotId(0)), 0);
-        d.promote_staging().unwrap();
-        assert_eq!(d.read_page(PageId(1), 4).get(SlotId(0)), 42);
-        assert_eq!(d.staging_len(), 0);
+        both(|mut d| {
+            let mut p = Page::new(4);
+            p.set(SlotId(0), 42);
+            d.write_staging(PageId(1), p);
+            assert_eq!(d.read_page(PageId(1), 4).unwrap().get(SlotId(0)), 0);
+            d.promote_staging().unwrap();
+            assert_eq!(d.read_page(PageId(1), 4).unwrap().get(SlotId(0)), 42);
+            assert_eq!(d.staging_len(), 0);
+        });
     }
 
     #[test]
     fn promote_empty_staging_is_an_error() {
-        let mut d = Disk::new();
-        assert_eq!(d.promote_staging(), Err(SimError::EmptyStaging));
+        both(|mut d| {
+            assert_eq!(d.promote_staging(), Err(SimError::EmptyStaging));
+        });
     }
 
     #[test]
     fn crash_drops_staging_keeps_installed() {
-        let mut d = Disk::new();
-        let mut p = Page::new(4);
-        p.set(SlotId(0), 1);
-        d.write_page(PageId(0), p.clone());
-        p.set(SlotId(0), 2);
-        d.write_staging(PageId(0), p);
-        d.set_master(Lsn(5));
-        d.crash();
-        assert_eq!(d.read_page(PageId(0), 4).get(SlotId(0)), 1);
-        assert_eq!(d.staging_len(), 0);
-        assert_eq!(d.master(), Lsn(5));
+        both(|mut d| {
+            let mut p = Page::new(4);
+            p.set(SlotId(0), 1);
+            d.write_page(PageId(0), p.clone());
+            p.set(SlotId(0), 2);
+            d.write_staging(PageId(0), p);
+            d.set_master(Lsn(5));
+            d.crash();
+            assert_eq!(d.read_page(PageId(0), 4).unwrap().get(SlotId(0)), 1);
+            assert_eq!(d.staging_len(), 0);
+            assert_eq!(d.master(), Lsn(5));
+        });
     }
 
     #[test]
     fn theory_projection_covers_written_cells() {
-        let mut d = Disk::new();
-        let mut p = Page::new(8);
-        p.set(SlotId(3), 11);
-        d.write_page(PageId(2), p);
-        let s = d.theory_state(8);
-        assert_eq!(s.get(redo_theory::state::Var(2 * 8 + 3)), Value(11));
-        assert_eq!(s.get(redo_theory::state::Var(0)), Value(0));
-        assert_eq!(s.support_len(), 1);
+        both(|mut d| {
+            let mut p = Page::new(8);
+            p.set(SlotId(3), 11);
+            d.write_page(PageId(2), p);
+            let s = d.theory_state(8);
+            assert_eq!(s.get(redo_theory::state::Var(2 * 8 + 3)), Value(11));
+            assert_eq!(s.get(redo_theory::state::Var(0)), Value(0));
+            assert_eq!(s.support_len(), 1);
+        });
     }
 
     #[test]
     fn discard_staging() {
-        let mut d = Disk::new();
-        d.write_staging(PageId(0), Page::new(4));
-        d.discard_staging();
-        assert_eq!(d.staging_len(), 0);
+        both(|mut d| {
+            d.write_staging(PageId(0), Page::new(4));
+            d.discard_staging();
+            assert_eq!(d.staging_len(), 0);
+        });
     }
 
     #[test]
     fn torn_write_lands_partially_and_repairs_to_preimage() {
         use crate::fault::{FaultKind, FaultPlan};
-        let mut d = Disk::new();
-        // Establish a durable pre-image: slots [1, 2, 3, 4] at LSN 1.
-        let mut pre = Page::new(4);
-        for s in 0..4 {
-            pre.set(SlotId(s), u64::from(s) + 1);
-        }
-        pre.set_lsn(Lsn(1));
-        d.write_page(PageId(0), pre.clone());
-        // The next write tears after 2 sectors.
-        d.injector.arm(FaultPlan {
-            at: 1,
-            kind: FaultKind::TornWrite { sectors: 2 },
+        both(|mut d| {
+            // Establish a durable pre-image: slots [1, 2, 3, 4] at LSN 1.
+            let mut pre = Page::new(4);
+            for s in 0..4 {
+                pre.set(SlotId(s), u64::from(s) + 1);
+            }
+            pre.set_lsn(Lsn(1));
+            d.write_page(PageId(0), pre.clone());
+            // The next write tears after 2 sectors.
+            d.injector.arm(FaultPlan {
+                at: 1,
+                kind: FaultKind::TornWrite { sectors: 2 },
+            });
+            let mut new = Page::new(4);
+            for s in 0..4 {
+                new.set(SlotId(s), 100 + u64::from(s));
+            }
+            new.set_lsn(Lsn(2));
+            d.write_page(PageId(0), new);
+            assert!(d.is_torn(PageId(0)));
+            // The torn copy is refused by checked reads and visible raw.
+            assert_eq!(
+                d.read_page(PageId(0), 4),
+                Err(SimError::TornPage(PageId(0)))
+            );
+            let torn = d.raw_page(PageId(0), 4);
+            assert_eq!(torn.lsn(), Lsn(2), "header sector carries the new LSN");
+            assert_eq!(torn.get(SlotId(0)), 100);
+            assert_eq!(torn.get(SlotId(1)), 101);
+            assert_eq!(torn.get(SlotId(2)), 3, "tail sectors keep old bytes");
+            assert_eq!(torn.get(SlotId(3)), 4);
+            assert!(d.injector.tripped());
+            // Post-trip writes are suppressed.
+            d.write_page(PageId(1), Page::new(4));
+            assert_eq!(d.read_page(PageId(1), 4).unwrap(), Page::new(4));
+            // Torn damage and the pre-image survive the crash; repair
+            // restores it.
+            d.crash();
+            d.injector.reset();
+            assert_eq!(d.torn_pages(), vec![PageId(0)]);
+            assert_eq!(d.repair_torn(), vec![PageId(0)]);
+            assert!(!d.is_torn(PageId(0)));
+            assert_eq!(d.read_page(PageId(0), 4).unwrap(), pre);
         });
-        let mut new = Page::new(4);
-        for s in 0..4 {
-            new.set(SlotId(s), 100 + u64::from(s));
-        }
-        new.set_lsn(Lsn(2));
-        d.write_page(PageId(0), new);
-        assert!(d.is_torn(PageId(0)));
-        let torn = d.read_page(PageId(0), 4);
-        assert_eq!(torn.lsn(), Lsn(2), "header sector carries the new LSN");
-        assert_eq!(torn.get(SlotId(0)), 100);
-        assert_eq!(torn.get(SlotId(1)), 101);
-        assert_eq!(torn.get(SlotId(2)), 3, "tail sectors keep old bytes");
-        assert_eq!(torn.get(SlotId(3)), 4);
-        assert!(d.injector.tripped());
-        // Post-trip writes are suppressed.
-        d.write_page(PageId(1), Page::new(4));
-        assert_eq!(d.read_page(PageId(1), 4), Page::new(4));
-        // Torn flag and pre-image survive the crash; repair restores it.
-        d.crash();
-        d.injector.reset();
-        assert_eq!(d.torn_pages(), vec![PageId(0)]);
-        assert_eq!(d.repair_torn(), vec![PageId(0)]);
-        assert!(!d.is_torn(PageId(0)));
-        assert_eq!(d.read_page(PageId(0), 4), pre);
     }
 
     #[test]
     fn swing_pointer_installs_staging_and_master_together() {
         use crate::fault::{FaultKind, FaultPlan};
-        let mut d = Disk::new();
-        let mut p = Page::new(4);
-        p.set(SlotId(0), 9);
-        d.write_staging(PageId(0), p);
-        // A crash point on the swing installs neither the pages nor the
-        // master.
-        d.injector.arm(FaultPlan {
-            at: 1,
-            kind: FaultKind::Clean,
+        both(|mut d| {
+            let mut p = Page::new(4);
+            p.set(SlotId(0), 9);
+            d.write_staging(PageId(0), p);
+            // A crash point on the swing installs neither the pages nor
+            // the master.
+            d.injector.arm(FaultPlan {
+                at: 1,
+                kind: FaultKind::Clean,
+            });
+            d.swing_pointer(Lsn(5));
+            assert_eq!(d.master(), Lsn::ZERO);
+            assert_eq!(d.read_page(PageId(0), 4).unwrap().get(SlotId(0)), 0);
+            d.injector.reset();
+            // With no fault both land at once.
+            d.swing_pointer(Lsn(5));
+            assert_eq!(d.master(), Lsn(5));
+            assert_eq!(d.read_page(PageId(0), 4).unwrap().get(SlotId(0)), 9);
+            assert_eq!(d.staging_len(), 0);
         });
-        d.swing_pointer(Lsn(5));
-        assert_eq!(d.master(), Lsn::ZERO);
-        assert_eq!(d.read_page(PageId(0), 4).get(SlotId(0)), 0);
-        d.injector.reset();
-        // With no fault both land at once.
-        d.swing_pointer(Lsn(5));
-        assert_eq!(d.master(), Lsn(5));
-        assert_eq!(d.read_page(PageId(0), 4).get(SlotId(0)), 9);
-        assert_eq!(d.staging_len(), 0);
+    }
+
+    #[test]
+    fn suppressed_swing_survives_a_crash_with_the_old_master() {
+        use crate::fault::{FaultKind, FaultPlan};
+        both(|mut d| {
+            d.set_master(Lsn(3));
+            let mut p = Page::new(4);
+            p.set(SlotId(0), 9);
+            d.write_staging(PageId(7), p);
+            d.injector.arm(FaultPlan {
+                at: 1,
+                kind: FaultKind::Clean,
+            });
+            // Dies between temp-write and rename (file backend) / before
+            // the atomic instant (mem backend)…
+            d.swing_pointer(Lsn(8));
+            d.crash();
+            d.injector.reset();
+            // …and reopen finds the old checkpoint, nothing installed.
+            assert_eq!(d.master(), Lsn(3));
+            assert_eq!(d.read_page(PageId(7), 4).unwrap(), Page::new(4));
+            assert_eq!(d.staging_len(), 0);
+        });
     }
 
     #[test]
     fn atomic_multi_page_write_suppressed_wholesale() {
         use crate::fault::{FaultKind, FaultPlan};
-        let mut d = Disk::new();
-        d.injector.arm(FaultPlan {
-            at: 1,
-            kind: FaultKind::TornWrite { sectors: 1 },
+        both(|mut d| {
+            d.injector.arm(FaultPlan {
+                at: 1,
+                kind: FaultKind::TornWrite { sectors: 1 },
+            });
+            d.write_pages_atomic(vec![(PageId(0), Page::new(4)), (PageId(1), Page::new(4))]);
+            // The tear degraded to a clean stop: nothing landed, nothing
+            // is torn.
+            assert_eq!(d.page_writes(), 0);
+            assert!(d.torn_pages().is_empty());
         });
-        d.write_pages_atomic(vec![(PageId(0), Page::new(4)), (PageId(1), Page::new(4))]);
-        // The tear degraded to a clean stop: nothing landed, nothing is
-        // torn.
-        assert_eq!(d.page_writes(), 0);
-        assert!(d.torn_pages().is_empty());
     }
 }

@@ -60,6 +60,22 @@ pub enum SimError {
     /// starting image was never shipped — the router violated the
     /// first-item-carries-image protocol.
     MissingStartImage(PageId),
+    /// A log payload's encoding is larger than the 32-bit frame length
+    /// field can describe; appending it would corrupt the frame stream.
+    OversizedRecord(usize),
+    /// A value does not fit the on-disk field it is encoded into (e.g. a
+    /// page-op read set larger than its 16-bit count field, or a slot
+    /// index beyond the page geometry).
+    FieldOverflow {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The value that did not fit.
+        value: u64,
+    },
+    /// A page read found a torn image: the page's last write only
+    /// partially reached stable storage (checksum mismatch). Run
+    /// [`crate::disk::Disk::repair_torn`] before reading.
+    TornPage(PageId),
 }
 
 impl fmt::Display for SimError {
@@ -85,6 +101,15 @@ impl fmt::Display for SimError {
             SimError::RecoveryWorkerPanic => write!(f, "a parallel-redo worker panicked"),
             SimError::MissingStartImage(p) => {
                 write!(f, "page {p:?} was routed without its starting image")
+            }
+            SimError::OversizedRecord(len) => {
+                write!(f, "log payload of {len} bytes exceeds the frame length field")
+            }
+            SimError::FieldOverflow { field, value } => {
+                write!(f, "{field} value {value} overflows its on-disk field")
+            }
+            SimError::TornPage(p) => {
+                write!(f, "page {p:?} is torn (checksum mismatch); repair before reading")
             }
         }
     }

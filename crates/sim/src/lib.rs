@@ -16,6 +16,12 @@
 //! * [`wal::LogManager`] — a write-ahead log split into a stable prefix
 //!   and a volatile tail, generic over the payload each recovery method
 //!   logs;
+//! * [`backend`] — the [`backend::StorageBackend`] /
+//!   [`backend::LogBackend`] trait pair behind `Disk` and `LogManager`:
+//!   the pure in-memory simulation is one implementation, and a
+//!   file-backed one (CRC-framed WAL, checksummed page files,
+//!   rename-committed checkpoint pointer) makes the crash model honest
+//!   against real media;
 //! * [`cache::BufferPool`] — the cache manager: dirty tracking, LRU
 //!   eviction, enforcement of the WAL rule (no page reaches disk before
 //!   its log records) and of *write-order constraints* — the
@@ -42,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod cache;
 pub mod db;
 pub mod disk;

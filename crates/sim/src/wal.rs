@@ -4,16 +4,21 @@
 //! records in a volatile tail, and moves them to the stable (on-"disk",
 //! byte-encoded) prefix on [`LogManager::flush`]. A crash discards the
 //! volatile tail; recovery decodes the stable bytes — so the binary codec
-//! is actually exercised on every simulated crash, not decorative.
+//! is actually exercised on every simulated crash, not decorative. The
+//! stable bytes themselves live in a pluggable
+//! [`LogBackend`](crate::backend::LogBackend): an in-memory vector by
+//! default, a real fsynced file via [`BackendKind::File`].
 //!
 //! ## Frame format
 //!
 //! Each stable record occupies one *frame*: an 8-byte little-endian LSN,
-//! a 4-byte little-endian body length, then the payload body. Frames are
-//! contiguous; the stable image is well-formed iff it is a whole number
-//! of well-formed frames. Because [`LogManager::flush`] moves the
-//! volatile tail in order and a crash re-derives the next LSN from the
-//! stable end, the stable log always holds exactly LSNs
+//! a 4-byte little-endian body length, a 4-byte CRC-32 of the rest of
+//! the frame (header fields plus body, excluding the CRC itself), then
+//! the payload body. Frames are contiguous; the stable image is
+//! well-formed iff it is a whole number of well-formed frames whose
+//! checksums verify. Because [`LogManager::flush`] moves the volatile
+//! tail in order and a crash re-derives the next LSN from the stable
+//! end, the stable log always holds exactly LSNs
 //! `first_stable..=stable_lsn`, densely and in order — the seek
 //! machinery below relies on this. `first_stable` starts at 1 and only
 //! moves when a published checkpoint makes the prefix redundant:
@@ -35,7 +40,8 @@
 //!
 //! On the write side [`LogManager::flush`] is a group commit: every
 //! frame covered by the force is encoded into one coalesced buffer and
-//! appended to the stable bytes in a single extend.
+//! appended to the stable bytes in a single extend — which on the file
+//! backend is a single `write` + `fsync`.
 //!
 //! The payload type is method-specific (`redo-methods` logs after-images
 //! for physical recovery, page operations for physiological recovery,
@@ -48,13 +54,24 @@ use std::marker::PhantomData;
 
 use redo_theory::log::Lsn;
 
+use crate::backend::{BackendKind, Crc32, LogBackend};
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultDecision, FaultInjector};
+
+/// Bytes of a frame header: 8-byte LSN + 4-byte body length + 4-byte
+/// CRC-32 of the rest of the frame.
+pub const FRAME_HEADER: usize = 16;
 
 /// A type that can be written to and read back from the stable log.
 pub trait LogPayload: Clone + fmt::Debug {
     /// Appends the encoding of `self` to `buf`.
-    fn encode(&self, buf: &mut Vec<u8>);
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] when a value does not fit its on-disk
+    /// field (e.g. a read set larger than its 16-bit count). Nothing is
+    /// guaranteed about `buf`'s tail on error; callers must discard it.
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()>;
     /// Decodes one payload starting at `*pos`, advancing it.
     ///
     /// # Errors
@@ -80,7 +97,7 @@ pub const SEEK_INTERVAL: usize = 8;
 /// The log manager.
 #[derive(Clone, Debug)]
 pub struct LogManager<P> {
-    stable_bytes: Vec<u8>,
+    backend: Box<dyn LogBackend>,
     stable_lsn: Lsn,
     stable_count: usize,
     /// The lowest LSN still present in the stable image. Starts at 1;
@@ -104,12 +121,27 @@ pub struct LogManager<P> {
     pub(crate) injector: FaultInjector,
 }
 
+/// Computes a frame's CRC: the 12 header bytes before the CRC field,
+/// then the body.
+fn frame_crc(header12: &[u8], body: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(header12);
+    crc.update(body);
+    crc.finish()
+}
+
 impl<P: LogPayload> LogManager<P> {
-    /// An empty log; the first appended record gets LSN 1.
+    /// An empty in-memory log; the first appended record gets LSN 1.
     #[must_use]
     pub fn new() -> LogManager<P> {
+        LogManager::on(BackendKind::Mem)
+    }
+
+    /// An empty log on the given backend.
+    #[must_use]
+    pub fn on(kind: BackendKind) -> LogManager<P> {
         LogManager {
-            stable_bytes: Vec::new(),
+            backend: kind.new_log(),
             stable_lsn: Lsn::ZERO,
             stable_count: 0,
             first_stable: Lsn(1),
@@ -125,23 +157,36 @@ impl<P: LogPayload> LogManager<P> {
         }
     }
 
-    /// Appends a record to the volatile tail, returning its LSN.
-    pub fn append(&mut self, payload: P) -> Lsn {
-        let lsn = self.next_lsn;
-        self.next_lsn = self.next_lsn.next();
+    /// Appends a record to the volatile tail, returning its LSN. The
+    /// payload is validated by encoding it once here, so the flush path
+    /// can frame it infallibly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] if the payload does not encode;
+    /// [`SimError::OversizedRecord`] if its encoding exceeds the 32-bit
+    /// frame length field. A failed append assigns no LSN and leaves the
+    /// log untouched.
+    pub fn append(&mut self, payload: P) -> SimResult<Lsn> {
         // Account bytes at append time so log-volume metrics cover
         // records that never reach disk before a crash.
         let mut scratch = Vec::new();
-        payload.encode(&mut scratch);
-        self.appended_bytes += scratch.len() as u64 + 12; // lsn + length header
+        payload.encode(&mut scratch)?;
+        if u32::try_from(scratch.len()).is_err() {
+            return Err(SimError::OversizedRecord(scratch.len()));
+        }
+        let lsn = self.next_lsn;
+        self.next_lsn = self.next_lsn.next();
+        self.appended_bytes += scratch.len() as u64 + FRAME_HEADER as u64;
         self.volatile.push(WalRecord { lsn, payload });
-        lsn
+        Ok(lsn)
     }
 
     /// Forces the log through `upto` (inclusive): encodes the covered
     /// tail records into one coalesced batch and appends it to the
-    /// stable prefix in a single extend — a group commit. Flushing past
-    /// the end of the tail forces everything.
+    /// stable prefix in a single extend — a group commit (one `fsync` on
+    /// the file backend). Flushing past the end of the tail forces
+    /// everything.
     ///
     /// Fault semantics are per record, exactly as when each frame was
     /// its own append: every record covered by the force is one
@@ -155,21 +200,31 @@ impl<P: LogPayload> LogManager<P> {
     pub fn flush(&mut self, upto: Lsn) {
         let mut kept = Vec::new();
         let mut halted = false;
-        let base = self.stable_bytes.len() as u64;
+        let base = self.backend.bytes().len() as u64;
         let mut batch: Vec<u8> = Vec::new();
         for rec in std::mem::take(&mut self.volatile) {
             if halted || rec.lsn > upto {
                 kept.push(rec);
                 continue;
             }
-            // Encode the frame in place at the batch tail: LSN, a length
-            // placeholder patched once the body has landed, then the body.
+            // Encode the frame in place at the batch tail: LSN, length
+            // and CRC placeholders patched once the body has landed,
+            // then the body.
             let frame_start = batch.len();
             codec::put_u64(&mut batch, rec.lsn.0);
             codec::put_u32(&mut batch, 0);
-            rec.payload.encode(&mut batch);
-            let body_len = (batch.len() - frame_start - 12) as u32;
+            codec::put_u32(&mut batch, 0);
+            rec.payload
+                .encode(&mut batch)
+                .expect("payload encoding validated at append");
+            let body_len = u32::try_from(batch.len() - frame_start - FRAME_HEADER)
+                .expect("frame length validated at append");
             batch[frame_start + 8..frame_start + 12].copy_from_slice(&body_len.to_le_bytes());
+            let crc = frame_crc(
+                &batch[frame_start..frame_start + 12],
+                &batch[frame_start + FRAME_HEADER..],
+            );
+            batch[frame_start + 12..frame_start + FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
             match self.injector.on_log_flush() {
                 FaultDecision::Proceed => {
                     if self.seek_enabled && self.stable_count.is_multiple_of(SEEK_INTERVAL) {
@@ -196,7 +251,7 @@ impl<P: LogPayload> LogManager<P> {
         }
         if !batch.is_empty() {
             self.forces += 1;
-            self.stable_bytes.extend_from_slice(&batch);
+            self.backend.append(&batch);
         }
         self.volatile = kept;
     }
@@ -238,13 +293,47 @@ impl<P: LogPayload> LogManager<P> {
         self.appended_bytes
     }
 
+    /// Number of durable syncs the backend has issued (0 for the
+    /// in-memory backend) — the fsync-bound cost axis of the file
+    /// benchmarks.
+    #[must_use]
+    pub fn syncs(&self) -> u64 {
+        self.backend.syncs()
+    }
+
+    /// The backing file, when the stable bytes live in one (tests damage
+    /// it out-of-band to exercise real-file repair).
+    #[must_use]
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.backend.path()
+    }
+
     /// Simulates a crash: the volatile tail vanishes; the stable prefix,
-    /// being disk-resident bytes, survives. LSN assignment resumes after
-    /// the stable LSN (as a real system would re-derive from the log
-    /// end).
+    /// being disk-resident bytes, survives. The stable bookkeeping
+    /// (stable LSN, record count, seek index) is *re-derived* from the
+    /// surviving image, exactly as a reopening process would — so
+    /// out-of-band damage to a file-backed log (a real `truncate(2)` at
+    /// an arbitrary byte) is observed here, and LSN assignment resumes
+    /// after whatever the log actually still ends with.
     pub fn crash(&mut self) {
         self.volatile.clear();
+        self.backend.crash();
+        // Walk the surviving image: CRC-valid whole frames are stable;
+        // the first damaged or partial frame ends the covered prefix
+        // (repair_tail discards the fragment later).
+        let bytes = self.backend.bytes();
+        let (pos, frames, last_lsn) = walk_valid_frames(bytes);
+        self.stable_count = frames;
+        self.stable_lsn = match last_lsn {
+            Some(lsn) => lsn,
+            None => Lsn(self.first_stable.0 - 1),
+        };
         self.next_lsn = self.stable_lsn.next();
+        self.seek_index
+            .retain(|&(lsn, off)| (off as usize) < pos.max(1) && lsn <= self.stable_lsn);
+        if pos == 0 {
+            self.seek_index.clear();
+        }
     }
 
     /// Decodes the stable prefix back into records, materialized as one
@@ -256,13 +345,13 @@ impl<P: LogPayload> LogManager<P> {
     ///
     /// [`SimError::Corrupt`] if the bytes do not parse.
     pub fn decode_stable(&self) -> SimResult<Vec<WalRecord<P>>> {
-        decode_records(&self.stable_bytes)
+        decode_records(self.backend.bytes())
     }
 
     /// A streaming cursor over the whole stable prefix.
     #[must_use]
     pub fn cursor(&self) -> LogCursor<'_, P> {
-        LogCursor::over(&self.stable_bytes)
+        LogCursor::over(self.backend.bytes())
     }
 
     /// A streaming cursor positioned at the first stable record with
@@ -278,16 +367,16 @@ impl<P: LogPayload> LogManager<P> {
     #[must_use]
     pub fn cursor_from(&self, from: Lsn) -> LogCursor<'_, P> {
         let (start, hit) = self.seek_offset(from);
-        let (pos, frames_skipped) = skip_frames_below(&self.stable_bytes, start, from);
+        let (pos, frames_skipped) = skip_frames_below(self.backend.bytes(), start, from);
         let stats = ScanStats {
-            // The header walk reads 12 bytes per skipped frame; the
-            // seek jump itself touches nothing — that difference is
-            // exactly what the telemetry should show.
-            bytes_scanned: frames_skipped as u64 * 12,
+            // The header walk reads FRAME_HEADER bytes per skipped
+            // frame; the seek jump itself touches nothing — that
+            // difference is exactly what the telemetry should show.
+            bytes_scanned: frames_skipped as u64 * FRAME_HEADER as u64,
             seek_hits: usize::from(hit),
             ..ScanStats::default()
         };
-        LogCursor::at(&self.stable_bytes, pos, stats)
+        LogCursor::at(self.backend.bytes(), pos, stats)
     }
 
     /// The byte offset of the greatest indexed frame with LSN ≤ `from`,
@@ -297,7 +386,7 @@ impl<P: LogPayload> LogManager<P> {
         match i.checked_sub(1) {
             Some(i) => {
                 let off = self.seek_index[i].1 as usize;
-                if off == 0 || off > self.stable_bytes.len() {
+                if off == 0 || off > self.backend.bytes().len() {
                     (0, false)
                 } else {
                     (off, true)
@@ -332,32 +421,26 @@ impl<P: LogPayload> LogManager<P> {
     /// The raw stable-log bytes (what a crash leaves on disk).
     #[must_use]
     pub fn stable_bytes(&self) -> &[u8] {
-        &self.stable_bytes
+        self.backend.bytes()
     }
 
-    /// Discards a torn tail: scans record frames structurally (8-byte
-    /// LSN + 4-byte length + body) and truncates the stable bytes at the
-    /// first frame that does not fit — the fragment a
-    /// [`crate::fault::FaultKind::TornFlush`] crash point left behind.
-    /// Returns the number of bytes dropped. The stable LSN and record
-    /// count never covered the fragment, so they are already consistent
-    /// with the repaired image.
+    /// Discards a torn tail: walks record frames (header structure
+    /// *and* CRC-32 verification) and truncates the stable bytes at the
+    /// first frame that does not fit or does not verify — the fragment a
+    /// [`crate::fault::FaultKind::TornFlush`] crash point (or a real
+    /// partial file write) left behind. Returns the number of bytes
+    /// dropped. The post-crash bookkeeping never covered the fragment,
+    /// so it is already consistent with the repaired image.
     pub fn repair_tail(&mut self) -> usize {
-        let bytes = &self.stable_bytes;
-        let mut pos = 0usize;
-        while pos + 12 <= bytes.len() {
-            let len =
-                u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
-            match (pos + 12).checked_add(len) {
-                Some(end) if end <= bytes.len() => pos = end,
-                _ => break,
-            }
+        let bytes = self.backend.bytes();
+        let (pos, _, _) = walk_valid_frames(bytes);
+        let dropped = bytes.len() - pos;
+        if dropped > 0 {
+            self.backend.truncate_to(pos);
         }
-        let dropped = self.stable_bytes.len() - pos;
-        self.stable_bytes.truncate(pos);
         // Seek entries only ever point at covered frame starts, all of
-        // which the structural walk keeps; the retain is belt-and-braces
-        // against an entry landing in the dropped fragment.
+        // which the walk keeps; the retain is belt-and-braces against an
+        // entry landing in the dropped fragment.
         self.seek_index
             .retain(|&(_, off)| (off as usize) < pos || off == 0);
         if pos == 0 {
@@ -373,20 +456,45 @@ impl<P: LogPayload> LogManager<P> {
     /// and installed via the master pointer swing). Records at or above
     /// `below`, and anything not yet stable, are untouched; `below` is
     /// clamped so the dense `first_stable..=stable_lsn` invariant is
-    /// preserved. The seek index is rebased onto the shortened image.
-    pub fn truncate_prefix(&mut self, below: Lsn) -> u64 {
+    /// preserved, and a bound at or below `first_stable` (including one
+    /// from a stale or replayed checkpoint) is a no-op, never an
+    /// underflow. The seek index is rebased onto the shortened image.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] at the offending offset if the stable image
+    /// is not the dense LSN run the bookkeeping promises — the walk
+    /// would land mid-sequence (e.g. `below` names an LSN the image
+    /// skips) and physically truncating there would destroy records the
+    /// checkpoint still needs. The log is left untouched on error.
+    pub fn truncate_prefix(&mut self, below: Lsn) -> SimResult<u64> {
         let below = Lsn(below.0.min(self.stable_lsn.0 + 1));
         if below <= self.first_stable {
-            return 0;
+            return Ok(0);
         }
-        let (pos, skipped) = skip_frames_below(&self.stable_bytes, 0, below);
+        let bytes = self.backend.bytes();
+        let (pos, skipped) = skip_frames_below(bytes, 0, below);
         if pos == 0 {
-            return 0;
+            return Ok(0);
         }
-        self.stable_bytes.drain(..pos);
+        // The walk must have landed exactly `below - first_stable`
+        // frames in, on a frame carrying `below` itself (or the image
+        // end when the whole stable suffix is elided). Anything else
+        // means the image is not dense where the bookkeeping says it is.
+        if self.first_stable.0 + skipped as u64 != below.0 {
+            return Err(SimError::Corrupt(pos));
+        }
+        if pos + FRAME_HEADER <= bytes.len() {
+            let landed = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+            if landed != below.0 {
+                return Err(SimError::Corrupt(pos));
+            }
+        } else if pos != bytes.len() {
+            return Err(SimError::Corrupt(pos));
+        }
+        self.backend.drain_prefix(pos);
         self.stable_count -= skipped;
-        self.first_stable = Lsn(self.first_stable.0 + skipped as u64);
-        debug_assert_eq!(self.first_stable, below, "stable LSNs are dense");
+        self.first_stable = below;
         self.seek_index.retain(|&(_, off)| off as usize >= pos);
         for entry in &mut self.seek_index {
             entry.1 -= pos as u64;
@@ -399,7 +507,7 @@ impl<P: LogPayload> LogManager<P> {
         }
         self.truncated_bytes += pos as u64;
         self.truncated_records += skipped as u64;
-        pos as u64
+        Ok(pos as u64)
     }
 
     /// The lowest LSN still present in the stable image (1 until a
@@ -424,6 +532,39 @@ impl<P: LogPayload> LogManager<P> {
     }
 }
 
+/// Walks whole, CRC-valid frames from offset 0: returns the byte
+/// position after the last valid frame, the number of valid frames, and
+/// the last valid frame's LSN.
+fn walk_valid_frames(bytes: &[u8]) -> (usize, usize, Option<Lsn>) {
+    let mut pos = 0usize;
+    let mut frames = 0usize;
+    let mut last = None;
+    while pos + FRAME_HEADER <= bytes.len() {
+        let len =
+            u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
+        let Some(end) = (pos + FRAME_HEADER).checked_add(len) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let stored = u32::from_le_bytes(
+            bytes[pos + 12..pos + FRAME_HEADER]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if frame_crc(&bytes[pos..pos + 12], &bytes[pos + FRAME_HEADER..end]) != stored {
+            break;
+        }
+        last = Some(Lsn(u64::from_le_bytes(
+            bytes[pos..pos + 8].try_into().expect("8 bytes"),
+        )));
+        frames += 1;
+        pos = end;
+    }
+    (pos, frames, last)
+}
+
 /// Decodes a stable-log byte image into records — the recovery-time log
 /// scan as a pure function (the corruption tests drive it over
 /// arbitrarily truncated and bit-flipped images). Implemented as a
@@ -433,7 +574,7 @@ impl<P: LogPayload> LogManager<P> {
 /// # Errors
 ///
 /// [`SimError::Corrupt`] at the failing offset if the bytes do not parse
-/// as a whole number of well-formed records.
+/// as a whole number of well-formed, checksum-valid records.
 pub fn decode_records<P: LogPayload>(bytes: &[u8]) -> SimResult<Vec<WalRecord<P>>> {
     LogCursor::over(bytes).collect()
 }
@@ -442,8 +583,8 @@ pub fn decode_records<P: LogPayload>(bytes: &[u8]) -> SimResult<Vec<WalRecord<P>
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Stable-log bytes the scan touched: full frames (header plus
-    /// body) of decoded records, plus 12 header bytes per frame the
-    /// seek walk skipped structurally.
+    /// body) of decoded records, plus [`FRAME_HEADER`] bytes per frame
+    /// the seek walk skipped structurally.
     pub bytes_scanned: u64,
     /// Frames decoded into records.
     pub records_decoded: usize,
@@ -461,9 +602,10 @@ pub struct ScanStats {
 ///
 /// Decodes one frame per [`Iterator::next`] call; the payload decodes
 /// out of a borrowed slice of the underlying bytes and no record vector
-/// is ever materialized. The first decode error is yielded once and
-/// ends the iteration — identical observable behavior (records, error,
-/// offset) to [`decode_records`], which is built on top of it.
+/// is ever materialized. Each frame's CRC is verified before its payload
+/// is decoded. The first decode error is yielded once and ends the
+/// iteration — identical observable behavior (records, error, offset)
+/// to [`decode_records`], which is built on top of it.
 #[derive(Debug)]
 pub struct LogCursor<'a, P> {
     bytes: &'a [u8],
@@ -512,9 +654,17 @@ impl<'a, P: LogPayload> LogCursor<'a, P> {
         let mut pos = self.pos;
         let lsn = Lsn(codec::get_u64(self.bytes, &mut pos)?);
         let len = codec::get_u32(self.bytes, &mut pos)? as usize;
+        let stored_crc = codec::get_u32(self.bytes, &mut pos)?;
         let end = pos.checked_add(len).ok_or(SimError::Corrupt(pos))?;
         if end > self.bytes.len() {
             return Err(SimError::Corrupt(pos));
+        }
+        if frame_crc(
+            &self.bytes[start..start + 12],
+            &self.bytes[start + FRAME_HEADER..end],
+        ) != stored_crc
+        {
+            return Err(SimError::Corrupt(start + 12));
         }
         let mut body_pos = pos;
         let payload = P::decode(&self.bytes[..end], &mut body_pos)?;
@@ -553,14 +703,14 @@ impl<P: LogPayload> Iterator for LogCursor<'_, P> {
 /// scan would.
 fn skip_frames_below(bytes: &[u8], mut pos: usize, from: Lsn) -> (usize, usize) {
     let mut skipped = 0usize;
-    while pos + 12 <= bytes.len() {
+    while pos + FRAME_HEADER <= bytes.len() {
         let lsn = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
         if Lsn(lsn) >= from {
             break;
         }
         let len =
             u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
-        match (pos + 12).checked_add(len) {
+        match (pos + FRAME_HEADER).checked_add(len) {
             Some(end) if end <= bytes.len() => {
                 pos = end;
                 skipped += 1;
@@ -741,8 +891,28 @@ pub mod codec {
         Ok(Cell { page, slot })
     }
 
+    /// Checked conversion of a collection length into its 16-bit
+    /// on-disk count field.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] naming `field` when `len` exceeds
+    /// `u16::MAX` — encoding it with a wrapping cast would silently
+    /// corrupt the record.
+    pub fn count_u16(field: &'static str, len: usize) -> SimResult<u16> {
+        u16::try_from(len).map_err(|_| SimError::FieldOverflow {
+            field,
+            value: len as u64,
+        })
+    }
+
     /// Appends a full [`PageOp`].
-    pub fn put_page_op(buf: &mut Vec<u8>, op: &PageOp) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] if a read or write set exceeds its
+    /// 16-bit count field. `buf`'s tail is unspecified on error.
+    pub fn put_page_op(buf: &mut Vec<u8>, op: &PageOp) -> SimResult<()> {
         put_u32(buf, op.id);
         put_u8(
             buf,
@@ -754,14 +924,15 @@ pub mod codec {
             },
         );
         put_u64(buf, op.f_seed);
-        put_u16(buf, op.reads.len() as u16);
+        put_u16(buf, count_u16("page-op read count", op.reads.len())?);
         for &c in &op.reads {
             put_cell(buf, c);
         }
-        put_u16(buf, op.writes.len() as u16);
+        put_u16(buf, count_u16("page-op write count", op.writes.len())?);
         for &c in &op.writes {
             put_cell(buf, c);
         }
+        Ok(())
     }
 
     /// Reads a full [`PageOp`].
@@ -809,19 +980,32 @@ mod tests {
     struct Num(u64);
 
     impl LogPayload for Num {
-        fn encode(&self, buf: &mut Vec<u8>) {
+        fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
             codec::put_u64(buf, self.0);
+            Ok(())
         }
         fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
             Ok(Num(codec::get_u64(input, pos)?))
         }
     }
 
+    /// Encodes one well-formed frame by hand (for image-surgery tests).
+    fn raw_frame(lsn: u64, body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u64(&mut out, lsn);
+        codec::put_u32(&mut out, u32::try_from(body.len()).unwrap());
+        codec::put_u32(&mut out, 0);
+        out.extend_from_slice(body);
+        let crc = frame_crc(&out[..12], body);
+        out[12..FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
     #[test]
     fn lsns_are_monotone_from_one() {
         let mut log = LogManager::new();
-        assert_eq!(log.append(Num(10)), Lsn(1));
-        assert_eq!(log.append(Num(20)), Lsn(2));
+        assert_eq!(log.append(Num(10)).unwrap(), Lsn(1));
+        assert_eq!(log.append(Num(20)).unwrap(), Lsn(2));
         assert_eq!(log.last_lsn(), Lsn(2));
         assert_eq!(log.stable_lsn(), Lsn::ZERO);
     }
@@ -830,7 +1014,7 @@ mod tests {
     fn flush_moves_prefix_to_stable() {
         let mut log = LogManager::new();
         for i in 0..5 {
-            log.append(Num(i));
+            log.append(Num(i)).unwrap();
         }
         log.flush(Lsn(3));
         assert_eq!(log.stable_lsn(), Lsn(3));
@@ -851,14 +1035,14 @@ mod tests {
     fn crash_loses_volatile_tail_only() {
         let mut log = LogManager::new();
         for i in 0..5 {
-            log.append(Num(i));
+            log.append(Num(i)).unwrap();
         }
         log.flush(Lsn(2));
         log.crash();
         assert!(log.volatile_records().is_empty());
         assert_eq!(log.stable_lsn(), Lsn(2));
         // LSNs resume after the stable point, as re-derived from the log.
-        assert_eq!(log.append(Num(99)), Lsn(3));
+        assert_eq!(log.append(Num(99)).unwrap(), Lsn(3));
         let decoded = log.decode_stable().unwrap();
         assert_eq!(decoded.len(), 2);
     }
@@ -867,7 +1051,7 @@ mod tests {
     fn flush_all_then_roundtrip() {
         let mut log = LogManager::new();
         for i in 0..10 {
-            log.append(Num(i * i));
+            log.append(Num(i * i)).unwrap();
         }
         log.flush_all();
         let decoded = log.decode_stable().unwrap();
@@ -881,10 +1065,10 @@ mod tests {
     #[test]
     fn appended_bytes_counts_everything() {
         let mut log = LogManager::new();
-        log.append(Num(1));
+        log.append(Num(1)).unwrap();
         let one = log.appended_bytes();
         assert!(one > 0);
-        log.append(Num(2));
+        log.append(Num(2)).unwrap();
         assert_eq!(log.appended_bytes(), one * 2);
     }
 
@@ -893,8 +1077,9 @@ mod tests {
         #[derive(Clone, Debug, PartialEq)]
         struct Bad;
         impl LogPayload for Bad {
-            fn encode(&self, buf: &mut Vec<u8>) {
+            fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
                 codec::put_u8(buf, 1);
+                Ok(())
             }
             fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
                 // Claims to need more than was written.
@@ -903,9 +1088,74 @@ mod tests {
             }
         }
         let mut log = LogManager::new();
-        log.append(Bad);
+        log.append(Bad).unwrap();
         log.flush_all();
         assert!(matches!(log.decode_stable(), Err(SimError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frame_crc_catches_a_body_bit_flip() {
+        let mut log = LogManager::<Num>::new();
+        log.append(Num(7)).unwrap();
+        log.flush_all();
+        // A bit flip inside the body of an image that is structurally
+        // fine: only the checksum can catch it. (A Num body of any value
+        // decodes, so the pre-CRC format could not.)
+        let mut image = log.stable_bytes().to_vec();
+        let body_at = FRAME_HEADER + 3;
+        image[body_at] ^= 0x40;
+        assert!(
+            matches!(
+                decode_records::<Num>(&image),
+                Err(SimError::Corrupt(off)) if off == 12
+            ),
+            "flip must be reported at the CRC field"
+        );
+        // Intact image still decodes.
+        assert_eq!(log.decode_stable().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn frame_crc_catches_a_header_bit_flip() {
+        let mut image = raw_frame(1, &42u64.to_le_bytes());
+        image.extend_from_slice(&raw_frame(2, &43u64.to_le_bytes()));
+        image[2] ^= 0x01; // inside the first frame's LSN field
+        assert!(matches!(
+            decode_records::<Num>(&image),
+            Err(SimError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_at_append() {
+        // A payload that *claims* an enormous encoding without
+        // allocating it would corrupt the frame stream; the checked path
+        // rejects anything the 32-bit length field cannot describe.
+        // Faking >4 GiB through the real encoder is not practical in a
+        // unit test, so exercise the checked conversion directly…
+        assert!(u32::try_from(usize::try_from(u64::from(u32::MAX) + 1).unwrap()).is_err());
+        // …and the field-overflow path through the page-op codec.
+        let op = PageOp {
+            id: 1,
+            kind: redo_workload::pages::PageOpKind::Physiological,
+            reads: vec![
+                redo_workload::pages::Cell {
+                    page: redo_workload::pages::PageId(0),
+                    slot: redo_workload::pages::SlotId(0),
+                };
+                usize::from(u16::MAX) + 1
+            ],
+            writes: Vec::new(),
+            f_seed: 0,
+        };
+        let mut buf = Vec::new();
+        assert_eq!(
+            codec::put_page_op(&mut buf, &op),
+            Err(SimError::FieldOverflow {
+                field: "page-op read count",
+                value: u64::from(u16::MAX) + 1,
+            })
+        );
     }
 
     #[test]
@@ -918,7 +1168,7 @@ mod tests {
         };
         for op in spec.generate(4) {
             let mut buf = Vec::new();
-            codec::put_page_op(&mut buf, &op);
+            codec::put_page_op(&mut buf, &op).unwrap();
             let mut pos = 0;
             let back: PageOp = codec::get_page_op(&buf, &mut pos).unwrap();
             assert_eq!(back, op);
@@ -930,7 +1180,7 @@ mod tests {
     fn page_op_codec_rejects_bad_kind() {
         let op = PageWorkloadSpec::default().generate(1).remove(0);
         let mut buf = Vec::new();
-        codec::put_page_op(&mut buf, &op);
+        codec::put_page_op(&mut buf, &op).unwrap();
         buf[4] = 77; // corrupt the kind byte
         let mut pos = 0;
         assert!(matches!(
@@ -955,9 +1205,9 @@ mod tests {
     fn torn_flush_truncates_mid_record_and_repair_drops_fragment() {
         use crate::fault::{FaultKind, FaultPlan};
         let mut log = LogManager::new();
-        log.append(Num(10));
-        log.append(Num(20));
-        log.append(Num(30));
+        log.append(Num(10)).unwrap();
+        log.append(Num(20)).unwrap();
+        log.append(Num(30)).unwrap();
         // The second record's flush tears 5 bytes in (inside its LSN
         // field).
         log.injector.arm(FaultPlan {
@@ -982,7 +1232,7 @@ mod tests {
         assert_eq!(decoded[0].payload, Num(10));
         // The un-flushed records were lost with the volatile tail; LSN
         // assignment resumes after the stable point.
-        assert_eq!(log.append(Num(40)), Lsn(2));
+        assert_eq!(log.append(Num(40)).unwrap(), Lsn(2));
     }
 
     #[test]
@@ -990,7 +1240,7 @@ mod tests {
         use crate::fault::{FaultKind, FaultPlan};
         let mut log = LogManager::new();
         for i in 0..4 {
-            log.append(Num(i));
+            log.append(Num(i)).unwrap();
         }
         log.injector.arm(FaultPlan {
             at: 3,
@@ -1010,7 +1260,7 @@ mod tests {
     fn repair_tail_is_noop_on_intact_log() {
         let mut log = LogManager::new();
         for i in 0..6 {
-            log.append(Num(i));
+            log.append(Num(i)).unwrap();
         }
         log.flush_all();
         assert_eq!(log.repair_tail(), 0);
@@ -1019,9 +1269,13 @@ mod tests {
 
     /// Builds a fully flushed log of `n` numbered records.
     fn numbered_log(n: u64) -> LogManager<Num> {
-        let mut log = LogManager::new();
+        numbered_log_on(BackendKind::Mem, n)
+    }
+
+    fn numbered_log_on(kind: BackendKind, n: u64) -> LogManager<Num> {
+        let mut log = LogManager::on(kind);
         for i in 0..n {
-            log.append(Num(i * 3));
+            log.append(Num(i * 3)).unwrap();
         }
         log.flush_all();
         log
@@ -1073,7 +1327,7 @@ mod tests {
         let cursor = log.cursor_from(Lsn(20));
         assert_eq!(cursor.stats().seek_hits, 0);
         // The index stays off across later flushes.
-        log.append(Num(999));
+        log.append(Num(999)).unwrap();
         log.flush_all();
         assert!(log.seek_index().is_empty());
     }
@@ -1082,7 +1336,7 @@ mod tests {
     fn flush_batches_count_as_single_forces() {
         let mut log = LogManager::new();
         for i in 0..10 {
-            log.append(Num(i));
+            log.append(Num(i)).unwrap();
         }
         log.flush(Lsn(6));
         log.flush_all();
@@ -1090,6 +1344,51 @@ mod tests {
         log.flush_all();
         assert_eq!(log.forces(), 2, "an empty force lands no bytes");
         assert_eq!(log.decode_stable().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn file_backend_syncs_once_per_force() {
+        let mut log = LogManager::on(BackendKind::File);
+        for i in 0..10 {
+            log.append(Num(i)).unwrap();
+        }
+        log.flush(Lsn(6));
+        log.flush_all();
+        assert_eq!(log.forces(), 2);
+        assert_eq!(log.syncs(), 2, "group commit: one fsync per force");
+        assert!(log.path().is_some());
+        assert_eq!(log.decode_stable().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn file_backend_survives_out_of_band_byte_boundary_truncation() {
+        use std::fs::OpenOptions;
+        let mut log = numbered_log_on(BackendKind::File, 6);
+        let full_len = log.stable_bytes().len() as u64;
+        // Chop the real file mid-way through the 5th frame — the crash
+        // a real machine delivers when the tail write only partly hit
+        // the platter.
+        let frame = full_len / 6;
+        let cut = frame * 4 + 7;
+        let f = OpenOptions::new()
+            .write(true)
+            .open(log.path().unwrap())
+            .unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+        log.crash();
+        // Reopen learns the shorter truth: 4 whole frames survive.
+        assert_eq!(log.stable_count(), 4);
+        assert_eq!(log.stable_lsn(), Lsn(4));
+        assert_eq!(log.repair_tail(), 7);
+        let recs = log.decode_stable().unwrap();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs.last().unwrap().lsn, Lsn(4));
+        // And the log keeps working: LSNs resume after the surviving
+        // end.
+        assert_eq!(log.append(Num(7)).unwrap(), Lsn(5));
+        log.flush_all();
+        assert_eq!(log.decode_stable().unwrap().len(), 5);
     }
 
     #[test]
@@ -1112,7 +1411,7 @@ mod tests {
         use crate::fault::{FaultKind, FaultPlan};
         let mut log = LogManager::new();
         for i in 0..12 {
-            log.append(Num(i));
+            log.append(Num(i)).unwrap();
         }
         // Tear the 10th record's frame: records 1..=9 are covered, so the
         // index entry for record 9 stays valid and the fragment is
@@ -1166,7 +1465,7 @@ mod tests {
         let mut log = numbered_log(20);
         let full = log.decode_stable().unwrap();
         let before = log.stable_bytes().len();
-        let dropped = log.truncate_prefix(Lsn(8));
+        let dropped = log.truncate_prefix(Lsn(8)).unwrap();
         assert!(dropped > 0);
         assert_eq!(log.first_stable(), Lsn(8));
         assert_eq!(log.stable_lsn(), Lsn(20));
@@ -1177,21 +1476,25 @@ mod tests {
         let rest = log.decode_stable().unwrap();
         assert_eq!(&rest[..], &full[7..]);
         // LSN assignment is unaffected.
-        assert_eq!(log.append(Num(99)), Lsn(21));
+        assert_eq!(log.append(Num(99)).unwrap(), Lsn(21));
     }
 
     #[test]
     fn truncate_prefix_is_idempotent_and_clamped() {
         let mut log = numbered_log(10);
-        assert_eq!(log.truncate_prefix(Lsn(1)), 0, "nothing below 1");
-        let dropped = log.truncate_prefix(Lsn(5));
+        assert_eq!(log.truncate_prefix(Lsn(1)).unwrap(), 0, "nothing below 1");
+        let dropped = log.truncate_prefix(Lsn(5)).unwrap();
         assert!(dropped > 0);
-        assert_eq!(log.truncate_prefix(Lsn(5)), 0, "already elided");
-        assert_eq!(log.truncate_prefix(Lsn(3)), 0, "below the new origin");
+        assert_eq!(log.truncate_prefix(Lsn(5)).unwrap(), 0, "already elided");
+        assert_eq!(
+            log.truncate_prefix(Lsn(3)).unwrap(),
+            0,
+            "below the new origin"
+        );
         // A bound past the stable end clamps: the stable suffix may be
         // emptied but un-stable records are never touched.
-        log.append(Num(7));
-        log.truncate_prefix(Lsn(999));
+        log.append(Num(7)).unwrap();
+        log.truncate_prefix(Lsn(999)).unwrap();
         assert_eq!(log.first_stable(), Lsn(11));
         assert_eq!(log.stable_count(), 0);
         assert_eq!(log.volatile_records().len(), 1);
@@ -1201,10 +1504,50 @@ mod tests {
     }
 
     #[test]
+    fn truncate_below_first_stable_is_a_noop_even_at_zero() {
+        // Regression: a stale checkpoint (or a replayed one) may hand in
+        // an LSN below the current origin — including LSN 0. That must
+        // be a clean no-op, never an underflow or a byte drop.
+        let mut log = numbered_log(10);
+        log.truncate_prefix(Lsn(6)).unwrap();
+        let len = log.stable_bytes().len();
+        for below in [0, 1, 5, 6] {
+            assert_eq!(log.truncate_prefix(Lsn(below)).unwrap(), 0);
+            assert_eq!(log.stable_bytes().len(), len);
+            assert_eq!(log.first_stable(), Lsn(6));
+            assert_eq!(log.stable_count(), 5);
+        }
+        assert_eq!(log.decode_stable().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn truncate_to_a_missing_lsn_is_an_error_not_a_silent_cut() {
+        // Regression: if the stable image is not the dense run the
+        // bookkeeping promises (here: LSNs 1 then 3, written to the real
+        // file out-of-band), truncating to the missing LSN 2 must
+        // refuse — physically cutting at the walk's landing point would
+        // destroy the LSN-3 record a recovery may still need.
+        let mut log = LogManager::<Num>::on(BackendKind::File);
+        let mut image = raw_frame(1, &10u64.to_le_bytes());
+        image.extend_from_slice(&raw_frame(3, &30u64.to_le_bytes()));
+        std::fs::write(log.path().unwrap(), &image).unwrap();
+        log.crash();
+        assert_eq!(log.stable_count(), 2);
+        assert_eq!(log.stable_lsn(), Lsn(3));
+        let before = log.stable_bytes().to_vec();
+        assert!(matches!(
+            log.truncate_prefix(Lsn(2)),
+            Err(SimError::Corrupt(_))
+        ));
+        assert_eq!(log.stable_bytes(), &before[..], "log untouched on error");
+        assert_eq!(log.first_stable(), Lsn(1));
+    }
+
+    #[test]
     fn seeks_stay_exact_over_a_truncated_prefix() {
         let mut log = numbered_log(41);
         let full = log.decode_stable().unwrap();
-        log.truncate_prefix(Lsn(14));
+        log.truncate_prefix(Lsn(14)).unwrap();
         // Every seek target — below, at, and above the new origin —
         // still yields exactly the records with LSN >= target that the
         // image retains.
@@ -1220,7 +1563,7 @@ mod tests {
         // Rebased index entries still jump (target well past the origin).
         assert!(log.cursor_from(Lsn(35)).stats().seek_hits >= 1);
         // New flushes extend the truncated image seamlessly.
-        log.append(Num(1000));
+        log.append(Num(1000)).unwrap();
         log.flush_all();
         let tail: Vec<_> = log.cursor_from(Lsn(42)).map(|r| r.unwrap()).collect();
         assert_eq!(tail.len(), 1);
@@ -1231,11 +1574,11 @@ mod tests {
     fn repair_tail_stays_consistent_after_truncation() {
         use crate::fault::{FaultKind, FaultPlan};
         let mut log = numbered_log(16);
-        log.truncate_prefix(Lsn(9));
+        log.truncate_prefix(Lsn(9)).unwrap();
         // Tear a later flush, then repair: the repaired image must still
         // decode as the dense suffix 9..=17.
-        log.append(Num(500));
-        log.append(Num(501));
+        log.append(Num(500)).unwrap();
+        log.append(Num(501)).unwrap();
         log.injector.arm(FaultPlan {
             at: 2,
             kind: FaultKind::TornFlush { bytes: 6 },
@@ -1259,7 +1602,7 @@ mod tests {
     fn truncation_with_disabled_seek_index_keeps_scans_exact() {
         let mut log = numbered_log(30);
         log.disable_seek_index();
-        log.truncate_prefix(Lsn(12));
+        log.truncate_prefix(Lsn(12)).unwrap();
         assert!(log.seek_index().is_empty());
         let suffix: Vec<_> = log.cursor_from(Lsn(20)).map(|r| r.unwrap()).collect();
         assert_eq!(suffix.first().unwrap().lsn, Lsn(20));
@@ -1271,7 +1614,7 @@ mod tests {
         use crate::fault::{FaultKind, FaultPlan};
         let mut log = LogManager::new();
         for i in 0..3 {
-            log.append(Num(i));
+            log.append(Num(i)).unwrap();
         }
         log.injector.arm(FaultPlan {
             at: 3,
@@ -1282,5 +1625,33 @@ mod tests {
         let first = scanner.next_batch(&log, 16);
         assert!(matches!(first, Err(SimError::Corrupt(_))));
         assert!(scanner.next_batch(&log, 16).unwrap().is_empty());
+    }
+
+    /// The same fault schedule must leave the same observable log on
+    /// both backends.
+    #[test]
+    fn backends_agree_under_torn_flush() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let run = |kind: BackendKind| {
+            let mut log = LogManager::on(kind);
+            for i in 0..9 {
+                log.append(Num(i * 7)).unwrap();
+            }
+            log.injector.arm(FaultPlan {
+                at: 6,
+                kind: FaultKind::TornFlush { bytes: 11 },
+            });
+            log.flush_all();
+            log.injector.reset();
+            log.crash();
+            log.repair_tail();
+            (
+                log.stable_bytes().to_vec(),
+                log.stable_lsn(),
+                log.stable_count(),
+                log.decode_stable().unwrap(),
+            )
+        };
+        assert_eq!(run(BackendKind::Mem), run(BackendKind::File));
     }
 }

@@ -4,43 +4,77 @@
 //! does), and recovery's log scan must answer every such image with
 //! either a clean shorter log (cut on a record boundary) or
 //! [`SimError::Corrupt`] — never a panic, never a phantom record.
+//!
+//! Every property runs against BOTH stable-storage backends — the
+//! in-memory simulation and the file-backed implementation (in a fresh
+//! temporary directory) — and asserts they produce byte-identical
+//! durable images and identical recovered states.
 
 use proptest::prelude::*;
+use redo_sim::backend::{BackendKind, Crc32};
 use redo_sim::db::{Db, Geometry};
 use redo_sim::fault::{FaultKind, FaultPlan};
-use redo_sim::wal::{codec, decode_records, LogCursor, LogManager, LogPayload, WalRecord};
+use redo_sim::wal::{
+    codec, decode_records, LogCursor, LogManager, LogPayload, WalRecord, FRAME_HEADER,
+};
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageOp, PageWorkloadSpec};
+
+const BACKENDS: [BackendKind; 2] = [BackendKind::Mem, BackendKind::File];
 
 #[derive(Clone, Debug, PartialEq)]
 struct OpRec(PageOp);
 
 impl LogPayload for OpRec {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        codec::put_page_op(buf, &self.0);
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
+        codec::put_page_op(buf, &self.0)
     }
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
         Ok(OpRec(codec::get_page_op(input, pos)?))
     }
 }
 
-/// Builds a fully flushed stable-log image from a seeded workload,
-/// returning the bytes and the record count.
-fn stable_image(seed: u64, n_ops: usize) -> (Vec<u8>, usize) {
+/// Builds a log on `kind` from a seeded workload, forcing every
+/// `flush_every` records (so the seek index has entries and the
+/// group-commit path is exercised), then forcing the rest.
+fn flushed_log_on(
+    kind: BackendKind,
+    seed: u64,
+    n_ops: usize,
+    flush_every: usize,
+) -> LogManager<OpRec> {
     let spec = PageWorkloadSpec {
         n_ops,
         cross_page_fraction: 0.3,
         blind_fraction: 0.2,
         ..Default::default()
     };
-    let mut log: LogManager<OpRec> = LogManager::new();
-    for op in spec.generate(seed) {
-        log.append(OpRec(op));
+    let mut log: LogManager<OpRec> = LogManager::on(kind);
+    for (i, op) in spec.generate(seed).into_iter().enumerate() {
+        let lsn = log.append(OpRec(op)).expect("encodable payload");
+        if (i + 1) % flush_every == 0 {
+            log.flush(lsn);
+        }
     }
     log.flush_all();
-    let count = log.stable_count();
-    (log.stable_bytes().to_vec(), count)
+    log
+}
+
+/// Builds the same fully flushed stable-log image on BOTH backends,
+/// asserts the durable bytes are bit-identical (so every pure-decode
+/// property below holds for both at once), and returns the image and
+/// its record count.
+fn stable_image(seed: u64, n_ops: usize) -> (Vec<u8>, usize) {
+    let mem = flushed_log_on(BackendKind::Mem, seed, n_ops, usize::MAX);
+    let file = flushed_log_on(BackendKind::File, seed, n_ops, usize::MAX);
+    assert_eq!(
+        mem.stable_bytes(),
+        file.stable_bytes(),
+        "backends diverge on the durable image"
+    );
+    assert_eq!(mem.stable_count(), file.stable_count());
+    (mem.stable_bytes().to_vec(), mem.stable_count())
 }
 
 /// The byte offsets at which a record ends (plus 0): the only cut points
@@ -48,10 +82,10 @@ fn stable_image(seed: u64, n_ops: usize) -> (Vec<u8>, usize) {
 fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
     let mut out = vec![0usize];
     let mut pos = 0usize;
-    while pos + 12 <= bytes.len() {
+    while pos + FRAME_HEADER <= bytes.len() {
         let len =
             u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
-        pos += 12 + len;
+        pos += FRAME_HEADER + len;
         if pos <= bytes.len() {
             out.push(pos);
         } else {
@@ -62,18 +96,27 @@ fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
 }
 
 /// An independent frame decoder, written against the documented frame
-/// format (8-byte LE LSN, 4-byte LE body length, body) rather than the
-/// production scan — the oracle the streaming [`LogCursor`] is checked
-/// against, so a bug in the cursor cannot hide behind itself.
+/// format (8-byte LE LSN, 4-byte LE body length, 4-byte LE CRC-32 over
+/// the first 12 header bytes plus the body, then the body) rather than
+/// the production scan — the oracle the streaming [`LogCursor`] is
+/// checked against, so a bug in the cursor cannot hide behind itself.
 fn reference_decode(bytes: &[u8]) -> SimResult<Vec<WalRecord<OpRec>>> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
+        let start = pos;
         let lsn = codec::get_u64(bytes, &mut pos)?;
         let len = codec::get_u32(bytes, &mut pos)? as usize;
+        let stored_crc = codec::get_u32(bytes, &mut pos)?;
         let end = pos.checked_add(len).ok_or(SimError::Corrupt(pos))?;
         if end > bytes.len() {
             return Err(SimError::Corrupt(pos));
+        }
+        let mut crc = Crc32::new();
+        crc.update(&bytes[start..start + 12]);
+        crc.update(&bytes[start + FRAME_HEADER..end]);
+        if crc.finish() != stored_crc {
+            return Err(SimError::Corrupt(start + 12));
         }
         let mut body_pos = pos;
         let payload = OpRec::decode(&bytes[..end], &mut body_pos)?;
@@ -108,26 +151,6 @@ fn assert_same_outcome(
         }
     }
     Ok(())
-}
-
-/// A log whose stable image was built by several batched forces (so the
-/// seek index has entries and the group-commit path is exercised).
-fn flushed_log(seed: u64, n_ops: usize, flush_every: usize) -> LogManager<OpRec> {
-    let spec = PageWorkloadSpec {
-        n_ops,
-        cross_page_fraction: 0.3,
-        blind_fraction: 0.2,
-        ..Default::default()
-    };
-    let mut log: LogManager<OpRec> = LogManager::new();
-    for (i, op) in spec.generate(seed).into_iter().enumerate() {
-        let lsn = log.append(OpRec(op));
-        if (i + 1) % flush_every == 0 {
-            log.flush(lsn);
-        }
-    }
-    log.flush_all();
-    log
 }
 
 proptest! {
@@ -171,11 +194,12 @@ proptest! {
         }
     }
 
-    /// A single flipped bit anywhere in the stable image never panics
-    /// the scan: it decodes (possibly to different records — the sim has
-    /// no per-record checksums) or reports `Corrupt` at a sane offset.
+    /// A single flipped bit anywhere in the stable image is DETECTED:
+    /// with per-frame CRC-32s, no single-bit flip may decode cleanly —
+    /// the scan must report `Corrupt` at a sane offset, never panic,
+    /// never yield silently altered records.
     #[test]
-    fn bit_flips_never_panic_the_log_scan(seed in 0u64..10_000, flip in 0usize..1usize << 16) {
+    fn bit_flips_are_always_detected(seed in 0u64..10_000, flip in 0usize..1usize << 16) {
         let (bytes, _) = stable_image(seed, 6);
         prop_assert!(!bytes.is_empty());
         let mut img = bytes.clone();
@@ -183,8 +207,13 @@ proptest! {
         let bit = (flip / img.len()) % 8;
         img[i] ^= 1 << bit;
         match decode_records::<OpRec>(&img) {
-            Ok(_) => {}
             Err(SimError::Corrupt(off)) => prop_assert!(off <= img.len()),
+            Ok(recs) => {
+                return Err(TestCaseError::Fail(format!(
+                    "bit {bit} of byte {i} went undetected ({} records decoded)",
+                    recs.len()
+                )))
+            }
             Err(e) => return Err(TestCaseError::Fail(format!("unexpected error {e:?}"))),
         }
     }
@@ -226,66 +255,81 @@ proptest! {
     }
 
     /// Seek-then-scan equals the tail of a full scan for EVERY starting
-    /// LSN — with the sparse index consulted and with it disabled — so
-    /// the index can change where the scan enters the log but never what
-    /// it yields.
+    /// LSN — with the sparse index consulted and with it disabled, on
+    /// both backends — so the index can change where the scan enters
+    /// the log but never what it yields.
     #[test]
     fn seeked_scan_equals_tail_of_full_scan(seed in 0u64..10_000, flush_every in 1usize..6) {
-        let log = flushed_log(seed, 24, flush_every);
-        let full: Vec<WalRecord<OpRec>> = log.cursor().collect::<SimResult<_>>()
-            .expect("intact image decodes");
-        let mut unindexed = log.clone();
-        unindexed.disable_seek_index();
-        prop_assert!(log.seek_index().len() > 1, "index too sparse to test a jump");
-        for from in 0..=log.stable_lsn().0 + 2 {
-            let want: Vec<&WalRecord<OpRec>> =
-                full.iter().filter(|r| r.lsn >= Lsn(from)).collect();
-            for (name, l) in [("indexed", &log), ("unindexed", &unindexed)] {
-                let got: Vec<WalRecord<OpRec>> = l.cursor_from(Lsn(from))
-                    .collect::<SimResult<_>>()
-                    .expect("seeked scan decodes");
-                prop_assert_eq!(
-                    got.iter().collect::<Vec<_>>(), want.clone(),
-                    "{} scan from {} is not the tail", name, from
-                );
+        let mut per_backend: Vec<Vec<WalRecord<OpRec>>> = Vec::new();
+        for kind in BACKENDS {
+            let log = flushed_log_on(kind, seed, 24, flush_every);
+            let full: Vec<WalRecord<OpRec>> = log.cursor().collect::<SimResult<_>>()
+                .expect("intact image decodes");
+            let mut unindexed = log.clone();
+            unindexed.disable_seek_index();
+            prop_assert!(log.seek_index().len() > 1, "index too sparse to test a jump");
+            for from in 0..=log.stable_lsn().0 + 2 {
+                let want: Vec<&WalRecord<OpRec>> =
+                    full.iter().filter(|r| r.lsn >= Lsn(from)).collect();
+                for (name, l) in [("indexed", &log), ("unindexed", &unindexed)] {
+                    let got: Vec<WalRecord<OpRec>> = l.cursor_from(Lsn(from))
+                        .collect::<SimResult<_>>()
+                        .expect("seeked scan decodes");
+                    prop_assert_eq!(
+                        got.iter().collect::<Vec<_>>(), want.clone(),
+                        "{} {:?} scan from {} is not the tail", name, kind, from
+                    );
+                }
             }
+            per_backend.push(full);
         }
+        prop_assert_eq!(&per_backend[0], &per_backend[1], "backends recover different logs");
     }
 
     /// The same seek-scan equivalence on an image torn mid-force and
     /// then repaired: `repair_tail` must leave the seek index consistent
-    /// with the surviving prefix, whatever byte the tear landed on.
+    /// with the surviving prefix, whatever byte the tear landed on —
+    /// and the in-memory and file backends must recover the SAME state
+    /// from the same torn schedule.
     #[test]
     fn seeked_scan_equals_tail_after_torn_repair(
         seed in 0u64..10_000,
         at in 1u64..30,
         tear in 1usize..25,
     ) {
-        let mut db: Db<OpRec> = Db::new(Geometry::default());
-        db.arm_faults(FaultPlan { at, kind: FaultKind::TornFlush { bytes: tear } });
-        let spec = PageWorkloadSpec { n_ops: 24, ..Default::default() };
-        for (i, op) in spec.generate(seed).into_iter().enumerate() {
-            let lsn = db.log.append(OpRec(op));
-            if i % 3 == 2 {
-                db.log.flush(lsn);
+        let mut per_backend: Vec<Vec<WalRecord<OpRec>>> = Vec::new();
+        for kind in BACKENDS {
+            let mut db: Db<OpRec> = Db::on(kind, Geometry::default(), None);
+            db.arm_faults(FaultPlan { at, kind: FaultKind::TornFlush { bytes: tear } });
+            let spec = PageWorkloadSpec { n_ops: 24, ..Default::default() };
+            for (i, op) in spec.generate(seed).into_iter().enumerate() {
+                let lsn = db.log.append(OpRec(op)).expect("encodable payload");
+                if i % 3 == 2 {
+                    db.log.flush(lsn);
+                }
             }
+            db.log.flush_all();
+            db.crash();
+            db.repair_after_crash();
+            let full: Vec<WalRecord<OpRec>> = db.log.cursor().collect::<SimResult<_>>()
+                .expect("repaired image decodes");
+            for from in 0..=db.log.stable_lsn().0 + 2 {
+                let want: Vec<&WalRecord<OpRec>>  =
+                    full.iter().filter(|r| r.lsn >= Lsn(from)).collect();
+                let got: Vec<WalRecord<OpRec>> = db.log.cursor_from(Lsn(from))
+                    .collect::<SimResult<_>>()
+                    .expect("seeked scan over repaired image decodes");
+                prop_assert_eq!(
+                    got.iter().collect::<Vec<_>>(), want,
+                    "post-repair {:?} scan from {} is not the tail", kind, from
+                );
+            }
+            per_backend.push(full);
         }
-        db.log.flush_all();
-        db.crash();
-        db.repair_after_crash();
-        let full: Vec<WalRecord<OpRec>> = db.log.cursor().collect::<SimResult<_>>()
-            .expect("repaired image decodes");
-        for from in 0..=db.log.stable_lsn().0 + 2 {
-            let want: Vec<&WalRecord<OpRec>> =
-                full.iter().filter(|r| r.lsn >= Lsn(from)).collect();
-            let got: Vec<WalRecord<OpRec>> = db.log.cursor_from(Lsn(from))
-                .collect::<SimResult<_>>()
-                .expect("seeked scan over repaired image decodes");
-            prop_assert_eq!(
-                got.iter().collect::<Vec<_>>(), want,
-                "post-repair scan from {} is not the tail", from
-            );
-        }
+        prop_assert_eq!(
+            &per_backend[0], &per_backend[1],
+            "backends recover different states from the same torn schedule"
+        );
     }
 
     /// The page-op codec itself round-trips, and survives any single
@@ -300,7 +344,7 @@ proptest! {
         .generate(seed)
         .remove(0);
         let mut buf = Vec::new();
-        codec::put_page_op(&mut buf, &op);
+        codec::put_page_op(&mut buf, &op).expect("encodable op");
         let mut pos = 0;
         let back = codec::get_page_op(&buf, &mut pos).expect("roundtrip decodes");
         prop_assert_eq!(&back, &op);

@@ -29,6 +29,7 @@ fn drive<M: RecoveryMethod>(method: &M, ops: &[PageOp]) {
         slots_per_page: 8,
         pool_capacity: None,
         fault: None,
+        ..Default::default()
     };
     match run(method, ops, &cfg) {
         Ok(report) => {

@@ -59,6 +59,7 @@ fn harness_catches_the_lying_checkpoint() {
             slots_per_page: 8,
             pool_capacity: None,
             fault: None,
+            ..Default::default()
         };
         match run(&LyingCheckpoint, &ops, &cfg) {
             Err(HarnessFailure::StateMismatch { .. } | HarnessFailure::Invariant { .. }) => {

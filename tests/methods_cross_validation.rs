@@ -8,6 +8,7 @@ use redo_recovery::methods::logical::Logical;
 use redo_recovery::methods::physical::Physical;
 use redo_recovery::methods::physiological::Physiological;
 use redo_recovery::methods::RecoveryMethod;
+use redo_recovery::sim::backend::BackendKind;
 use redo_recovery::workload::pages::{PageOp, PageWorkloadSpec};
 
 fn blind_ops(n: usize, seed: u64) -> Vec<PageOp> {
@@ -53,6 +54,7 @@ fn sweep<M: RecoveryMethod>(method: &M, ops_for: fn(usize, u64) -> Vec<PageOp>) 
                 slots_per_page: 8,
                 pool_capacity: None,
                 fault: None,
+                backend: BackendKind::Mem,
             };
             last = run(method, &ops_for(80, seed), &cfg).unwrap_or_else(|e| {
                 panic!(
@@ -112,6 +114,7 @@ fn generalized_multi_page_sweep_with_audit() {
             slots_per_page: 8,
             pool_capacity: None,
             fault: None,
+            backend: BackendKind::Mem,
         };
         run(&Generalized, &ops, &cfg).unwrap_or_else(|e| panic!("multi-page seed {seed}: {e}"));
     }
@@ -151,6 +154,7 @@ fn bounded_pool_methods_still_recover() {
             slots_per_page: 8,
             pool_capacity: Some(3),
             fault: None,
+            backend: BackendKind::Mem,
         };
         run(&Physiological, &physio_ops(60, seed), &cfg)
             .unwrap_or_else(|e| panic!("physiological bounded pool seed {seed}: {e}"));
@@ -170,6 +174,7 @@ fn more_frequent_checkpoints_never_hurt_replay_volume() {
         slots_per_page: 8,
         pool_capacity: None,
         fault: None,
+        backend: BackendKind::Mem,
     };
     let rare = run(&Physical, &blind_ops(100, 3), &mk(Some(50))).unwrap();
     let frequent = run(&Physical, &blind_ops(100, 3), &mk(Some(5))).unwrap();
@@ -203,6 +208,7 @@ fn log_volume_ordering_physical_vs_physiological() {
         slots_per_page: 8,
         pool_capacity: None,
         fault: None,
+        backend: BackendKind::Mem,
     };
     let phys = run(&Physical, &multi, &cfg).unwrap();
     let physio = run(&Physiological, &physio_ops(80, 9), &cfg).unwrap();

@@ -20,9 +20,10 @@ use std::collections::BTreeMap;
 struct Blob(Vec<u8>);
 
 impl LogPayload for Blob {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
         codec::put_u32(buf, self.0.len() as u32);
         buf.extend_from_slice(&self.0);
+        Ok(())
     }
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
         let n = codec::get_u32(input, pos)? as usize;
@@ -93,7 +94,7 @@ proptest! {
         let mut pending: Vec<Blob> = Vec::new();
         for (i, bytes) in blobs.iter().enumerate() {
             let blob = Blob(bytes.clone());
-            log.append(blob.clone());
+            log.append(blob.clone()).unwrap();
             pending.push(blob);
             if flush_at.get(i).copied().unwrap_or(false) {
                 log.flush_all();
@@ -109,7 +110,7 @@ proptest! {
     #[test]
     fn page_op_codec_roundtrip(op in arb_page_op(8, 8)) {
         let mut buf = Vec::new();
-        codec::put_page_op(&mut buf, &op);
+        codec::put_page_op(&mut buf, &op).unwrap();
         let mut pos = 0;
         prop_assert_eq!(codec::get_page_op(&buf, &mut pos).unwrap(), op);
         prop_assert_eq!(pos, buf.len());
@@ -120,7 +121,7 @@ proptest! {
     #[test]
     fn truncated_page_op_is_corrupt(op in arb_page_op(8, 8), cut in any::<prop::sample::Index>()) {
         let mut buf = Vec::new();
-        codec::put_page_op(&mut buf, &op);
+        codec::put_page_op(&mut buf, &op).unwrap();
         let cut = cut.index(buf.len()); // 0..len-1: strictly truncated
         let mut pos = 0;
         let r = codec::get_page_op(&buf[..cut], &mut pos);
@@ -136,7 +137,7 @@ proptest! {
     ) {
         let mut db: Db<Blob> = Db::new(Geometry { slots_per_page: 8 });
         for (i, op) in ops.iter().enumerate() {
-            let lsn = db.log.append(Blob(vec![0u8; 4]));
+            let lsn = db.log.append(Blob(vec![0u8; 4])).unwrap();
             db.apply_page_op(op, lsn).unwrap();
             if let Some(&(flush_log, page)) = chaos.get(i) {
                 if flush_log {
@@ -171,6 +172,7 @@ proptest! {
             slots_per_page: 8,
             pool_capacity: None,
             fault: None,
+            backend: redo_recovery::sim::backend::BackendKind::Mem,
         };
         let blind = PageWorkloadSpec { n_ops: 40, n_pages: 5, blind_fraction: 1.0, ..Default::default() }
             .generate(seed);

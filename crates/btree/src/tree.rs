@@ -415,7 +415,7 @@ impl BTree {
         self.db.pool.flush_all(&mut self.db.disk, stable)?;
         let ck = self.db.log.append(BtPayload::Checkpoint)?;
         self.db.log.flush_all();
-        self.db.disk.set_master(ck);
+        self.db.disk.set_master(ck)?;
         Ok(())
     }
 

@@ -17,13 +17,15 @@
 //! * `walks`     — fuzz write-graph evolutions against Corollary 5.
 //! * `beyond`    — search for §7's beyond-the-theory witnesses.
 //! * `crash-audit` — drive each method (`--method all` by default;
-//!   `logical|physical|physiological|generalized|online|fuzzy|parallel`)
+//!   `logical|physical|physiological|generalized|online|fuzzy|parallel|ondemand`)
 //!   through seeded crash schedules with injected faults: torn page
 //!   writes, partial log flushes, and a crash in the middle of every
 //!   recovery, checking the Recovery Invariant after each completed
 //!   recovery. The `online` method additionally exposes its fuzzy
 //!   checkpoint publication (force, pointer swing, truncation) as
-//!   faultable crash points. `--capacity 0` means an unbounded buffer
+//!   faultable crash points. The `ondemand` method recovers through
+//!   the instant-restart path — every probe recovery also reopens the
+//!   crashed image lazily and serves all durable cells mid-recovery. `--capacity 0` means an unbounded buffer
 //!   pool. `--backend file` runs every schedule against the fsync-backed
 //!   file backend in a fresh temporary directory instead of the
 //!   in-memory simulation.
@@ -43,6 +45,7 @@ use redo_methods::broken::{LyingCheckpoint, SkippyRedo};
 use redo_methods::fuzzy::FuzzyPhysiological;
 use redo_methods::generalized::Generalized;
 use redo_methods::logical::Logical;
+use redo_methods::ondemand::OnDemand;
 use redo_methods::online::GeneralizedOnline;
 use redo_methods::parallel::{ParallelOnline, ParallelPhysical, ParallelPhysiological};
 use redo_methods::physical::Physical;
@@ -204,7 +207,7 @@ fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
                 "{}: OK — {} schedules, {} crashes ({} mid-recovery), {} faults fired \
                  ({} torn writes, {} torn flushes, {} clean stops), {} torn pages repaired, \
                  {} log bytes dropped, {} recoveries verified, {} seekless probes agreed, \
-                 {} parallel probes agreed",
+                 {} parallel probes agreed, {} ondemand probes agreed",
                 method.name(),
                 r.schedules,
                 r.crashes,
@@ -217,7 +220,8 @@ fn audit_method<M: RecoveryMethod>(method: &M, cfg: &CrashAuditConfig) -> bool {
                 r.log_bytes_dropped,
                 r.recoveries_verified,
                 r.seekless_probes,
-                r.parallel_probes
+                r.parallel_probes,
+                r.ondemand_probes
             );
             true
         }
@@ -270,6 +274,10 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
     }
     if all || method == "fuzzy" {
         clean &= audit_method(&FuzzyPhysiological, &cfg);
+        matched = true;
+    }
+    if all || method == "ondemand" {
+        clean &= audit_method(&OnDemand, &cfg);
         matched = true;
     }
     if all || method == "parallel" {

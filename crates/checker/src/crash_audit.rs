@@ -23,7 +23,13 @@
 //!    *third* clone — for methods whose discipline admits one — runs
 //!    the page-partitioned **parallel restart**
 //!    ([`RecoveryMethod::parallel_restart`]) and must reach the same
-//!    state while passing the invariant for its own redo set.
+//!    state while passing the invariant for its own redo set. A
+//!    *fourth* clone — for methods implementing the instant-restart
+//!    path ([`RecoveryMethod::ondemand_restart`]) — opens immediately
+//!    and serves a read probe on every durable cell *while recovery is
+//!    still running*; each mid-recovery value must equal what the page
+//!    finally holds, and the drained state must match the sequential
+//!    probe exactly.
 //! 3. **Crash mid-recovery**: on the real image, arm a *second* fault
 //!    plan and run recovery again, then crash unconditionally. Because
 //!    recovery's replay is volatile until a post-recovery checkpoint,
@@ -40,7 +46,7 @@
 //! 4, and 5) — an interrupted recovery has no realized redo set to
 //! check, only the obligation that the next one still succeeds.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -58,7 +64,7 @@ use redo_theory::invariant::recovery_invariant;
 use redo_theory::log::Log;
 use redo_theory::state::State;
 use redo_theory::state_graph::StateGraph;
-use redo_workload::pages::{PageOp, PageWorkloadSpec};
+use redo_workload::pages::{Cell, PageOp, PageWorkloadSpec};
 
 /// Crash-audit configuration.
 #[derive(Clone, Debug)]
@@ -142,6 +148,13 @@ pub struct CrashAuditReport {
     /// for methods whose discipline admits a parallel restart; zero for
     /// the rest).
     pub parallel_probes: u64,
+    /// On-demand (instant restart) equivalence probes: crashed images
+    /// reopened through [`RecoveryMethod::ondemand_restart`], serving
+    /// every durable cell mid-recovery, whose served values matched the
+    /// final page contents and whose drained state matched the
+    /// sequential probe (one per schedule for methods with a lazy
+    /// path; zero for the rest).
+    pub ondemand_probes: u64,
     /// Operations replayed across all verified recoveries.
     pub replayed: usize,
     /// Operations bypassed as installed across all verified recoveries.
@@ -260,7 +273,7 @@ fn sample_plan(rng: &mut StdRng, max_at: u64) -> FaultPlan {
 fn shaped_workload(method_name: &str, cfg: &CrashAuditConfig, seed: u64) -> Vec<PageOp> {
     let (cross, blind, multi) = match method_name {
         "physical" | "physical-parallel" => (0.0, 1.0, 0.0),
-        "generalized-lsn" | "generalized-online" => (0.5, 0.1, 0.2),
+        "generalized-lsn" | "generalized-online" | "ondemand" => (0.5, 0.1, 0.2),
         "logical" => (0.5, 0.1, 0.0),
         _ => (0.0, 0.2, 0.0),
     };
@@ -443,6 +456,56 @@ fn run_schedule<M: RecoveryMethod>(
         report.parallel_probes += 1;
     }
     drop(par_probe);
+
+    // On-demand (instant restart) equivalence: if the method has a lazy
+    // per-page path, reopen the same crashed image through it and serve
+    // a read on every durable cell mid-recovery. Three obligations:
+    // each served value is *final* (re-reading after the drain returns
+    // the same value — a served page's content never changes), the
+    // realized redo set passes the Recovery Invariant, and the drained
+    // state equals the sequential probe's.
+    let probes: Vec<Cell> = durable
+        .iter()
+        .flat_map(|op| op.writes.iter().copied())
+        .collect::<BTreeSet<Cell>>()
+        .into_iter()
+        .collect();
+    let mut od_probe = db.clone();
+    if let Some(res) = method.ondemand_restart(&mut od_probe, &probes) {
+        let (od_stats, served) = res.map_err(|e| fail("ondemand probe", e.into()))?;
+        verify_recovery(
+            &view,
+            &od_stats,
+            &od_probe.volatile_theory_state(),
+            &pre1,
+            1,
+        )
+        .map_err(|e| fail("ondemand probe", e))?;
+        if od_probe.volatile_theory_state() != probe.volatile_theory_state() {
+            return Err(fail(
+                "ondemand probe",
+                HarnessFailure::StateMismatch { crash: Some(1) },
+            ));
+        }
+        for (&cell, &mid) in probes.iter().zip(&served) {
+            let fin = od_probe
+                .read_cell(cell)
+                .map_err(|e| fail("ondemand probe", e.into()))?;
+            if mid != fin {
+                return Err(fail(
+                    "ondemand probe",
+                    HarnessFailure::Invariant {
+                        crash: 1,
+                        detail: format!(
+                            "cell {cell:?} served {mid} mid-recovery but holds {fin} after the drain"
+                        ),
+                    },
+                ));
+            }
+        }
+        report.ondemand_probes += 1;
+    }
+    drop(od_probe);
     drop(probe);
 
     // Step 3: crash the real image mid-recovery.
@@ -518,6 +581,7 @@ mod tests {
     use redo_methods::fuzzy::FuzzyPhysiological;
     use redo_methods::generalized::Generalized;
     use redo_methods::logical::Logical;
+    use redo_methods::ondemand::OnDemand;
     use redo_methods::online::GeneralizedOnline;
     use redo_methods::parallel::{ParallelOnline, ParallelPhysical, ParallelPhysiological};
     use redo_methods::physical::Physical;
@@ -577,6 +641,32 @@ mod tests {
         let report = audit(&GeneralizedOnline, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
         assert_eq!(report.parallel_probes, 0);
+    }
+
+    #[test]
+    fn ondemand_survives_crash_audit() {
+        // The instant-restart method end to end: every probe recovery
+        // additionally reopens the crashed image lazily and serves all
+        // durable cells mid-recovery; mid-recovery crashes interrupt
+        // lazy replay itself (gates must close back up).
+        let cfg = small();
+        let report = audit(&OnDemand, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        assert_eq!(report.ondemand_probes, cfg.schedules);
+        assert_eq!(report.parallel_probes, 0, "lazy path, not partitioned");
+    }
+
+    #[test]
+    fn ondemand_survives_crash_audit_on_files() {
+        let cfg = CrashAuditConfig {
+            schedules: 6,
+            n_ops: 24,
+            backend: BackendKind::File,
+            ..Default::default()
+        };
+        let report = audit(&OnDemand, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        assert_eq!(report.ondemand_probes, cfg.schedules);
     }
 
     #[test]

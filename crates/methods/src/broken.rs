@@ -106,7 +106,7 @@ impl RecoveryMethod for LyingCheckpoint {
         // the master". This one skips the flush.
         let ck = db.log.append(PageOpPayload::Checkpoint)?;
         db.log.flush_all();
-        db.disk.set_master(ck);
+        db.disk.set_master(ck)?;
         Ok(())
     }
 

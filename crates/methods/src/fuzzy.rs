@@ -192,7 +192,7 @@ impl RecoveryMethod for FuzzyPhysiological {
         let dirty = Self::dirty_page_table(db);
         let ck = db.log.append(FuzzyPayload::Checkpoint { dirty })?;
         db.log.flush_all();
-        db.disk.set_master(ck);
+        db.disk.set_master(ck)?;
         Ok(())
     }
 

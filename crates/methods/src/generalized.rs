@@ -51,7 +51,7 @@ fn check_shape(op: &PageOp) -> SimResult<()> {
     Ok(())
 }
 
-fn register_constraints(db: &mut Db<PageOpPayload>, op: &PageOp, lsn: Lsn) {
+pub(crate) fn register_constraints(db: &mut Db<PageOpPayload>, op: &PageOp, lsn: Lsn) {
     let written = op.written_pages();
     for read_page in op.read_pages() {
         if !written.contains(&read_page) {
@@ -83,7 +83,7 @@ fn register_constraints(db: &mut Db<PageOpPayload>, op: &PageOp, lsn: Lsn) {
 /// a constraint into every member). A cycle corresponds to a collapse
 /// §5 would reject as cyclic: the single-copy cache could never flush
 /// legally again.
-fn would_cycle(db: &Db<PageOpPayload>, op: &PageOp) -> bool {
+pub(crate) fn would_cycle(db: &Db<PageOpPayload>, op: &PageOp) -> bool {
     let written = op.written_pages();
     // Union-find over pages: identify members of active groups and of
     // the new op's write set.
@@ -323,7 +323,7 @@ impl RecoveryMethod for Generalized {
         db.pool.flush_all(&mut db.disk, stable)?;
         let ck = db.log.append(PageOpPayload::Checkpoint)?;
         db.log.flush_all();
-        db.disk.set_master(ck);
+        db.disk.set_master(ck)?;
         Ok(())
     }
 

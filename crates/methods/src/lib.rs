@@ -50,6 +50,7 @@ pub mod fuzzy;
 pub mod generalized;
 pub mod harness;
 pub mod logical;
+pub mod ondemand;
 pub mod online;
 pub mod oprecord;
 pub mod parallel;
@@ -60,7 +61,7 @@ use redo_sim::db::Db;
 use redo_sim::wal::{LogPayload, ScanStats};
 use redo_sim::SimResult;
 use redo_theory::log::Lsn;
-use redo_workload::pages::PageOp;
+use redo_workload::pages::{Cell, PageOp};
 
 /// How many records a recovery scan decodes per [`redo_sim::wal::LogScanner`]
 /// batch before replaying them — the size of the streaming window.
@@ -193,6 +194,23 @@ pub trait RecoveryMethod {
         _db: &mut Db<Self::Payload>,
         _threads: usize,
     ) -> Option<SimResult<RecoveryStats>> {
+        None
+    }
+
+    /// Recovers the crashed database through the *on-demand* (instant
+    /// restart) path, if this method implements one: open immediately,
+    /// serve each probe cell by lazily replaying only its page's
+    /// residual log chain, then drain the remaining gates. Returns the
+    /// final stats plus the value each probe observed **while recovery
+    /// was still running** — the crash auditor cross-validates those
+    /// mid-recovery reads against a sequential full-redo probe's final
+    /// state (the Recovery Invariant's instant-restart corollary: a
+    /// served page's content never changes after it is served).
+    fn ondemand_restart(
+        &self,
+        _db: &mut Db<Self::Payload>,
+        _probes: &[Cell],
+    ) -> Option<SimResult<(RecoveryStats, Vec<u64>)>> {
         None
     }
 }

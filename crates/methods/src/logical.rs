@@ -73,7 +73,7 @@ impl RecoveryMethod for Logical {
             // scans less log.
             let ck = db.log.append(PageOpPayload::Checkpoint)?;
             db.log.flush_all();
-            db.disk.set_master(ck);
+            db.disk.set_master(ck)?;
             return Ok(());
         }
         for (id, page) in &dirty {
@@ -86,7 +86,7 @@ impl RecoveryMethod for Logical {
         // "promote" and "set master" must not exist, or recovery would
         // see checkpoint pages installed while the master still points
         // at the previous checkpoint.
-        db.disk.swing_pointer(ck);
+        db.disk.swing_pointer(ck)?;
         for (id, _) in dirty {
             db.pool.mark_clean(id)?;
         }

@@ -81,7 +81,7 @@ impl GeneralizedOnline {
         if db.log.stable_lsn() < ck {
             return Ok(None);
         }
-        db.disk.set_master(ck);
+        db.disk.set_master(ck)?;
         if db.disk.master() != ck {
             return Ok(None);
         }

@@ -74,6 +74,15 @@ impl LogPayload for PageOpPayload {
             _ => Err(SimError::Corrupt(*pos - 1)),
         }
     }
+
+    fn write_pages(&self) -> Vec<PageId> {
+        // Only operation records extend per-page chains; checkpoint
+        // markers touch no page.
+        match self {
+            PageOpPayload::Op(op) => op.written_pages(),
+            PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

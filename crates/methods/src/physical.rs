@@ -185,7 +185,7 @@ impl Physical {
         if db.log.stable_lsn() < ck {
             return Ok(None);
         }
-        db.disk.set_master(ck);
+        db.disk.set_master(ck)?;
         if db.disk.master() != ck {
             return Ok(None);
         }
@@ -238,7 +238,7 @@ impl RecoveryMethod for Physical {
         db.pool.flush_all(&mut db.disk, stable)?;
         let ck = db.log.append(PhysPayload::Checkpoint)?;
         db.log.flush_all();
-        db.disk.set_master(ck);
+        db.disk.set_master(ck)?;
         Ok(())
     }
 

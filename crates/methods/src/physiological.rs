@@ -69,7 +69,7 @@ impl RecoveryMethod for Physiological {
         db.pool.flush_all(&mut db.disk, stable)?;
         let ck = db.log.append(PageOpPayload::Checkpoint)?;
         db.log.flush_all();
-        db.disk.set_master(ck);
+        db.disk.set_master(ck)?;
         Ok(())
     }
 

@@ -79,10 +79,11 @@ impl StorageBackend for MemStorage {
         true
     }
 
-    fn write_pages(&mut self, pages: Vec<(PageId, Page)>) {
+    fn write_pages(&mut self, pages: Vec<(PageId, Page)>) -> SimResult<()> {
         for (id, page) in pages {
             self.current.insert(id, page);
         }
+        Ok(())
     }
 
     fn write_staging(&mut self, id: PageId, page: Page) {
@@ -97,16 +98,18 @@ impl StorageBackend for MemStorage {
         self.staging.clear();
     }
 
-    fn promote_staging(&mut self) {
+    fn promote_staging(&mut self) -> SimResult<()> {
         let staged = std::mem::take(&mut self.staging);
         for (id, page) in staged {
             self.current.insert(id, page);
         }
+        Ok(())
     }
 
-    fn swing_pointer(&mut self, master: Lsn) {
-        self.promote_staging();
+    fn swing_pointer(&mut self, master: Lsn) -> SimResult<()> {
+        self.promote_staging()?;
         self.master_lsn = master;
+        Ok(())
     }
 
     fn set_master(&mut self, lsn: Lsn) {

@@ -143,7 +143,13 @@ pub trait StorageBackend: fmt::Debug + Send + Sync {
     /// the page cannot tear (fewer than 2 sectors) and nothing landed.
     fn tear_page(&mut self, id: PageId, page: Page, sectors: u16) -> bool;
     /// Atomically installs a set of pages: all or none.
-    fn write_pages(&mut self, pages: Vec<(PageId, Page)>);
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::FieldOverflow`] if the install's on-disk
+    /// encoding (e.g. the file backend's intentions list) cannot
+    /// describe the set; nothing is installed on error.
+    fn write_pages(&mut self, pages: Vec<(PageId, Page)>) -> SimResult<()>;
     /// Writes a page to the staging area (invisible until promoted).
     fn write_staging(&mut self, id: PageId, page: Page);
     /// Number of staged pages.
@@ -151,17 +157,33 @@ pub trait StorageBackend: fmt::Debug + Send + Sync {
     /// Discards the staging area.
     fn discard_staging(&mut self);
     /// Atomically replaces installed copies with every staged page.
-    fn promote_staging(&mut self);
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageBackend::write_pages`]: the staged set's encoding
+    /// must fit its on-disk fields; nothing is promoted on error.
+    fn promote_staging(&mut self) -> SimResult<()>;
     /// The full checkpoint pointer swing: staged pages and the new
     /// master become visible in the same atomic instant. File backends
     /// realize this with an intentions list committed by `rename`.
-    fn swing_pointer(&mut self, master: Lsn);
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageBackend::write_pages`]; neither the pages nor the
+    /// master move on error.
+    fn swing_pointer(&mut self, master: Lsn) -> SimResult<()>;
     /// The machine died during a pointer install, *before* the commit
     /// point: leave whatever pre-commit debris the medium would hold (a
     /// written-but-unrenamed temp file) without installing anything.
     /// In-memory backends have no debris; default is a no-op.
-    fn abandon_install(&mut self, master: Lsn) {
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageBackend::write_pages`] — the debris is the encoded
+    /// intent, so an unencodable staged set leaves none.
+    fn abandon_install(&mut self, master: Lsn) -> SimResult<()> {
         let _ = master;
+        Ok(())
     }
     /// Durably records the checkpoint pointer.
     fn set_master(&mut self, lsn: Lsn);

@@ -411,7 +411,7 @@ impl BufferPool {
                 let (m, page) = batch.pop().expect("len checked");
                 disk.write_page(m, page);
             }
-            _ => disk.write_pages_atomic(batch),
+            _ => disk.write_pages_atomic(batch)?,
         }
         self.gc_constraints(disk);
         self.gc_groups(disk);

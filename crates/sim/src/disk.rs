@@ -140,12 +140,17 @@ impl Disk {
     /// approximate it with shadowing or intentions lists (which is
     /// literally what the file backend does); the benchmarks charge one
     /// page write per member.
-    pub fn write_pages_atomic(&mut self, pages: Vec<(PageId, Page)>) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] when the backend cannot encode its
+    /// intentions list; nothing is installed on error.
+    pub fn write_pages_atomic(&mut self, pages: Vec<(PageId, Page)>) -> SimResult<()> {
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
-            return;
+            return Ok(());
         }
         self.page_writes += pages.len() as u64;
-        self.backend.write_pages(pages);
+        self.backend.write_pages(pages)
     }
 
     /// Writes a page to the staging area (not yet installed). One
@@ -182,8 +187,7 @@ impl Disk {
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
             return Ok(());
         }
-        self.backend.promote_staging();
-        Ok(())
+        self.backend.promote_staging()
     }
 
     /// The *full* checkpoint pointer swing as one faultable, atomic act:
@@ -197,12 +201,16 @@ impl Disk {
     /// master still points at the old checkpoint.) A crash point here
     /// leaves the backend's pre-commit debris (a written-but-unrenamed
     /// temp file, for the file backend) and installs nothing.
-    pub fn swing_pointer(&mut self, master: Lsn) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] when the backend cannot encode its
+    /// intentions list; nothing is installed on error.
+    pub fn swing_pointer(&mut self, master: Lsn) -> SimResult<()> {
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
-            self.backend.abandon_install(master);
-            return;
+            return self.backend.abandon_install(master);
         }
-        self.backend.swing_pointer(master);
+        self.backend.swing_pointer(master)
     }
 
     /// Discards the staging area (e.g. when a quiesce is abandoned).
@@ -215,12 +223,18 @@ impl Disk {
     /// atomic (a single sector in the simulation, a temp + `fsync` +
     /// `rename` on files). A crash point here leaves pre-commit debris
     /// and the old pointer.
-    pub fn set_master(&mut self, lsn: Lsn) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] when the fault path's abandoned
+    /// install cannot encode its intent debris; the master pointer
+    /// itself never fails to publish.
+    pub fn set_master(&mut self, lsn: Lsn) -> SimResult<()> {
         if self.injector.on_atomic_write() != FaultDecision::Proceed {
-            self.backend.abandon_install(lsn);
-            return;
+            return self.backend.abandon_install(lsn);
         }
         self.backend.set_master(lsn);
+        Ok(())
     }
 
     /// The durable checkpoint pointer.
@@ -350,7 +364,7 @@ mod tests {
             d.write_page(PageId(0), p.clone());
             p.set(SlotId(0), 2);
             d.write_staging(PageId(0), p);
-            d.set_master(Lsn(5));
+            d.set_master(Lsn(5)).unwrap();
             d.crash();
             assert_eq!(d.read_page(PageId(0), 4).unwrap().get(SlotId(0)), 1);
             assert_eq!(d.staging_len(), 0);
@@ -442,12 +456,12 @@ mod tests {
                 at: 1,
                 kind: FaultKind::Clean,
             });
-            d.swing_pointer(Lsn(5));
+            d.swing_pointer(Lsn(5)).unwrap();
             assert_eq!(d.master(), Lsn::ZERO);
             assert_eq!(d.read_page(PageId(0), 4).unwrap().get(SlotId(0)), 0);
             d.injector.reset();
             // With no fault both land at once.
-            d.swing_pointer(Lsn(5));
+            d.swing_pointer(Lsn(5)).unwrap();
             assert_eq!(d.master(), Lsn(5));
             assert_eq!(d.read_page(PageId(0), 4).unwrap().get(SlotId(0)), 9);
             assert_eq!(d.staging_len(), 0);
@@ -458,7 +472,7 @@ mod tests {
     fn suppressed_swing_survives_a_crash_with_the_old_master() {
         use crate::fault::{FaultKind, FaultPlan};
         both(|mut d| {
-            d.set_master(Lsn(3));
+            d.set_master(Lsn(3)).unwrap();
             let mut p = Page::new(4);
             p.set(SlotId(0), 9);
             d.write_staging(PageId(7), p);
@@ -468,7 +482,7 @@ mod tests {
             });
             // Dies between temp-write and rename (file backend) / before
             // the atomic instant (mem backend)…
-            d.swing_pointer(Lsn(8));
+            d.swing_pointer(Lsn(8)).unwrap();
             d.crash();
             d.injector.reset();
             // …and reopen finds the old checkpoint, nothing installed.
@@ -486,7 +500,8 @@ mod tests {
                 at: 1,
                 kind: FaultKind::TornWrite { sectors: 1 },
             });
-            d.write_pages_atomic(vec![(PageId(0), Page::new(4)), (PageId(1), Page::new(4))]);
+            d.write_pages_atomic(vec![(PageId(0), Page::new(4)), (PageId(1), Page::new(4))])
+                .unwrap();
             // The tear degraded to a clean stop: nothing landed, nothing
             // is torn.
             assert_eq!(d.page_writes(), 0);

@@ -49,8 +49,17 @@ use crate::page::Page;
 
 /// A buffer pool split into power-of-two page-id shards over one shared
 /// disk. See the module docs for the locking discipline.
+///
+/// Each shard also carries a **recovery-gate set**: pages whose
+/// post-crash redo is still owed when the store is opened on demand
+/// (instant restart). The gate sets are membership registries only —
+/// the replay itself lives with the recovery method; the store just
+/// answers "may this page be served yet?" ([`ShardedStore::is_gated`])
+/// and has gates placed/cleared around it. Gate locks are leaves:
+/// they are never held while acquiring any other lock.
 pub struct ShardedStore {
     shards: Box<[Mutex<BufferPool>]>,
+    gates: Box<[Mutex<BTreeSet<PageId>>]>,
     disk: Mutex<Disk>,
     mask: u32,
 }
@@ -60,13 +69,24 @@ impl ShardedStore {
     /// unbounded pool shards over a fresh disk.
     #[must_use]
     pub fn new(n_shards: usize) -> ShardedStore {
+        ShardedStore::with_disk(n_shards, Disk::new())
+    }
+
+    /// A store over an *existing* disk — the crash survivor an
+    /// on-demand restart reopens immediately, before any redo has run.
+    #[must_use]
+    pub fn with_disk(n_shards: usize, disk: Disk) -> ShardedStore {
         let n = n_shards.max(1).next_power_of_two();
         ShardedStore {
             shards: (0..n)
                 .map(|_| Mutex::new(BufferPool::new(None)))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
-            disk: Mutex::new(Disk::new()),
+            gates: (0..n)
+                .map(|_| Mutex::new(BTreeSet::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            disk: Mutex::new(disk),
             mask: (n - 1) as u32,
         }
     }
@@ -213,7 +233,7 @@ impl ShardedStore {
                     let (m, page) = batch.pop().expect("len checked");
                     disk.write_page(m, page);
                 }
-                _ => disk.write_pages_atomic(batch),
+                _ => disk.write_pages_atomic(batch)?,
             }
             for (_, pool) in &mut pools {
                 pool.gc_constraints(&disk);
@@ -253,6 +273,45 @@ impl ShardedStore {
                 return Err(first_err.expect("no progress implies an error"));
             }
         }
+    }
+
+    /// Places recovery gates on `pages`: each is unservable until
+    /// [`ShardedStore::ungate_pages`] clears it after its lazy redo.
+    pub fn gate_pages(&self, pages: impl IntoIterator<Item = PageId>) {
+        for p in pages {
+            self.gates[self.shard_of(p)].lock().insert(p);
+        }
+    }
+
+    /// Is this page still gated behind its deferred redo? The fast
+    /// path every read takes; a brief leaf lock on one shard's gate
+    /// set.
+    #[must_use]
+    pub fn is_gated(&self, page: PageId) -> bool {
+        self.gates[self.shard_of(page)].lock().contains(&page)
+    }
+
+    /// Opens the gates on `pages` — their redo is complete; reads may
+    /// be served.
+    pub fn ungate_pages(&self, pages: impl IntoIterator<Item = PageId>) {
+        for p in pages {
+            self.gates[self.shard_of(p)].lock().remove(&p);
+        }
+    }
+
+    /// Every gated page across all shards, in id order (the sweeper's
+    /// worklist).
+    #[must_use]
+    pub fn gated_pages(&self) -> Vec<PageId> {
+        let mut gated: Vec<PageId> = self.gates.iter().flat_map(|g| g.lock().clone()).collect();
+        gated.sort_unstable();
+        gated
+    }
+
+    /// Pages still gated, across all shards.
+    #[must_use]
+    pub fn gated_count(&self) -> usize {
+        self.gates.iter().map(|g| g.lock().len()).sum()
     }
 
     /// Consumes the store, keeping only what survives a crash: the

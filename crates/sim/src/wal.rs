@@ -49,10 +49,12 @@
 //! module supplies the primitive encoders, including a codec for
 //! [`PageOp`](redo_workload::pages::PageOp), which several methods embed.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
 
 use redo_theory::log::Lsn;
+use redo_workload::pages::PageId;
 
 use crate::backend::{BackendKind, Crc32, LogBackend};
 use crate::error::{SimError, SimResult};
@@ -78,6 +80,15 @@ pub trait LogPayload: Clone + fmt::Debug {
     ///
     /// [`SimError::Corrupt`] at the failing offset.
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self>;
+    /// The pages this payload writes, if it describes page work. The log
+    /// manager threads these into its per-page record chains as frames
+    /// become stable, so on-demand recovery can replay one page's
+    /// history without scanning the whole suffix. Payloads that carry no
+    /// page work (checkpoint markers, raw test payloads) return the
+    /// default empty set and stay out of every chain.
+    fn write_pages(&self) -> Vec<PageId> {
+        Vec::new()
+    }
 }
 
 /// One log record: an LSN and a method-specific payload.
@@ -115,6 +126,14 @@ pub struct LogManager<P> {
     /// bookkeeping covers, so tail repair can only drop them wholesale.
     seek_index: Vec<(Lsn, u64)>,
     seek_enabled: bool,
+    /// Per-page record chains: for every page some stable record
+    /// writes, the (LSN, stable byte offset) of each such record, in
+    /// LSN order — the per-page next-LSN links on-demand recovery
+    /// follows. Maintained exactly like the seek index: entries are
+    /// pushed as frames become stable, pruned with the covered prefix
+    /// on crash/repair, and rebased over prefix truncation (the same
+    /// helpers keep the two structures from ever disagreeing).
+    page_chains: BTreeMap<PageId, Vec<(Lsn, u64)>>,
     forces: u64,
     /// Shared crash-point switchboard ([`crate::db::Db`] wires the same
     /// injector into the disk).
@@ -152,6 +171,7 @@ impl<P: LogPayload> LogManager<P> {
             truncated_records: 0,
             seek_index: Vec::new(),
             seek_enabled: true,
+            page_chains: BTreeMap::new(),
             forces: 0,
             injector: FaultInjector::new(),
         }
@@ -229,6 +249,12 @@ impl<P: LogPayload> LogManager<P> {
                 FaultDecision::Proceed => {
                     if self.seek_enabled && self.stable_count.is_multiple_of(SEEK_INTERVAL) {
                         self.seek_index.push((rec.lsn, base + frame_start as u64));
+                    }
+                    for page in rec.payload.write_pages() {
+                        self.page_chains
+                            .entry(page)
+                            .or_default()
+                            .push((rec.lsn, base + frame_start as u64));
                     }
                     self.stable_lsn = rec.lsn;
                     self.stable_count += 1;
@@ -324,16 +350,21 @@ impl<P: LogPayload> LogManager<P> {
         let bytes = self.backend.bytes();
         let (pos, frames, last_lsn) = walk_valid_frames(bytes);
         self.stable_count = frames;
+        // `first_stable` is 1-based by construction (it starts at 1 and
+        // truncation only advances it); a zero here would wrap the
+        // empty-image stable LSN to u64::MAX, so fail loudly instead.
+        assert!(
+            self.first_stable.0 >= 1,
+            "first_stable invariant violated: {:?} (must be >= 1)",
+            self.first_stable
+        );
         self.stable_lsn = match last_lsn {
             Some(lsn) => lsn,
             None => Lsn(self.first_stable.0 - 1),
         };
         self.next_lsn = self.stable_lsn.next();
-        self.seek_index
-            .retain(|&(lsn, off)| (off as usize) < pos.max(1) && lsn <= self.stable_lsn);
-        if pos == 0 {
-            self.seek_index.clear();
-        }
+        prune_index_to_prefix(&mut self.seek_index, pos, self.stable_lsn);
+        prune_chains_to_prefix(&mut self.page_chains, pos, self.stable_lsn);
     }
 
     /// Decodes the stable prefix back into records, materialized as one
@@ -438,14 +469,12 @@ impl<P: LogPayload> LogManager<P> {
         if dropped > 0 {
             self.backend.truncate_to(pos);
         }
-        // Seek entries only ever point at covered frame starts, all of
-        // which the walk keeps; the retain is belt-and-braces against an
-        // entry landing in the dropped fragment.
-        self.seek_index
-            .retain(|&(_, off)| (off as usize) < pos || off == 0);
-        if pos == 0 {
-            self.seek_index.clear();
-        }
+        // Seek and chain entries only ever point at covered frame
+        // starts, all of which the walk keeps; the prune is
+        // belt-and-braces against an entry landing in the dropped
+        // fragment.
+        prune_index_to_prefix(&mut self.seek_index, pos, self.stable_lsn);
+        prune_chains_to_prefix(&mut self.page_chains, pos, self.stable_lsn);
         dropped
     }
 
@@ -468,6 +497,14 @@ impl<P: LogPayload> LogManager<P> {
     /// skips) and physically truncating there would destroy records the
     /// checkpoint still needs. The log is left untouched on error.
     pub fn truncate_prefix(&mut self, below: Lsn) -> SimResult<u64> {
+        // The origin is 1-based and only ever advances; enforcing it
+        // here keeps the `first_stable - 1` computations at the
+        // crash/reopen sites from ever underflowing.
+        assert!(
+            self.first_stable.0 >= 1,
+            "first_stable invariant violated: {:?} (must be >= 1)",
+            self.first_stable
+        );
         let below = Lsn(below.0.min(self.stable_lsn.0 + 1));
         if below <= self.first_stable {
             return Ok(0);
@@ -495,10 +532,8 @@ impl<P: LogPayload> LogManager<P> {
         self.backend.drain_prefix(pos);
         self.stable_count -= skipped;
         self.first_stable = below;
-        self.seek_index.retain(|&(_, off)| off as usize >= pos);
-        for entry in &mut self.seek_index {
-            entry.1 -= pos as u64;
-        }
+        rebase_index_after_drain(&mut self.seek_index, pos);
+        rebase_chains_after_drain(&mut self.page_chains, pos);
         // Keep the image seekable from its new origin: without an entry
         // at offset 0 every scan from below `first_stable` would walk
         // headers from an offset the index can no longer reach.
@@ -530,6 +565,95 @@ impl<P: LogPayload> LogManager<P> {
     pub fn truncated_records(&self) -> u64 {
         self.truncated_records
     }
+
+    /// The per-page chain for `page`: the (LSN, stable byte offset) of
+    /// every stable record that writes it, in LSN order. Empty when no
+    /// stable record writes the page (or the payload type reports no
+    /// page work). On-demand recovery replays exactly this chain —
+    /// filtered by the analysis bound — to bring one page current
+    /// without scanning the rest of the log.
+    #[must_use]
+    pub fn page_chain(&self, page: PageId) -> &[(Lsn, u64)] {
+        self.page_chains
+            .get(&page)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every page with at least one stable chained record, in id order.
+    pub fn chained_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.page_chains.keys().copied()
+    }
+
+    /// Decodes the single stable record whose frame starts at stable
+    /// byte offset `off` — the random-access read a per-page chain
+    /// entry authorizes. The frame's CRC is verified before the payload
+    /// decodes, exactly as in a sequential scan.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] if `off` is not a well-formed frame start.
+    pub fn record_at(&self, off: u64) -> SimResult<WalRecord<P>> {
+        let pos = usize::try_from(off).map_err(|_| SimError::Corrupt(usize::MAX))?;
+        let mut cursor: LogCursor<'_, P> =
+            LogCursor::at(self.backend.bytes(), pos, ScanStats::default());
+        match cursor.next() {
+            Some(res) => res,
+            None => Err(SimError::Corrupt(pos)),
+        }
+    }
+}
+
+/// Prunes an LSN → stable-byte-offset index down to the covered prefix
+/// `[0, pos)` left by a crash walk or tail repair: entries pointing at
+/// or beyond `pos` (into a torn or out-of-band-truncated fragment), or
+/// carrying an LSN above `max_lsn`, are dropped. An empty prefix clears
+/// the index outright — including the offset-0 sentinel, which names a
+/// frame that no longer exists. This is the *single* predicate for
+/// post-damage index maintenance; the seek index and the per-page
+/// chains both go through it so they can never disagree about what the
+/// surviving image covers.
+fn prune_index_to_prefix(index: &mut Vec<(Lsn, u64)>, pos: usize, max_lsn: Lsn) {
+    if pos == 0 {
+        index.clear();
+        return;
+    }
+    index.retain(|&(lsn, off)| (off as usize) < pos && lsn <= max_lsn);
+}
+
+/// [`prune_index_to_prefix`] applied to every per-page chain; pages
+/// whose chain empties are removed entirely.
+fn prune_chains_to_prefix(
+    chains: &mut BTreeMap<PageId, Vec<(Lsn, u64)>>,
+    pos: usize,
+    max_lsn: Lsn,
+) {
+    chains.retain(|_, chain| {
+        prune_index_to_prefix(chain, pos, max_lsn);
+        !chain.is_empty()
+    });
+}
+
+/// Rebases an LSN → stable-byte-offset index after `pos` bytes were
+/// drained from the front of the image (prefix truncation): entries
+/// inside the drained prefix are dropped and the survivors shift left
+/// by `pos`. The offset-0 seek sentinel is *not* re-inserted here —
+/// that is seek-index policy, applied by its caller — so the same
+/// helper serves the per-page chains, which carry no sentinel.
+fn rebase_index_after_drain(index: &mut Vec<(Lsn, u64)>, pos: usize) {
+    index.retain(|&(_, off)| off as usize >= pos);
+    for entry in index.iter_mut() {
+        entry.1 -= pos as u64;
+    }
+}
+
+/// [`rebase_index_after_drain`] applied to every per-page chain; pages
+/// whose chain empties are removed entirely.
+fn rebase_chains_after_drain(chains: &mut BTreeMap<PageId, Vec<(Lsn, u64)>>, pos: usize) {
+    chains.retain(|_, chain| {
+        rebase_index_after_drain(chain, pos);
+        !chain.is_empty()
+    });
 }
 
 /// Walks whole, CRC-valid frames from offset 0: returns the byte
@@ -901,6 +1025,21 @@ pub mod codec {
     /// corrupt the record.
     pub fn count_u16(field: &'static str, len: usize) -> SimResult<u16> {
         u16::try_from(len).map_err(|_| SimError::FieldOverflow {
+            field,
+            value: len as u64,
+        })
+    }
+
+    /// Checked conversion of a collection length into its 32-bit
+    /// on-disk count field.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldOverflow`] naming `field` when `len` exceeds
+    /// `u32::MAX` — encoding it with a wrapping cast would silently
+    /// corrupt the record.
+    pub fn count_u32(field: &'static str, len: usize) -> SimResult<u32> {
+        u32::try_from(len).map_err(|_| SimError::FieldOverflow {
             field,
             value: len as u64,
         })
@@ -1653,5 +1792,128 @@ mod tests {
             )
         };
         assert_eq!(run(BackendKind::Mem), run(BackendKind::File));
+    }
+
+    /// A payload that writes one page — the smallest thing the per-page
+    /// chains can see.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct PageRec(u32, u64);
+
+    impl LogPayload for PageRec {
+        fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
+            codec::put_u32(buf, self.0);
+            codec::put_u64(buf, self.1);
+            Ok(())
+        }
+        fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
+            let page = codec::get_u32(input, pos)?;
+            let v = codec::get_u64(input, pos)?;
+            Ok(PageRec(page, v))
+        }
+        fn write_pages(&self) -> Vec<PageId> {
+            vec![PageId(self.0)]
+        }
+    }
+
+    #[test]
+    fn page_chains_index_every_stable_write_and_nothing_volatile() {
+        let mut log = LogManager::new();
+        for i in 0..9u64 {
+            log.append(PageRec((i % 3) as u32, i)).unwrap();
+        }
+        log.flush(Lsn(6));
+        // Only the six stable records are chained, per page, in order.
+        let chain0: Vec<Lsn> = log.page_chain(PageId(0)).iter().map(|&(l, _)| l).collect();
+        assert_eq!(chain0, vec![Lsn(1), Lsn(4)]);
+        assert_eq!(log.page_chain(PageId(2)).len(), 2);
+        assert_eq!(log.chained_pages().count(), 3);
+        assert!(log.page_chain(PageId(9)).is_empty());
+        // Every chain entry random-accesses back to its own record.
+        for page in 0..3u32 {
+            for &(lsn, off) in log.page_chain(PageId(page)) {
+                let rec = log.record_at(off).unwrap();
+                assert_eq!(rec.lsn, lsn);
+                assert_eq!(rec.payload.0, page);
+            }
+        }
+        // Chains stay in lockstep with the frames across a later flush.
+        log.flush_all();
+        assert_eq!(log.page_chain(PageId(0)).len(), 3);
+    }
+
+    #[test]
+    fn page_chains_prune_with_the_tail_and_rebase_over_truncation() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut log = LogManager::new();
+        for i in 0..12u64 {
+            log.append(PageRec((i % 2) as u32, i)).unwrap();
+        }
+        // Tear the 10th record's flush: records 1..=9 stay covered.
+        log.injector.arm(FaultPlan {
+            at: 10,
+            kind: FaultKind::TornFlush { bytes: 3 },
+        });
+        log.flush_all();
+        log.injector.reset();
+        log.crash();
+        assert!(log.repair_tail() > 0);
+        let total: usize = [PageId(0), PageId(1)]
+            .iter()
+            .map(|&p| log.page_chain(p).len())
+            .sum();
+        assert_eq!(total, 9, "chains cover exactly the surviving frames");
+        for &(lsn, off) in log.page_chain(PageId(1)) {
+            assert_eq!(log.record_at(off).unwrap().lsn, lsn);
+        }
+        // Truncate the prefix: chain offsets rebase like the seek index.
+        log.truncate_prefix(Lsn(5)).unwrap();
+        let chain1: Vec<Lsn> = log.page_chain(PageId(1)).iter().map(|&(l, _)| l).collect();
+        assert_eq!(chain1, vec![Lsn(6), Lsn(8)]);
+        for p in [PageId(0), PageId(1)] {
+            for &(lsn, off) in log.page_chain(p) {
+                assert!(lsn >= Lsn(5));
+                assert_eq!(log.record_at(off).unwrap().lsn, lsn);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_band_file_truncation_prunes_chains_to_the_surviving_prefix() {
+        use std::fs::OpenOptions;
+        let mut log = LogManager::on(BackendKind::File);
+        for i in 0..6u64 {
+            log.append(PageRec(0, i)).unwrap();
+        }
+        log.flush_all();
+        let frame = log.stable_bytes().len() as u64 / 6;
+        let f = OpenOptions::new()
+            .write(true)
+            .open(log.path().unwrap())
+            .unwrap();
+        f.set_len(frame * 4 + 3).unwrap();
+        drop(f);
+        log.crash();
+        assert_eq!(log.stable_count(), 4);
+        assert_eq!(
+            log.page_chain(PageId(0)).len(),
+            4,
+            "chain entries beyond the surviving prefix are pruned"
+        );
+        log.repair_tail();
+        for &(lsn, off) in log.page_chain(PageId(0)) {
+            assert_eq!(log.record_at(off).unwrap().lsn, lsn);
+        }
+    }
+
+    #[test]
+    fn record_at_rejects_non_frame_offsets() {
+        let mut log = LogManager::new();
+        log.append(PageRec(0, 1)).unwrap();
+        log.flush_all();
+        assert!(log.record_at(3).is_err(), "mid-frame offset is corrupt");
+        assert!(
+            log.record_at(log.stable_bytes().len() as u64).is_err(),
+            "image end holds no record"
+        );
     }
 }

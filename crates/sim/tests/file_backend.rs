@@ -159,7 +159,7 @@ fn interrupted_master_publication_keeps_the_old_pointer() {
     db.log.append(blob(0, 4)).expect("encodable");
     db.log.append(blob(1, 4)).expect("encodable");
     db.log.flush_all();
-    db.disk.set_master(Lsn(2));
+    db.disk.set_master(Lsn(2)).unwrap();
     assert_eq!(db.disk.master(), Lsn(2));
 
     // Die between the temp write and the rename: the new master is
@@ -168,7 +168,7 @@ fn interrupted_master_publication_keeps_the_old_pointer() {
         at: 1,
         kind: FaultKind::Clean,
     });
-    db.disk.set_master(Lsn(9));
+    db.disk.set_master(Lsn(9)).unwrap();
     assert!(db.fault_tripped());
     let dir = db
         .disk
@@ -192,6 +192,6 @@ fn interrupted_master_publication_keeps_the_old_pointer() {
     );
 
     // The machine is alive again: the next publication goes through.
-    db.disk.set_master(Lsn(9));
+    db.disk.set_master(Lsn(9)).unwrap();
     assert_eq!(db.disk.master(), Lsn(9));
 }

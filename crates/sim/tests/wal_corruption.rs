@@ -19,7 +19,7 @@ use redo_sim::wal::{
 };
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
-use redo_workload::pages::{PageOp, PageWorkloadSpec};
+use redo_workload::pages::{PageId, PageOp, PageWorkloadSpec};
 
 const BACKENDS: [BackendKind; 2] = [BackendKind::Mem, BackendKind::File];
 
@@ -33,6 +33,100 @@ impl LogPayload for OpRec {
     fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
         Ok(OpRec(codec::get_page_op(input, pos)?))
     }
+    fn write_pages(&self) -> Vec<PageId> {
+        self.0.written_pages()
+    }
+}
+
+/// The discipline both stable-offset indexes promise, checked
+/// wholesale: every surviving seek entry and per-page chain entry must
+/// point at a frame bearing its own LSN (chains additionally at one
+/// writing their page), both must be strictly increasing, the seek
+/// index must keep its offset-0 sentinel exactly when the image is
+/// seekable, and the chains must cover every stable write — no more,
+/// no fewer.
+fn check_index_discipline(log: &LogManager<OpRec>) -> Result<(), TestCaseError> {
+    let index = log.seek_index();
+    // The image may still carry a torn tail awaiting repair; index and
+    // chain entries only ever point into the valid prefix, so decode
+    // exactly the records before the tear.
+    let mut full: Vec<WalRecord<OpRec>> = Vec::new();
+    for rec in log.cursor() {
+        match rec {
+            Ok(rec) => full.push(rec),
+            Err(SimError::Corrupt(_)) => break,
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected scan error {e:?}"))),
+        }
+    }
+    if full.is_empty() {
+        // An image with no valid frame (wholly elided, or torn inside
+        // its first frame) may keep one anticipatory sentinel naming
+        // the frame the next flush will land at offset 0.
+        prop_assert!(
+            index.is_empty() || index == [(log.first_stable(), 0)],
+            "index over an empty image: {index:?}"
+        );
+    } else {
+        prop_assert_eq!(
+            index.first().copied(),
+            Some((log.first_stable(), 0)),
+            "the sentinel must name the image's first frame"
+        );
+        for &(lsn, off) in index {
+            let rec = log.record_at(off).expect("seek entry points at a frame");
+            prop_assert_eq!(
+                rec.lsn,
+                lsn,
+                "seek entry {} lands on a foreign frame",
+                lsn.0
+            );
+        }
+    }
+    for w in index.windows(2) {
+        prop_assert!(
+            w[0].0 < w[1].0 && w[0].1 < w[1].1,
+            "seek index not strictly increasing: {:?}",
+            w
+        );
+    }
+    for page in log.chained_pages() {
+        let chain = log.page_chain(page);
+        prop_assert!(!chain.is_empty(), "empty chain kept for page {page:?}");
+        for w in chain.windows(2) {
+            prop_assert!(
+                w[0].0 < w[1].0 && w[0].1 < w[1].1,
+                "chain of {:?} not strictly increasing: {:?}",
+                page,
+                w
+            );
+        }
+        for &(lsn, off) in chain {
+            let rec = log.record_at(off).expect("chain entry points at a frame");
+            prop_assert_eq!(
+                rec.lsn,
+                lsn,
+                "chain entry of {:?} lands on a foreign frame",
+                page
+            );
+            prop_assert!(
+                rec.payload.write_pages().contains(&page),
+                "chain of {:?} holds a record that does not write it",
+                page
+            );
+        }
+    }
+    // Completeness: every stable write appears on its page's chain.
+    for rec in &full {
+        for page in rec.payload.write_pages() {
+            prop_assert!(
+                log.page_chain(page).iter().any(|&(l, _)| l == rec.lsn),
+                "stable record {} writes {:?} but is missing from its chain",
+                rec.lsn.0,
+                page
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Builds a log on `kind` from a seeded workload, forcing every
@@ -357,5 +451,72 @@ proptest! {
             Ok(_) | Err(SimError::Corrupt(_)) => {}
             Err(e) => return Err(TestCaseError::Fail(format!("unexpected error {e:?}"))),
         }
+    }
+
+    /// The unified retain/rebase helpers behind `truncate_prefix`,
+    /// `repair_tail`, and `crash` keep both stable-offset indexes (the
+    /// sparse seek index and the per-page chains) disciplined across an
+    /// adversarial interleaving: group-commit flushes, mid-run prefix
+    /// truncations, a torn-flush crash, tail repair, and a post-repair
+    /// truncation. After every mutation [`check_index_discipline`] must
+    /// hold, and the two backends must recover identical records.
+    #[test]
+    fn index_and_chain_discipline_survives_flush_truncate_repair(
+        seed in 0u64..10_000,
+        at in 1u64..40,
+        tear in 1usize..25,
+        truncate_every in 3usize..9,
+    ) {
+        let mut per_backend: Vec<Vec<WalRecord<OpRec>>> = Vec::new();
+        for kind in BACKENDS {
+            let mut db: Db<OpRec> = Db::on(kind, Geometry::default(), None);
+            db.arm_faults(FaultPlan { at, kind: FaultKind::TornFlush { bytes: tear } });
+            let spec = PageWorkloadSpec {
+                n_ops: 30,
+                cross_page_fraction: 0.3,
+                blind_fraction: 0.2,
+                ..Default::default()
+            };
+            for (i, op) in spec.generate(seed).into_iter().enumerate() {
+                let lsn = db.log.append(OpRec(op)).expect("encodable payload");
+                if i % 3 == 2 {
+                    db.log.flush(lsn);
+                }
+                // Interleave prefix truncation with the append stream.
+                // Guarded on the injector: once it trips, stable I/O is
+                // suppressed, so a drain would desync the bookkeeping
+                // from the bytes — a dead machine does not truncate.
+                if (i + 1) % truncate_every == 0 && !db.fault_tripped() {
+                    let stable = db.log.stable_lsn();
+                    if stable.0 > db.log.first_stable().0 + 4 {
+                        db.log
+                            .truncate_prefix(Lsn(stable.0 - 4))
+                            .expect("clean mid-run truncation");
+                        check_index_discipline(&db.log)?;
+                    }
+                }
+            }
+            db.log.flush_all();
+            check_index_discipline(&db.log)?;
+            db.crash();
+            check_index_discipline(&db.log)?;
+            db.repair_after_crash();
+            check_index_discipline(&db.log)?;
+            // The crash disarmed the injector, so the restarted
+            // machine's truncation must land cleanly too.
+            let (first, stable) = (db.log.first_stable(), db.log.stable_lsn());
+            if stable >= first {
+                let mid = Lsn(first.0 + (stable.0 - first.0) / 2);
+                db.log.truncate_prefix(mid).expect("post-repair truncation");
+                check_index_discipline(&db.log)?;
+            }
+            let full: Vec<WalRecord<OpRec>> = db.log.cursor().collect::<SimResult<_>>()
+                .expect("repaired image decodes");
+            per_backend.push(full);
+        }
+        prop_assert_eq!(
+            &per_backend[0], &per_backend[1],
+            "backends keep different records through the same truncate/repair schedule"
+        );
     }
 }

@@ -105,7 +105,7 @@ proptest! {
         // (master cleared, seek index disabled) — a full scan of the
         // retained log.
         let mut blind = db.clone();
-        blind.disk.set_master(Lsn::ZERO);
+        blind.disk.set_master(Lsn::ZERO).unwrap();
         blind.log.disable_seek_index();
 
         let stats = GeneralizedOnline.recover(&mut db).unwrap();

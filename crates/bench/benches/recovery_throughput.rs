@@ -14,12 +14,19 @@
 //!   disabled: the master record still bounds replay, but the scan must
 //!   walk (and skip) every pre-checkpoint frame header from offset 0.
 //!   The gap to `ckpt_seek` is the seek index's contribution alone.
+//! * `ckpt_seek_shards{2,4,8}` — the checkpointed run logged through a
+//!   sharded log ([`redo_sim::wal::ShardedLog`]): the serial scan now
+//!   merges per-shard cursors, each seeked through its own shard's
+//!   index. The gap to `ckpt_seek` is the sharding overhead a *serial*
+//!   restart pays (the per-shard decode win needs the parallel restart
+//!   — see the `parallel_restart` bench).
 //!
 //! Shape checks before timing assert the telemetry tells the same
 //! story: the checkpointed scan decodes at most a quarter of what the
 //! full scan decodes (it is ~10% by construction), enters the log
-//! through a seek-index hit, and all three configurations of the
-//! checkpointed image recover identical states.
+//! through a seek-index hit, and every configuration of the
+//! checkpointed image — seek, no-seek, and each shard count — recovers
+//! the identical state.
 //!
 //! Set `RECOVERY_THROUGHPUT_SMOKE=1` to run only the smallest size
 //! (CI's smoke iteration).
@@ -38,14 +45,19 @@ type PhysioDb = Db<<Physiological as RecoveryMethod>::Payload>;
 /// A crashed database after `n_ops` operations with an eagerly flushed
 /// log, rare page flushes (so replay has real work), and optionally a
 /// checkpoint at 90% of the run.
-fn crashed_db(n_ops: usize, checkpoint_at_90: bool, kind: BackendKind) -> PhysioDb {
+fn crashed_db(
+    n_ops: usize,
+    checkpoint_at_90: bool,
+    kind: BackendKind,
+    log_shards: usize,
+) -> PhysioDb {
     let ops = PageWorkloadSpec {
         n_ops,
         n_pages: 64,
         ..Default::default()
     }
     .generate(23);
-    let mut db = Db::on(kind, Geometry::default(), None);
+    let mut db = Db::on_sharded(kind, Geometry::default(), None, log_shards);
     let mut rng = StdRng::seed_from_u64(7);
     let ckpt_at = n_ops * 9 / 10;
     for (i, op) in ops.iter().enumerate() {
@@ -68,9 +80,10 @@ fn bench(c: &mut Criterion) {
         &[1_000, 10_000, 100_000]
     };
     let mut group = c.benchmark_group("recovery_throughput");
+    let shard_counts: &[usize] = &[2, 4, 8];
     for &n in sizes {
-        let full = crashed_db(n, false, BackendKind::Mem);
-        let ckpt = crashed_db(n, true, BackendKind::Mem);
+        let full = crashed_db(n, false, BackendKind::Mem, 1);
+        let ckpt = crashed_db(n, true, BackendKind::Mem, 1);
         let mut ckpt_noseek = ckpt.clone();
         ckpt_noseek.log.disable_seek_index();
 
@@ -126,13 +139,48 @@ fn bench(c: &mut Criterion) {
             });
         }
 
+        // The sharded-log axis: the same checkpointed run logged across
+        // N per-partition logs, recovered by the serial merged-cursor
+        // scan. Each shard's cursor must still enter through its own
+        // seek index, and the state must match the single log's.
+        for &s in shard_counts {
+            let sharded = crashed_db(n, true, BackendKind::Mem, s);
+            let mut probe = sharded.clone();
+            let sharded_stats = Physiological.recover(&mut probe).unwrap();
+            assert_eq!(
+                probe.volatile_theory_state(),
+                seeked_state,
+                "{s} log shards changed the recovered state"
+            );
+            assert!(
+                sharded_stats.seek_hits >= 1,
+                "sharded checkpointed recovery must enter via the shard seek indexes"
+            );
+            println!(
+                "recovery_throughput shape-check [n={n}]: {s} log shards decode \
+                 {} records / {} bytes ({} seek hit(s))",
+                sharded_stats.records_decoded, sharded_stats.bytes_scanned, sharded_stats.seek_hits,
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("ckpt_seek_shards{s}"), n),
+                &sharded,
+                |b, image| {
+                    b.iter_batched(
+                        || (*image).clone(),
+                        |mut db| Physiological.recover(&mut db).unwrap(),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+
         // The fsync-bound axis, smallest size only: the same checkpointed
         // crash image living on real files. Recovery's repair pass and
         // every page it installs now pay real fsyncs; each timed iteration
         // recovers a fresh on-disk copy (the clone in the untimed setup
         // copies the backing directory).
         if n == sizes[0] {
-            let file_ckpt = crashed_db(n, true, BackendKind::File);
+            let file_ckpt = crashed_db(n, true, BackendKind::File, 1);
             let mut probe = file_ckpt.clone();
             let file_stats = Physiological.recover(&mut probe).unwrap();
             assert_eq!(

@@ -232,6 +232,10 @@ impl LogPayload for BtPayload {
             _ => return Err(SimError::Corrupt(*pos - 1)),
         })
     }
+
+    fn write_pages(&self) -> Vec<PageId> {
+        self.target().into_iter().collect()
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use redo_sim::cache::Constraint;
 use redo_sim::db::{Db, Geometry};
 use redo_sim::page::Page;
-use redo_sim::wal::LogScanner;
+use redo_sim::wal::ShardedScanner;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::PageId;
@@ -446,7 +446,7 @@ impl BTree {
         let (mut replayed, mut skipped) = (0usize, 0usize);
         // Streaming scan: the seek index jumps the cursor near the
         // master record, so only the post-checkpoint suffix is decoded.
-        let mut scanner = LogScanner::seek(&self.db.log, master.next());
+        let mut scanner = ShardedScanner::seek(&self.db.log, master.next());
         loop {
             let batch = scanner.next_batch(&self.db.log, 32)?;
             if batch.is_empty() {

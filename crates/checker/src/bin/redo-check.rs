@@ -7,6 +7,7 @@
 //! redo-check beyond      [--ops N] [--vars V] [--seeds K]
 //! redo-check crash-audit [--method M] [--schedules S] [--ops N] [--pages P]
 //!                        [--seed X] [--capacity C] [--backend mem|file]
+//!                        [--log-shards N]
 //! ```
 //!
 //! * `theorems`  — brute-force Theorem 3 / converse / Corollary 4 on
@@ -17,7 +18,7 @@
 //! * `walks`     — fuzz write-graph evolutions against Corollary 5.
 //! * `beyond`    — search for §7's beyond-the-theory witnesses.
 //! * `crash-audit` — drive each method (`--method all` by default;
-//!   `logical|physical|physiological|generalized|online|fuzzy|parallel|ondemand`)
+//!   `logical|physical|physiological|generalized|online|fuzzy|parallel|ondemand|pit`)
 //!   through seeded crash schedules with injected faults: torn page
 //!   writes, partial log flushes, and a crash in the middle of every
 //!   recovery, checking the Recovery Invariant after each completed
@@ -25,10 +26,19 @@
 //!   checkpoint publication (force, pointer swing, truncation) as
 //!   faultable crash points. The `ondemand` method recovers through
 //!   the instant-restart path — every probe recovery also reopens the
-//!   crashed image lazily and serves all durable cells mid-recovery. `--capacity 0` means an unbounded buffer
+//!   crashed image lazily and serves all durable cells mid-recovery.
+//!   The `pit` method audits the archive tier instead: it drives
+//!   `online` (whose checkpoints move the truncated log prefix into
+//!   the archive) and verifies that point-in-time replay over
+//!   `archive ∥ live` reproduces the full durable history and the
+//!   pre-truncation state at the truncation boundary.
+//!   `--capacity 0` means an unbounded buffer
 //!   pool. `--backend file` runs every schedule against the fsync-backed
 //!   file backend in a fresh temporary directory instead of the
-//!   in-memory simulation.
+//!   in-memory simulation. `--log-shards N` splits the WAL into N
+//!   per-partition logs (a power of two): multi-page records become
+//!   cross-shard atomic flush groups, and the injected faults land
+//!   between a group's closure markers too.
 //!
 //! Exit code 0 = everything checked clean (or, for the broken methods,
 //! the expected violation was found); 1 = a violation of the paper's
@@ -37,7 +47,7 @@
 use std::process::ExitCode;
 
 use redo_checker::beyond::find_beyond_witnesses;
-use redo_checker::crash_audit::{audit, CrashAuditConfig};
+use redo_checker::crash_audit::{audit, audit_pit, CrashAuditConfig};
 use redo_checker::exhaustive::explore;
 use redo_checker::theorems::check_history;
 use redo_checker::wg_walk::walk;
@@ -239,6 +249,12 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
         "file" => BackendKind::File,
         other => return Err(format!("unknown backend {other} (expected mem|file)")),
     };
+    let log_shards: usize = args.get("log-shards", 1)?;
+    if !log_shards.is_power_of_two() {
+        return Err(format!(
+            "--log-shards must be a power of two, got {log_shards}"
+        ));
+    }
     let cfg = CrashAuditConfig {
         schedules: args.get("schedules", 100)?,
         n_ops: args.get("ops", 40)?,
@@ -246,6 +262,7 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
         seed: args.get("seed", 0)?,
         pool_capacity: if capacity == 0 { None } else { Some(capacity) },
         backend,
+        log_shards,
         ..Default::default()
     };
     let method = args.get_str("method", "all");
@@ -284,6 +301,26 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
         clean &= audit_method(&ParallelPhysiological { threads: 3 }, &cfg);
         clean &= audit_method(&ParallelPhysical { threads: 3 }, &cfg);
         clean &= audit_method(&ParallelOnline { threads: 3 }, &cfg);
+        matched = true;
+    }
+    if all || method == "pit" {
+        match audit_pit(&cfg) {
+            Ok(r) => println!(
+                "pit: OK — {} schedules, {} crashes, {} faults fired, \
+                 {} full-history replays verified, {} truncation-point replays verified, \
+                 {} bytes archived",
+                r.schedules,
+                r.crashes,
+                r.faults_tripped,
+                r.full_replays_verified,
+                r.truncation_replays_verified,
+                r.archived_bytes
+            ),
+            Err(e) => {
+                println!("VIOLATION — {e}");
+                clean = false;
+            }
+        }
         matched = true;
     }
     if !matched {

@@ -52,6 +52,8 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use redo_methods::harness::HarnessFailure;
+use redo_methods::online::GeneralizedOnline;
+use redo_methods::oprecord::PageOpPayload;
 use redo_methods::{RecoveryMethod, RecoveryStats};
 use redo_sim::backend::BackendKind;
 use redo_sim::db::{Db, Geometry};
@@ -62,6 +64,7 @@ use redo_theory::history::History;
 use redo_theory::installation::InstallationGraph;
 use redo_theory::invariant::recovery_invariant;
 use redo_theory::log::Log;
+use redo_theory::log::Lsn;
 use redo_theory::state::State;
 use redo_theory::state_graph::StateGraph;
 use redo_workload::pages::{Cell, PageOp, PageWorkloadSpec};
@@ -94,6 +97,13 @@ pub struct CrashAuditConfig {
     /// (every probe clone deep-copies into its own directory, so the
     /// degradation loop exercises real I/O end to end).
     pub backend: BackendKind,
+    /// How many per-partition log shards the WAL is split into (a power
+    /// of two; `1` is the classic single log). With more than one
+    /// shard, multi-page records become cross-shard atomic flush
+    /// groups, so the injected faults now land *between* a group's
+    /// closure markers too — the audit proves the epoch-closure
+    /// analysis makes every group all-or-nothing.
+    pub log_shards: usize,
 }
 
 impl Default for CrashAuditConfig {
@@ -108,6 +118,7 @@ impl Default for CrashAuditConfig {
             chaos: Some((0.7, 0.4)),
             slots_per_page: 8,
             backend: BackendKind::Mem,
+            log_shards: 1,
         }
     }
 }
@@ -317,6 +328,166 @@ pub fn audit<M: RecoveryMethod>(
     Ok(report)
 }
 
+/// What a point-in-time (archive-tier) audit observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PitAuditReport {
+    /// Schedules driven.
+    pub schedules: u64,
+    /// Crashes injected (one per schedule).
+    pub crashes: u64,
+    /// Armed faults that actually fired.
+    pub faults_tripped: u64,
+    /// Schedules on which `archive ∥ live` reproduced the *entire*
+    /// durable operation history, record for record (one per schedule).
+    pub full_replays_verified: u64,
+    /// Schedules on which replaying the point-in-time record sequence
+    /// at the truncation boundary reproduced the pre-truncation state —
+    /// the prefix the live log no longer holds (zero only if no
+    /// checkpoint ever archived anything).
+    pub truncation_replays_verified: u64,
+    /// Bytes resident in the archive tiers across all schedules.
+    pub archived_bytes: u64,
+}
+
+/// Drives the archive tier through seeded crash schedules and verifies
+/// point-in-time recovery: the workload runs under
+/// [`GeneralizedOnline`], whose published checkpoints move the
+/// drained log prefix into the archive
+/// ([`redo_sim::wal::ShardedLog::archive_prefix`]); after the crash,
+/// [`redo_sim::wal::ShardedLog::pit_records`] must reproduce (a) the
+/// entire durable operation history from `archive ∥ live`, and (b) at
+/// the truncation boundary, exactly the state the system had before
+/// the prefix left the live log.
+///
+/// # Errors
+///
+/// The first schedule on which an archived record went missing, a
+/// phantom record appeared, or the truncation-point replay reached a
+/// different state than the durable prefix it claims to reproduce.
+pub fn audit_pit(cfg: &CrashAuditConfig) -> Result<PitAuditReport, CrashAuditFailure> {
+    let mut report = PitAuditReport::default();
+    for s in 0..cfg.schedules {
+        run_pit_schedule(cfg, s, &mut report).map_err(|(phase, failure)| CrashAuditFailure {
+            method: "pit",
+            schedule: s,
+            phase,
+            failure,
+        })?;
+        report.schedules += 1;
+    }
+    Ok(report)
+}
+
+fn run_pit_schedule(cfg: &CrashAuditConfig, s: u64, report: &mut PitAuditReport) -> PhaseResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let method = GeneralizedOnline;
+    let ops = shaped_workload(method.name(), cfg, cfg.seed.wrapping_add(s));
+    let mut db: Db<PageOpPayload> = Db::on_sharded(
+        cfg.backend,
+        Geometry {
+            slots_per_page: cfg.slots_per_page,
+        },
+        cfg.pool_capacity,
+        cfg.log_shards,
+    );
+    let fail = |phase: &'static str, e: HarnessFailure| (phase, e);
+
+    db.arm_faults(sample_plan(&mut rng, ops.len() as u64 * 4));
+    let mut committed: Vec<(PageOp, Lsn)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match method.execute(&mut db, op) {
+            Ok(lsn) => committed.push((op.clone(), lsn)),
+            Err(_) if db.fault_tripped() => {}
+            Err(e) => return Err(fail("workload", e.into())),
+        }
+        if let Some((log_p, page_p)) = cfg.chaos {
+            match db.chaos_flush(&mut rng, log_p, page_p) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(fail("workload", e.into())),
+            }
+        }
+        if cfg.checkpoint_every.is_some_and(|k| (i + 1) % k == 0) {
+            match method.checkpoint(&mut db) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(fail("checkpoint", e.into())),
+            }
+        }
+        if db.fault_tripped() {
+            break;
+        }
+    }
+    if db.fault_tripped() {
+        report.faults_tripped += 1;
+    }
+    db.crash();
+    report.crashes += 1;
+    db.repair_after_crash();
+
+    let stable = db.log.stable_lsn();
+    committed.retain(|(_, lsn)| *lsn <= stable);
+    let pit_ops = |upto: Lsn| -> Result<Vec<PageOp>, (&'static str, HarnessFailure)> {
+        let records = db
+            .log
+            .pit_records(upto)
+            .map_err(|e| fail("pit decode", e.into()))?;
+        Ok(records
+            .into_iter()
+            .filter_map(|rec| match rec.payload {
+                PageOpPayload::Op(op) => Some(op),
+                PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+            })
+            .collect())
+    };
+
+    // (a) Full history: `archive ∥ live` up to the stable LSN is the
+    // durable operation sequence, record for record — archiving moved
+    // the prefix, it did not lose, duplicate, or reorder anything.
+    let durable: Vec<PageOp> = committed.iter().map(|(op, _)| op.clone()).collect();
+    let replayable = pit_ops(stable)?;
+    if replayable != durable {
+        return Err(fail(
+            "pit full replay",
+            HarnessFailure::Invariant {
+                crash: 1,
+                detail: format!(
+                    "archive ∥ live holds {} replayable operations, durable history has {}",
+                    replayable.len(),
+                    durable.len()
+                ),
+            },
+        ));
+    }
+    report.full_replays_verified += 1;
+
+    // (b) Truncation point: replaying the point-in-time sequence at the
+    // archive/live boundary must reproduce the state the system had
+    // when that prefix was truncated — records the live log no longer
+    // holds at all.
+    let boundary = db.log.first_stable();
+    if boundary > Lsn(1) && stable >= boundary {
+        let upto = Lsn(boundary.0 - 1);
+        let replayed = view_of(&pit_ops(upto)?, cfg.slots_per_page)
+            .sg
+            .final_state();
+        let prefix: Vec<PageOp> = committed
+            .iter()
+            .filter(|(_, lsn)| *lsn <= upto)
+            .map(|(op, _)| op.clone())
+            .collect();
+        if replayed != view_of(&prefix, cfg.slots_per_page).sg.final_state() {
+            return Err(fail(
+                "pit truncation replay",
+                HarnessFailure::StateMismatch { crash: Some(1) },
+            ));
+        }
+        report.truncation_replays_verified += 1;
+    }
+    report.archived_bytes += db.log.archived_bytes();
+    Ok(())
+}
+
 type PhaseResult = Result<(), (&'static str, HarnessFailure)>;
 
 fn run_schedule<M: RecoveryMethod>(
@@ -332,12 +503,13 @@ fn run_schedule<M: RecoveryMethod>(
     } else {
         None
     };
-    let mut db: Db<M::Payload> = Db::on(
+    let mut db: Db<M::Payload> = Db::on_sharded(
         cfg.backend,
         Geometry {
             slots_per_page: cfg.slots_per_page,
         },
         capacity,
+        cfg.log_shards,
     );
     let fail = |phase: &'static str, e: HarnessFailure| (phase, e);
 
@@ -731,6 +903,79 @@ mod tests {
         };
         let report = audit(&Physiological, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn methods_survive_crash_audit_with_sharded_logs() {
+        // Four log shards: multi-page records become cross-shard atomic
+        // flush groups, page-less checkpoints broadcast to every shard,
+        // and the sampled faults land between a group's closure markers
+        // too. The same degradation loop must stay clean — sharding is
+        // an access-path change, not a semantic one.
+        let cfg = CrashAuditConfig {
+            schedules: 8,
+            n_ops: 24,
+            log_shards: 4,
+            ..Default::default()
+        };
+        let report = audit(&Generalized, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        let report = audit(&GeneralizedOnline, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        let report = audit(&OnDemand, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        assert_eq!(report.ondemand_probes, cfg.schedules);
+        let report =
+            audit(&ParallelPhysiological { threads: 3 }, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, cfg.schedules);
+    }
+
+    #[test]
+    fn sharded_log_crash_audit_on_files() {
+        // The cross-shard degradation loop against real files: one
+        // fsynced WAL file per shard, plus the archive files the online
+        // checkpoints fill.
+        let cfg = CrashAuditConfig {
+            schedules: 4,
+            n_ops: 24,
+            backend: BackendKind::File,
+            log_shards: 4,
+            ..Default::default()
+        };
+        let report = audit(&GeneralizedOnline, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+    }
+
+    #[test]
+    fn pit_audit_replays_archive_plus_live() {
+        let cfg = CrashAuditConfig {
+            schedules: 20,
+            log_shards: 4,
+            ..Default::default()
+        };
+        let r = audit_pit(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.schedules, 20);
+        assert_eq!(r.full_replays_verified, 20);
+        assert!(
+            r.truncation_replays_verified > 0,
+            "no schedule ever archived a prefix: {r:?}"
+        );
+        assert!(r.archived_bytes > 0, "{r:?}");
+        assert!(r.faults_tripped > 0, "no fault ever fired: {r:?}");
+    }
+
+    #[test]
+    fn pit_audit_on_files() {
+        let cfg = CrashAuditConfig {
+            schedules: 4,
+            n_ops: 24,
+            backend: BackendKind::File,
+            log_shards: 2,
+            ..Default::default()
+        };
+        let r = audit_pit(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.full_replays_verified, 4);
     }
 
     #[test]

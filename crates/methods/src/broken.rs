@@ -21,7 +21,7 @@
 //! around as regression tests for the checker itself.
 
 use redo_sim::db::Db;
-use redo_sim::wal::LogScanner;
+use redo_sim::wal::ShardedScanner;
 use redo_sim::SimResult;
 use redo_theory::log::Lsn;
 use redo_workload::pages::PageOp;
@@ -55,7 +55,7 @@ impl RecoveryMethod for SkippyRedo {
         db.repair_after_crash();
         let master = db.disk.master();
         let mut stats = RecoveryStats::default();
-        let mut scanner = LogScanner::seek(&db.log, master.next());
+        let mut scanner = ShardedScanner::seek(&db.log, master.next());
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {

@@ -88,7 +88,7 @@ use redo_sim::cache::Constraint;
 use redo_sim::db::{Db, Geometry};
 use redo_sim::disk::Disk;
 use redo_sim::shard::ShardedStore;
-use redo_sim::wal::LogManager;
+use redo_sim::wal::ShardedLog;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{Cell, PageId, PageOp};
@@ -105,7 +105,7 @@ type LatchShard = Mutex<BTreeMap<PageId, Arc<Mutex<()>>>>;
 
 struct Inner {
     geometry: Geometry,
-    log: Mutex<LogManager<PageOpPayload>>,
+    log: Mutex<ShardedLog<PageOpPayload>>,
     store: ShardedStore,
     latches: Box<[LatchShard]>,
     /// LSNs appended to the log whose writes are not yet applied to the
@@ -138,7 +138,7 @@ struct RecoveryState {
 }
 
 /// Telemetry from the online checkpoint daemon.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DaemonStats {
     /// Fuzzy checkpoints successfully published (master swung).
     pub checkpoints_taken: u64,
@@ -146,8 +146,16 @@ pub struct DaemonStats {
     /// durable, or the pointer swing did not land) — recovery falls
     /// back to the previous checkpoint.
     pub checkpoints_abandoned: u64,
-    /// Stable-log bytes reclaimed by prefix truncation.
+    /// Stable-log bytes reclaimed by prefix truncation (archived, when
+    /// the log carries an archive tier), summed over log shards.
     pub truncated_bytes: u64,
+    /// The summed [`DaemonStats::truncated_bytes`] broken out per log
+    /// shard — the truncation-skew view the benches report.
+    pub truncated_bytes_by_shard: Vec<u64>,
+    /// Group-commit forces per log shard (each participant of a
+    /// cross-shard flush group lands its own batch) — flush-skew
+    /// telemetry.
+    pub forces_by_shard: Vec<u64>,
     /// The most recently published checkpoint record.
     pub last_checkpoint: Option<Lsn>,
 }
@@ -166,7 +174,7 @@ impl SharedDb {
         SharedDb {
             inner: Arc::new(Inner {
                 geometry,
-                log: Mutex::new(LogManager::new()),
+                log: Mutex::new(ShardedLog::new(1)),
                 store: ShardedStore::new(STORE_SHARDS),
                 latches: (0..STORE_SHARDS)
                     .map(|_| Mutex::new(BTreeMap::new()))
@@ -216,7 +224,7 @@ impl SharedDb {
         // shell keeps empty stand-ins and is dropped.
         let geometry = crashed.geometry;
         let disk = std::mem::replace(&mut crashed.disk, Disk::new());
-        let log = std::mem::replace(&mut crashed.log, LogManager::new());
+        let log = std::mem::replace(&mut crashed.log, ShardedLog::new(1));
         let shared = SharedDb {
             inner: Arc::new(Inner {
                 geometry,
@@ -311,7 +319,7 @@ impl SharedDb {
                     if records.contains_key(&lsn) {
                         continue;
                     }
-                    let rec = log.record_at(off)?;
+                    let rec = log.record_for(p, off)?;
                     debug_assert_eq!(rec.lsn, lsn, "chain entry points at a foreign frame");
                     state.stats.records_decoded += 1;
                     state.stats.seek_hits += 1;
@@ -663,10 +671,12 @@ impl SharedDb {
             self.inner.daemon.lock().checkpoints_abandoned += 1;
             return Ok(None);
         }
-        let reclaimed = log.truncate_prefix(redo_start)?;
+        let reclaimed = log.archive_prefix(redo_start)?;
         let mut daemon = self.inner.daemon.lock();
         daemon.checkpoints_taken += 1;
         daemon.truncated_bytes += reclaimed;
+        daemon.truncated_bytes_by_shard = log.truncated_bytes_by_shard();
+        daemon.forces_by_shard = log.forces_by_shard();
         daemon.last_checkpoint = Some(ck);
         Ok(Some(ck))
     }
@@ -674,7 +684,7 @@ impl SharedDb {
     /// Checkpoint-daemon telemetry so far.
     #[must_use]
     pub fn daemon_stats(&self) -> DaemonStats {
-        *self.inner.daemon.lock()
+        self.inner.daemon.lock().clone()
     }
 
     /// Drops latches no thread currently holds or awaits. [`latch_for`]

@@ -25,7 +25,7 @@
 use std::collections::BTreeSet;
 
 use redo_sim::db::Db;
-use redo_sim::wal::{codec, LogPayload, LogScanner};
+use redo_sim::wal::{codec, LogPayload, ShardedScanner};
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageId, PageOp};
@@ -81,6 +81,13 @@ impl LogPayload for FuzzyPayload {
                 Ok(FuzzyPayload::Checkpoint { dirty })
             }
             _ => Err(SimError::Corrupt(*pos - 1)),
+        }
+    }
+
+    fn write_pages(&self) -> Vec<PageId> {
+        match self {
+            FuzzyPayload::Op(op) => op.written_pages(),
+            FuzzyPayload::Checkpoint { .. } => Vec::new(),
         }
     }
 }
@@ -208,7 +215,7 @@ impl RecoveryMethod for FuzzyPhysiological {
         };
         // The analysis told us where uninstalled operations can start;
         // seek there and decode only the suffix.
-        let mut scanner = LogScanner::seek(&db.log, analysis.redo_start);
+        let mut scanner = ShardedScanner::seek(&db.log, analysis.redo_start);
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use redo_sim::cache::Constraint;
 use redo_sim::db::Db;
-use redo_sim::wal::LogScanner;
+use redo_sim::wal::ShardedScanner;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageId, PageOp};
@@ -340,7 +340,7 @@ impl RecoveryMethod for Generalized {
         // Streaming scan from the analysis' redo-start LSN; each batch
         // prefetches the read+write footprint of its operations (replay
         // reads go through the recovery cache too).
-        let mut scanner = LogScanner::seek(&db.log, redo_start);
+        let mut scanner = ShardedScanner::seek(&db.log, redo_start);
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {

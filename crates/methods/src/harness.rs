@@ -61,6 +61,11 @@ pub struct HarnessConfig {
     /// Which stable-storage backend the run's disk and log live on:
     /// the in-memory simulation or real files in a fresh tempdir.
     pub backend: BackendKind,
+    /// How many per-partition log shards the database's WAL is split
+    /// into (a power of two; `1` is the classic single log). Sharding
+    /// is an access-path change only — every verification in this
+    /// harness is identical regardless of the count.
+    pub log_shards: usize,
 }
 
 impl Default for HarnessConfig {
@@ -75,6 +80,7 @@ impl Default for HarnessConfig {
             pool_capacity: None,
             fault: None,
             backend: BackendKind::Mem,
+            log_shards: 1,
         }
     }
 }
@@ -210,12 +216,13 @@ pub fn run<M: RecoveryMethod>(
     ops: &[PageOp],
     cfg: &HarnessConfig,
 ) -> Result<HarnessReport, HarnessFailure> {
-    let mut db: Db<M::Payload> = Db::on(
+    let mut db: Db<M::Payload> = Db::on_sharded(
         cfg.backend,
         Geometry {
             slots_per_page: cfg.slots_per_page,
         },
         cfg.pool_capacity,
+        cfg.log_shards,
     );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = HarnessReport::default();

@@ -63,7 +63,7 @@ use redo_sim::SimResult;
 use redo_theory::log::Lsn;
 use redo_workload::pages::{Cell, PageOp};
 
-/// How many records a recovery scan decodes per [`redo_sim::wal::LogScanner`]
+/// How many records a recovery scan decodes per [`redo_sim::wal::ShardedScanner`]
 /// batch before replaying them — the size of the streaming window.
 pub const SCAN_BATCH: usize = 32;
 

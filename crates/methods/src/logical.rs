@@ -33,7 +33,7 @@
 use std::collections::BTreeSet;
 
 use redo_sim::db::Db;
-use redo_sim::wal::LogScanner;
+use redo_sim::wal::ShardedScanner;
 use redo_sim::SimResult;
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageId, PageOp};
@@ -102,7 +102,7 @@ impl RecoveryMethod for Logical {
         // Streaming scan: only the post-checkpoint suffix is ever
         // decoded. Logical operations read and write arbitrary pages, so
         // each batch prefetches its whole read+write footprint.
-        let mut scanner = LogScanner::seek(&db.log, master.next());
+        let mut scanner = ShardedScanner::seek(&db.log, master.next());
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {

@@ -9,7 +9,7 @@
 //! pay for exactly that page's replay.
 //!
 //! The access path is the stable log's **per-page record chain**
-//! ([`redo_sim::wal::LogManager::page_chain`]): flush time already
+//! ([`redo_sim::wal::ShardedLog::page_chain`]): flush time already
 //! indexes, for every page, the (LSN, byte offset) of each stable
 //! record that writes it, and crash repair prunes the chains with the
 //! tail. Analysis is [`Generalized::analyze_dpt`] unchanged — master
@@ -71,21 +71,44 @@ pub struct OnDemandRestart {
     gates: BTreeSet<PageId>,
     stats: RecoveryStats,
     gates_at_open: usize,
+    /// The residual records, decoded through the gated chains at open,
+    /// keyed by LSN.
+    records: BTreeMap<Lsn, PageOp>,
+    /// Gated page → index into `members`/`record_sets`. Components are
+    /// fixed at open — computed over the full residual conflict graph,
+    /// reads included — so the replay unit cannot shrink as earlier
+    /// gates open.
+    component_of: BTreeMap<PageId, usize>,
+    /// Component → its gated pages.
+    members: Vec<BTreeSet<PageId>>,
+    /// Component → its record LSNs, ascending.
+    record_sets: Vec<Vec<Lsn>>,
 }
 
 impl OnDemand {
-    /// Opens a crashed database immediately: repair, analysis, and gate
-    /// placement — no log scan, no replay. Every page whose chain holds
-    /// a record the analysis cannot prove installed is gated; reads on
-    /// ungated pages are servable at once.
+    /// Opens a crashed database immediately: repair, analysis, gate
+    /// placement, and component discovery — no replay, and no
+    /// sequential scan of the installed prefix (the residual records
+    /// are decoded through the per-page chains alone). Every page whose
+    /// chain holds a record the analysis cannot prove installed is
+    /// gated; reads on ungated pages are servable at once.
+    ///
+    /// Components must close over *read* edges as well as write edges:
+    /// an operation that reads page `q` and writes page `p` must replay
+    /// before a later record writes `q`, or it would observe the future
+    /// value (sequential replay, which the write-order constraints
+    /// protect, observes the pre-write one). Chains only index writers,
+    /// so readers of `q` are discovered from the records on *other*
+    /// gated chains — which is why the component structure is computed
+    /// here, over every residual record, rather than per access.
     ///
     /// # Errors
     ///
-    /// Log corruption at the master record.
+    /// Log corruption at the master record or at a chain offset.
     pub fn open(db: &mut Db<PageOpPayload>) -> SimResult<OnDemandRestart> {
         db.repair_after_crash();
         let analysis = Generalized::analyze_dpt(db)?;
-        let stats = RecoveryStats {
+        let mut stats = RecoveryStats {
             checkpoint_lsn: analysis.checkpoint_lsn,
             truncated_bytes: db.log.truncated_bytes(),
             ..RecoveryStats::default()
@@ -100,12 +123,84 @@ impl OnDemand {
                 gates.insert(page);
             }
         }
+        // Decode the residual records chain-directed: every gated
+        // page's uninstalled chain entries, each record once.
+        let mut records: BTreeMap<Lsn, PageOp> = BTreeMap::new();
+        for &page in &gates {
+            let entries: Vec<(Lsn, u64)> = db
+                .log
+                .page_chain(page)
+                .iter()
+                .copied()
+                .filter(|&(lsn, _)| {
+                    lsn >= analysis.redo_start && !analysis.provably_installed(page, lsn)
+                })
+                .collect();
+            for (lsn, off) in entries {
+                if records.contains_key(&lsn) {
+                    continue;
+                }
+                let rec = db.log.record_for(page, off)?;
+                debug_assert_eq!(rec.lsn, lsn, "chain entry points at a foreign frame");
+                stats.records_decoded += 1;
+                stats.seek_hits += 1;
+                if let PageOpPayload::Op(op) = rec.payload {
+                    records.insert(lsn, op);
+                }
+            }
+        }
+        // Connected components of the residual conflict graph,
+        // restricted to gated pages: a record links every gated page it
+        // reads or writes.
+        let mut touch: BTreeMap<PageId, Vec<Lsn>> = BTreeMap::new();
+        for (&lsn, op) in &records {
+            for p in op.read_pages().into_iter().chain(op.written_pages()) {
+                if gates.contains(&p) {
+                    touch.entry(p).or_default().push(lsn);
+                }
+            }
+        }
+        let mut component_of: BTreeMap<PageId, usize> = BTreeMap::new();
+        let mut members: Vec<BTreeSet<PageId>> = Vec::new();
+        let mut record_sets: Vec<Vec<Lsn>> = Vec::new();
+        for &start in &gates {
+            if component_of.contains_key(&start) {
+                continue;
+            }
+            let id = members.len();
+            let mut component: BTreeSet<PageId> = BTreeSet::new();
+            let mut lsns: BTreeSet<Lsn> = BTreeSet::new();
+            let mut frontier = vec![start];
+            while let Some(p) = frontier.pop() {
+                if !component.insert(p) {
+                    continue;
+                }
+                component_of.insert(p, id);
+                for &lsn in touch.get(&p).into_iter().flatten() {
+                    if !lsns.insert(lsn) {
+                        continue;
+                    }
+                    let op = &records[&lsn];
+                    for q in op.read_pages().into_iter().chain(op.written_pages()) {
+                        if gates.contains(&q) && !component.contains(&q) {
+                            frontier.push(q);
+                        }
+                    }
+                }
+            }
+            members.push(component);
+            record_sets.push(lsns.into_iter().collect());
+        }
         let gates_at_open = gates.len();
         Ok(OnDemandRestart {
             analysis,
             gates,
             stats,
             gates_at_open,
+            records,
+            component_of,
+            members,
+            record_sets,
         })
     }
 
@@ -173,45 +268,17 @@ impl OnDemandRestart {
         if !self.gates.contains(&page) {
             return Ok(());
         }
-        // Phase 1: collect the connected component — chase chains from
-        // the requested page through every still-gated page its records
-        // read or write. Records dedupe by LSN (a multi-page write sits
-        // on each written page's chain).
-        let mut component: BTreeSet<PageId> = BTreeSet::new();
-        let mut frontier = vec![page];
-        let mut records: BTreeMap<Lsn, PageOp> = BTreeMap::new();
-        while let Some(p) = frontier.pop() {
-            if !component.insert(p) {
-                continue;
-            }
-            let entries: Vec<(Lsn, u64)> = db
-                .log
-                .page_chain(p)
-                .iter()
-                .copied()
-                .filter(|&(lsn, _)| {
-                    lsn >= self.analysis.redo_start && !self.analysis.provably_installed(p, lsn)
-                })
-                .collect();
-            for (lsn, off) in entries {
-                if records.contains_key(&lsn) {
-                    continue;
-                }
-                let rec = db.log.record_at(off)?;
-                debug_assert_eq!(rec.lsn, lsn, "chain entry points at a foreign frame");
-                self.stats.records_decoded += 1;
-                self.stats.seek_hits += 1;
-                let PageOpPayload::Op(op) = rec.payload else {
-                    continue;
-                };
-                for q in op.read_pages().into_iter().chain(op.written_pages()) {
-                    if self.gates.contains(&q) && !component.contains(&q) {
-                        frontier.push(q);
-                    }
-                }
-                records.insert(lsn, op);
-            }
-        }
+        // Phase 1: look up the page's component — fixed at open over
+        // the full residual conflict graph (readers included), so the
+        // replay unit is the same whichever access order the workload
+        // drives. Per Theorem 3 the order *between* these components is
+        // free; order within replays below in global LSN order.
+        let id = self.component_of[&page];
+        let component = self.members[id].clone();
+        let records: Vec<(Lsn, PageOp)> = self.record_sets[id]
+            .iter()
+            .map(|lsn| (*lsn, self.records[lsn].clone()))
+            .collect();
         // Phase 2: replay the merged chains in global LSN order under
         // the same redo test, constraints, and cycle pre-resolution as
         // the sequential scan.

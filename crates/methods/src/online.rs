@@ -27,7 +27,7 @@
 //!    redo scan (it is not an operation).
 //! 3. Only after *verifying* both steps landed does the method
 //!    **truncate** the stable-log prefix below the redo-start
-//!    ([`redo_sim::wal::LogManager::truncate_prefix`]): every record
+//!    ([`redo_sim::wal::ShardedLog::archive_prefix`]): every record
 //!    there is applied and its page durably installed, so no future
 //!    recovery can need it. Truncating any earlier would be unsound —
 //!    a crash before publication must still be able to recover from
@@ -85,7 +85,7 @@ impl GeneralizedOnline {
         if db.disk.master() != ck {
             return Ok(None);
         }
-        db.log.truncate_prefix(redo_start)?;
+        db.log.archive_prefix(redo_start)?;
         Ok(Some(ck))
     }
 }

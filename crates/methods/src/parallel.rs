@@ -12,18 +12,29 @@
 //! [`RedoSchedule::partition_by_var`](redo_theory::schedule::RedoSchedule::partition_by_var)
 //! with a page playing the role of a variable.
 //!
-//! The execution scheme is a *pipeline*: the calling thread runs the
-//! streaming log scan (a seeked [`LogCursor`](redo_sim::wal::LogCursor)
-//! — only the post-checkpoint suffix is ever decoded) and routes each
-//! record's per-page work items, coalesced into batches to amortize
-//! channel synchronization, over channels to worker threads, which
-//! rebuild page *images* from their durable copies in per-page LSN
-//! order **while the scan is still decoding later records** — replay
-//! overlaps decode. A page's first routed item carries its starting
-//! image (cloned cache copy or durable read), so workers never touch
-//! the buffer pool or disk and the substrate needs no internal locking.
-//! When the scan finishes, the channels close, the workers drain, and
-//! the calling thread installs the rebuilt images into the buffer pool.
+//! The execution scheme is a *pipeline* whose decode stage scales with
+//! the log: one scan thread per log shard runs a streaming frame scan
+//! over its shard (a seeked [`LogCursor`](redo_sim::wal::LogCursor) —
+//! only the post-checkpoint suffix is ever decoded) and routes its
+//! *own* pages' work items, coalesced into batches to amortize channel
+//! synchronization, over channels to worker threads, which rebuild
+//! page *images* from their durable copies in per-page LSN order
+//! **while the scans are still decoding later records** — replay
+//! overlaps decode, and with `--log-shards N` the decode itself runs
+//! N-wide. Because the log routes a record to the shard of every page
+//! it writes (see [`ShardedLog`](redo_sim::wal::ShardedLog)), shard
+//! `s`'s scan observes every record touching its pages, and routing
+//! only pages homed on `s` ships each page's work exactly once
+//! globally, in that shard's LSN order. A page's first routed item
+//! carries its starting image (cloned cache copy or durable read), so
+//! workers never touch the buffer pool or disk and the substrate needs
+//! no internal locking. Scan-settled bookkeeping (skips the dirty-page
+//! table proves, checkpoint recognitions) is recorded only by a
+//! record's *home* shard — the lowest shard id among its written pages
+//! — then merged into global LSN order, so the stats are
+//! indistinguishable from a serial scan's. When the scans finish, the
+//! channels close, the workers drain, and the calling thread installs
+//! the rebuilt images into the buffer pool.
 //!
 //! Restart is *checkpoint-aware*: the scheduler is fed by the same
 //! analysis pass sequential recovery uses
@@ -51,7 +62,7 @@ use std::sync::mpsc;
 
 use redo_sim::db::Db;
 use redo_sim::page::Page;
-use redo_sim::wal::{LogPayload, ScanStats, WalRecord};
+use redo_sim::wal::{LogPayload, ScanStats, ShardFrame, WalRecord};
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageId, PageOp, SlotId};
@@ -86,6 +97,23 @@ struct Rebuilt {
     image: Page,
     replayed: Vec<(Lsn, u32)>,
     skipped: Vec<(Lsn, u32)>,
+}
+
+/// Bookkeeping a scan thread settles without routing any work — kept
+/// as data (rather than mutating shared stats) so the per-shard scans
+/// stay lock-free, and merged into global LSN order after they join.
+enum ScanEvent {
+    /// A record the scan decoded (checkpoints included), counted once
+    /// at its home shard.
+    Scanned,
+    /// A checkpoint record recognized and declined as page work.
+    Checkpoint,
+    /// An operation settled *replayed* at scan time (physical
+    /// fragments replay unconditionally; the op is counted here).
+    Replayed(u32),
+    /// An operation settled *skipped* at scan time (the dirty-page
+    /// table proved every surviving fragment installed).
+    Skipped(u32),
 }
 
 /// A worker's main loop: consume item batches as the scan routes them,
@@ -134,83 +162,180 @@ where
     Ok(parts.into_values().collect())
 }
 
-/// Drives the pipeline: streams records from the seeked cursor on the
-/// calling thread, shards each into per-page work items via `shard`,
-/// and routes them to `threads` workers applying `apply`. Returns the
-/// rebuilt partitions in page-id order plus the scan telemetry.
-fn pipeline_partitions<P, T, F>(
+/// A record's *home* shard: the lowest shard id among its written
+/// pages (shard 0 for page-less records, which broadcast everywhere).
+/// Exactly one scan thread observes a record as home, so per-record
+/// bookkeeping settles exactly once even when the record itself is
+/// replicated across shards.
+fn home_shard<P: LogPayload>(db: &Db<P>, rec: &WalRecord<P>) -> usize {
+    rec.payload
+        .write_pages()
+        .iter()
+        .map(|&p| db.log.shard_of(p))
+        .min()
+        .unwrap_or(0)
+}
+
+/// One shard's scan thread: streams the shard's frames from the seeked
+/// cursor, shards each record into per-page work items via `shard_fn`,
+/// and routes the items homed on this shard to the workers. Returns
+/// the home-settled events (in this shard's LSN order) and the scan
+/// telemetry.
+fn scan_shard<P, T, S>(
     db: &Db<P>,
+    s: usize,
     from: Lsn,
-    threads: usize,
-    mut shard: impl FnMut(WalRecord<P>) -> SimResult<Vec<(PageId, Lsn, u32, T)>>,
-    apply: F,
-) -> SimResult<(Vec<Rebuilt>, ScanStats)>
+    shard_fn: &S,
+    txs: &[mpsc::Sender<Vec<WorkItem<T>>>],
+) -> SimResult<(Vec<(Lsn, ScanEvent)>, ScanStats)>
 where
     P: LogPayload,
     T: Send,
+    S: Fn(WalRecord<P>) -> SimResult<(Vec<(PageId, Lsn, u32, T)>, Vec<ScanEvent>)> + Sync,
+{
+    let threads = txs.len();
+    let mut bufs: Vec<Vec<WorkItem<T>>> = (0..threads)
+        .map(|_| Vec::with_capacity(ROUTE_BATCH))
+        .collect();
+    let mut routed: BTreeSet<PageId> = BTreeSet::new();
+    let mut events: Vec<(Lsn, ScanEvent)> = Vec::new();
+    let mut cursor = db.log.shard_cursor_from(s, from);
+    let mut scan_err: Option<SimError> = None;
+    'scan: for frame in cursor.by_ref() {
+        let frame = match frame {
+            Ok(frame) => frame,
+            Err(e) => {
+                scan_err = Some(e);
+                break;
+            }
+        };
+        // Flush-group markers are log plumbing, not records.
+        let ShardFrame::Rec(payload) = frame.payload else {
+            continue;
+        };
+        let rec = WalRecord {
+            lsn: frame.lsn,
+            payload,
+        };
+        let is_home = home_shard(db, &rec) == s;
+        let lsn = rec.lsn;
+        let (items, evs) = match shard_fn(rec) {
+            Ok(out) => out,
+            Err(e) => {
+                scan_err = Some(e);
+                break;
+            }
+        };
+        if is_home {
+            events.extend(evs.into_iter().map(|e| (lsn, e)));
+        }
+        for (page, lsn, op_id, payload) in items {
+            // Every shard holding a copy of the record computes the
+            // same item set; only the page's home shard ships it, so
+            // each page's work routes exactly once globally.
+            if db.log.shard_of(page) != s {
+                continue;
+            }
+            // The page's first item ships its starting image: the
+            // cached copy if recovery already progressed, else the
+            // durable page.
+            let start = match routed
+                .insert(page)
+                .then(|| start_image(db, page))
+                .transpose()
+            {
+                Ok(start) => start,
+                Err(e) => {
+                    scan_err = Some(e);
+                    break 'scan;
+                }
+            };
+            let w = page.0 as usize % threads;
+            bufs[w].push(WorkItem {
+                page,
+                lsn,
+                op_id,
+                payload,
+                start,
+            });
+            if bufs[w].len() == ROUTE_BATCH {
+                // A failed send means the worker panicked; the join in
+                // the driver surfaces it.
+                let batch = std::mem::replace(&mut bufs[w], Vec::with_capacity(ROUTE_BATCH));
+                let _ = txs[w].send(batch);
+            }
+        }
+    }
+    for (w, buf) in bufs.into_iter().enumerate() {
+        if !buf.is_empty() {
+            let _ = txs[w].send(buf);
+        }
+    }
+    match scan_err {
+        Some(e) => Err(e),
+        None => Ok((events, cursor.stats())),
+    }
+}
+
+/// The pipeline's joined output: rebuilt partitions in page-id order,
+/// scan telemetry summed over shards, and the scan-settled events
+/// merged into global LSN order.
+type PipelineOutput = (Vec<Rebuilt>, ScanStats, Vec<(Lsn, ScanEvent)>);
+
+/// Drives the pipeline: one scan thread per log shard streams records
+/// from its shard's seeked cursor, shards each into per-page work
+/// items via `shard_fn`, and routes them to `threads` workers applying
+/// `apply`. Returns the rebuilt partitions in page-id order, the scan
+/// telemetry summed over shards, and the scan-settled events merged
+/// into global LSN order.
+fn pipeline_partitions<P, T, F, S>(
+    db: &Db<P>,
+    from: Lsn,
+    threads: usize,
+    shard_fn: S,
+    apply: F,
+) -> SimResult<PipelineOutput>
+where
+    P: LogPayload + Sync,
+    T: Send,
     F: Fn(&mut Page, Lsn, &T) -> bool + Sync,
+    S: Fn(WalRecord<P>) -> SimResult<(Vec<(PageId, Lsn, u32, T)>, Vec<ScanEvent>)> + Sync,
 {
     let threads = threads.max(1);
+    let n_shards = db.log.n_shards();
     let apply = &apply;
-    std::thread::scope(|s| {
+    let shard_fn = &shard_fn;
+    std::thread::scope(|scope| {
         let mut txs = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let (tx, rx) = mpsc::channel::<Vec<WorkItem<T>>>();
             txs.push(tx);
-            handles.push(s.spawn(move || redo_worker(rx, apply)));
+            handles.push(scope.spawn(move || redo_worker(rx, apply)));
         }
-        let mut bufs: Vec<Vec<WorkItem<T>>> = (0..threads)
-            .map(|_| Vec::with_capacity(ROUTE_BATCH))
+        // One scan thread per log shard; each gets its own sender
+        // clones (mpsc preserves per-sender order, and a page's items
+        // all come from its home shard's sender, so per-page LSN order
+        // survives the multi-producer merge).
+        let scan_handles: Vec<_> = (0..n_shards)
+            .map(|s| {
+                let txs: Vec<mpsc::Sender<Vec<WorkItem<T>>>> = txs.clone();
+                scope.spawn(move || scan_shard(db, s, from, shard_fn, &txs))
+            })
             .collect();
-        let mut routed: BTreeSet<PageId> = BTreeSet::new();
-        let mut cursor = db.log.cursor_from(from);
+        let mut events: Vec<(Lsn, ScanEvent)> = Vec::new();
+        let mut stats = ScanStats::default();
         let mut scan_err: Option<SimError> = None;
-        'scan: for rec in cursor.by_ref() {
-            let items = match rec.and_then(&mut shard) {
-                Ok(items) => items,
-                Err(e) => {
-                    scan_err = Some(e);
-                    break;
+        for h in scan_handles {
+            match h.join() {
+                Ok(Ok((evs, st))) => {
+                    events.extend(evs);
+                    stats.absorb(st);
                 }
-            };
-            for (page, lsn, op_id, payload) in items {
-                // The page's first item ships its starting image: the
-                // cached copy if recovery already progressed, else the
-                // durable page.
-                let start = match routed
-                    .insert(page)
-                    .then(|| start_image(db, page))
-                    .transpose()
-                {
-                    Ok(start) => start,
-                    Err(e) => {
-                        scan_err = Some(e);
-                        break 'scan;
-                    }
-                };
-                let w = page.0 as usize % threads;
-                bufs[w].push(WorkItem {
-                    page,
-                    lsn,
-                    op_id,
-                    payload,
-                    start,
-                });
-                if bufs[w].len() == ROUTE_BATCH {
-                    // A failed send means the worker panicked; the
-                    // join below surfaces it.
-                    let batch = std::mem::replace(&mut bufs[w], Vec::with_capacity(ROUTE_BATCH));
-                    let _ = txs[w].send(batch);
-                }
+                Ok(Err(e)) => scan_err = scan_err.or(Some(e)),
+                Err(_) => scan_err = scan_err.or(Some(SimError::RecoveryWorkerPanic)),
             }
         }
-        for (w, buf) in bufs.into_iter().enumerate() {
-            if !buf.is_empty() {
-                let _ = txs[w].send(buf);
-            }
-        }
-        let stats = cursor.stats();
         // Closing the channels ends the workers' loops.
         drop(txs);
         // Every worker is joined before any error returns, so no
@@ -233,7 +358,12 @@ where
             return Err(e);
         }
         rebuilt.sort_by_key(|r| r.page);
-        Ok((rebuilt, stats))
+        // Each shard's events arrive in its own LSN order; a stable
+        // sort by LSN interleaves them into the global order (events of
+        // one record share an LSN and a shard, so their relative order
+        // is preserved).
+        events.sort_by_key(|&(lsn, _)| lsn);
+        Ok((rebuilt, stats, events))
     })
 }
 
@@ -320,19 +450,16 @@ pub fn recover_physiological_parallel(
         truncated_bytes: db.log.truncated_bytes(),
         ..RecoveryStats::default()
     };
-    let mut elided: Vec<(Lsn, u32)> = Vec::new();
-    let mut checkpoint_records = 0usize;
-    let (rebuilt, mut scan) = pipeline_partitions(
+    let analysis_ref = &analysis;
+    let (rebuilt, mut scan, events) = pipeline_partitions(
         db,
         analysis.redo_start,
         threads,
-        |rec| {
-            stats.scanned += 1;
+        move |rec: WalRecord<PageOpPayload>| {
             let PageOpPayload::Op(op) = rec.payload else {
                 // Checkpoint records are not page writes: they must
                 // never be routed to a page partition.
-                checkpoint_records += 1;
-                return Ok(Vec::new());
+                return Ok((Vec::new(), vec![ScanEvent::Scanned, ScanEvent::Checkpoint]));
             };
             let written = op.written_pages();
             if written.len() != 1 || op.read_pages().iter().any(|p| *p != written[0]) {
@@ -340,13 +467,18 @@ pub fn recover_physiological_parallel(
                     "physiological operations access exactly one page",
                 ));
             }
-            if analysis.provably_installed(written[0], rec.lsn) {
+            if analysis_ref.provably_installed(written[0], rec.lsn) {
                 // The DPT already decided this record: skipped, settled
                 // at scan time, no partition or page fetch involved.
-                elided.push((rec.lsn, op.id));
-                return Ok(Vec::new());
+                return Ok((
+                    Vec::new(),
+                    vec![ScanEvent::Scanned, ScanEvent::Skipped(op.id)],
+                ));
             }
-            Ok(vec![(written[0], rec.lsn, op.id, op)])
+            Ok((
+                vec![(written[0], rec.lsn, op.id, op)],
+                vec![ScanEvent::Scanned],
+            ))
         },
         |image, lsn, op: &PageOp| {
             if image.lsn() >= lsn {
@@ -362,7 +494,15 @@ pub fn recover_physiological_parallel(
             true
         },
     )?;
-    scan.checkpoint_records = checkpoint_records;
+    let mut elided: Vec<(Lsn, u32)> = Vec::new();
+    for (lsn, ev) in events {
+        match ev {
+            ScanEvent::Scanned => stats.scanned += 1,
+            ScanEvent::Checkpoint => scan.checkpoint_records += 1,
+            ScanEvent::Skipped(id) => elided.push((lsn, id)),
+            ScanEvent::Replayed(id) => stats.replayed.push(id),
+        }
+    }
     install(db, rebuilt, elided, &mut stats)?;
     stats.note_scan(scan, db.log.forces());
     Ok(stats)
@@ -401,19 +541,17 @@ pub fn recover_physical_parallel(
         truncated_bytes: db.log.truncated_bytes(),
         ..RecoveryStats::default()
     };
-    let mut checkpoint_records = 0usize;
-    let (rebuilt, mut scan) = pipeline_partitions(
+    let analysis_ref = &analysis;
+    let (rebuilt, mut scan, events) = pipeline_partitions(
         db,
         analysis.redo_start,
         threads,
-        |rec| {
-            stats.scanned += 1;
+        move |rec: WalRecord<PhysPayload>| {
             let lsn = rec.lsn;
             let PhysPayload::Writes { op_id, writes } = rec.payload else {
                 // Checkpoint records are not page writes: count them,
                 // never route them.
-                checkpoint_records += 1;
-                return Ok(Vec::new());
+                return Ok((Vec::new(), vec![ScanEvent::Scanned, ScanEvent::Checkpoint]));
             };
             let mut per_page: BTreeMap<PageId, Vec<(SlotId, u64)>> = BTreeMap::new();
             for (cell, v) in writes {
@@ -421,18 +559,23 @@ pub fn recover_physical_parallel(
             }
             // Fragments the DPT proves installed never reach a
             // partition; surviving fragments replay unconditionally
-            // (blind, idempotent), so stats are settled here, in scan
-            // (= LSN) order, and the workers only rebuild images.
-            per_page.retain(|&page, _| !analysis.provably_installed(page, lsn));
+            // (blind, idempotent), so the per-operation verdict is
+            // settled at scan time — at the record's home shard, in
+            // LSN order — and the workers only rebuild images.
+            per_page.retain(|&page, _| !analysis_ref.provably_installed(page, lsn));
             if per_page.is_empty() {
-                stats.skipped.push(op_id);
-                return Ok(Vec::new());
+                return Ok((
+                    Vec::new(),
+                    vec![ScanEvent::Scanned, ScanEvent::Skipped(op_id)],
+                ));
             }
-            stats.replayed.push(op_id);
-            Ok(per_page
-                .into_iter()
-                .map(|(page, cells)| (page, lsn, op_id, cells))
-                .collect())
+            Ok((
+                per_page
+                    .into_iter()
+                    .map(|(page, cells)| (page, lsn, op_id, cells))
+                    .collect(),
+                vec![ScanEvent::Scanned, ScanEvent::Replayed(op_id)],
+            ))
         },
         |image, lsn, cells: &Vec<(SlotId, u64)>| {
             for &(slot, v) in cells {
@@ -442,7 +585,14 @@ pub fn recover_physical_parallel(
             true
         },
     )?;
-    scan.checkpoint_records = checkpoint_records;
+    for (_, ev) in events {
+        match ev {
+            ScanEvent::Scanned => stats.scanned += 1,
+            ScanEvent::Checkpoint => scan.checkpoint_records += 1,
+            ScanEvent::Skipped(id) => stats.skipped.push(id),
+            ScanEvent::Replayed(id) => stats.replayed.push(id),
+        }
+    }
     // Worker-side replay bookkeeping is per-fragment; the scan already
     // settled the per-operation stats, so the install discards it.
     install(db, rebuilt, Vec::new(), &mut RecoveryStats::default())?;
@@ -800,11 +950,14 @@ mod tests {
             &db,
             Lsn(1),
             2,
-            |rec| {
+            |rec: WalRecord<PageOpPayload>| {
                 let PageOpPayload::Op(op) = rec.payload else {
-                    return Ok(Vec::new());
+                    return Ok((Vec::new(), Vec::new()));
                 };
-                Ok(vec![(op.written_pages()[0], rec.lsn, op.id, op)])
+                Ok((
+                    vec![(op.written_pages()[0], rec.lsn, op.id, op)],
+                    Vec::new(),
+                ))
             },
             |_image: &mut Page, _lsn, _op: &PageOp| panic!("injected worker failure"),
         );

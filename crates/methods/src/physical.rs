@@ -17,7 +17,7 @@
 use std::collections::BTreeSet;
 
 use redo_sim::db::Db;
-use redo_sim::wal::{codec, LogPayload, LogScanner};
+use redo_sim::wal::{codec, LogPayload, ShardedScanner};
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{Cell, PageId, PageOp};
@@ -109,6 +109,16 @@ impl LogPayload for PhysPayload {
             _ => Err(SimError::Corrupt(*pos - 1)),
         }
     }
+
+    fn write_pages(&self) -> Vec<PageId> {
+        match self {
+            PhysPayload::Writes { writes, .. } => {
+                let pages: BTreeSet<PageId> = writes.iter().map(|&(c, _)| c.page).collect();
+                pages.into_iter().collect()
+            }
+            PhysPayload::Checkpoint | PhysPayload::FuzzyCheckpoint { .. } => Vec::new(),
+        }
+    }
 }
 
 /// The physical recovery method.
@@ -189,7 +199,7 @@ impl Physical {
         if db.disk.master() != ck {
             return Ok(None);
         }
-        db.log.truncate_prefix(redo_start)?;
+        db.log.archive_prefix(redo_start)?;
         Ok(Some(ck))
     }
 }
@@ -257,7 +267,7 @@ impl RecoveryMethod for Physical {
         // batch. Records a fuzzy analysis proves installed still
         // replay here: they are blind and idempotent, and the serial
         // path keeps the simplest possible redo test (always yes).
-        let mut scanner = LogScanner::seek(&db.log, analysis.redo_start);
+        let mut scanner = ShardedScanner::seek(&db.log, analysis.redo_start);
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {

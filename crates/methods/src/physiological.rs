@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 
 use redo_sim::db::Db;
-use redo_sim::wal::LogScanner;
+use redo_sim::wal::ShardedScanner;
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{PageId, PageOp};
@@ -82,7 +82,7 @@ impl RecoveryMethod for Physiological {
         // Streaming scan: seek past the checkpointed prefix (never
         // decoding it) and replay batch by batch, prefetching the pages
         // the upcoming records name.
-        let mut scanner = LogScanner::seek(&db.log, master.next());
+        let mut scanner = ShardedScanner::seek(&db.log, master.next());
         loop {
             let batch = scanner.next_batch(&db.log, SCAN_BATCH)?;
             if batch.is_empty() {

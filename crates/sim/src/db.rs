@@ -17,7 +17,7 @@ use crate::cache::BufferPool;
 use crate::disk::Disk;
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultInjector, FaultPlan, RepairReport};
-use crate::wal::{LogManager, LogPayload};
+use crate::wal::{LogPayload, ShardedLog};
 
 /// Page geometry shared by every component.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,8 +39,9 @@ pub struct Db<P: LogPayload> {
     pub disk: Disk,
     /// The cache manager (volatile).
     pub pool: BufferPool,
-    /// The write-ahead log (stable prefix survives; tail is volatile).
-    pub log: LogManager<P>,
+    /// The write-ahead log (stable prefix survives; tail is volatile) —
+    /// a [`ShardedLog`], one partition per store shard (1 by default).
+    pub log: ShardedLog<P>,
     /// Page geometry.
     pub geometry: Geometry,
     crashes: u64,
@@ -70,13 +71,27 @@ impl<P: LogPayload> Db<P> {
         geometry: Geometry,
         capacity: Option<usize>,
     ) -> Db<P> {
-        // One injector shared by both stable-storage devices, so a fault
+        Db::on_sharded(kind, geometry, capacity, 1)
+    }
+
+    /// A fresh database whose log is split into `log_shards`
+    /// per-partition logs (a power of two), routed by the same page-id
+    /// mask as [`ShardedStore`](crate::shard::ShardedStore). `1` is the
+    /// single-log database of [`Db::on`].
+    #[must_use]
+    pub fn on_sharded(
+        kind: crate::backend::BackendKind,
+        geometry: Geometry,
+        capacity: Option<usize>,
+        log_shards: usize,
+    ) -> Db<P> {
+        // One injector shared by every stable-storage device, so a fault
         // plan's event counter spans disk writes and log flushes alike.
         let injector = FaultInjector::new();
         let mut disk = Disk::on(kind);
         disk.injector = injector.clone();
-        let mut log = LogManager::on(kind);
-        log.injector = injector.clone();
+        let mut log = ShardedLog::on(kind, log_shards);
+        log.share_injector(injector.clone());
         Db {
             disk,
             pool: BufferPool::new(capacity),

@@ -1,0 +1,58 @@
+//! The append-only archive tier behind
+//! [`ShardedLog::archive_prefix`](super::ShardedLog::archive_prefix).
+//!
+//! Prefix truncation used to destroy history; the archive tier turns it
+//! into a *move*: the drained byte prefix of each shard — already
+//! CRC-framed, already LSN-ordered — is appended verbatim to a per-shard
+//! archive backend before it leaves the live log. Archive bytes are
+//! therefore a valid frame image in their own right, and concatenating
+//! `archive ∥ live` per shard reproduces the shard's complete history
+//! from LSN 1, which is exactly what point-in-time replay
+//! ([`ShardedLog::pit_records`](super::ShardedLog::pit_records)) scans.
+//! The tier is append-only by construction: nothing here truncates,
+//! drains, or rewrites.
+
+use crate::backend::{BackendKind, LogBackend};
+
+/// One append-only archive backend per log shard.
+#[derive(Clone, Debug)]
+pub(crate) struct ArchiveTier {
+    tiers: Vec<Box<dyn LogBackend>>,
+    archived_bytes: u64,
+}
+
+impl ArchiveTier {
+    /// An empty archive tier for `n` shards on the given backend kind
+    /// (a real fsynced file per shard under [`BackendKind::File`]).
+    pub(crate) fn new(kind: BackendKind, n: usize) -> ArchiveTier {
+        ArchiveTier {
+            tiers: (0..n).map(|_| kind.new_log()).collect(),
+            archived_bytes: 0,
+        }
+    }
+
+    /// Appends a drained frame prefix to shard `s`'s archive.
+    pub(crate) fn append(&mut self, s: usize, bytes: &[u8]) {
+        self.tiers[s].append(bytes);
+        self.archived_bytes += bytes.len() as u64;
+    }
+
+    /// Shard `s`'s archived frame image (oldest frames first).
+    pub(crate) fn bytes(&self, s: usize) -> &[u8] {
+        self.tiers[s].bytes()
+    }
+
+    /// Total bytes moved into the archive over this log's lifetime.
+    pub(crate) fn archived_bytes(&self) -> u64 {
+        self.archived_bytes
+    }
+
+    /// Crash pass-through: archive bytes are durable (the file backend
+    /// relearns them from disk on reopen, the mem backend models a
+    /// surviving device).
+    pub(crate) fn crash(&mut self) {
+        for tier in &mut self.tiers {
+            tier.crash();
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Primitive encoders/decoders for log payloads.
+
+use redo_workload::pages::{Cell, PageId, PageOp, PageOpKind, SlotId};
+
+use crate::error::{SimError, SimResult};
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a single byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Reads a little-endian `u64`.
+///
+/// # Errors
+///
+/// [`SimError::Corrupt`] if fewer than 8 bytes remain.
+pub fn get_u64(input: &[u8], pos: &mut usize) -> SimResult<u64> {
+    let end = pos.checked_add(8).ok_or(SimError::Corrupt(*pos))?;
+    let bytes = input.get(*pos..end).ok_or(SimError::Corrupt(*pos))?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+/// Reads a little-endian `u32`.
+///
+/// # Errors
+///
+/// [`SimError::Corrupt`] if fewer than 4 bytes remain.
+pub fn get_u32(input: &[u8], pos: &mut usize) -> SimResult<u32> {
+    let end = pos.checked_add(4).ok_or(SimError::Corrupt(*pos))?;
+    let bytes = input.get(*pos..end).ok_or(SimError::Corrupt(*pos))?;
+    *pos = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+/// Reads a little-endian `u16`.
+///
+/// # Errors
+///
+/// [`SimError::Corrupt`] if fewer than 2 bytes remain.
+pub fn get_u16(input: &[u8], pos: &mut usize) -> SimResult<u16> {
+    let end = pos.checked_add(2).ok_or(SimError::Corrupt(*pos))?;
+    let bytes = input.get(*pos..end).ok_or(SimError::Corrupt(*pos))?;
+    *pos = end;
+    Ok(u16::from_le_bytes(bytes.try_into().expect("2 bytes")))
+}
+
+/// Reads one byte.
+///
+/// # Errors
+///
+/// [`SimError::Corrupt`] at end of input.
+pub fn get_u8(input: &[u8], pos: &mut usize) -> SimResult<u8> {
+    let b = *input.get(*pos).ok_or(SimError::Corrupt(*pos))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Appends a cell (page id + slot).
+pub fn put_cell(buf: &mut Vec<u8>, c: Cell) {
+    put_u32(buf, c.page.0);
+    put_u16(buf, c.slot.0);
+}
+
+/// Reads a cell.
+///
+/// # Errors
+///
+/// [`SimError::Corrupt`] on truncated input.
+pub fn get_cell(input: &[u8], pos: &mut usize) -> SimResult<Cell> {
+    let page = PageId(get_u32(input, pos)?);
+    let slot = SlotId(get_u16(input, pos)?);
+    Ok(Cell { page, slot })
+}
+
+/// Checked conversion of a collection length into its 16-bit
+/// on-disk count field.
+///
+/// # Errors
+///
+/// [`SimError::FieldOverflow`] naming `field` when `len` exceeds
+/// `u16::MAX` — encoding it with a wrapping cast would silently
+/// corrupt the record.
+pub fn count_u16(field: &'static str, len: usize) -> SimResult<u16> {
+    u16::try_from(len).map_err(|_| SimError::FieldOverflow {
+        field,
+        value: len as u64,
+    })
+}
+
+/// Checked conversion of a collection length into its 32-bit
+/// on-disk count field.
+///
+/// # Errors
+///
+/// [`SimError::FieldOverflow`] naming `field` when `len` exceeds
+/// `u32::MAX` — encoding it with a wrapping cast would silently
+/// corrupt the record.
+pub fn count_u32(field: &'static str, len: usize) -> SimResult<u32> {
+    u32::try_from(len).map_err(|_| SimError::FieldOverflow {
+        field,
+        value: len as u64,
+    })
+}
+
+/// Appends a full [`PageOp`].
+///
+/// # Errors
+///
+/// [`SimError::FieldOverflow`] if a read or write set exceeds its
+/// 16-bit count field. `buf`'s tail is unspecified on error.
+pub fn put_page_op(buf: &mut Vec<u8>, op: &PageOp) -> SimResult<()> {
+    put_u32(buf, op.id);
+    put_u8(
+        buf,
+        match op.kind {
+            PageOpKind::Physiological => 0,
+            PageOpKind::Generalized => 1,
+            PageOpKind::Blind => 2,
+            PageOpKind::MultiPage => 3,
+        },
+    );
+    put_u64(buf, op.f_seed);
+    put_u16(buf, count_u16("page-op read count", op.reads.len())?);
+    for &c in &op.reads {
+        put_cell(buf, c);
+    }
+    put_u16(buf, count_u16("page-op write count", op.writes.len())?);
+    for &c in &op.writes {
+        put_cell(buf, c);
+    }
+    Ok(())
+}
+
+/// Reads a full [`PageOp`].
+///
+/// # Errors
+///
+/// [`SimError::Corrupt`] on truncated or invalid input.
+pub fn get_page_op(input: &[u8], pos: &mut usize) -> SimResult<PageOp> {
+    let id = get_u32(input, pos)?;
+    let kind = match get_u8(input, pos)? {
+        0 => PageOpKind::Physiological,
+        1 => PageOpKind::Generalized,
+        2 => PageOpKind::Blind,
+        3 => PageOpKind::MultiPage,
+        _ => return Err(SimError::Corrupt(*pos - 1)),
+    };
+    let f_seed = get_u64(input, pos)?;
+    let n_reads = get_u16(input, pos)? as usize;
+    let mut reads = Vec::with_capacity(n_reads.min(1024));
+    for _ in 0..n_reads {
+        reads.push(get_cell(input, pos)?);
+    }
+    let n_writes = get_u16(input, pos)? as usize;
+    let mut writes = Vec::with_capacity(n_writes.min(1024));
+    for _ in 0..n_writes {
+        writes.push(get_cell(input, pos)?);
+    }
+    Ok(PageOp {
+        id,
+        kind,
+        reads,
+        writes,
+        f_seed,
+    })
+}

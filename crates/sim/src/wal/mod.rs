@@ -9,6 +9,21 @@
 //! [`LogBackend`](crate::backend::LogBackend): an in-memory vector by
 //! default, a real fsynced file via [`BackendKind::File`].
 //!
+//! The module is split by concern:
+//!
+//! * [`framing`](self::framing) (re-exported here) — the frame format,
+//!   CRC verification, the structural walks, and the streaming
+//!   [`LogCursor`] / [`decode_records`] scans;
+//! * [`index`](self::index) — the shared maintenance discipline for the
+//!   sparse seek index and the per-page chains, including the guards
+//!   that authorize a prefix drain;
+//! * [`codec`] — primitive encoders for method payloads;
+//! * [`sharded`](self::sharded) — [`ShardedLog`]: N per-partition logs
+//!   routed by the same power-of-two page mask as the sharded store,
+//!   with a global-LSN sequencer and cross-shard atomic flush groups;
+//! * [`archive`](self::archive) — the append-only archive tier that
+//!   prefix truncation feeds, enabling point-in-time replay.
+//!
 //! ## Frame format
 //!
 //! Each stable record occupies one *frame*: an 8-byte little-endian LSN,
@@ -18,13 +33,15 @@
 //! well-formed iff it is a whole number of well-formed frames whose
 //! checksums verify. Because [`LogManager::flush`] moves the volatile
 //! tail in order and a crash re-derives the next LSN from the stable
-//! end, the stable log always holds exactly LSNs
+//! end, a standalone (*dense*) log always holds exactly LSNs
 //! `first_stable..=stable_lsn`, densely and in order — the seek
-//! machinery below relies on this. `first_stable` starts at 1 and only
-//! moves when a published checkpoint makes the prefix redundant:
-//! [`LogManager::truncate_prefix`] elides every frame below the
-//! checkpoint's redo-start LSN and rebases the seek index onto the
-//! shortened image.
+//! machinery relies on this. A shard of a [`ShardedLog`] instead holds
+//! a monotone *subset* of the global LSNs (*sparse* mode): the global
+//! sequencer owns density, each shard only monotonicity. `first_stable`
+//! starts at 1 and only moves when a published checkpoint makes the
+//! prefix redundant: [`LogManager::truncate_prefix`] elides every frame
+//! below the checkpoint's redo-start LSN and rebases the seek index
+//! onto the shortened image.
 //!
 //! ## Scanning
 //!
@@ -51,18 +68,29 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::marker::PhantomData;
 
 use redo_theory::log::Lsn;
 use redo_workload::pages::PageId;
 
-use crate::backend::{BackendKind, Crc32, LogBackend};
+use crate::backend::{BackendKind, LogBackend};
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultDecision, FaultInjector};
 
-/// Bytes of a frame header: 8-byte LSN + 4-byte body length + 4-byte
-/// CRC-32 of the rest of the frame.
-pub const FRAME_HEADER: usize = 16;
+mod archive;
+pub mod codec;
+mod framing;
+mod index;
+mod sharded;
+
+pub use framing::{decode_records, LogCursor, ScanStats, FRAME_HEADER};
+pub use index::SEEK_INTERVAL;
+pub use sharded::{ShardFrame, ShardedCursor, ShardedLog, ShardedScanner};
+
+pub(crate) use framing::{frame_crc, skip_frames_below, walk_valid_frames};
+use index::{
+    plan_prefix_drain, prune_chains_to_prefix, prune_index_to_prefix, rebase_chains_after_drain,
+    rebase_index_after_drain, DrainPlan,
+};
 
 /// A type that can be written to and read back from the stable log.
 pub trait LogPayload: Clone + fmt::Debug {
@@ -89,6 +117,16 @@ pub trait LogPayload: Clone + fmt::Debug {
     fn write_pages(&self) -> Vec<PageId> {
         Vec::new()
     }
+    /// Whether a stable frame carrying this payload may anchor a
+    /// seek-index entry. The index invariant is that no frame with an
+    /// LSN at or above an entry's LSN sits *before* the entry's offset;
+    /// a payload whose frame LSN can echo an earlier frame's LSN (the
+    /// sharded log's `Close` marker repeats the group's covering LSN
+    /// after the records it covers) must opt out, or a seek could land
+    /// past the record it was asked for.
+    fn anchors_seek(&self) -> bool {
+        true
+    }
 }
 
 /// One log record: an LSN and a method-specific payload.
@@ -100,11 +138,6 @@ pub struct WalRecord<P> {
     pub payload: P,
 }
 
-/// One seek-index entry every this many stable records. Small enough
-/// that the post-seek header walk touches at most a handful of frames,
-/// sparse enough that the index stays a rounding error next to the log.
-pub const SEEK_INTERVAL: usize = 8;
-
 /// The log manager.
 #[derive(Clone, Debug)]
 pub struct LogManager<P> {
@@ -113,7 +146,7 @@ pub struct LogManager<P> {
     stable_count: usize,
     /// The lowest LSN still present in the stable image. Starts at 1;
     /// [`LogManager::truncate_prefix`] advances it. The stable bytes
-    /// always hold exactly LSNs `first_stable..=stable_lsn`, densely.
+    /// of a dense log hold exactly LSNs `first_stable..=stable_lsn`.
     first_stable: Lsn,
     volatile: Vec<WalRecord<P>>,
     next_lsn: Lsn,
@@ -135,18 +168,14 @@ pub struct LogManager<P> {
     /// helpers keep the two structures from ever disagreeing).
     page_chains: BTreeMap<PageId, Vec<(Lsn, u64)>>,
     forces: u64,
+    /// Dense-run discipline: a standalone log holds exactly
+    /// `first_stable..=stable_lsn` and prefix truncation enforces it; a
+    /// shard of a [`ShardedLog`] holds a monotone *subset* of the
+    /// global LSNs, so the density guards do not apply per shard.
+    dense: bool,
     /// Shared crash-point switchboard ([`crate::db::Db`] wires the same
     /// injector into the disk).
     pub(crate) injector: FaultInjector,
-}
-
-/// Computes a frame's CRC: the 12 header bytes before the CRC field,
-/// then the body.
-fn frame_crc(header12: &[u8], body: &[u8]) -> u32 {
-    let mut crc = Crc32::new();
-    crc.update(header12);
-    crc.update(body);
-    crc.finish()
 }
 
 impl<P: LogPayload> LogManager<P> {
@@ -173,7 +202,20 @@ impl<P: LogPayload> LogManager<P> {
             seek_enabled: true,
             page_chains: BTreeMap::new(),
             forces: 0,
+            dense: true,
             injector: FaultInjector::new(),
+        }
+    }
+
+    /// An empty *sparse* log on the given backend: one shard of a
+    /// [`ShardedLog`], carrying a monotone subset of externally assigned
+    /// LSNs ([`LogManager::append_at`]) rather than its own dense
+    /// sequence.
+    #[must_use]
+    pub(crate) fn sparse_on(kind: BackendKind) -> LogManager<P> {
+        LogManager {
+            dense: false,
+            ..LogManager::on(kind)
         }
     }
 
@@ -188,6 +230,21 @@ impl<P: LogPayload> LogManager<P> {
     /// frame length field. A failed append assigns no LSN and leaves the
     /// log untouched.
     pub fn append(&mut self, payload: P) -> SimResult<Lsn> {
+        let lsn = self.next_lsn;
+        self.append_at(lsn, payload)?;
+        Ok(lsn)
+    }
+
+    /// Appends a record carrying an externally assigned LSN — the
+    /// sharded log's sequencer hands each shard its slice of the global
+    /// sequence this way. `lsn` must be at least this log's next LSN;
+    /// the single-log [`LogManager::append`] is the `lsn == next_lsn`
+    /// special case.
+    ///
+    /// # Errors
+    ///
+    /// As [`LogManager::append`].
+    pub(crate) fn append_at(&mut self, lsn: Lsn, payload: P) -> SimResult<()> {
         // Account bytes at append time so log-volume metrics cover
         // records that never reach disk before a crash.
         let mut scratch = Vec::new();
@@ -195,11 +252,11 @@ impl<P: LogPayload> LogManager<P> {
         if u32::try_from(scratch.len()).is_err() {
             return Err(SimError::OversizedRecord(scratch.len()));
         }
-        let lsn = self.next_lsn;
-        self.next_lsn = self.next_lsn.next();
+        debug_assert!(lsn >= self.next_lsn, "LSNs must be appended in order");
+        self.next_lsn = lsn.next();
         self.appended_bytes += scratch.len() as u64 + FRAME_HEADER as u64;
         self.volatile.push(WalRecord { lsn, payload });
-        Ok(lsn)
+        Ok(())
     }
 
     /// Forces the log through `upto` (inclusive): encodes the covered
@@ -218,61 +275,45 @@ impl<P: LogPayload> LogManager<P> {
     /// [`LogManager::decode_stable`] reports the fragment as
     /// [`SimError::Corrupt`] and [`LogManager::repair_tail`] discards it.
     pub fn flush(&mut self, upto: Lsn) {
+        self.flush_with_bracket(upto, None);
+    }
+
+    /// [`LogManager::flush`] with an optional pair of bracket records —
+    /// the sharded log's flush-group `Open`/`Close` markers — encoded
+    /// into the *same* batch: `Open` before the first covered record,
+    /// `Close` after the last, each a faultable event like any record.
+    /// A halt anywhere in the batch drops the `Close`, which is exactly
+    /// the durable signal crash analysis uses to roll the group back.
+    /// Bracket records are synthesized per force and never re-queued.
+    pub(crate) fn flush_with_bracket(
+        &mut self,
+        upto: Lsn,
+        bracket: Option<(WalRecord<P>, WalRecord<P>)>,
+    ) {
         let mut kept = Vec::new();
         let mut halted = false;
         let base = self.backend.bytes().len() as u64;
         let mut batch: Vec<u8> = Vec::new();
+        let (open, close) = match bracket {
+            Some((open, close)) => (Some(open), Some(close)),
+            None => (None, None),
+        };
+        if let Some(open) = open {
+            halted = !self.encode_faultable_frame(&mut batch, base, &open);
+        }
         for rec in std::mem::take(&mut self.volatile) {
             if halted || rec.lsn > upto {
                 kept.push(rec);
                 continue;
             }
-            // Encode the frame in place at the batch tail: LSN, length
-            // and CRC placeholders patched once the body has landed,
-            // then the body.
-            let frame_start = batch.len();
-            codec::put_u64(&mut batch, rec.lsn.0);
-            codec::put_u32(&mut batch, 0);
-            codec::put_u32(&mut batch, 0);
-            rec.payload
-                .encode(&mut batch)
-                .expect("payload encoding validated at append");
-            let body_len = u32::try_from(batch.len() - frame_start - FRAME_HEADER)
-                .expect("frame length validated at append");
-            batch[frame_start + 8..frame_start + 12].copy_from_slice(&body_len.to_le_bytes());
-            let crc = frame_crc(
-                &batch[frame_start..frame_start + 12],
-                &batch[frame_start + FRAME_HEADER..],
-            );
-            batch[frame_start + 12..frame_start + FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
-            match self.injector.on_log_flush() {
-                FaultDecision::Proceed => {
-                    if self.seek_enabled && self.stable_count.is_multiple_of(SEEK_INTERVAL) {
-                        self.seek_index.push((rec.lsn, base + frame_start as u64));
-                    }
-                    for page in rec.payload.write_pages() {
-                        self.page_chains
-                            .entry(page)
-                            .or_default()
-                            .push((rec.lsn, base + frame_start as u64));
-                    }
-                    self.stable_lsn = rec.lsn;
-                    self.stable_count += 1;
-                }
-                FaultDecision::Truncate { bytes } => {
-                    // A strictly partial transfer: at least one byte of
-                    // the frame lands, at least one is lost.
-                    let frame_len = batch.len() - frame_start;
-                    let k = bytes.clamp(1, frame_len - 1);
-                    batch.truncate(frame_start + k);
-                    kept.push(rec);
-                    halted = true;
-                }
-                FaultDecision::Suppress | FaultDecision::Tear { .. } => {
-                    batch.truncate(frame_start);
-                    kept.push(rec);
-                    halted = true;
-                }
+            if !self.encode_faultable_frame(&mut batch, base, &rec) {
+                kept.push(rec);
+                halted = true;
+            }
+        }
+        if let Some(close) = close {
+            if !halted {
+                self.encode_faultable_frame(&mut batch, base, &close);
             }
         }
         if !batch.is_empty() {
@@ -280,6 +321,66 @@ impl<P: LogPayload> LogManager<P> {
             self.backend.append(&batch);
         }
         self.volatile = kept;
+    }
+
+    /// Encodes one frame in place at the batch tail — LSN, length and
+    /// CRC placeholders patched once the body has landed, then the
+    /// body — and consults the injector. Returns `true` if the frame
+    /// landed and the stable bookkeeping advanced; `false` if the flush
+    /// must halt at this record (a torn frame keeps its partial bytes in
+    /// the batch, a suppressed one vanishes from it).
+    fn encode_faultable_frame(
+        &mut self,
+        batch: &mut Vec<u8>,
+        base: u64,
+        rec: &WalRecord<P>,
+    ) -> bool {
+        let frame_start = batch.len();
+        codec::put_u64(batch, rec.lsn.0);
+        codec::put_u32(batch, 0);
+        codec::put_u32(batch, 0);
+        rec.payload
+            .encode(batch)
+            .expect("payload encoding validated at append");
+        let body_len = u32::try_from(batch.len() - frame_start - FRAME_HEADER)
+            .expect("frame length validated at append");
+        batch[frame_start + 8..frame_start + 12].copy_from_slice(&body_len.to_le_bytes());
+        let crc = frame_crc(
+            &batch[frame_start..frame_start + 12],
+            &batch[frame_start + FRAME_HEADER..],
+        );
+        batch[frame_start + 12..frame_start + FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
+        match self.injector.on_log_flush() {
+            FaultDecision::Proceed => {
+                if self.seek_enabled
+                    && rec.payload.anchors_seek()
+                    && self.stable_count.is_multiple_of(SEEK_INTERVAL)
+                {
+                    self.seek_index.push((rec.lsn, base + frame_start as u64));
+                }
+                for page in rec.payload.write_pages() {
+                    self.page_chains
+                        .entry(page)
+                        .or_default()
+                        .push((rec.lsn, base + frame_start as u64));
+                }
+                self.stable_lsn = rec.lsn;
+                self.stable_count += 1;
+                true
+            }
+            FaultDecision::Truncate { bytes } => {
+                // A strictly partial transfer: at least one byte of
+                // the frame lands, at least one is lost.
+                let frame_len = batch.len() - frame_start;
+                let k = bytes.clamp(1, frame_len - 1);
+                batch.truncate(frame_start + k);
+                false
+            }
+            FaultDecision::Suppress | FaultDecision::Tear { .. } => {
+                batch.truncate(frame_start);
+                false
+            }
+        }
     }
 
     /// Forces the entire log.
@@ -391,10 +492,10 @@ impl<P: LogPayload> LogManager<P> {
     /// The sparse seek index supplies the long jump (greatest indexed
     /// frame with LSN ≤ `from`); a structural header walk — LSN and
     /// length fields only, no payload decode — lands exactly. Because
-    /// stable LSNs are dense and monotone (`1..=stable_lsn`), the cursor
-    /// yields precisely the suffix of the full scan starting at `from`.
-    /// With the index disabled the header walk starts at offset 0:
-    /// slower, but still decoding no payload below `from`.
+    /// stable LSNs are monotone (and, for a standalone log, dense), the
+    /// cursor yields precisely the suffix of the full scan starting at
+    /// `from`. With the index disabled the header walk starts at offset
+    /// 0: slower, but still decoding no payload below `from`.
     #[must_use]
     pub fn cursor_from(&self, from: Lsn) -> LogCursor<'_, P> {
         let (start, hit) = self.seek_offset(from);
@@ -478,6 +579,44 @@ impl<P: LogPayload> LogManager<P> {
         dropped
     }
 
+    /// Physically cuts the stable image back to byte offset `pos` — a
+    /// frame boundary inside the valid prefix — and re-derives the
+    /// bookkeeping from what survives, exactly as a reopen would. This
+    /// is the sharded log's crash-time rollback of an incomplete
+    /// cross-shard flush group: everything from the group's `Open`
+    /// marker onward is discarded on this shard.
+    pub(crate) fn rollback_to(&mut self, pos: usize) {
+        self.backend.truncate_to(pos);
+        let bytes = self.backend.bytes();
+        let (covered, frames, last_lsn) = walk_valid_frames(bytes);
+        debug_assert_eq!(
+            covered,
+            bytes.len(),
+            "rollback must cut at a frame boundary"
+        );
+        self.stable_count = frames;
+        self.stable_lsn = match last_lsn {
+            Some(lsn) => lsn,
+            None => Lsn(self.first_stable.0 - 1),
+        };
+        self.next_lsn = self.stable_lsn.next();
+        prune_index_to_prefix(&mut self.seek_index, covered, self.stable_lsn);
+        prune_chains_to_prefix(&mut self.page_chains, covered, self.stable_lsn);
+    }
+
+    /// Plans (without applying) the prefix drain
+    /// [`LogManager::truncate_prefix`] would perform — the sharded
+    /// archive tier copies the planned bytes out *before* draining them.
+    pub(crate) fn plan_drain(&self, below: Lsn) -> SimResult<Option<DrainPlan>> {
+        plan_prefix_drain(
+            self.backend.bytes(),
+            self.first_stable,
+            self.stable_lsn,
+            below,
+            self.dense,
+        )
+    }
+
     /// Elides every stable frame with LSN < `below`, returning the
     /// number of bytes reclaimed. The caller must have established that
     /// no recovery can ever need those records — i.e. `below` is the
@@ -488,6 +627,8 @@ impl<P: LogPayload> LogManager<P> {
     /// preserved, and a bound at or below `first_stable` (including one
     /// from a stale or replayed checkpoint) is a no-op, never an
     /// underflow. The seek index is rebased onto the shortened image.
+    /// All the guards live in the shared planner
+    /// ([`index`](self::index)), which the sharded log reuses per shard.
     ///
     /// # Errors
     ///
@@ -497,52 +638,30 @@ impl<P: LogPayload> LogManager<P> {
     /// skips) and physically truncating there would destroy records the
     /// checkpoint still needs. The log is left untouched on error.
     pub fn truncate_prefix(&mut self, below: Lsn) -> SimResult<u64> {
-        // The origin is 1-based and only ever advances; enforcing it
-        // here keeps the `first_stable - 1` computations at the
-        // crash/reopen sites from ever underflowing.
-        assert!(
-            self.first_stable.0 >= 1,
-            "first_stable invariant violated: {:?} (must be >= 1)",
-            self.first_stable
-        );
+        let Some(plan) = self.plan_drain(below)? else {
+            return Ok(0);
+        };
+        self.apply_drain(below, plan);
+        Ok(plan.pos as u64)
+    }
+
+    /// Applies a drain plan previously produced by
+    /// [`LogManager::plan_drain`] for the same `below`.
+    pub(crate) fn apply_drain(&mut self, below: Lsn, plan: DrainPlan) {
         let below = Lsn(below.0.min(self.stable_lsn.0 + 1));
-        if below <= self.first_stable {
-            return Ok(0);
-        }
-        let bytes = self.backend.bytes();
-        let (pos, skipped) = skip_frames_below(bytes, 0, below);
-        if pos == 0 {
-            return Ok(0);
-        }
-        // The walk must have landed exactly `below - first_stable`
-        // frames in, on a frame carrying `below` itself (or the image
-        // end when the whole stable suffix is elided). Anything else
-        // means the image is not dense where the bookkeeping says it is.
-        if self.first_stable.0 + skipped as u64 != below.0 {
-            return Err(SimError::Corrupt(pos));
-        }
-        if pos + FRAME_HEADER <= bytes.len() {
-            let landed = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
-            if landed != below.0 {
-                return Err(SimError::Corrupt(pos));
-            }
-        } else if pos != bytes.len() {
-            return Err(SimError::Corrupt(pos));
-        }
-        self.backend.drain_prefix(pos);
-        self.stable_count -= skipped;
+        self.backend.drain_prefix(plan.pos);
+        self.stable_count -= plan.skipped;
         self.first_stable = below;
-        rebase_index_after_drain(&mut self.seek_index, pos);
-        rebase_chains_after_drain(&mut self.page_chains, pos);
+        rebase_index_after_drain(&mut self.seek_index, plan.pos);
+        rebase_chains_after_drain(&mut self.page_chains, plan.pos);
         // Keep the image seekable from its new origin: without an entry
         // at offset 0 every scan from below `first_stable` would walk
         // headers from an offset the index can no longer reach.
         if self.seek_enabled && self.seek_index.first().map(|&(_, off)| off) != Some(0) {
             self.seek_index.insert(0, (self.first_stable, 0));
         }
-        self.truncated_bytes += pos as u64;
-        self.truncated_records += skipped as u64;
-        Ok(pos as u64)
+        self.truncated_bytes += plan.pos as u64;
+        self.truncated_records += plan.skipped as u64;
     }
 
     /// The lowest LSN still present in the stable image (1 until a
@@ -602,247 +721,6 @@ impl<P: LogPayload> LogManager<P> {
             None => Err(SimError::Corrupt(pos)),
         }
     }
-}
-
-/// Prunes an LSN → stable-byte-offset index down to the covered prefix
-/// `[0, pos)` left by a crash walk or tail repair: entries pointing at
-/// or beyond `pos` (into a torn or out-of-band-truncated fragment), or
-/// carrying an LSN above `max_lsn`, are dropped. An empty prefix clears
-/// the index outright — including the offset-0 sentinel, which names a
-/// frame that no longer exists. This is the *single* predicate for
-/// post-damage index maintenance; the seek index and the per-page
-/// chains both go through it so they can never disagree about what the
-/// surviving image covers.
-fn prune_index_to_prefix(index: &mut Vec<(Lsn, u64)>, pos: usize, max_lsn: Lsn) {
-    if pos == 0 {
-        index.clear();
-        return;
-    }
-    index.retain(|&(lsn, off)| (off as usize) < pos && lsn <= max_lsn);
-}
-
-/// [`prune_index_to_prefix`] applied to every per-page chain; pages
-/// whose chain empties are removed entirely.
-fn prune_chains_to_prefix(
-    chains: &mut BTreeMap<PageId, Vec<(Lsn, u64)>>,
-    pos: usize,
-    max_lsn: Lsn,
-) {
-    chains.retain(|_, chain| {
-        prune_index_to_prefix(chain, pos, max_lsn);
-        !chain.is_empty()
-    });
-}
-
-/// Rebases an LSN → stable-byte-offset index after `pos` bytes were
-/// drained from the front of the image (prefix truncation): entries
-/// inside the drained prefix are dropped and the survivors shift left
-/// by `pos`. The offset-0 seek sentinel is *not* re-inserted here —
-/// that is seek-index policy, applied by its caller — so the same
-/// helper serves the per-page chains, which carry no sentinel.
-fn rebase_index_after_drain(index: &mut Vec<(Lsn, u64)>, pos: usize) {
-    index.retain(|&(_, off)| off as usize >= pos);
-    for entry in index.iter_mut() {
-        entry.1 -= pos as u64;
-    }
-}
-
-/// [`rebase_index_after_drain`] applied to every per-page chain; pages
-/// whose chain empties are removed entirely.
-fn rebase_chains_after_drain(chains: &mut BTreeMap<PageId, Vec<(Lsn, u64)>>, pos: usize) {
-    chains.retain(|_, chain| {
-        rebase_index_after_drain(chain, pos);
-        !chain.is_empty()
-    });
-}
-
-/// Walks whole, CRC-valid frames from offset 0: returns the byte
-/// position after the last valid frame, the number of valid frames, and
-/// the last valid frame's LSN.
-fn walk_valid_frames(bytes: &[u8]) -> (usize, usize, Option<Lsn>) {
-    let mut pos = 0usize;
-    let mut frames = 0usize;
-    let mut last = None;
-    while pos + FRAME_HEADER <= bytes.len() {
-        let len =
-            u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
-        let Some(end) = (pos + FRAME_HEADER).checked_add(len) else {
-            break;
-        };
-        if end > bytes.len() {
-            break;
-        }
-        let stored = u32::from_le_bytes(
-            bytes[pos + 12..pos + FRAME_HEADER]
-                .try_into()
-                .expect("4 bytes"),
-        );
-        if frame_crc(&bytes[pos..pos + 12], &bytes[pos + FRAME_HEADER..end]) != stored {
-            break;
-        }
-        last = Some(Lsn(u64::from_le_bytes(
-            bytes[pos..pos + 8].try_into().expect("8 bytes"),
-        )));
-        frames += 1;
-        pos = end;
-    }
-    (pos, frames, last)
-}
-
-/// Decodes a stable-log byte image into records — the recovery-time log
-/// scan as a pure function (the corruption tests drive it over
-/// arbitrarily truncated and bit-flipped images). Implemented as a
-/// collected [`LogCursor`] so the materializing and streaming scans
-/// cannot drift apart.
-///
-/// # Errors
-///
-/// [`SimError::Corrupt`] at the failing offset if the bytes do not parse
-/// as a whole number of well-formed, checksum-valid records.
-pub fn decode_records<P: LogPayload>(bytes: &[u8]) -> SimResult<Vec<WalRecord<P>>> {
-    LogCursor::over(bytes).collect()
-}
-
-/// Telemetry from one streaming log scan.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ScanStats {
-    /// Stable-log bytes the scan touched: full frames (header plus
-    /// body) of decoded records, plus [`FRAME_HEADER`] bytes per frame
-    /// the seek walk skipped structurally.
-    pub bytes_scanned: u64,
-    /// Frames decoded into records.
-    pub records_decoded: usize,
-    /// Scans whose starting position came from a seek-index jump past
-    /// offset 0.
-    pub seek_hits: usize,
-    /// Checkpoint records the consumer recognized and declined to treat
-    /// as page work (a page-partitioned router must never send them to
-    /// a partition). The cursor itself is payload-agnostic, so this is
-    /// filled in by the scan's consumer, not the decode loop.
-    pub checkpoint_records: usize,
-}
-
-/// A streaming, zero-copy scan over a stable-log byte image.
-///
-/// Decodes one frame per [`Iterator::next`] call; the payload decodes
-/// out of a borrowed slice of the underlying bytes and no record vector
-/// is ever materialized. Each frame's CRC is verified before its payload
-/// is decoded. The first decode error is yielded once and ends the
-/// iteration — identical observable behavior (records, error, offset)
-/// to [`decode_records`], which is built on top of it.
-#[derive(Debug)]
-pub struct LogCursor<'a, P> {
-    bytes: &'a [u8],
-    pos: usize,
-    stats: ScanStats,
-    failed: bool,
-    _payload: PhantomData<fn() -> P>,
-}
-
-impl<'a, P: LogPayload> LogCursor<'a, P> {
-    /// A cursor over an arbitrary byte image, starting at offset 0 —
-    /// the corruption tests drive this over truncated and bit-flipped
-    /// images that never came from a live [`LogManager`].
-    #[must_use]
-    pub fn over(bytes: &'a [u8]) -> LogCursor<'a, P> {
-        LogCursor::at(bytes, 0, ScanStats::default())
-    }
-
-    fn at(bytes: &'a [u8], pos: usize, stats: ScanStats) -> LogCursor<'a, P> {
-        LogCursor {
-            bytes,
-            pos,
-            stats,
-            failed: false,
-            _payload: PhantomData,
-        }
-    }
-
-    /// Telemetry accumulated so far.
-    #[must_use]
-    pub fn stats(&self) -> ScanStats {
-        self.stats
-    }
-
-    /// The current byte offset into the image.
-    #[must_use]
-    pub fn position(&self) -> usize {
-        self.pos
-    }
-
-    fn decode_next(&mut self) -> SimResult<Option<WalRecord<P>>> {
-        if self.pos >= self.bytes.len() {
-            return Ok(None);
-        }
-        let start = self.pos;
-        let mut pos = self.pos;
-        let lsn = Lsn(codec::get_u64(self.bytes, &mut pos)?);
-        let len = codec::get_u32(self.bytes, &mut pos)? as usize;
-        let stored_crc = codec::get_u32(self.bytes, &mut pos)?;
-        let end = pos.checked_add(len).ok_or(SimError::Corrupt(pos))?;
-        if end > self.bytes.len() {
-            return Err(SimError::Corrupt(pos));
-        }
-        if frame_crc(
-            &self.bytes[start..start + 12],
-            &self.bytes[start + FRAME_HEADER..end],
-        ) != stored_crc
-        {
-            return Err(SimError::Corrupt(start + 12));
-        }
-        let mut body_pos = pos;
-        let payload = P::decode(&self.bytes[..end], &mut body_pos)?;
-        if body_pos != end {
-            return Err(SimError::Corrupt(body_pos));
-        }
-        self.pos = end;
-        self.stats.records_decoded += 1;
-        self.stats.bytes_scanned += (end - start) as u64;
-        Ok(Some(WalRecord { lsn, payload }))
-    }
-}
-
-impl<P: LogPayload> Iterator for LogCursor<'_, P> {
-    type Item = SimResult<WalRecord<P>>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        if self.failed {
-            return None;
-        }
-        match self.decode_next() {
-            Ok(rec) => rec.map(Ok),
-            Err(e) => {
-                self.failed = true;
-                Some(Err(e))
-            }
-        }
-    }
-}
-
-/// Walks frame headers from `pos` (which must be a frame boundary)
-/// until reaching a frame whose LSN is ≥ `from`, skipping bodies
-/// without decoding them. Returns the landing offset and the number of
-/// frames skipped over. Stops at any structural breakage so the
-/// caller's decode reports the corruption at the same offset a full
-/// scan would.
-fn skip_frames_below(bytes: &[u8], mut pos: usize, from: Lsn) -> (usize, usize) {
-    let mut skipped = 0usize;
-    while pos + FRAME_HEADER <= bytes.len() {
-        let lsn = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
-        if Lsn(lsn) >= from {
-            break;
-        }
-        let len =
-            u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
-        match (pos + FRAME_HEADER).checked_add(len) {
-            Some(end) if end <= bytes.len() => {
-                pos = end;
-                skipped += 1;
-            }
-            _ => break,
-        }
-    }
-    (pos, skipped)
 }
 
 /// A resumable batched scan over a [`LogManager`]'s stable prefix.
@@ -922,190 +800,6 @@ impl LogScanner {
 impl<P: LogPayload> Default for LogManager<P> {
     fn default() -> Self {
         LogManager::new()
-    }
-}
-
-/// Primitive encoders/decoders for log payloads.
-pub mod codec {
-    use redo_workload::pages::{Cell, PageId, PageOp, PageOpKind, SlotId};
-
-    use crate::error::{SimError, SimResult};
-
-    /// Appends a little-endian `u64`.
-    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `u32`.
-    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `u16`.
-    pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a single byte.
-    pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
-        buf.push(v);
-    }
-
-    /// Reads a little-endian `u64`.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Corrupt`] if fewer than 8 bytes remain.
-    pub fn get_u64(input: &[u8], pos: &mut usize) -> SimResult<u64> {
-        let end = pos.checked_add(8).ok_or(SimError::Corrupt(*pos))?;
-        let bytes = input.get(*pos..end).ok_or(SimError::Corrupt(*pos))?;
-        *pos = end;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
-    }
-
-    /// Reads a little-endian `u32`.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Corrupt`] if fewer than 4 bytes remain.
-    pub fn get_u32(input: &[u8], pos: &mut usize) -> SimResult<u32> {
-        let end = pos.checked_add(4).ok_or(SimError::Corrupt(*pos))?;
-        let bytes = input.get(*pos..end).ok_or(SimError::Corrupt(*pos))?;
-        *pos = end;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
-    }
-
-    /// Reads a little-endian `u16`.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Corrupt`] if fewer than 2 bytes remain.
-    pub fn get_u16(input: &[u8], pos: &mut usize) -> SimResult<u16> {
-        let end = pos.checked_add(2).ok_or(SimError::Corrupt(*pos))?;
-        let bytes = input.get(*pos..end).ok_or(SimError::Corrupt(*pos))?;
-        *pos = end;
-        Ok(u16::from_le_bytes(bytes.try_into().expect("2 bytes")))
-    }
-
-    /// Reads one byte.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Corrupt`] at end of input.
-    pub fn get_u8(input: &[u8], pos: &mut usize) -> SimResult<u8> {
-        let b = *input.get(*pos).ok_or(SimError::Corrupt(*pos))?;
-        *pos += 1;
-        Ok(b)
-    }
-
-    /// Appends a cell (page id + slot).
-    pub fn put_cell(buf: &mut Vec<u8>, c: Cell) {
-        put_u32(buf, c.page.0);
-        put_u16(buf, c.slot.0);
-    }
-
-    /// Reads a cell.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Corrupt`] on truncated input.
-    pub fn get_cell(input: &[u8], pos: &mut usize) -> SimResult<Cell> {
-        let page = PageId(get_u32(input, pos)?);
-        let slot = SlotId(get_u16(input, pos)?);
-        Ok(Cell { page, slot })
-    }
-
-    /// Checked conversion of a collection length into its 16-bit
-    /// on-disk count field.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::FieldOverflow`] naming `field` when `len` exceeds
-    /// `u16::MAX` — encoding it with a wrapping cast would silently
-    /// corrupt the record.
-    pub fn count_u16(field: &'static str, len: usize) -> SimResult<u16> {
-        u16::try_from(len).map_err(|_| SimError::FieldOverflow {
-            field,
-            value: len as u64,
-        })
-    }
-
-    /// Checked conversion of a collection length into its 32-bit
-    /// on-disk count field.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::FieldOverflow`] naming `field` when `len` exceeds
-    /// `u32::MAX` — encoding it with a wrapping cast would silently
-    /// corrupt the record.
-    pub fn count_u32(field: &'static str, len: usize) -> SimResult<u32> {
-        u32::try_from(len).map_err(|_| SimError::FieldOverflow {
-            field,
-            value: len as u64,
-        })
-    }
-
-    /// Appends a full [`PageOp`].
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::FieldOverflow`] if a read or write set exceeds its
-    /// 16-bit count field. `buf`'s tail is unspecified on error.
-    pub fn put_page_op(buf: &mut Vec<u8>, op: &PageOp) -> SimResult<()> {
-        put_u32(buf, op.id);
-        put_u8(
-            buf,
-            match op.kind {
-                PageOpKind::Physiological => 0,
-                PageOpKind::Generalized => 1,
-                PageOpKind::Blind => 2,
-                PageOpKind::MultiPage => 3,
-            },
-        );
-        put_u64(buf, op.f_seed);
-        put_u16(buf, count_u16("page-op read count", op.reads.len())?);
-        for &c in &op.reads {
-            put_cell(buf, c);
-        }
-        put_u16(buf, count_u16("page-op write count", op.writes.len())?);
-        for &c in &op.writes {
-            put_cell(buf, c);
-        }
-        Ok(())
-    }
-
-    /// Reads a full [`PageOp`].
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Corrupt`] on truncated or invalid input.
-    pub fn get_page_op(input: &[u8], pos: &mut usize) -> SimResult<PageOp> {
-        let id = get_u32(input, pos)?;
-        let kind = match get_u8(input, pos)? {
-            0 => PageOpKind::Physiological,
-            1 => PageOpKind::Generalized,
-            2 => PageOpKind::Blind,
-            3 => PageOpKind::MultiPage,
-            _ => return Err(SimError::Corrupt(*pos - 1)),
-        };
-        let f_seed = get_u64(input, pos)?;
-        let n_reads = get_u16(input, pos)? as usize;
-        let mut reads = Vec::with_capacity(n_reads.min(1024));
-        for _ in 0..n_reads {
-            reads.push(get_cell(input, pos)?);
-        }
-        let n_writes = get_u16(input, pos)? as usize;
-        let mut writes = Vec::with_capacity(n_writes.min(1024));
-        for _ in 0..n_writes {
-            writes.push(get_cell(input, pos)?);
-        }
-        Ok(PageOp {
-            id,
-            kind,
-            reads,
-            writes,
-            f_seed,
-        })
     }
 }
 

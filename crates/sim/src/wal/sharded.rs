@@ -1,0 +1,1222 @@
+//! `ShardedLog`: N per-partition logs behind a global-LSN sequencer.
+//!
+//! Partition = page id routed with the *same* power-of-two mask as
+//! [`ShardedStore`](crate::shard::ShardedStore), so the log shard that
+//! holds a page's records is the store shard that holds the page — the
+//! property that lets restart feed each store partition from its own
+//! log scan with no cross-shard traffic. Each shard is a full
+//! [`LogManager`] (own backend, append buffer, group-commit fsync, seek
+//! index, per-page chains) running in *sparse* mode: the sequencer
+//! assigns globally dense LSNs and each shard stores a monotone subset
+//! of them.
+//!
+//! ## Routing
+//!
+//! A record lands on the shard of every page it writes (a multi-page
+//! record spanning shards is *broadcast* to each, under one LSN — scans
+//! deduplicate by LSN). A record that writes no pages (checkpoint
+//! markers) broadcasts to every shard, so any single shard's scan still
+//! observes the checkpoint sequence.
+//!
+//! ## Cross-shard atomic flush groups
+//!
+//! A force whose covered records span several shards must be atomic:
+//! recovery must see either every covered record or none, or the global
+//! dense-LSN invariant breaks. Each participating shard's batch is
+//! bracketed by `Open`/`Close` marker frames carrying a group epoch and
+//! the participant roster (the ordering protocol PR 5's store-side
+//! closure groups defined, applied to the log). The `Close` only lands
+//! if every frame before it in the shard's batch landed, so crash
+//! analysis has a purely durable criterion: *an epoch is applied iff
+//! every rostered participant's image contains its `Close`*. Incomplete
+//! epochs are rolled back to their `Open` offset per shard. A force
+//! covering a single shard writes no markers and keeps the single-log
+//! partial-prefix tear semantics bit for bit — `--log-shards 1` is the
+//! PR 6 log, observably.
+//!
+//! ## Archive tier and point-in-time replay
+//!
+//! [`ShardedLog::archive_prefix`] is `truncate_prefix` with the drained
+//! bytes *moved* (per shard, frame-exact) into an append-only
+//! [`archive`](super::archive) tier instead of destroyed. Because the
+//! archive preserves every frame since LSN 1,
+//! [`ShardedLog::pit_records`] can reconstruct the exact record
+//! sequence `1..=upto` from `archive ∥ live` — replaying it from
+//! genesis state reproduces the state as of `upto`, even after the live
+//! log has been truncated past it (the media-recovery protocol
+//! `redo-check --method pit` audits).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use redo_theory::log::Lsn;
+use redo_workload::pages::PageId;
+
+use crate::backend::BackendKind;
+use crate::error::{SimError, SimResult};
+use crate::fault::FaultInjector;
+
+use super::archive::ArchiveTier;
+use super::framing::{LogCursor, ScanStats};
+use super::{codec, LogManager, LogPayload, WalRecord, FRAME_HEADER};
+
+/// What one shard's frames carry: a routed record, or a flush-group
+/// bracket marker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ShardFrame<P> {
+    /// A routed (possibly broadcast) record payload.
+    Rec(P),
+    /// Start of a cross-shard flush group on this shard.
+    Open {
+        /// The group's epoch (globally unique, monotone).
+        epoch: u64,
+        /// Every shard participating in the group.
+        participants: Vec<u16>,
+    },
+    /// End of a cross-shard flush group on this shard: everything this
+    /// shard contributed to the epoch landed before it.
+    Close {
+        /// The group's epoch.
+        epoch: u64,
+        /// Every shard participating in the group.
+        participants: Vec<u16>,
+    },
+}
+
+fn put_marker(buf: &mut Vec<u8>, epoch: u64, participants: &[u16]) -> SimResult<()> {
+    codec::put_u64(buf, epoch);
+    codec::put_u16(
+        buf,
+        codec::count_u16("flush-group participant count", participants.len())?,
+    );
+    for &p in participants {
+        codec::put_u16(buf, p);
+    }
+    Ok(())
+}
+
+fn get_marker(input: &[u8], pos: &mut usize) -> SimResult<(u64, Vec<u16>)> {
+    let epoch = codec::get_u64(input, pos)?;
+    let n = codec::get_u16(input, pos)? as usize;
+    let mut participants = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        participants.push(codec::get_u16(input, pos)?);
+    }
+    Ok((epoch, participants))
+}
+
+impl<P: LogPayload> LogPayload for ShardFrame<P> {
+    fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
+        match self {
+            ShardFrame::Rec(p) => {
+                codec::put_u8(buf, 0);
+                p.encode(buf)
+            }
+            ShardFrame::Open {
+                epoch,
+                participants,
+            } => {
+                codec::put_u8(buf, 1);
+                put_marker(buf, *epoch, participants)
+            }
+            ShardFrame::Close {
+                epoch,
+                participants,
+            } => {
+                codec::put_u8(buf, 2);
+                put_marker(buf, *epoch, participants)
+            }
+        }
+    }
+
+    fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
+        match codec::get_u8(input, pos)? {
+            0 => Ok(ShardFrame::Rec(P::decode(input, pos)?)),
+            1 => {
+                let (epoch, participants) = get_marker(input, pos)?;
+                Ok(ShardFrame::Open {
+                    epoch,
+                    participants,
+                })
+            }
+            2 => {
+                let (epoch, participants) = get_marker(input, pos)?;
+                Ok(ShardFrame::Close {
+                    epoch,
+                    participants,
+                })
+            }
+            _ => Err(SimError::Corrupt(*pos - 1)),
+        }
+    }
+
+    fn write_pages(&self) -> Vec<PageId> {
+        match self {
+            ShardFrame::Rec(p) => p.write_pages(),
+            ShardFrame::Open { .. } | ShardFrame::Close { .. } => Vec::new(),
+        }
+    }
+
+    fn anchors_seek(&self) -> bool {
+        // A `Close` frame's LSN is the group's covering LSN, which the
+        // shard's own record at that LSN (if it hosts it) precedes: an
+        // index entry at the `Close` would seek past that record. An
+        // `Open` carries the minimum LSN of the batch it opens, so
+        // everything before it is strictly below — safe to anchor.
+        match self {
+            ShardFrame::Rec(_) | ShardFrame::Open { .. } => true,
+            ShardFrame::Close { .. } => false,
+        }
+    }
+}
+
+/// N per-partition logs behind one sequencer — the drop-in replacement
+/// for a single [`LogManager`] in [`Db`](crate::db::Db).
+#[derive(Clone, Debug)]
+pub struct ShardedLog<P> {
+    shards: Vec<LogManager<ShardFrame<P>>>,
+    archive: ArchiveTier,
+    mask: u32,
+    next_lsn: Lsn,
+    /// The globally dense stable end: every LSN in
+    /// `first_stable..=stable` is durable on its home shard(s).
+    stable: Lsn,
+    first_stable: Lsn,
+    next_epoch: u64,
+    appended_bytes: u64,
+    truncated_records: u64,
+    /// Shared crash-point switchboard, mirrored into every shard.
+    pub(crate) injector: FaultInjector,
+}
+
+impl<P: LogPayload> ShardedLog<P> {
+    /// An empty in-memory sharded log with `n` partitions (a power of
+    /// two; `1` collapses to single-log behavior).
+    #[must_use]
+    pub fn new(n: usize) -> ShardedLog<P> {
+        ShardedLog::on(BackendKind::Mem, n)
+    }
+
+    /// An empty sharded log on the given backend kind: one log backend
+    /// per shard, plus one archive backend per shard.
+    ///
+    /// # Panics
+    ///
+    /// If `n` is not a power of two (the routing mask requires it —
+    /// exactly as [`ShardedStore`](crate::shard::ShardedStore)).
+    #[must_use]
+    pub fn on(kind: BackendKind, n: usize) -> ShardedLog<P> {
+        assert!(
+            n.is_power_of_two(),
+            "log shard count must be a power of two, got {n}"
+        );
+        let injector = FaultInjector::new();
+        let shards = (0..n)
+            .map(|_| {
+                // A lone shard holds the full dense sequence, so it keeps
+                // the dense-run truncation guards; only a real partition
+                // stores a sparse subset.
+                let mut shard = if n == 1 {
+                    LogManager::on(kind)
+                } else {
+                    LogManager::sparse_on(kind)
+                };
+                shard.injector = injector.clone();
+                shard
+            })
+            .collect();
+        ShardedLog {
+            shards,
+            archive: ArchiveTier::new(kind, n),
+            mask: u32::try_from(n - 1).expect("shard count fits u32"),
+            next_lsn: Lsn(1),
+            stable: Lsn::ZERO,
+            first_stable: Lsn(1),
+            next_epoch: 1,
+            appended_bytes: 0,
+            truncated_records: 0,
+            injector,
+        }
+    }
+
+    /// Number of log partitions.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `page`'s records — the same power-of-two mask
+    /// route as [`ShardedStore`](crate::shard::ShardedStore).
+    #[must_use]
+    pub fn shard_of(&self, page: PageId) -> usize {
+        (page.0 & self.mask) as usize
+    }
+
+    /// The shards a payload lands on: the shard of every page it
+    /// writes, or every shard for a page-less record (checkpoints must
+    /// be visible to any single-shard scan).
+    fn participants_for(&self, pages: &[PageId]) -> Vec<usize> {
+        if pages.is_empty() {
+            return (0..self.shards.len()).collect();
+        }
+        let targets: BTreeSet<usize> = pages.iter().map(|&p| self.shard_of(p)).collect();
+        targets.into_iter().collect()
+    }
+
+    /// Rewires the fault injector shared by every shard (and callers
+    /// like [`Db`](crate::db::Db), which mirror it into the disk).
+    pub(crate) fn share_injector(&mut self, injector: FaultInjector) {
+        for shard in &mut self.shards {
+            shard.injector = injector.clone();
+        }
+        self.injector = injector;
+    }
+
+    /// Appends a record under the next global LSN, routing it to the
+    /// shard of every page it writes (broadcast when it writes none).
+    ///
+    /// # Errors
+    ///
+    /// As [`LogManager::append`]; a failed append assigns no LSN.
+    pub fn append(&mut self, payload: P) -> SimResult<Lsn> {
+        // Validate once up front so the per-shard appends cannot fail
+        // halfway through a broadcast.
+        let mut scratch = Vec::new();
+        payload.encode(&mut scratch)?;
+        if u32::try_from(scratch.len().saturating_add(1)).is_err() {
+            return Err(SimError::OversizedRecord(scratch.len()));
+        }
+        let lsn = self.next_lsn;
+        for s in self.participants_for(&payload.write_pages()) {
+            self.shards[s].append_at(lsn, ShardFrame::Rec(payload.clone()))?;
+        }
+        self.next_lsn = lsn.next();
+        // Count the logical record once (not per broadcast copy, not the
+        // shard-frame tag byte) so the log-volume metric stays
+        // comparable across shard counts.
+        self.appended_bytes += scratch.len() as u64 + FRAME_HEADER as u64;
+        Ok(lsn)
+    }
+
+    /// Shard `s`'s covered volatile extent under `upto`: the min and
+    /// max volatile LSNs ≤ `upto`, if any.
+    fn covered_extent(&self, s: usize, upto: Lsn) -> Option<(Lsn, Lsn)> {
+        let mut extent: Option<(Lsn, Lsn)> = None;
+        for rec in self.shards[s].volatile_records() {
+            if rec.lsn > upto {
+                continue;
+            }
+            extent = Some(match extent {
+                None => (rec.lsn, rec.lsn),
+                Some((lo, hi)) => (lo.min(rec.lsn), hi.max(rec.lsn)),
+            });
+        }
+        extent
+    }
+
+    /// Forces the log through `upto` (inclusive), group-committing each
+    /// participating shard. A force covering one shard delegates to the
+    /// plain shard flush (identical fault semantics to the single log);
+    /// a force covering several brackets each shard's batch in
+    /// `Open`/`Close` epoch markers so recovery can prove the group
+    /// atomic. The global stable LSN only advances when every
+    /// participant's batch fully landed — a halt anywhere leaves it
+    /// unmoved, and the crash analysis rolls the partial group back.
+    pub fn flush(&mut self, upto: Lsn) {
+        let mut participants = Vec::new();
+        let mut covered_max = Lsn::ZERO;
+        for s in 0..self.shards.len() {
+            if let Some((lo, hi)) = self.covered_extent(s, upto) {
+                participants.push((s, lo));
+                covered_max = covered_max.max(hi);
+            }
+        }
+        match participants.as_slice() {
+            [] => {}
+            &[(s, _)] => {
+                // Single-shard force: no markers, plain partial-prefix
+                // tear semantics. The whole covered range lives on this
+                // shard, so whatever prefix landed is globally dense.
+                self.shards[s].flush(upto);
+                self.stable = self.stable.max(self.shards[s].stable_lsn());
+            }
+            _ => {
+                let epoch = self.next_epoch;
+                self.next_epoch += 1;
+                let roster: Vec<u16> = participants
+                    .iter()
+                    .map(|&(s, _)| u16::try_from(s).expect("shard count fits u16"))
+                    .collect();
+                let mut all_landed = true;
+                for &(s, open_lsn) in &participants {
+                    let open = WalRecord {
+                        lsn: open_lsn,
+                        payload: ShardFrame::Open {
+                            epoch,
+                            participants: roster.clone(),
+                        },
+                    };
+                    let close = WalRecord {
+                        lsn: covered_max,
+                        payload: ShardFrame::Close {
+                            epoch,
+                            participants: roster.clone(),
+                        },
+                    };
+                    self.shards[s].flush_with_bracket(upto, Some((open, close)));
+                    if self.shards[s].stable_lsn() != covered_max {
+                        all_landed = false;
+                    }
+                }
+                if all_landed {
+                    // Covered records are exactly the globally dense
+                    // range stable+1..=covered_max (every earlier LSN
+                    // was already stable or covered here), so the
+                    // global end jumps to the group's close.
+                    self.stable = covered_max;
+                }
+                // Otherwise: a fault halted some participant mid-batch.
+                // Faults in this simulator are always followed by a
+                // crash, whose epoch analysis rolls the group back; the
+                // global stable end never covered any of it.
+            }
+        }
+    }
+
+    /// Forces the entire log.
+    pub fn flush_all(&mut self) {
+        let last = self.last_lsn();
+        self.flush(last);
+    }
+
+    /// The highest globally durable LSN: every LSN at or below it is
+    /// stable on its home shard(s).
+    #[must_use]
+    pub fn stable_lsn(&self) -> Lsn {
+        self.stable
+    }
+
+    /// The highest assigned LSN (stable or volatile).
+    #[must_use]
+    pub fn last_lsn(&self) -> Lsn {
+        Lsn(self.next_lsn.0 - 1)
+    }
+
+    /// Number of logical records in the stable prefix (broadcast copies
+    /// counted once) — the dense run `first_stable..=stable`.
+    #[must_use]
+    pub fn stable_count(&self) -> usize {
+        usize::try_from((self.stable.0 + 1).saturating_sub(self.first_stable.0))
+            .expect("stable count fits usize")
+    }
+
+    /// Total logical bytes appended so far (stable or not), counted
+    /// once per record regardless of broadcast fan-out.
+    #[must_use]
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Durable syncs across all shard backends (0 in memory).
+    #[must_use]
+    pub fn syncs(&self) -> u64 {
+        self.shards.iter().map(LogManager::syncs).sum()
+    }
+
+    /// Coalesced stable appends (group-commit forces) across all
+    /// shards. One logical force may count once per participating
+    /// shard — each participant lands its own batch with its own fsync.
+    #[must_use]
+    pub fn forces(&self) -> u64 {
+        self.shards.iter().map(LogManager::forces).sum()
+    }
+
+    /// Per-shard force counts — the flush-skew telemetry the bench
+    /// shard-skew reports read.
+    #[must_use]
+    pub fn forces_by_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(LogManager::forces).collect()
+    }
+
+    /// Shard 0's backing file, when file-backed (tests damage shard
+    /// files out-of-band; each shard's own path comes from
+    /// [`ShardedLog::shard_path`]).
+    #[must_use]
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.shards[0].path()
+    }
+
+    /// Shard `s`'s backing file, when file-backed.
+    #[must_use]
+    pub fn shard_path(&self, s: usize) -> Option<&std::path::Path> {
+        self.shards[s].path()
+    }
+
+    /// Simulates a crash: every shard loses its volatile tail and
+    /// re-derives its bookkeeping from the surviving bytes, then the
+    /// epoch analysis enforces cross-shard flush-group atomicity — any
+    /// epoch whose rostered participants do not *all* have a durable
+    /// `Close` is rolled back to its `Open` offset on every shard that
+    /// landed one. The global stable end is whatever dense prefix
+    /// survives.
+    pub fn crash(&mut self) {
+        for shard in &mut self.shards {
+            shard.crash();
+        }
+        self.archive.crash();
+        // Walk each shard's valid frames collecting epoch evidence.
+        let n = self.shards.len();
+        let mut open_at: Vec<BTreeMap<u64, usize>> = vec![BTreeMap::new(); n];
+        let mut closed: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        let mut roster: BTreeMap<u64, Vec<u16>> = BTreeMap::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut cursor: LogCursor<'_, ShardFrame<P>> = shard.cursor();
+            loop {
+                let pos = cursor.position();
+                match cursor.next() {
+                    Some(Ok(rec)) => match rec.payload {
+                        ShardFrame::Open {
+                            epoch,
+                            participants,
+                        } => {
+                            open_at[s].insert(epoch, pos);
+                            roster.entry(epoch).or_insert(participants);
+                        }
+                        ShardFrame::Close { epoch, .. } => {
+                            closed.entry(epoch).or_default().insert(s);
+                        }
+                        ShardFrame::Rec(_) => {}
+                    },
+                    // The shard crash walk already bounded the covered
+                    // prefix; a decode error here is the torn fragment
+                    // beyond it, which repair_tail will drop.
+                    Some(Err(_)) | None => break,
+                }
+            }
+        }
+        // Roll incomplete epochs back to their Open offset per shard.
+        let mut cut: Vec<Option<usize>> = vec![None; n];
+        for (&epoch, participants) in &roster {
+            let complete = participants.iter().all(|&p| {
+                closed
+                    .get(&epoch)
+                    .is_some_and(|c| c.contains(&(p as usize)))
+            });
+            if complete {
+                continue;
+            }
+            for &p in participants {
+                let p = p as usize;
+                if let Some(&off) = open_at[p].get(&epoch) {
+                    cut[p] = Some(cut[p].map_or(off, |c| c.min(off)));
+                }
+            }
+        }
+        for (s, cut) in cut.into_iter().enumerate() {
+            if let Some(pos) = cut {
+                self.shards[s].rollback_to(pos);
+            }
+        }
+        let max_stable = self
+            .shards
+            .iter()
+            .map(|sh| sh.stable_lsn())
+            .max()
+            .unwrap_or(Lsn::ZERO);
+        self.stable = if max_stable.0 + 1 < self.first_stable.0 {
+            Lsn(self.first_stable.0 - 1)
+        } else {
+            max_stable
+        };
+        self.next_lsn = self.stable.next();
+    }
+
+    /// Discards each shard's torn tail; returns total bytes dropped.
+    pub fn repair_tail(&mut self) -> usize {
+        self.shards.iter_mut().map(LogManager::repair_tail).sum()
+    }
+
+    /// Drops and disables every shard's seek index.
+    pub fn disable_seek_index(&mut self) {
+        for shard in &mut self.shards {
+            shard.disable_seek_index();
+        }
+    }
+
+    /// Decodes the stable prefix into the globally ordered record
+    /// sequence (markers elided, broadcast copies deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] if any shard's bytes do not parse.
+    pub fn decode_stable(&self) -> SimResult<Vec<WalRecord<P>>> {
+        self.cursor().collect()
+    }
+
+    /// A streaming merge cursor over the whole stable prefix.
+    #[must_use]
+    pub fn cursor(&self) -> ShardedCursor<'_, P> {
+        ShardedCursor::new(self.shards.iter().map(LogManager::cursor).collect())
+    }
+
+    /// A streaming merge cursor positioned at the first record with
+    /// LSN ≥ `from`, each shard seeked through its own index.
+    #[must_use]
+    pub fn cursor_from(&self, from: Lsn) -> ShardedCursor<'_, P> {
+        ShardedCursor::new(
+            self.shards
+                .iter()
+                .map(|shard| shard.cursor_from(from))
+                .collect(),
+        )
+    }
+
+    /// A raw single-shard cursor (frames still wrapped in
+    /// [`ShardFrame`]) positioned at the first frame with LSN ≥ `from`
+    /// — the per-shard feed of the parallel restart pipeline, which
+    /// runs one scan thread per shard.
+    #[must_use]
+    pub fn shard_cursor_from(&self, s: usize, from: Lsn) -> LogCursor<'_, ShardFrame<P>> {
+        self.shards[s].cursor_from(from)
+    }
+
+    /// Moves every stable frame with LSN < `below` into the archive
+    /// tier, per shard, and drains it from the live log. Returns the
+    /// live bytes reclaimed (== bytes archived). The caller's
+    /// obligations are exactly [`LogManager::truncate_prefix`]'s; the
+    /// difference is that the history still exists —
+    /// [`ShardedLog::pit_records`] can replay across the boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] as [`LogManager::truncate_prefix`]; every
+    /// shard is planned before any is touched, so an error leaves the
+    /// whole log (and the archive) unchanged.
+    pub fn archive_prefix(&mut self, below: Lsn) -> SimResult<u64> {
+        let below = Lsn(below.0.min(self.stable.0 + 1));
+        if below <= self.first_stable {
+            return Ok(0);
+        }
+        let mut plans = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            plans.push(shard.plan_drain(below)?);
+        }
+        let mut reclaimed = 0u64;
+        for (s, plan) in plans.into_iter().enumerate() {
+            let Some(plan) = plan else { continue };
+            self.archive
+                .append(s, &self.shards[s].stable_bytes()[..plan.pos]);
+            self.shards[s].apply_drain(below, plan);
+            reclaimed += plan.pos as u64;
+        }
+        self.truncated_records += below.0 - self.first_stable.0;
+        self.first_stable = below;
+        Ok(reclaimed)
+    }
+
+    /// The lowest LSN still present in the *live* stable image.
+    #[must_use]
+    pub fn first_stable(&self) -> Lsn {
+        self.first_stable
+    }
+
+    /// Live bytes reclaimed by prefix archiving over this log's
+    /// lifetime (all of them now resident in the archive tier).
+    #[must_use]
+    pub fn truncated_bytes(&self) -> u64 {
+        self.shards.iter().map(LogManager::truncated_bytes).sum()
+    }
+
+    /// Per-shard reclaimed-byte counts — truncation-skew telemetry.
+    #[must_use]
+    pub fn truncated_bytes_by_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(LogManager::truncated_bytes)
+            .collect()
+    }
+
+    /// Logical records elided from the live log by prefix archiving
+    /// (broadcast copies counted once).
+    #[must_use]
+    pub fn truncated_records(&self) -> u64 {
+        self.truncated_records
+    }
+
+    /// Total bytes resident in the archive tier.
+    #[must_use]
+    pub fn archived_bytes(&self) -> u64 {
+        self.archive.archived_bytes()
+    }
+
+    /// The per-page chain for `page`, served by its home shard. Offsets
+    /// are into that shard's stable bytes; resolve them with
+    /// [`ShardedLog::record_for`].
+    #[must_use]
+    pub fn page_chain(&self, page: PageId) -> &[(Lsn, u64)] {
+        self.shards[self.shard_of(page)].page_chain(page)
+    }
+
+    /// Every page with at least one stable chained record, in id order.
+    /// Each shard contributes only its *home* pages: a broadcast record
+    /// also chains its foreign pages into the shards it landed on, and
+    /// those duplicate entries must not surface twice.
+    pub fn chained_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        let mut pages = BTreeSet::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            pages.extend(shard.chained_pages().filter(|&p| self.shard_of(p) == s));
+        }
+        pages.into_iter()
+    }
+
+    /// Decodes the single stable record at byte offset `off` of
+    /// `page`'s home shard — the random-access read a
+    /// [`ShardedLog::page_chain`] entry authorizes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] if `off` is not a well-formed frame start
+    /// (or holds a marker frame, which no chain entry ever names).
+    pub fn record_for(&self, page: PageId, off: u64) -> SimResult<WalRecord<P>> {
+        let rec = self.shards[self.shard_of(page)].record_at(off)?;
+        match rec.payload {
+            ShardFrame::Rec(payload) => Ok(WalRecord {
+                lsn: rec.lsn,
+                payload,
+            }),
+            ShardFrame::Open { .. } | ShardFrame::Close { .. } => Err(SimError::Corrupt(
+                usize::try_from(off).unwrap_or(usize::MAX),
+            )),
+        }
+    }
+
+    /// Shard `s`'s sparse seek index — diagnostic surface for the
+    /// index-discipline audits.
+    #[must_use]
+    pub fn shard_seek_index(&self, s: usize) -> &[(Lsn, u64)] {
+        self.shards[s].seek_index()
+    }
+
+    /// Decodes the single stable frame at byte offset `off` of shard
+    /// `s`, markers included — diagnostic surface for the
+    /// index-discipline audits ([`ShardedLog::record_for`] is the
+    /// chain-resolving read path).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] if `off` is not a well-formed frame start.
+    pub fn shard_record_at(&self, s: usize, off: u64) -> SimResult<WalRecord<ShardFrame<P>>> {
+        self.shards[s].record_at(off)
+    }
+
+    /// Point-in-time record sequence: every logical record with LSN ≤
+    /// `upto`, merged in LSN order from `archive ∥ live` across all
+    /// shards. Because the archive preserves complete history from LSN
+    /// 1, replaying the result against genesis state reproduces the
+    /// state as of `upto` — even after [`ShardedLog::archive_prefix`]
+    /// has drained the live prefix past it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] if any tier's bytes do not parse (repair
+    /// the live tail first after a crash).
+    pub fn pit_records(&self, upto: Lsn) -> SimResult<Vec<WalRecord<P>>> {
+        let mut merged: BTreeMap<Lsn, P> = BTreeMap::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for tier in [self.archive.bytes(s), shard.stable_bytes()] {
+                let cursor: LogCursor<'_, ShardFrame<P>> = LogCursor::over(tier);
+                for res in cursor {
+                    let rec = res?;
+                    if rec.lsn > upto {
+                        break;
+                    }
+                    if let ShardFrame::Rec(payload) = rec.payload {
+                        merged.entry(rec.lsn).or_insert(payload);
+                    }
+                }
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .map(|(lsn, payload)| WalRecord { lsn, payload })
+            .collect())
+    }
+}
+
+impl<P: LogPayload> Default for ShardedLog<P> {
+    fn default() -> Self {
+        ShardedLog::new(1)
+    }
+}
+
+/// A streaming min-LSN merge over every shard's cursor: yields the
+/// globally ordered logical record sequence, eliding marker frames and
+/// deduplicating broadcast copies by LSN.
+#[derive(Debug)]
+pub struct ShardedCursor<'a, P> {
+    heads: Vec<LogCursor<'a, ShardFrame<P>>>,
+    pending: Vec<Option<WalRecord<P>>>,
+    last: Option<Lsn>,
+    failed: bool,
+}
+
+impl<'a, P: LogPayload> ShardedCursor<'a, P> {
+    fn new(heads: Vec<LogCursor<'a, ShardFrame<P>>>) -> ShardedCursor<'a, P> {
+        let n = heads.len();
+        ShardedCursor {
+            heads,
+            pending: (0..n).map(|_| None).collect(),
+            last: None,
+            failed: false,
+        }
+    }
+
+    /// Advances shard `s`'s head to its next logical record, skipping
+    /// markers.
+    fn fill(&mut self, s: usize) -> SimResult<()> {
+        while self.pending[s].is_none() {
+            match self.heads[s].next() {
+                Some(Ok(rec)) => {
+                    if let ShardFrame::Rec(payload) = rec.payload {
+                        self.pending[s] = Some(WalRecord {
+                            lsn: rec.lsn,
+                            payload,
+                        });
+                    }
+                }
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Telemetry summed across every shard's scan.
+    #[must_use]
+    pub fn stats(&self) -> ScanStats {
+        let mut total = ScanStats::default();
+        for head in &self.heads {
+            total.absorb(head.stats());
+        }
+        total
+    }
+
+    /// Per-shard scan telemetry.
+    #[must_use]
+    pub fn stats_by_shard(&self) -> Vec<ScanStats> {
+        self.heads.iter().map(LogCursor::stats).collect()
+    }
+}
+
+impl<P: LogPayload> Iterator for ShardedCursor<'_, P> {
+    type Item = SimResult<WalRecord<P>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            for s in 0..self.heads.len() {
+                if let Err(e) = self.fill(s) {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+            let mut best: Option<(usize, Lsn)> = None;
+            for (s, head) in self.pending.iter().enumerate() {
+                if let Some(rec) = head {
+                    if best.is_none_or(|(_, lsn)| rec.lsn < lsn) {
+                        best = Some((s, rec.lsn));
+                    }
+                }
+            }
+            let (s, _) = best?;
+            let rec = self.pending[s].take().expect("pending head present");
+            if self.last == Some(rec.lsn) {
+                continue; // another shard's broadcast copy
+            }
+            self.last = Some(rec.lsn);
+            return Some(Ok(rec));
+        }
+    }
+}
+
+/// The sharded counterpart of [`LogScanner`](super::LogScanner): a
+/// resumable batched merge scan that holds only per-shard byte
+/// positions (plus an owned pending head per shard) and re-borrows the
+/// log per [`ShardedScanner::next_batch`] call.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedScanner<P> {
+    pos: Vec<usize>,
+    stats: Vec<ScanStats>,
+    pending: Vec<Option<WalRecord<P>>>,
+    last: Option<Lsn>,
+    failed: bool,
+    started: bool,
+}
+
+impl<P: LogPayload> ShardedScanner<P> {
+    /// A scanner over the whole stable prefix.
+    #[must_use]
+    pub fn from_start() -> ShardedScanner<P> {
+        ShardedScanner {
+            pos: Vec::new(),
+            stats: Vec::new(),
+            pending: Vec::new(),
+            last: None,
+            failed: false,
+            started: false,
+        }
+    }
+
+    /// A scanner positioned at the first record with LSN ≥ `from`, each
+    /// shard seeked through its own index.
+    #[must_use]
+    pub fn seek(log: &ShardedLog<P>, from: Lsn) -> ShardedScanner<P> {
+        let mut scanner = ShardedScanner::from_start();
+        scanner.started = true;
+        for shard in &log.shards {
+            let cursor = shard.cursor_from(from);
+            scanner.pos.push(cursor.pos);
+            scanner.stats.push(cursor.stats);
+            scanner.pending.push(None);
+        }
+        scanner
+    }
+
+    fn ensure_started(&mut self, n: usize) {
+        if !self.started {
+            self.pos = vec![0; n];
+            self.stats = vec![ScanStats::default(); n];
+            self.pending = (0..n).map(|_| None).collect();
+            self.started = true;
+        }
+    }
+
+    /// Advances shard `s`'s pending head to its next logical record
+    /// (skipping and committing marker frames).
+    fn fill(&mut self, log: &ShardedLog<P>, s: usize) -> SimResult<()> {
+        while self.pending[s].is_none() {
+            let mut cursor: LogCursor<'_, ShardFrame<P>> =
+                LogCursor::at(log.shards[s].stable_bytes(), self.pos[s], self.stats[s]);
+            match cursor.next() {
+                Some(Ok(rec)) => {
+                    self.pos[s] = cursor.pos;
+                    self.stats[s] = cursor.stats;
+                    if let ShardFrame::Rec(payload) = rec.payload {
+                        self.pending[s] = Some(WalRecord {
+                            lsn: rec.lsn,
+                            payload,
+                        });
+                    }
+                }
+                Some(Err(e)) => {
+                    self.pos[s] = cursor.pos;
+                    self.stats[s] = cursor.stats;
+                    return Err(e);
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes up to `max` merged records at the current position,
+    /// advancing past them. An empty batch means the scan is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] at the failing offset; subsequent calls
+    /// return empty batches.
+    pub fn next_batch(&mut self, log: &ShardedLog<P>, max: usize) -> SimResult<Vec<WalRecord<P>>> {
+        if self.failed {
+            return Ok(Vec::new());
+        }
+        self.ensure_started(log.n_shards());
+        let mut out = Vec::new();
+        while out.len() < max {
+            for s in 0..log.n_shards() {
+                if let Err(e) = self.fill(log, s) {
+                    self.failed = true;
+                    return Err(e);
+                }
+            }
+            let mut best: Option<(usize, Lsn)> = None;
+            for (s, head) in self.pending.iter().enumerate() {
+                if let Some(rec) = head {
+                    if best.is_none_or(|(_, lsn)| rec.lsn < lsn) {
+                        best = Some((s, rec.lsn));
+                    }
+                }
+            }
+            let Some((s, _)) = best else { break };
+            let rec = self.pending[s].take().expect("pending head present");
+            if self.last == Some(rec.lsn) {
+                continue;
+            }
+            self.last = Some(rec.lsn);
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    /// Telemetry summed across every shard's scan.
+    #[must_use]
+    pub fn stats(&self) -> ScanStats {
+        let mut total = ScanStats::default();
+        for s in &self.stats {
+            total.absorb(*s);
+        }
+        total
+    }
+
+    /// Per-shard scan telemetry — the shard-skew breakdown the benches
+    /// report beside the summed view.
+    #[must_use]
+    pub fn stats_by_shard(&self) -> &[ScanStats] {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
+
+    /// A payload writing an arbitrary page set (empty = page-less, like
+    /// a checkpoint marker) — the smallest thing that exercises routing,
+    /// broadcast, and cross-shard groups.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Rec(Vec<u32>, u64);
+
+    impl LogPayload for Rec {
+        fn encode(&self, buf: &mut Vec<u8>) -> SimResult<()> {
+            codec::put_u16(buf, codec::count_u16("test page count", self.0.len())?);
+            for &p in &self.0 {
+                codec::put_u32(buf, p);
+            }
+            codec::put_u64(buf, self.1);
+            Ok(())
+        }
+        fn decode(input: &[u8], pos: &mut usize) -> SimResult<Self> {
+            let n = codec::get_u16(input, pos)? as usize;
+            let mut pages = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                pages.push(codec::get_u32(input, pos)?);
+            }
+            Ok(Rec(pages, codec::get_u64(input, pos)?))
+        }
+        fn write_pages(&self) -> Vec<PageId> {
+            self.0.iter().map(|&p| PageId(p)).collect()
+        }
+    }
+
+    #[test]
+    fn routes_records_to_page_shards_and_merges_in_lsn_order() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(4);
+        for i in 0..8u32 {
+            assert_eq!(
+                log.append(Rec(vec![i], u64::from(i))).unwrap(),
+                Lsn(u64::from(i) + 1)
+            );
+        }
+        log.flush_all();
+        assert_eq!(log.stable_lsn(), Lsn(8));
+        assert_eq!(log.stable_count(), 8);
+        let recs = log.decode_stable().unwrap();
+        assert_eq!(recs.len(), 8);
+        for (i, rec) in recs.iter().enumerate() {
+            assert_eq!(rec.lsn, Lsn(i as u64 + 1), "merge must be LSN-ordered");
+            assert_eq!(rec.payload.1, i as u64);
+        }
+        for i in 0..8u32 {
+            assert_eq!(log.shard_of(PageId(i)), (i & 3) as usize);
+            let chain = log.page_chain(PageId(i));
+            assert_eq!(chain.len(), 1);
+            let (lsn, off) = chain[0];
+            let rec = log.record_for(PageId(i), off).unwrap();
+            assert_eq!(rec.lsn, lsn);
+            assert_eq!(rec.payload.0, vec![i]);
+        }
+    }
+
+    #[test]
+    fn pageless_records_broadcast_to_every_shard_and_deduplicate() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(4);
+        log.append(Rec(vec![0], 7)).unwrap();
+        let ck = log.append(Rec(vec![], 99)).unwrap();
+        log.append(Rec(vec![1], 8)).unwrap();
+        log.flush_all();
+        // Every single-shard scan observes the page-less record...
+        for s in 0..4 {
+            let copies = log
+                .shard_cursor_from(s, Lsn(1))
+                .collect::<SimResult<Vec<_>>>()
+                .unwrap()
+                .into_iter()
+                .filter(
+                    |f| matches!(&f.payload, ShardFrame::Rec(Rec(pages, 99)) if pages.is_empty()),
+                )
+                .count();
+            assert_eq!(copies, 1, "shard {s} must hold one broadcast copy");
+        }
+        // ...but the merged scan yields it exactly once.
+        let recs = log.decode_stable().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs.iter().filter(|r| r.lsn == ck).count(), 1);
+    }
+
+    #[test]
+    fn single_shard_forces_write_no_markers() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(2);
+        log.append(Rec(vec![0], 1)).unwrap();
+        log.append(Rec(vec![2], 2)).unwrap(); // page 2 also routes to shard 0
+        log.flush_all();
+        let frames = log
+            .shard_cursor_from(0, Lsn(1))
+            .collect::<SimResult<Vec<_>>>()
+            .unwrap();
+        assert_eq!(frames.len(), 2, "no markers for a single-shard force");
+        assert!(frames
+            .iter()
+            .all(|f| matches!(f.payload, ShardFrame::Rec(_))));
+        // A force spanning both shards brackets each batch in markers.
+        log.append(Rec(vec![0], 3)).unwrap();
+        log.append(Rec(vec![1], 4)).unwrap();
+        log.flush_all();
+        let shard1 = log
+            .shard_cursor_from(1, Lsn(1))
+            .collect::<SimResult<Vec<_>>>()
+            .unwrap();
+        assert!(shard1
+            .iter()
+            .any(|f| matches!(f.payload, ShardFrame::Open { .. })));
+        assert!(shard1
+            .iter()
+            .any(|f| matches!(f.payload, ShardFrame::Close { .. })));
+    }
+
+    /// The satellite scenario: a flush group spanning shards A and B
+    /// lands six faultable frames — A's `Open`, record, `Close`, then
+    /// B's `Open`, record, `Close`. Crash the machine at every one of
+    /// them (events 4..=6 are exactly "the closure marker landed on
+    /// shard A but not on shard B") and the group must be
+    /// all-or-nothing: either both records are durable or neither is.
+    fn assert_group_atomic(kind_of: impl Fn() -> BackendKind) {
+        for at in 1..=7u64 {
+            for kind in [FaultKind::Clean, FaultKind::TornFlush { bytes: 3 }] {
+                let mut log: ShardedLog<Rec> = ShardedLog::on(kind_of(), 2);
+                log.append(Rec(vec![0], 10)).unwrap();
+                log.append(Rec(vec![1], 11)).unwrap();
+                log.injector.arm(FaultPlan { at, kind });
+                log.flush_all();
+                log.injector.reset();
+                log.crash();
+                log.repair_tail();
+                let recs = log.decode_stable().unwrap();
+                if at <= 6 {
+                    assert_eq!(
+                        log.stable_lsn(),
+                        Lsn::ZERO,
+                        "at={at} {kind:?}: a partial group must roll back"
+                    );
+                    assert!(recs.is_empty(), "at={at} {kind:?}: {recs:?}");
+                    assert!(log.page_chain(PageId(0)).is_empty());
+                    assert!(log.page_chain(PageId(1)).is_empty());
+                } else {
+                    assert_eq!(log.stable_lsn(), Lsn(2), "at={at} {kind:?}: group landed");
+                    assert_eq!(recs.len(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_flush_groups_are_atomic_at_every_crash_point() {
+        assert_group_atomic(|| BackendKind::Mem);
+    }
+
+    #[test]
+    fn cross_shard_flush_groups_are_atomic_on_files() {
+        assert_group_atomic(|| BackendKind::File);
+    }
+
+    #[test]
+    fn committed_groups_survive_and_later_appends_continue_the_sequence() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(2);
+        log.append(Rec(vec![0], 10)).unwrap();
+        log.append(Rec(vec![1], 11)).unwrap();
+        log.flush_all();
+        log.crash();
+        assert_eq!(
+            log.stable_lsn(),
+            Lsn(2),
+            "a closed group survives the crash"
+        );
+        assert_eq!(log.decode_stable().unwrap().len(), 2);
+        let lsn = log.append(Rec(vec![1], 12)).unwrap();
+        assert_eq!(lsn, Lsn(3), "the sequencer resumes past the stable end");
+        log.flush_all();
+        assert_eq!(log.stable_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn archive_prefix_moves_history_and_pit_replays_across_the_boundary() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(4);
+        for i in 0..16u32 {
+            log.append(Rec(vec![i % 8], u64::from(i))).unwrap();
+        }
+        log.flush_all();
+        let full = log.decode_stable().unwrap();
+        let reclaimed = log.archive_prefix(Lsn(9)).unwrap();
+        assert!(reclaimed > 0);
+        assert_eq!(log.archived_bytes(), reclaimed);
+        assert_eq!(log.truncated_bytes(), reclaimed, "a move, not a loss");
+        assert_eq!(log.first_stable(), Lsn(9));
+        assert_eq!(log.truncated_records(), 8);
+        let live = log.decode_stable().unwrap();
+        assert_eq!(
+            live.first().unwrap().lsn,
+            Lsn(9),
+            "live log starts at the boundary"
+        );
+        // Point-in-time replay reconstructs the drained prefix exactly.
+        assert_eq!(log.pit_records(Lsn(16)).unwrap(), full);
+        assert_eq!(log.pit_records(Lsn(8)).unwrap(), full[..8]);
+        assert_eq!(log.pit_records(Lsn(11)).unwrap(), full[..11]);
+        // A second round appends to the archive — never rewrites it.
+        for i in 16..20u32 {
+            log.append(Rec(vec![i % 8], u64::from(i))).unwrap();
+        }
+        log.flush_all();
+        let full2 = log.pit_records(Lsn(20)).unwrap();
+        log.archive_prefix(Lsn(17)).unwrap();
+        assert_eq!(log.first_stable(), Lsn(17));
+        assert_eq!(log.pit_records(Lsn(20)).unwrap(), full2);
+        assert_eq!(log.pit_records(Lsn(16)).unwrap(), full);
+    }
+
+    #[test]
+    fn per_shard_telemetry_sums_to_the_global_view() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(4);
+        for i in 0..12u32 {
+            log.append(Rec(vec![i % 4], u64::from(i))).unwrap();
+            if i % 3 == 2 {
+                log.flush_all();
+            }
+        }
+        log.flush_all();
+        assert_eq!(log.forces_by_shard().iter().sum::<u64>(), log.forces());
+        log.archive_prefix(Lsn(7)).unwrap();
+        assert_eq!(
+            log.truncated_bytes_by_shard().iter().sum::<u64>(),
+            log.truncated_bytes()
+        );
+        assert!(log.truncated_bytes_by_shard().iter().any(|&b| b > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shard_count_is_rejected() {
+        let _ = ShardedLog::<Rec>::new(3);
+    }
+}

@@ -15,7 +15,7 @@ use redo_sim::backend::{BackendKind, Crc32};
 use redo_sim::db::{Db, Geometry};
 use redo_sim::fault::{FaultKind, FaultPlan};
 use redo_sim::wal::{
-    codec, decode_records, LogCursor, LogManager, LogPayload, WalRecord, FRAME_HEADER,
+    codec, decode_records, LogCursor, LogManager, LogPayload, ShardedLog, WalRecord, FRAME_HEADER,
 };
 use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
@@ -44,9 +44,9 @@ impl LogPayload for OpRec {
 /// writing their page), both must be strictly increasing, the seek
 /// index must keep its offset-0 sentinel exactly when the image is
 /// seekable, and the chains must cover every stable write — no more,
-/// no fewer.
-fn check_index_discipline(log: &LogManager<OpRec>) -> Result<(), TestCaseError> {
-    let index = log.seek_index();
+/// no fewer. Runs against the database's (possibly sharded) log; every
+/// shard's seek index is audited independently.
+fn check_index_discipline(log: &ShardedLog<OpRec>) -> Result<(), TestCaseError> {
     // The image may still carry a torn tail awaiting repair; index and
     // chain entries only ever point into the valid prefix, so decode
     // exactly the records before the tear.
@@ -58,36 +58,44 @@ fn check_index_discipline(log: &LogManager<OpRec>) -> Result<(), TestCaseError> 
             Err(e) => return Err(TestCaseError::fail(format!("unexpected scan error {e:?}"))),
         }
     }
-    if full.is_empty() {
-        // An image with no valid frame (wholly elided, or torn inside
-        // its first frame) may keep one anticipatory sentinel naming
-        // the frame the next flush will land at offset 0.
-        prop_assert!(
-            index.is_empty() || index == [(log.first_stable(), 0)],
-            "index over an empty image: {index:?}"
-        );
-    } else {
-        prop_assert_eq!(
-            index.first().copied(),
-            Some((log.first_stable(), 0)),
-            "the sentinel must name the image's first frame"
-        );
-        for &(lsn, off) in index {
-            let rec = log.record_at(off).expect("seek entry points at a frame");
+    for s in 0..log.n_shards() {
+        let index = log.shard_seek_index(s);
+        if log.shard_record_at(s, 0).is_err() {
+            // A shard image with no valid frame (wholly elided, or torn
+            // inside its first frame) may keep one anticipatory sentinel
+            // naming the frame the next flush will land at offset 0.
+            prop_assert!(
+                index.len() <= 1 && index.iter().all(|&(_, off)| off == 0),
+                "shard {s} index over an empty image: {index:?}"
+            );
+        } else {
             prop_assert_eq!(
-                rec.lsn,
-                lsn,
-                "seek entry {} lands on a foreign frame",
-                lsn.0
+                index.first().map(|&(_, off)| off),
+                Some(0),
+                "shard {} sentinel must name the image's first frame",
+                s
+            );
+            for &(lsn, off) in index {
+                let rec = log
+                    .shard_record_at(s, off)
+                    .expect("seek entry points at a frame");
+                prop_assert_eq!(
+                    rec.lsn,
+                    lsn,
+                    "shard {} seek entry {} lands on a foreign frame",
+                    s,
+                    lsn.0
+                );
+            }
+        }
+        for w in index.windows(2) {
+            prop_assert!(
+                w[0].0 < w[1].0 && w[0].1 < w[1].1,
+                "shard {} seek index not strictly increasing: {:?}",
+                s,
+                w
             );
         }
-    }
-    for w in index.windows(2) {
-        prop_assert!(
-            w[0].0 < w[1].0 && w[0].1 < w[1].1,
-            "seek index not strictly increasing: {:?}",
-            w
-        );
     }
     for page in log.chained_pages() {
         let chain = log.page_chain(page);
@@ -101,7 +109,9 @@ fn check_index_discipline(log: &LogManager<OpRec>) -> Result<(), TestCaseError> 
             );
         }
         for &(lsn, off) in chain {
-            let rec = log.record_at(off).expect("chain entry points at a frame");
+            let rec = log
+                .record_for(page, off)
+                .expect("chain entry points at a frame");
             prop_assert_eq!(
                 rec.lsn,
                 lsn,
@@ -490,7 +500,7 @@ proptest! {
                     let stable = db.log.stable_lsn();
                     if stable.0 > db.log.first_stable().0 + 4 {
                         db.log
-                            .truncate_prefix(Lsn(stable.0 - 4))
+                            .archive_prefix(Lsn(stable.0 - 4))
                             .expect("clean mid-run truncation");
                         check_index_discipline(&db.log)?;
                     }
@@ -507,7 +517,7 @@ proptest! {
             let (first, stable) = (db.log.first_stable(), db.log.stable_lsn());
             if stable >= first {
                 let mid = Lsn(first.0 + (stable.0 - first.0) / 2);
-                db.log.truncate_prefix(mid).expect("post-repair truncation");
+                db.log.archive_prefix(mid).expect("post-repair truncation");
                 check_index_discipline(&db.log)?;
             }
             let full: Vec<WalRecord<OpRec>> = db.log.cursor().collect::<SimResult<_>>()

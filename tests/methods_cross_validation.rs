@@ -55,6 +55,7 @@ fn sweep<M: RecoveryMethod>(method: &M, ops_for: fn(usize, u64) -> Vec<PageOp>) 
                 pool_capacity: None,
                 fault: None,
                 backend: BackendKind::Mem,
+                log_shards: 1,
             };
             last = run(method, &ops_for(80, seed), &cfg).unwrap_or_else(|e| {
                 panic!(
@@ -115,6 +116,7 @@ fn generalized_multi_page_sweep_with_audit() {
             pool_capacity: None,
             fault: None,
             backend: BackendKind::Mem,
+            log_shards: 1,
         };
         run(&Generalized, &ops, &cfg).unwrap_or_else(|e| panic!("multi-page seed {seed}: {e}"));
     }
@@ -155,6 +157,7 @@ fn bounded_pool_methods_still_recover() {
             pool_capacity: Some(3),
             fault: None,
             backend: BackendKind::Mem,
+            log_shards: 1,
         };
         run(&Physiological, &physio_ops(60, seed), &cfg)
             .unwrap_or_else(|e| panic!("physiological bounded pool seed {seed}: {e}"));
@@ -175,6 +178,7 @@ fn more_frequent_checkpoints_never_hurt_replay_volume() {
         pool_capacity: None,
         fault: None,
         backend: BackendKind::Mem,
+        log_shards: 1,
     };
     let rare = run(&Physical, &blind_ops(100, 3), &mk(Some(50))).unwrap();
     let frequent = run(&Physical, &blind_ops(100, 3), &mk(Some(5))).unwrap();
@@ -209,6 +213,7 @@ fn log_volume_ordering_physical_vs_physiological() {
         pool_capacity: None,
         fault: None,
         backend: BackendKind::Mem,
+        log_shards: 1,
     };
     let phys = run(&Physical, &multi, &cfg).unwrap();
     let physio = run(&Physiological, &physio_ops(80, 9), &cfg).unwrap();

@@ -23,7 +23,7 @@ use redo_recovery::methods::physiological::Physiological;
 use redo_recovery::methods::RecoveryMethod;
 use redo_recovery::sim::db::{Db, Geometry};
 use redo_recovery::sim::fault::{FaultKind, FaultPlan};
-use redo_recovery::sim::wal::LogScanner;
+use redo_recovery::sim::wal::ShardedScanner;
 use redo_recovery::theory::log::Lsn;
 use redo_recovery::workload::pages::{PageOp, PageWorkloadSpec};
 
@@ -80,7 +80,7 @@ fn crashed_image(
 fn recover_full_scan(db: &mut Db<PageOpPayload>) -> usize {
     db.repair_after_crash();
     let spp = db.geometry.slots_per_page;
-    let mut scanner = LogScanner::seek(&db.log, Lsn(1));
+    let mut scanner = ShardedScanner::seek(&db.log, Lsn(1));
     let mut replayed = 0;
     loop {
         let batch = scanner

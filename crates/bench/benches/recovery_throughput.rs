@@ -20,6 +20,13 @@
 //!   index. The gap to `ckpt_seek` is the sharding overhead a *serial*
 //!   restart pays (the per-shard decode win needs the parallel restart
 //!   — see the `parallel_restart` bench).
+//! * `media_intact` / `media_restore` — the same run driven by the
+//!   media-capable method (online fuzzy checkpoints feeding the archive
+//!   tier), recovered as-is vs. after one page is destroyed out-of-band.
+//!   The restore must rebuild the lost page by replaying
+//!   `archive ∥ live` from genesis, so its cost tracks *total* history
+//!   rather than the checkpoint suffix — the gap to `media_intact` is
+//!   the price of a media rebuild.
 //!
 //! Shape checks before timing assert the telemetry tells the same
 //! story: the checkpointed scan decodes at most a quarter of what the
@@ -34,6 +41,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use redo_methods::media::Media;
 use redo_methods::physiological::Physiological;
 use redo_methods::RecoveryMethod;
 use redo_sim::backend::BackendKind;
@@ -41,6 +49,7 @@ use redo_sim::db::{Db, Geometry};
 use redo_workload::pages::PageWorkloadSpec;
 
 type PhysioDb = Db<<Physiological as RecoveryMethod>::Payload>;
+type MediaDb = Db<<Media as RecoveryMethod>::Payload>;
 
 /// A crashed database after `n_ops` operations with an eagerly flushed
 /// log, rare page flushes (so replay has real work), and optionally a
@@ -65,6 +74,32 @@ fn crashed_db(
         db.chaos_flush(&mut rng, 0.9, 0.01).unwrap();
         if checkpoint_at_90 && i + 1 == ckpt_at {
             Physiological.checkpoint(&mut db).unwrap();
+        }
+    }
+    db.log.flush_all();
+    db.crash();
+    db
+}
+
+/// A crashed database driven by the media-capable method: online fuzzy
+/// checkpoints every 10% of the run keep moving the truncated log
+/// prefix into the archive tier, so a media rebuild has real
+/// `archive ∥ live` history to replay from genesis.
+fn crashed_media_db(n_ops: usize, log_shards: usize) -> MediaDb {
+    let ops = PageWorkloadSpec {
+        n_ops,
+        n_pages: 64,
+        ..Default::default()
+    }
+    .generate(23);
+    let mut db = Db::on_sharded(BackendKind::Mem, Geometry::default(), None, log_shards);
+    let mut rng = StdRng::seed_from_u64(7);
+    let every = (n_ops / 10).max(1);
+    for (i, op) in ops.iter().enumerate() {
+        Media.execute(&mut db, op).unwrap();
+        db.chaos_flush(&mut rng, 0.9, 0.01).unwrap();
+        if (i + 1) % every == 0 {
+            Media.checkpoint(&mut db).unwrap();
         }
     }
     db.log.flush_all();
@@ -172,6 +207,48 @@ fn bench(c: &mut Criterion) {
                     )
                 },
             );
+        }
+
+        // The media-restore axis: one page destroyed out-of-band after
+        // the crash. Recovery must first rebuild it by replaying
+        // `archive ∥ live` from genesis; the intact image of the same
+        // run is the baseline the restore's extra cost is measured
+        // against.
+        {
+            let intact = crashed_media_db(n, 2);
+            let mut probe = intact.clone();
+            Media.recover(&mut probe).unwrap();
+            let reference = probe.volatile_theory_state();
+            let victim = intact.disk.pages()[0].0;
+            let mut damaged = intact.clone();
+            damaged.disk.destroy_page(victim);
+            damaged.crash();
+            let mut probe = damaged.clone();
+            Media.recover(&mut probe).unwrap();
+            assert!(
+                probe.disk.lost_pages().is_empty(),
+                "media restore left pages lost"
+            );
+            assert_eq!(
+                probe.volatile_theory_state(),
+                reference,
+                "media restore diverged from the intact recovery"
+            );
+            println!(
+                "recovery_throughput shape-check [n={n}]: media restore rebuilt page \
+                 {victim:?} from {} archived bytes plus {} live stable records",
+                intact.log.archived_bytes(),
+                intact.log.stable_count(),
+            );
+            for (label, image) in [("media_intact", &intact), ("media_restore", &damaged)] {
+                group.bench_with_input(BenchmarkId::new(label, n), image, |b, image| {
+                    b.iter_batched(
+                        || (*image).clone(),
+                        |mut db| Media.recover(&mut db).unwrap(),
+                        BatchSize::LargeInput,
+                    )
+                });
+            }
         }
 
         // The fsync-bound axis, smallest size only: the same checkpointed

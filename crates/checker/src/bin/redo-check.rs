@@ -18,7 +18,7 @@
 //! * `walks`     — fuzz write-graph evolutions against Corollary 5.
 //! * `beyond`    — search for §7's beyond-the-theory witnesses.
 //! * `crash-audit` — drive each method (`--method all` by default;
-//!   `logical|physical|physiological|generalized|online|fuzzy|parallel|ondemand|pit`)
+//!   `logical|physical|physiological|generalized|online|fuzzy|parallel|ondemand|media|pit`)
 //!   through seeded crash schedules with injected faults: torn page
 //!   writes, partial log flushes, and a crash in the middle of every
 //!   recovery, checking the Recovery Invariant after each completed
@@ -27,11 +27,17 @@
 //!   faultable crash points. The `ondemand` method recovers through
 //!   the instant-restart path — every probe recovery also reopens the
 //!   crashed image lazily and serves all durable cells mid-recovery.
-//!   The `pit` method audits the archive tier instead: it drives
-//!   `online` (whose checkpoints move the truncated log prefix into
-//!   the archive) and verifies that point-in-time replay over
-//!   `archive ∥ live` reproduces the full durable history and the
-//!   pre-truncation state at the truncation boundary.
+//!   The `media` method audits media recovery: after each crash one
+//!   durable page is destroyed out-of-band (on `--backend file`, the
+//!   page file is unlinked or `truncate(2)`-zeroed behind the
+//!   database's back), and the rebuild from `archive ∥ live` must
+//!   reach state identity with an undamaged probe — sequentially,
+//!   through the on-demand path, and across a second fault injected
+//!   mid-rebuild. The `pit` method audits the archive tier instead:
+//!   it drives `online` (whose checkpoints move the truncated log
+//!   prefix into the archive) and verifies that point-in-time replay
+//!   over `archive ∥ live` reproduces the full durable history and
+//!   the pre-truncation state at the truncation boundary.
 //!   `--capacity 0` means an unbounded buffer
 //!   pool. `--backend file` runs every schedule against the fsync-backed
 //!   file backend in a fresh temporary directory instead of the
@@ -47,7 +53,7 @@
 use std::process::ExitCode;
 
 use redo_checker::beyond::find_beyond_witnesses;
-use redo_checker::crash_audit::{audit, audit_pit, CrashAuditConfig};
+use redo_checker::crash_audit::{audit, audit_media, audit_pit, CrashAuditConfig};
 use redo_checker::exhaustive::explore;
 use redo_checker::theorems::check_history;
 use redo_checker::wg_walk::walk;
@@ -301,6 +307,30 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
         clean &= audit_method(&ParallelPhysiological { threads: 3 }, &cfg);
         clean &= audit_method(&ParallelPhysical { threads: 3 }, &cfg);
         clean &= audit_method(&ParallelOnline { threads: 3 }, &cfg);
+        matched = true;
+    }
+    if all || method == "media" {
+        match audit_media(&cfg) {
+            Ok(r) => println!(
+                "media: OK — {} schedules, {} crashes, {} faults fired, \
+                 {} pages destroyed ({} file deletions, {} file truncations), \
+                 {} rebuilds verified, {} ondemand rebuilds verified, \
+                 {} interrupted rebuilds verified",
+                r.schedules,
+                r.crashes,
+                r.faults_tripped,
+                r.pages_destroyed,
+                r.file_deletions,
+                r.file_truncations,
+                r.rebuilds_verified,
+                r.ondemand_rebuilds_verified,
+                r.interrupted_rebuilds_verified
+            ),
+            Err(e) => {
+                println!("VIOLATION — {e}");
+                clean = false;
+            }
+        }
         matched = true;
     }
     if all || method == "pit" {

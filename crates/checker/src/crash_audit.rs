@@ -284,7 +284,7 @@ fn sample_plan(rng: &mut StdRng, max_at: u64) -> FaultPlan {
 fn shaped_workload(method_name: &str, cfg: &CrashAuditConfig, seed: u64) -> Vec<PageOp> {
     let (cross, blind, multi) = match method_name {
         "physical" | "physical-parallel" => (0.0, 1.0, 0.0),
-        "generalized-lsn" | "generalized-online" | "ondemand" => (0.5, 0.1, 0.2),
+        "generalized-lsn" | "generalized-online" | "ondemand" | "media" => (0.5, 0.1, 0.2),
         "logical" => (0.5, 0.1, 0.0),
         _ => (0.0, 0.2, 0.0),
     };
@@ -485,6 +485,294 @@ fn run_pit_schedule(cfg: &CrashAuditConfig, s: u64, report: &mut PitAuditReport)
         report.truncation_replays_verified += 1;
     }
     report.archived_bytes += db.log.archived_bytes();
+    Ok(())
+}
+
+/// What a media-recovery audit observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MediaAuditReport {
+    /// Schedules driven.
+    pub schedules: u64,
+    /// Crashes injected across all schedules.
+    pub crashes: u64,
+    /// Armed faults that actually fired (workload or interrupted leg).
+    pub faults_tripped: u64,
+    /// Pages destroyed by the media-failure adversary (one per schedule
+    /// whose crashed image had any durable page; zero-page images skip
+    /// the damage legs).
+    pub pages_destroyed: u64,
+    /// Damaged images whose sequential media recovery reached state
+    /// identity with the undamaged probe.
+    pub rebuilds_verified: u64,
+    /// Damaged images whose on-demand restart (lost page gated, image
+    /// installed lazily) reached the same identity, serving every
+    /// durable cell mid-recovery.
+    pub ondemand_rebuilds_verified: u64,
+    /// Damaged images whose rebuild was interrupted by a second armed
+    /// fault, re-crashed, and still converged to the undamaged state —
+    /// the idempotence leg.
+    pub interrupted_rebuilds_verified: u64,
+    /// File-backend schedules that deleted the shard page file outright.
+    pub file_deletions: u64,
+    /// File-backend schedules that truncated the page file out-of-band
+    /// (`truncate(2)` to zero length).
+    pub file_truncations: u64,
+}
+
+/// Drives media recovery through seeded crash schedules: run a
+/// [`Media`](redo_methods::media::Media) workload with chaos,
+/// checkpoints, and an armed fault; crash; then destroy one durable
+/// page **out-of-band** — [`Db::destroy_page`](redo_sim::disk::Disk::destroy_page)
+/// on the memory backend, a deleted or `truncate(2)`-zeroed page file
+/// on the file backend — and demand that media recovery rebuilds the
+/// damaged image to *state identity* with an undamaged probe of the
+/// same crash, through the sequential path, the on-demand path, and
+/// across a second fault injected mid-rebuild.
+///
+/// The Recovery Invariant is checked on the undamaged probe only: a
+/// destroyed page is outside the crash model the invariant assumes
+/// (stable storage is no longer explainable by any installation-graph
+/// prefix); identity with the undamaged recovery is exactly the
+/// obligation that remains.
+///
+/// # Errors
+///
+/// The first schedule on which a rebuild diverged from the undamaged
+/// probe, failed to converge after an interrupted rebuild, or the
+/// substrate refused an operation with no fault armed as an excuse.
+pub fn audit_media(cfg: &CrashAuditConfig) -> Result<MediaAuditReport, CrashAuditFailure> {
+    let mut report = MediaAuditReport::default();
+    for s in 0..cfg.schedules {
+        run_media_schedule(cfg, s, &mut report).map_err(|(phase, failure)| CrashAuditFailure {
+            method: "media",
+            schedule: s,
+            phase,
+            failure,
+        })?;
+        report.schedules += 1;
+    }
+    Ok(report)
+}
+
+fn run_media_schedule(
+    cfg: &CrashAuditConfig,
+    s: u64,
+    report: &mut MediaAuditReport,
+) -> PhaseResult {
+    use redo_methods::media::Media;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let method = Media;
+    let ops = shaped_workload(method.name(), cfg, cfg.seed.wrapping_add(s));
+    let mut db: Db<PageOpPayload> = Db::on_sharded(
+        cfg.backend,
+        Geometry {
+            slots_per_page: cfg.slots_per_page,
+        },
+        cfg.pool_capacity,
+        cfg.log_shards,
+    );
+    let fail = |phase: &'static str, e: HarnessFailure| (phase, e);
+
+    // Run the workload until the armed fault trips (or it ends).
+    db.arm_faults(sample_plan(&mut rng, ops.len() as u64 * 4));
+    let mut committed: Vec<(PageOp, Lsn)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match method.execute(&mut db, op) {
+            Ok(lsn) => committed.push((op.clone(), lsn)),
+            Err(_) if db.fault_tripped() => {}
+            Err(e) => return Err(fail("workload", e.into())),
+        }
+        if let Some((log_p, page_p)) = cfg.chaos {
+            match db.chaos_flush(&mut rng, log_p, page_p) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(fail("workload", e.into())),
+            }
+        }
+        if cfg.checkpoint_every.is_some_and(|k| (i + 1) % k == 0) {
+            match method.checkpoint(&mut db) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(fail("checkpoint", e.into())),
+            }
+        }
+        if db.fault_tripped() {
+            break;
+        }
+    }
+    if db.fault_tripped() {
+        report.faults_tripped += 1;
+    }
+    db.crash();
+    report.crashes += 1;
+    db.repair_after_crash();
+
+    let stable = db.log.stable_lsn();
+    committed.retain(|(_, lsn)| *lsn <= stable);
+    let durable: Vec<PageOp> = committed.iter().map(|(op, _)| op.clone()).collect();
+    let view = view_of(&durable, cfg.slots_per_page);
+    let pre1 = db.stable_theory_state();
+
+    // Undamaged probe: the reference every damaged leg must match. The
+    // invariant and durable-prefix identity are checked here, once.
+    let mut undamaged = db.clone();
+    let stats = method
+        .recover(&mut undamaged)
+        .map_err(|e| fail("undamaged probe", e.into()))?;
+    verify_recovery(&view, &stats, &undamaged.volatile_theory_state(), &pre1, 1)
+        .map_err(|e| fail("undamaged probe", e))?;
+    let reference = undamaged.volatile_theory_state();
+    drop(undamaged);
+
+    // The media-failure adversary destroys one durable page. A crashed
+    // image with no durable pages at all has nothing to destroy — the
+    // undamaged probe above already covered it.
+    let pages = db.disk.pages();
+    if pages.is_empty() {
+        return Ok(());
+    }
+    let victim = pages[rng.gen_range(0..pages.len())].0;
+    let mut damaged = db.clone();
+    drop(db);
+    match cfg.backend {
+        BackendKind::Mem => damaged.disk.destroy_page(victim),
+        BackendKind::File => {
+            // Out-of-band damage on the real files, as a failing medium
+            // would inflict it; the doublewrite journal copy goes too
+            // (a torn-repair path must not mask the loss).
+            let dir = damaged
+                .disk
+                .dir()
+                .expect("file backend has a directory")
+                .to_path_buf();
+            let page_file = dir.join("pages").join(format!("p{}.pg", victim.0));
+            if s.is_multiple_of(2) {
+                std::fs::remove_file(&page_file)
+                    .map_err(|e| fail("damage", HarnessFailure::Io(e.to_string())))?;
+                report.file_deletions += 1;
+            } else {
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&page_file)
+                    .and_then(|f| f.set_len(0))
+                    .map_err(|e| fail("damage", HarnessFailure::Io(e.to_string())))?;
+                report.file_truncations += 1;
+            }
+            let _ = std::fs::remove_file(dir.join("journal").join(format!("p{}.pg", victim.0)));
+        }
+    }
+    // Re-crash so the damage sits in a cold image — on the file backend
+    // this is the rescan that diffs the manifest and marks the loss.
+    damaged.crash();
+    report.crashes += 1;
+    if !damaged.disk.is_lost(victim) {
+        return Err(fail(
+            "damage",
+            HarnessFailure::Invariant {
+                crash: 1,
+                detail: format!("destroyed page {victim:?} was not detected as media loss"),
+            },
+        ));
+    }
+    report.pages_destroyed += 1;
+
+    // Sequential rebuild: state identity with the undamaged probe.
+    let mut probe = damaged.clone();
+    method
+        .recover(&mut probe)
+        .map_err(|e| fail("media rebuild", e.into()))?;
+    if !probe.disk.lost_pages().is_empty() {
+        return Err(fail(
+            "media rebuild",
+            HarnessFailure::Invariant {
+                crash: 1,
+                detail: "recovery completed with pages still lost".into(),
+            },
+        ));
+    }
+    if probe.volatile_theory_state() != reference {
+        return Err(fail(
+            "media rebuild",
+            HarnessFailure::StateMismatch { crash: Some(1) },
+        ));
+    }
+    report.rebuilds_verified += 1;
+    drop(probe);
+
+    // On-demand rebuild: the lost page is a gated page whose residual
+    // chain is its whole archived history; serve every durable cell
+    // mid-recovery and demand the same identity.
+    let probes: Vec<Cell> = durable
+        .iter()
+        .flat_map(|op| op.writes.iter().copied())
+        .collect::<BTreeSet<Cell>>()
+        .into_iter()
+        .collect();
+    let mut od_probe = damaged.clone();
+    if let Some(res) = method.ondemand_restart(&mut od_probe, &probes) {
+        let (_, served) = res.map_err(|e| fail("ondemand rebuild", e.into()))?;
+        if od_probe.volatile_theory_state() != reference {
+            return Err(fail(
+                "ondemand rebuild",
+                HarnessFailure::StateMismatch { crash: Some(1) },
+            ));
+        }
+        for (&cell, &mid) in probes.iter().zip(&served) {
+            let fin = od_probe
+                .read_cell(cell)
+                .map_err(|e| fail("ondemand rebuild", e.into()))?;
+            if mid != fin {
+                return Err(fail(
+                    "ondemand rebuild",
+                    HarnessFailure::Invariant {
+                        crash: 1,
+                        detail: format!(
+                            "cell {cell:?} served {mid} mid-rebuild but holds {fin} after the drain"
+                        ),
+                    },
+                ));
+            }
+        }
+        report.ondemand_rebuilds_verified += 1;
+    }
+    drop(od_probe);
+
+    // Interrupted rebuild: arm a second fault, let recovery die partway
+    // through the install pass (or anywhere else), crash, and demand
+    // the re-run still converges — the rebuild must be idempotent.
+    damaged.arm_faults(sample_plan(&mut rng, 4));
+    match method.recover(&mut damaged) {
+        Ok(_) => {}
+        Err(_) if damaged.fault_tripped() => {}
+        Err(e) => return Err(fail("interrupted rebuild", e.into())),
+    }
+    if damaged.fault_tripped() {
+        report.faults_tripped += 1;
+    }
+    damaged.crash();
+    report.crashes += 1;
+    method
+        .recover(&mut damaged)
+        .map_err(|e| fail("interrupted rebuild", e.into()))?;
+    if damaged.volatile_theory_state() != reference {
+        return Err(fail(
+            "interrupted rebuild",
+            HarnessFailure::StateMismatch { crash: Some(2) },
+        ));
+    }
+    // Idempotence: once more around, nothing may move.
+    damaged.crash();
+    report.crashes += 1;
+    method
+        .recover(&mut damaged)
+        .map_err(|e| fail("interrupted rebuild idempotence", e.into()))?;
+    if damaged.volatile_theory_state() != reference {
+        return Err(fail(
+            "interrupted rebuild idempotence",
+            HarnessFailure::StateMismatch { crash: Some(3) },
+        ));
+    }
+    report.interrupted_rebuilds_verified += 1;
     Ok(())
 }
 
@@ -976,6 +1264,53 @@ mod tests {
         };
         let r = audit_pit(&cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(r.full_replays_verified, 4);
+    }
+
+    #[test]
+    fn media_method_survives_vanilla_crash_audit() {
+        // The media method must first be an ordinary recovery method:
+        // with no destroyed pages its rebuild pass is a no-op and the
+        // standard degradation loop (including the on-demand probe)
+        // must stay clean.
+        let cfg = small();
+        let report = audit(&redo_methods::media::Media, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        assert_eq!(report.ondemand_probes, cfg.schedules);
+    }
+
+    #[test]
+    fn media_audit_rebuilds_destroyed_pages() {
+        let cfg = CrashAuditConfig {
+            schedules: 12,
+            n_ops: 24,
+            log_shards: 4,
+            ..Default::default()
+        };
+        let r = audit_media(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.schedules, 12);
+        assert!(r.pages_destroyed > 0, "no schedule ever lost a page: {r:?}");
+        assert_eq!(r.rebuilds_verified, r.pages_destroyed);
+        assert_eq!(r.ondemand_rebuilds_verified, r.pages_destroyed);
+        assert_eq!(r.interrupted_rebuilds_verified, r.pages_destroyed);
+        assert!(r.faults_tripped > 0, "no fault ever fired: {r:?}");
+    }
+
+    #[test]
+    fn media_audit_on_files_deletes_and_truncates() {
+        // Real files, damaged out-of-band: even schedules unlink the
+        // page file, odd schedules truncate(2) it to zero length.
+        let cfg = CrashAuditConfig {
+            schedules: 8,
+            n_ops: 24,
+            backend: BackendKind::File,
+            log_shards: 2,
+            ..Default::default()
+        };
+        let r = audit_media(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert!(r.file_deletions > 0, "{r:?}");
+        assert!(r.file_truncations > 0, "{r:?}");
+        assert_eq!(r.rebuilds_verified, r.pages_destroyed);
+        assert_eq!(r.interrupted_rebuilds_verified, r.pages_destroyed);
     }
 
     #[test]

@@ -143,6 +143,9 @@ pub enum HarnessFailure {
         /// Which crash (1-based), or `None` for the end-of-run check.
         crash: Option<u64>,
     },
+    /// The harness itself failed an out-of-band I/O step (e.g. the media
+    /// auditor deleting a page file behind the database's back).
+    Io(String),
 }
 
 impl fmt::Display for HarnessFailure {
@@ -158,6 +161,7 @@ impl fmt::Display for HarnessFailure {
             HarnessFailure::StateMismatch { crash: None } => {
                 write!(f, "final state mismatches surviving operations")
             }
+            HarnessFailure::Io(detail) => write!(f, "harness i/o failed: {detail}"),
         }
     }
 }

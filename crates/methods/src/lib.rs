@@ -30,6 +30,10 @@
 //!   of the stable log below the checkpoint's redo-start. The
 //!   [`concurrent`] substrate runs the same discipline as a background
 //!   checkpoint daemon.
+//! * [`media`] — media recovery over the archive tier: a destroyed page
+//!   file is rebuilt by replaying `archive ∥ live` from genesis into a
+//!   scratch image (with a transitive closure guarding generalized
+//!   cross-page reads), then ordinary redo finishes the restart.
 //!
 //! Every method implements [`RecoveryMethod`]; the [`harness`] module
 //! runs workloads against a method with randomized cache flushes,
@@ -50,6 +54,7 @@ pub mod fuzzy;
 pub mod generalized;
 pub mod harness;
 pub mod logical;
+pub mod media;
 pub mod ondemand;
 pub mod online;
 pub mod oprecord;

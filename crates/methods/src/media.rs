@@ -1,0 +1,506 @@
+//! Media recovery: rebuild pages lost to media failure from
+//! `archive ∥ live` plus the last checkpoint image.
+//!
+//! The crash model so far assumed the page files survive every failure
+//! — only *volatile* state and in-flight transfers were at risk. Media
+//! failure breaks that assumption: a page's durable copy is destroyed
+//! outright ([`redo_sim::disk::Disk::destroy_page`], or a page file
+//! deleted out-of-band), and reads answer
+//! [`SimError::MediaLoss`](redo_sim::SimError::MediaLoss) instead of
+//! data. No page-LSN redo test can help — there is no page to test.
+//!
+//! What makes the loss recoverable is the archive tier
+//! ([`redo_sim::wal::ShardedLog::archive_prefix`] moves drained frames,
+//! it never destroys them): per shard, `archive ∥ live` is the complete
+//! frame history from LSN 1, and
+//! [`ShardedLog::pit_records`](redo_sim::wal::ShardedLog::pit_records)
+//! merges it in LSN order. Replaying that merged history *from genesis*
+//! into a scratch map reproduces every page's exact content at the
+//! stable LSN — the paper's installation-graph reading: the full stable
+//! log is an installation sequence for the maximal explainable state,
+//! so a fresh replay of all of it lands every page at its final
+//! position. The rebuild then installs the scratch images for the lost
+//! pages.
+//!
+//! Installing a *final* image for page `x` is ahead of where the redo
+//! scan may need `x` mid-replay: a generalized operation `O` that read
+//! `x` and wrote `y` replays against the recovery cache's fetch of `x`,
+//! and if `y` is stale the fetch must see `x` as of `O`'s LSN, not the
+//! final value. The fix is the **transitive closure**: any operation
+//! whose read-or-write footprint meets the rebuild set has its stale
+//! written pages pulled in too (whole write sets at a time, preserving
+//! install-atomicity), to fixpoint. Every record touching the closure is
+//! then *skipped* by the redo test — its written pages already carry
+//! their final images — so no replay ever reads a rebuilt page at the
+//! wrong moment. Closure images are exact, so over-approximating is
+//! always sound.
+//!
+//! Crash-safety: each image lands through the ordinary faultable
+//! [`Disk::write_page`](redo_sim::disk::Disk::write_page). A crash
+//! mid-rebuild leaves the uninstalled pages still marked lost — the
+//! mark is durable media state — and the next recovery recomputes the
+//! same images and finishes the job: the rebuild is idempotent.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use redo_sim::db::Db;
+use redo_sim::page::Page;
+use redo_sim::SimResult;
+use redo_theory::log::Lsn;
+use redo_workload::pages::{PageId, PageOp};
+
+use crate::generalized::Generalized;
+use crate::ondemand::OnDemand;
+use crate::online::GeneralizedOnline;
+use crate::oprecord::PageOpPayload;
+use crate::{RecoveryMethod, RecoveryStats};
+
+/// Generalized-LSN recovery (online fuzzy checkpoints, archive-tier
+/// truncation) that additionally survives **media failure**: restart
+/// detects destroyed page files and rebuilds them from
+/// `archive ∥ live` before running the ordinary redo scan.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Media;
+
+/// Replays the full merged history `records` from genesis into a
+/// scratch page map: reads come from the scratch pages themselves,
+/// writes land with the record's LSN. On return every written page
+/// holds its exact content as of the last record — for
+/// `pit_records(stable)` input, its content at the stable LSN.
+fn scratch_replay(records: &[(Lsn, PageOp)], slots_per_page: u16) -> BTreeMap<PageId, Page> {
+    let mut scratch: BTreeMap<PageId, Page> = BTreeMap::new();
+    for (lsn, op) in records {
+        let read_values: Vec<u64> = op
+            .reads
+            .iter()
+            .map(|cell| {
+                scratch
+                    .get(&cell.page)
+                    .map_or(0, |page| page.get(cell.slot))
+            })
+            .collect();
+        for &cell in &op.writes {
+            let v = op.output(cell, &read_values);
+            let page = scratch
+                .entry(cell.page)
+                .or_insert_with(|| Page::new(slots_per_page));
+            page.set(cell.slot, v);
+            page.set_lsn(*lsn);
+        }
+    }
+    scratch
+}
+
+/// Computes the rebuild plan for the database's media-lost pages: the
+/// transitive closure of the lost set under shared-record footprints,
+/// mapped to the exact page images a genesis replay of
+/// `pit_records(stable)` produces. Empty when nothing is lost.
+///
+/// The closure rule: any operation whose read-or-write footprint meets
+/// the set contributes every written page the disk has not installed
+/// (`page_lsn < record LSN`) — whole write sets at a time, so a
+/// part-installed atomic group can never result from the rebuild — to
+/// fixpoint. A lost page with no logged history maps to a freshly
+/// formatted page: installing it is what clears the loss honestly.
+///
+/// Pure analysis: nothing is written. Run it after
+/// [`Db::repair_after_crash`] so torn pages have been restored to their
+/// journaled pre-images and `page_lsn` answers from honest content.
+///
+/// # Errors
+///
+/// Log or archive corruption while merging `archive ∥ live`.
+pub fn rebuild_images(db: &Db<PageOpPayload>) -> SimResult<BTreeMap<PageId, Page>> {
+    let lost = db.disk.lost_pages();
+    if lost.is_empty() {
+        return Ok(BTreeMap::new());
+    }
+    let stable = db.log.stable_lsn();
+    let records: Vec<(Lsn, PageOp)> = db
+        .log
+        .pit_records(stable)?
+        .into_iter()
+        .filter_map(|rec| match rec.payload {
+            PageOpPayload::Op(op) => Some((rec.lsn, op)),
+            PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+        })
+        .collect();
+    let scratch = scratch_replay(&records, db.geometry.slots_per_page);
+    let mut closure: BTreeSet<PageId> = lost.into_iter().collect();
+    loop {
+        let mut grew = false;
+        for (lsn, op) in &records {
+            let written = op.written_pages();
+            let touches = op
+                .read_pages()
+                .into_iter()
+                .chain(written.iter().copied())
+                .any(|p| closure.contains(&p));
+            if !touches {
+                continue;
+            }
+            for &w in &written {
+                if !closure.contains(&w) && db.disk.page_lsn(w) < *lsn {
+                    closure.insert(w);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    Ok(closure
+        .into_iter()
+        .map(|id| {
+            let image = scratch
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| Page::new(db.geometry.slots_per_page));
+            (id, image)
+        })
+        .collect())
+}
+
+/// Installs rebuild images, skipping pages the disk already carries at
+/// (or past) the image's LSN — the idempotence that makes a re-run
+/// after a crash mid-rebuild finish cleanly. Returns the pages written.
+///
+/// Every install is an ordinary faultable page write: an armed fault
+/// may suppress or tear it, leaving the page lost (torn transfers onto
+/// destroyed media land nothing), to be re-detected and re-installed by
+/// the next recovery.
+pub fn install_images(db: &mut Db<PageOpPayload>, images: &BTreeMap<PageId, Page>) -> Vec<PageId> {
+    let mut written = Vec::new();
+    for (&id, image) in images {
+        if db.disk.is_lost(id) || db.disk.page_lsn(id) < image.lsn() {
+            db.disk.write_page(id, image.clone());
+            written.push(id);
+        }
+    }
+    written
+}
+
+impl RecoveryMethod for Media {
+    type Payload = PageOpPayload;
+
+    fn name(&self) -> &'static str {
+        "media"
+    }
+
+    fn execute(&self, db: &mut Db<PageOpPayload>, op: &PageOp) -> SimResult<Lsn> {
+        Generalized.execute(db, op)
+    }
+
+    fn checkpoint(&self, db: &mut Db<PageOpPayload>) -> SimResult<()> {
+        GeneralizedOnline::checkpoint_online(db).map(|_| ())
+    }
+
+    fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        // Repair first: the rebuild closure consults page LSNs, which
+        // must answer from honest (un-torn) durable content.
+        db.repair_after_crash();
+        let images = rebuild_images(db)?;
+        install_images(db, &images);
+        // If a fault interrupted the install pass, some page is still
+        // lost; the redo scan's first fetch of it surfaces MediaLoss,
+        // and the next recovery of the re-crashed image starts over.
+        Generalized.recover(db)
+    }
+
+    fn ondemand_restart(
+        &self,
+        db: &mut Db<PageOpPayload>,
+        probes: &[redo_workload::pages::Cell],
+    ) -> Option<SimResult<(RecoveryStats, Vec<u64>)>> {
+        // The on-demand open gates media-lost pages and installs their
+        // rebuild images lazily, component by component.
+        Some(OnDemand::restart_with_probes(db, probes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use redo_sim::db::Geometry;
+    use redo_workload::pages::{Cell, PageWorkloadSpec};
+
+    fn workload(n: usize, seed: u64) -> Vec<PageOp> {
+        PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 6,
+            cross_page_fraction: 0.4,
+            multi_page_fraction: 0.2,
+            blind_fraction: 0.1,
+            ..Default::default()
+        }
+        .generate(seed)
+    }
+
+    fn model(ops: &[PageOp]) -> BTreeMap<Cell, u64> {
+        let mut cells = BTreeMap::new();
+        for op in ops {
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
+            for &w in &op.writes {
+                cells.insert(w, op.output(w, &reads));
+            }
+        }
+        cells
+    }
+
+    fn crashed_db(ops: &[PageOp], seed: u64) -> Db<PageOpPayload> {
+        let mut db = Db::new(Geometry::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, op) in ops.iter().enumerate() {
+            Media.execute(&mut db, op).unwrap();
+            db.chaos_flush(&mut rng, 0.7, 0.4).unwrap();
+            if (i + 1) % 9 == 0 {
+                Media.checkpoint(&mut db).unwrap();
+            }
+        }
+        db.log.flush_all();
+        db.crash();
+        db
+    }
+
+    #[test]
+    fn lost_page_rebuilds_to_the_undamaged_recovery_state() {
+        for seed in 0..4 {
+            let ops = workload(36, seed);
+            let db = crashed_db(&ops, seed ^ 0xdead);
+            let mut undamaged = db.clone();
+            Generalized.recover(&mut undamaged).unwrap();
+            for victim in db.disk.pages().into_iter().map(|(id, _)| id) {
+                let mut damaged = db.clone();
+                damaged.disk.destroy_page(victim);
+                // Re-crash so the damage sits in a cold image, exactly
+                // as restart would find it.
+                damaged.crash();
+                Media.recover(&mut damaged).unwrap();
+                assert!(!damaged.disk.is_lost(victim));
+                assert_eq!(
+                    damaged.volatile_theory_state(),
+                    undamaged.volatile_theory_state(),
+                    "seed {seed}, victim {victim:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_image_equals_genesis_scratch_replay() {
+        let ops = workload(40, 11);
+        let mut db = crashed_db(&ops, 0xfeed);
+        db.repair_after_crash();
+        let stable = db.log.stable_lsn();
+        let merged: Vec<(Lsn, PageOp)> = db
+            .log
+            .pit_records(stable)
+            .unwrap()
+            .into_iter()
+            .filter_map(|rec| match rec.payload {
+                PageOpPayload::Op(op) => Some((rec.lsn, op)),
+                _ => None,
+            })
+            .collect();
+        let scratch = scratch_replay(&merged, db.geometry.slots_per_page);
+        for (victim, _) in db.disk.pages() {
+            let mut damaged = db.clone();
+            damaged.disk.destroy_page(victim);
+            let images = rebuild_images(&damaged).unwrap();
+            assert_eq!(
+                images.get(&victim),
+                scratch.get(&victim),
+                "rebuild of {victim:?} must be the genesis replay image"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_without_loss_is_empty_and_writes_nothing() {
+        let ops = workload(20, 3);
+        let mut db = crashed_db(&ops, 0xabc);
+        db.repair_after_crash();
+        let images = rebuild_images(&db).unwrap();
+        assert!(images.is_empty());
+        assert!(install_images(&mut db, &images).is_empty());
+    }
+
+    #[test]
+    fn crash_mid_rebuild_is_idempotent() {
+        use redo_sim::fault::{FaultKind, FaultPlan};
+        let ops = workload(36, 21);
+        let db = crashed_db(&ops, 0x21);
+        let mut undamaged = db.clone();
+        Generalized.recover(&mut undamaged).unwrap();
+        let mut damaged = db.clone();
+        // Destroy two pages so the install pass has at least two writes
+        // to interrupt between.
+        let victims: Vec<PageId> = damaged
+            .disk
+            .pages()
+            .into_iter()
+            .map(|(id, _)| id)
+            .take(2)
+            .collect();
+        assert_eq!(victims.len(), 2, "workload touches at least two pages");
+        for &v in &victims {
+            damaged.disk.destroy_page(v);
+        }
+        damaged.crash();
+        // The first page write of the recovery is the first rebuild
+        // install; suppress it, killing the machine mid-rebuild.
+        damaged.arm_faults(FaultPlan {
+            at: 1,
+            kind: FaultKind::Clean,
+        });
+        let interrupted = Media.recover(&mut damaged);
+        assert!(damaged.fault_tripped(), "the install must hit the fault");
+        // Whether the scan limped to an error or not, at least one
+        // victim is still lost — the suppressed install left its mark.
+        assert!(
+            interrupted.is_err() || !damaged.disk.lost_pages().is_empty(),
+            "a suppressed install cannot count as rebuilt"
+        );
+        damaged.crash();
+        assert!(
+            !damaged.disk.lost_pages().is_empty(),
+            "media loss survives the re-crash"
+        );
+        Media.recover(&mut damaged).unwrap();
+        assert!(damaged.disk.lost_pages().is_empty());
+        assert_eq!(
+            damaged.volatile_theory_state(),
+            undamaged.volatile_theory_state(),
+            "the re-run rebuild converges"
+        );
+        for (c, v) in model(&ops) {
+            assert_eq!(damaged.read_cell(c).unwrap(), v, "cell {c:?}");
+        }
+    }
+
+    #[test]
+    fn closure_pulls_in_readers_of_lost_pages() {
+        use redo_workload::pages::{PageOpKind, SlotId};
+        // O1 seeds x; O2 reads x, writes y (generalized); crash with y
+        // never flushed, then destroy x. The rebuild must install BOTH:
+        // x because it is lost, y because replaying O2 against x's
+        // final image would read the wrong moment.
+        let x = Cell {
+            page: PageId(0),
+            slot: SlotId(0),
+        };
+        let y = Cell {
+            page: PageId(1),
+            slot: SlotId(0),
+        };
+        let o1 = PageOp {
+            id: 0,
+            kind: PageOpKind::Blind,
+            reads: vec![],
+            writes: vec![x],
+            f_seed: 1,
+        };
+        let o2 = PageOp {
+            id: 1,
+            kind: PageOpKind::Generalized,
+            reads: vec![x],
+            writes: vec![y],
+            f_seed: 2,
+        };
+        // O3 overwrites x AFTER O2 — the reason x's final image is the
+        // wrong thing for O2's replay to read.
+        let o3 = PageOp {
+            id: 2,
+            kind: PageOpKind::Physiological,
+            reads: vec![x],
+            writes: vec![x],
+            f_seed: 3,
+        };
+        let ops = [o1, o2, o3];
+        let mut db: Db<PageOpPayload> = Db::new(Geometry::default());
+        // x durable at O1 only; y (and x's O3 overwrite) never flushed.
+        Media.execute(&mut db, &ops[0]).unwrap();
+        db.log.flush_all();
+        db.pool
+            .flush_page(&mut db.disk, PageId(0), db.log.stable_lsn())
+            .unwrap();
+        Media.execute(&mut db, &ops[1]).unwrap();
+        Media.execute(&mut db, &ops[2]).unwrap();
+        db.log.flush_all();
+        db.crash();
+        let mut undamaged = db.clone();
+        Generalized.recover(&mut undamaged).unwrap();
+        let mut damaged = db.clone();
+        damaged.disk.destroy_page(PageId(0));
+        damaged.crash();
+        damaged.repair_after_crash();
+        let images = rebuild_images(&damaged).unwrap();
+        assert!(images.contains_key(&PageId(0)), "the lost page itself");
+        assert!(
+            images.contains_key(&PageId(1)),
+            "the stale reader's write page joins the closure: replaying \
+             O2 against x's final image would read the wrong moment"
+        );
+        Media.recover(&mut damaged).unwrap();
+        assert_eq!(
+            damaged.volatile_theory_state(),
+            undamaged.volatile_theory_state()
+        );
+        for (c, v) in model(&ops) {
+            assert_eq!(damaged.read_cell(c).unwrap(), v, "cell {c:?}");
+        }
+    }
+
+    #[test]
+    fn media_recovery_on_file_backend_survives_deleted_page_file() {
+        let ops = workload(32, 5);
+        let mut db: Db<PageOpPayload> = Db::on(
+            redo_sim::backend::BackendKind::File,
+            Geometry::default(),
+            None,
+        );
+        let mut rng = StdRng::seed_from_u64(0x5);
+        for (i, op) in ops.iter().enumerate() {
+            Media.execute(&mut db, op).unwrap();
+            db.chaos_flush(&mut rng, 0.7, 0.4).unwrap();
+            if (i + 1) % 9 == 0 {
+                Media.checkpoint(&mut db).unwrap();
+            }
+        }
+        db.log.flush_all();
+        db.crash();
+        let mut undamaged = db.clone();
+        Generalized.recover(&mut undamaged).unwrap();
+        let victim = db
+            .disk
+            .pages()
+            .first()
+            .map(|&(id, _)| id)
+            .expect("workload installed pages");
+        // Delete the page file out-of-band, as a real media failure
+        // would, and let crash-rescan detect the manifested-but-missing
+        // file.
+        let path = db
+            .disk
+            .dir()
+            .expect("file backend has a directory")
+            .join("pages")
+            .join(format!("p{}.pg", victim.0));
+        std::fs::remove_file(&path).unwrap();
+        db.crash();
+        assert!(db.disk.is_lost(victim), "rescan detects the missing file");
+        Media.recover(&mut db).unwrap();
+        assert!(!db.disk.is_lost(victim));
+        assert_eq!(
+            db.volatile_theory_state(),
+            undamaged.volatile_theory_state()
+        );
+    }
+}

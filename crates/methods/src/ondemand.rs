@@ -33,6 +33,12 @@
 //! gate closed, and the next recovery starts from the repaired image
 //! as if this one had never run.
 //!
+//! Media-lost pages ([`redo_sim::SimError::MediaLoss`]) ride the same
+//! machinery: a lost page is gated unconditionally — its residual
+//! chain is its *entire* history, starting at LSN 1 in the archive —
+//! and serving its component first installs the precomputed
+//! [`media::rebuild_images`] image, then replays normally.
+//!
 //! Recovery terminates even without reads: a sweeper drains the
 //! remaining gates ([`OnDemandRestart::sweep_one`]), and
 //! [`OnDemand::recover`] is exactly open-then-drain, which is how the
@@ -47,7 +53,11 @@ use redo_sim::SimResult;
 use redo_theory::log::Lsn;
 use redo_workload::pages::{Cell, PageId, PageOp};
 
+use redo_sim::page::Page;
+use redo_sim::SimError;
+
 use crate::generalized::{register_constraints, would_cycle, Generalized, RestartAnalysis};
+use crate::media;
 use crate::online::GeneralizedOnline;
 use crate::oprecord::PageOpPayload;
 use crate::{RecoveryMethod, RecoveryStats};
@@ -83,6 +93,12 @@ pub struct OnDemandRestart {
     members: Vec<BTreeSet<PageId>>,
     /// Component → its record LSNs, ascending.
     record_sets: Vec<Vec<Lsn>>,
+    /// Media-rebuild images ([`media::rebuild_images`]) for pages lost
+    /// to media failure, plus their transitive closure. A media-lost
+    /// page is a gated page whose residual chain is its *entire*
+    /// history, starting at LSN 1 in the archive — realized as one
+    /// precomputed image installed when its component is served.
+    media_images: BTreeMap<PageId, Page>,
 }
 
 impl OnDemand {
@@ -122,6 +138,15 @@ impl OnDemand {
             if needs_redo {
                 gates.insert(page);
             }
+        }
+        // Media-lost pages are gated unconditionally — a lost page is
+        // the extreme of "needs redo": its residual chain is its whole
+        // archived history, collapsed into the rebuild image. The
+        // closure pages come along so replayed cross-page reads never
+        // observe a rebuilt (final) image at the wrong moment.
+        let media_images = media::rebuild_images(db)?;
+        for &page in media_images.keys() {
+            gates.insert(page);
         }
         // Decode the residual records chain-directed: every gated
         // page's uninstalled chain entries, each record once.
@@ -201,6 +226,7 @@ impl OnDemand {
             component_of,
             members,
             record_sets,
+            media_images,
         })
     }
 
@@ -279,6 +305,25 @@ impl OnDemandRestart {
             .iter()
             .map(|lsn| (*lsn, self.records[lsn].clone()))
             .collect();
+        // Phase 1.5: media rebuild. Install the archive-derived images
+        // for the component's lost (and closure) pages before any redo
+        // test fetches them — each install is an ordinary faultable
+        // page write, idempotently skipped once the disk carries the
+        // image. A suppressed or torn install leaves the page lost;
+        // refuse to open the gates over it, exactly as a mid-replay
+        // error would.
+        for &p in &component {
+            if let Some(image) = self.media_images.get(&p) {
+                if db.disk.is_lost(p) || db.disk.page_lsn(p) < image.lsn() {
+                    db.disk.write_page(p, image.clone());
+                }
+            }
+        }
+        for &p in &component {
+            if db.disk.is_lost(p) {
+                return Err(SimError::MediaLoss(p));
+            }
+        }
         // Phase 2: replay the merged chains in global LSN order under
         // the same redo test, constraints, and cycle pre-resolution as
         // the sequential scan.
@@ -625,6 +670,47 @@ mod tests {
         );
         for (c, v) in model(&ops) {
             assert_eq!(lazy.read_cell(c).unwrap(), v, "cell {c:?}");
+        }
+    }
+
+    #[test]
+    fn media_lost_page_is_gated_and_served_from_its_rebuild_image() {
+        for seed in 0..3 {
+            let ops = workload(32, 60 + seed);
+            let db = crashed_db(&ops, seed ^ 0xcafe);
+            let mut undamaged = db.clone();
+            Generalized.recover(&mut undamaged).unwrap();
+            let victim = db
+                .disk
+                .pages()
+                .first()
+                .map(|&(id, _)| id)
+                .expect("chaos installed pages");
+            let mut damaged = db.clone();
+            damaged.disk.destroy_page(victim);
+            damaged.crash();
+            let mut restart = OnDemand::open(&mut damaged).unwrap();
+            assert!(
+                restart.is_gated(victim),
+                "a media-lost page must be gated at open"
+            );
+            // Serve the lost page mid-recovery: the read installs the
+            // rebuild image and answers with the final value.
+            let expect = model(&ops);
+            for (&cell, &v) in expect.iter().filter(|(c, _)| c.page == victim) {
+                assert_eq!(
+                    restart.read_cell(&mut damaged, cell).unwrap(),
+                    v,
+                    "cell {cell:?}"
+                );
+            }
+            assert!(!damaged.disk.is_lost(victim), "serving rebuilds the page");
+            restart.finish(&mut damaged).unwrap();
+            assert_eq!(
+                damaged.volatile_theory_state(),
+                undamaged.volatile_theory_state(),
+                "seed {seed}"
+            );
         }
     }
 

@@ -11,6 +11,8 @@
 //! master.tmp        in-flight master write (debris if crashed)
 //! intent.bin        committed intentions list (replayed on reopen)
 //! intent.tmp        in-flight intentions list (debris if crashed)
+//! manifest.bin      ids of every page ever installed:  n u32 | ids | crc
+//! manifest.tmp      in-flight manifest write (debris if crashed)
 //! wal.log           the log backend's frame stream (its own directory)
 //! ```
 //!
@@ -36,6 +38,16 @@
 //! them and rebuilds everything from the files, so out-of-band damage
 //! inflicted by tests (truncating `wal.log`, flipping a bit in a page
 //! file) is observed exactly as a reopening process would observe it.
+//!
+//! **Media loss** is detected by diffing the durable page manifest
+//! against the files the rescan actually finds: a manifested page whose
+//! file vanished — or turned structurally unreadable with no journaled
+//! pre-image to fall back on — is *lost*, not torn. Lost pages read as
+//! [`SimError::MediaLoss`] until a rebuild (replaying `archive ∥ live`
+//! from the last checkpoint image) writes a fresh copy. The manifest is
+//! written page-file-first: a crash between installing a new page file
+//! and manifesting it leaves an unmanifested file, which the rescan
+//! unions back into the manifest — never a spurious loss.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{self, File, OpenOptions};
@@ -54,6 +66,10 @@ use super::{crc32, Crc32, LogBackend, StorageBackend, TempDir};
 /// Bytes of a page-file header: lsn u64 | slots u16 | crc u32.
 const PAGE_HEADER: usize = 14;
 
+/// Aborts on a host-filesystem *write* failure (disk full, permissions)
+/// — outside the simulated fault model. Open/read failures on page and
+/// archive files must NOT come here: they are media loss, a recoverable
+/// [`SimError::MediaLoss`] condition handled by the rescan paths.
 fn die(what: &str, path: &Path, err: std::io::Error) -> ! {
     panic!("{what} {}: {err}", path.display());
 }
@@ -151,6 +167,12 @@ pub struct FileStorage {
     staging: BTreeMap<PageId, Page>,
     torn: BTreeSet<PageId>,
     master_lsn: Lsn,
+    /// Every page id ever durably installed — mirror of `manifest.bin`.
+    /// The reference the rescan diffs the surviving files against.
+    manifest: BTreeSet<PageId>,
+    /// Manifested pages whose file the last rescan could not read (or
+    /// read as garbage with no journaled pre-image): media loss.
+    lost: BTreeSet<PageId>,
 }
 
 impl FileStorage {
@@ -168,6 +190,8 @@ impl FileStorage {
             staging: BTreeMap::new(),
             torn: BTreeSet::new(),
             master_lsn: Lsn::ZERO,
+            manifest: BTreeSet::new(),
+            lost: BTreeSet::new(),
         }
     }
 
@@ -195,12 +219,70 @@ impl FileStorage {
         self.dir.path().join("master.bin")
     }
 
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.path().join("manifest.bin")
+    }
+
+    /// Publishes the manifest mirror: n u32 | n × id u32 | crc u32.
+    fn publish_manifest(&self) {
+        let mut bytes = Vec::with_capacity(8 + self.manifest.len() * 4);
+        bytes.extend_from_slice(&(self.manifest.len() as u32).to_le_bytes());
+        for id in &self.manifest {
+            bytes.extend_from_slice(&id.0.to_le_bytes());
+        }
+        bytes.extend_from_slice(&crc32(&bytes[..]).to_le_bytes());
+        publish_durable(
+            &self.manifest_path(),
+            &self.dir.path().join("manifest.tmp"),
+            &bytes,
+        );
+    }
+
+    /// Loads the manifest mirror. Missing or corrupt reads as empty —
+    /// the rescan then re-derives it from the surviving files, which
+    /// can under-detect loss but never fabricates pages.
+    fn load_manifest(&mut self) {
+        self.manifest = fs::read(self.manifest_path())
+            .ok()
+            .and_then(|bytes| {
+                if bytes.len() < 8 {
+                    return None;
+                }
+                let (body, tail) = bytes.split_at(bytes.len() - 4);
+                if crc32(body) != u32::from_le_bytes(tail.try_into().ok()?) {
+                    return None;
+                }
+                let n = u32::from_le_bytes(body[..4].try_into().ok()?) as usize;
+                if body.len() != 4 + n * 4 {
+                    return None;
+                }
+                Some(
+                    body[4..]
+                        .chunks_exact(4)
+                        .map(|c| PageId(u32::from_le_bytes(c.try_into().expect("4-byte chunk"))))
+                        .collect(),
+                )
+            })
+            .unwrap_or_default();
+    }
+
+    /// Adds `id` to the durable manifest if new. Called *after* the page
+    /// file itself lands, so a crash in between leaves an unmanifested
+    /// file (unioned back in by the rescan), never a manifested hole.
+    fn manifest_page(&mut self, id: PageId) {
+        if self.manifest.insert(id) {
+            self.publish_manifest();
+        }
+    }
+
     /// Installs one page file durably and updates the mirror. A full,
-    /// checksummed write supersedes any torn state and its journal
-    /// pre-image.
+    /// checksummed write supersedes any torn state, its journal
+    /// pre-image, and any media-lost mark.
     fn install_page(&mut self, id: PageId, page: Page) {
         write_durable(&self.page_path(id), &encode_page(&page));
+        self.manifest_page(id);
         self.torn.remove(&id);
+        self.lost.remove(&id);
         let _ = fs::remove_file(self.journal_path(id));
         self.current.insert(id, page);
     }
@@ -308,39 +390,71 @@ impl FileStorage {
             .unwrap_or(Lsn::ZERO);
     }
 
-    /// Rebuilds the page mirror and torn set by scanning and
+    /// Rebuilds the page mirror, torn set, and lost set by scanning and
     /// checksumming every page file — what a reopening process learns
-    /// from the medium.
+    /// from the medium. Pages the manifest promises but the scan cannot
+    /// find (or cannot read, with no journaled pre-image) are media
+    /// loss, not torn damage: nothing on the medium can restore them.
     fn rescan_pages(&mut self) {
         self.current.clear();
         self.torn.clear();
+        self.lost.clear();
         let dir = self.pages_dir();
-        let entries = fs::read_dir(&dir).unwrap_or_else(|e| die("listing", &dir, e));
-        for entry in entries.flatten() {
-            let Some(id) = entry.file_name().to_str().and_then(parse_page_file_name) else {
-                continue;
-            };
-            match fs::read(entry.path()).ok().as_deref().and_then(decode_page) {
-                Some((page, true)) => {
-                    self.current.insert(id, page);
-                }
-                Some((page, false)) => {
-                    self.current.insert(id, page);
-                    self.torn.insert(id);
-                }
-                // Structurally destroyed: the content is unreadable
-                // garbage; flag it torn and let raw reads see a zeroed
-                // page.
-                None => {
-                    self.torn.insert(id);
+        let mut found = BTreeSet::new();
+        // A listing failure means the pages directory itself vanished:
+        // every manifested page is lost, but the process survives.
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let Some(id) = entry.file_name().to_str().and_then(parse_page_file_name) else {
+                    continue;
+                };
+                found.insert(id);
+                match fs::read(entry.path()).ok().as_deref().and_then(decode_page) {
+                    Some((page, true)) => {
+                        self.current.insert(id, page);
+                    }
+                    Some((page, false)) => {
+                        self.current.insert(id, page);
+                        self.torn.insert(id);
+                    }
+                    // Structurally destroyed. A journaled pre-image
+                    // downgrades this to torn (repairable); without one
+                    // the content is unrecoverable from this medium.
+                    None => {
+                        let journaled = fs::read(self.journal_path(id))
+                            .ok()
+                            .as_deref()
+                            .and_then(decode_page)
+                            .is_some_and(|(_, ok)| ok);
+                        if journaled {
+                            self.torn.insert(id);
+                        } else {
+                            self.lost.insert(id);
+                        }
+                    }
                 }
             }
+        }
+        for &id in &self.manifest {
+            if !found.contains(&id) {
+                self.lost.insert(id);
+            }
+        }
+        // Unmanifested survivors (a crash between page install and
+        // manifest publication) are unioned back in.
+        let before = self.manifest.len();
+        self.manifest.extend(found);
+        if self.manifest.len() != before {
+            self.publish_manifest();
         }
     }
 }
 
 impl StorageBackend for FileStorage {
     fn read_page(&self, id: PageId, slots_per_page: u16) -> SimResult<Page> {
+        if self.lost.contains(&id) {
+            return Err(SimError::MediaLoss(id));
+        }
         if self.torn.contains(&id) {
             return Err(SimError::TornPage(id));
         }
@@ -367,6 +481,13 @@ impl StorageBackend for FileStorage {
         if spp < 2 {
             return false;
         }
+        if self.lost.contains(&id) {
+            // A torn transfer onto destroyed media leaves no file: there
+            // is no honest pre-image to journal (the real one is gone),
+            // and landing a partial image would mask the loss — the
+            // rebuild's idempotence depends on re-detecting it.
+            return false;
+        }
         let k = sectors.clamp(1, spp - 1);
         let old = self.raw_page(id, spp);
         // Doublewrite: journal the pre-image before touching the page
@@ -391,6 +512,7 @@ impl StorageBackend for FileStorage {
             }
         }
         write_durable(&self.page_path(id), &bytes);
+        self.manifest_page(id);
         self.torn.insert(id);
         self.current.insert(id, torn);
         true
@@ -508,6 +630,27 @@ impl StorageBackend for FileStorage {
         torn.into_iter().collect()
     }
 
+    fn destroy_page(&mut self, id: PageId) {
+        // The media-failure adversary: page file and journal pre-image
+        // both gone. The manifest still promises the page, so a rescan
+        // re-detects the loss — the mark is durable by construction.
+        let _ = fs::remove_file(self.page_path(id));
+        let _ = fs::remove_file(self.journal_path(id));
+        self.current.remove(&id);
+        self.torn.remove(&id);
+        if self.manifest.contains(&id) {
+            self.lost.insert(id);
+        }
+    }
+
+    fn lost_pages(&self) -> Vec<PageId> {
+        self.lost.iter().copied().collect()
+    }
+
+    fn is_lost(&self, id: PageId) -> bool {
+        self.lost.contains(&id)
+    }
+
     fn crash(&mut self) {
         // 1. Volatile debris: the staging area and any in-flight temp
         //    files die with the process.
@@ -515,6 +658,7 @@ impl StorageBackend for FileStorage {
         self.staging.clear();
         let _ = fs::remove_file(self.dir.path().join("intent.tmp"));
         let _ = fs::remove_file(self.dir.path().join("master.tmp"));
+        let _ = fs::remove_file(self.dir.path().join("manifest.tmp"));
         // 2. A committed intentions list (renamed before the crash) is
         //    replayed idempotently: its pages and master land now.
         let intent = self.dir.path().join("intent.bin");
@@ -537,8 +681,10 @@ impl StorageBackend for FileStorage {
             );
         }
         let _ = fs::remove_file(&intent);
-        // 3. Everything else is relearned from the files.
+        // 3. Everything else is relearned from the files: the manifest
+        //    first, so the rescan can diff it against what survived.
         self.load_master();
+        self.load_manifest();
         self.rescan_pages();
     }
 
@@ -562,6 +708,8 @@ impl StorageBackend for FileStorage {
             staging: self.staging.clone(),
             torn: self.torn.clone(),
             master_lsn: self.master_lsn,
+            manifest: self.manifest.clone(),
+            lost: self.lost.clone(),
         })
     }
 }
@@ -659,8 +807,11 @@ impl LogBackend for FileLog {
     fn crash(&mut self) {
         // Reopen from the medium: whatever reached (or was stripped
         // from) the file — including out-of-band damage inflicted by
-        // tests — is the only surviving truth.
-        self.mirror = fs::read(&self.path).unwrap_or_else(|e| die("reading", &self.path, e));
+        // tests — is the only surviving truth. A file that vanished or
+        // turned unreadable is media loss of the whole stream, observed
+        // as an empty log (recoverable), not an abort; reopening in
+        // append mode recreates it.
+        self.mirror = fs::read(&self.path).unwrap_or_default();
         self.file = Self::open_append(&self.path);
     }
 
@@ -770,6 +921,80 @@ mod tests {
         assert_eq!(s.repair_torn(), vec![PageId(5)]);
         s.crash();
         assert_eq!(s.read_page(PageId(5), 4).unwrap(), observed);
+    }
+
+    #[test]
+    fn deleted_page_file_reads_as_media_loss_after_crash() {
+        let mut s = FileStorage::new_temp();
+        s.write_page(PageId(2), page(4, 3, 30));
+        s.write_page(PageId(4), page(4, 5, 50));
+        fs::remove_file(s.page_path(PageId(2))).unwrap();
+        s.crash();
+        assert_eq!(
+            s.read_page(PageId(2), 4),
+            Err(SimError::MediaLoss(PageId(2)))
+        );
+        assert_eq!(s.lost_pages(), vec![PageId(2)]);
+        assert!(s.is_lost(PageId(2)));
+        assert_eq!(s.read_page(PageId(4), 4).unwrap(), page(4, 5, 50));
+        // A fresh full write rebuilds the page and clears the mark
+        // durably.
+        s.write_page(PageId(2), page(4, 7, 70));
+        assert!(!s.is_lost(PageId(2)));
+        s.crash();
+        assert_eq!(s.read_page(PageId(2), 4).unwrap(), page(4, 7, 70));
+        assert!(s.lost_pages().is_empty());
+    }
+
+    #[test]
+    fn garbage_page_file_without_journal_is_media_loss_not_torn() {
+        let mut s = FileStorage::new_temp();
+        s.write_page(PageId(1), page(4, 2, 20));
+        // Cut the file below its header: structurally unreadable, and no
+        // doublewrite pre-image exists to downgrade it to torn.
+        let f = OpenOptions::new()
+            .write(true)
+            .open(s.page_path(PageId(1)))
+            .unwrap();
+        f.set_len(5).unwrap();
+        drop(f);
+        s.crash();
+        assert_eq!(
+            s.read_page(PageId(1), 4),
+            Err(SimError::MediaLoss(PageId(1)))
+        );
+        assert!(s.torn_pages().is_empty());
+    }
+
+    #[test]
+    fn destroy_page_is_durable_until_rebuilt() {
+        let mut s = FileStorage::new_temp();
+        s.write_page(PageId(3), page(4, 1, 10));
+        s.destroy_page(PageId(3));
+        assert_eq!(
+            s.read_page(PageId(3), 4),
+            Err(SimError::MediaLoss(PageId(3)))
+        );
+        s.crash();
+        assert!(s.is_lost(PageId(3)), "the manifest re-detects the loss");
+        // Torn transfers onto destroyed media land nothing: the loss
+        // stays detectable, which is what makes rebuild idempotent.
+        assert!(!s.tear_page(PageId(3), page(4, 9, 90), 2));
+        assert!(s.is_lost(PageId(3)));
+        s.crash();
+        assert!(s.is_lost(PageId(3)));
+    }
+
+    #[test]
+    fn lost_wal_file_reopens_empty_instead_of_aborting() {
+        let mut l = FileLog::new_temp();
+        l.append(b"0123456789");
+        fs::remove_file(l.path().unwrap()).unwrap();
+        l.crash();
+        assert!(l.bytes().is_empty(), "whole-stream loss reads as empty");
+        l.append(b"ab");
+        l.crash();
+        assert_eq!(l.bytes(), b"ab", "the stream is writable again");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct MemStorage {
     master_lsn: Lsn,
     torn: BTreeSet<PageId>,
     shadow: BTreeMap<PageId, Page>,
+    /// Pages destroyed by the media-failure adversary. Durable state —
+    /// the damage is to the medium itself, so a crash/reload cannot
+    /// clear it; only a rebuilt page write does.
+    lost: BTreeSet<PageId>,
 }
 
 impl MemStorage {
@@ -39,6 +43,9 @@ impl MemStorage {
 
 impl StorageBackend for MemStorage {
     fn read_page(&self, id: PageId, slots_per_page: u16) -> SimResult<Page> {
+        if self.lost.contains(&id) {
+            return Err(SimError::MediaLoss(id));
+        }
         if self.torn.contains(&id) {
             return Err(SimError::TornPage(id));
         }
@@ -57,6 +64,7 @@ impl StorageBackend for MemStorage {
     }
 
     fn write_page(&mut self, id: PageId, page: Page) {
+        self.lost.remove(&id);
         self.current.insert(id, page);
     }
 
@@ -64,6 +72,12 @@ impl StorageBackend for MemStorage {
         let spp = new.slot_count();
         if spp < 2 {
             // A one-sector page cannot tear; the write just never lands.
+            return false;
+        }
+        if self.lost.contains(&id) {
+            // A torn transfer onto destroyed media leaves nothing: there
+            // is no honest pre-image to journal, and landing a partial
+            // image would mask the loss the rebuild must re-detect.
             return false;
         }
         let k = sectors.clamp(1, spp - 1);
@@ -81,6 +95,7 @@ impl StorageBackend for MemStorage {
 
     fn write_pages(&mut self, pages: Vec<(PageId, Page)>) -> SimResult<()> {
         for (id, page) in pages {
+            self.lost.remove(&id);
             self.current.insert(id, page);
         }
         Ok(())
@@ -101,6 +116,7 @@ impl StorageBackend for MemStorage {
     fn promote_staging(&mut self) -> SimResult<()> {
         let staged = std::mem::take(&mut self.staging);
         for (id, page) in staged {
+            self.lost.remove(&id);
             self.current.insert(id, page);
         }
         Ok(())
@@ -138,9 +154,27 @@ impl StorageBackend for MemStorage {
         torn.into_iter().collect()
     }
 
+    fn destroy_page(&mut self, id: PageId) {
+        // Total media loss: the durable copy, its torn flag, and its
+        // journaled pre-image are all gone. Only a clean full write
+        // (a media rebuild installing a fresh copy) clears the mark.
+        self.current.remove(&id);
+        self.torn.remove(&id);
+        self.shadow.remove(&id);
+        self.lost.insert(id);
+    }
+
+    fn lost_pages(&self) -> Vec<PageId> {
+        self.lost.iter().copied().collect()
+    }
+
+    fn is_lost(&self, id: PageId) -> bool {
+        self.lost.contains(&id)
+    }
+
     fn crash(&mut self) {
-        // Installed pages, master, torn flags, and shadow pre-images are
-        // durable; only staging is volatile debris.
+        // Installed pages, master, torn flags, shadow pre-images, and
+        // media-lost marks are durable; only staging is volatile debris.
         self.staging.clear();
     }
 

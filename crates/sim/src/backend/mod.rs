@@ -24,10 +24,16 @@
 //! is what makes the file pair honest: after a crash the only truth is
 //! the bytes on disk.
 //!
-//! I/O errors from the host filesystem (disk full, permissions) are not
-//! part of the simulated failure model and panic; *simulated* damage
-//! (torn pages, torn tails) surfaces through the normal
-//! [`SimError`](crate::SimError) channels.
+//! Host-filesystem *write* errors (disk full, permissions) are not part
+//! of the simulated failure model and panic; *simulated* damage (torn
+//! pages, torn tails) surfaces through the normal
+//! [`SimError`](crate::SimError) channels. Open/read failures on page
+//! and archive files are different: a file that vanished or turned
+//! unreadable out-of-band is exactly what media failure looks like, so
+//! the file backend records it as a lost page
+//! ([`SimError::MediaLoss`](crate::SimError::MediaLoss)) instead of
+//! aborting — recoverable by the media-rebuild pass, which replays
+//! `archive ∥ live` from the last checkpoint image.
 
 pub mod file;
 pub mod mem;
@@ -197,6 +203,20 @@ pub trait StorageBackend: fmt::Debug + Send + Sync {
     /// journal-less page in place), clearing the torn state; returns the
     /// previously-torn ids.
     fn repair_torn(&mut self) -> Vec<PageId>;
+    /// Destroys a page's durable copy out-of-band — the media-failure
+    /// adversary, not a faultable I/O event. The page becomes *lost*:
+    /// reads fail with [`crate::SimError::MediaLoss`] until a rebuild
+    /// writes a fresh copy.
+    fn destroy_page(&mut self, id: PageId);
+    /// Pages currently lost to media failure, in id order.
+    fn lost_pages(&self) -> Vec<PageId> {
+        Vec::new()
+    }
+    /// Is this page's durable copy lost to media failure?
+    fn is_lost(&self, id: PageId) -> bool {
+        let _ = id;
+        false
+    }
     /// Process death: staging (unreferenced until a swing) is dropped;
     /// installed pages, the master record, and any torn damage survive.
     /// File backends reload all mirrors from the files and resolve

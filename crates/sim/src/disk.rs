@@ -69,6 +69,9 @@ impl Disk {
     /// landed (checksum mismatch) — the caller must run
     /// [`Disk::repair_torn`] (normally via
     /// [`crate::db::Db::repair_after_crash`]) before reading.
+    /// [`SimError::MediaLoss`] if the page's durable copy is destroyed
+    /// beyond repair — only a media rebuild from `archive ∥ live` can
+    /// bring it back.
     pub fn read_page(&self, id: PageId, slots_per_page: u16) -> SimResult<Page> {
         self.backend.read_page(id, slots_per_page)
     }
@@ -132,6 +135,26 @@ impl Disk {
     /// to it keeps the whole disk explainable.
     pub fn repair_torn(&mut self) -> Vec<PageId> {
         self.backend.repair_torn()
+    }
+
+    /// Destroys a page's durable copy out-of-band — the media-failure
+    /// adversary, not a faultable I/O event, so the injector is never
+    /// consulted. The page reads as [`SimError::MediaLoss`] until a
+    /// media rebuild installs a fresh copy.
+    pub fn destroy_page(&mut self, id: PageId) {
+        self.backend.destroy_page(id);
+    }
+
+    /// Pages currently lost to media failure, in id order.
+    #[must_use]
+    pub fn lost_pages(&self) -> Vec<PageId> {
+        self.backend.lost_pages()
+    }
+
+    /// Is this page's durable copy lost to media failure?
+    #[must_use]
+    pub fn is_lost(&self, id: PageId) -> bool {
+        self.backend.is_lost(id)
     }
 
     /// Atomically writes a *set* of pages: either all reach the installed
@@ -489,6 +512,56 @@ mod tests {
             assert_eq!(d.master(), Lsn(3));
             assert_eq!(d.read_page(PageId(7), 4).unwrap(), Page::new(4));
             assert_eq!(d.staging_len(), 0);
+        });
+    }
+
+    #[test]
+    fn destroyed_page_reads_as_media_loss_until_rewritten_on_both_backends() {
+        both(|mut d| {
+            let mut p = Page::new(4);
+            p.set(SlotId(0), 5);
+            p.set_lsn(Lsn(2));
+            d.write_page(PageId(3), p);
+            d.destroy_page(PageId(3));
+            assert!(d.is_lost(PageId(3)));
+            assert_eq!(d.lost_pages(), vec![PageId(3)]);
+            assert_eq!(
+                d.read_page(PageId(3), 4),
+                Err(SimError::MediaLoss(PageId(3)))
+            );
+            // The mark is durable media state: a crash re-detects it.
+            d.crash();
+            assert!(d.is_lost(PageId(3)));
+            // A clean full write (the rebuild's install) clears it.
+            let mut rebuilt = Page::new(4);
+            rebuilt.set(SlotId(0), 5);
+            rebuilt.set_lsn(Lsn(2));
+            d.write_page(PageId(3), rebuilt.clone());
+            assert!(!d.is_lost(PageId(3)));
+            assert_eq!(d.read_page(PageId(3), 4).unwrap(), rebuilt);
+        });
+    }
+
+    #[test]
+    fn torn_rebuild_write_keeps_the_page_lost() {
+        use crate::fault::{FaultKind, FaultPlan};
+        both(|mut d| {
+            let mut p = Page::new(4);
+            p.set(SlotId(0), 5);
+            d.write_page(PageId(0), p.clone());
+            d.destroy_page(PageId(0));
+            d.injector.arm(FaultPlan {
+                at: 1,
+                kind: FaultKind::TornWrite { sectors: 2 },
+            });
+            // The rebuild's install tears: nothing may land — a partial
+            // image would mask the loss and break rebuild idempotence.
+            d.write_page(PageId(0), p);
+            assert!(d.is_lost(PageId(0)));
+            d.crash();
+            d.injector.reset();
+            assert!(d.is_lost(PageId(0)), "loss survives the re-crash");
+            assert!(d.torn_pages().is_empty());
         });
     }
 

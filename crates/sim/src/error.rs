@@ -76,6 +76,12 @@ pub enum SimError {
     /// partially reached stable storage (checksum mismatch). Run
     /// [`crate::disk::Disk::repair_torn`] before reading.
     TornPage(PageId),
+    /// A page read found the durable copy destroyed beyond the
+    /// torn-page repair path: the page file is missing, unreadable, or
+    /// has no journaled pre-image to fall back on. Only a media
+    /// rebuild — replaying `archive ∥ live` from the last checkpoint
+    /// image — can bring the page back.
+    MediaLoss(PageId),
 }
 
 impl fmt::Display for SimError {
@@ -110,6 +116,9 @@ impl fmt::Display for SimError {
             }
             SimError::TornPage(p) => {
                 write!(f, "page {p:?} is torn (checksum mismatch); repair before reading")
+            }
+            SimError::MediaLoss(p) => {
+                write!(f, "page {p:?} is lost to media failure; rebuild from archive + checkpoint")
             }
         }
     }

@@ -42,17 +42,23 @@ impl ArchiveTier {
         self.tiers[s].bytes()
     }
 
-    /// Total bytes moved into the archive over this log's lifetime.
+    /// Total bytes resident in the archive tier. Volatile telemetry,
+    /// re-derived from the durable tier bytes on crash — the counter
+    /// and the ground truth can never diverge past a reopen.
     pub(crate) fn archived_bytes(&self) -> u64 {
         self.archived_bytes
     }
 
     /// Crash pass-through: archive bytes are durable (the file backend
     /// relearns them from disk on reopen, the mem backend models a
-    /// surviving device).
+    /// surviving device). The byte counter is volatile and is recomputed
+    /// from what actually survived — an append the medium never fully
+    /// observed (or out-of-band damage) would otherwise leave the
+    /// telemetry diverged from the durable bytes forever.
     pub(crate) fn crash(&mut self) {
         for tier in &mut self.tiers {
             tier.crash();
         }
+        self.archived_bytes = self.tiers.iter().map(|t| t.bytes().len() as u64).sum();
     }
 }

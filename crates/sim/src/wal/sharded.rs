@@ -53,7 +53,7 @@ use redo_workload::pages::PageId;
 
 use crate::backend::BackendKind;
 use crate::error::{SimError, SimResult};
-use crate::fault::FaultInjector;
+use crate::fault::{FaultDecision, FaultInjector};
 
 use super::archive::ArchiveTier;
 use super::framing::{LogCursor, ScanStats};
@@ -493,6 +493,31 @@ impl<P: LogPayload> ShardedLog<P> {
                 }
             }
         }
+        // Archive-resident evidence: only stable, published prefixes
+        // ever drain, so a participant whose portion of an epoch moved
+        // to the archive tier closed that epoch long ago — its `Close`
+        // frame now lives in the archive. A crash between one shard's
+        // drain and another's would otherwise make the fully durable
+        // group look torn and roll durable records back on the
+        // undrained shards.
+        for s in 0..n {
+            let mut cursor: LogCursor<'_, ShardFrame<P>> =
+                LogCursor::at(self.archive.bytes(s), 0, ScanStats::default());
+            while let Some(Ok(rec)) = cursor.next() {
+                match rec.payload {
+                    ShardFrame::Open {
+                        epoch,
+                        participants,
+                    } => {
+                        roster.entry(epoch).or_insert(participants);
+                    }
+                    ShardFrame::Close { epoch, .. } => {
+                        closed.entry(epoch).or_default().insert(s);
+                    }
+                    ShardFrame::Rec(_) => {}
+                }
+            }
+        }
         // Roll incomplete epochs back to their Open offset per shard.
         let mut cut: Vec<Option<usize>> = vec![None; n];
         for (&epoch, participants) in &roster {
@@ -586,6 +611,14 @@ impl<P: LogPayload> ShardedLog<P> {
     /// difference is that the history still exists —
     /// [`ShardedLog::pit_records`] can replay across the boundary.
     ///
+    /// The protocol is archive-first: each shard's drained prefix is
+    /// durable in the archive *before* the live log forgets it, and the
+    /// window between the two is a faultable crash point. A crash there
+    /// leaves the frames in both tiers (and `first_stable` unmoved), so
+    /// no drained frame is ever lost; the overlap — including the
+    /// re-archive a post-recovery retry performs — is deduplicated by
+    /// LSN in every merged scan.
+    ///
     /// # Errors
     ///
     /// [`SimError::Corrupt`] as [`LogManager::truncate_prefix`]; every
@@ -594,6 +627,10 @@ impl<P: LogPayload> ShardedLog<P> {
     pub fn archive_prefix(&mut self, below: Lsn) -> SimResult<u64> {
         let below = Lsn(below.0.min(self.stable.0 + 1));
         if below <= self.first_stable {
+            return Ok(0);
+        }
+        if self.injector.tripped() {
+            // The machine is already dead: no further stable I/O.
             return Ok(0);
         }
         let mut plans = Vec::with_capacity(self.shards.len());
@@ -605,6 +642,12 @@ impl<P: LogPayload> ShardedLog<P> {
             let Some(plan) = plan else { continue };
             self.archive
                 .append(s, &self.shards[s].stable_bytes()[..plan.pos]);
+            if self.injector.on_atomic_write() != FaultDecision::Proceed {
+                // Crash between archive-append and live-truncate: the
+                // live log keeps every frame and the boundary does not
+                // advance, so the interrupted drain is retryable.
+                return Ok(reclaimed);
+            }
             self.shards[s].apply_drain(below, plan);
             reclaimed += plan.pos as u64;
         }
@@ -646,6 +689,16 @@ impl<P: LogPayload> ShardedLog<P> {
     #[must_use]
     pub fn archived_bytes(&self) -> u64 {
         self.archive.archived_bytes()
+    }
+
+    /// Per-shard archive-resident byte counts, measured from the tier
+    /// bytes themselves — the durable ground truth the
+    /// [`ShardedLog::archived_bytes`] telemetry is audited against.
+    #[must_use]
+    pub fn archived_bytes_by_shard(&self) -> Vec<u64> {
+        (0..self.shards.len())
+            .map(|s| self.archive.bytes(s).len() as u64)
+            .collect()
     }
 
     /// The per-page chain for `page`, served by its home shard. Offsets
@@ -1193,6 +1246,120 @@ mod tests {
         assert_eq!(log.first_stable(), Lsn(17));
         assert_eq!(log.pit_records(Lsn(20)).unwrap(), full2);
         assert_eq!(log.pit_records(Lsn(16)).unwrap(), full);
+    }
+
+    /// The satellite-bugfix scenario: `archive_prefix` is archive-first
+    /// with a faultable crash point between each shard's archive-append
+    /// and live-truncate. Crash at every such point; no drained frame
+    /// may be lost, and a post-recovery retry must complete the drain.
+    fn assert_archive_crash_point_loses_nothing(kind_of: impl Fn() -> BackendKind) {
+        for at in 1..=2u64 {
+            for kind in [FaultKind::Clean, FaultKind::TornFlush { bytes: 3 }] {
+                let mut log: ShardedLog<Rec> = ShardedLog::on(kind_of(), 2);
+                for i in 0..4u32 {
+                    log.append(Rec(vec![i % 2], u64::from(i))).unwrap();
+                }
+                log.flush_all();
+                let full = log.decode_stable().unwrap();
+                log.injector.arm(FaultPlan { at, kind });
+                log.archive_prefix(Lsn(3)).unwrap();
+                assert!(
+                    log.injector.tripped(),
+                    "at={at} {kind:?}: the crash point must fire"
+                );
+                log.injector.reset();
+                log.crash();
+                log.repair_tail();
+                // Every frame survives — in the archive, the live log,
+                // or both — and the boundary never advanced.
+                assert_eq!(log.stable_lsn(), Lsn(4), "at={at} {kind:?}");
+                assert_eq!(log.first_stable(), Lsn(1), "at={at} {kind:?}");
+                assert_eq!(log.pit_records(Lsn(4)).unwrap(), full, "at={at} {kind:?}");
+                // The retry completes; the duplicated frames (archived
+                // on both runs) are deduplicated by LSN in every scan.
+                log.archive_prefix(Lsn(3)).unwrap();
+                assert_eq!(log.first_stable(), Lsn(3), "at={at} {kind:?}");
+                assert_eq!(log.pit_records(Lsn(4)).unwrap(), full, "at={at} {kind:?}");
+                assert_eq!(
+                    log.archived_bytes(),
+                    log.archived_bytes_by_shard().iter().sum::<u64>(),
+                    "at={at} {kind:?}: telemetry matches the tier bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn archive_prefix_crash_point_loses_no_frames_in_memory() {
+        assert_archive_crash_point_loses_nothing(|| BackendKind::Mem);
+    }
+
+    /// A drain interrupted *between shards* must not make a durable
+    /// cross-shard group look torn: shard 0's `Open`/`Close` markers for
+    /// the group move to the archive while shard 1 still holds its live
+    /// copies, and the crash-time epoch analysis has to find shard 0's
+    /// closure evidence in the archive tier — otherwise it would roll
+    /// shard 1 back to the group's `Open` offset and destroy durable
+    /// records logged after it.
+    #[test]
+    fn interrupted_drain_keeps_archived_groups_closed() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(2);
+        // One atomic group spanning both shards (lsns 1 and 2)...
+        log.append(Rec(vec![0], 10)).unwrap();
+        log.append(Rec(vec![1], 11)).unwrap();
+        log.flush_all();
+        // ...then a later single-shard record that must survive.
+        log.append(Rec(vec![1], 12)).unwrap();
+        log.flush_all();
+        let full = log.decode_stable().unwrap();
+        assert_eq!(full.len(), 3);
+        // Interrupt the drain after shard 0 truncated but before shard 1
+        // did: the group now exists only in shard 0's archive and shard
+        // 1's live log.
+        log.injector.arm(FaultPlan {
+            at: 2,
+            kind: FaultKind::Clean,
+        });
+        log.archive_prefix(Lsn(3)).unwrap();
+        assert!(log.injector.tripped(), "the inter-shard crash point fires");
+        log.injector.reset();
+        log.crash();
+        log.repair_tail();
+        assert_eq!(
+            log.stable_lsn(),
+            Lsn(3),
+            "the archived group is closed; nothing rolls back"
+        );
+        assert_eq!(log.pit_records(Lsn(3)).unwrap(), full);
+        // The retry completes the drain; history is still whole.
+        log.archive_prefix(Lsn(3)).unwrap();
+        assert_eq!(log.first_stable(), Lsn(3));
+        assert_eq!(log.pit_records(Lsn(3)).unwrap(), full);
+    }
+
+    #[test]
+    fn archive_prefix_crash_point_loses_no_frames_on_files() {
+        assert_archive_crash_point_loses_nothing(|| BackendKind::File);
+    }
+
+    #[test]
+    fn pit_records_boundary_lsns() {
+        let mut log: ShardedLog<Rec> = ShardedLog::new(4);
+        for i in 0..12u32 {
+            log.append(Rec(vec![i % 8], u64::from(i))).unwrap();
+        }
+        log.flush_all();
+        let full = log.decode_stable().unwrap();
+        log.archive_prefix(Lsn(7)).unwrap();
+        assert_eq!(log.first_stable(), Lsn(7));
+        // upto == 0: before any record exists.
+        assert!(log.pit_records(Lsn(0)).unwrap().is_empty());
+        // upto == first_stable - 1: served entirely from the archive.
+        assert_eq!(log.pit_records(Lsn(6)).unwrap(), full[..6]);
+        // upto exactly at the stable end, and far past it: the full
+        // sequence either way — there is nothing beyond stable to find.
+        assert_eq!(log.pit_records(Lsn(12)).unwrap(), full);
+        assert_eq!(log.pit_records(Lsn(1_000_000)).unwrap(), full);
     }
 
     #[test]

@@ -47,6 +47,15 @@ impl LogPayload for OpRec {
 /// no fewer. Runs against the database's (possibly sharded) log; every
 /// shard's seek index is audited independently.
 fn check_index_discipline(log: &ShardedLog<OpRec>) -> Result<(), TestCaseError> {
+    // The archive-tier byte telemetry must always equal the durable
+    // ground truth — the summed per-shard tier bytes — including right
+    // after a crash, where the counter is re-derived from what the
+    // medium actually kept.
+    prop_assert_eq!(
+        log.archived_bytes(),
+        log.archived_bytes_by_shard().iter().sum::<u64>(),
+        "archived_bytes telemetry diverged from the tier bytes"
+    );
     // The image may still carry a torn tail awaiting repair; index and
     // chain entries only ever point into the valid prefix, so decode
     // exactly the records before the tear.

@@ -18,7 +18,7 @@
 //! * `walks`     — fuzz write-graph evolutions against Corollary 5.
 //! * `beyond`    — search for §7's beyond-the-theory witnesses.
 //! * `crash-audit` — drive each method (`--method all` by default;
-//!   `logical|physical|physiological|generalized|online|fuzzy|parallel|ondemand|media|pit`)
+//!   `logical|physical|physiological|generalized|online|fuzzy|parallel|ondemand|media|pit|control`)
 //!   through seeded crash schedules with injected faults: torn page
 //!   writes, partial log flushes, and a crash in the middle of every
 //!   recovery, checking the Recovery Invariant after each completed
@@ -38,6 +38,12 @@
 //!   prefix into the archive) and verifies that point-in-time replay
 //!   over `archive ∥ live` reproduces the full durable history and
 //!   the pre-truncation state at the truncation boundary.
+//!   The `control` method audits incremental (delta-chain)
+//!   checkpointing twice over: the generic degradation loop with
+//!   crashes landing inside delta publication, plus a twin run that
+//!   drives an identical workload/fault/chaos schedule through both
+//!   delta-chain and full-snapshot checkpointing and demands recovered
+//!   state identity whenever the twins kept the same durable prefix.
 //!   `--capacity 0` means an unbounded buffer
 //!   pool. `--backend file` runs every schedule against the fsync-backed
 //!   file backend in a fresh temporary directory instead of the
@@ -53,11 +59,12 @@
 use std::process::ExitCode;
 
 use redo_checker::beyond::find_beyond_witnesses;
-use redo_checker::crash_audit::{audit, audit_media, audit_pit, CrashAuditConfig};
+use redo_checker::crash_audit::{audit, audit_control, audit_media, audit_pit, CrashAuditConfig};
 use redo_checker::exhaustive::explore;
 use redo_checker::theorems::check_history;
 use redo_checker::wg_walk::walk;
 use redo_methods::broken::{LyingCheckpoint, SkippyRedo};
+use redo_methods::control::Control;
 use redo_methods::fuzzy::FuzzyPhysiological;
 use redo_methods::generalized::Generalized;
 use redo_methods::logical::Logical;
@@ -325,6 +332,27 @@ fn cmd_crash_audit(args: &Args) -> Result<bool, String> {
                 r.rebuilds_verified,
                 r.ondemand_rebuilds_verified,
                 r.interrupted_rebuilds_verified
+            ),
+            Err(e) => {
+                println!("VIOLATION — {e}");
+                clean = false;
+            }
+        }
+        matched = true;
+    }
+    if all || method == "control" {
+        clean &= audit_method(&Control, &cfg);
+        match audit_control(&cfg) {
+            Ok(r) => println!(
+                "control (twin run): OK — {} schedules, {} crashes, {} faults fired, \
+                 {} recoveries verified, {} delta/full identity checks, \
+                 {} crashes landed on a delta master",
+                r.schedules,
+                r.crashes,
+                r.faults_tripped,
+                r.recoveries_verified,
+                r.identity_checks,
+                r.delta_masters
             ),
             Err(e) => {
                 println!("VIOLATION — {e}");

@@ -284,7 +284,9 @@ fn sample_plan(rng: &mut StdRng, max_at: u64) -> FaultPlan {
 fn shaped_workload(method_name: &str, cfg: &CrashAuditConfig, seed: u64) -> Vec<PageOp> {
     let (cross, blind, multi) = match method_name {
         "physical" | "physical-parallel" => (0.0, 1.0, 0.0),
-        "generalized-lsn" | "generalized-online" | "ondemand" | "media" => (0.5, 0.1, 0.2),
+        "generalized-lsn" | "generalized-online" | "ondemand" | "media" | "control" => {
+            (0.5, 0.1, 0.2)
+        }
         "logical" => (0.5, 0.1, 0.0),
         _ => (0.0, 0.2, 0.0),
     };
@@ -326,6 +328,194 @@ pub fn audit<M: RecoveryMethod>(
         report.schedules += 1;
     }
     Ok(report)
+}
+
+/// What a delta-checkpoint (control-method) audit observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ControlAuditReport {
+    /// Schedules driven.
+    pub schedules: u64,
+    /// Crashes injected (two per schedule — one per twin).
+    pub crashes: u64,
+    /// Schedules on which the shared fault plan actually fired.
+    pub faults_tripped: u64,
+    /// Completed recoveries whose invariant and final state were
+    /// verified (two per schedule — one per twin).
+    pub recoveries_verified: u64,
+    /// Schedules on which both twins survived the same durable prefix
+    /// and their recovered states were bit-identical.
+    pub identity_checks: u64,
+    /// Schedules whose surviving master named a
+    /// [`PageOpPayload::DeltaCheckpoint`] — proof the crash landed
+    /// while an incremental chain was in force.
+    pub delta_masters: u64,
+}
+
+/// Drives the incremental-checkpoint method through seeded crash
+/// schedules as a *twin run*: two databases with identical geometry,
+/// backend, workload, chaos stream, and fault plan — one checkpointing
+/// through the [`Control`](redo_methods::control::Control) delta chain,
+/// the other through [`GeneralizedOnline`]'s full snapshots. Both twins
+/// see the same append/flush/publish event sequence (delta records
+/// differ only in payload bytes), so the armed fault trips at the same
+/// protocol step in each — including inside delta-chain publication.
+/// After the crash each twin's recovery is verified against its own
+/// durable prefix (Recovery Invariant + exact state), and whenever the
+/// twins kept the same durable prefix their recovered states must be
+/// bit-identical: the delta chain is an *encoding* of the full
+/// snapshot, never a semantic difference.
+///
+/// # Errors
+///
+/// The first schedule on which either twin's recovery failed
+/// verification, or the twins diverged on an identical durable prefix.
+pub fn audit_control(cfg: &CrashAuditConfig) -> Result<ControlAuditReport, CrashAuditFailure> {
+    let mut report = ControlAuditReport::default();
+    for s in 0..cfg.schedules {
+        run_control_schedule(cfg, s, &mut report).map_err(|(phase, failure)| {
+            CrashAuditFailure {
+                method: "control",
+                schedule: s,
+                phase,
+                failure,
+            }
+        })?;
+        report.schedules += 1;
+    }
+    Ok(report)
+}
+
+/// Runs one twin through the shared workload: execute each operation,
+/// apply background chaos, checkpoint on the configured cadence via
+/// `checkpoint`, and stop once the armed fault trips. Returns the
+/// committed operations with their LSNs.
+fn drive_twin(
+    db: &mut Db<PageOpPayload>,
+    ops: &[PageOp],
+    cfg: &CrashAuditConfig,
+    chaos_rng: &mut StdRng,
+    checkpoint: &dyn Fn(&mut Db<PageOpPayload>) -> redo_sim::SimResult<()>,
+) -> Result<Vec<(PageOp, Lsn)>, HarnessFailure> {
+    let mut committed = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match redo_methods::generalized::Generalized.execute(db, op) {
+            Ok(lsn) => committed.push((op.clone(), lsn)),
+            Err(_) if db.fault_tripped() => {}
+            Err(e) => return Err(e.into()),
+        }
+        if let Some((log_p, page_p)) = cfg.chaos {
+            match db.chaos_flush(chaos_rng, log_p, page_p) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if cfg.checkpoint_every.is_some_and(|k| (i + 1) % k == 0) {
+            match checkpoint(db) {
+                Ok(()) => {}
+                Err(_) if db.fault_tripped() => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if db.fault_tripped() {
+            break;
+        }
+    }
+    Ok(committed)
+}
+
+fn run_control_schedule(
+    cfg: &CrashAuditConfig,
+    s: u64,
+    report: &mut ControlAuditReport,
+) -> PhaseResult {
+    use redo_methods::control::Control;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let ops = shaped_workload("control", cfg, cfg.seed.wrapping_add(s));
+    let fail = |phase: &'static str, e: HarnessFailure| (phase, e);
+    let plan = sample_plan(&mut rng, ops.len() as u64 * 4);
+    let geometry = Geometry {
+        slots_per_page: cfg.slots_per_page,
+    };
+
+    let mut inc: Db<PageOpPayload> =
+        Db::on_sharded(cfg.backend, geometry, cfg.pool_capacity, cfg.log_shards);
+    let mut full: Db<PageOpPayload> =
+        Db::on_sharded(cfg.backend, geometry, cfg.pool_capacity, cfg.log_shards);
+    inc.arm_faults(plan);
+    full.arm_faults(plan);
+    // Cloned chaos streams: both twins draw the same flush decisions.
+    let mut chaos_inc = StdRng::seed_from_u64(cfg.seed ^ s.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let mut chaos_full = chaos_inc.clone();
+
+    let committed_inc = drive_twin(&mut inc, &ops, cfg, &mut chaos_inc, &|db| {
+        Control.checkpoint(db)
+    })
+    .map_err(|e| fail("workload", e))?;
+    let committed_full = drive_twin(&mut full, &ops, cfg, &mut chaos_full, &|db| {
+        GeneralizedOnline.checkpoint(db)
+    })
+    .map_err(|e| fail("workload", e))?;
+    if inc.fault_tripped() || full.fault_tripped() {
+        report.faults_tripped += 1;
+    }
+
+    inc.crash();
+    full.crash();
+    report.crashes += 2;
+    inc.repair_after_crash();
+    full.repair_after_crash();
+    if matches!(
+        inc.log.record_at_lsn(inc.disk.master()),
+        Ok(Some(rec)) if matches!(rec.payload, PageOpPayload::DeltaCheckpoint { .. })
+    ) {
+        report.delta_masters += 1;
+    }
+
+    // Each twin verifies against its own durable prefix.
+    let durable_inc: Vec<(u32, Lsn)> = committed_inc
+        .iter()
+        .filter(|(_, lsn)| *lsn <= inc.log.stable_lsn())
+        .map(|(op, lsn)| (op.id, *lsn))
+        .collect();
+    let durable_full: Vec<(u32, Lsn)> = committed_full
+        .iter()
+        .filter(|(_, lsn)| *lsn <= full.log.stable_lsn())
+        .map(|(op, lsn)| (op.id, *lsn))
+        .collect();
+    for (db, committed, method_name) in [
+        (&mut inc, &committed_inc, "control recovery"),
+        (&mut full, &committed_full, "full-snapshot recovery"),
+    ] {
+        let stable = db.log.stable_lsn();
+        let durable: Vec<PageOp> = committed
+            .iter()
+            .filter(|(_, lsn)| *lsn <= stable)
+            .map(|(op, _)| op.clone())
+            .collect();
+        let view = view_of(&durable, cfg.slots_per_page);
+        let pre = db.stable_theory_state();
+        let stats = Control
+            .recover(db)
+            .map_err(|e| fail(method_name, e.into()))?;
+        verify_recovery(&view, &stats, &db.volatile_theory_state(), &pre, 1)
+            .map_err(|e| fail(method_name, e))?;
+        report.recoveries_verified += 1;
+    }
+
+    // Cross-twin identity: same durable operations at the same LSNs
+    // means the recovered states must agree exactly — the delta chain
+    // may change what analysis *reads*, never what recovery *rebuilds*.
+    if durable_inc == durable_full {
+        if inc.volatile_theory_state() != full.volatile_theory_state() {
+            return Err(fail(
+                "delta/full identity",
+                HarnessFailure::StateMismatch { crash: Some(1) },
+            ));
+        }
+        report.identity_checks += 1;
+    }
+    Ok(())
 }
 
 /// What a point-in-time (archive-tier) audit observed.
@@ -436,7 +626,9 @@ fn run_pit_schedule(cfg: &CrashAuditConfig, s: u64, report: &mut PitAuditReport)
             .into_iter()
             .filter_map(|rec| match rec.payload {
                 PageOpPayload::Op(op) => Some(op),
-                PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+                PageOpPayload::Checkpoint
+                | PageOpPayload::FuzzyCheckpoint { .. }
+                | PageOpPayload::DeltaCheckpoint { .. } => None,
             })
             .collect())
     };
@@ -1101,6 +1293,36 @@ mod tests {
         let report = audit(&GeneralizedOnline, &cfg).unwrap_or_else(|e| panic!("{e}"));
         assert_clean(&report, &cfg);
         assert_eq!(report.parallel_probes, 0);
+    }
+
+    #[test]
+    fn control_survives_crash_audit() {
+        // The control method's delta-checkpoint publication adds chained
+        // incremental records to the fault surface: crashes land inside
+        // delta appends and master swings, and recovery must fold the
+        // surviving chain (or fall back to its base snapshot).
+        let cfg = small();
+        let report = audit(&redo_methods::control::Control, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_clean(&report, &cfg);
+        assert_eq!(report.parallel_probes, 0, "generalized discipline");
+    }
+
+    #[test]
+    fn control_dual_run_matches_full_snapshots() {
+        let cfg = small();
+        let report = audit_control(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(report.schedules, cfg.schedules);
+        assert_eq!(report.crashes, cfg.schedules * 2);
+        assert_eq!(report.recoveries_verified, cfg.schedules * 2);
+        assert!(report.faults_tripped > 0, "no fault ever fired: {report:?}");
+        assert!(
+            report.identity_checks > 0,
+            "twins never shared a durable prefix: {report:?}"
+        );
+        assert!(
+            report.delta_masters > 0,
+            "no crash ever landed on a delta master: {report:?}"
+        );
     }
 
     #[test]

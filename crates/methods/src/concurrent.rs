@@ -93,6 +93,7 @@ use redo_sim::{SimError, SimResult};
 use redo_theory::log::Lsn;
 use redo_workload::pages::{Cell, PageId, PageOp};
 
+use crate::control::{ControlPlan, Controller, RestartBudget, RestartEstimate};
 use crate::generalized::{Generalized, RestartAnalysis};
 use crate::oprecord::PageOpPayload;
 use crate::RecoveryStats;
@@ -112,6 +113,14 @@ struct Inner {
     /// buffer pool — the checkpoint daemon's redo-start floor.
     inflight: Mutex<BTreeSet<Lsn>>,
     daemon: Mutex<DaemonStats>,
+    /// The daemon's volatile view of the published checkpoint chain —
+    /// what the quiescent skip compares against and what an incremental
+    /// checkpoint diffs its delta from. Deliberately *not* re-derived
+    /// from the log: it is updated only on successful publication, lost
+    /// on crash (the first post-crash checkpoint is then full, which is
+    /// always sound), and untouched by abandoned attempts. A leaf lock:
+    /// taken briefly, never while acquiring another.
+    chain: Mutex<Option<ChainState>>,
     /// On-demand restart bookkeeping; gate *membership* lives in the
     /// shard map ([`ShardedStore::is_gated`]) so the servable fast path
     /// never touches this mutex. Holding it serializes lazy replay —
@@ -137,6 +146,22 @@ struct RecoveryState {
     stats: RecoveryStats,
 }
 
+/// The daemon-side record of the checkpoint chain now in force: where
+/// its head and base sit, how deep the delta chain is, and the exact
+/// table/redo-start the head published.
+struct ChainState {
+    /// LSN of the newest published checkpoint record (the master).
+    head: Lsn,
+    /// LSN of the full snapshot the chain grows from.
+    base: Lsn,
+    /// Delta links from `head` back to `base` (0 when `head == base`).
+    depth: u64,
+    /// The full dirty-page table as published at `head`.
+    dpt: BTreeMap<PageId, Lsn>,
+    /// The redo-start published at `head`.
+    redo_start: Lsn,
+}
+
 /// Telemetry from the online checkpoint daemon.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DaemonStats {
@@ -158,6 +183,19 @@ pub struct DaemonStats {
     pub forces_by_shard: Vec<u64>,
     /// The most recently published checkpoint record.
     pub last_checkpoint: Option<Lsn>,
+    /// Ticks that skipped publication because the system was quiescent
+    /// (nothing logged, table unchanged, redo-start unmoved) — the
+    /// republication bug the skip fixes used to burn a log force and a
+    /// master swing on every one of these.
+    pub checkpoints_skipped: u64,
+    /// How many of [`DaemonStats::checkpoints_taken`] were incremental
+    /// [`PageOpPayload::DeltaCheckpoint`] records rather than full
+    /// snapshots.
+    pub deltas_published: u64,
+    /// The redo-start of the most recently published checkpoint — the
+    /// truncation horizon, and the baseline the controller's suffix
+    /// estimate measures from.
+    pub last_redo_start: Option<Lsn>,
 }
 
 /// A thread-shareable database executing page operations with
@@ -182,6 +220,7 @@ impl SharedDb {
                     .into_boxed_slice(),
                 inflight: Mutex::new(BTreeSet::new()),
                 daemon: Mutex::new(DaemonStats::default()),
+                chain: Mutex::new(None),
                 recovery: Mutex::new(OnlineRecovery::default()),
                 stop: AtomicBool::new(false),
             }),
@@ -236,6 +275,7 @@ impl SharedDb {
                     .into_boxed_slice(),
                 inflight: Mutex::new(BTreeSet::new()),
                 daemon: Mutex::new(DaemonStats::default()),
+                chain: Mutex::new(None),
                 recovery: Mutex::new(OnlineRecovery {
                     active: Some(RecoveryState { analysis, stats }),
                     finished: None,
@@ -584,6 +624,39 @@ impl SharedDb {
         Ok(())
     }
 
+    /// One *targeted* flusher tick: flush the dirty page with the
+    /// minimum recLSN — the page pinning the truncation horizon. A
+    /// uniformly random flusher ([`SharedDb::flusher_tick`]) under
+    /// Zipf-skewed traffic keeps picking hot pages (which are instantly
+    /// re-dirtied) and almost never the coldest one, so the horizon
+    /// never moves and the stable suffix grows without bound; this tick
+    /// is the controller's cure. The log is forced first so the WAL
+    /// rule cannot veto the flush; pages whose write-order constraints
+    /// still forbid flushing are skipped in recLSN order until one
+    /// flush lands. Returns whether any page was flushed.
+    ///
+    /// # Errors
+    ///
+    /// Real substrate failures; the two protocol refusals are skipped
+    /// exactly as in [`SharedDb::flusher_tick`].
+    pub fn flusher_tick_coldest(&self) -> SimResult<bool> {
+        let stable = {
+            let mut log = self.inner.log.lock();
+            log.flush_all();
+            log.stable_lsn()
+        };
+        let mut table = self.inner.store.snapshot().dirty_page_table();
+        table.sort_unstable_by_key(|&(_, rec)| rec);
+        for (page, _) in table {
+            match self.inner.store.flush_page(page, stable) {
+                Ok(()) => return Ok(true),
+                Err(SimError::WalViolation { .. }) | Err(SimError::WriteOrderViolation { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(false)
+    }
+
     /// One checkpoint-daemon tick: take a fuzzy snapshot of the
     /// dirty-page table, append a [`PageOpPayload::FuzzyCheckpoint`]
     /// record, force the log, publish the checkpoint by swinging the
@@ -603,13 +676,33 @@ impl SharedDb {
     ///
     /// Substrate errors from the log force.
     pub fn checkpoint_tick(&self) -> SimResult<Option<Lsn>> {
+        self.checkpoint_with(None)
+    }
+
+    /// [`SharedDb::checkpoint_tick`] in *incremental* mode: while a
+    /// healthy chain shallower than `full_every` is in force, publish a
+    /// [`PageOpPayload::DeltaCheckpoint`] carrying only the dirty-page
+    /// -table delta against the chain head; every `full_every`-th
+    /// publication (and whenever no chain exists — fresh system, or
+    /// first checkpoint after a crash wiped the volatile chain state)
+    /// republishes a full snapshot so analysis' walk stays bounded.
+    /// The quiescent skip applies in both modes.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from the log force.
+    pub fn checkpoint_tick_incremental(&self, full_every: u64) -> SimResult<Option<Lsn>> {
+        self.checkpoint_with(Some(full_every))
+    }
+
+    fn checkpoint_with(&self, full_every: Option<u64>) -> SimResult<Option<Lsn>> {
         // Snapshot + append, atomically w.r.t. appliers: the snapshot
         // holds every store shard (acquired in ascending order), so no
         // apply can slip between the table read and the append. The
         // recovery mutex is held across the same window (it precedes
         // the shards in the lock order) so lazy replay cannot move a
         // page from "gated" to "dirty in a shard" mid-snapshot.
-        let (ck, redo_start) = {
+        let (ck, redo_start, table, is_delta) = {
             let rec = self.inner.recovery.lock();
             let snapshot = self.inner.store.snapshot();
             let mut log = self.inner.log.lock();
@@ -640,19 +733,71 @@ impl SharedDb {
                 }
                 dirty = table.into_iter().collect();
             }
+            let table: BTreeMap<PageId, Lsn> = dirty.iter().copied().collect();
             let floor = self.inner.inflight.lock().first().copied();
             let ck_expected = Lsn(log.last_lsn().0 + 1);
-            let redo_start = [floor, dirty.iter().map(|&(_, rec)| rec).min()]
+            let candidate = [floor, dirty.iter().map(|&(_, rec)| rec).min()]
                 .into_iter()
                 .flatten()
-                .min()
-                // Nothing dirty, nothing in flight: everything logged so
-                // far is installed, so recovery need only scan the
-                // checkpoint record itself.
-                .unwrap_or(ck_expected);
-            let ck = log.append(PageOpPayload::FuzzyCheckpoint { dirty, redo_start })?;
+                .min();
+            // Quiescent skip: nothing was logged since the standing
+            // checkpoint, the table is unchanged, and the redo-start
+            // would not move. Republishing would force the log and swing
+            // the master for a byte-identical analysis — pure overhead.
+            // The clean-pool case needs care: with nothing dirty and
+            // nothing in flight `candidate` is `None` and the would-be
+            // redo-start is the *drifting* `ck_expected`, so compare it
+            // through `unwrap_or` against the published one instead.
+            let quiescent_head = {
+                let chain = self.inner.chain.lock();
+                chain.as_ref().and_then(|state| {
+                    (log.last_lsn() == state.head
+                        && table == state.dpt
+                        && candidate.unwrap_or(state.redo_start) == state.redo_start)
+                        .then_some(state.head)
+                })
+            };
+            if let Some(head) = quiescent_head {
+                self.inner.daemon.lock().checkpoints_skipped += 1;
+                return Ok(Some(head));
+            }
+            // Nothing dirty, nothing in flight: everything logged so far
+            // is installed, so recovery need only scan the checkpoint
+            // record itself.
+            let redo_start = candidate.unwrap_or(ck_expected);
+            // Incremental mode with a live chain below its depth bound:
+            // log only the delta against the head's published table.
+            let delta = {
+                let chain = self.inner.chain.lock();
+                match (full_every, chain.as_ref()) {
+                    (Some(fe), Some(state)) if state.depth + 1 < fe.max(1) => {
+                        let added: Vec<(PageId, Lsn)> = table
+                            .iter()
+                            .filter(|&(page, rec)| state.dpt.get(page) != Some(rec))
+                            .map(|(&page, &rec)| (page, rec))
+                            .collect();
+                        let removed: Vec<PageId> = state
+                            .dpt
+                            .keys()
+                            .filter(|page| !table.contains_key(page))
+                            .copied()
+                            .collect();
+                        Some(PageOpPayload::DeltaCheckpoint {
+                            prev: state.head,
+                            base: state.base,
+                            redo_start,
+                            added,
+                            removed,
+                        })
+                    }
+                    _ => None,
+                }
+            };
+            let is_delta = delta.is_some();
+            let payload = delta.unwrap_or(PageOpPayload::FuzzyCheckpoint { dirty, redo_start });
+            let ck = log.append(payload)?;
             debug_assert_eq!(ck, ck_expected);
-            (ck, redo_start)
+            (ck, redo_start, table, is_delta)
         };
         // Make the record durable through the group-commit path.
         self.commit_tick();
@@ -672,12 +817,41 @@ impl SharedDb {
             return Ok(None);
         }
         let reclaimed = log.archive_prefix(redo_start)?;
+        // Publication landed: the chain bookkeeping moves to the new
+        // head. A delta extends the standing chain (same base, one
+        // deeper); a full snapshot starts a fresh one. An abandoned
+        // attempt never reaches here, so its orphaned record leaves the
+        // chain untouched — exactly right, since the master still names
+        // the old head and analysis will skip the orphan.
+        {
+            let mut chain = self.inner.chain.lock();
+            *chain = Some(match (is_delta, chain.take()) {
+                (true, Some(prev)) => ChainState {
+                    head: ck,
+                    base: prev.base,
+                    depth: prev.depth + 1,
+                    dpt: table,
+                    redo_start,
+                },
+                _ => ChainState {
+                    head: ck,
+                    base: ck,
+                    depth: 0,
+                    dpt: table,
+                    redo_start,
+                },
+            });
+        }
         let mut daemon = self.inner.daemon.lock();
         daemon.checkpoints_taken += 1;
+        if is_delta {
+            daemon.deltas_published += 1;
+        }
         daemon.truncated_bytes += reclaimed;
         daemon.truncated_bytes_by_shard = log.truncated_bytes_by_shard();
         daemon.forces_by_shard = log.forces_by_shard();
         daemon.last_checkpoint = Some(ck);
+        daemon.last_redo_start = Some(redo_start);
         Ok(Some(ck))
     }
 
@@ -685,6 +859,84 @@ impl SharedDb {
     #[must_use]
     pub fn daemon_stats(&self) -> DaemonStats {
         self.inner.daemon.lock().clone()
+    }
+
+    /// A point-in-time [`RestartEstimate`] off the live telemetry: the
+    /// stable suffix past the published truncation horizon (or past the
+    /// log's first retained record when nothing has published yet), the
+    /// current dirty-page count, and the per-shard live-byte skew.
+    #[must_use]
+    pub fn restart_estimate(&self) -> RestartEstimate {
+        let dirty_pages = self.inner.store.dirty_pages().len();
+        let log = self.inner.log.lock();
+        let redo_start = self
+            .inner
+            .daemon
+            .lock()
+            .last_redo_start
+            .unwrap_or_else(|| log.first_stable());
+        RestartEstimate {
+            suffix_bytes: log.suffix_bytes(redo_start),
+            dirty_pages,
+            redo_start,
+            live_bytes_by_shard: log.live_bytes_by_shard(),
+        }
+    }
+
+    /// One controller tick: estimate restart cost, ask the planner, and
+    /// fire whichever actuators it named — the coldest-page flush first
+    /// (so the checkpoint that may follow computes a deeper redo-start),
+    /// then an incremental checkpoint, then targeted archive drains for
+    /// any shard over its skew budget. Returns the executed plan.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from the actuators.
+    pub fn control_tick(&self, controller: &Controller) -> SimResult<ControlPlan> {
+        let est = self.restart_estimate();
+        let plan = controller.plan(&est);
+        if plan.flush_coldest {
+            // The horizon a checkpoint can truncate to is the minimum
+            // dirty recLSN: clean coldest pages until a checkpoint taken
+            // right now would bring the suffix under budget (or nothing
+            // more can flush). Terminates — every successful flush
+            // removes the current coldest page from the table.
+            loop {
+                let table = self.inner.store.snapshot().dirty_page_table();
+                let Some(horizon) = table.iter().map(|&(_, rec)| rec).min() else {
+                    break;
+                };
+                let projected = self.inner.log.lock().suffix_bytes(horizon);
+                if projected <= controller.budget.max_suffix_bytes
+                    || !self.flusher_tick_coldest()?
+                {
+                    break;
+                }
+            }
+        }
+        if plan.checkpoint {
+            self.checkpoint_tick_incremental(controller.budget.full_every)?;
+        }
+        if !plan.archive_shards.is_empty() {
+            // `est.redo_start` is a *published* horizon (or the first
+            // retained record, making the drain a no-op), so a per-shard
+            // drain below it archives only bytes every future recovery
+            // has provably stopped needing — even if a checkpoint just
+            // advanced the horizon further, using the older estimate is
+            // merely conservative.
+            let mut log = self.inner.log.lock();
+            let mut reclaimed = 0u64;
+            for &s in &plan.archive_shards {
+                reclaimed += log.archive_shard_prefix(s, est.redo_start)?;
+            }
+            if reclaimed > 0 {
+                let by_shard = log.truncated_bytes_by_shard();
+                let mut daemon = self.inner.daemon.lock();
+                daemon.truncated_bytes += reclaimed;
+                daemon.truncated_bytes_by_shard = by_shard;
+            }
+        }
+        Ok(plan)
     }
 
     /// Drops latches no thread currently holds or awaits. [`latch_for`]
@@ -748,6 +1000,35 @@ impl SharedDb {
                         .expect("checkpoint tick hit an unexpected substrate error");
                 }
             }
+            std::thread::yield_now();
+        }
+    }
+
+    /// The adaptive counterpart of [`SharedDb::background_loop`]: the
+    /// same group-commit / random-flusher / latch-GC cadence, but the
+    /// fixed-period checkpoint daemon is replaced by a
+    /// [`SharedDb::control_tick`] steering toward `budget` — checkpoints
+    /// fire when estimated restart cost crosses the budget (and are
+    /// skipped when the system is quiescent), the coldest page is
+    /// flushed when the suffix builds, and skewed shards drain to the
+    /// archive tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tick hits an unexpected substrate error, exactly as
+    /// [`SharedDb::background_loop`] does.
+    pub fn background_loop_adaptive(&self, seed: u64, flush_prob: f64, budget: RestartBudget) {
+        let controller = Controller::new(budget);
+        let mut rng = StdRng::seed_from_u64(seed);
+        while !self.stopping() {
+            self.recovery_tick()
+                .expect("recovery tick hit an unexpected substrate error");
+            self.commit_tick();
+            self.flusher_tick(&mut rng, flush_prob)
+                .expect("flusher tick hit an unexpected substrate error");
+            self.latch_gc_tick();
+            self.control_tick(&controller)
+                .expect("control tick hit an unexpected substrate error");
             std::thread::yield_now();
         }
     }
@@ -1276,6 +1557,185 @@ mod tests {
                 db.read_cell(cell).expect("read"),
                 v,
                 "cell {cell:?} lost to a mid-recovery checkpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn quiescent_daemon_skips_republication() {
+        // Regression: the daemon used to re-publish an identical
+        // checkpoint record on every tick of a quiescent system — a log
+        // force and a master swing per tick for a byte-identical
+        // analysis. Now the tick must recognize quiescence and reuse
+        // the standing checkpoint without appending anything.
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let ops = PageWorkloadSpec {
+            n_ops: 20,
+            n_pages: 4,
+            cross_page_fraction: 0.3,
+            ..Default::default()
+        }
+        .generate(13);
+        for op in &ops {
+            shared.execute(op).expect("execute");
+        }
+        shared.commit_tick();
+        let ck = shared
+            .checkpoint_tick()
+            .expect("checkpoint tick")
+            .expect("published");
+        let last = shared.inner.log.lock().last_lsn();
+        for _ in 0..3 {
+            let again = shared.checkpoint_tick().expect("checkpoint tick");
+            assert_eq!(again, Some(ck), "quiescent tick must reuse the head");
+        }
+        assert_eq!(
+            shared.inner.log.lock().last_lsn(),
+            last,
+            "a quiescent tick must append nothing"
+        );
+        let daemon = shared.daemon_stats();
+        assert_eq!(daemon.checkpoints_taken, 1);
+        assert_eq!(daemon.checkpoints_skipped, 3);
+        // New work re-arms publication.
+        let mut op = ops[0].clone();
+        op.id = 999;
+        shared.execute(&op).expect("execute");
+        let next = shared
+            .checkpoint_tick()
+            .expect("checkpoint tick")
+            .expect("published");
+        assert!(next > ck);
+        assert_eq!(shared.daemon_stats().checkpoints_taken, 2);
+    }
+
+    #[test]
+    fn coldest_flush_unpins_the_truncation_horizon() {
+        use redo_workload::pages::{PageOpKind, SlotId};
+        // One cold write at LSN 1, then hot traffic elsewhere: the cold
+        // page's recLSN pins the redo-start at 1, so checkpoints cannot
+        // truncate anything — until the coldest-page flush clears it.
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let cold = Cell {
+            page: PageId(0),
+            slot: SlotId(0),
+        };
+        let op0 = PageOp {
+            id: 0,
+            kind: PageOpKind::Blind,
+            reads: vec![],
+            writes: vec![cold],
+            f_seed: 1,
+        };
+        shared.execute(&op0).expect("execute");
+        for i in 1..=30u32 {
+            let cell = Cell {
+                page: PageId(1 + i % 3),
+                slot: SlotId(0),
+            };
+            let op = PageOp {
+                id: i,
+                kind: PageOpKind::Physiological,
+                reads: vec![cell],
+                writes: vec![cell],
+                f_seed: 2,
+            };
+            shared.execute(&op).expect("execute");
+        }
+        shared.commit_tick();
+        shared
+            .checkpoint_tick()
+            .expect("checkpoint tick")
+            .expect("published");
+        assert_eq!(
+            shared.daemon_stats().truncated_bytes,
+            0,
+            "the cold page pins the horizon at LSN 1: nothing can truncate"
+        );
+        assert!(
+            shared.flusher_tick_coldest().expect("coldest flush"),
+            "the minimum-recLSN page must flush"
+        );
+        // The pool changed (the cold page is clean), so the next tick
+        // publishes — and can finally truncate past the cold record.
+        shared
+            .checkpoint_tick()
+            .expect("checkpoint tick")
+            .expect("published");
+        assert!(
+            shared.daemon_stats().truncated_bytes > 0,
+            "horizon unpinned: the prefix below the hot recLSNs truncates"
+        );
+        shared.shutdown();
+        let db = shared.crash();
+        assert!(
+            db.log.first_stable() > Lsn(1),
+            "the stable log no longer retains the cold record"
+        );
+    }
+
+    #[test]
+    fn adaptive_controller_bounds_suffix_and_recovers_exactly() {
+        use redo_workload::pages::{PageOpKind, SlotId};
+        use redo_workload::Zipf;
+        // Zipf-skewed single-threaded traffic with the control loop
+        // ticking every few ops: the estimated restart suffix must stay
+        // near the budget, some checkpoints must be deltas, and a crash
+        // must recover the issue-order state exactly through the
+        // delta-chain analysis.
+        let shared = SharedDb::new(Geometry { slots_per_page: 8 });
+        let budget = RestartBudget {
+            max_suffix_bytes: 2048,
+            max_dirty_pages: 8,
+            ..Default::default()
+        };
+        let controller = Controller::new(budget.clone());
+        let zipf = Zipf::new(40, 0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cells: BTreeMap<Cell, u64> = BTreeMap::new();
+        for i in 0..300u32 {
+            let cell = Cell {
+                page: PageId(zipf.sample(&mut rng) as u32),
+                slot: SlotId(0),
+            };
+            let op = PageOp {
+                id: i,
+                kind: PageOpKind::Physiological,
+                reads: vec![cell],
+                writes: vec![cell],
+                f_seed: 9,
+            };
+            let reads = vec![cells.get(&cell).copied().unwrap_or(0)];
+            cells.insert(cell, op.output(cell, &reads));
+            shared.execute(&op).expect("execute");
+            if (i + 1) % 5 == 0 {
+                shared.commit_tick();
+                shared.control_tick(&controller).expect("control tick");
+            }
+        }
+        shared.commit_tick();
+        let est = shared.restart_estimate();
+        assert!(
+            est.suffix_bytes < 2 * budget.max_suffix_bytes,
+            "controller failed to bound the restart suffix: {} bytes",
+            est.suffix_bytes
+        );
+        let daemon = shared.daemon_stats();
+        assert!(daemon.checkpoints_taken > 0, "the budget fired checkpoints");
+        assert!(
+            daemon.deltas_published > 0,
+            "some checkpoints must be incremental deltas"
+        );
+        assert!(daemon.truncated_bytes > 0, "the horizon advanced");
+        shared.shutdown();
+        let mut db = shared.crash();
+        let stats = Generalized.recover(&mut db).expect("recover");
+        assert_eq!(stats.checkpoint_lsn, daemon.last_checkpoint);
+        for (cell, v) in cells {
+            assert_eq!(
+                db.read_cell(cell).expect("read"),
+                v,
+                "cell {cell:?} diverged from the issue order"
             );
         }
     }

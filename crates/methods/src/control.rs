@@ -1,0 +1,679 @@
+//! The self-tuning checkpoint/flush control loop: close the loop the
+//! open-loop daemon left dangling.
+//!
+//! The background daemon ([`crate::concurrent::SharedDb`]) used to run
+//! *open loop*: checkpoint every N ticks, flush a uniformly random dirty
+//! page, never look at what restart would actually cost. Three
+//! pathologies follow. A quiescent system re-publishes identical
+//! checkpoint records forever, each one forcing the log and swinging the
+//! master for nothing. A skewed workload keeps re-dirtying the same hot
+//! pages, so a random flusher almost never picks the *coldest* page —
+//! the one whose recLSN pins the truncation horizon — and the stable
+//! prefix past redo-start grows without bound. And a fixed cadence is
+//! wrong in both directions at once: too slow under a write burst (the
+//! suffix a restart must scan balloons between checkpoints), too fast at
+//! idle (pure overhead).
+//!
+//! This module closes the loop. Each tick the controller *estimates*
+//! restart cost from telemetry the substrate already exposes — stable
+//! bytes past the published redo-start
+//! ([`redo_sim::wal::ShardedLog::suffix_bytes`]), the dirty-page-table
+//! size, and the per-shard live-byte skew — compares it against a
+//! configurable [`RestartBudget`], and emits a [`ControlPlan`] naming
+//! which actuators to fire:
+//!
+//! 1. **Checkpoint cadence** — checkpoint when estimated replay cost
+//!    crosses the budget, not on a timer. Checkpoints are *incremental*:
+//!    a [`PageOpPayload::DeltaCheckpoint`] carrying the DPT delta
+//!    against the previous record, chained by `prev` links to the full
+//!    snapshot at `base`, with a full [`PageOpPayload::FuzzyCheckpoint`]
+//!    republished every [`Control::FULL_EVERY`] links to bound the
+//!    chain analysis must walk.
+//! 2. **Targeted flushing** — flush the dirty page with the *minimum*
+//!    recLSN, the one pinning the truncation horizon, instead of a
+//!    random one.
+//! 3. **Archive pressure** — when one shard's live bytes exceed its
+//!    share of the budget, drain that shard's prefix to the archive
+//!    tier ([`redo_sim::wal::ShardedLog::archive_shard_prefix`])
+//!    without waiting for the next global truncation.
+//!
+//! The planner ([`Controller::plan`]) is a pure function of the
+//! estimate, so its policy is unit-testable without a database. The
+//! [`Control`] method at the bottom is the *sequential* face of the
+//! loop — the same role [`GeneralizedOnline`](crate::online) plays for
+//! the concurrent daemon's full checkpoints — and exists chiefly so the
+//! crash audit can drive fault injection into every step of
+//! delta-chain publication through the generic harness.
+
+use std::collections::BTreeMap;
+
+use redo_sim::db::Db;
+use redo_sim::SimResult;
+use redo_theory::log::Lsn;
+use redo_workload::pages::{PageId, PageOp};
+
+use crate::generalized::Generalized;
+use crate::oprecord::PageOpPayload;
+use crate::{RecoveryMethod, RecoveryStats};
+
+/// The restart-latency budget the controller steers toward: how much a
+/// crash at this instant is allowed to cost the subsequent restart.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RestartBudget {
+    /// Ceiling on stable log bytes past the published redo-start — the
+    /// volume restart's redo scan would read.
+    pub max_suffix_bytes: u64,
+    /// Ceiling on dirty-page-table size — a proxy for the page fetches
+    /// restart performs before its redo tests can run.
+    pub max_dirty_pages: usize,
+    /// A shard whose live bytes exceed `shard_skew_limit` times its
+    /// even share of `max_suffix_bytes` gets a targeted archive drain.
+    pub shard_skew_limit: f64,
+    /// Republish a full snapshot every this many checkpoints; the links
+    /// in between are deltas.
+    pub full_every: u64,
+}
+
+impl Default for RestartBudget {
+    fn default() -> Self {
+        RestartBudget {
+            max_suffix_bytes: 8 * 1024,
+            max_dirty_pages: 16,
+            shard_skew_limit: 2.0,
+            full_every: Control::FULL_EVERY,
+        }
+    }
+}
+
+/// A point-in-time estimate of what restart would cost right now, read
+/// off substrate telemetry by [`Controller::estimate`] (or assembled by
+/// the concurrent daemon under its own locks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RestartEstimate {
+    /// Stable bytes at or past the published redo-start.
+    pub suffix_bytes: u64,
+    /// Current dirty-page-table size.
+    pub dirty_pages: usize,
+    /// The redo-start LSN the estimate was measured against.
+    pub redo_start: Lsn,
+    /// Per-shard live stable bytes (the skew breakdown).
+    pub live_bytes_by_shard: Vec<u64>,
+}
+
+/// What the controller decided to do this tick.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ControlPlan {
+    /// Publish a checkpoint (estimated restart cost crossed the budget).
+    pub checkpoint: bool,
+    /// Flush the minimum-recLSN dirty page to unpin the truncation
+    /// horizon.
+    pub flush_coldest: bool,
+    /// Shards whose live suffix exceeds their skew-adjusted budget
+    /// share: drain each one's prefix to the archive tier.
+    pub archive_shards: Vec<usize>,
+}
+
+impl ControlPlan {
+    /// Does this plan fire any actuator at all?
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        !self.checkpoint && !self.flush_coldest && self.archive_shards.is_empty()
+    }
+}
+
+/// The pure planner: budget in, estimate in, actuator decisions out.
+#[derive(Clone, Debug, Default)]
+pub struct Controller {
+    /// The budget this controller steers toward.
+    pub budget: RestartBudget,
+}
+
+impl Controller {
+    /// A controller steering toward `budget`.
+    #[must_use]
+    pub fn new(budget: RestartBudget) -> Self {
+        Controller { budget }
+    }
+
+    /// Reads a [`RestartEstimate`] off a sequential database's
+    /// telemetry: redo-start from the published checkpoint analysis,
+    /// suffix bytes past it, the current DPT size, per-shard live
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Log corruption at the master record.
+    pub fn estimate(db: &Db<PageOpPayload>) -> SimResult<RestartEstimate> {
+        let (redo_start, _) = Generalized::analyze(db)?;
+        Ok(RestartEstimate {
+            suffix_bytes: db.log.suffix_bytes(redo_start),
+            dirty_pages: db.pool.dirty_pages().len(),
+            redo_start,
+            live_bytes_by_shard: db.log.live_bytes_by_shard(),
+        })
+    }
+
+    /// The control decision: which actuators to fire for this estimate.
+    ///
+    /// Checkpoint when the scan suffix or the DPT crosses its ceiling;
+    /// start flushing the coldest page already at half the suffix
+    /// budget (cheap, and it lets the *next* checkpoint truncate
+    /// deeper); drain any shard whose live bytes exceed
+    /// `shard_skew_limit` times its even share of the suffix budget.
+    #[must_use]
+    pub fn plan(&self, est: &RestartEstimate) -> ControlPlan {
+        let b = &self.budget;
+        let checkpoint =
+            est.suffix_bytes > b.max_suffix_bytes || est.dirty_pages > b.max_dirty_pages;
+        let flush_coldest = est.dirty_pages > 0 && est.suffix_bytes > b.max_suffix_bytes / 2;
+        let shards = est.live_bytes_by_shard.len().max(1) as u64;
+        let share = b.max_suffix_bytes / shards;
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_possible_truncation)]
+        let shard_cap = (share as f64 * b.shard_skew_limit) as u64;
+        let archive_shards = est
+            .live_bytes_by_shard
+            .iter()
+            .enumerate()
+            .filter(|&(_, &live)| live > shard_cap)
+            .map(|(s, _)| s)
+            .collect();
+        ControlPlan {
+            checkpoint,
+            flush_coldest,
+            archive_shards,
+        }
+    }
+}
+
+/// The volatile view of the published checkpoint chain, re-derived from
+/// the log each time (the [`Control`] method is stateless — that is
+/// what lets the generic crash audit drive faults into any step of
+/// publication and still find a consistent system afterwards).
+struct ChainInfo {
+    /// LSN of the newest published checkpoint record (the master).
+    head: Lsn,
+    /// LSN of the full snapshot the chain grows from.
+    base: Lsn,
+    /// Links from `head` back to `base` (0 when `head == base`).
+    depth: u64,
+    /// The folded dirty-page table as of `head`.
+    dpt: BTreeMap<PageId, Lsn>,
+    /// The redo-start published at `head`.
+    redo_start: Lsn,
+}
+
+/// Generalized LSN-based recovery whose checkpoints are budget-driven
+/// incremental deltas — the sequential face of the adaptive controller,
+/// and the method the crash audit runs under `--method control`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Control;
+
+impl Control {
+    /// Republish a full snapshot after this many consecutive deltas.
+    pub const FULL_EVERY: u64 = 4;
+
+    /// Re-derives the chain state from the record the master points at:
+    /// the folded DPT via [`Generalized::analyze_dpt`], the chain depth
+    /// by walking `prev` links. `None` when the master names no healthy
+    /// checkpoint (fresh system, orphaned record, torn chain) — the
+    /// next publication is then a full snapshot, which is always sound.
+    fn chain_state(db: &Db<PageOpPayload>) -> Option<ChainInfo> {
+        let master = db.disk.master();
+        let rec = db.log.record_at_lsn(master).ok()??;
+        let (base, published_redo_start) = match rec.payload {
+            PageOpPayload::FuzzyCheckpoint { redo_start, .. } => (master, redo_start),
+            PageOpPayload::DeltaCheckpoint {
+                base, redo_start, ..
+            } => (base, redo_start),
+            _ => return None,
+        };
+        let analysis = Generalized::analyze_dpt(db).ok()?;
+        // A fallback analysis (checkpoint_lsn != master, or no DPT)
+        // means the chain is torn: start a fresh one.
+        if analysis.checkpoint_lsn != Some(master) {
+            return None;
+        }
+        let dpt = analysis.dirty?;
+        let mut depth = 0u64;
+        let mut at = master;
+        while at != base {
+            let rec = db.log.record_at_lsn(at).ok()??;
+            let PageOpPayload::DeltaCheckpoint { prev, .. } = rec.payload else {
+                return None;
+            };
+            if prev >= at {
+                return None;
+            }
+            at = prev;
+            depth += 1;
+        }
+        Some(ChainInfo {
+            head: master,
+            base,
+            depth,
+            dpt,
+            redo_start: published_redo_start,
+        })
+    }
+
+    /// One incremental checkpoint attempt: skip if the system is
+    /// quiescent, publish a [`PageOpPayload::DeltaCheckpoint`] against
+    /// the live chain (or a full [`PageOpPayload::FuzzyCheckpoint`]
+    /// when there is no healthy chain or the chain is
+    /// [`Control::FULL_EVERY`] deep), then force / swing / truncate
+    /// exactly as [`GeneralizedOnline::checkpoint_online`]
+    /// (crate::online::GeneralizedOnline::checkpoint_online) does —
+    /// every step remains a faultable crash point, and an abandoned
+    /// attempt publishes nothing and truncates nothing.
+    ///
+    /// Returns the LSN of the checkpoint now in force: the fresh one on
+    /// publication, the standing one on a quiescent skip, `None` when
+    /// the attempt was abandoned mid-publication.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors. (Fault suppression surfaces as an abandoned
+    /// attempt, not an error.)
+    pub fn checkpoint_incremental(db: &mut Db<PageOpPayload>) -> SimResult<Option<Lsn>> {
+        let dirty = db.pool.dirty_page_table();
+        let table: BTreeMap<PageId, Lsn> = dirty.iter().copied().collect();
+        let ck_expected = Lsn(db.log.last_lsn().0 + 1);
+        let candidate = dirty.iter().map(|&(_, rec)| rec).min();
+        let chain = Self::chain_state(db);
+
+        if let Some(chain) = &chain {
+            // Quiescent skip: nothing was logged since the standing
+            // checkpoint, the DPT is unchanged, and the redo-start
+            // would not move (an empty table's candidate is the
+            // drifting `ck_expected`, so compare through `unwrap_or`).
+            if db.log.last_lsn() == chain.head
+                && table == chain.dpt
+                && candidate.unwrap_or(chain.redo_start) == chain.redo_start
+            {
+                return Ok(Some(chain.head));
+            }
+        }
+
+        let redo_start = candidate.unwrap_or(ck_expected);
+        let payload = match &chain {
+            Some(chain) if chain.depth + 1 < Self::FULL_EVERY => {
+                let added: Vec<(PageId, Lsn)> = table
+                    .iter()
+                    .filter(|&(page, rec)| chain.dpt.get(page) != Some(rec))
+                    .map(|(&page, &rec)| (page, rec))
+                    .collect();
+                let removed: Vec<PageId> = chain
+                    .dpt
+                    .keys()
+                    .filter(|page| !table.contains_key(page))
+                    .copied()
+                    .collect();
+                PageOpPayload::DeltaCheckpoint {
+                    prev: chain.head,
+                    base: chain.base,
+                    redo_start,
+                    added,
+                    removed,
+                }
+            }
+            _ => PageOpPayload::FuzzyCheckpoint { dirty, redo_start },
+        };
+        let ck = db.log.append(payload)?;
+        debug_assert_eq!(ck, ck_expected);
+        db.log.flush_all();
+        if db.log.stable_lsn() < ck {
+            return Ok(None);
+        }
+        db.disk.set_master(ck)?;
+        if db.disk.master() != ck {
+            return Ok(None);
+        }
+        db.log.archive_prefix(redo_start)?;
+        Ok(Some(ck))
+    }
+}
+
+impl RecoveryMethod for Control {
+    type Payload = PageOpPayload;
+
+    fn name(&self) -> &'static str {
+        "control"
+    }
+
+    fn execute(&self, db: &mut Db<PageOpPayload>, op: &PageOp) -> SimResult<Lsn> {
+        Generalized.execute(db, op)
+    }
+
+    fn checkpoint(&self, db: &mut Db<PageOpPayload>) -> SimResult<()> {
+        Self::checkpoint_incremental(db).map(|_| ())
+    }
+
+    fn recover(&self, db: &mut Db<PageOpPayload>) -> SimResult<RecoveryStats> {
+        Generalized.recover(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use redo_sim::db::Geometry;
+    use redo_sim::fault::{FaultKind, FaultPlan};
+    use redo_workload::pages::{Cell, PageWorkloadSpec};
+
+    fn workload(n: usize, seed: u64) -> Vec<PageOp> {
+        PageWorkloadSpec {
+            n_ops: n,
+            n_pages: 5,
+            cross_page_fraction: 0.4,
+            multi_page_fraction: 0.2,
+            blind_fraction: 0.1,
+            ..Default::default()
+        }
+        .generate(seed)
+    }
+
+    fn model(ops: &[PageOp]) -> std::collections::BTreeMap<Cell, u64> {
+        let mut cells = std::collections::BTreeMap::new();
+        for op in ops {
+            let reads: Vec<u64> = op
+                .reads
+                .iter()
+                .map(|c| cells.get(c).copied().unwrap_or(0))
+                .collect();
+            for &w in &op.writes {
+                cells.insert(w, op.output(w, &reads));
+            }
+        }
+        cells
+    }
+
+    fn assert_matches_model(db: &mut Db<PageOpPayload>, ops: &[PageOp]) {
+        for (c, v) in model(ops) {
+            assert_eq!(db.read_cell(c).unwrap(), v, "cell {c:?}");
+        }
+    }
+
+    #[test]
+    fn planner_fires_checkpoint_on_suffix_budget() {
+        let ctl = Controller::new(RestartBudget {
+            max_suffix_bytes: 1000,
+            max_dirty_pages: 100,
+            ..Default::default()
+        });
+        let mut est = RestartEstimate {
+            suffix_bytes: 999,
+            dirty_pages: 3,
+            redo_start: Lsn(1),
+            live_bytes_by_shard: vec![200, 200],
+        };
+        assert!(!ctl.plan(&est).checkpoint);
+        est.suffix_bytes = 1001;
+        let plan = ctl.plan(&est);
+        assert!(plan.checkpoint);
+        assert!(plan.flush_coldest, "past half budget: unpin the horizon");
+    }
+
+    #[test]
+    fn planner_fires_checkpoint_on_dpt_budget() {
+        let ctl = Controller::new(RestartBudget {
+            max_suffix_bytes: 1_000_000,
+            max_dirty_pages: 4,
+            ..Default::default()
+        });
+        let est = RestartEstimate {
+            suffix_bytes: 10,
+            dirty_pages: 5,
+            redo_start: Lsn(1),
+            live_bytes_by_shard: vec![10],
+        };
+        let plan = ctl.plan(&est);
+        assert!(plan.checkpoint);
+        assert!(!plan.flush_coldest, "suffix is tiny: no flush pressure");
+    }
+
+    #[test]
+    fn planner_targets_skewed_shards_only() {
+        let ctl = Controller::new(RestartBudget {
+            max_suffix_bytes: 4000,
+            shard_skew_limit: 2.0,
+            ..Default::default()
+        });
+        // Even share = 1000/shard; cap = 2000. Shard 2 is over.
+        let est = RestartEstimate {
+            suffix_bytes: 100,
+            dirty_pages: 0,
+            redo_start: Lsn(1),
+            live_bytes_by_shard: vec![500, 1800, 2500, 0],
+        };
+        assert_eq!(ctl.plan(&est).archive_shards, vec![2]);
+    }
+
+    #[test]
+    fn idle_estimate_plans_nothing() {
+        let ctl = Controller::default();
+        let est = RestartEstimate {
+            suffix_bytes: 0,
+            dirty_pages: 0,
+            redo_start: Lsn(1),
+            live_bytes_by_shard: vec![0; 4],
+        };
+        assert!(ctl.plan(&est).is_idle());
+    }
+
+    #[test]
+    fn delta_chain_publishes_and_recovers_exactly() {
+        let ops = workload(40, 3);
+        let mut db = Db::new(Geometry::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut published = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            Control.execute(&mut db, op).unwrap();
+            db.chaos_flush(&mut rng, 0.8, 0.5).unwrap();
+            if (i + 1) % 5 == 0 {
+                let ck = Control::checkpoint_incremental(&mut db)
+                    .unwrap()
+                    .expect("no faults armed: publication must land");
+                published.push(ck);
+            }
+        }
+        assert_eq!(published.len(), 8);
+        // The master names the newest checkpoint, and it is a delta
+        // (eight publications: full, d, d, d, full, d, d, d).
+        let master = db.disk.master();
+        assert_eq!(master, *published.last().unwrap());
+        let rec = db.log.record_at_lsn(master).unwrap().unwrap();
+        assert!(
+            matches!(rec.payload, PageOpPayload::DeltaCheckpoint { .. }),
+            "{:?}",
+            rec.payload
+        );
+        db.log.flush_all();
+        db.crash();
+        let stats = Control.recover(&mut db).unwrap();
+        assert_eq!(stats.checkpoint_lsn, Some(master));
+        assert_matches_model(&mut db, &ops);
+    }
+
+    #[test]
+    fn full_snapshot_republished_every_fourth_checkpoint() {
+        let ops = workload(30, 17);
+        let mut db = Db::new(Geometry::default());
+        let mut kinds = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            Control.execute(&mut db, op).unwrap();
+            if (i + 1) % 3 == 0 {
+                let ck = Control::checkpoint_incremental(&mut db)
+                    .unwrap()
+                    .expect("published");
+                let rec = db.log.record_at_lsn(ck).unwrap().unwrap();
+                kinds.push(match rec.payload {
+                    PageOpPayload::FuzzyCheckpoint { .. } => 'F',
+                    PageOpPayload::DeltaCheckpoint { .. } => 'D',
+                    _ => '?',
+                });
+            }
+        }
+        assert_eq!(kinds.iter().collect::<String>(), "FDDDFDDDFD");
+    }
+
+    #[test]
+    fn quiescent_system_skips_republication() {
+        let ops = workload(12, 7);
+        let mut db = Db::new(Geometry::default());
+        for op in &ops {
+            Control.execute(&mut db, op).unwrap();
+        }
+        let ck = Control::checkpoint_incremental(&mut db)
+            .unwrap()
+            .expect("published");
+        let last = db.log.last_lsn();
+        // Nothing moved: the standing checkpoint must be reused, with
+        // no new record appended.
+        for _ in 0..3 {
+            let again = Control::checkpoint_incremental(&mut db).unwrap();
+            assert_eq!(again, Some(ck), "quiescent tick must reuse the head");
+            assert_eq!(db.log.last_lsn(), last, "no record may be appended");
+        }
+        // New work re-arms publication.
+        let more = workload(3, 8);
+        for op in &more {
+            Control.execute(&mut db, op).unwrap();
+        }
+        let next = Control::checkpoint_incremental(&mut db)
+            .unwrap()
+            .expect("published");
+        assert!(next > ck);
+    }
+
+    #[test]
+    fn quiescent_skip_survives_clean_pool() {
+        // The empty-DPT case: candidate redo-start would be the drifting
+        // `ck_expected`, which must not defeat the skip.
+        let ops = workload(10, 21);
+        let mut db = Db::new(Geometry::default());
+        for op in &ops {
+            Control.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        db.pool
+            .flush_all(&mut db.disk, db.log.stable_lsn())
+            .unwrap();
+        let ck = Control::checkpoint_incremental(&mut db)
+            .unwrap()
+            .expect("published");
+        let last = db.log.last_lsn();
+        let again = Control::checkpoint_incremental(&mut db).unwrap();
+        assert_eq!(again, Some(ck));
+        assert_eq!(db.log.last_lsn(), last);
+    }
+
+    #[test]
+    fn torn_chain_falls_back_to_base_snapshot() {
+        let ops = workload(20, 5);
+        let mut db = Db::new(Geometry::default());
+        for op in &ops[..10] {
+            Control.execute(&mut db, op).unwrap();
+        }
+        // A healthy full snapshot to fall back to.
+        let base = Control::checkpoint_incremental(&mut db)
+            .unwrap()
+            .expect("published");
+        for op in &ops[10..] {
+            Control.execute(&mut db, op).unwrap();
+        }
+        // Hand-publish a *lying* delta whose `prev` names an operation
+        // record: its folded DPT would wrongly claim every page clean
+        // and its redo-start would skip live work. Only the torn-chain
+        // fallback to `base` keeps recovery exact.
+        let bogus_redo = Lsn(db.log.last_lsn().0 + 1);
+        let all_pages: Vec<PageId> = (0..5).map(PageId).collect();
+        let lying = db
+            .log
+            .append(PageOpPayload::DeltaCheckpoint {
+                prev: Lsn(2),
+                base,
+                redo_start: bogus_redo,
+                added: vec![],
+                removed: all_pages,
+            })
+            .unwrap();
+        db.log.flush_all();
+        db.disk.set_master(lying).unwrap();
+        db.crash();
+        let stats = Control.recover(&mut db).unwrap();
+        assert_eq!(
+            stats.checkpoint_lsn,
+            Some(base),
+            "analysis must fall back to the base snapshot"
+        );
+        assert_matches_model(&mut db, &ops);
+    }
+
+    #[test]
+    fn suppressed_swing_abandons_delta_and_chain_survives() {
+        let ops = workload(16, 11);
+        let mut db = Db::new(Geometry::default());
+        for op in &ops[..8] {
+            Control.execute(&mut db, op).unwrap();
+        }
+        let first = Control::checkpoint_incremental(&mut db)
+            .unwrap()
+            .expect("published");
+        for op in &ops[8..] {
+            Control.execute(&mut db, op).unwrap();
+        }
+        // Pre-force so the checkpoint's own flush moves one record, then
+        // suppress the master write (event 2): the delta record becomes
+        // durable but orphaned.
+        db.log.flush_all();
+        db.arm_faults(FaultPlan {
+            at: 2,
+            kind: FaultKind::Clean,
+        });
+        let second = Control::checkpoint_incremental(&mut db).unwrap();
+        assert_eq!(second, None, "swing suppressed: attempt abandoned");
+        assert_eq!(db.disk.master(), first, "previous checkpoint stands");
+        db.crash();
+        db.repair_after_crash();
+        let stats = Control.recover(&mut db).unwrap();
+        assert_eq!(stats.checkpoint_lsn, Some(first));
+        assert_matches_model(&mut db, &ops);
+        // The orphaned delta does not poison the next publication: the
+        // chain re-derives from the master (still `first`).
+        let next = Control::checkpoint_incremental(&mut db)
+            .unwrap()
+            .expect("published");
+        assert!(next > first);
+    }
+
+    #[test]
+    fn controller_estimate_tracks_truncation() {
+        let ops = workload(24, 13);
+        let mut db = Db::new(Geometry::default());
+        for op in &ops {
+            Control.execute(&mut db, op).unwrap();
+        }
+        db.log.flush_all();
+        let before = Controller::estimate(&db).unwrap();
+        assert!(before.suffix_bytes > 0);
+        // Clean pool + checkpoint: the suffix collapses to (roughly) the
+        // checkpoint record itself.
+        db.pool
+            .flush_all(&mut db.disk, db.log.stable_lsn())
+            .unwrap();
+        Control::checkpoint_incremental(&mut db)
+            .unwrap()
+            .expect("published");
+        let after = Controller::estimate(&db).unwrap();
+        assert!(
+            after.suffix_bytes < before.suffix_bytes,
+            "{} !< {}",
+            after.suffix_bytes,
+            before.suffix_bytes
+        );
+        assert_eq!(after.dirty_pages, 0);
+    }
+}

@@ -277,6 +277,17 @@ impl Generalized {
                                 dirty: Some(dirty.into_iter().collect()),
                             })
                         }
+                        PageOpPayload::DeltaCheckpoint {
+                            prev,
+                            base,
+                            redo_start,
+                            added,
+                            removed,
+                        } => {
+                            return Ok(fold_delta_chain(
+                                db, master, prev, base, redo_start, added, removed,
+                            ))
+                        }
                         PageOpPayload::Op(_) => {}
                     }
                 }
@@ -284,6 +295,103 @@ impl Generalized {
         }
         Ok(RestartAnalysis::full_scan())
     }
+}
+
+/// Longest delta chain analysis will walk before declaring it broken —
+/// a guard against corrupt `prev` links forming a long (or cyclic-
+/// looking) walk, far above any chain a sane controller publishes.
+const MAX_DELTA_CHAIN: usize = 64;
+
+/// Reconstructs the dirty-page table from a delta-checkpoint chain: walk
+/// `prev` links (each strictly decreasing) back to the full
+/// [`PageOpPayload::FuzzyCheckpoint`] at `base`, then fold the deltas
+/// oldest→newest over its snapshot — each delta removes its `removed`
+/// pages, then inserts its `added` (page, recLSN) pairs. Any break in
+/// the chain — a link the log no longer holds, a record of the wrong
+/// kind, a foreign `base`, a non-decreasing link, a chain past
+/// [`MAX_DELTA_CHAIN`] — falls back to reading `base` as a full
+/// snapshot, and failing that to a full scan. The fallbacks only ever
+/// *widen* the scan: records below the newest published redo start are
+/// durably installed (that is what publication proved), redo tests are
+/// monotone, and a base snapshot's `provably_installed` verdicts were
+/// true at its own publication — so a stale analysis replays more, never
+/// wrongly skips.
+fn fold_delta_chain(
+    db: &Db<PageOpPayload>,
+    master: Lsn,
+    prev: Lsn,
+    base: Lsn,
+    redo_start: Lsn,
+    added: Vec<(PageId, Lsn)>,
+    removed: Vec<PageId>,
+) -> RestartAnalysis {
+    let mut deltas = vec![(added, removed)];
+    let mut link = prev;
+    let mut at = master;
+    let base_dirty = loop {
+        if deltas.len() > MAX_DELTA_CHAIN || link == Lsn::ZERO || link >= at {
+            break None;
+        }
+        match db.log.record_at_lsn(link) {
+            Ok(Some(rec)) => match rec.payload {
+                PageOpPayload::FuzzyCheckpoint { dirty, .. } if rec.lsn == base => {
+                    break Some(dirty);
+                }
+                PageOpPayload::DeltaCheckpoint {
+                    prev,
+                    base: b,
+                    added,
+                    removed,
+                    ..
+                } if b == base => {
+                    deltas.push((added, removed));
+                    at = link;
+                    link = prev;
+                }
+                // A full snapshot that is not `base`, a heavyweight
+                // marker, an operation record, a delta from a different
+                // chain: the link is torn.
+                _ => break None,
+            },
+            // The link is gone (compacted past) or the frame is damaged.
+            Ok(None) | Err(_) => break None,
+        }
+    };
+    match base_dirty {
+        Some(dirty) => {
+            let mut dpt: BTreeMap<PageId, Lsn> = dirty.into_iter().collect();
+            for (added, removed) in deltas.into_iter().rev() {
+                for page in removed {
+                    dpt.remove(&page);
+                }
+                for (page, rec) in added {
+                    dpt.insert(page, rec);
+                }
+            }
+            RestartAnalysis {
+                redo_start,
+                checkpoint_lsn: Some(master),
+                dirty: Some(dpt),
+            }
+        }
+        None => fall_back_to_base(db, base),
+    }
+}
+
+/// The torn-delta fallback: read `base` directly as a full snapshot. Its
+/// redo start and DPT are stale relative to the master delta but were
+/// true at `base`'s own publication — safe, just a wider scan.
+fn fall_back_to_base(db: &Db<PageOpPayload>, base: Lsn) -> RestartAnalysis {
+    if let Ok(Some(rec)) = db.log.record_at_lsn(base) {
+        if let PageOpPayload::FuzzyCheckpoint { dirty, redo_start } = rec.payload {
+            return RestartAnalysis {
+                redo_start,
+                checkpoint_lsn: Some(base),
+                dirty: Some(dirty.into_iter().collect()),
+            };
+        }
+    }
+    RestartAnalysis::full_scan()
 }
 
 impl RecoveryMethod for Generalized {
@@ -352,7 +460,9 @@ impl RecoveryMethod for Generalized {
                     PageOpPayload::Op(op) => {
                         Some(op.read_pages().into_iter().chain(op.written_pages()))
                     }
-                    PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+                    PageOpPayload::Checkpoint
+                    | PageOpPayload::FuzzyCheckpoint { .. }
+                    | PageOpPayload::DeltaCheckpoint { .. } => None,
                 })
                 .flatten()
                 .collect();

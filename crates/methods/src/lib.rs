@@ -50,6 +50,7 @@
 
 pub mod broken;
 pub mod concurrent;
+pub mod control;
 pub mod fuzzy;
 pub mod generalized;
 pub mod harness;

@@ -114,7 +114,9 @@ impl RecoveryMethod for Logical {
                     PageOpPayload::Op(op) => {
                         Some(op.read_pages().into_iter().chain(op.written_pages()))
                     }
-                    PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+                    PageOpPayload::Checkpoint
+                    | PageOpPayload::FuzzyCheckpoint { .. }
+                    | PageOpPayload::DeltaCheckpoint { .. } => None,
                 })
                 .flatten()
                 .collect();

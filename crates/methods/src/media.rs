@@ -122,7 +122,9 @@ pub fn rebuild_images(db: &Db<PageOpPayload>) -> SimResult<BTreeMap<PageId, Page
         .into_iter()
         .filter_map(|rec| match rec.payload {
             PageOpPayload::Op(op) => Some((rec.lsn, op)),
-            PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+            PageOpPayload::Checkpoint
+            | PageOpPayload::FuzzyCheckpoint { .. }
+            | PageOpPayload::DeltaCheckpoint { .. } => None,
         })
         .collect();
     let scratch = scratch_replay(&records, db.geometry.slots_per_page);

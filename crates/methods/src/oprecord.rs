@@ -30,6 +30,27 @@ pub enum PageOpPayload {
         /// The LSN recovery must scan from.
         redo_start: Lsn,
     },
+    /// An incremental checkpoint record: the dirty-page-table *delta*
+    /// against the previous checkpoint in the chain, not a full
+    /// snapshot. Analysis reconstructs the DPT by walking `prev` links
+    /// back to the full [`FuzzyCheckpoint`] at `base` and folding the
+    /// deltas oldest→newest; a broken link (truncated past, torn
+    /// record, foreign LSN) falls back to reading `base` as a full
+    /// snapshot, and failing that to a full log scan — deltas only
+    /// ever *narrow* the scan, they can never make recovery wrong.
+    DeltaCheckpoint {
+        /// The previous checkpoint record in the chain (a
+        /// `FuzzyCheckpoint` or another `DeltaCheckpoint`).
+        prev: Lsn,
+        /// The full `FuzzyCheckpoint` snapshot the chain grows from.
+        base: Lsn,
+        /// The LSN recovery must scan from, as of this delta.
+        redo_start: Lsn,
+        /// Pages dirtied (or re-dirtied at a new recLSN) since `prev`.
+        added: Vec<(PageId, Lsn)>,
+        /// Pages cleaned since `prev`.
+        removed: Vec<PageId>,
+    },
 }
 
 impl LogPayload for PageOpPayload {
@@ -52,6 +73,30 @@ impl LogPayload for PageOpPayload {
                     codec::put_u64(buf, rec.0);
                 }
             }
+            PageOpPayload::DeltaCheckpoint {
+                prev,
+                base,
+                redo_start,
+                added,
+                removed,
+            } => {
+                codec::put_u8(buf, 3);
+                codec::put_u64(buf, prev.0);
+                codec::put_u64(buf, base.0);
+                codec::put_u64(buf, redo_start.0);
+                codec::put_u16(buf, codec::count_u16("delta added length", added.len())?);
+                for &(page, rec) in added {
+                    codec::put_u32(buf, page.0);
+                    codec::put_u64(buf, rec.0);
+                }
+                codec::put_u16(
+                    buf,
+                    codec::count_u16("delta removed length", removed.len())?,
+                );
+                for &page in removed {
+                    codec::put_u32(buf, page.0);
+                }
+            }
         }
         Ok(())
     }
@@ -71,6 +116,30 @@ impl LogPayload for PageOpPayload {
                 }
                 Ok(PageOpPayload::FuzzyCheckpoint { dirty, redo_start })
             }
+            3 => {
+                let prev = Lsn(codec::get_u64(input, pos)?);
+                let base = Lsn(codec::get_u64(input, pos)?);
+                let redo_start = Lsn(codec::get_u64(input, pos)?);
+                let n = codec::get_u16(input, pos)? as usize;
+                let mut added = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let page = PageId(codec::get_u32(input, pos)?);
+                    let rec = Lsn(codec::get_u64(input, pos)?);
+                    added.push((page, rec));
+                }
+                let n = codec::get_u16(input, pos)? as usize;
+                let mut removed = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    removed.push(PageId(codec::get_u32(input, pos)?));
+                }
+                Ok(PageOpPayload::DeltaCheckpoint {
+                    prev,
+                    base,
+                    redo_start,
+                    added,
+                    removed,
+                })
+            }
             _ => Err(SimError::Corrupt(*pos - 1)),
         }
     }
@@ -80,7 +149,9 @@ impl LogPayload for PageOpPayload {
         // markers touch no page.
         match self {
             PageOpPayload::Op(op) => op.written_pages(),
-            PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => Vec::new(),
+            PageOpPayload::Checkpoint
+            | PageOpPayload::FuzzyCheckpoint { .. }
+            | PageOpPayload::DeltaCheckpoint { .. } => Vec::new(),
         }
     }
 }
@@ -141,6 +212,54 @@ mod tests {
         let p = PageOpPayload::FuzzyCheckpoint {
             dirty: vec![(PageId(1), Lsn(2)), (PageId(2), Lsn(3))],
             redo_start: Lsn(2),
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf).unwrap();
+        for cut in 1..buf.len() {
+            let mut pos = 0;
+            assert!(
+                matches!(
+                    PageOpPayload::decode(&buf[..cut], &mut pos),
+                    Err(SimError::Corrupt(_))
+                ),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_checkpoint_roundtrip() {
+        for (added, removed) in [
+            (vec![], vec![]),
+            (vec![(PageId(3), Lsn(7))], vec![PageId(1)]),
+            (
+                vec![(PageId(0), Lsn(12)), (PageId(9), Lsn(40))],
+                vec![PageId(2), PageId(5), PageId(8)],
+            ),
+        ] {
+            let p = PageOpPayload::DeltaCheckpoint {
+                prev: Lsn(11),
+                base: Lsn(4),
+                redo_start: Lsn(6),
+                added,
+                removed,
+            };
+            let mut buf = Vec::new();
+            p.encode(&mut buf).unwrap();
+            let mut pos = 0;
+            assert_eq!(PageOpPayload::decode(&buf, &mut pos).unwrap(), p);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_delta_checkpoint_is_corrupt() {
+        let p = PageOpPayload::DeltaCheckpoint {
+            prev: Lsn(20),
+            base: Lsn(10),
+            redo_start: Lsn(12),
+            added: vec![(PageId(1), Lsn(15)), (PageId(2), Lsn(18))],
+            removed: vec![PageId(3)],
         };
         let mut buf = Vec::new();
         p.encode(&mut buf).unwrap();

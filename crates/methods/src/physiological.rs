@@ -92,7 +92,9 @@ impl RecoveryMethod for Physiological {
                 .iter()
                 .filter_map(|rec| match &rec.payload {
                     PageOpPayload::Op(op) => Some(op.written_pages()[0]),
-                    PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+                    PageOpPayload::Checkpoint
+                    | PageOpPayload::FuzzyCheckpoint { .. }
+                    | PageOpPayload::DeltaCheckpoint { .. } => None,
                 })
                 .collect();
             let pages: Vec<PageId> = pages.into_iter().collect();

@@ -9,8 +9,9 @@
 //! `archive ∥ live` per shard reproduces the shard's complete history
 //! from LSN 1, which is exactly what point-in-time replay
 //! ([`ShardedLog::pit_records`](super::ShardedLog::pit_records)) scans.
-//! The tier is append-only by construction: nothing here truncates,
-//! drains, or rewrites.
+//! The tier is append-only in steady state; the single exception is
+//! [`ArchiveTier::compact`], which destroys a frame-exact prefix the
+//! caller has proven no recovery protocol can still name.
 
 use crate::backend::{BackendKind, LogBackend};
 
@@ -40,6 +41,16 @@ impl ArchiveTier {
     /// Shard `s`'s archived frame image (oldest frames first).
     pub(crate) fn bytes(&self, s: usize) -> &[u8] {
         self.tiers[s].bytes()
+    }
+
+    /// Destroys the first `pos` bytes of shard `s`'s archive — the one
+    /// exception to the tier's append-only discipline, reserved for
+    /// [`ShardedLog::compact_archive`](super::ShardedLog::compact_archive),
+    /// which guarantees `pos` is a frame boundary below every LSN any
+    /// recovery protocol can still name.
+    pub(crate) fn compact(&mut self, s: usize, pos: usize) {
+        self.tiers[s].drain_prefix(pos);
+        self.archived_bytes -= pos as u64;
     }
 
     /// Total bytes resident in the archive tier. Volatile telemetry,

@@ -556,6 +556,18 @@ impl<P: LogPayload> LogManager<P> {
         self.backend.bytes()
     }
 
+    /// Stable bytes at or after the first frame with LSN ≥ `from` — the
+    /// volume a restart scanning from `from` would read off this log.
+    /// Pure telemetry (seek jump plus a header walk, no payload decode);
+    /// the checkpoint controller compares it against the restart budget.
+    #[must_use]
+    pub fn suffix_bytes(&self, from: Lsn) -> u64 {
+        let bytes = self.backend.bytes();
+        let (start, _) = self.seek_offset(from);
+        let (pos, _) = skip_frames_below(bytes, start, from);
+        (bytes.len() - pos) as u64
+    }
+
     /// Discards a torn tail: walks record frames (header structure
     /// *and* CRC-32 verification) and truncates the stable bytes at the
     /// first frame that does not fit or does not verify — the fragment a

@@ -56,7 +56,7 @@ use crate::error::{SimError, SimResult};
 use crate::fault::{FaultDecision, FaultInjector};
 
 use super::archive::ArchiveTier;
-use super::framing::{LogCursor, ScanStats};
+use super::framing::{skip_frames_below, LogCursor, ScanStats};
 use super::{codec, LogManager, LogPayload, WalRecord, FRAME_HEADER};
 
 /// What one shard's frames carry: a routed record, or a flush-group
@@ -656,6 +656,70 @@ impl<P: LogPayload> ShardedLog<P> {
         Ok(reclaimed)
     }
 
+    /// Moves shard `s`'s stable frames with LSN < `below` into the
+    /// archive tier without waiting for the other shards — the
+    /// controller's archive-pressure actuator for a shard whose live
+    /// suffix outgrew its share of the restart budget. Semantically this
+    /// is a partial [`ShardedLog::archive_prefix`]: the global
+    /// `first_stable` boundary does not move (the other shards still
+    /// hold older frames), which is exactly the state an interrupted
+    /// global drain already leaves, so every scan, crash analysis, and
+    /// retry path handles it. The caller's obligation is unchanged:
+    /// `below` must be the redo-start LSN of a *published* checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] as [`ShardedLog::archive_prefix`]; an error
+    /// leaves the shard (and the archive) unchanged.
+    pub fn archive_shard_prefix(&mut self, s: usize, below: Lsn) -> SimResult<u64> {
+        let below = Lsn(below.0.min(self.stable.0 + 1));
+        if below <= self.first_stable || self.injector.tripped() {
+            return Ok(0);
+        }
+        let Some(plan) = self.shards[s].plan_drain(below)? else {
+            return Ok(0);
+        };
+        self.archive
+            .append(s, &self.shards[s].stable_bytes()[..plan.pos]);
+        if self.injector.on_atomic_write() != FaultDecision::Proceed {
+            // Same crash point as the global drain: the frames exist in
+            // both tiers and a retry re-drains; scans deduplicate by LSN.
+            return Ok(0);
+        }
+        self.shards[s].apply_drain(below, plan);
+        Ok(plan.pos as u64)
+    }
+
+    /// Destroys archived frames with LSN < `genesis`, per shard,
+    /// returning the archive bytes reclaimed. `genesis` is clamped to
+    /// [`ShardedLog::first_stable`], so only history below the
+    /// completed-drain boundary is ever compacted — every cross-shard
+    /// flush group entirely below that boundary has its closure evidence
+    /// wholly in the archive, so dropping it can never make a live group
+    /// look torn. The caller forfeits point-in-time replay and media
+    /// recovery below `genesis`: it must pass the oldest LSN those
+    /// protocols still need (the redo start of the oldest checkpoint it
+    /// intends to fall back to). Compaction is frame-exact (a
+    /// structural header walk, no payload decode), so the surviving
+    /// tier is still a valid frame image.
+    pub fn compact_archive(&mut self, genesis: Lsn) -> u64 {
+        let genesis = Lsn(genesis.0.min(self.first_stable.0));
+        if self.injector.tripped() {
+            return 0;
+        }
+        let mut reclaimed = 0u64;
+        for s in 0..self.shards.len() {
+            let bytes = self.archive.bytes(s);
+            let (pos, _) = skip_frames_below(bytes, 0, genesis);
+            if pos == 0 {
+                continue;
+            }
+            self.archive.compact(s, pos);
+            reclaimed += pos as u64;
+        }
+        reclaimed
+    }
+
     /// The lowest LSN still present in the *live* stable image.
     #[must_use]
     pub fn first_stable(&self) -> Lsn {
@@ -683,6 +747,85 @@ impl<P: LogPayload> ShardedLog<P> {
     #[must_use]
     pub fn truncated_records(&self) -> u64 {
         self.truncated_records
+    }
+
+    /// Stable bytes at or after the first frame with LSN ≥ `from`,
+    /// summed across shards — the volume a restart scanning from `from`
+    /// would read. Pure telemetry; see [`LogManager::suffix_bytes`].
+    #[must_use]
+    pub fn suffix_bytes(&self, from: Lsn) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.suffix_bytes(from))
+            .sum()
+    }
+
+    /// Per-shard suffix volume — the skew breakdown the controller's
+    /// archive-pressure actuator reads.
+    #[must_use]
+    pub fn suffix_bytes_by_shard(&self, from: Lsn) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.suffix_bytes(from))
+            .collect()
+    }
+
+    /// Per-shard *live* stable byte counts (bytes not yet drained to the
+    /// archive tier). Under skewed traffic a hot shard's live image can
+    /// dwarf the others'; the controller compares each shard's share
+    /// against its budget slice to decide targeted archive drains.
+    #[must_use]
+    pub fn live_bytes_by_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.stable_bytes().len() as u64)
+            .collect()
+    }
+
+    /// Decodes the single logical record at `lsn`, searching the live
+    /// image first and the archive tier second (checkpoint records
+    /// broadcast to every shard, so any shard's `archive ∥ live` holds
+    /// the chain links delta-checkpoint analysis resolves through this).
+    /// Returns `Ok(None)` when no tier holds the record — a chain link
+    /// pointing at compacted or never-stable history.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Corrupt`] if the frame at the sought position does
+    /// not decode.
+    pub fn record_at_lsn(&self, lsn: Lsn) -> SimResult<Option<WalRecord<P>>> {
+        if lsn == Lsn::ZERO || lsn > self.stable {
+            return Ok(None);
+        }
+        let mut cursor = self.cursor_from(lsn);
+        if let Some(res) = cursor.next() {
+            let rec = res?;
+            if rec.lsn == lsn {
+                return Ok(Some(rec));
+            }
+        }
+        // Not live (drained, or mid-drain on its home shards): a
+        // structural walk lands on the archived frame without decoding
+        // the history below it.
+        for s in 0..self.shards.len() {
+            let bytes = self.archive.bytes(s);
+            let (pos, _) = skip_frames_below(bytes, 0, lsn);
+            let cursor: LogCursor<'_, ShardFrame<P>> =
+                LogCursor::at(bytes, pos, ScanStats::default());
+            for res in cursor {
+                let rec = res?;
+                if rec.lsn > lsn {
+                    break;
+                }
+                if let ShardFrame::Rec(payload) = rec.payload {
+                    return Ok(Some(WalRecord {
+                        lsn: rec.lsn,
+                        payload,
+                    }));
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// Total bytes resident in the archive tier.

@@ -476,9 +476,13 @@ proptest! {
     /// `repair_tail`, and `crash` keep both stable-offset indexes (the
     /// sparse seek index and the per-page chains) disciplined across an
     /// adversarial interleaving: group-commit flushes, mid-run prefix
-    /// truncations, a torn-flush crash, tail repair, and a post-repair
-    /// truncation. After every mutation [`check_index_discipline`] must
-    /// hold, and the two backends must recover identical records.
+    /// truncations *and archive compactions*, a torn-flush crash, tail
+    /// repair, and a post-repair truncation. After every mutation
+    /// [`check_index_discipline`] must hold (including its
+    /// archived-bytes telemetry check), the `archived_bytes` counter
+    /// must drop by exactly what each compaction reclaims and survive
+    /// the crash unchanged (the archive tier is durable storage), and
+    /// the two backends must recover identical records.
     #[test]
     fn index_and_chain_discipline_survives_flush_truncate_repair(
         seed in 0u64..10_000,
@@ -513,12 +517,36 @@ proptest! {
                             .expect("clean mid-run truncation");
                         check_index_discipline(&db.log)?;
                     }
+                    // Every other truncation also compacts the archive
+                    // tier up to a drifting genesis, exercising partial
+                    // and full compactions against live drains.
+                    if (i + 1) % (truncate_every * 2) == 0 {
+                        let genesis =
+                            Lsn(db.log.first_stable().0.saturating_sub((i % 4) as u64));
+                        let before = db.log.archived_bytes();
+                        let reclaimed = db.log.compact_archive(genesis);
+                        prop_assert_eq!(
+                            db.log.archived_bytes(),
+                            before - reclaimed,
+                            "compaction reclaimed {} but telemetry moved from {}",
+                            reclaimed,
+                            before
+                        );
+                        check_index_discipline(&db.log)?;
+                    }
                 }
             }
             db.log.flush_all();
             check_index_discipline(&db.log)?;
+            let tripped = db.fault_tripped();
+            let archived_before_crash = db.log.archived_bytes();
             db.crash();
             check_index_discipline(&db.log)?;
+            prop_assert_eq!(
+                db.log.archived_bytes(),
+                archived_before_crash,
+                "archive tier is durable: its byte telemetry must ride through a crash"
+            );
             db.repair_after_crash();
             check_index_discipline(&db.log)?;
             // The crash disarmed the injector, so the restarted
@@ -529,6 +557,32 @@ proptest! {
                 db.log.archive_prefix(mid).expect("post-repair truncation");
                 check_index_discipline(&db.log)?;
             }
+            // Full compaction up to the completed-drain boundary. A
+            // drain the armed fault interrupted between archive-append
+            // and live-truncate legitimately leaves retryable duplicate
+            // frames at or above `first_stable` (scans dedupe by LSN),
+            // and compaction must conservatively keep those — but on a
+            // run whose fault never fired, the tier must empty exactly.
+            let before = db.log.archived_bytes();
+            let reclaimed = db.log.compact_archive(db.log.first_stable());
+            prop_assert_eq!(
+                db.log.archived_bytes(),
+                before - reclaimed,
+                "full compaction reclaimed {} but telemetry moved from {}",
+                reclaimed,
+                before
+            );
+            prop_assert!(
+                db.log.archived_bytes() == 0 || tripped,
+                "no drain was ever interrupted, yet {} archived bytes survived full compaction",
+                db.log.archived_bytes()
+            );
+            prop_assert_eq!(
+                db.log.compact_archive(db.log.first_stable()),
+                0,
+                "full compaction must be a fixed point"
+            );
+            check_index_discipline(&db.log)?;
             let full: Vec<WalRecord<OpRec>> = db.log.cursor().collect::<SimResult<_>>()
                 .expect("repaired image decodes");
             per_backend.push(full);

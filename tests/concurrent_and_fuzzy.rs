@@ -107,7 +107,9 @@ fn concurrent_log_order_is_conflict_consistent() {
         .iter()
         .filter_map(|r| match &r.payload {
             PageOpPayload::Op(op) => Some(op.clone()),
-            PageOpPayload::Checkpoint | PageOpPayload::FuzzyCheckpoint { .. } => None,
+            PageOpPayload::Checkpoint
+            | PageOpPayload::FuzzyCheckpoint { .. }
+            | PageOpPayload::DeltaCheckpoint { .. } => None,
         })
         .collect();
     // Renumber by log position and regenerate: the log order must be a
